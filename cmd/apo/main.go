@@ -1,0 +1,79 @@
+// apo is the Automated model Partitioning and Organization advisor (§5.3):
+// given a model and deployment parameters it prints the best partition
+// point per store count and Algorithm 1's recommended fleet size.
+//
+//	apo -model ResNet50 -max 20 -gbps 10 -images 1200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpipe/internal/apo"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/model"
+)
+
+func main() {
+	var (
+		name     = flag.String("model", "ResNet50", "model name (ShuffleNetV2, ResNet50, InceptionV3, ResNeXt101, ViT)")
+		max      = flag.Int("max", 20, "maximum PipeStores to consider")
+		gbps     = flag.Float64("gbps", 10, "network line rate (Gbps)")
+		images   = flag.Int("images", 1_200_000, "training-set size")
+		nrun     = flag.Int("nrun", 3, "pipeline depth")
+		deadline = flag.Float64("deadline", 0, "if >0, also print the cheapest fleet meeting this training deadline (seconds)")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rec, err := apo.BestOrganization(apo.Config{
+		Base: ftdmp.Config{
+			Model:  m,
+			Cut:    m.LastFrozen(),
+			Images: *images,
+			Nrun:   *nrun,
+			Gbps:   *gbps,
+		},
+		MaxStores: *max,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("APO sweep for %s (%.0f Gbps, %d images, Nrun=%d)\n", m.Name, *gbps, *images, *nrun)
+	fmt.Printf("%-7s %-8s %12s %12s %10s %12s\n", "stores", "cut", "T_ps(s)", "T_tuner(s)", "Tdiff(s)", "train(s)")
+	for _, o := range rec.Options {
+		mark := " "
+		if o.Stores == rec.BestStores {
+			mark = "*"
+		}
+		fmt.Printf("%-7d %-8s %12.2f %12.2f %10.2f %12.2f %s\n",
+			o.Stores, o.CutName, o.StoreStageSec, o.TunerStageSec, o.TDiff, o.TotalSec, mark)
+	}
+	fmt.Printf("\nrecommended: %d PipeStores, partition at %s\n",
+		rec.BestStores, m.CutName(rec.BestCut))
+
+	if *deadline > 0 {
+		opt, err := apo.CheapestMeetingDeadline(apo.Config{
+			Base: ftdmp.Config{
+				Model:  m,
+				Cut:    m.LastFrozen(),
+				Images: *images,
+				Nrun:   *nrun,
+				Gbps:   *gbps,
+			},
+			MaxStores: *max,
+		}, *deadline, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cheapest fleet for a %.0fs deadline: %d x %s — %.1fs, $%.3f per job\n",
+			*deadline, opt.Stores, opt.CutName, opt.TotalSec, opt.USD)
+	}
+}

@@ -1,0 +1,73 @@
+// ndpipe-bench regenerates the paper's tables and figures from the ndpipe
+// substrates.
+//
+//	ndpipe-bench -exp fig13          # one experiment
+//	ndpipe-bench -all                # every experiment
+//	ndpipe-bench -all -quick         # smoke-test sizes
+//	ndpipe-bench -list               # available experiment IDs
+package main
+
+import (
+	stdcsv "encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ndpipe/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (fig4a..fig21, table1, table2)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		quick = flag.Bool("quick", false, "shrink workloads to smoke-test size")
+		seed  = flag.Int64("seed", 1, "random seed for accuracy experiments")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	params := experiments.Params{Seed: *seed, Quick: *quick}
+	reg := experiments.Registry()
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		if _, ok := reg[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := reg[id](params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			w := stdcsv.NewWriter(os.Stdout)
+			_ = w.Write(append([]string{"experiment"}, tbl.Header...))
+			for _, row := range tbl.Rows {
+				_ = w.Write(append([]string{tbl.ID}, row...))
+			}
+			w.Flush()
+		} else {
+			fmt.Print(tbl.String())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

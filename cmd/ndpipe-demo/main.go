@@ -1,0 +1,91 @@
+// ndpipe-demo is the single-process analogue of the artifact appendix
+// (§A.5/A.6): it spins up a Tuner and N PipeStores over loopback TCP, runs
+// pipelined FT-DMP fine-tuning, distributes the model delta, and performs
+// near-data offline inference — printing the same style of expected output
+// the artifact documents.
+//
+//	ndpipe-demo -stores 3 -nrun 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/tuner"
+)
+
+func main() {
+	var (
+		stores = flag.Int("stores", 3, "number of PipeStores")
+		nrun   = flag.Int("nrun", 3, "pipelined FT-DMP runs")
+		images = flag.Int("images", 6000, "photo-world population")
+		seed   = flag.Int64("seed", 1, "world seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(*seed)
+	wcfg.InitialImages = *images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := tuner.New(cfg)
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer ln.Close()
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, *stores) }()
+
+	shards := world.Shard(*stores)
+	for i := 0; i < *stores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("ps-%d", i), cfg)
+		check(err)
+		check(ps.Ingest(shards[i]))
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		check(err)
+		go func() { _ = ps.Serve(conn) }()
+	}
+	check(<-accepted)
+	fmt.Printf("NDPipe demo: %d PipeStores x %d photos, Tuner at %s\n",
+		*stores, world.NumImages() / *stores, ln.Addr())
+
+	// Baseline accuracy before any training.
+	test := world.FreshTestSet(1200)
+	b1, b5 := tn.Evaluate(test, 5)
+	fmt.Printf("model v0 accuracy: top-1 %.2f%%  top-5 %.2f%%\n", 100*b1, 100*b5)
+
+	start := time.Now()
+	rep, err := tn.FineTune(*nrun, 128, ftdmp.DefaultTrainOptions())
+	check(err)
+	ft := time.Since(start).Seconds()
+	fmt.Printf("Feature extraction throughput (image/sec): %.2f\n", float64(rep.Images)/ft)
+	fmt.Printf("Overall fine-tuning time (sec): %.2f\n", ft)
+	fmt.Printf("Check-N-Run delta: %d B (%.1fx smaller than the full model)\n",
+		rep.DeltaBytes, rep.TrafficReduction())
+
+	a1, a5 := tn.Evaluate(test, 5)
+	fmt.Printf("model v%d accuracy: top-1 %.2f%%  top-5 %.2f%%\n", rep.ModelVersion, 100*a1, 100*a5)
+
+	start = time.Now()
+	st, err := tn.OfflineInference(128)
+	check(err)
+	inf := time.Since(start).Seconds()
+	fmt.Printf("[NDPipe] inference time: %.2fsec\n", inf)
+	fmt.Printf("[NDPipe] inference throughput: %.2fIPS\n", float64(st.Total)/inf)
+	fmt.Printf("[NDPipe] label database: %d entries, %.2f%% relabeled by v%d\n",
+		tn.DB().Len(), 100*st.FixedFrac, st.ModelVersion)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndpipe-demo:", err)
+		os.Exit(1)
+	}
+}

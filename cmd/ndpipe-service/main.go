@@ -1,0 +1,94 @@
+// ndpipe-service runs the complete photo system (Fig 3) against a synthetic
+// workload trace: uploads flow through the online inference server into the
+// PipeStores, the continuous-training policy fires as data accumulates, and
+// searches hit the label index throughout.
+//
+//	ndpipe-service -stores 3 -uploads 4000 -retrain-every 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/service"
+	"ndpipe/internal/trace"
+)
+
+func main() {
+	var (
+		stores  = flag.Int("stores", 3, "number of PipeStores")
+		uploads = flag.Int("uploads", 4000, "uploads in the trace")
+		every   = flag.Int("retrain-every", 1500, "retrain after this many uploads (0=off)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	wcfg := dataset.DefaultConfig(*seed)
+	wcfg.InitialImages = *uploads
+	world := dataset.NewWorld(wcfg)
+
+	policy := service.DefaultPolicy()
+	policy.RetrainEveryUploads = *every
+	svc, err := service.Start(core.DefaultModelConfig(), *stores, policy)
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+
+	tcfg := trace.DefaultConfig(*seed)
+	tcfg.Classes = world.MaxClasses()
+	tcfg.Duration = float64(*uploads) / tcfg.UploadsPerSec * 2
+	events, err := trace.Generate(tcfg, world.Images())
+	if err != nil {
+		fatal(err)
+	}
+	stats := trace.Summarize(events)
+	fmt.Printf("replaying trace: %d uploads, %d searches over %.0fs of logical time\n",
+		stats.Uploads, stats.Searches, stats.Duration)
+
+	start := time.Now()
+	var searchHits int
+	err = trace.Replay(events,
+		func(img dataset.Image) error {
+			_, err := svc.Upload(img)
+			return err
+		},
+		func(label int) error {
+			searchHits += len(svc.Search(label))
+			return nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replay done in %.1fs: %d photos stored, %d retrain cycles, model v%d\n",
+		elapsed.Seconds(), svc.DB().Len(), svc.RetrainRounds(), svc.ModelVersion())
+	fmt.Printf("search results served: %d\n", searchHits)
+
+	test := world.FreshTestSet(1000)
+	top1, top5 := svc.Evaluate(test, 5)
+	fmt.Printf("live model accuracy: top-1 %.2f%%  top-5 %.2f%%\n", 100*top1, 100*top5)
+
+	correct, total := 0, 0
+	for _, img := range world.Images() {
+		if e, err := svc.DB().Get(img.ID); err == nil {
+			total++
+			if e.Label == img.Class {
+				correct++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Printf("label-index accuracy over %d stored photos: %.2f%%\n",
+			total, 100*float64(correct)/float64(total))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ndpipe-service:", err)
+	os.Exit(1)
+}

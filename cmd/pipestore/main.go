@@ -1,0 +1,67 @@
+// pipestore runs one NDPipe storage server: it materializes its shard of
+// the synthetic photo world (raw blobs + compressed preprocessed binaries),
+// connects to a Tuner, and serves near-data feature extraction and offline
+// inference until the Tuner disconnects.
+//
+//	pipestore -connect localhost:9230 -shard 0 -of 2 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/pipestore"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "localhost:9230", "tuner address")
+		id      = flag.String("id", "", "store ID (default ps-<shard>)")
+		shard   = flag.Int("shard", 0, "shard index held by this store")
+		of      = flag.Int("of", 1, "total number of shards")
+		seed    = flag.Int64("seed", 1, "photo-world seed (must match peers)")
+		images  = flag.Int("images", 6000, "world population size")
+	)
+	flag.Parse()
+	if *shard < 0 || *shard >= *of {
+		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, *of))
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("ps-%d", *shard)
+	}
+
+	wcfg := dataset.DefaultConfig(*seed)
+	wcfg.InitialImages = *images
+	world := dataset.NewWorld(wcfg)
+	shardImgs := world.Shard(*of)[*shard]
+
+	node, err := pipestore.New(*id, core.DefaultModelConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if err := node.Ingest(shardImgs); err != nil {
+		fatal(err)
+	}
+	u := node.Storage().Usage()
+	fmt.Printf("[%s] holding %d photos (%.1f MB raw, %.1f%% preproc overhead, %.1fx compression)\n",
+		*id, node.NumImages(), float64(u.RawBytes)/1e6, 100*u.OverheadFraction, u.CompressionRatio)
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("[%s] connected to tuner at %s\n", *id, *connect)
+	if err := node.Serve(conn); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("[%s] tuner disconnected, shutting down\n", *id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipestore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package ndpipe is a pure-Go reproduction of "NDPipe: Exploiting Near-data
+// Processing for Scalable Inference and Continuous Training in Photo
+// Storage" (ASPLOS 2024).
+//
+// The library lives under internal/ (see DESIGN.md for the full inventory):
+// a neural-network engine and drifting photo workload drive the paper's
+// accuracy experiments for real, while a calibrated discrete-event cluster
+// simulator reproduces the throughput/energy/cost evaluation. A runnable
+// distributed prototype (Tuner + PipeStores over TCP) mirrors the paper's
+// artifact.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/ndpipe-bench prints them at full size.
+package ndpipe

@@ -1,0 +1,72 @@
+// Cluster planning: use APO (§5.3) and the calibrated simulator to size an
+// NDPipe deployment before buying hardware — what-if analysis over models,
+// store counts, bandwidths and accelerators, with energy and cost.
+//
+//	go run ./examples/cluster-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndpipe/internal/apo"
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/cost"
+	"ndpipe/internal/energy"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/model"
+)
+
+func main() {
+	const images = 1_200_000
+
+	fmt.Println("APO recommendations (10 Gbps, 1.2M-image fine-tune):")
+	for _, m := range model.Zoo() {
+		rec, err := apo.BestOrganization(apo.Config{
+			Base:      ftdmp.Config{Model: m, Cut: m.LastFrozen(), Images: images, Nrun: 3},
+			MaxStores: 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := rec.Options[rec.BestStores-1]
+		fmt.Printf("  %-13s → %2d PipeStores at %-7s (train %.0fs, Tdiff %.1fs)\n",
+			m.Name, rec.BestStores, m.CutName(rec.BestCut), best.TotalSec, best.TDiff)
+	}
+
+	// What-if: ResNet50 at the recommended size — time, energy, dollars,
+	// on T4 PipeStores vs Inferentia PipeStores.
+	m := model.ResNet50()
+	fmt.Printf("\nWhat-if for %s:\n", m.Name)
+	for _, hw := range []struct {
+		name  string
+		store *cluster.Server
+	}{
+		{"T4 PipeStores", cluster.PipeStore(10)},
+		{"Inferentia PipeStores", cluster.PipeStoreInf1(10)},
+	} {
+		for _, n := range []int{4, 8, 16} {
+			cfg := ftdmp.Config{Model: m, Cut: m.LastFrozen(), Stores: n, Nrun: 3, Images: images, Store: hw.store}
+			res, err := ftdmp.Simulate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := energy.Compute([]energy.ServerLoad{
+				{Server: hw.store, Count: n, Duration: res.TotalSec,
+					AccelBusy: res.StoreGPUBusy, CPUBusy: res.StoreCPUBusy,
+					DiskBusy: res.StoreDiskBusy, CPUCoresUsed: 2},
+				{Server: cluster.Tuner(10), Duration: res.TotalSec,
+					AccelBusy: res.TunerGPUBusy, CPUBusy: res.TunerCPUBusy, CPUCoresUsed: 2},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			usd, err := cost.FineTuneNDPipe(hw.store, cluster.Tuner(10), n, res.TotalSec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22s n=%2d: %6.0fs  %7.0f IPS/kJ  $%.2f\n",
+				hw.name, n, res.TotalSec, energy.IPSPerKJ(images, rep), usd)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Media extensions: the §7.1 discussion in running code. NDPipe's pipeline
+// is media-agnostic once a preprocessor turns content into fixed-width
+// vectors; this example adapts it to video (key-frame extraction), audio
+// (spectrogram transformation) and documents (text embeddings), training a
+// small classifier on each near-data feature stream.
+//
+//	go run ./examples/media-extensions
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/media"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	video(rng)
+	audio(rng)
+	documents(rng)
+}
+
+// video: detect scene cuts and analyze only key frames.
+func video(rng *rand.Rand) {
+	const dim, frames = 24, 60
+	clip := &media.Video{}
+	scene := make([]float64, dim)
+	cuts := map[int]bool{20: true, 45: true}
+	for i := 0; i < frames; i++ {
+		if i == 0 || cuts[i] {
+			for j := range scene {
+				scene[j] = rng.NormFloat64() * 2
+			}
+		}
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = scene[j] + rng.NormFloat64()*0.02
+		}
+		clip.Frames = append(clip.Frames, f)
+	}
+	p := &media.VideoPreprocessor{FrameDim: dim, K: 3}
+	keys, err := p.Preprocess(media.EncodeVideo(clip))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video: %d frames → %d key frames at %v (true cuts: 0, 20, 45)\n",
+		frames, len(keys), media.KeyFrameIndices(clip, 3))
+}
+
+// audio: classify tones by genre-like frequency class via spectrograms.
+func audio(rng *rand.Rand) {
+	const window, bands, classes = 128, 16, 3
+	freqs := []float64{0.03, 0.12, 0.30} // three "genres"
+	sampleVec := func(c int) []float64 {
+		f := freqs[c] * (1 + rng.NormFloat64()*0.05)
+		sg := media.Spectrogram(media.Tone(f, window, 1+rng.NormFloat64()*0.1), window, bands)
+		return sg[0]
+	}
+	train := tensor.New(300, bands)
+	labels := make([]int, 300)
+	for i := 0; i < 300; i++ {
+		c := i % classes
+		labels[i] = c
+		copy(train.Row(i), sampleVec(c))
+	}
+	clf := nn.NewMLP("audio", []int{bands, 32, classes}, rng)
+	if _, err := ftdmp.FineTuneRuns(clf, []*dataset.Batch{{X: train, Labels: labels}}, ftdmp.DefaultTrainOptions()); err != nil {
+		log.Fatal(err)
+	}
+	test := tensor.New(90, bands)
+	tl := make([]int, 90)
+	for i := range tl {
+		c := i % classes
+		tl[i] = c
+		copy(test.Row(i), sampleVec(c))
+	}
+	top1, _ := nn.Accuracy(clf, test, tl, 1)
+	fmt.Printf("audio: 3-class tone classification via spectrograms: top-1 %.1f%%\n", 100*top1)
+}
+
+// documents: classify short texts by topic via hashed embeddings.
+func documents(rng *rand.Rand) {
+	const dim, classes = 48, 2
+	topics := [][]string{
+		{"storage server disk array throughput raid filesystem cache block volume latency",
+			"near data processing offload accelerator pipeline bandwidth network gpu inference"},
+		{"sunset beach holiday camera portrait family wedding smile vacation picnic",
+			"mountain hiking forest lake photo landscape travel snapshot album memories"},
+	}
+	sampleText := func(c int) string {
+		words := media.Tokenize(topics[c][rng.Intn(2)])
+		out := ""
+		for k := 0; k < 8; k++ {
+			out += words[rng.Intn(len(words))] + " "
+		}
+		return out
+	}
+	p := &media.DocumentPreprocessor{EmbedDim: dim}
+	mk := func(n int) (*tensor.Matrix, []int) {
+		x := tensor.New(n, dim)
+		l := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % classes
+			l[i] = c
+			vecs, err := p.Preprocess([]byte(sampleText(c)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			copy(x.Row(i), vecs[0])
+		}
+		return x, l
+	}
+	x, l := mk(240)
+	clf := nn.NewMLP("doc", []int{dim, 32, classes}, rng)
+	if _, err := ftdmp.FineTuneRuns(clf, []*dataset.Batch{{X: x, Labels: l}}, ftdmp.DefaultTrainOptions()); err != nil {
+		log.Fatal(err)
+	}
+	tx, tl := mk(80)
+	top1, _ := nn.Accuracy(clf, tx, tl, 1)
+	fmt.Printf("documents: 2-topic classification via hashed embeddings: top-1 %.1f%%\n", 100*top1)
+}

@@ -1,0 +1,3 @@
+module ndpipe
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package apo implements the Automated model Partitioning and Organization
+// tool (§5.3, Algorithm 1). Given a DNN architecture, the hardware of the
+// PipeStores and Tuner, and the network bandwidth, APO picks
+//
+//  1. the best partition point for each candidate store count
+//     (FindBestPoint: the cut minimizing predicted training time, with the
+//     trainable tail pinned to the Tuner so no weight sync is needed), and
+//  2. the number of PipeStores whose Store-/Tuner-stage times balance
+//     (minimum |T_ps − T_tuner|), which maximizes throughput-per-joule by
+//     avoiding pipeline bubbles and idle stores.
+package apo
+
+import (
+	"fmt"
+
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/model"
+)
+
+// Option is APO's evaluation of one PipeStore count.
+type Option struct {
+	Stores        int
+	Cut           model.Cut
+	CutName       string
+	StoreStageSec float64 // T_ps
+	TunerStageSec float64 // T_tuner
+	TDiff         float64
+	TotalSec      float64
+}
+
+// Recommendation is Algorithm 1's output plus the full sweep for reporting.
+type Recommendation struct {
+	BestStores int
+	BestCut    model.Cut
+	Options    []Option // one per store count 1..MaxStores
+}
+
+// Config parameterizes the search; zero fields default as in ftdmp.Config.
+type Config struct {
+	Base      ftdmp.Config // Model, Gbps, hardware, Images, Nrun, batch
+	MaxStores int          // N^max_ps (Algorithm 1 input)
+	// AllowSync permits cuts that offload trainable layers (disabled by
+	// default: FindBestPoint pins the trainable tail to the Tuner, §5.3).
+	AllowSync bool
+}
+
+// FindBestPoint returns the partition point minimizing predicted training
+// time for nStores PipeStores, together with the stage times at that point.
+func FindBestPoint(cfg Config, nStores int) (Option, error) {
+	if cfg.Base.Model == nil {
+		return Option{}, fmt.Errorf("apo: nil model")
+	}
+	m := cfg.Base.Model
+	maxCut := m.LastFrozen()
+	if cfg.AllowSync {
+		maxCut = model.Cut(len(m.Stages))
+	}
+	best := Option{TotalSec: -1}
+	for c := model.Cut(0); c <= maxCut; c++ {
+		fc := cfg.Base
+		fc.Cut = c
+		fc.Stores = nStores
+		res, err := ftdmp.Estimate(fc)
+		if err != nil {
+			return Option{}, err
+		}
+		if best.TotalSec < 0 || res.TotalSec < best.TotalSec {
+			best = Option{
+				Stores:        nStores,
+				Cut:           c,
+				CutName:       m.CutName(c),
+				StoreStageSec: res.StoreStageSec,
+				TunerStageSec: res.TunerStageSec,
+				TDiff:         res.TDiff,
+				TotalSec:      res.TotalSec,
+			}
+		}
+	}
+	return best, nil
+}
+
+// BestOrganization runs Algorithm 1: it sweeps N_ps from 1 to MaxStores,
+// calls FindBestPoint for each, and returns the store count with minimal
+// |T_ps − T_tuner|.
+func BestOrganization(cfg Config) (Recommendation, error) {
+	if cfg.MaxStores <= 0 {
+		cfg.MaxStores = 20
+	}
+	rec := Recommendation{}
+	tMin := -1.0
+	for n := 1; n <= cfg.MaxStores; n++ {
+		opt, err := FindBestPoint(cfg, n)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.Options = append(rec.Options, opt)
+		if tMin < 0 || opt.TDiff < tMin {
+			tMin = opt.TDiff
+			rec.BestStores = n
+			rec.BestCut = opt.Cut
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,114 @@
+package apo
+
+import (
+	"testing"
+
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/model"
+)
+
+func cfgFor(m *model.Spec) Config {
+	return Config{
+		Base:      ftdmp.Config{Model: m, Images: 120_000, Nrun: 3},
+		MaxStores: 20,
+	}
+}
+
+// TestAlgorithm1PicksEightForResNet50 reproduces the §5.3 example: APO
+// chooses 8 PipeStores for ResNet50 on this hardware.
+func TestAlgorithm1PicksEightForResNet50(t *testing.T) {
+	rec, err := BestOrganization(cfgFor(model.ResNet50()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BestStores < 7 || rec.BestStores > 10 {
+		t.Fatalf("APO picked %d stores, want ≈8", rec.BestStores)
+	}
+	if len(rec.Options) != 20 {
+		t.Fatalf("expected 20 options, got %d", len(rec.Options))
+	}
+}
+
+// TestFindBestPointPicksFeatureCut: with the trainable tail pinned to the
+// Tuner, the best cut for ResNet50 is +Conv5 (Fig 9).
+func TestFindBestPointPicksFeatureCut(t *testing.T) {
+	m := model.ResNet50()
+	opt, err := FindBestPoint(cfgFor(m), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cut != m.LastFrozen() {
+		t.Fatalf("best cut %s, want +Conv5", opt.CutName)
+	}
+	if opt.CutName != "+Conv5" {
+		t.Fatalf("cut name %q", opt.CutName)
+	}
+}
+
+// TestFindBestPointNeverPicksSyncCutEvenWhenAllowed: even with AllowSync,
+// the +FC cut should lose to +Conv5 under pipelined training.
+func TestFindBestPointNeverPicksSyncCutEvenWhenAllowed(t *testing.T) {
+	m := model.ResNet50()
+	cfg := cfgFor(m)
+	cfg.Base.Nrun = 3
+	cfg.AllowSync = true
+	opt, err := FindBestPoint(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SyncedParamBytes(opt.Cut) != 0 {
+		t.Fatalf("APO picked a sync-requiring cut %s", opt.CutName)
+	}
+}
+
+// TestTDiffShrinksTowardBalance: T_diff at the chosen store count must be
+// the sweep minimum, and training time must flatten beyond it (Fig 11).
+func TestTDiffShrinksTowardBalance(t *testing.T) {
+	rec, err := BestOrganization(cfgFor(model.ResNet50()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rec.Options[rec.BestStores-1]
+	for _, o := range rec.Options {
+		if o.TDiff < best.TDiff {
+			t.Fatalf("store count %d has smaller TDiff than the pick", o.Stores)
+		}
+	}
+	last := rec.Options[len(rec.Options)-1]
+	if best.TotalSec/last.TotalSec > 1.3 {
+		t.Fatalf("time beyond the balance point should be ≈flat: %v vs %v",
+			best.TotalSec, last.TotalSec)
+	}
+}
+
+// TestBigModelsWantMoreOrEqualStores: per Fig 15, compute-heavy models keep
+// scaling longer, so APO should not pick fewer stores for ResNeXt101 than
+// for ResNet50.
+func TestBigModelsWantMoreOrEqualStores(t *testing.T) {
+	r50, err := BestOrganization(cfgFor(model.ResNet50()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := BestOrganization(cfgFor(model.ResNeXt101()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.BestStores < r50.BestStores {
+		t.Fatalf("ResNeXt101 picked %d < ResNet50's %d", rx.BestStores, r50.BestStores)
+	}
+}
+
+func TestDefaultsAndErrors(t *testing.T) {
+	if _, err := BestOrganization(Config{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+	cfg := cfgFor(model.ViT())
+	cfg.MaxStores = 0 // defaults to 20
+	rec, err := BestOrganization(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Options) != 20 {
+		t.Fatalf("default MaxStores should be 20, got %d options", len(rec.Options))
+	}
+}

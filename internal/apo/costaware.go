@@ -1,0 +1,80 @@
+package apo
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/cost"
+	"ndpipe/internal/ftdmp"
+)
+
+// CostOption extends an APO option with its dollar cost.
+type CostOption struct {
+	Option
+	USD float64
+}
+
+// CheapestMeetingDeadline extends Algorithm 1 with the §7.2 cost lens: it
+// sweeps fleet sizes (and optionally accelerator types) and returns the
+// cheapest configuration whose predicted training time meets the deadline.
+// Idle over-provisioned stores cost money, so the answer is usually *not*
+// the fastest configuration.
+func CheapestMeetingDeadline(cfg Config, deadlineSec float64, hardware []*cluster.Server) (CostOption, error) {
+	if deadlineSec <= 0 {
+		return CostOption{}, fmt.Errorf("apo: deadline must be positive")
+	}
+	if cfg.MaxStores <= 0 {
+		cfg.MaxStores = 20
+	}
+	if len(hardware) == 0 {
+		hardware = []*cluster.Server{cluster.PipeStore(10), cluster.PipeStoreInf1(10)}
+	}
+	tuner := cfg.Base.Tuner
+	if tuner == nil {
+		tuner = cluster.Tuner(10)
+	}
+	best := CostOption{USD: -1}
+	for _, hw := range hardware {
+		for n := 1; n <= cfg.MaxStores; n++ {
+			c := cfg
+			c.Base.Store = hw
+			opt, err := FindBestPoint(c, n)
+			if err != nil {
+				return CostOption{}, err
+			}
+			if opt.TotalSec > deadlineSec {
+				continue
+			}
+			usd, err := cost.FineTuneNDPipe(hw, tuner, n, opt.TotalSec)
+			if err != nil {
+				return CostOption{}, err
+			}
+			if best.USD < 0 || usd < best.USD {
+				best = CostOption{Option: opt, USD: usd}
+				best.CutName = hw.Name + " " + opt.CutName
+			}
+		}
+	}
+	if best.USD < 0 {
+		return CostOption{}, fmt.Errorf("apo: no configuration (≤%d stores) meets a %.0fs deadline", cfg.MaxStores, deadlineSec)
+	}
+	return best, nil
+}
+
+// DeadlineCurve evaluates the cheapest feasible cost across a range of
+// deadlines — the planning view of the Fig 21 cost/performance trade.
+func DeadlineCurve(cfg Config, deadlines []float64, hardware []*cluster.Server) ([]CostOption, error) {
+	out := make([]CostOption, 0, len(deadlines))
+	for _, d := range deadlines {
+		opt, err := CheapestMeetingDeadline(cfg, d, hardware)
+		if err != nil {
+			// Infeasible deadlines yield a zero-valued marker.
+			out = append(out, CostOption{})
+			continue
+		}
+		out = append(out, opt)
+	}
+	return out, nil
+}
+
+var _ = ftdmp.Config{} // keep the ftdmp dependency explicit for godoc

@@ -1,0 +1,76 @@
+package apo
+
+import (
+	"strings"
+	"testing"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/model"
+)
+
+func TestCheapestMeetingDeadlineBasics(t *testing.T) {
+	cfg := cfgFor(model.ResNet50())
+	// A generous deadline: something feasible and cheap must come back.
+	opt, err := CheapestMeetingDeadline(cfg, 600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.USD <= 0 || opt.TotalSec > 600 {
+		t.Fatalf("bad option: %+v", opt)
+	}
+	// A tighter deadline costs at least as much.
+	tight, err := CheapestMeetingDeadline(cfg, 120, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TotalSec > 120 {
+		t.Fatalf("deadline violated: %v", tight.TotalSec)
+	}
+	if tight.USD+1e-9 < opt.USD {
+		t.Fatalf("tighter deadline cheaper: %.3f vs %.3f", tight.USD, opt.USD)
+	}
+}
+
+func TestImpossibleDeadline(t *testing.T) {
+	cfg := cfgFor(model.ViT())
+	if _, err := CheapestMeetingDeadline(cfg, 1, nil); err == nil {
+		t.Fatal("1-second deadline must be infeasible")
+	}
+	if _, err := CheapestMeetingDeadline(cfg, -5, nil); err == nil {
+		t.Fatal("negative deadline must error")
+	}
+}
+
+func TestInferentiaWinsRelaxedDeadlines(t *testing.T) {
+	// With a loose deadline the cheaper Inferentia stores should win; the
+	// T4 fleet only earns its price under pressure.
+	cfg := cfgFor(model.ResNet50())
+	relaxed, err := CheapestMeetingDeadline(cfg, 3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(relaxed.CutName, "Inf1") {
+		t.Fatalf("relaxed deadline should pick Inferentia, got %q ($%.3f)", relaxed.CutName, relaxed.USD)
+	}
+}
+
+func TestDeadlineCurveMonotone(t *testing.T) {
+	cfg := cfgFor(model.ResNet50())
+	curve, err := DeadlineCurve(cfg, []float64{60, 120, 300, 900}, []*cluster.Server{cluster.PipeStore(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for i, opt := range curve {
+		if opt.USD == 0 {
+			continue // infeasible marker
+		}
+		if prev > 0 && opt.USD > prev+1e-9 {
+			t.Fatalf("cost must not rise with looser deadlines: point %d %.3f > %.3f", i, opt.USD, prev)
+		}
+		prev = opt.USD
+	}
+	if prev < 0 {
+		t.Fatal("no feasible point on the curve")
+	}
+}

@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ndpipe/internal/model"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tol {
+		t.Fatalf("%s = %.1f, want ≈%.1f (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestFig5OfflineInferenceAnchors: Typical ≈94 IPS, Ideal ≈123 IPS (§3.4).
+func TestFig5OfflineInferenceAnchors(t *testing.T) {
+	m := model.ResNet50()
+	typ, err := InferenceIPS(Typical, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := InferenceIPS(Ideal, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Typical", typ, 94, 0.10)
+	approx(t, "Ideal", ideal, 123, 0.05)
+	if typ >= ideal {
+		t.Fatal("Typical must trail Ideal")
+	}
+}
+
+// TestFig5FineTuneGap: the Typical system trains ≈3.7× slower than Ideal.
+func TestFig5FineTuneGap(t *testing.T) {
+	m := model.ResNet50()
+	typ, err := FineTuneIPS(Typical, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := FineTuneIPS(Ideal, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Ideal/Typical", ideal/typ, 3.7, 0.15)
+}
+
+// TestFig13CrossingPoints: a PipeStore delivers 2,129 IPS for ResNet50, so
+// SRV-P/SRV-C/SRV-I must sit at ≈1 / ≈4 / ≈5.5 PipeStore-equivalents (the
+// paper's P1/P2/P3 bands of 1–7 / 4–7 / 5–7 stores).
+func TestFig13CrossingPoints(t *testing.T) {
+	m := model.ResNet50()
+	const psIPS = 2129.0
+	p, _ := InferenceIPS(SRVP, m, 10)
+	c, _ := InferenceIPS(SRVC, m, 10)
+	i, _ := InferenceIPS(SRVI, m, 10)
+	if x := p / psIPS; x < 0.7 || x > 2 {
+		t.Fatalf("P1 at %.1f stores, want ≈1", x)
+	}
+	if x := c / psIPS; x < 3 || x > 7 {
+		t.Fatalf("P2 at %.1f stores, want 4–7", x)
+	}
+	if x := i / psIPS; x < 5 || x > 7 {
+		t.Fatalf("P3 at %.1f stores, want 5–7", x)
+	}
+	if !(p < c && c < i) {
+		t.Fatalf("ordering must be SRV-P < SRV-C < SRV-I: %v %v %v", p, c, i)
+	}
+}
+
+// TestResNeXtGPUBound: for the big models, SRV-I/C/P converge because two
+// V100s are the bottleneck (§6.2: "SRV-I, SRV-C, and SRV-P show similar
+// throughputs" for ResNeXt101 and ViT).
+func TestResNeXtGPUBound(t *testing.T) {
+	m := model.ResNeXt101()
+	p, _ := InferenceIPS(SRVP, m, 10)
+	c, _ := InferenceIPS(SRVC, m, 10)
+	i, _ := InferenceIPS(SRVI, m, 10)
+	if i/p > 1.5 {
+		t.Fatalf("ResNeXt101 SRV systems should be similar (GPU-bound): P=%.0f C=%.0f I=%.0f", p, c, i)
+	}
+	if i/c > 1.2 {
+		t.Fatalf("SRV-C ≈ SRV-I for ResNeXt101: %v vs %v", c, i)
+	}
+}
+
+// TestFig18SRVCBandwidthSweep: SRV-C scales 1→10→20 Gbps then flattens
+// (decompression-bound beyond 20 Gbps).
+func TestFig18SRVCBandwidthSweep(t *testing.T) {
+	m := model.ResNet50()
+	var ips []float64
+	for _, g := range []float64{1, 10, 20, 40} {
+		v, err := InferenceIPS(SRVC, m, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ips = append(ips, v)
+	}
+	if !(ips[0] < ips[1] && ips[1] < ips[2]) {
+		t.Fatalf("SRV-C should improve up to 20 Gbps: %v", ips)
+	}
+	if ips[3] > ips[2]*1.01 {
+		t.Fatalf("SRV-C must flatten beyond 20 Gbps: %v", ips)
+	}
+	// And it must be decompression-bound there, below the GPU ceiling.
+	i, _ := InferenceIPS(SRVI, m, 40)
+	if ips[3] >= i {
+		t.Fatalf("flat region should sit under the GPU bound: %v vs %v", ips[3], i)
+	}
+}
+
+// TestFig6FineTunePhases: naive NDP eliminates transfer, pays ≈1.3–1.4× in
+// FE&CT on low-end GPUs, and suffers a weight-sync blow-up of tens of ×.
+func TestFig6FineTunePhases(t *testing.T) {
+	m := model.ResNet50()
+	typ := TypicalFineTunePhases(m, 10)
+	ndp, err := NaiveNDPFineTunePhases(m, 10, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndp.DataTrans != 0 {
+		t.Fatal("NDP must not transfer data")
+	}
+	ratio := ndp.FECT / typ.FECT
+	if ratio < 1.1 || ratio > 1.7 {
+		t.Fatalf("NDP FE&CT ratio %.2f, want ≈1.36", ratio)
+	}
+	syncRatio := ndp.WeightSync / typ.WeightSync
+	if syncRatio < 30 {
+		t.Fatalf("NDP weight sync should blow up ≫ Typical: ratio %.0f", syncRatio)
+	}
+	if typ.Total() <= 0 || ndp.Total() <= 0 {
+		t.Fatal("totals must be positive")
+	}
+}
+
+// TestFig6InferencePhases: naive NDP kills the transfer but preprocessing
+// with one core per store becomes the new bottleneck.
+func TestFig6InferencePhases(t *testing.T) {
+	m := model.ResNet50()
+	typ := TypicalInferencePhases(m, 10)
+	ndp, err := NaiveNDPInferencePhases(m, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndp.DataTrans != 0 {
+		t.Fatal("NDP must not transfer data")
+	}
+	if ndp.Preproc <= typ.Preproc {
+		t.Fatalf("NDP preprocessing must be worse: %.4f vs %.4f", ndp.Preproc, typ.Preproc)
+	}
+	if ndp.Preproc < ndp.Read || ndp.Preproc < ndp.FECl {
+		t.Fatal("NDP bottleneck must be preprocessing")
+	}
+}
+
+// TestWeightSyncLinearInStores (§4.1: sync costs grow linearly with stores).
+func TestWeightSyncLinearInStores(t *testing.T) {
+	m := model.ResNet50()
+	var per []float64
+	for _, n := range []int{2, 4, 8} {
+		ips, err := NaiveNDPFineTune(m, 10, n, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per = append(per, ips/float64(n))
+	}
+	if !(per[0] > per[1] && per[1] > per[2]) {
+		t.Fatalf("per-store efficiency must fall as sync grows: %v", per)
+	}
+}
+
+func TestNaiveNDPFineTuneScalesSublinearly(t *testing.T) {
+	m := model.ResNet50()
+	i4, _ := NaiveNDPFineTune(m, 10, 4, 512)
+	i16, _ := NaiveNDPFineTune(m, 10, 16, 512)
+	if i16/i4 >= 3.9 {
+		t.Fatalf("4→16 stores speedup %.2f should be clearly sublinear", i16/i4)
+	}
+	if i16 <= i4 {
+		t.Fatal("more stores should still help somewhat")
+	}
+}
+
+func TestInvalidSystems(t *testing.T) {
+	m := model.ResNet50()
+	if _, err := InferenceIPS(NaiveNDP, m, 10); err == nil {
+		t.Fatal("NaiveNDP is not a centralized inference system")
+	}
+	if _, err := FineTuneIPS(SRVI, m, 10); err == nil {
+		t.Fatal("SRV-I is not a fine-tuning baseline")
+	}
+	if _, err := NaiveNDPFineTune(m, 10, 0, 0); err == nil {
+		t.Fatal("zero stores must error")
+	}
+	if _, err := NaiveNDPInferencePhases(m, 10, 0); err == nil {
+		t.Fatal("zero stores must error")
+	}
+	if _, err := NaiveNDPFineTunePhases(m, 10, 0, 0); err == nil {
+		t.Fatal("zero stores must error")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	names := map[System]string{
+		SRVI: "SRV-I", SRVP: "SRV-P", SRVC: "SRV-C",
+		Typical: "Typical", Ideal: "Ideal", NaiveNDP: "NDP",
+	}
+	for sys, want := range names {
+		if sys.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", sys, sys.String(), want)
+		}
+	}
+	if System(99).String() == "" {
+		t.Fatal("unknown system should still render")
+	}
+}

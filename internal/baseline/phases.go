@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/model"
+	"ndpipe/internal/npe"
+)
+
+// FineTunePhases is the Fig 6(a) per-image breakdown: reading images,
+// transferring them, feature extraction + classifier training, and weight
+// synchronization. Times are aggregate per-image seconds.
+type FineTunePhases struct {
+	Read       float64
+	DataTrans  float64
+	FECT       float64
+	WeightSync float64
+}
+
+// Total returns the serial per-image time.
+func (p FineTunePhases) Total() float64 { return p.Read + p.DataTrans + p.FECT + p.WeightSync }
+
+// InferencePhases is the Fig 6(b) per-image breakdown.
+type InferencePhases struct {
+	Read      float64
+	DataTrans float64
+	Preproc   float64
+	FECl      float64
+}
+
+// Total returns the serial per-image time.
+func (p InferencePhases) Total() float64 { return p.Read + p.DataTrans + p.Preproc + p.FECl }
+
+// TypicalFineTunePhases breaks down the §3.4 Typical fine-tuning loop
+// (stores is the NaiveNDP store count used for the NDP comparison column).
+func TypicalFineTunePhases(m *model.Spec, gbps float64) FineTunePhases {
+	host := cluster.SRVHost(gbps)
+	storage := cluster.StorageServer(gbps)
+	readAgg := float64(StorageServers) * storage.Disk.ReadBps
+	gpuPlain := host.TrainIPS(m, m.TotalGFLOPs()+3*m.TrainableGFLOPs())
+	// Local two-GPU sync over PCIe per iteration, amortized over the batch.
+	const pcieBps, batch = 12e9, 512
+	return FineTunePhases{
+		Read:       float64(m.PreprocBytes()) / readAgg,
+		DataTrans:  float64(m.PreprocBytes())/host.Net.Bps + FetchRTT,
+		FECT:       1 / gpuPlain,
+		WeightSync: 2 * float64(m.TrainableParamBytes()) / pcieBps / batch,
+	}
+}
+
+// NaiveNDPFineTunePhases breaks down fine-tuning on the naive NDP setup:
+// local reads, no transfer, FE&CT on the stores' accelerators, and
+// cross-store weight synchronization every iteration (§4.1).
+func NaiveNDPFineTunePhases(m *model.Spec, gbps float64, stores, batchPerStore int) (FineTunePhases, error) {
+	if stores <= 0 {
+		return FineTunePhases{}, fmt.Errorf("baseline: need stores")
+	}
+	if batchPerStore <= 0 {
+		batchPerStore = 512
+	}
+	ps := cluster.PipeStore(gbps)
+	perStore := 1 / ps.TrainIPS(m, m.TotalGFLOPs()+3*m.TrainableGFLOPs())
+	sync := (2*float64(m.TrainableParamBytes())*float64(stores)/(ps.Net.Bps*ftdmp.SyncGoodputFrac) +
+		ftdmp.SyncBarrierS) / float64(batchPerStore)
+	return FineTunePhases{
+		Read:       float64(m.PreprocBytes()) / ps.Disk.ReadBps / float64(stores),
+		DataTrans:  0,
+		FECT:       perStore / float64(stores),
+		WeightSync: sync / float64(stores),
+	}, nil
+}
+
+// TypicalInferencePhases breaks down the §3.4 Typical offline-inference
+// path (per aggregate image).
+func TypicalInferencePhases(m *model.Spec, gbps float64) InferencePhases {
+	host := cluster.SRVHost(gbps)
+	storage := cluster.StorageServer(gbps)
+	readAgg := float64(StorageServers) * storage.Disk.ReadBps
+	return InferencePhases{
+		Read:      float64(m.RawBytes) / readAgg,
+		DataTrans: float64(m.RawBytes) / host.Net.Bps,
+		Preproc:   1 / (float64(PreprocPoolCores) * host.CPU.PreprocIPS),
+		FECl:      1 / (host.InferIPS(m, m.TotalGFLOPs()) * npeBatchEff()),
+	}
+}
+
+// NaiveNDPInferencePhases breaks down naive-NDP offline inference per
+// aggregate image across `stores` stores (single preprocessing core each,
+// §4.2).
+func NaiveNDPInferencePhases(m *model.Spec, gbps float64, stores int) (InferencePhases, error) {
+	if stores <= 0 {
+		return InferencePhases{}, fmt.Errorf("baseline: need stores")
+	}
+	ps := cluster.PipeStore(gbps)
+	st, err := npe.StageTimes(ps, m, m.TotalGFLOPs(), npe.OfflineInference, npe.Naive())
+	if err != nil {
+		return InferencePhases{}, err
+	}
+	n := float64(stores)
+	return InferencePhases{
+		Read:      st.Read / n,
+		DataTrans: 0,
+		Preproc:   st.Preproc / n,
+		FECl:      st.FE / n,
+	}, nil
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/model"
+)
+
+// Property: for every model, inference throughput of the network-fed
+// systems is non-decreasing in bandwidth, and SRV-I never loses to SRV-P
+// or SRV-C (it has strictly fewer constraints).
+func TestBandwidthAndOrderingProperty(t *testing.T) {
+	zoo := model.Zoo()
+	f := func(modelIdx uint8) bool {
+		m := zoo[int(modelIdx)%len(zoo)]
+		var prevP, prevC float64
+		for _, g := range []float64{1, 5, 10, 20, 40} {
+			p, err := InferenceIPS(SRVP, m, g)
+			if err != nil {
+				return false
+			}
+			c, err := InferenceIPS(SRVC, m, g)
+			if err != nil {
+				return false
+			}
+			i, err := InferenceIPS(SRVI, m, g)
+			if err != nil {
+				return false
+			}
+			if p < prevP-1e-9 || c < prevC-1e-9 {
+				return false // bandwidth hurt
+			}
+			prevP, prevC = p, c
+			if i+1e-9 < p || i+1e-9 < c {
+				return false // the ideal system lost
+			}
+			if c+1e-9 < p {
+				return false // compression hurt at equal bandwidth
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: naive NDP fine-tuning throughput is increasing in store count
+// but per-store efficiency strictly decreases (the §4.1 scaling limit).
+func TestNaiveNDPScalingProperty(t *testing.T) {
+	f := func(modelIdx uint8) bool {
+		m := model.Zoo()[int(modelIdx)%len(model.Zoo())]
+		var prevTotal, prevPer float64
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			ips, err := NaiveNDPFineTune(m, 10, n, 512)
+			if err != nil {
+				return false
+			}
+			per := ips / float64(n)
+			if ips < prevTotal {
+				return false
+			}
+			if prevPer > 0 && per >= prevPer {
+				return false
+			}
+			prevTotal, prevPer = ips, per
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: phase breakdowns are internally consistent — all components
+// non-negative and the serial total equals their sum.
+func TestPhaseConsistencyProperty(t *testing.T) {
+	f := func(modelIdx, storesRaw uint8) bool {
+		m := model.Zoo()[int(modelIdx)%len(model.Zoo())]
+		stores := 1 + int(storesRaw)%15
+		ft := TypicalFineTunePhases(m, 10)
+		if ft.Read < 0 || ft.DataTrans < 0 || ft.FECT < 0 || ft.WeightSync < 0 {
+			return false
+		}
+		if diff := ft.Total() - (ft.Read + ft.DataTrans + ft.FECT + ft.WeightSync); diff > 1e-12 || diff < -1e-12 {
+			return false
+		}
+		np, err := NaiveNDPFineTunePhases(m, 10, stores, 512)
+		if err != nil {
+			return false
+		}
+		ip, err := NaiveNDPInferencePhases(m, 10, stores)
+		if err != nil {
+			return false
+		}
+		return np.DataTrans == 0 && ip.DataTrans == 0 && np.Total() > 0 && ip.Total() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

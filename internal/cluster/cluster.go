@@ -1,0 +1,185 @@
+// Package cluster composes devices from the catalog into the server types
+// the paper deploys: PipeStores (g4dn.4xlarge + T4, or Inf1 + NeuronCore),
+// plain storage servers (GPU disabled), the Tuner (p3.2xlarge, one V100) and
+// the SRV host (p3.8xlarge, two V100s).
+package cluster
+
+import (
+	"fmt"
+
+	"ndpipe/internal/device"
+	"ndpipe/internal/model"
+)
+
+// Server is one machine: an optional accelerator plus CPU, disk and NIC.
+type Server struct {
+	Name   string
+	Accels []device.Accelerator // empty when the GPU is disabled
+	CPU    device.CPU
+	Disk   device.Storage
+	Net    device.NIC
+	// OtherWatts covers the paper's "Others" power bucket (PSU losses, SoC,
+	// fans, I/O) when the server is active; OtherIdleWatts when idle.
+	OtherWatts     float64
+	OtherIdleWatts float64
+	// HourlyUSD is the AWS on-demand price used by the cost model.
+	HourlyUSD float64
+}
+
+// PipeStore is a g4dn.4xlarge storage server with its T4 enabled.
+func PipeStore(gbps float64) *Server {
+	return &Server{
+		Name:           "PipeStore(T4)",
+		Accels:         []device.Accelerator{device.TeslaT4()},
+		CPU:            device.XeonStorage(),
+		Disk:           device.ST1Array(),
+		Net:            device.Ethernet(gbps),
+		OtherWatts:     85,
+		OtherIdleWatts: 55,
+		HourlyUSD:      1.204, // g4dn.4xlarge on-demand
+	}
+}
+
+// PipeStoreInf1 is the Inferentia variant (Inf1.2xlarge + st1).
+func PipeStoreInf1(gbps float64) *Server {
+	return &Server{
+		Name:           "PipeStore(Inf1)",
+		Accels:         []device.Accelerator{device.NeuronCoreV1()},
+		CPU:            device.XeonStorage(),
+		Disk:           device.ST1Array(),
+		Net:            device.Ethernet(gbps),
+		OtherWatts:     80,
+		OtherIdleWatts: 52,
+		HourlyUSD:      0.362, // inf1.2xlarge on-demand
+	}
+}
+
+// StorageServer is a g4dn.4xlarge with the GPU disabled (the SRV baselines).
+func StorageServer(gbps float64) *Server {
+	return &Server{
+		Name:           "StorageServer",
+		CPU:            device.XeonStorage(),
+		Disk:           device.ST1Array(),
+		Net:            device.Ethernet(gbps),
+		OtherWatts:     85,
+		OtherIdleWatts: 55,
+		HourlyUSD:      1.204,
+	}
+}
+
+// Tuner is a p3.2xlarge with one V100 and local NVMe scratch.
+func Tuner(gbps float64) *Server {
+	return &Server{
+		Name:           "Tuner",
+		Accels:         []device.Accelerator{device.TeslaV100()},
+		CPU:            device.XeonTuner(),
+		Disk:           device.NVMeLocal(),
+		Net:            device.Ethernet(gbps),
+		OtherWatts:     110,
+		OtherIdleWatts: 70,
+		HourlyUSD:      3.06, // p3.2xlarge on-demand
+	}
+}
+
+// SRVHost is a p3.8xlarge with two of its four V100s in use (§3.4, §6.1).
+func SRVHost(gbps float64) *Server {
+	return &Server{
+		Name: "SRVHost",
+		Accels: []device.Accelerator{
+			device.TeslaV100(), device.TeslaV100(),
+		},
+		CPU:            device.XeonHost(),
+		Disk:           device.NVMeLocal(),
+		Net:            device.Ethernet(gbps),
+		OtherWatts:     160,
+		OtherIdleWatts: 100,
+		HourlyUSD:      12.24, // p3.8xlarge on-demand
+	}
+}
+
+// HasAccel reports whether the server has at least one accelerator.
+func (s *Server) HasAccel() bool { return len(s.Accels) > 0 }
+
+// InferIPS returns the server's aggregate inference throughput (images/s)
+// for a *portion* of a model costing gflops per image, on the optimized
+// inference engine. It returns +Inf when gflops is zero (nothing to do) and
+// panics when the server has no accelerator.
+func (s *Server) InferIPS(m *model.Spec, gflops float64) float64 {
+	if !s.HasAccel() {
+		panic(fmt.Sprintf("cluster: %s has no accelerator", s.Name))
+	}
+	if gflops == 0 {
+		return inf()
+	}
+	var total float64
+	for _, a := range s.Accels {
+		total += m.InferEff * a.EffMult * a.TensorFLOPS / (gflops * 1e9)
+	}
+	return total
+}
+
+// TrainIPS returns the server's aggregate fine-tuning throughput for a model
+// portion costing gflops of *forward* work per image, on the training engine
+// (fp32). Backward+update for the trainable part roughly triples its cost,
+// which callers account for by passing 3× the trainable forward GFLOPs.
+func (s *Server) TrainIPS(m *model.Spec, gflops float64) float64 {
+	if !s.HasAccel() {
+		panic(fmt.Sprintf("cluster: %s has no accelerator", s.Name))
+	}
+	if gflops == 0 {
+		return inf()
+	}
+	var total float64
+	for _, a := range s.Accels {
+		total += m.TrainEff * a.TrainEffMult * a.FP32FLOPS / (gflops * 1e9)
+	}
+	return total
+}
+
+// ActiveWatts returns the server's power draw with the given component
+// utilizations in [0,1]: accelerator, CPU (fraction of cores busy), disk.
+// NIC and "Others" are folded into the active/idle other bucket.
+func (s *Server) ActiveWatts(accelUtil, cpuUtil, diskUtil float64) float64 {
+	accelUtil, cpuUtil, diskUtil = clamp01(accelUtil), clamp01(cpuUtil), clamp01(diskUtil)
+	w := s.OtherIdleWatts + (s.OtherWatts-s.OtherIdleWatts)*maxf(accelUtil, maxf(cpuUtil, diskUtil))
+	for _, a := range s.Accels {
+		w += a.IdleWatts + (a.ActiveWatts-a.IdleWatts)*clamp01(accelUtil)
+	}
+	w += s.CPU.IdleWatts + s.CPU.ActiveWattsPerCore*float64(s.CPU.Cores)*clamp01(cpuUtil)
+	w += s.Disk.IdleWatts + (s.Disk.ActiveWatts-s.Disk.IdleWatts)*clamp01(diskUtil)
+	w += s.Net.ActiveWatts
+	return w
+}
+
+// WattsBreakdown splits ActiveWatts into the paper's GPU / CPU / Others
+// buckets (Fig 14). Disk and NIC count as Others.
+func (s *Server) WattsBreakdown(accelUtil, cpuUtil, diskUtil float64) (gpu, cpu, others float64) {
+	accelUtil, cpuUtil, diskUtil = clamp01(accelUtil), clamp01(cpuUtil), clamp01(diskUtil)
+	for _, a := range s.Accels {
+		gpu += a.IdleWatts + (a.ActiveWatts-a.IdleWatts)*clamp01(accelUtil)
+	}
+	cpu = s.CPU.IdleWatts + s.CPU.ActiveWattsPerCore*float64(s.CPU.Cores)*clamp01(cpuUtil)
+	others = s.OtherIdleWatts + (s.OtherWatts-s.OtherIdleWatts)*maxf(accelUtil, maxf(cpuUtil, diskUtil)) +
+		s.Disk.IdleWatts + (s.Disk.ActiveWatts-s.Disk.IdleWatts)*clamp01(diskUtil) +
+		s.Net.ActiveWatts
+	return gpu, cpu, others
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func inf() float64 { return 1e300 }

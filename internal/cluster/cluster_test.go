@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"ndpipe/internal/model"
+)
+
+func TestServerConstructors(t *testing.T) {
+	ps := PipeStore(10)
+	if !ps.HasAccel() || ps.Accels[0].Name != "Tesla T4" {
+		t.Fatalf("PipeStore accel: %+v", ps.Accels)
+	}
+	if StorageServer(10).HasAccel() {
+		t.Fatal("storage server must have its GPU disabled")
+	}
+	srv := SRVHost(10)
+	if len(srv.Accels) != 2 {
+		t.Fatalf("SRV host should use two V100s, has %d", len(srv.Accels))
+	}
+	if PipeStoreInf1(10).Accels[0].Name != "NeuronCoreV1" {
+		t.Fatal("Inf1 store must carry a NeuronCore")
+	}
+	if Tuner(25).Net.Bps != 25e9/8 {
+		t.Fatal("NIC rate must follow the gbps argument")
+	}
+}
+
+func TestInferIPSAnchor(t *testing.T) {
+	ps := PipeStore(10)
+	m := model.ResNet50()
+	// Peak (batch-independent) rate: anchor/batchEff(128).
+	want := 2129 / (128.0 / 152.0)
+	got := ps.InferIPS(m, m.TotalGFLOPs())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("T4 peak IPS %.0f, want ≈%.0f", got, want)
+	}
+	// Two V100s ≈ 5.5 T4s.
+	srv := SRVHost(10)
+	ratio := srv.InferIPS(m, m.TotalGFLOPs()) / got
+	if ratio < 4.5 || ratio > 6.5 {
+		t.Fatalf("2xV100/T4 ratio %.2f, want ≈5.5", ratio)
+	}
+}
+
+func TestInferIPSZeroWorkIsInfinite(t *testing.T) {
+	ps := PipeStore(10)
+	if ips := ps.InferIPS(model.ResNet50(), 0); ips < 1e200 {
+		t.Fatalf("zero work should be unbounded, got %v", ips)
+	}
+}
+
+func TestInferIPSPanicsWithoutAccel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StorageServer(10).InferIPS(model.ResNet50(), 1)
+}
+
+func TestTrainIPSUsesTrainingEngine(t *testing.T) {
+	ps := PipeStore(10)
+	m := model.ResNet50()
+	train := ps.TrainIPS(m, m.TotalGFLOPs())
+	infer := ps.InferIPS(m, m.TotalGFLOPs())
+	if train >= infer {
+		t.Fatalf("training engine (%.0f) must be slower than the optimized inference engine (%.0f)", train, infer)
+	}
+}
+
+func TestActiveWattsMonotone(t *testing.T) {
+	ps := PipeStore(10)
+	idle := ps.ActiveWatts(0, 0, 0)
+	busy := ps.ActiveWatts(1, 0.5, 0.5)
+	if idle <= 0 || busy <= idle {
+		t.Fatalf("idle %.0f W, busy %.0f W", idle, busy)
+	}
+	// Clamping: silly utilizations don't explode.
+	if ps.ActiveWatts(5, 5, 5) != ps.ActiveWatts(1, 1, 1) {
+		t.Fatal("utilization must clamp to [0,1]")
+	}
+}
+
+func TestWattsBreakdownSumsToTotal(t *testing.T) {
+	srv := SRVHost(10)
+	g, c, o := srv.WattsBreakdown(0.7, 0.3, 0.2)
+	total := srv.ActiveWatts(0.7, 0.3, 0.2)
+	if math.Abs(g+c+o-total) > 1e-9 {
+		t.Fatalf("breakdown %v+%v+%v != %v", g, c, o, total)
+	}
+}

@@ -1,0 +1,172 @@
+// Package core is the shared heart of the NDPipe prototype: the model
+// configuration every node derives its networks from, and the float codecs
+// the storage/wire layers use for preprocessed binaries.
+//
+// FT-DMP requires every PipeStore to hold a bit-identical replica of the
+// weight-freeze backbone and a consistent replica of the classifier for
+// offline inference. Both are derived deterministically from ModelConfig,
+// so nodes never ship the backbone around — only Check-N-Run deltas of the
+// classifier ever cross the network.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ndpipe/internal/nn"
+)
+
+// BackboneKind selects the frozen feature extractor's architecture.
+type BackboneKind int
+
+const (
+	// BackboneMLP is the default dense extractor.
+	BackboneMLP BackboneKind = iota
+	// BackboneCNN treats the input as a 1×H×W image and extracts features
+	// with a frozen Conv2D + BatchNorm + global-average-pool stack — the
+	// convolutional analogue of the paper's weight-freeze conv groups.
+	// Requires InputDim to factor as CNNHeight×CNNWidth.
+	BackboneCNN
+)
+
+// ModelConfig pins down the model replicated across the deployment.
+type ModelConfig struct {
+	Seed           int64 // derives backbone and classifier initializations
+	InputDim       int   // raw image feature dimensionality
+	BackboneHidden int   // hidden width of the frozen feature extractor
+	FeatureDim     int   // embedding width (what PipeStores ship to the Tuner)
+	HeadHidden     int   // hidden width of the trainable classifier
+	Classes        int   // classifier output width
+
+	// Backbone selects the extractor architecture (default BackboneMLP).
+	Backbone BackboneKind
+	// CNNHeight/CNNWidth give the 2-D interpretation of the input for
+	// BackboneCNN; both default from InputDim (4×InputDim/4) when zero.
+	CNNHeight, CNNWidth int
+}
+
+// DefaultModelConfig matches the calibrated synthetic workload
+// (dataset.DefaultConfig).
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{
+		Seed:           42,
+		InputDim:       24,
+		BackboneHidden: 64,
+		FeatureDim:     32,
+		HeadHidden:     128,
+		Classes:        26,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ModelConfig) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"InputDim", c.InputDim},
+		{"BackboneHidden", c.BackboneHidden},
+		{"FeatureDim", c.FeatureDim},
+		{"HeadHidden", c.HeadHidden},
+		{"Classes", c.Classes},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("core: %s must be positive", v.name)
+		}
+	}
+	if c.Backbone == BackboneCNN {
+		h, w := c.cnnShape()
+		if h <= 0 || w <= 0 || h*w != c.InputDim {
+			return fmt.Errorf("core: CNN backbone needs CNNHeight×CNNWidth == InputDim (have %d×%d vs %d)", h, w, c.InputDim)
+		}
+		if _, err := c.newCNNBackbone(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// NewBackbone builds the frozen weight-freeze network. All nodes calling
+// this with the same config get bit-identical replicas.
+func (c ModelConfig) NewBackbone() *nn.Network {
+	if c.Backbone == BackboneCNN {
+		net, err := c.newCNNBackbone()
+		if err != nil {
+			panic(err) // Validate() rejects bad CNN geometry first
+		}
+		return net
+	}
+	return nn.NewFeatureExtractor(c.Seed, c.InputDim, c.BackboneHidden, c.FeatureDim)
+}
+
+// cnnShape resolves the input's 2-D interpretation.
+func (c ModelConfig) cnnShape() (h, w int) {
+	h, w = c.CNNHeight, c.CNNWidth
+	if h == 0 && w == 0 {
+		h = 4
+		w = c.InputDim / 4
+	}
+	return h, w
+}
+
+// newCNNBackbone builds the frozen convolutional extractor: Conv(3×3) →
+// BatchNorm(eval) → ReLU → Conv(3×3) → ReLU → global average pool → Dense
+// projection to FeatureDim.
+func (c ModelConfig) newCNNBackbone() (*nn.Network, error) {
+	h, w := c.cnnShape()
+	rng := rand.New(rand.NewSource(c.Seed + 2))
+	const ch1, ch2 = 8, 16
+	conv1, err := nn.NewConv2D("bb.conv1", 1, h, w, ch1, 3, 1, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	bn := nn.NewBatchNorm("bb.bn1", conv1.OutFloats())
+	bn.Train = false // frozen backbone: fixed normalization statistics
+	conv2, err := nn.NewConv2D("bb.conv2", ch1, h, w, ch2, 3, 1, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	proj := nn.NewDense("bb.proj", ch2, c.FeatureDim, rng)
+	net := &nn.Network{Layers: []nn.Layer{
+		conv1,
+		bn,
+		nn.NewReLU("bb.relu1"),
+		conv2,
+		nn.NewReLU("bb.relu2"),
+		nn.NewGlobalAvgPool2D("bb.pool", ch2, h, w),
+		proj,
+	}}
+	net.FreezeAll()
+	return net, nil
+}
+
+// NewClassifier builds the trainable head at its deterministic
+// initialization (the state model version 0 refers to).
+func (c ModelConfig) NewClassifier() *nn.Network {
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	return nn.NewMLP("clf", []int{c.FeatureDim, c.HeadHidden, c.Classes}, rng)
+}
+
+// EncodeFloats serializes a float64 vector little-endian — the preprocessed
+// binary format stored by photostore and decoded by the NPE pipeline.
+func EncodeFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+	}
+	return out
+}
+
+// DecodeFloats reverses EncodeFloats.
+func DecodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("core: preprocessed binary length %d not a multiple of 8", len(b))
+	}
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, nil
+}

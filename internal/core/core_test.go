@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultModelConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesZeros(t *testing.T) {
+	fields := []func(*ModelConfig){
+		func(c *ModelConfig) { c.InputDim = 0 },
+		func(c *ModelConfig) { c.BackboneHidden = 0 },
+		func(c *ModelConfig) { c.FeatureDim = -1 },
+		func(c *ModelConfig) { c.HeadHidden = 0 },
+		func(c *ModelConfig) { c.Classes = 0 },
+	}
+	for i, mutate := range fields {
+		c := DefaultModelConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestBackboneDeterministicAndFrozen(t *testing.T) {
+	cfg := DefaultModelConfig()
+	a, b := cfg.NewBackbone(), cfg.NewBackbone()
+	x := tensor.New(2, cfg.InputDim)
+	x.Fill(0.5)
+	ya, yb := a.Forward(x), b.Forward(x)
+	if tensor.MaxAbsDiff(ya, yb) != 0 {
+		t.Fatal("backbone replicas must be bit-identical")
+	}
+	if ya.Cols != cfg.FeatureDim {
+		t.Fatalf("backbone output width %d, want %d", ya.Cols, cfg.FeatureDim)
+	}
+	for _, p := range a.Params() {
+		if !p.Frozen {
+			t.Fatalf("backbone param %s not frozen", p.Name)
+		}
+	}
+}
+
+func TestClassifierDeterministicAndTrainable(t *testing.T) {
+	cfg := DefaultModelConfig()
+	a, b := cfg.NewClassifier(), cfg.NewClassifier()
+	sa, sb := a.TakeSnapshot(), b.TakeSnapshot()
+	for name, m := range sa {
+		if tensor.MaxAbsDiff(m, sb[name]) != 0 {
+			t.Fatalf("classifier replicas differ at %s", name)
+		}
+	}
+	if len(a.TrainableParams()) == 0 {
+		t.Fatal("classifier must be trainable")
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		got, err := DecodeFloats(EncodeFloats(v))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFloatsRejectsBadLength(t *testing.T) {
+	if _, err := DecodeFloats([]byte{1, 2, 3}); err == nil {
+		t.Fatal("length not multiple of 8 must error")
+	}
+}
+
+func TestCNNBackboneDeterministicAndFrozen(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.Backbone = BackboneCNN // 24 = 4×6 by default
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := cfg.NewBackbone(), cfg.NewBackbone()
+	x := tensor.New(3, cfg.InputDim)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) * 0.3
+	}
+	ya, yb := a.Forward(x), b.Forward(x)
+	if tensor.MaxAbsDiff(ya, yb) != 0 {
+		t.Fatal("CNN backbone replicas must agree bit-for-bit")
+	}
+	if ya.Cols != cfg.FeatureDim {
+		t.Fatalf("CNN backbone output width %d, want %d", ya.Cols, cfg.FeatureDim)
+	}
+	for _, p := range a.Params() {
+		if !p.Frozen {
+			t.Fatalf("CNN backbone param %s not frozen", p.Name)
+		}
+	}
+	// Batch invariance (the eval-mode BatchNorm must not couple samples).
+	single := tensor.New(1, cfg.InputDim)
+	copy(single.Row(0), x.Row(1))
+	ys := a.Forward(single)
+	for j := 0; j < cfg.FeatureDim; j++ {
+		if ys.At(0, j) != ya.At(1, j) {
+			t.Fatal("CNN backbone output depends on batch composition")
+		}
+	}
+}
+
+func TestCNNBackboneGeometryValidation(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.Backbone = BackboneCNN
+	cfg.CNNHeight, cfg.CNNWidth = 5, 5 // 25 != 24
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("mismatched CNN geometry must be rejected")
+	}
+}
+
+func TestCNNBackboneEndToEndService(t *testing.T) {
+	// The whole deployment works with a convolutional backbone.
+	cfg := DefaultModelConfig()
+	cfg.Backbone = BackboneCNN
+	bb := cfg.NewBackbone()
+	clf := cfg.NewClassifier()
+	full := nn.Stack(bb, clf)
+	if full.NumParams() == 0 {
+		t.Fatal("stacked model empty")
+	}
+	if len(full.TrainableParams()) == 0 {
+		t.Fatal("classifier must remain trainable")
+	}
+}

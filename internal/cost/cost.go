@@ -1,0 +1,54 @@
+// Package cost estimates operational cost in the style of the paper's AWS
+// pricing analysis (§7.2, Fig 21): instance-hours × on-demand price for
+// every server involved in a job.
+package cost
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+)
+
+// Item is one billed server group.
+type Item struct {
+	Server   *cluster.Server
+	Count    int
+	Duration float64 // seconds
+}
+
+// USD returns the total cost of the items.
+func USD(items []Item) (float64, error) {
+	var total float64
+	for _, it := range items {
+		if it.Server == nil {
+			return 0, fmt.Errorf("cost: nil server")
+		}
+		if it.Duration < 0 {
+			return 0, fmt.Errorf("cost: negative duration")
+		}
+		n := it.Count
+		if n <= 0 {
+			n = 1
+		}
+		total += it.Server.HourlyUSD * (it.Duration / 3600) * float64(n)
+	}
+	return total, nil
+}
+
+// FineTuneNDPipe prices an NDPipe fine-tuning job: N PipeStores + one Tuner
+// for its duration.
+func FineTuneNDPipe(store, tuner *cluster.Server, stores int, duration float64) (float64, error) {
+	return USD([]Item{
+		{Server: store, Count: stores, Duration: duration},
+		{Server: tuner, Count: 1, Duration: duration},
+	})
+}
+
+// FineTuneSRV prices the centralized baseline: the host plus its four
+// storage servers for the job duration.
+func FineTuneSRV(host, storage *cluster.Server, storageServers int, duration float64) (float64, error) {
+	return USD([]Item{
+		{Server: host, Count: 1, Duration: duration},
+		{Server: storage, Count: storageServers, Duration: duration},
+	})
+}

@@ -1,0 +1,75 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"ndpipe/internal/cluster"
+)
+
+func TestUSDBasics(t *testing.T) {
+	ps := cluster.PipeStore(10)
+	got, err := USD([]Item{{Server: ps, Count: 2, Duration: 3600}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * ps.HourlyUSD
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("USD = %v, want %v", got, want)
+	}
+}
+
+func TestUSDValidation(t *testing.T) {
+	if _, err := USD([]Item{{Server: nil, Duration: 1}}); err == nil {
+		t.Fatal("nil server must error")
+	}
+	if _, err := USD([]Item{{Server: cluster.Tuner(10), Duration: -1}}); err == nil {
+		t.Fatal("negative duration must error")
+	}
+}
+
+func TestFineTuneCostShrinksWithMoreStores(t *testing.T) {
+	// Fig 21(a): with few PipeStores the job runs long and costs more; more
+	// stores shorten it faster than they add hourly cost (until saturation).
+	store := cluster.PipeStore(10)
+	tuner := cluster.Tuner(10)
+	// Job duration ∝ 1/min(stores, 8) in the scaling region.
+	dur := func(stores int) float64 {
+		eff := stores
+		if eff > 8 {
+			eff = 8
+		}
+		return 4000 / float64(eff)
+	}
+	c2, err := FineTuneNDPipe(store, tuner, 2, dur(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := FineTuneNDPipe(store, tuner, 8, dur(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c20, err := FineTuneNDPipe(store, tuner, 20, dur(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8 >= c2 {
+		t.Fatalf("8 stores should be cheaper than 2: %v vs %v", c8, c2)
+	}
+	if c20 <= c8 {
+		t.Fatalf("idle stores beyond saturation must raise cost: %v vs %v", c20, c8)
+	}
+}
+
+func TestFineTuneSRV(t *testing.T) {
+	host := cluster.SRVHost(10)
+	storage := cluster.StorageServer(10)
+	got, err := FineTuneSRV(host, storage, 4, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := host.HourlyUSD + 4*storage.HourlyUSD
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SRV cost = %v, want %v", got, want)
+	}
+}

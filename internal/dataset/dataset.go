@@ -1,0 +1,334 @@
+// Package dataset synthesizes the photo-storage workload that NDPipe's
+// accuracy experiments need: a labelled population of "photos" whose class
+// distribution drifts day by day and gains brand-new categories over time.
+//
+// The paper's empirical setup (§3.2) grows the stored population by 1.78 %
+// per day, sends 5.3 % of new uploads to new categories, and observes model
+// accuracy decaying as the input distribution drifts. We reproduce exactly
+// that process synthetically:
+//
+//   - every class is a Gaussian cluster around a prototype vector on the
+//     unit sphere;
+//   - each simulated day the prototypes take a small random-walk step
+//     (concept drift) and the population grows;
+//   - some of the growth lands in previously unseen classes (outdated-label
+//     pressure).
+//
+// Image feature vectors are materialized at upload time from the prototype
+// of that day, so old photos keep their original appearance while the world
+// moves on — which is what makes models go stale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ndpipe/internal/tensor"
+)
+
+// Config parameterizes a synthetic photo world.
+type Config struct {
+	Seed           int64
+	InputDim       int     // raw feature dimensionality of an image
+	InitialClasses int     // classes present on day 0
+	MaxClasses     int     // total classes that may ever appear
+	InitialImages  int     // population size on day 0
+	ClusterStd     float64 // intra-class noise (higher = harder problem)
+	DriftStep      float64 // per-day prototype random-walk step length
+	DailyGrowth    float64 // fraction of population added each day (paper: 0.0178)
+	NewClassShare  float64 // share of new uploads in new categories (paper: 0.053)
+}
+
+// DefaultConfig mirrors the paper's growth parameters at laptop scale.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		InputDim:       24,
+		InitialClasses: 20,
+		MaxClasses:     26,
+		InitialImages:  6000,
+		ClusterStd:     0.24,
+		DriftStep:      0.02,
+		DailyGrowth:    0.0178,
+		NewClassShare:  0.053,
+	}
+}
+
+// Image is one stored photo: its identity, true class, upload day and the
+// feature vector it had when it was taken.
+type Image struct {
+	ID    uint64
+	Class int
+	Day   int
+	Feat  []float64
+}
+
+// Batch is a design-matrix view of a set of images.
+type Batch struct {
+	X      *tensor.Matrix
+	Labels []int
+	IDs    []uint64
+}
+
+// Len returns the number of samples in the batch.
+func (b *Batch) Len() int { return len(b.Labels) }
+
+// Slice returns the half-open sub-batch [lo, hi).
+func (b *Batch) Slice(lo, hi int) *Batch {
+	sub := &Batch{
+		X:      tensor.FromSlice(hi-lo, b.X.Cols, b.X.Data[lo*b.X.Cols:hi*b.X.Cols]),
+		Labels: b.Labels[lo:hi],
+	}
+	if b.IDs != nil {
+		sub.IDs = b.IDs[lo:hi]
+	}
+	return sub
+}
+
+// World is an evolving photo population.
+type World struct {
+	cfg    Config
+	rng    *rand.Rand
+	protos [][]float64 // MaxClasses prototypes (unit vectors), drifting
+	active int         // classes currently receiving uploads
+	images []Image
+	day    int
+	nextID uint64
+}
+
+// NewWorld creates a world at day 0 with the initial population uploaded.
+func NewWorld(cfg Config) *World {
+	if cfg.InitialClasses > cfg.MaxClasses {
+		panic(fmt.Sprintf("dataset: initial classes %d > max %d", cfg.InitialClasses, cfg.MaxClasses))
+	}
+	w := &World{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		active: cfg.InitialClasses,
+	}
+	w.protos = make([][]float64, cfg.MaxClasses)
+	for c := range w.protos {
+		w.protos[c] = randUnit(w.rng, cfg.InputDim)
+	}
+	for i := 0; i < cfg.InitialImages; i++ {
+		w.upload(w.rng.Intn(w.active))
+	}
+	return w
+}
+
+// Day returns the current simulated day.
+func (w *World) Day() int { return w.day }
+
+// NumImages returns the current population size.
+func (w *World) NumImages() int { return len(w.images) }
+
+// ActiveClasses returns the number of classes that have appeared so far.
+func (w *World) ActiveClasses() int { return w.active }
+
+// MaxClasses returns the total class capacity (classifier output width).
+func (w *World) MaxClasses() int { return w.cfg.MaxClasses }
+
+// InputDim returns the image feature dimensionality.
+func (w *World) InputDim() int { return w.cfg.InputDim }
+
+// Images returns the full stored population (shared slice; do not mutate).
+func (w *World) Images() []Image { return w.images }
+
+// upload materializes one new image of class c from today's prototype.
+func (w *World) upload(c int) Image {
+	feat := make([]float64, w.cfg.InputDim)
+	p := w.protos[c]
+	for j := range feat {
+		feat[j] = p[j] + w.rng.NormFloat64()*w.cfg.ClusterStd
+	}
+	img := Image{ID: w.nextID, Class: c, Day: w.day, Feat: feat}
+	w.nextID++
+	w.images = append(w.images, img)
+	return img
+}
+
+// AdvanceDay moves the world forward one day: prototypes drift, the
+// population grows by DailyGrowth, and NewClassShare of the new uploads go
+// to not-yet-active classes (activating them on demand).
+//
+// Drift is modeled as a slow rotation of the whole class constellation
+// (random Givens rotations of angle DriftStep) plus a small per-class
+// jitter. The rotation preserves pairwise class distances, so — exactly as
+// in the paper — a freshly trained model recovers the original accuracy
+// while a stale model decays.
+func (w *World) AdvanceDay() {
+	w.day++
+	for r := 0; r < 3; r++ {
+		i := w.rng.Intn(w.cfg.InputDim)
+		j := w.rng.Intn(w.cfg.InputDim - 1)
+		if j >= i {
+			j++
+		}
+		theta := w.cfg.DriftStep * (0.5 + w.rng.Float64())
+		cos, sin := math.Cos(theta), math.Sin(theta)
+		for c := range w.protos {
+			p := w.protos[c]
+			p[i], p[j] = cos*p[i]-sin*p[j], sin*p[i]+cos*p[j]
+		}
+	}
+	jitter := w.cfg.DriftStep / 6
+	for c := range w.protos {
+		p := w.protos[c]
+		for j := range p {
+			p[j] += w.rng.NormFloat64() * jitter
+		}
+		normalize(p)
+	}
+	grow := int(math.Round(float64(len(w.images)) * w.cfg.DailyGrowth))
+	for i := 0; i < grow; i++ {
+		if w.active < w.cfg.MaxClasses && w.rng.Float64() < w.cfg.NewClassShare {
+			// New-category pressure: occasionally open a fresh class.
+			if w.rng.Float64() < 0.25 {
+				w.active++
+			}
+			w.upload(w.active - 1)
+			continue
+		}
+		w.upload(w.rng.Intn(w.active))
+	}
+}
+
+// SampleStored draws n images uniformly from the whole stored population
+// (what full training and fine-tuning read from the storage servers).
+func (w *World) SampleStored(n int) *Batch {
+	return w.batchOf(w.sampleIdx(n, 0))
+}
+
+// SampleRecent draws n images uniformly from photos uploaded in the last
+// `days` days (the fresh data fine-tuning wants).
+func (w *World) SampleRecent(n, days int) *Batch {
+	lo := 0
+	for i := len(w.images) - 1; i >= 0; i-- {
+		if w.images[i].Day < w.day-days {
+			lo = i + 1
+			break
+		}
+	}
+	idx := make([]int, n)
+	span := len(w.images) - lo
+	if span <= 0 {
+		span = len(w.images)
+		lo = 0
+	}
+	for i := range idx {
+		idx[i] = lo + w.rng.Intn(span)
+	}
+	return w.batchOf(idx)
+}
+
+// FreshTestSet generates n brand-new photos from *today's* distribution.
+// This is the held-out "new test dataset reflecting changes in the stored
+// images" the paper evaluates stale models against (§3.2). Classes are
+// drawn with probability proportional to their share of the stored
+// population, so newly opened categories carry realistic (small) weight.
+func (w *World) FreshTestSet(n int) *Batch {
+	rng := rand.New(rand.NewSource(w.cfg.Seed ^ int64(0x9E3779B9) ^ int64(w.day)))
+	counts := make([]int, w.active)
+	for _, img := range w.images {
+		counts[img.Class]++
+	}
+	x := tensor.New(n, w.cfg.InputDim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := sampleWeighted(rng, counts, len(w.images))
+		labels[i] = c
+		p := w.protos[c]
+		row := x.Row(i)
+		for j := range row {
+			row[j] = p[j] + rng.NormFloat64()*w.cfg.ClusterStd
+		}
+	}
+	return &Batch{X: x, Labels: labels}
+}
+
+func (w *World) sampleIdx(n, lo int) []int {
+	idx := make([]int, n)
+	span := len(w.images) - lo
+	for i := range idx {
+		idx[i] = lo + w.rng.Intn(span)
+	}
+	return idx
+}
+
+func (w *World) batchOf(idx []int) *Batch {
+	b := &Batch{
+		X:      tensor.New(len(idx), w.cfg.InputDim),
+		Labels: make([]int, len(idx)),
+		IDs:    make([]uint64, len(idx)),
+	}
+	for i, k := range idx {
+		img := w.images[k]
+		copy(b.X.Row(i), img.Feat)
+		b.Labels[i] = img.Class
+		b.IDs[i] = img.ID
+	}
+	return b
+}
+
+// BatchOfImages materializes a batch from explicit images (used by the
+// PipeStore nodes, which hold shards of the population).
+func BatchOfImages(images []Image, dim int) *Batch {
+	b := &Batch{
+		X:      tensor.New(len(images), dim),
+		Labels: make([]int, len(images)),
+		IDs:    make([]uint64, len(images)),
+	}
+	for i, img := range images {
+		copy(b.X.Row(i), img.Feat)
+		b.Labels[i] = img.Class
+		b.IDs[i] = img.ID
+	}
+	return b
+}
+
+// Shard splits the stored population round-robin across n shards, the way
+// photos are spread over n storage servers.
+func (w *World) Shard(n int) [][]Image {
+	shards := make([][]Image, n)
+	for i, img := range w.images {
+		shards[i%n] = append(shards[i%n], img)
+	}
+	return shards
+}
+
+// sampleWeighted draws an index with probability counts[i]/total.
+func sampleWeighted(rng *rand.Rand, counts []int, total int) int {
+	r := rng.Intn(total)
+	for c, k := range counts {
+		r -= k
+		if r < 0 {
+			return c
+		}
+	}
+	return len(counts) - 1
+}
+
+func randUnit(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	normalize(v)
+	return v
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		v[0] = 1
+		return
+	}
+	for j := range v {
+		v[j] /= s
+	}
+}

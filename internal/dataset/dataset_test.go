@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/nn"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.InitialImages = 500
+	return cfg
+}
+
+func TestWorldInitialPopulation(t *testing.T) {
+	w := NewWorld(smallConfig(1))
+	if w.NumImages() != 500 {
+		t.Fatalf("initial population %d, want 500", w.NumImages())
+	}
+	if w.Day() != 0 {
+		t.Fatalf("day = %d, want 0", w.Day())
+	}
+	if w.ActiveClasses() != 20 {
+		t.Fatalf("active classes %d, want 20", w.ActiveClasses())
+	}
+	for _, img := range w.Images() {
+		if img.Class < 0 || img.Class >= 20 {
+			t.Fatalf("image class %d outside initial range", img.Class)
+		}
+		if len(img.Feat) != w.InputDim() {
+			t.Fatalf("feature dim %d, want %d", len(img.Feat), w.InputDim())
+		}
+	}
+}
+
+func TestAdvanceDayGrowsPopulation(t *testing.T) {
+	w := NewWorld(smallConfig(2))
+	before := w.NumImages()
+	w.AdvanceDay()
+	grew := w.NumImages() - before
+	want := int(math.Round(float64(before) * 0.0178))
+	if grew != want {
+		t.Fatalf("grew %d images, want %d", grew, want)
+	}
+	if w.Day() != 1 {
+		t.Fatalf("day = %d", w.Day())
+	}
+}
+
+func TestNewClassesAppearOverTime(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.InitialImages = 2000
+	w := NewWorld(cfg)
+	for d := 0; d < 30; d++ {
+		w.AdvanceDay()
+	}
+	if w.ActiveClasses() <= cfg.InitialClasses {
+		t.Fatalf("no new classes after 30 days (active=%d)", w.ActiveClasses())
+	}
+	if w.ActiveClasses() > cfg.MaxClasses {
+		t.Fatalf("active %d exceeds max %d", w.ActiveClasses(), cfg.MaxClasses)
+	}
+}
+
+func TestDeterminismAcrossWorlds(t *testing.T) {
+	a := NewWorld(smallConfig(7))
+	b := NewWorld(smallConfig(7))
+	for d := 0; d < 5; d++ {
+		a.AdvanceDay()
+		b.AdvanceDay()
+	}
+	if a.NumImages() != b.NumImages() {
+		t.Fatalf("population diverged: %d vs %d", a.NumImages(), b.NumImages())
+	}
+	ia, ib := a.Images(), b.Images()
+	for i := range ia {
+		if ia[i].Class != ib[i].Class || ia[i].Day != ib[i].Day {
+			t.Fatalf("image %d diverged", i)
+		}
+		for j := range ia[i].Feat {
+			if ia[i].Feat[j] != ib[i].Feat[j] {
+				t.Fatalf("image %d feature %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleRecentOnlyReturnsRecentImages(t *testing.T) {
+	w := NewWorld(smallConfig(4))
+	for d := 0; d < 10; d++ {
+		w.AdvanceDay()
+	}
+	b := w.SampleRecent(100, 2)
+	byID := map[uint64]Image{}
+	for _, img := range w.Images() {
+		byID[img.ID] = img
+	}
+	for i, id := range b.IDs {
+		img := byID[id]
+		if img.Day < w.Day()-2 {
+			t.Fatalf("sample %d from day %d, want >= %d", i, img.Day, w.Day()-2)
+		}
+	}
+}
+
+func TestShardRoundRobinCoversAll(t *testing.T) {
+	w := NewWorld(smallConfig(5))
+	shards := w.Shard(7)
+	total := 0
+	seen := map[uint64]bool{}
+	for _, s := range shards {
+		total += len(s)
+		for _, img := range s {
+			if seen[img.ID] {
+				t.Fatalf("image %d in two shards", img.ID)
+			}
+			seen[img.ID] = true
+		}
+	}
+	if total != w.NumImages() {
+		t.Fatalf("shards cover %d, want %d", total, w.NumImages())
+	}
+	// Round-robin balance: sizes differ by at most 1.
+	min, max := len(shards[0]), len(shards[0])
+	for _, s := range shards {
+		if len(s) < min {
+			min = len(s)
+		}
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced shards: min %d max %d", min, max)
+	}
+}
+
+func TestBatchSlice(t *testing.T) {
+	w := NewWorld(smallConfig(6))
+	b := w.SampleStored(10)
+	sub := b.Slice(2, 5)
+	if sub.Len() != 3 {
+		t.Fatalf("slice len %d, want 3", sub.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if sub.Labels[i] != b.Labels[2+i] || sub.IDs[i] != b.IDs[2+i] {
+			t.Fatal("slice metadata mismatch")
+		}
+		for j := 0; j < b.X.Cols; j++ {
+			if sub.X.At(i, j) != b.X.At(2+i, j) {
+				t.Fatal("slice data mismatch")
+			}
+		}
+	}
+}
+
+// TestDriftDegradesAccuracy is the core behavioural check for the outdated
+// model problem: a classifier trained on day-0 data must lose accuracy on
+// day-14 test data, and fine-tuning on recent data must recover most of it.
+func TestDriftDegradesAccuracyAndFineTuneRecovers(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.InitialImages = 3000
+	w := NewWorld(cfg)
+
+	rng := rand.New(rand.NewSource(9))
+	train := func(b *Batch, epochs int) *nn.Network {
+		net := nn.NewMLP("clf", []int{cfg.InputDim, 48, cfg.MaxClasses}, rng)
+		opt := nn.NewSGD(0.2, 0.9)
+		for e := 0; e < epochs; e++ {
+			nn.TrainBatch(net, opt, b.X, b.Labels)
+		}
+		return net
+	}
+	base := train(w.SampleStored(2000), 60)
+	day0 := w.FreshTestSet(800)
+	acc0, _ := nn.Accuracy(base, day0.X, day0.Labels, 5)
+
+	for d := 0; d < 14; d++ {
+		w.AdvanceDay()
+	}
+	day14 := w.FreshTestSet(800)
+	accStale, _ := nn.Accuracy(base, day14.X, day14.Labels, 5)
+	if accStale >= acc0-0.01 {
+		t.Fatalf("drift did not degrade accuracy: day0 %.3f day14 %.3f", acc0, accStale)
+	}
+
+	// Fine-tune the same net on recent data.
+	recent := w.SampleRecent(1000, 14)
+	opt := nn.NewSGD(0.1, 0.9)
+	for e := 0; e < 40; e++ {
+		nn.TrainBatch(base, opt, recent.X, recent.Labels)
+	}
+	accTuned, _ := nn.Accuracy(base, day14.X, day14.Labels, 5)
+	if accTuned <= accStale {
+		t.Fatalf("fine-tuning did not help: stale %.3f tuned %.3f", accStale, accTuned)
+	}
+}
+
+func TestBlobDeterministicAndStamped(t *testing.T) {
+	spec := DefaultJPEGSpec()
+	a := Blob(1234, spec)
+	b := Blob(1234, spec)
+	if !bytes.Equal(a, b) {
+		t.Fatal("blob not deterministic")
+	}
+	if BlobID(a) != 1234 {
+		t.Fatalf("BlobID = %d, want 1234", BlobID(a))
+	}
+	if len(a) != spec.Size {
+		t.Fatalf("blob size %d, want %d", len(a), spec.Size)
+	}
+	c := Blob(1235, spec)
+	if bytes.Equal(a, c) {
+		t.Fatal("distinct IDs must differ")
+	}
+}
+
+func TestBlobCompressibilityOrdering(t *testing.T) {
+	ratio := func(spec BlobSpec) float64 {
+		raw := Blob(99, spec)
+		var buf bytes.Buffer
+		zw, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+		_, _ = zw.Write(raw)
+		_ = zw.Close()
+		return float64(buf.Len()) / float64(len(raw))
+	}
+	jpeg := ratio(DefaultJPEGSpec())
+	pre := ratio(DefaultPreprocSpec())
+	if pre >= jpeg {
+		t.Fatalf("preprocessed binaries must compress better: jpeg %.3f pre %.3f", jpeg, pre)
+	}
+	if jpeg >= 1.05 {
+		t.Fatalf("jpeg blob expands too much under deflate: %.3f", jpeg)
+	}
+}
+
+func TestBlobRoundTripThroughDeflate(t *testing.T) {
+	raw := Blob(7, DefaultPreprocSpec())
+	var buf bytes.Buffer
+	zw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zr := flate.NewReader(bytes.NewReader(buf.Bytes()))
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, got) {
+		t.Fatal("deflate round trip corrupted blob")
+	}
+}
+
+// Property: FreshTestSet is deterministic for a given (seed, day) and labels
+// are always within the active range.
+func TestFreshTestSetProperty(t *testing.T) {
+	f := func(seed int64, days uint8) bool {
+		d := int(days % 10)
+		cfg := smallConfig(seed)
+		cfg.InitialImages = 200
+		w := NewWorld(cfg)
+		for i := 0; i < d; i++ {
+			w.AdvanceDay()
+		}
+		a := w.FreshTestSet(50)
+		b := w.FreshTestSet(50)
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				return false
+			}
+			if a.Labels[i] < 0 || a.Labels[i] >= w.ActiveClasses() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchOfImages(t *testing.T) {
+	w := NewWorld(smallConfig(10))
+	imgs := w.Images()[:5]
+	b := BatchOfImages(imgs, w.InputDim())
+	if b.Len() != 5 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	for i, img := range imgs {
+		if b.Labels[i] != img.Class || b.IDs[i] != img.ID {
+			t.Fatal("metadata mismatch")
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/model"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+func twoSnapshots(seed int64, changeFrac float64) (old, new nn.Snapshot) {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewMLP("m", []int{16, 32, 8}, rng)
+	old = net.TakeSnapshot()
+	new = net.TakeSnapshot()
+	for _, m := range new {
+		for i := range m.Data {
+			if rng.Float64() < changeFrac {
+				m.Data[i] += rng.NormFloat64()
+			}
+		}
+	}
+	return old, new
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	old, new := twoSnapshots(1, 0.1)
+	d, err := Diff(old, new, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SnapshotsEqual(got, new, 0) {
+		t.Fatal("Apply(Diff) must reproduce the new snapshot exactly")
+	}
+	// Old must be untouched.
+	if SnapshotsEqual(old, new, 0) {
+		t.Fatal("test setup: snapshots should differ")
+	}
+}
+
+func TestDiffEmptyForIdenticalSnapshots(t *testing.T) {
+	old, _ := twoSnapshots(2, 0)
+	d, err := Diff(old, old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUpdates() != 0 {
+		t.Fatalf("identical snapshots produced %d updates", d.NumUpdates())
+	}
+}
+
+func TestDiffSparsityMatchesChanges(t *testing.T) {
+	old, new := twoSnapshots(3, 0.05)
+	d, _ := Diff(old, new, 0)
+	total := 0
+	for _, m := range old {
+		total += len(m.Data)
+	}
+	frac := float64(d.NumUpdates()) / float64(total)
+	if frac < 0.02 || frac > 0.10 {
+		t.Fatalf("update fraction %.3f, expected ≈0.05", frac)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	old, new := twoSnapshots(4, 0.2)
+	d, _ := Diff(old, new, 0)
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SnapshotsEqual(got, new, 0) {
+		t.Fatal("decoded delta must reproduce the new snapshot")
+	}
+}
+
+// TestTrafficReduction is the Check-N-Run headline: shipping a fine-tune
+// delta must be far smaller than shipping the whole model.
+func TestTrafficReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A "model" with a big frozen backbone and small trainable head: only
+	// the head changes during fine-tuning.
+	net := nn.NewMLP("bb", []int{256, 256, 64}, rng)
+	head := nn.NewMLP("head", []int{64, 10}, rng)
+	full := nn.Stack(net, head)
+	old := full.TakeSnapshot()
+	// Fine-tune: only head weights move.
+	for name, m := range old {
+		_ = name
+		_ = m
+	}
+	new := full.TakeSnapshot()
+	for name, m := range new {
+		if len(name) >= 4 && name[:4] == "head" {
+			for i := range m.Data {
+				m.Data[i] += rng.NormFloat64() * 0.01
+			}
+		}
+	}
+	d, _ := Diff(old, new, 0)
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := new.Bytes()
+	reduction := float64(fullBytes) / float64(len(blob))
+	if reduction < 20 {
+		t.Fatalf("delta reduction only %.1f×, want ≫20× (Check-N-Run reports up to 427×)", reduction)
+	}
+}
+
+func TestToleranceDropsTinyChanges(t *testing.T) {
+	old, _ := twoSnapshots(6, 0)
+	new := nn.Snapshot{}
+	for k, m := range old {
+		c := m.Clone()
+		c.Data[0] += 1e-9
+		new[k] = c
+	}
+	d, _ := Diff(old, new, 1e-6)
+	if d.NumUpdates() != 0 {
+		t.Fatalf("sub-tolerance changes should be dropped, got %d", d.NumUpdates())
+	}
+}
+
+func TestDiffShapeMismatch(t *testing.T) {
+	old := nn.Snapshot{"w": tensor.New(2, 2)}
+	new := nn.Snapshot{"w": tensor.New(3, 3)}
+	if _, err := Diff(old, new, 0); err == nil {
+		t.Fatal("shape change must error")
+	}
+}
+
+func TestApplyMissingParam(t *testing.T) {
+	d := &Delta{Entries: map[string][]Update{"ghost": {{Index: 0, Value: 1}}}}
+	if _, err := d.Apply(nn.Snapshot{}); err == nil {
+		t.Fatal("missing base parameter must error")
+	}
+}
+
+func TestApplyIndexOutOfRange(t *testing.T) {
+	d := &Delta{Entries: map[string][]Update{"w": {{Index: 99, Value: 1}}}}
+	if _, err := d.Apply(nn.Snapshot{"w": tensor.New(2, 2)}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+// Property: for random sparse changes, Diff→Encode→Decode→Apply is identity.
+func TestCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		old, new := twoSnapshots(seed, 0.15)
+		d, err := Diff(old, new, 0)
+		if err != nil {
+			return false
+		}
+		blob, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		d2, err := Decode(blob)
+		if err != nil {
+			return false
+		}
+		got, err := d2.Apply(old)
+		if err != nil {
+			return false
+		}
+		return SnapshotsEqual(got, new, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionBytes(t *testing.T) {
+	m := model.ResNet50()
+	db := DistributionBytes(m)
+	if db <= 0 || db >= m.TrainableParamBytes() {
+		t.Fatalf("DistributionBytes = %d, want within (0, %d)", db, m.TrainableParamBytes())
+	}
+	// Reduction vs shipping the full model must be ≫100× (paper: up to 427×).
+	if red := float64(m.ParamBytes()) / float64(db); red < 100 {
+		t.Fatalf("distribution reduction %.0f×, want >100×", red)
+	}
+}

@@ -1,0 +1,53 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode hammers the delta codec with arbitrary bytes: it must either
+// error or produce a structurally valid delta, never panic.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real encoded delta and some corruptions of it.
+	old, cur := twoSnapshots(1, 0.2)
+	d, err := Diff(old, cur, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{0x78, 0x9c})
+	corrupt := append([]byte(nil), blob...)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 16 && i < len(corrupt); i++ {
+		corrupt[rng.Intn(len(corrupt))] ^= 0xFF
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent.
+		if d.NumUpdates() < 0 {
+			t.Fatal("negative update count")
+		}
+		for name, ups := range d.Entries {
+			if name == "" {
+				t.Fatal("empty parameter name")
+			}
+			prev := -1
+			for _, u := range ups {
+				if u.Index < prev {
+					t.Fatal("indices not ascending")
+				}
+				prev = u.Index
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package device is the hardware catalog behind the ndpipe simulator: the
+// accelerators, CPUs, storage volumes and NICs of the paper's AWS testbed,
+// reduced to the rates and power draws that determine system behaviour.
+//
+// Calibration philosophy (see DESIGN.md §4): a device's *effective*
+// throughput on a model is device-peak × model-efficiency. The free
+// parameters were set so that the paper's measured single-device anchors
+// are reproduced:
+//
+//   - one T4 PipeStore: 2,129 / 2,439 / 449 / 277 IPS for
+//     ResNet50 / InceptionV3 / ResNeXt101 / ViT (§6.2);
+//   - two V100s ≈ the throughput of 5–7 T4 PipeStores (Fig 13, point P3),
+//     giving the V100 a 1.43× efficiency multiplier on top of its
+//     125/65 TFLOPS peak ratio;
+//   - NeuronCoreV1 needs ≈2.3× more PipeStores than the T4 to match SRV-C
+//     (Fig 20), i.e. ≈0.43× T4 throughput;
+//   - an st1 16-HDD array sustains 500 MB/s sequential (the st1 burst
+//     ceiling), and host-side preprocessing shares its 8-core pool with
+//     network receive handling, which is what pins the Typical offline
+//     inference path at ≈94 IPS vs the Ideal's ≈123 IPS (Fig 5b);
+//   - 8 host cores decompress 0.78 GB/s of raw output each, capping SRV-C
+//     at ≈10.4 K IPS for ResNet50, which is why SRV-C stops scaling past
+//     20 Gbps (Fig 18);
+//   - 8 host cores preprocess 2.7 MB JPEGs at ≈15.4 images/s/core, making
+//     the Ideal system preprocessing-bound at ≈123 IPS (Fig 5b).
+package device
+
+// Accelerator is a GPU or inference ASIC.
+type Accelerator struct {
+	Name string
+	// TensorFLOPS is peak throughput on the optimized inference engine
+	// (TensorRT / Neuron), in FLOP/s.
+	TensorFLOPS float64
+	// FP32FLOPS is peak fp32 throughput on the training engine.
+	FP32FLOPS float64
+	// EffMult scales model.InferEff for this device (batch/compiler
+	// quality differences between devices).
+	EffMult float64
+	// TrainEffMult scales model.TrainEff for this device's training engine
+	// (framework maturity differs across accelerators).
+	TrainEffMult float64
+	// MemoryBytes bounds the batch size (Fig 19's ViT OOM).
+	MemoryBytes int64
+	// ActiveWatts / IdleWatts are the accelerator's power draw.
+	ActiveWatts float64
+	IdleWatts   float64
+}
+
+// CPU describes a server's host processor complex.
+type CPU struct {
+	Name  string
+	Cores int
+	// PreprocIPS is JPEG decode+resize throughput per core (images/s) for a
+	// typical 2.7 MB photo.
+	PreprocIPS float64
+	// DecompBps is deflate *decompression* output bandwidth per core (raw
+	// bytes/s).
+	DecompBps float64
+	// CompBps is deflate compression input bandwidth per core (raw bytes/s).
+	CompBps float64
+	// FeedBps is the per-pipeline data-handling bandwidth (framing, copies,
+	// staging to the accelerator) that bounds the Tuner's ingest of feature
+	// batches.
+	FeedBps float64
+	// ActiveWattsPerCore / IdleWatts are the package power draws.
+	ActiveWattsPerCore float64
+	IdleWatts          float64
+}
+
+// Storage is a block volume.
+type Storage struct {
+	Name        string
+	ReadBps     float64 // sustained sequential read, bytes/s
+	WriteBps    float64
+	ActiveWatts float64
+	IdleWatts   float64
+}
+
+// NIC is a network interface.
+type NIC struct {
+	Name        string
+	Bps         float64 // line rate in bytes/s (we quote Gbps/8 in constructors)
+	LatencyS    float64
+	ActiveWatts float64
+}
+
+// GbpsToBps converts link gigabits/s to bytes/s.
+func GbpsToBps(gbps float64) float64 { return gbps * 1e9 / 8 }
+
+// --- Accelerators -----------------------------------------------------------
+
+// TeslaT4 is the PipeStore accelerator (g4dn.4xlarge).
+func TeslaT4() Accelerator {
+	return Accelerator{
+		Name:         "Tesla T4",
+		TensorFLOPS:  65e12,
+		FP32FLOPS:    8.1e12,
+		EffMult:      1.0,
+		TrainEffMult: 0.75, // calibrated: 4×T4 FE&CT ≈ 1.36× two-V100 time (Fig 6a)
+		MemoryBytes:  16 << 30,
+		ActiveWatts:  70,
+		IdleWatts:    10,
+	}
+}
+
+// TeslaV100 is the Tuner / host-server accelerator (p3 instances).
+func TeslaV100() Accelerator {
+	return Accelerator{
+		Name:         "Tesla V100",
+		TensorFLOPS:  125e12,
+		FP32FLOPS:    15.7e12,
+		EffMult:      1.43, // calibrated: 2×V100 ≈ 5.5 T4 stores (Fig 13 P3)
+		TrainEffMult: 1.0,
+		MemoryBytes:  16 << 30,
+		ActiveWatts:  300,
+		IdleWatts:    30,
+	}
+}
+
+// NeuronCoreV1 is the AWS Inferentia accelerator (Inf1.2xlarge). Power is
+// estimated (the paper likewise estimates it from public figures [52]).
+func NeuronCoreV1() Accelerator {
+	return Accelerator{
+		Name:         "NeuronCoreV1",
+		TensorFLOPS:  64e12, // int8/bf16 peak
+		FP32FLOPS:    2e12,
+		EffMult:      0.43, // calibrated: ≈2.3× more stores than T4 (Fig 20)
+		TrainEffMult: 0.30,
+		MemoryBytes:  8 << 30,
+		ActiveWatts:  25,
+		IdleWatts:    5,
+	}
+}
+
+// --- CPUs -------------------------------------------------------------------
+
+// XeonStorage is the 16-vCPU CPU of a g4dn.4xlarge storage server.
+func XeonStorage() CPU {
+	return CPU{
+		Name:               "Xeon-2.5GHz-16c",
+		Cores:              16,
+		PreprocIPS:         15.4,
+		DecompBps:          780e6,
+		CompBps:            180e6,
+		FeedBps:            150e6,
+		ActiveWattsPerCore: 5.5,
+		IdleWatts:          40,
+	}
+}
+
+// XeonHost is the 32-vCPU CPU of the p3.8xlarge host server.
+func XeonHost() CPU {
+	return CPU{
+		Name:               "Xeon-2.7GHz-32c",
+		Cores:              32,
+		PreprocIPS:         15.4,
+		DecompBps:          780e6,
+		CompBps:            180e6,
+		FeedBps:            150e6,
+		ActiveWattsPerCore: 6.0,
+		IdleWatts:          70,
+	}
+}
+
+// XeonTuner is the 8-vCPU CPU of the p3.2xlarge Tuner.
+func XeonTuner() CPU {
+	return CPU{
+		Name:       "Xeon-2.7GHz-8c",
+		Cores:      8,
+		PreprocIPS: 15.4,
+		DecompBps:  780e6,
+		CompBps:    180e6,
+		// The Tuner's feature-ingest path (deserialize, stage, index) is
+		// calibrated so Store- and Tuner-stages balance at ≈8 ResNet50
+		// PipeStores (Fig 11: APO picks 8).
+		FeedBps:            75e6,
+		ActiveWattsPerCore: 6.0,
+		IdleWatts:          35,
+	}
+}
+
+// --- Storage ----------------------------------------------------------------
+
+// ST1Array is the 16-HDD st1 RAID-5 volume of the storage servers.
+func ST1Array() Storage {
+	return Storage{
+		Name:        "st1-16xHDD",
+		ReadBps:     500e6,
+		WriteBps:    200e6,
+		ActiveWatts: 96, // 16 spindles × 6 W
+		IdleWatts:   64,
+	}
+}
+
+// NVMeLocal is the Tuner's local NVMe scratch volume.
+func NVMeLocal() Storage {
+	return Storage{
+		Name:        "nvme-local",
+		ReadBps:     7e9,
+		WriteBps:    3e9,
+		ActiveWatts: 12,
+		IdleWatts:   4,
+	}
+}
+
+// --- NICs -------------------------------------------------------------------
+
+// Ethernet returns a NIC at the given line rate.
+func Ethernet(gbps float64) NIC {
+	return NIC{
+		Name:        "eth",
+		Bps:         GbpsToBps(gbps),
+		LatencyS:    50e-6,
+		ActiveWatts: 8,
+	}
+}

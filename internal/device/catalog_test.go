@@ -1,0 +1,82 @@
+package device
+
+import "testing"
+
+// The catalog is calibration-bearing: these tests pin the relationships the
+// figures depend on, so an accidental edit shows up as a test failure, not
+// as silently wrong reproductions.
+
+func TestAcceleratorOrdering(t *testing.T) {
+	t4, v100, neuron := TeslaT4(), TeslaV100(), NeuronCoreV1()
+	// Effective inference throughput ordering: V100 > T4 > NeuronCore.
+	effT4 := t4.TensorFLOPS * t4.EffMult
+	effV100 := v100.TensorFLOPS * v100.EffMult
+	effNeuron := neuron.TensorFLOPS * neuron.EffMult
+	if !(effV100 > effT4 && effT4 > effNeuron) {
+		t.Fatalf("ordering broken: V100 %g, T4 %g, Neuron %g", effV100, effT4, effNeuron)
+	}
+	// Fig 13 P3: one V100 ≈ 2.75 T4s (two ≈ 5.5 stores).
+	if r := effV100 / effT4; r < 2.4 || r > 3.1 {
+		t.Fatalf("V100/T4 ratio %.2f, want ≈2.75", r)
+	}
+	// Fig 20: NeuronCore ≈ 0.43× T4.
+	if r := effNeuron / effT4; r < 0.35 || r > 0.5 {
+		t.Fatalf("Neuron/T4 ratio %.2f, want ≈0.43", r)
+	}
+}
+
+func TestPowerOrdering(t *testing.T) {
+	t4, v100, neuron := TeslaT4(), TeslaV100(), NeuronCoreV1()
+	if !(neuron.ActiveWatts < t4.ActiveWatts && t4.ActiveWatts < v100.ActiveWatts) {
+		t.Fatal("power ordering must be Neuron < T4 < V100")
+	}
+	for _, a := range []Accelerator{t4, v100, neuron} {
+		if a.IdleWatts >= a.ActiveWatts || a.IdleWatts < 0 {
+			t.Fatalf("%s idle/active watts inconsistent", a.Name)
+		}
+		if a.MemoryBytes <= 0 || a.TensorFLOPS <= 0 || a.FP32FLOPS <= 0 {
+			t.Fatalf("%s has non-positive capability", a.Name)
+		}
+	}
+}
+
+func TestGbpsToBps(t *testing.T) {
+	if GbpsToBps(10) != 1.25e9 {
+		t.Fatalf("10 Gbps = %v B/s", GbpsToBps(10))
+	}
+}
+
+func TestCPURates(t *testing.T) {
+	for _, c := range []CPU{XeonStorage(), XeonHost(), XeonTuner()} {
+		if c.Cores <= 0 || c.PreprocIPS <= 0 || c.DecompBps <= 0 || c.CompBps <= 0 || c.FeedBps <= 0 {
+			t.Fatalf("%s has non-positive rates", c.Name)
+		}
+		// Decompression is much faster than compression (deflate asymmetry).
+		if c.DecompBps <= c.CompBps {
+			t.Fatalf("%s: decompress (%g) must beat compress (%g)", c.Name, c.DecompBps, c.CompBps)
+		}
+	}
+	// Fig 5(b) anchor: 8 host cores preprocess at ≈123 IPS.
+	if ips := 8 * XeonHost().PreprocIPS; ips < 118 || ips > 128 {
+		t.Fatalf("8-core preprocessing %f IPS, want ≈123", ips)
+	}
+}
+
+func TestStorageRates(t *testing.T) {
+	st1, nvme := ST1Array(), NVMeLocal()
+	if st1.ReadBps >= nvme.ReadBps {
+		t.Fatal("NVMe must outrun the HDD array")
+	}
+	for _, s := range []Storage{st1, nvme} {
+		if s.ReadBps <= 0 || s.WriteBps <= 0 {
+			t.Fatalf("%s non-positive throughput", s.Name)
+		}
+	}
+}
+
+func TestEthernet(t *testing.T) {
+	nic := Ethernet(25)
+	if nic.Bps != GbpsToBps(25) || nic.LatencyS <= 0 {
+		t.Fatalf("NIC = %+v", nic)
+	}
+}

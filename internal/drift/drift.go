@@ -1,0 +1,152 @@
+// Package drift implements detection-based retraining triggers (§2.2): the
+// alternative to NDPipe's regular fine-tuning is to watch a quality signal
+// and retrain when it degrades. The paper notes detection is hard ("hidden
+// factors") and reacts late; this package lets the service combine both —
+// periodic fine-tuning plus a detector as a safety net.
+//
+// The detector is a two-window mean test: a reference window captures the
+// model's health right after deployment, a sliding recent window tracks the
+// live signal (online-inference confidence, or labeled accuracy when
+// feedback exists), and drift is declared when the recent mean falls below
+// the reference mean by more than a variance-adaptive (Welch) confidence
+// radius — distribution-free Hoeffding radii (the bound behind Lemma 5.2)
+// are far too conservative for low-variance confidence streams.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config tunes a Detector.
+type Config struct {
+	// RefWindow / RecentWindow are the two window sizes (observations).
+	RefWindow    int
+	RecentWindow int
+	// Delta is the false-positive probability of the Hoeffding test.
+	Delta float64
+	// MinDrop is an additional absolute drop required before signalling
+	// (guards against statistically-significant-but-tiny changes).
+	MinDrop float64
+}
+
+// DefaultConfig is tuned for per-upload confidence streams.
+func DefaultConfig() Config {
+	return Config{RefWindow: 400, RecentWindow: 200, Delta: 0.01, MinDrop: 0.02}
+}
+
+// Detector watches a bounded signal in [0,1].
+type Detector struct {
+	cfg Config
+
+	refSum   float64
+	refSumSq float64
+	refN     int
+	recent   []float64
+	recentI  int
+	recentN  int
+	detected int // total drift signals
+}
+
+// New creates a detector. The first RefWindow observations form the
+// reference; detection starts once the recent window is also full.
+func New(cfg Config) (*Detector, error) {
+	if cfg.RefWindow <= 0 || cfg.RecentWindow <= 0 {
+		return nil, fmt.Errorf("drift: windows must be positive")
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("drift: delta must be in (0,1)")
+	}
+	if cfg.MinDrop < 0 {
+		return nil, fmt.Errorf("drift: MinDrop must be non-negative")
+	}
+	return &Detector{cfg: cfg, recent: make([]float64, cfg.RecentWindow)}, nil
+}
+
+// Observe feeds one observation (clamped to [0,1]) and reports whether
+// drift is declared at this point. On detection the detector resets, using
+// the recent window as the seed of the next reference.
+func (d *Detector) Observe(v float64) bool {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	if d.refN < d.cfg.RefWindow {
+		d.refSum += v
+		d.refSumSq += v * v
+		d.refN++
+		return false
+	}
+	d.recent[d.recentI] = v
+	d.recentI = (d.recentI + 1) % d.cfg.RecentWindow
+	if d.recentN < d.cfg.RecentWindow {
+		d.recentN++
+		return false
+	}
+	nr, nc := float64(d.refN), float64(d.recentN)
+	refMean := d.refSum / nr
+	refVar := d.refSumSq/nr - refMean*refMean
+	if refVar < 0 {
+		refVar = 0
+	}
+	var recentSum, recentSumSq float64
+	for _, x := range d.recent {
+		recentSum += x
+		recentSumSq += x * x
+	}
+	recentMean := recentSum / nc
+	recentVar := recentSumSq/nc - recentMean*recentMean
+	if recentVar < 0 {
+		recentVar = 0
+	}
+
+	// Welch radius: z_(1−δ) · sqrt(s_r²/n_r + s_c²/n_c), floored by a small
+	// absolute term so zero-variance streams still need a real gap.
+	z := math.Sqrt2 * math.Erfinv(1-2*d.cfg.Delta)
+	eps := z*math.Sqrt(refVar/nr+recentVar/nc) + 1e-3
+	if refMean-recentMean > eps+d.cfg.MinDrop {
+		d.detected++
+		d.reset(recentMean)
+		return true
+	}
+	return false
+}
+
+// reset re-seeds the reference from the post-drift level so the detector
+// can fire again on further degradation.
+func (d *Detector) reset(seedMean float64) {
+	d.refSum = seedMean * float64(d.cfg.RefWindow)
+	// Seed the variance with the clamp-scale floor; it re-adapts as the
+	// reference is consumed on the next cycle.
+	d.refSumSq = d.refSum * seedMean
+	d.refN = d.cfg.RefWindow
+	d.recentN = 0
+	d.recentI = 0
+}
+
+// Rebase clears all state (call after retraining deploys a fresh model).
+func (d *Detector) Rebase() {
+	d.refSum = 0
+	d.refSumSq = 0
+	d.refN = 0
+	d.recentN = 0
+	d.recentI = 0
+}
+
+// Detections returns how many drift signals have fired.
+func (d *Detector) Detections() int { return d.detected }
+
+// RefMean returns the reference mean (0 until the reference fills).
+func (d *Detector) RefMean() float64 {
+	if d.refN == 0 {
+		return 0
+	}
+	return d.refSum / float64(d.refN)
+}
+
+// Ready reports whether both windows are full (detection active).
+func (d *Detector) Ready() bool {
+	return d.refN >= d.cfg.RefWindow && d.recentN >= d.cfg.RecentWindow
+}

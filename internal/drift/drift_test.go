@@ -1,0 +1,123 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func feed(t *testing.T, d *Detector, rng *rand.Rand, mean float64, n int) int {
+	t.Helper()
+	fires := 0
+	for i := 0; i < n; i++ {
+		v := mean + rng.NormFloat64()*0.05
+		if d.Observe(v) {
+			fires++
+		}
+	}
+	return fires
+}
+
+func TestNoDriftNoFalseAlarms(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if fires := feed(t, d, rng, 0.8, 10_000); fires != 0 {
+		t.Fatalf("%d false alarms on a stationary stream", fires)
+	}
+	if !d.Ready() {
+		t.Fatal("detector should be warmed up")
+	}
+}
+
+func TestDetectsClearDrop(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	feed(t, d, rng, 0.8, 1000)
+	if fires := feed(t, d, rng, 0.6, 1000); fires == 0 {
+		t.Fatal("a 20-point confidence drop must be detected")
+	}
+	if d.Detections() == 0 {
+		t.Fatal("detections counter")
+	}
+}
+
+func TestIgnoresTinyDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDrop = 0.05
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	feed(t, d, rng, 0.80, 1000)
+	if fires := feed(t, d, rng, 0.785, 3000); fires != 0 {
+		t.Fatalf("sub-MinDrop change fired %d times", fires)
+	}
+}
+
+func TestRefiresOnFurtherDegradation(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	feed(t, d, rng, 0.9, 1000)
+	first := feed(t, d, rng, 0.7, 1500)
+	if first == 0 {
+		t.Fatal("first drop missed")
+	}
+	second := feed(t, d, rng, 0.5, 1500)
+	if second == 0 {
+		t.Fatal("second drop missed: detector must re-arm after reset")
+	}
+}
+
+func TestRebaseClearsState(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	feed(t, d, rng, 0.9, 800)
+	d.Rebase()
+	if d.Ready() || d.RefMean() != 0 {
+		t.Fatal("rebase must clear the windows")
+	}
+	// After rebase, the lower level becomes the new normal — no alarm.
+	if fires := feed(t, d, rng, 0.6, 3000); fires != 0 {
+		t.Fatalf("rebased detector fired %d times on its own baseline", fires)
+	}
+}
+
+func TestObservationClamping(t *testing.T) {
+	d, err := New(Config{RefWindow: 4, RecentWindow: 2, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-5, 7, 0.5, 0.5} {
+		d.Observe(v)
+	}
+	if m := d.RefMean(); m < 0 || m > 1 {
+		t.Fatalf("reference mean %v escaped [0,1]", m)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{RefWindow: 0, RecentWindow: 1, Delta: 0.1},
+		{RefWindow: 1, RecentWindow: 0, Delta: 0.1},
+		{RefWindow: 1, RecentWindow: 1, Delta: 0},
+		{RefWindow: 1, RecentWindow: 1, Delta: 1},
+		{RefWindow: 1, RecentWindow: 1, Delta: 0.1, MinDrop: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d must be rejected", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package energy is the power/energy model behind the paper's efficiency
+// metrics (IPS/W, IPS/J, IPS/kJ): it integrates per-component power over a
+// job's duration using the busy times reported by the simulator, mirroring
+// the paper's gpustat/powerstat/ipmitool methodology at model level.
+package energy
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+)
+
+// ServerLoad is one server's activity over a window of Duration seconds.
+type ServerLoad struct {
+	Server   *cluster.Server
+	Count    int     // identical servers under this load (e.g. N PipeStores)
+	Duration float64 // seconds the server is part of the job
+	// Busy seconds per component (≤ Duration; CPUBusy is in units of
+	// fully-busy-pipeline seconds, normalized internally by core count).
+	AccelBusy float64
+	CPUBusy   float64
+	DiskBusy  float64
+	// CPUCoresUsed is how many cores the busy pipeline occupies (decompress
+	// cores, preprocessing cores...); defaults to 2 when zero.
+	CPUCoresUsed int
+}
+
+// Report aggregates a job's energy.
+type Report struct {
+	Joules     float64
+	AvgWatts   float64
+	GPUWatts   float64 // average, for the Fig 14 breakdown
+	CPUWatts   float64
+	OtherWatts float64
+}
+
+// Compute integrates power over all server loads. Components draw idle
+// power for the full duration and the active increment for their busy time.
+func Compute(loads []ServerLoad) (Report, error) {
+	var rep Report
+	var totalDur float64
+	for _, l := range loads {
+		if l.Server == nil {
+			return Report{}, fmt.Errorf("energy: nil server")
+		}
+		if l.Duration <= 0 {
+			return Report{}, fmt.Errorf("energy: non-positive duration for %s", l.Server.Name)
+		}
+		n := l.Count
+		if n <= 0 {
+			n = 1
+		}
+		cores := l.CPUCoresUsed
+		if cores <= 0 {
+			cores = 2
+		}
+		aU := clamp01(l.AccelBusy / l.Duration)
+		cU := clamp01(l.CPUBusy / l.Duration * float64(cores) / float64(l.Server.CPU.Cores))
+		dU := clamp01(l.DiskBusy / l.Duration)
+		gpu, cpu, other := l.Server.WattsBreakdown(aU, cU, dU)
+		rep.GPUWatts += gpu * float64(n)
+		rep.CPUWatts += cpu * float64(n)
+		rep.OtherWatts += other * float64(n)
+		rep.Joules += (gpu + cpu + other) * l.Duration * float64(n)
+		if l.Duration > totalDur {
+			totalDur = l.Duration
+		}
+	}
+	rep.AvgWatts = rep.GPUWatts + rep.CPUWatts + rep.OtherWatts
+	return rep, nil
+}
+
+// IPSPerWatt returns throughput per watt for an inference workload.
+func IPSPerWatt(ips float64, rep Report) float64 { return ips / rep.AvgWatts }
+
+// IPSPerKJ returns images trained per kilojoule for a training job
+// (the paper's training throughput-per-joule metric, scaled to kJ as in
+// Figs 11 and 16).
+func IPSPerKJ(images int, rep Report) float64 {
+	return float64(images) / (rep.Joules / 1000)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

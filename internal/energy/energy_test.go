@@ -1,0 +1,89 @@
+package energy
+
+import (
+	"testing"
+
+	"ndpipe/internal/cluster"
+)
+
+func TestComputeSingleServer(t *testing.T) {
+	ps := cluster.PipeStore(10)
+	rep, err := Compute([]ServerLoad{{
+		Server:    ps,
+		Duration:  100,
+		AccelBusy: 100, // fully busy GPU
+		CPUBusy:   50,
+		DiskBusy:  25,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Joules <= 0 || rep.AvgWatts <= 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.AvgWatts != rep.GPUWatts+rep.CPUWatts+rep.OtherWatts {
+		t.Fatal("breakdown must sum to total")
+	}
+	// Fully busy T4 draws its active watts.
+	if rep.GPUWatts < 65 || rep.GPUWatts > 75 {
+		t.Fatalf("GPU watts %.0f, want ≈70 (T4 active)", rep.GPUWatts)
+	}
+}
+
+func TestIdleCostsLessThanBusy(t *testing.T) {
+	ps := cluster.PipeStore(10)
+	busy, _ := Compute([]ServerLoad{{Server: ps, Duration: 10, AccelBusy: 10, CPUBusy: 10, DiskBusy: 10}})
+	idle, _ := Compute([]ServerLoad{{Server: ps, Duration: 10}})
+	if idle.Joules >= busy.Joules {
+		t.Fatalf("idle %f J should be < busy %f J", idle.Joules, busy.Joules)
+	}
+	if idle.Joules <= 0 {
+		t.Fatal("idle still draws power")
+	}
+}
+
+func TestCountScalesEnergy(t *testing.T) {
+	ps := cluster.PipeStore(10)
+	one, _ := Compute([]ServerLoad{{Server: ps, Duration: 10, AccelBusy: 5}})
+	four, _ := Compute([]ServerLoad{{Server: ps, Count: 4, Duration: 10, AccelBusy: 5}})
+	if four.Joules != 4*one.Joules {
+		t.Fatalf("4 servers should draw 4×: %v vs %v", four.Joules, one.Joules)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Compute([]ServerLoad{{Server: nil, Duration: 1}}); err == nil {
+		t.Fatal("nil server must error")
+	}
+	if _, err := Compute([]ServerLoad{{Server: cluster.Tuner(10), Duration: 0}}); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	rep := Report{Joules: 2000, AvgWatts: 400}
+	if got := IPSPerWatt(800, rep); got != 2 {
+		t.Fatalf("IPSPerWatt = %v", got)
+	}
+	if got := IPSPerKJ(1000, rep); got != 500 {
+		t.Fatalf("IPSPerKJ = %v", got)
+	}
+}
+
+// TestNDPipeBeatsSRVCEfficiencyAtEqualThroughput is the Fig 14 anchor: at
+// matched inference throughput, PipeStores draw less total power than the
+// two-V100 host + storage fleet.
+func TestNDPipeBeatsSRVCEfficiencyAtEqualThroughput(t *testing.T) {
+	// SRV-C at ≈8.5 KIPS ≈ 4 PipeStores at full tilt.
+	srv, _ := Compute([]ServerLoad{
+		{Server: cluster.SRVHost(10), Duration: 100, AccelBusy: 73, CPUBusy: 100, CPUCoresUsed: 8},
+		{Server: cluster.StorageServer(10), Count: 4, Duration: 100, DiskBusy: 70},
+	})
+	nd, _ := Compute([]ServerLoad{
+		{Server: cluster.PipeStore(10), Count: 4, Duration: 100, AccelBusy: 100, CPUBusy: 60, DiskBusy: 50, CPUCoresUsed: 2},
+	})
+	ratio := srv.AvgWatts / nd.AvgWatts
+	if ratio < 1.1 || ratio > 2.2 {
+		t.Fatalf("NDPipe power advantage %.2f×, want ≈1.4× (paper 1.39×)", ratio)
+	}
+}

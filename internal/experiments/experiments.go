@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §5, §6, §7.2) from the ndpipe substrates: the real
+// neural-network engine for accuracy-shaped results and the calibrated
+// simulator for performance/energy/cost-shaped results.
+//
+// Each experiment returns a Table whose rows mirror the series the paper
+// plots; cmd/ndpipe-bench and the root bench harness print them. See
+// EXPERIMENTS.md for measured-vs-paper commentary.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	Seed  int64
+	Quick bool // shrink dataset/model sweeps to smoke-test size
+}
+
+// DefaultParams is what cmd/ndpipe-bench uses.
+func DefaultParams() Params { return Params{Seed: 1} }
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // "fig4a", "table2", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Func runs one experiment.
+type Func func(Params) (*Table, error)
+
+// Registry maps experiment IDs (fig4a ... fig21, table1, table2) to their
+// generators.
+func Registry() map[string]Func {
+	return map[string]Func{
+		"fig4a":  Fig4a,
+		"fig4b":  Fig4b,
+		"table1": Table1,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig9":   Fig9,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+		"fig15":  Fig15,
+		"fig16":  Fig16,
+		"fig17":  Fig17,
+		"table2": Table2,
+		"fig18":  Fig18,
+		"fig19":  Fig19,
+		"fig20":  Fig20,
+		"fig21":  Fig21,
+		// Beyond-the-paper ablations of bundled design choices.
+		"ablation-delta":       AblationDelta,
+		"ablation-compression": AblationCompression,
+		"ablation-nrun":        AblationPipelineDepth,
+		"ablation-colocation":  AblationColocation,
+	}
+}
+
+// IDs returns the registry keys in stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,318 @@
+// Package ftdmp implements Fine-Tuning-based Data and Model Parallelism
+// (§5.1–§5.2), the paper's core training strategy: the weight-freeze part of
+// a DNN is replicated across N PipeStores (data parallelism, no weight
+// synchronization), the trainable tail lives on the single Tuner (model
+// parallelism), and training is pipelined over Nrun sub-dataset runs so the
+// Store-stage of run r+1 overlaps the Tuner-stage of run r (Fig 10).
+//
+// The package offers three views of FT-DMP:
+//
+//   - Estimate: a closed-form performance model (used by APO's
+//     FindBestPoint) for any partition cut, store count and pipeline depth;
+//   - Simulate: a run-granularity discrete-event execution on the sim
+//     engine, which is what the figures are generated from;
+//   - FineTuneRuns (train.go): real gradient-descent training of the
+//     classifier over pipelined runs, for the accuracy experiments.
+package ftdmp
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/model"
+	"ndpipe/internal/npe"
+	"ndpipe/internal/sim"
+)
+
+// Weight-synchronization realism constants: all-reduce of layer-sized
+// tensors across cloud VMs reaches ≈10 % of line rate and pays a barrier
+// per iteration (calibrated against the Fig 6a weight-sync blow-up).
+const (
+	SyncGoodputFrac = 0.10
+	SyncBarrierS    = 0.010
+)
+
+// Config describes one FT-DMP training job.
+type Config struct {
+	Model  *model.Spec
+	Cut    model.Cut // partition point; model.LastFrozen() is the FT-DMP default
+	Stores int       // number of PipeStores
+	Nrun   int       // pipeline depth (1 = unpipelined, Fig 10a)
+	Images int       // training-set size
+	// BatchPerStore is the PipeStore feature-extraction batch (paper: 512
+	// for training); it also sets the weight-sync granularity for cuts that
+	// offload trainable layers.
+	BatchPerStore int
+	// TunerEpochs is how many passes the Tuner makes over each run's
+	// gathered features (paper setups converge within one).
+	TunerEpochs int
+	// Gbps is the network line rate between every PipeStore and the Tuner.
+	Gbps float64
+
+	Store *cluster.Server // PipeStore hardware (nil → cluster.PipeStore(Gbps))
+	Tuner *cluster.Server // Tuner hardware (nil → cluster.Tuner(Gbps))
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Model == nil {
+		return c, fmt.Errorf("ftdmp: nil model")
+	}
+	if !c.Model.Valid(c.Cut) {
+		return c, fmt.Errorf("ftdmp: invalid cut %d for %s", c.Cut, c.Model.Name)
+	}
+	if c.Stores <= 0 {
+		return c, fmt.Errorf("ftdmp: need at least one store")
+	}
+	if c.Images <= 0 {
+		return c, fmt.Errorf("ftdmp: no images")
+	}
+	if c.Nrun <= 0 {
+		c.Nrun = 1
+	}
+	if c.BatchPerStore <= 0 {
+		c.BatchPerStore = 512
+	}
+	if c.TunerEpochs <= 0 {
+		c.TunerEpochs = 1
+	}
+	if c.Gbps <= 0 {
+		c.Gbps = 10
+	}
+	if c.Store == nil {
+		c.Store = cluster.PipeStore(c.Gbps)
+	}
+	if c.Tuner == nil {
+		c.Tuner = cluster.Tuner(c.Gbps)
+	}
+	return c, nil
+}
+
+// Result reports a training job's performance.
+type Result struct {
+	TotalSec      float64 // wall time of the whole pipelined job
+	StoreStageSec float64 // per-run Store-stage wall time
+	TunerStageSec float64 // per-run Tuner-stage wall time
+	TDiff         float64 // |StoreStageSec − TunerStageSec| (APO's objective)
+
+	FeatureTraffic int64 // bytes of intermediate data shipped to the Tuner
+	SyncTraffic    int64 // bytes of cross-store weight synchronization
+	DistTraffic    int64 // bytes of model (delta) redistribution afterwards
+
+	StorePerImageSec float64
+	TunerPerImageSec float64
+
+	// Busy seconds over the whole job, for energy metering.
+	StoreGPUBusy  float64 // per store
+	StoreCPUBusy  float64 // per store
+	StoreDiskBusy float64 // per store
+	TunerGPUBusy  float64
+	TunerCPUBusy  float64
+}
+
+// IPS returns end-to-end training throughput in images/second.
+func (r Result) IPS(images int) float64 { return float64(images) / r.TotalSec }
+
+// storePerImage computes the Store-stage per-image wall time on one store,
+// including its NPE pipeline, its share of the Tuner ingress link, and any
+// weight-synchronization stalls.
+func storePerImage(c Config) (sec float64, npeStages npe.Stages, err error) {
+	opt := npe.Optimized()
+	// Clamp the training batch to what the store's accelerator memory
+	// allows (large models like ViT cannot hold the paper's 512 default).
+	batch, err := npe.MaxBatch(c.Store, c.Model, c.BatchPerStore)
+	if err != nil {
+		return 0, npe.Stages{}, err
+	}
+	opt.BatchSize = batch
+	gf := c.Model.StoreGFLOPs(c.Cut)
+	if gf == 0 {
+		// Nothing offloaded: the store just reads and ships raw
+		// preprocessed binaries.
+		in := npe.InputBytes(c.Model, npe.FineTune, opt)
+		npeStages = npe.Stages{
+			Read:   float64(in) / c.Store.Disk.ReadBps,
+			Decomp: float64(c.Model.PreprocBytes()) / (c.Store.CPU.DecompBps * 2),
+		}
+	} else {
+		npeStages, err = npe.StageTimes(c.Store, c.Model, gf, npe.FineTune, opt)
+		if err != nil {
+			return 0, npe.Stages{}, err
+		}
+	}
+	tx := c.Model.CutOutputBytes(c.Cut)
+	storeLink := float64(tx) / c.Store.Net.Bps
+	tunerLink := float64(tx) * float64(c.Stores) / c.Tuner.Net.Bps
+
+	sec = maxf(npeStages.Read, npeStages.Decomp, npeStages.FE, storeLink, tunerLink)
+
+	// Weight synchronization (only when trainable layers were offloaded):
+	// every iteration each store pushes gradients and pulls weights through
+	// the Tuner's link, serializing across stores (§4.1's new bottleneck).
+	// Distributed all-reduce over VM networks attains only a fraction of
+	// line rate on these small tensors and pays a per-iteration barrier,
+	// which is what makes naive NDP sync so punishing in Fig 6(a).
+	if sb := c.Model.SyncedParamBytes(c.Cut); sb > 0 {
+		perIter := 2*float64(sb)*float64(c.Stores)/(c.Tuner.Net.Bps*SyncGoodputFrac) + SyncBarrierS
+		sec += perIter / float64(c.BatchPerStore)
+	}
+	return sec, npeStages, nil
+}
+
+// tunerPerImage computes the Tuner-stage per-image time: ingesting one
+// image's intermediate data (CPU feed path), running the remaining frozen
+// stages on the optimized engine, and training the trainable tail
+// (forward+backward+update ≈ 3× its forward FLOPs) on the training engine.
+func tunerPerImage(c Config) float64 {
+	tx := c.Model.CutOutputBytes(c.Cut)
+	feed := float64(tx) / c.Tuner.CPU.FeedBps
+	scratch := float64(tx)/c.Tuner.Disk.WriteBps + float64(tx)/c.Tuner.Disk.ReadBps
+
+	frozenOnTuner := c.Model.TunerGFLOPs(c.Cut) - c.Model.TrainableGFLOPs()
+	if frozenOnTuner < 0 {
+		frozenOnTuner = 0
+	}
+	var gpu float64
+	if frozenOnTuner > 0 {
+		gpu += 1 / c.Tuner.InferIPS(c.Model, frozenOnTuner)
+	}
+	// The trainable tail is trained wherever it lives; when it is offloaded
+	// (+FC cuts) the Tuner only aggregates, so its GPU cost drops out.
+	if c.Model.SyncedParamBytes(c.Cut) == 0 {
+		gpu += 1 / c.Tuner.TrainIPS(c.Model, 3*c.Model.TrainableGFLOPs())
+	}
+	return feed + scratch + gpu
+}
+
+// Estimate evaluates the closed-form FT-DMP performance model.
+func Estimate(cfg Config) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	sImg, stages, err := storePerImage(c)
+	if err != nil {
+		return Result{}, err
+	}
+	tImg := tunerPerImage(c)
+
+	imagesPerRun := float64(c.Images) / float64(c.Nrun)
+	S := imagesPerRun / float64(c.Stores) * sImg
+	T := imagesPerRun * tImg * float64(c.TunerEpochs)
+
+	// Two-stage pipeline over Nrun runs (Fig 10b): fill with the first
+	// Store-stage, drain with the last Tuner-stage, bottleneck in between.
+	total := S + float64(c.Nrun-1)*maxf(S, T) + T
+
+	res := Result{
+		StoreStageSec:    S,
+		TunerStageSec:    T,
+		TDiff:            absf(S - T),
+		TotalSec:         total,
+		StorePerImageSec: sImg,
+		TunerPerImageSec: tImg,
+	}
+	res.FeatureTraffic = int64(c.Images) * c.Model.CutOutputBytes(c.Cut)
+	if sb := c.Model.SyncedParamBytes(c.Cut); sb > 0 {
+		iters := c.Images / (c.BatchPerStore * c.Stores)
+		if iters < 1 {
+			iters = 1
+		}
+		res.SyncTraffic = int64(iters) * 2 * sb * int64(c.Stores)
+	}
+	res.DistTraffic = int64(c.Stores) * delta.DistributionBytes(c.Model)
+
+	perStoreImages := float64(c.Images) / float64(c.Stores)
+	res.StoreGPUBusy = perStoreImages * stages.FE
+	res.StoreCPUBusy = perStoreImages * stages.Decomp
+	res.StoreDiskBusy = perStoreImages * stages.Read
+	res.TunerGPUBusy = float64(c.Images) * (tImg - float64(c.Model.CutOutputBytes(c.Cut))/c.Tuner.CPU.FeedBps) * float64(c.TunerEpochs)
+	res.TunerCPUBusy = float64(c.Images) * float64(c.Model.CutOutputBytes(c.Cut)) / c.Tuner.CPU.FeedBps
+	return res, nil
+}
+
+// Simulate executes the pipelined job on the discrete-event engine at run
+// granularity: one process per PipeStore per run plus a Tuner process,
+// synchronizing through queues exactly as Fig 10 draws it. It captures
+// effects the closed form approximates (uneven last run, stage overlap).
+func Simulate(cfg Config) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	sImg, stages, err := storePerImage(c)
+	if err != nil {
+		return Result{}, err
+	}
+	tImg := tunerPerImage(c)
+
+	eng := sim.New()
+	runDone := eng.NewQueue("run-done", 0)
+
+	// Store processes: all N stores work run r in parallel; the slowest
+	// signals run completion.
+	perRun := make([]int, c.Nrun)
+	base, rem := c.Images/c.Nrun, c.Images%c.Nrun
+	for r := range perRun {
+		perRun[r] = base
+		if r < rem {
+			perRun[r]++
+		}
+	}
+	for s := 0; s < c.Stores; s++ {
+		s := s
+		eng.Go(fmt.Sprintf("store-%d", s), func(p *sim.Proc) {
+			for r := 0; r < c.Nrun; r++ {
+				shard := perRun[r] / c.Stores
+				if s < perRun[r]%c.Stores {
+					shard++
+				}
+				p.Wait(float64(shard) * sImg)
+				runDone.Put(p, r)
+			}
+		})
+	}
+	var total float64
+	var tunerBusy float64
+	eng.Go("tuner", func(p *sim.Proc) {
+		for r := 0; r < c.Nrun; r++ {
+			for s := 0; s < c.Stores; s++ {
+				runDone.Get(p) // gather: wait for every store to finish run r
+			}
+			d := float64(perRun[r]) * tImg * float64(c.TunerEpochs)
+			tunerBusy += d
+			p.Wait(d)
+		}
+		total = eng.Now()
+	})
+	if _, err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+
+	res, err := Estimate(c)
+	if err != nil {
+		return Result{}, err
+	}
+	res.TotalSec = total
+	_ = stages
+	_ = tunerBusy
+	return res, nil
+}
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package ftdmp
+
+import (
+	"fmt"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/sim"
+)
+
+// HeteroConfig describes an FT-DMP job over a *mixed* PipeStore fleet —
+// e.g. T4 stores bought last year plus cheaper Inferentia stores added
+// later. The paper evaluates homogeneous fleets; this extension answers the
+// deployment question operators actually face.
+type HeteroConfig struct {
+	Base Config // Model, Cut, Nrun, Images, batch, Gbps, Tuner (Stores/Store ignored)
+	// Fleet lists each store's hardware (one entry per PipeStore).
+	Fleet []*cluster.Server
+}
+
+// HeteroResult extends Result with per-store shard assignments.
+type HeteroResult struct {
+	Result
+	// ShardImages[i] is the number of images assigned to Fleet[i].
+	ShardImages []int
+	// PerImageSec[i] is Fleet[i]'s per-image Store-stage time.
+	PerImageSec []float64
+}
+
+// EstimateHetero sizes shards proportionally to each store's speed (so all
+// stores finish a run together — the heterogeneous analogue of APO's
+// balance objective) and evaluates the pipelined job.
+func EstimateHetero(cfg HeteroConfig) (HeteroResult, error) {
+	if len(cfg.Fleet) == 0 {
+		return HeteroResult{}, fmt.Errorf("ftdmp: empty fleet")
+	}
+	base := cfg.Base
+	base.Stores = len(cfg.Fleet)
+	c, err := base.withDefaults()
+	if err != nil {
+		return HeteroResult{}, err
+	}
+
+	// Per-store rates.
+	per := make([]float64, len(cfg.Fleet))
+	rates := make([]float64, len(cfg.Fleet))
+	var totalRate float64
+	for i, hw := range cfg.Fleet {
+		sc := c
+		sc.Store = hw
+		sec, _, err := storePerImage(sc)
+		if err != nil {
+			return HeteroResult{}, fmt.Errorf("ftdmp: fleet[%d] (%s): %w", i, hw.Name, err)
+		}
+		per[i] = sec
+		rates[i] = 1 / sec
+		totalRate += rates[i]
+	}
+
+	// Speed-proportional sharding (largest-remainder rounding).
+	shards := make([]int, len(cfg.Fleet))
+	assigned := 0
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, len(cfg.Fleet))
+	for i, r := range rates {
+		exact := float64(c.Images) * r / totalRate
+		shards[i] = int(exact)
+		assigned += shards[i]
+		fracs[i] = frac{i: i, f: exact - float64(shards[i])}
+	}
+	for assigned < c.Images {
+		best := 0
+		for j := 1; j < len(fracs); j++ {
+			if fracs[j].f > fracs[best].f {
+				best = j
+			}
+		}
+		shards[fracs[best].i]++
+		fracs[best].f = -1
+		assigned++
+	}
+
+	// Store-stage per run = the slowest store's shard time; with
+	// proportional shards this is ≈Images/(Nrun·Σrates).
+	var stage float64
+	for i, n := range shards {
+		if t := float64(n) / float64(c.Nrun) * per[i]; t > stage {
+			stage = t
+		}
+	}
+	tImg := tunerPerImage(c)
+	imagesPerRun := float64(c.Images) / float64(c.Nrun)
+	T := imagesPerRun * tImg * float64(c.TunerEpochs)
+	total := stage + float64(c.Nrun-1)*maxf(stage, T) + T
+
+	res := HeteroResult{
+		Result: Result{
+			StoreStageSec:    stage,
+			TunerStageSec:    T,
+			TDiff:            absf(stage - T),
+			TotalSec:         total,
+			TunerPerImageSec: tImg,
+		},
+		ShardImages: shards,
+		PerImageSec: per,
+	}
+	res.FeatureTraffic = int64(c.Images) * c.Model.CutOutputBytes(c.Cut)
+	return res, nil
+}
+
+// SimulateHetero runs the mixed fleet on the discrete-event engine: every
+// store processes its shard per run, the Tuner gathers and trains —
+// capturing straggler effects exactly.
+func SimulateHetero(cfg HeteroConfig) (HeteroResult, error) {
+	est, err := EstimateHetero(cfg)
+	if err != nil {
+		return HeteroResult{}, err
+	}
+	base := cfg.Base
+	base.Stores = len(cfg.Fleet)
+	c, err := base.withDefaults()
+	if err != nil {
+		return HeteroResult{}, err
+	}
+
+	eng := sim.New()
+	runDone := eng.NewQueue("run-done", 0)
+	for i := range cfg.Fleet {
+		i := i
+		eng.Go(fmt.Sprintf("store-%d", i), func(p *sim.Proc) {
+			perRun := est.ShardImages[i] / c.Nrun
+			for r := 0; r < c.Nrun; r++ {
+				n := perRun
+				if r == c.Nrun-1 {
+					n = est.ShardImages[i] - perRun*(c.Nrun-1)
+				}
+				p.Wait(float64(n) * est.PerImageSec[i])
+				runDone.Put(p, r)
+			}
+		})
+	}
+	var total float64
+	eng.Go("tuner", func(p *sim.Proc) {
+		perRun := c.Images / c.Nrun
+		for r := 0; r < c.Nrun; r++ {
+			for range cfg.Fleet {
+				runDone.Get(p)
+			}
+			n := perRun
+			if r == c.Nrun-1 {
+				n = c.Images - perRun*(c.Nrun-1)
+			}
+			p.Wait(float64(n) * est.TunerPerImageSec * float64(c.TunerEpochs))
+		}
+		total = eng.Now()
+	})
+	if _, err := eng.Run(); err != nil {
+		return HeteroResult{}, err
+	}
+	est.TotalSec = total
+	return est, nil
+}

@@ -1,0 +1,112 @@
+package ftdmp
+
+import (
+	"math"
+	"testing"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/model"
+)
+
+func heteroCfg(fleet []*cluster.Server) HeteroConfig {
+	m := model.ResNet50()
+	return HeteroConfig{
+		Base:  Config{Model: m, Cut: m.LastFrozen(), Images: 120_000, Nrun: 3},
+		Fleet: fleet,
+	}
+}
+
+func TestHeteroMatchesHomogeneous(t *testing.T) {
+	// An all-T4 "heterogeneous" fleet must agree with the homogeneous path.
+	fleet := []*cluster.Server{cluster.PipeStore(10), cluster.PipeStore(10), cluster.PipeStore(10), cluster.PipeStore(10)}
+	het, err := EstimateHetero(heteroCfg(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, err := Estimate(Config{Model: model.ResNet50(), Cut: model.ResNet50().LastFrozen(), Images: 120_000, Nrun: 3, Stores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(het.TotalSec-homo.TotalSec)/homo.TotalSec > 0.01 {
+		t.Fatalf("hetero %v vs homo %v", het.TotalSec, homo.TotalSec)
+	}
+}
+
+func TestHeteroShardsProportionalToSpeed(t *testing.T) {
+	fleet := []*cluster.Server{cluster.PipeStore(10), cluster.PipeStoreInf1(10)}
+	res, err := EstimateHetero(heteroCfg(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardImages[0]+res.ShardImages[1] != 120_000 {
+		t.Fatalf("shards %v do not cover the dataset", res.ShardImages)
+	}
+	// The T4 is ≈2.3× the NeuronCore, so it should get ≈2.3× the photos.
+	ratio := float64(res.ShardImages[0]) / float64(res.ShardImages[1])
+	speed := res.PerImageSec[1] / res.PerImageSec[0]
+	if math.Abs(ratio-speed)/speed > 0.02 {
+		t.Fatalf("shard ratio %.2f vs speed ratio %.2f", ratio, speed)
+	}
+	if ratio < 1.5 {
+		t.Fatalf("T4 should carry more photos: %v", res.ShardImages)
+	}
+}
+
+func TestHeteroBeatsNaiveEqualSharding(t *testing.T) {
+	// Proportional sharding must beat what equal shards would cost: with
+	// equal shards the slow store is the straggler.
+	fleet := []*cluster.Server{cluster.PipeStore(10), cluster.PipeStoreInf1(10)}
+	res, err := EstimateHetero(heteroCfg(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalStage := float64(60_000) / 3 * res.PerImageSec[1] // slow store, half the data
+	if res.StoreStageSec >= equalStage {
+		t.Fatalf("proportional stage %v should beat equal-shard straggler %v",
+			res.StoreStageSec, equalStage)
+	}
+}
+
+func TestHeteroAddingStoreHelps(t *testing.T) {
+	small := []*cluster.Server{cluster.PipeStore(10), cluster.PipeStore(10)}
+	big := append(append([]*cluster.Server{}, small...), cluster.PipeStoreInf1(10))
+	a, err := EstimateHetero(heteroCfg(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateHetero(heteroCfg(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalSec >= a.TotalSec {
+		t.Fatalf("adding an Inferentia store should help: %v vs %v", b.TotalSec, a.TotalSec)
+	}
+}
+
+func TestSimulateHeteroMatchesEstimate(t *testing.T) {
+	fleet := []*cluster.Server{
+		cluster.PipeStore(10), cluster.PipeStore(10), cluster.PipeStoreInf1(10),
+	}
+	est, err := EstimateHetero(heteroCfg(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateHetero(heteroCfg(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.TotalSec-sim.TotalSec)/est.TotalSec > 0.03 {
+		t.Fatalf("estimate %v vs simulate %v", est.TotalSec, sim.TotalSec)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	if _, err := EstimateHetero(HeteroConfig{Base: Config{Model: model.ResNet50(), Images: 10}}); err == nil {
+		t.Fatal("empty fleet must error")
+	}
+	cfg := heteroCfg([]*cluster.Server{cluster.PipeStore(10)})
+	cfg.Base.Model = nil
+	if _, err := EstimateHetero(cfg); err == nil {
+		t.Fatal("nil model must error")
+	}
+}

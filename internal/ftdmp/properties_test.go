@@ -1,0 +1,125 @@
+package ftdmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/model"
+)
+
+// Property: more PipeStores never slow training down, and more images never
+// speed it up, for any model and any valid cut.
+func TestEstimateMonotonicityProperty(t *testing.T) {
+	zoo := model.Zoo()
+	f := func(modelIdx, cutRaw, storesRaw uint8) bool {
+		m := zoo[int(modelIdx)%len(zoo)]
+		cut := model.Cut(int(cutRaw) % (int(m.LastFrozen()) + 1))
+		stores := 1 + int(storesRaw)%19
+		base := Config{Model: m, Cut: cut, Stores: stores, Images: 200_000}
+		r1, err := Estimate(base)
+		if err != nil {
+			return false
+		}
+		more := base
+		more.Stores = stores + 1
+		r2, err := Estimate(more)
+		if err != nil {
+			return false
+		}
+		if r2.TotalSec > r1.TotalSec+1e-9 {
+			return false // more stores slowed us down
+		}
+		big := base
+		big.Images = 400_000
+		r3, err := Estimate(big)
+		if err != nil {
+			return false
+		}
+		return r3.TotalSec >= r1.TotalSec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feature traffic is exactly linear in the image count and
+// independent of the store count.
+func TestFeatureTrafficLinearityProperty(t *testing.T) {
+	f := func(storesRaw uint8) bool {
+		m := model.ResNet50()
+		stores := 1 + int(storesRaw)%19
+		a, err := Estimate(Config{Model: m, Cut: m.LastFrozen(), Stores: stores, Images: 100_000})
+		if err != nil {
+			return false
+		}
+		b, err := Estimate(Config{Model: m, Cut: m.LastFrozen(), Stores: stores, Images: 300_000})
+		if err != nil {
+			return false
+		}
+		return b.FeatureTraffic == 3*a.FeatureTraffic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pipelining never hurts — for any Nrun, total time is at most
+// the unpipelined total (plus numerical slack), and at least the larger of
+// the two stage totals (you cannot beat the bottleneck).
+func TestPipelineBoundsProperty(t *testing.T) {
+	f := func(nrunRaw, storesRaw uint8) bool {
+		m := model.ResNet50()
+		nrun := 1 + int(nrunRaw)%11
+		stores := 1 + int(storesRaw)%15
+		base := Config{Model: m, Cut: m.LastFrozen(), Stores: stores, Images: 240_000}
+		serial, err := Estimate(base)
+		if err != nil {
+			return false
+		}
+		piped := base
+		piped.Nrun = nrun
+		r, err := Estimate(piped)
+		if err != nil {
+			return false
+		}
+		if r.TotalSec > serial.TotalSec+1e-6 {
+			return false
+		}
+		// Lower bound: the full store-stage and tuner-stage work each have
+		// to happen somewhere.
+		storeTotal := serial.StoreStageSec
+		tunerTotal := serial.TunerStageSec
+		floor := storeTotal
+		if tunerTotal > floor {
+			floor = tunerTotal
+		}
+		return r.TotalSec >= floor-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bandwidth only helps. Training time is non-increasing in the
+// network line rate for any cut (sync-heavy cuts benefit most).
+func TestBandwidthMonotonicityProperty(t *testing.T) {
+	m := model.ResNet50()
+	f := func(cutRaw uint8) bool {
+		cut := model.Cut(int(cutRaw) % m.NumCuts())
+		var prev float64 = -1
+		for _, g := range []float64{1, 10, 40} {
+			r, err := Estimate(Config{Model: m, Cut: cut, Stores: 4, Images: 120_000, Gbps: g})
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && r.TotalSec > prev+1e-9 {
+				return false
+			}
+			prev = r.TotalSec
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}

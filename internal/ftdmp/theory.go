@@ -1,0 +1,62 @@
+package ftdmp
+
+import (
+	"fmt"
+	"math"
+)
+
+// InterRunLossGap computes Δ from Lemma 5.2: with confidence θ, the initial
+// loss of run p+1 exceeds the converged loss of run p by at most
+//
+//	Δ = sqrt( log(2P/θ) / (2m) )
+//
+// where P is the number of model weights and m the number of training
+// samples in a run. Similar sub-dataset distributions (condition iii) keep
+// the realized gap well under this Hoeffding bound.
+func InterRunLossGap(numWeights, numSamples int, confidence float64) (float64, error) {
+	if numWeights <= 0 || numSamples <= 0 {
+		return 0, fmt.Errorf("ftdmp: weights and samples must be positive")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("ftdmp: confidence must be in (0,1)")
+	}
+	return math.Sqrt(math.Log(2*float64(numWeights)/confidence) / (2 * float64(numSamples))), nil
+}
+
+// ConvergenceIterations computes the Theorem 5.1 bound on the iterations T₂
+// needed for a pipelined run starting from loss l₁+Δ to reach target loss
+// ε₂, for a depth-N linear network trained with learning rate η and
+// deficiency margin c:
+//
+//	T₂ ≥ log((l₁+Δ)/ε₂) / (η · c^(2(N−1)/N))
+//
+// It returns the bound rounded up to a whole iteration.
+func ConvergenceIterations(eta, margin float64, layers int, prevLoss, gap, targetLoss float64) (int, error) {
+	switch {
+	case eta <= 0:
+		return 0, fmt.Errorf("ftdmp: learning rate must be positive")
+	case margin <= 0:
+		return 0, fmt.Errorf("ftdmp: deficiency margin must be positive")
+	case layers < 2:
+		return 0, fmt.Errorf("ftdmp: theorem requires N ≥ 2 layers")
+	case targetLoss <= 0:
+		return 0, fmt.Errorf("ftdmp: target loss must be positive")
+	case prevLoss < 0 || gap < 0:
+		return 0, fmt.Errorf("ftdmp: losses must be non-negative")
+	}
+	start := prevLoss + gap
+	if start <= targetLoss {
+		return 0, nil // already converged
+	}
+	n := float64(layers)
+	rate := eta * math.Pow(margin, 2*(n-1)/n)
+	return int(math.Ceil(math.Log(start/targetLoss) / rate)), nil
+}
+
+// LossBoundAfter computes the Theorem 5.1 loss guarantee after t iterations
+// of a run starting at loss start: start · exp(−η·c^(2(N−1)/N)·t).
+func LossBoundAfter(eta, margin float64, layers int, start float64, t int) float64 {
+	n := float64(layers)
+	rate := eta * math.Pow(margin, 2*(n-1)/n)
+	return start * math.Exp(-rate*float64(t))
+}

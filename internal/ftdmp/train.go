@@ -1,0 +1,142 @@
+package ftdmp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+// TrainOptions controls the real (gradient-descent) pipelined fine-tune.
+type TrainOptions struct {
+	LR            float64
+	Momentum      float64
+	MiniBatch     int
+	MaxEpochs     int     // per run
+	ConvergeDelta float64 // stop when train-accuracy gains fall below this...
+	Patience      int     // ...for this many consecutive epochs (paper: 0.01 %, 3 epochs)
+	Seed          int64
+}
+
+// DefaultTrainOptions mirrors the paper's stopping criterion (§6.3).
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		LR:            0.1,
+		Momentum:      0.9,
+		MiniBatch:     128,
+		MaxEpochs:     60,
+		ConvergeDelta: 0.0001,
+		Patience:      3,
+		Seed:          1,
+	}
+}
+
+// TrainStats reports what the real trainer did.
+type TrainStats struct {
+	EpochsPerRun []int
+	TotalEpochs  int
+	FinalLoss    float64
+}
+
+// FineTuneRuns is the Tuner's view of pipelined FT-DMP training: the feature
+// dataset is split into len(runs) sub-datasets and the classifier is trained
+// to convergence on each run in order. With one run this is vanilla FT-DMP;
+// with more runs it is the pipelined variant whose convergence Theorem 5.1
+// guarantees — and whose catastrophic-forgetting risk grows as runs shrink
+// (Fig 17). The classifier clf is mutated in place.
+func FineTuneRuns(clf *nn.Network, runs []*dataset.Batch, opt TrainOptions) (TrainStats, error) {
+	if len(runs) == 0 {
+		return TrainStats{}, fmt.Errorf("ftdmp: no runs")
+	}
+	if opt.MiniBatch <= 0 {
+		return TrainStats{}, fmt.Errorf("ftdmp: minibatch must be positive")
+	}
+	if opt.MaxEpochs <= 0 {
+		opt.MaxEpochs = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sgd := nn.NewSGD(opt.LR, opt.Momentum)
+	stats := TrainStats{EpochsPerRun: make([]int, len(runs))}
+	for r, run := range runs {
+		if run.Len() == 0 {
+			return TrainStats{}, fmt.Errorf("ftdmp: run %d is empty", r)
+		}
+		best := -1.0
+		stale := 0
+		for epoch := 0; epoch < opt.MaxEpochs; epoch++ {
+			stats.FinalLoss = trainEpoch(clf, sgd, run, opt.MiniBatch, rng)
+			stats.EpochsPerRun[r]++
+			stats.TotalEpochs++
+			acc, _ := nn.Accuracy(clf, run.X, run.Labels, 1)
+			if acc > best+opt.ConvergeDelta {
+				best = acc
+				stale = 0
+			} else {
+				stale++
+				if opt.Patience > 0 && stale >= opt.Patience {
+					break
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// trainEpoch runs one shuffled pass of minibatch SGD and returns the mean
+// loss over the epoch.
+func trainEpoch(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, mini int, rng *rand.Rand) float64 {
+	n := b.Len()
+	perm := rng.Perm(n)
+	var lossSum float64
+	var batches int
+	for lo := 0; lo < n; lo += mini {
+		hi := lo + mini
+		if hi > n {
+			hi = n
+		}
+		x := sliceRows(b, perm[lo:hi])
+		loss := nn.TrainBatch(clf, sgd, x.X, x.Labels)
+		lossSum += loss
+		batches++
+	}
+	return lossSum / float64(batches)
+}
+
+// sliceRows materializes the selected rows as a new batch.
+func sliceRows(b *dataset.Batch, idx []int) *dataset.Batch {
+	out := &dataset.Batch{
+		X:      newMatrixLike(b, len(idx)),
+		Labels: make([]int, len(idx)),
+	}
+	for i, k := range idx {
+		copy(out.X.Row(i), b.X.Row(k))
+		out.Labels[i] = b.Labels[k]
+	}
+	return out
+}
+
+// SplitRuns partitions a feature batch into n contiguous runs of
+// near-equal size (the sub-datasets of Fig 10).
+func SplitRuns(b *dataset.Batch, n int) []*dataset.Batch {
+	if n <= 1 {
+		return []*dataset.Batch{b}
+	}
+	runs := make([]*dataset.Batch, 0, n)
+	size := b.Len() / n
+	for r := 0; r < n; r++ {
+		lo := r * size
+		hi := lo + size
+		if r == n-1 {
+			hi = b.Len()
+		}
+		runs = append(runs, b.Slice(lo, hi))
+	}
+	return runs
+}
+
+// newMatrixLike allocates an n-row matrix with b's column width.
+func newMatrixLike(b *dataset.Batch, n int) *tensor.Matrix {
+	return tensor.New(n, b.X.Cols)
+}

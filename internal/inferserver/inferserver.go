@@ -1,0 +1,163 @@
+// Package inferserver implements the inference server of the photo system
+// (Fig 3): the node that handles the *online* path. When a user uploads a
+// photo it (1) preprocesses it, (2) runs online inference to label it,
+// (3) routes the photo — raw bytes plus the preprocessed binary, which is
+// the NPE +Offload optimization (§5.4) — to a PipeStore, and (4) indexes
+// the label and location in the label database.
+//
+// It also receives model updates from the Tuner (Check-N-Run deltas), so
+// freshly uploaded photos are always labeled by the newest model.
+package inferserver
+
+import (
+	"fmt"
+	"sync"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/tensor"
+)
+
+// Server is the online-inference node.
+type Server struct {
+	cfg      core.ModelConfig
+	backbone *nn.Network
+
+	mu      sync.Mutex
+	clf     *nn.Network
+	clfSnap nn.Snapshot
+	version int
+	stores  []*pipestore.Node // upload routing targets (in-process handles)
+	next    int               // round-robin cursor
+	db      *labeldb.DB
+
+	uploads int
+}
+
+// New creates an inference server that routes uploads across the given
+// PipeStores and indexes labels into db.
+func New(cfg core.ModelConfig, stores []*pipestore.Node, db *labeldb.DB) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("inferserver: need at least one PipeStore")
+	}
+	if db == nil {
+		db = labeldb.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		backbone: cfg.NewBackbone(),
+		clf:      cfg.NewClassifier(),
+		stores:   stores,
+		db:       db,
+	}
+	s.clfSnap = s.clf.TakeSnapshot()
+	return s, nil
+}
+
+// DB exposes the label index.
+func (s *Server) DB() *labeldb.DB { return s.db }
+
+// ModelVersion returns the classifier version labeling new uploads.
+func (s *Server) ModelVersion() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Uploads returns how many photos have been ingested.
+func (s *Server) Uploads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.uploads
+}
+
+// ApplyDelta installs a Check-N-Run model update from the Tuner.
+func (s *Server) ApplyDelta(blob []byte, version int) error {
+	d, err := delta.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("inferserver: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := d.Apply(s.clfSnap)
+	if err != nil {
+		return fmt.Errorf("inferserver: %w", err)
+	}
+	if err := s.clf.Restore(snap); err != nil {
+		return fmt.Errorf("inferserver: %w", err)
+	}
+	s.clfSnap = snap
+	s.version = version
+	return nil
+}
+
+// UploadResult reports where an upload landed and how it was labeled.
+type UploadResult struct {
+	ImageID      uint64
+	Label        int
+	Confidence   float64 // max softmax probability of the online label
+	ModelVersion int
+	StoreID      string
+}
+
+// Upload runs the full online path for one photo: preprocess → online
+// inference → store (raw + preprocessed binary) → index label.
+func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
+	if len(img.Feat) != s.cfg.InputDim {
+		return UploadResult{}, fmt.Errorf("inferserver: image %d has dim %d, want %d",
+			img.ID, len(img.Feat), s.cfg.InputDim)
+	}
+	// Online inference on the preprocessed input.
+	x := tensor.FromSlice(1, s.cfg.InputDim, img.Feat)
+	s.mu.Lock()
+	logits := s.clf.Forward(s.backbone.Forward(x))
+	version := s.version
+	target := s.stores[s.next%len(s.stores)]
+	s.next++
+	s.uploads++
+	s.mu.Unlock()
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	label := probs.ArgmaxRows()[0]
+	confidence := probs.At(0, label)
+
+	// Store near the data: raw photo plus the preprocessed binary
+	// (+Offload), which the PipeStore compresses (+Comp).
+	if err := target.Ingest([]dataset.Image{img}); err != nil {
+		return UploadResult{}, err
+	}
+	// Index for search.
+	s.db.Upsert(labeldb.Entry{
+		ImageID:      img.ID,
+		Label:        label,
+		ModelVersion: version,
+		Location:     target.ID,
+	})
+	return UploadResult{
+		ImageID: img.ID, Label: label, Confidence: confidence,
+		ModelVersion: version, StoreID: target.ID,
+	}, nil
+}
+
+// UploadBatch ingests many photos, returning per-photo results.
+func (s *Server) UploadBatch(imgs []dataset.Image) ([]UploadResult, error) {
+	out := make([]UploadResult, 0, len(imgs))
+	for _, img := range imgs {
+		r, err := s.Upload(img)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Search proxies label queries to the index (the user-facing path of Fig 3).
+func (s *Server) Search(label int) []uint64 { return s.db.Search(label) }

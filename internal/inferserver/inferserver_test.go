@@ -1,0 +1,160 @@
+package inferserver
+
+import (
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/pipestore"
+)
+
+func rig(t *testing.T, nStores int) (*Server, []*pipestore.Node, *dataset.World) {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(41)
+	wcfg.InitialImages = 300
+	world := dataset.NewWorld(wcfg)
+	var stores []*pipestore.Node
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(string(rune('a'+i)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, ps)
+	}
+	srv, err := New(cfg, stores, labeldb.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, stores, world
+}
+
+func TestUploadStoresLabelsAndIndexes(t *testing.T) {
+	srv, stores, world := rig(t, 2)
+	img := world.Images()[0]
+	res, err := srv.Upload(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImageID != img.ID || res.ModelVersion != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The photo landed on a store with raw + preprocessed binary.
+	found := false
+	for _, ps := range stores {
+		if ps.ID == res.StoreID {
+			found = true
+			if _, err := ps.Storage().GetRaw(img.ID); err != nil {
+				t.Fatal("raw blob missing after upload")
+			}
+			if _, err := ps.Storage().GetPreprocCompressed(img.ID); err != nil {
+				t.Fatal("preprocessed binary missing (+Offload broken)")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("unknown store %q", res.StoreID)
+	}
+	// And it is indexed for search.
+	e, err := srv.DB().Get(img.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label != res.Label || e.Location != res.StoreID {
+		t.Fatalf("index entry %+v vs result %+v", e, res)
+	}
+	if ids := srv.Search(res.Label); len(ids) == 0 {
+		t.Fatal("search must find the uploaded photo")
+	}
+}
+
+func TestUploadBatchRoundRobins(t *testing.T) {
+	srv, stores, world := rig(t, 3)
+	res, err := srv.UploadBatch(world.Images()[:99])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 99 || srv.Uploads() != 99 {
+		t.Fatalf("uploaded %d", len(res))
+	}
+	for _, ps := range stores {
+		if n := ps.NumImages(); n != 33 {
+			t.Fatalf("store %s holds %d, want 33 (round-robin)", ps.ID, n)
+		}
+	}
+}
+
+func TestApplyDeltaChangesOnlineLabels(t *testing.T) {
+	srv, _, world := rig(t, 1)
+	cfg := core.DefaultModelConfig()
+
+	// Label a probe image with v0.
+	img := world.Images()[1]
+	before, err := srv.Upload(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Produce a v1 delta that substantially changes the classifier.
+	clf := cfg.NewClassifier()
+	base := clf.TakeSnapshot()
+	for _, p := range clf.TrainableParams() {
+		for i := range p.W.Data {
+			p.W.Data[i] = -p.W.Data[i] + 0.3
+		}
+	}
+	d, err := delta.Diff(base, clf.TakeSnapshot(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ApplyDelta(blob, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ModelVersion() != 1 {
+		t.Fatalf("version = %d", srv.ModelVersion())
+	}
+	// Upload the same content again (new ID): the label's model version
+	// must be v1 now.
+	img2 := img
+	img2.ID = 999999
+	after, err := srv.Upload(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ModelVersion != 1 {
+		t.Fatalf("new upload labeled by v%d", after.ModelVersion)
+	}
+	_ = before
+}
+
+func TestUploadValidation(t *testing.T) {
+	srv, _, _ := rig(t, 1)
+	if _, err := srv.Upload(dataset.Image{ID: 1, Feat: []float64{1}}); err == nil {
+		t.Fatal("wrong input dim must error")
+	}
+	cfg := core.DefaultModelConfig()
+	if _, err := New(cfg, nil, nil); err == nil {
+		t.Fatal("no stores must error")
+	}
+	bad := cfg
+	bad.InputDim = 0
+	if _, err := New(bad, nil, nil); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestGarbageDeltaRejected(t *testing.T) {
+	srv, _, _ := rig(t, 1)
+	if err := srv.ApplyDelta([]byte{1, 2, 3}, 5); err == nil {
+		t.Fatal("garbage delta must fail")
+	}
+	if srv.ModelVersion() != 0 {
+		t.Fatal("failed delta must not bump version")
+	}
+}

@@ -1,0 +1,131 @@
+// Package labeldb is the label index of the photo system (Fig 3): every
+// stored photo's label, the model version that produced it, and where the
+// photo lives. It answers search queries and the outdated-label bookkeeping
+// of §3.3 — how many labels each model refresh fixed (Table 1).
+package labeldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one indexed photo.
+type Entry struct {
+	ImageID      uint64
+	Label        int
+	ModelVersion int    // version of the model that assigned the label
+	Location     string // which storage server holds the photo
+}
+
+// DB is a thread-safe versioned label index.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[uint64]Entry
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{entries: make(map[uint64]Entry)}
+}
+
+// Upsert inserts or replaces an entry. It returns the previous entry (if
+// any) so callers can count label changes.
+func (db *DB) Upsert(e Entry) (prev Entry, existed bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prev, existed = db.entries[e.ImageID]
+	db.entries[e.ImageID] = e
+	return prev, existed
+}
+
+// Get returns the entry for an image.
+func (db *DB) Get(id uint64) (Entry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("labeldb: image %d not indexed", id)
+	}
+	return e, nil
+}
+
+// Len returns the number of indexed photos.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Search returns the IDs of all photos carrying the label, ascending —
+// the user-facing image-search query path.
+func (db *DB) Search(label int) []uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var ids []uint64
+	for id, e := range db.entries {
+		if e.Label == label {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CountByVersion returns how many labels were produced by each model
+// version — the outdated-label inventory.
+func (db *DB) CountByVersion() map[int]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[int]int)
+	for _, e := range db.entries {
+		out[e.ModelVersion]++
+	}
+	return out
+}
+
+// OutdatedCount returns how many labels predate the current model version.
+func (db *DB) OutdatedCount(currentVersion int) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, e := range db.entries {
+		if e.ModelVersion < currentVersion {
+			n++
+		}
+	}
+	return n
+}
+
+// RefreshStats summarizes one offline-inference pass (Table 1's "% of
+// labels fixed").
+type RefreshStats struct {
+	Total        int
+	Changed      int     // labels that differ from the previous version
+	FixedFrac    float64 // Changed/Total
+	ModelVersion int
+}
+
+// ApplyRefresh bulk-applies new labels from an offline inference pass with
+// the given model version, returning how many stored labels changed.
+func (db *DB) ApplyRefresh(labels map[uint64]int, version int, location string) RefreshStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := RefreshStats{ModelVersion: version}
+	for id, lbl := range labels {
+		st.Total++
+		prev, ok := db.entries[id]
+		if ok && prev.Label != lbl {
+			st.Changed++
+		}
+		loc := location
+		if ok && loc == "" {
+			loc = prev.Location
+		}
+		db.entries[id] = Entry{ImageID: id, Label: lbl, ModelVersion: version, Location: loc}
+	}
+	if st.Total > 0 {
+		st.FixedFrac = float64(st.Changed) / float64(st.Total)
+	}
+	return st
+}

@@ -1,0 +1,198 @@
+package labeldb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestUpsertGet(t *testing.T) {
+	db := New()
+	_, existed := db.Upsert(Entry{ImageID: 1, Label: 3, ModelVersion: 0, Location: "ps-0"})
+	if existed {
+		t.Fatal("first upsert should not report existing")
+	}
+	e, err := db.Get(1)
+	if err != nil || e.Label != 3 || e.Location != "ps-0" {
+		t.Fatalf("Get = %+v, %v", e, err)
+	}
+	prev, existed := db.Upsert(Entry{ImageID: 1, Label: 5, ModelVersion: 1})
+	if !existed || prev.Label != 3 {
+		t.Fatalf("second upsert prev = %+v", prev)
+	}
+	if _, err := db.Get(99); err == nil {
+		t.Fatal("missing entry must error")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	db := New()
+	db.Upsert(Entry{ImageID: 3, Label: 7})
+	db.Upsert(Entry{ImageID: 1, Label: 7})
+	db.Upsert(Entry{ImageID: 2, Label: 4})
+	ids := db.Search(7)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("Search = %v", ids)
+	}
+	if got := db.Search(99); len(got) != 0 {
+		t.Fatalf("empty search = %v", got)
+	}
+}
+
+func TestVersionAccounting(t *testing.T) {
+	db := New()
+	for i := uint64(0); i < 10; i++ {
+		v := 0
+		if i >= 6 {
+			v = 1
+		}
+		db.Upsert(Entry{ImageID: i, Label: int(i), ModelVersion: v})
+	}
+	counts := db.CountByVersion()
+	if counts[0] != 6 || counts[1] != 4 {
+		t.Fatalf("CountByVersion = %v", counts)
+	}
+	if got := db.OutdatedCount(1); got != 6 {
+		t.Fatalf("OutdatedCount = %d", got)
+	}
+	if got := db.OutdatedCount(0); got != 0 {
+		t.Fatalf("OutdatedCount(0) = %d", got)
+	}
+}
+
+// TestApplyRefreshCountsFixedLabels is the Table 1 mechanism: a refresh with
+// a newer model counts exactly the labels it changed.
+func TestApplyRefreshCountsFixedLabels(t *testing.T) {
+	db := New()
+	for i := uint64(0); i < 100; i++ {
+		db.Upsert(Entry{ImageID: i, Label: 0, ModelVersion: 0, Location: "ps-1"})
+	}
+	newLabels := make(map[uint64]int, 100)
+	for i := uint64(0); i < 100; i++ {
+		if i < 7 {
+			newLabels[i] = 1 // 7 % fixed
+		} else {
+			newLabels[i] = 0
+		}
+	}
+	st := db.ApplyRefresh(newLabels, 1, "")
+	if st.Total != 100 || st.Changed != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FixedFrac != 0.07 {
+		t.Fatalf("FixedFrac = %v", st.FixedFrac)
+	}
+	// All entries now carry version 1 and kept their location.
+	e, _ := db.Get(3)
+	if e.ModelVersion != 1 || e.Location != "ps-1" {
+		t.Fatalf("entry after refresh: %+v", e)
+	}
+	if db.OutdatedCount(1) != 0 {
+		t.Fatal("no outdated labels should remain")
+	}
+}
+
+func TestApplyRefreshNewImages(t *testing.T) {
+	db := New()
+	st := db.ApplyRefresh(map[uint64]int{1: 5, 2: 6}, 2, "ps-9")
+	if st.Total != 2 || st.Changed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	e, _ := db.Get(2)
+	if e.Location != "ps-9" || e.ModelVersion != 2 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := uint64(g*200 + i)
+				db.Upsert(Entry{ImageID: id, Label: i % 5})
+				db.Search(i % 5)
+				db.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 1600 {
+		t.Fatalf("Len = %d, want 1600", db.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	for i := uint64(0); i < 500; i++ {
+		db.Upsert(Entry{ImageID: i, Label: int(i % 9), ModelVersion: int(i % 3), Location: "ps-x"})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 500 {
+		t.Fatalf("restored %d entries", restored.Len())
+	}
+	for i := uint64(0); i < 500; i += 37 {
+		a, _ := db.Get(i)
+		b, err := restored.Get(i)
+		if err != nil || a != b {
+			t.Fatalf("entry %d mismatch: %+v vs %+v (%v)", i, a, b, err)
+		}
+	}
+	// Version accounting survives.
+	if got, want := restored.CountByVersion(), db.CountByVersion(); len(got) != len(want) {
+		t.Fatalf("version counts diverged: %v vs %v", got, want)
+	}
+}
+
+func TestSaveFileLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.db")
+	db := New()
+	db.Upsert(Entry{ImageID: 1, Label: 4, ModelVersion: 2, Location: "ps-0"})
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with more data: the rename must replace cleanly.
+	db.Upsert(Entry{ImageID: 2, Label: 5})
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d entries", restored.Len())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	if err := New().LoadFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	db := New()
+	db.Upsert(Entry{ImageID: 7, Label: 1})
+	if err := db.Load(bytes.NewReader([]byte{0xba, 0xad})); err == nil {
+		t.Fatal("garbage must not load")
+	}
+	// A failed load must leave the previous contents intact.
+	if db.Len() != 1 {
+		t.Fatal("failed load corrupted the database")
+	}
+}

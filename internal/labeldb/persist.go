@@ -1,0 +1,78 @@
+package labeldb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the serialized form of the database.
+type snapshot struct {
+	Entries []Entry
+}
+
+// Save writes the database to w (gob-encoded).
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{Entries: make([]Entry, 0, len(db.entries))}
+	for _, e := range db.entries {
+		snap.Entries = append(snap.Entries, e)
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("labeldb: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents with a snapshot written by Save.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("labeldb: load: %w", err)
+	}
+	entries := make(map[uint64]Entry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		entries[e.ImageID] = e
+	}
+	db.mu.Lock()
+	db.entries = entries
+	db.mu.Unlock()
+	return nil
+}
+
+// SaveFile persists the database to path atomically (temp file + rename),
+// so a crash mid-save never corrupts the previous index.
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("labeldb: %w", err)
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("labeldb: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("labeldb: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the database from a file written by SaveFile.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("labeldb: %w", err)
+	}
+	defer f.Close()
+	return db.Load(f)
+}

@@ -1,0 +1,99 @@
+package media
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// EncodePCM serializes mono float64 samples (the synthetic stand-in for a
+// stored audio file).
+func EncodePCM(samples []float64) []byte {
+	out := make([]byte, 8+8*len(samples))
+	binary.LittleEndian.PutUint64(out, uint64(len(samples)))
+	for i, s := range samples {
+		binary.LittleEndian.PutUint64(out[8+8*i:], math.Float64bits(s))
+	}
+	return out
+}
+
+// DecodePCM reverses EncodePCM.
+func DecodePCM(raw []byte) ([]float64, error) {
+	if len(raw) < 8 {
+		return nil, errShort("audio", 8, len(raw))
+	}
+	n := int(binary.LittleEndian.Uint64(raw))
+	if n < 0 || n > 1<<26 {
+		return nil, errShort("audio", 8, len(raw))
+	}
+	need := 8 + 8*n
+	if len(raw) < need {
+		return nil, errShort("audio", need, len(raw))
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8+8*i:]))
+	}
+	return s, nil
+}
+
+// AudioPreprocessor performs the audio-spectrogram transformation (AST) of
+// §7.1: it slices the waveform into windows and computes log-magnitude DFT
+// bands per window, yielding image-like vectors a CNN-style model can
+// consume. One vector per window.
+type AudioPreprocessor struct {
+	Window int // samples per analysis window
+	Bands  int // frequency bands (= output Dim)
+}
+
+// Kind implements Preprocessor.
+func (a *AudioPreprocessor) Kind() string { return "audio" }
+
+// Dim implements Preprocessor.
+func (a *AudioPreprocessor) Dim() int { return a.Bands }
+
+// Preprocess implements Preprocessor.
+func (a *AudioPreprocessor) Preprocess(raw []byte) ([][]float64, error) {
+	samples, err := DecodePCM(raw)
+	if err != nil {
+		return nil, err
+	}
+	return Spectrogram(samples, a.Window, a.Bands), nil
+}
+
+// Spectrogram computes log-magnitude DFT bands over non-overlapping windows
+// of the waveform. Band b of a window measures energy near normalized
+// frequency (b+1)/(2·bands) of the sampling rate.
+func Spectrogram(samples []float64, window, bands int) [][]float64 {
+	if window <= 0 || bands <= 0 {
+		return nil
+	}
+	var out [][]float64
+	for lo := 0; lo+window <= len(samples); lo += window {
+		seg := samples[lo : lo+window]
+		vec := make([]float64, bands)
+		for b := 0; b < bands; b++ {
+			// Single-bin DFT (Goertzel-style direct evaluation).
+			freq := float64(b+1) / float64(2*bands) // cycles per sample, ≤ Nyquist
+			var re, im float64
+			for n, s := range seg {
+				phase := 2 * math.Pi * freq * float64(n)
+				re += s * math.Cos(phase)
+				im -= s * math.Sin(phase)
+			}
+			mag := math.Sqrt(re*re+im*im) / float64(window)
+			vec[b] = math.Log1p(mag * 100)
+		}
+		out = append(out, vec)
+	}
+	return out
+}
+
+// Tone synthesizes a pure sine at the given normalized frequency (cycles
+// per sample) — the synthetic audio generator used in tests and examples.
+func Tone(freq float64, n int, amp float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = amp * math.Sin(2*math.Pi*freq*float64(i))
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package media
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// DocumentPreprocessor converts text into an embedding vector (§7.1's
+// document extension): a hashed bag-of-words projection into EmbedDim
+// dimensions, L2-normalized — the classical feature-hashing embedding that
+// downstream classification or sentiment tasks consume.
+type DocumentPreprocessor struct {
+	EmbedDim int
+}
+
+// Kind implements Preprocessor.
+func (d *DocumentPreprocessor) Kind() string { return "document" }
+
+// Dim implements Preprocessor.
+func (d *DocumentPreprocessor) Dim() int { return d.EmbedDim }
+
+// Preprocess implements Preprocessor: one embedding vector per document.
+func (d *DocumentPreprocessor) Preprocess(raw []byte) ([][]float64, error) {
+	return [][]float64{Embed(string(raw), d.EmbedDim)}, nil
+}
+
+// Embed computes the hashed bag-of-words embedding of a text: every token
+// is hashed to a dimension and a sign, counts accumulate, and the result is
+// L2-normalized. Similar texts land near each other in cosine distance.
+func Embed(text string, dim int) []float64 {
+	vec := make([]float64, dim)
+	for _, tok := range Tokenize(text) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(tok))
+		sum := h.Sum64()
+		idx := int(sum % uint64(dim))
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1
+		}
+		vec[idx] += sign
+	}
+	var norm float64
+	for _, v := range vec {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range vec {
+			vec[i] /= norm
+		}
+	}
+	return vec
+}
+
+// Tokenize lower-cases and splits on non-letter/digit runes.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

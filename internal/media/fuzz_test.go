@@ -1,0 +1,39 @@
+package media
+
+import "testing"
+
+// FuzzDecodeVideo: arbitrary bytes must never panic the video decoder.
+func FuzzDecodeVideo(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0})
+	v := &Video{Frames: [][]float64{{1, 2}, {3, 4}}}
+	f.Add(EncodeVideo(v))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clip, err := DecodeVideo(data)
+		if err != nil {
+			return
+		}
+		for _, fr := range clip.Frames {
+			_ = fr
+		}
+		// Decoded clips must re-encode without panicking.
+		if len(clip.Frames) > 0 {
+			_ = EncodeVideo(clip)
+		}
+	})
+}
+
+// FuzzDecodePCM: arbitrary bytes must never panic the audio decoder.
+func FuzzDecodePCM(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePCM([]float64{0.5, -0.5}))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodePCM(data)
+		if err != nil {
+			return
+		}
+		// Spectrogram over whatever decoded must not panic either.
+		_ = Spectrogram(s, 64, 4)
+	})
+}

@@ -1,0 +1,31 @@
+// Package media extends NDPipe beyond photos, implementing the §7.1
+// discussion: adapters that turn video, audio and document content into the
+// fixed-width preprocessed vectors the NDPipe pipeline consumes. Each
+// adapter is a Preprocessor: PipeStores run it near the data (the +Offload
+// stage for non-photo media), then feature-extract and classify exactly as
+// they do for photos.
+//
+//   - Video: key-frame extraction (frame-difference selection, after [39]);
+//   - Audio: spectrogram transformation (windowed DFT magnitude bands, the
+//     AST approach);
+//   - Document: text → embedding vectors via hashed bag-of-words.
+package media
+
+import "fmt"
+
+// Preprocessor converts one stored media object into NDPipe input vectors
+// of width Dim (one vector per analyzable unit: key frame, audio window,
+// document).
+type Preprocessor interface {
+	// Kind names the media type ("video", "audio", "document").
+	Kind() string
+	// Dim is the output vector width.
+	Dim() int
+	// Preprocess converts raw media bytes into input vectors.
+	Preprocess(raw []byte) ([][]float64, error)
+}
+
+// errShort reports truncated media payloads consistently.
+func errShort(kind string, want, got int) error {
+	return fmt.Errorf("media: %s payload truncated: need %d bytes, have %d", kind, want, got)
+}

@@ -1,0 +1,248 @@
+package media
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Video -----------------------------------------------------------------
+
+func sceneVideo(rng *rand.Rand, dim int, cuts []int, total int) *Video {
+	// A clip with abrupt scene changes at the given frame indices.
+	v := &Video{}
+	scene := make([]float64, dim)
+	for j := range scene {
+		scene[j] = rng.NormFloat64()
+	}
+	cutSet := map[int]bool{}
+	for _, c := range cuts {
+		cutSet[c] = true
+	}
+	for i := 0; i < total; i++ {
+		if cutSet[i] {
+			for j := range scene {
+				scene[j] = rng.NormFloat64() * 3
+			}
+		}
+		frame := make([]float64, dim)
+		for j := range frame {
+			frame[j] = scene[j] + rng.NormFloat64()*0.01
+		}
+		v.Frames = append(v.Frames, frame)
+	}
+	return v
+}
+
+func TestVideoCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := sceneVideo(rng, 8, []int{5}, 12)
+	got, err := DecodeVideo(EncodeVideo(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(v.Frames) {
+		t.Fatalf("frames %d, want %d", len(got.Frames), len(v.Frames))
+	}
+	for i := range v.Frames {
+		for j := range v.Frames[i] {
+			if got.Frames[i][j] != v.Frames[i][j] {
+				t.Fatal("codec corrupted frames")
+			}
+		}
+	}
+}
+
+func TestVideoCodecErrors(t *testing.T) {
+	if _, err := DecodeVideo([]byte{1, 2}); err == nil {
+		t.Fatal("short payload must error")
+	}
+	v := sceneVideo(rand.New(rand.NewSource(2)), 4, nil, 3)
+	raw := EncodeVideo(v)
+	if _, err := DecodeVideo(raw[:len(raw)-5]); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestKeyFramesFindSceneCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cuts := []int{10, 25}
+	v := sceneVideo(rng, 16, cuts, 40)
+	idx := KeyFrameIndices(v, 3)
+	if len(idx) != 3 {
+		t.Fatalf("got %d key frames", len(idx))
+	}
+	want := map[int]bool{0: true, 10: true, 25: true}
+	for _, i := range idx {
+		if !want[i] {
+			t.Fatalf("key frames %v, want frame 0 plus cuts %v", idx, cuts)
+		}
+	}
+}
+
+func TestVideoPreprocessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := sceneVideo(rng, 24, []int{7}, 20)
+	p := &VideoPreprocessor{FrameDim: 24, K: 2}
+	if p.Kind() != "video" || p.Dim() != 24 {
+		t.Fatal("metadata")
+	}
+	frames, err := p.Preprocess(EncodeVideo(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("got %d key frames", len(frames))
+	}
+	for _, f := range frames {
+		if len(f) != 24 {
+			t.Fatal("frame width")
+		}
+	}
+}
+
+func TestKeyFrameEdgeCases(t *testing.T) {
+	if KeyFrameIndices(&Video{}, 3) != nil {
+		t.Fatal("empty clip")
+	}
+	v := sceneVideo(rand.New(rand.NewSource(5)), 4, nil, 2)
+	if got := KeyFrameIndices(v, 10); len(got) != 2 {
+		t.Fatalf("k clamps to frame count, got %v", got)
+	}
+}
+
+// --- Audio -------------------------------------------------------------------
+
+func TestPCMCodecProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		got, err := DecodePCM(EncodePCM(samples))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			same := got[i] == samples[i]
+			bothNaN := math.IsNaN(got[i]) && math.IsNaN(samples[i])
+			if !same && !bothNaN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectrogramSeparatesTones(t *testing.T) {
+	const window, bands = 256, 16
+	low := Spectrogram(Tone(1.0/32, window*4, 1), window, bands)   // ~band 1
+	high := Spectrogram(Tone(12.0/32, window*4, 1), window, bands) // ~band 11
+	if len(low) != 4 || len(high) != 4 {
+		t.Fatalf("window count: %d/%d", len(low), len(high))
+	}
+	argmax := func(v []float64) int {
+		best := 0
+		for i, x := range v {
+			if x > v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	lb, hb := argmax(low[0]), argmax(high[0])
+	if lb >= hb {
+		t.Fatalf("low tone peaked at band %d, high at %d", lb, hb)
+	}
+}
+
+func TestAudioPreprocessor(t *testing.T) {
+	p := &AudioPreprocessor{Window: 128, Bands: 12}
+	if p.Kind() != "audio" || p.Dim() != 12 {
+		t.Fatal("metadata")
+	}
+	vecs, err := p.Preprocess(EncodePCM(Tone(0.1, 512, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 4 {
+		t.Fatalf("windows = %d, want 4", len(vecs))
+	}
+	if _, err := p.Preprocess([]byte{9}); err == nil {
+		t.Fatal("short payload must error")
+	}
+}
+
+func TestSpectrogramDegenerate(t *testing.T) {
+	if Spectrogram(nil, 0, 4) != nil || Spectrogram(Tone(0.1, 64, 1), 128, 4) != nil {
+		t.Fatal("degenerate inputs must yield no windows")
+	}
+}
+
+// --- Documents ---------------------------------------------------------------
+
+func TestEmbedSimilarTextsAreClose(t *testing.T) {
+	const dim = 64
+	a := Embed("the quick brown fox jumps over the lazy dog", dim)
+	b := Embed("a quick brown fox leaps over a lazy dog", dim)
+	c := Embed("stochastic gradient descent converges under convexity assumptions", dim)
+	simAB := Cosine(a, b)
+	simAC := Cosine(a, c)
+	if simAB <= simAC {
+		t.Fatalf("related texts %f should beat unrelated %f", simAB, simAC)
+	}
+	// Unit norm.
+	var n float64
+	for _, v := range a {
+		n += v * v
+	}
+	if math.Abs(n-1) > 1e-9 {
+		t.Fatalf("embedding norm %f, want 1", n)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	a := Embed("hello world", 32)
+	b := Embed("hello world", 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding must be deterministic")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Hello, World! 42 times")
+	want := []string{"hello", "world", "42", "times"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens %v", toks)
+		}
+	}
+}
+
+func TestDocumentPreprocessor(t *testing.T) {
+	p := &DocumentPreprocessor{EmbedDim: 24}
+	if p.Kind() != "document" || p.Dim() != 24 {
+		t.Fatal("metadata")
+	}
+	vecs, err := p.Preprocess([]byte("near data processing for photo storage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 1 || len(vecs[0]) != 24 {
+		t.Fatalf("got %d vecs", len(vecs))
+	}
+}
+
+func TestCosineDegenerate(t *testing.T) {
+	if Cosine([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("zero vector cosine must be 0")
+	}
+}

@@ -1,0 +1,128 @@
+package media
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Video is a decoded clip: an ordered sequence of fixed-width frames.
+type Video struct {
+	Frames [][]float64
+}
+
+// EncodeVideo serializes a clip: u32 frame count, u32 dim, then frames of
+// float64 little-endian — the synthetic stand-in for a stored video file.
+func EncodeVideo(v *Video) []byte {
+	if len(v.Frames) == 0 {
+		return []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	}
+	dim := len(v.Frames[0])
+	out := make([]byte, 8+8*dim*len(v.Frames))
+	binary.LittleEndian.PutUint32(out, uint32(len(v.Frames)))
+	binary.LittleEndian.PutUint32(out[4:], uint32(dim))
+	off := 8
+	for _, f := range v.Frames {
+		for _, x := range f {
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(x))
+			off += 8
+		}
+	}
+	return out
+}
+
+// DecodeVideo reverses EncodeVideo.
+func DecodeVideo(raw []byte) (*Video, error) {
+	if len(raw) < 8 {
+		return nil, errShort("video", 8, len(raw))
+	}
+	n := int(binary.LittleEndian.Uint32(raw))
+	dim := int(binary.LittleEndian.Uint32(raw[4:]))
+	if n < 0 || dim < 0 || n*dim > 1<<26 {
+		return nil, errShort("video", 8, len(raw))
+	}
+	need := 8 + 8*n*dim
+	if len(raw) < need {
+		return nil, errShort("video", need, len(raw))
+	}
+	v := &Video{Frames: make([][]float64, n)}
+	off := 8
+	for i := 0; i < n; i++ {
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			off += 8
+		}
+		v.Frames[i] = f
+	}
+	return v, nil
+}
+
+// VideoPreprocessor selects up to K key frames per clip by frame-difference
+// magnitude: the frames where the content changes most (scene cuts) are the
+// ones worth analyzing, exactly the frame-extraction strategy §7.1 cites.
+type VideoPreprocessor struct {
+	FrameDim int
+	K        int
+}
+
+// Kind implements Preprocessor.
+func (v *VideoPreprocessor) Kind() string { return "video" }
+
+// Dim implements Preprocessor.
+func (v *VideoPreprocessor) Dim() int { return v.FrameDim }
+
+// Preprocess implements Preprocessor: decode the clip and return its key
+// frames.
+func (v *VideoPreprocessor) Preprocess(raw []byte) ([][]float64, error) {
+	clip, err := DecodeVideo(raw)
+	if err != nil {
+		return nil, err
+	}
+	idx := KeyFrameIndices(clip, v.K)
+	out := make([][]float64, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, clip.Frames[i])
+	}
+	return out, nil
+}
+
+// KeyFrameIndices returns the indices of up to k key frames, in temporal
+// order: the first frame plus the k−1 frames with the largest L2 difference
+// from their predecessor.
+func KeyFrameIndices(v *Video, k int) []int {
+	if len(v.Frames) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(v.Frames) {
+		k = len(v.Frames)
+	}
+	type scored struct {
+		idx  int
+		diff float64
+	}
+	diffs := make([]scored, 0, len(v.Frames)-1)
+	for i := 1; i < len(v.Frames); i++ {
+		var d float64
+		prev, cur := v.Frames[i-1], v.Frames[i]
+		for j := range cur {
+			e := cur[j] - prev[j]
+			d += e * e
+		}
+		diffs = append(diffs, scored{idx: i, diff: d})
+	}
+	sort.Slice(diffs, func(a, b int) bool { return diffs[a].diff > diffs[b].diff })
+	pick := map[int]bool{0: true} // the opening frame is always a key frame
+	for _, s := range diffs {
+		if len(pick) >= k {
+			break
+		}
+		pick[s.idx] = true
+	}
+	out := make([]int, 0, len(pick))
+	for i := range pick {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

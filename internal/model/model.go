@@ -1,0 +1,300 @@
+// Package model is the DNN model zoo: stage-level descriptions (FLOPs,
+// activation sizes, parameter counts) of the five image-classification
+// networks the paper evaluates — ShuffleNetV2, ResNet50, InceptionV3,
+// ResNeXt101 and ViT-B/16 — plus the partition-point machinery FT-DMP and
+// APO operate on.
+//
+// A "stage" is a partitionable segment of the network (areas with residual
+// blocks or skip connections are never split, per §5.3, so each ResNet
+// conv group is one stage). Per-stage numbers come from the literature for
+// 224×224 (299×299 for InceptionV3) inputs and are what the simulator,
+// APO and the traffic accounting consume.
+package model
+
+import "fmt"
+
+// Stage is one partitionable segment of a DNN.
+type Stage struct {
+	Name      string
+	GFLOPs    float64 // forward-pass GFLOPs per image
+	OutFloats int     // activation floats per image at the stage output
+	Params    int     // parameters in the stage
+	Trainable bool    // true for the classifier / task-module layers
+}
+
+// Spec describes one network in the zoo.
+type Spec struct {
+	Name        string
+	InputFloats int     // preprocessed input floats per image (e.g. 224·224·3)
+	RawBytes    int64   // typical stored JPEG size (bytes)
+	Stages      []Stage // in execution order; trainable stages come last
+	// InferEff is the fraction of a GPU's tensor peak this model attains on
+	// the optimized inference engine (TensorRT-like). Calibrated so a single
+	// T4 PipeStore reproduces the paper's per-model IPS anchors (§6.2).
+	InferEff float64
+	// TrainEff is the fraction of fp32 peak attained on the training engine
+	// (TensorFlow-like), used for host-side full training and trainable-layer
+	// updates.
+	TrainEff float64
+	// ActMemBytes is the accelerator memory consumed per in-flight image
+	// (activations, attention maps, engine workspace). Batch × ActMemBytes
+	// + ParamBytes must fit the accelerator memory or inference OOMs —
+	// this is what knocks ViT out at large batch sizes in Fig 19.
+	ActMemBytes int64
+}
+
+// BytesPerFloat is the parameter/storage precision (fp32, matching the
+// paper's 0.59 MB preprocessed ImageNet images = 224·224·3 floats).
+const BytesPerFloat = 4
+
+// TransferBytesPerFloat is the precision of intermediate activations on the
+// wire: the engine downcasts features to fp16 before transmission, which is
+// what makes Fig 9's traffic fall monotonically as layers are offloaded.
+const TransferBytesPerFloat = 2
+
+// PreprocBytes returns the preprocessed-binary size per image.
+func (s *Spec) PreprocBytes() int64 { return int64(s.InputFloats) * BytesPerFloat }
+
+// TotalGFLOPs returns the full forward cost per image.
+func (s *Spec) TotalGFLOPs() float64 {
+	var g float64
+	for _, st := range s.Stages {
+		g += st.GFLOPs
+	}
+	return g
+}
+
+// TotalParams returns the total parameter count.
+func (s *Spec) TotalParams() int {
+	var p int
+	for _, st := range s.Stages {
+		p += st.Params
+	}
+	return p
+}
+
+// ParamBytes returns the serialized model size in bytes.
+func (s *Spec) ParamBytes() int64 { return int64(s.TotalParams()) * BytesPerFloat }
+
+// TrainableParams returns the parameter count of the trainable stages.
+func (s *Spec) TrainableParams() int {
+	var p int
+	for _, st := range s.Stages {
+		if st.Trainable {
+			p += st.Params
+		}
+	}
+	return p
+}
+
+// TrainableParamBytes returns the serialized size of the trainable stages.
+func (s *Spec) TrainableParamBytes() int64 { return int64(s.TrainableParams()) * BytesPerFloat }
+
+// TrainableGFLOPs returns the forward GFLOPs of the trainable stages.
+func (s *Spec) TrainableGFLOPs() float64 {
+	var g float64
+	for _, st := range s.Stages {
+		if st.Trainable {
+			g += st.GFLOPs
+		}
+	}
+	return g
+}
+
+// Cut is a partition point: stages [0, Cut) run on the PipeStore, stages
+// [Cut, len) run on the Tuner. Cut==0 means nothing is offloaded ("None");
+// Cut==len(Stages) offloads everything including the classifier ("+FC").
+type Cut int
+
+// NumCuts returns the number of valid cut positions (0..len(Stages)).
+func (s *Spec) NumCuts() int { return len(s.Stages) + 1 }
+
+// CutName renders the paper's labels: None, +Conv1, ..., +FC.
+func (s *Spec) CutName(c Cut) string {
+	if c == 0 {
+		return "None"
+	}
+	return "+" + s.Stages[c-1].Name
+}
+
+// Valid reports whether c is a legal cut for this model.
+func (s *Spec) Valid(c Cut) bool { return c >= 0 && int(c) <= len(s.Stages) }
+
+// LastFrozen returns the cut that offloads exactly the weight-freeze stages
+// (everything except the trainable tail) — the deepest cut FT-DMP permits
+// without reintroducing weight synchronization.
+func (s *Spec) LastFrozen() Cut {
+	for i, st := range s.Stages {
+		if st.Trainable {
+			return Cut(i)
+		}
+	}
+	return Cut(len(s.Stages))
+}
+
+// StoreGFLOPs returns the per-image forward cost of the offloaded part.
+func (s *Spec) StoreGFLOPs(c Cut) float64 {
+	var g float64
+	for _, st := range s.Stages[:c] {
+		g += st.GFLOPs
+	}
+	return g
+}
+
+// TunerGFLOPs returns the per-image forward cost of the Tuner-side part.
+func (s *Spec) TunerGFLOPs(c Cut) float64 { return s.TotalGFLOPs() - s.StoreGFLOPs(c) }
+
+// CutOutputBytes returns the per-image bytes crossing the network at cut c:
+// the raw stored image when nothing is offloaded (the "None" configuration
+// forwards raw images to the Tuner, §5.1/Fig 9), otherwise the fp16
+// activation at the last offloaded stage.
+func (s *Spec) CutOutputBytes(c Cut) int64 {
+	if c == 0 {
+		return s.RawBytes
+	}
+	return int64(s.Stages[c-1].OutFloats) * TransferBytesPerFloat
+}
+
+// SyncedParamBytes returns the parameter bytes that require cross-store
+// weight synchronization under cut c: any *trainable* stage placed on the
+// PipeStores must be kept consistent across all replicas (this is what makes
+// the +FC cut explode in Fig 9). Frozen stages never sync.
+func (s *Spec) SyncedParamBytes(c Cut) int64 {
+	var p int
+	for _, st := range s.Stages[:c] {
+		if st.Trainable {
+			p += st.Params
+		}
+	}
+	return int64(p) * BytesPerFloat
+}
+
+// FeatureFloats returns the classifier input width (activation floats at the
+// last frozen stage) — what PipeStores ship to the Tuner under FT-DMP.
+func (s *Spec) FeatureFloats() int {
+	return int(s.CutOutputBytes(s.LastFrozen()) / TransferBytesPerFloat)
+}
+
+// ByName looks a model up in the zoo.
+func ByName(name string) (*Spec, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown model %q", name)
+}
+
+// Zoo returns the five evaluated models, freshly allocated.
+//
+// Calibration anchors (one Tesla T4, optimized engine at batch 128, §6.2):
+// ResNet50 2,129 IPS, InceptionV3 2,439 IPS, ResNeXt101 449 IPS, ViT 277
+// IPS. The InferEff values below satisfy
+// eff·batchEff(128)·65 TFLOPS/total-GFLOPs = anchor, batchEff(128)=0.842.
+func Zoo() []*Spec {
+	return []*Spec{ShuffleNetV2(), ResNet50(), InceptionV3(), ResNeXt101(), ViT()}
+}
+
+// ResNet50 is the paper's default model: five conv groups + FC classifier,
+// ≈4.1 GFLOPs and 25.6 M params at 224².
+func ResNet50() *Spec {
+	return &Spec{
+		Name:        "ResNet50",
+		InputFloats: 224 * 224 * 3, // 150,528 floats = 0.59 MB ✔ paper §3.4
+		RawBytes:    2_700_000,     // typical 2.7 MB stored JPEG ✔ paper §3.4
+		InferEff:    0.159,         // → 2,129 IPS on T4 at batch 128
+		TrainEff:    0.20,
+		ActMemBytes: 13 << 20,
+		Stages: []Stage{
+			{Name: "Conv1", GFLOPs: 0.24, OutFloats: 112 * 112 * 64, Params: 9_472},
+			{Name: "Conv2", GFLOPs: 0.68, OutFloats: 56 * 56 * 256, Params: 215_808},
+			{Name: "Conv3", GFLOPs: 1.04, OutFloats: 28 * 28 * 512, Params: 1_219_584},
+			{Name: "Conv4", GFLOPs: 1.47, OutFloats: 14 * 14 * 1024, Params: 7_098_368},
+			// Conv5's OutFloats is post-global-average-pool (2048): that is
+			// what crosses the wire, which is why traffic plunges at +Conv5.
+			{Name: "Conv5", GFLOPs: 0.66, OutFloats: 2048, Params: 14_964_736},
+			{Name: "FC", GFLOPs: 0.004, OutFloats: 1000, Params: 2_049_000, Trainable: true},
+		},
+	}
+}
+
+// InceptionV3 at 299²: ≈5.7 GFLOPs, 23.9 M params.
+func InceptionV3() *Spec {
+	return &Spec{
+		Name:        "InceptionV3",
+		InputFloats: 299 * 299 * 3,
+		RawBytes:    2_700_000,
+		InferEff:    0.254, // → 2,439 IPS on T4 at batch 128
+		TrainEff:    0.22,
+		ActMemBytes: 16 << 20,
+		Stages: []Stage{
+			{Name: "Stem", GFLOPs: 1.10, OutFloats: 35 * 35 * 192, Params: 1_062_000},
+			{Name: "IncA", GFLOPs: 1.35, OutFloats: 35 * 35 * 288, Params: 1_600_000},
+			{Name: "IncB", GFLOPs: 2.10, OutFloats: 17 * 17 * 768, Params: 8_900_000},
+			{Name: "IncC", GFLOPs: 1.15, OutFloats: 2048, Params: 10_290_000},
+			{Name: "FC", GFLOPs: 0.004, OutFloats: 1000, Params: 2_049_000, Trainable: true},
+		},
+	}
+}
+
+// ResNeXt101 (32×8d): ≈16.5 GFLOPs, 88.8 M params.
+func ResNeXt101() *Spec {
+	return &Spec{
+		Name:        "ResNeXt101",
+		InputFloats: 224 * 224 * 3,
+		RawBytes:    2_700_000,
+		InferEff:    0.135, // → 449 IPS on T4 at batch 128
+		TrainEff:    0.18,
+		ActMemBytes: 25 << 20,
+		Stages: []Stage{
+			{Name: "Conv1", GFLOPs: 0.24, OutFloats: 112 * 112 * 64, Params: 9_472},
+			{Name: "Conv2", GFLOPs: 2.30, OutFloats: 56 * 56 * 256, Params: 700_000},
+			{Name: "Conv3", GFLOPs: 4.10, OutFloats: 28 * 28 * 512, Params: 4_000_000},
+			{Name: "Conv4", GFLOPs: 7.40, OutFloats: 14 * 14 * 1024, Params: 48_000_000},
+			{Name: "Conv5", GFLOPs: 2.46, OutFloats: 2048, Params: 34_000_000},
+			{Name: "FC", GFLOPs: 0.004, OutFloats: 1000, Params: 2_049_000, Trainable: true},
+		},
+	}
+}
+
+// ViT is ViT-B/16: ≈17.6 GFLOPs, 86.6 M params; the task module (MLP head)
+// is the trainable part.
+func ViT() *Spec {
+	return &Spec{
+		Name:        "ViT",
+		InputFloats: 224 * 224 * 3,
+		InferEff:    0.089, // → 277 IPS on T4 at batch 128
+		TrainEff:    0.16,
+		ActMemBytes: 55 << 20,
+		RawBytes:    2_700_000,
+		Stages: []Stage{
+			{Name: "Patch", GFLOPs: 0.33, OutFloats: 197 * 768, Params: 590_592},
+			{Name: "Enc1-4", GFLOPs: 5.76, OutFloats: 197 * 768, Params: 28_350_000},
+			{Name: "Enc5-8", GFLOPs: 5.76, OutFloats: 197 * 768, Params: 28_350_000},
+			// Enc9-12's output is the pooled CLS token embedding (768).
+			{Name: "Enc9-12", GFLOPs: 5.76, OutFloats: 768, Params: 28_350_000},
+			{Name: "Head", GFLOPs: 0.002, OutFloats: 1000, Params: 769_000, Trainable: true},
+		},
+	}
+}
+
+// ShuffleNetV2 (1×): ≈0.146 GFLOPs, 2.3 M params. It is accuracy-evaluated
+// in Table 2 but small enough to be kernel-launch bound, hence the low
+// efficiency.
+func ShuffleNetV2() *Spec {
+	return &Spec{
+		Name:        "ShuffleNetV2",
+		InputFloats: 224 * 224 * 3,
+		RawBytes:    2_700_000,
+		InferEff:    0.024, // launch-bound small model
+		TrainEff:    0.05,
+		ActMemBytes: 2 << 20,
+		Stages: []Stage{
+			{Name: "Conv1", GFLOPs: 0.012, OutFloats: 112 * 112 * 24, Params: 696},
+			{Name: "Stage2", GFLOPs: 0.042, OutFloats: 28 * 28 * 116, Params: 130_000},
+			{Name: "Stage3", GFLOPs: 0.050, OutFloats: 14 * 14 * 232, Params: 560_000},
+			{Name: "Stage4", GFLOPs: 0.040, OutFloats: 1024, Params: 1_560_000},
+			{Name: "FC", GFLOPs: 0.001, OutFloats: 1000, Params: 1_025_000, Trainable: true},
+		},
+	}
+}

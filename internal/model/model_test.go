@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZooContainsFiveModels(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 5 {
+		t.Fatalf("zoo size %d, want 5", len(zoo))
+	}
+	names := map[string]bool{}
+	for _, m := range zoo {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"ShuffleNetV2", "ResNet50", "InceptionV3", "ResNeXt101", "ViT"} {
+		if !names[want] {
+			t.Fatalf("zoo missing %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("ResNet50")
+	if err != nil || m.Name != "ResNet50" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("AlexNet"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestResNet50Anchors(t *testing.T) {
+	m := ResNet50()
+	if g := m.TotalGFLOPs(); math.Abs(g-4.094) > 0.05 {
+		t.Fatalf("ResNet50 GFLOPs = %v, want ≈4.1", g)
+	}
+	if p := m.TotalParams(); p < 25_000_000 || p > 26_000_000 {
+		t.Fatalf("ResNet50 params = %d, want ≈25.6M", p)
+	}
+	// Preprocessed image must be the paper's 0.59 MB.
+	if b := m.PreprocBytes(); b != 224*224*3*4 {
+		t.Fatalf("PreprocBytes = %d", b)
+	}
+	if mb := float64(m.PreprocBytes()) / 1e6; math.Abs(mb-0.602) > 0.01 {
+		t.Fatalf("preprocessed size %.3f MB, want ≈0.59-0.60", mb)
+	}
+}
+
+func TestTrainableTailProperties(t *testing.T) {
+	for _, m := range Zoo() {
+		lf := m.LastFrozen()
+		if int(lf) == len(m.Stages) {
+			t.Fatalf("%s has no trainable stage", m.Name)
+		}
+		// All stages from LastFrozen onward must be trainable,
+		// all before it frozen.
+		for i, st := range m.Stages {
+			if i < int(lf) && st.Trainable {
+				t.Fatalf("%s: trainable stage %s before frozen tail", m.Name, st.Name)
+			}
+			if i >= int(lf) && !st.Trainable {
+				t.Fatalf("%s: frozen stage %s inside trainable tail", m.Name, st.Name)
+			}
+		}
+		if m.TrainableParams() <= 0 {
+			t.Fatalf("%s: no trainable params", m.Name)
+		}
+		if m.TrainableParams() >= m.TotalParams() {
+			t.Fatalf("%s: everything trainable", m.Name)
+		}
+	}
+}
+
+func TestCutOutputBytesMonotoneAtFeatureCut(t *testing.T) {
+	// The FT-DMP cut (LastFrozen) must transfer far less than raw input —
+	// that is the whole point of near-data feature extraction.
+	for _, m := range Zoo() {
+		feat := m.CutOutputBytes(m.LastFrozen())
+		raw := m.CutOutputBytes(0)
+		if feat*10 > raw {
+			t.Fatalf("%s: feature bytes %d not ≪ raw %d", m.Name, feat, raw)
+		}
+	}
+}
+
+func TestCutNames(t *testing.T) {
+	m := ResNet50()
+	if got := m.CutName(0); got != "None" {
+		t.Fatalf("CutName(0) = %q", got)
+	}
+	if got := m.CutName(1); got != "+Conv1" {
+		t.Fatalf("CutName(1) = %q", got)
+	}
+	if got := m.CutName(Cut(len(m.Stages))); got != "+FC" {
+		t.Fatalf("CutName(last) = %q", got)
+	}
+}
+
+func TestSyncedParamBytes(t *testing.T) {
+	m := ResNet50()
+	// No trainable stage offloaded until the FC cut.
+	for c := Cut(0); c <= m.LastFrozen(); c++ {
+		if m.SyncedParamBytes(c) != 0 {
+			t.Fatalf("cut %s should not require sync", m.CutName(c))
+		}
+	}
+	full := Cut(len(m.Stages))
+	if got := m.SyncedParamBytes(full); got != m.TrainableParamBytes() {
+		t.Fatalf("+FC sync bytes = %d, want %d", got, m.TrainableParamBytes())
+	}
+}
+
+func TestStoreTunerFLOPsPartition(t *testing.T) {
+	m := InceptionV3()
+	for c := Cut(0); int(c) <= len(m.Stages); c++ {
+		sum := m.StoreGFLOPs(c) + m.TunerGFLOPs(c)
+		if math.Abs(sum-m.TotalGFLOPs()) > 1e-9 {
+			t.Fatalf("cut %d: store+tuner %v != total %v", c, sum, m.TotalGFLOPs())
+		}
+	}
+	if m.StoreGFLOPs(0) != 0 {
+		t.Fatal("cut 0 must place nothing on the store")
+	}
+}
+
+func TestFeatureFloats(t *testing.T) {
+	cases := map[string]int{
+		"ResNet50":     2048,
+		"InceptionV3":  2048,
+		"ResNeXt101":   2048,
+		"ViT":          768,
+		"ShuffleNetV2": 1024,
+	}
+	for name, want := range cases {
+		m, _ := ByName(name)
+		if got := m.FeatureFloats(); got != want {
+			t.Fatalf("%s FeatureFloats = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestValidCut(t *testing.T) {
+	m := ViT()
+	if m.Valid(-1) || m.Valid(Cut(len(m.Stages)+1)) {
+		t.Fatal("out-of-range cuts must be invalid")
+	}
+	if !m.Valid(0) || !m.Valid(Cut(len(m.Stages))) {
+		t.Fatal("boundary cuts must be valid")
+	}
+}
+
+// The per-model T4 throughput anchors from §6.2, derived as
+// InferEff·65e12/(GFLOPs·1e9); this guards the calibration.
+func TestT4ThroughputAnchors(t *testing.T) {
+	const t4 = 65e12
+	const batchEff128 = 128.0 / (128.0 + 24.0)
+	anchors := map[string]float64{
+		"ResNet50":    2129,
+		"InceptionV3": 2439,
+		"ResNeXt101":  449,
+		"ViT":         277,
+	}
+	for name, want := range anchors {
+		m, _ := ByName(name)
+		ips := m.InferEff * batchEff128 * t4 / (m.TotalGFLOPs() * 1e9)
+		if math.Abs(ips-want)/want > 0.05 {
+			t.Fatalf("%s calibrated T4 IPS %.0f, want ≈%.0f", name, ips, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package modelstore is the Tuner's version archive: an append-only chain
+// of Check-N-Run deltas over a base snapshot. It reconstructs any model
+// version on demand — which is how a PipeStore that joined late (or missed
+// broadcasts) catches up without ever shipping a full model — and supports
+// pruning old history by re-basing.
+//
+// Check-N-Run [29] is, at heart, a checkpointing system; this package is
+// that system for the NDPipe classifier.
+package modelstore
+
+import (
+	"fmt"
+	"sync"
+
+	"ndpipe/internal/delta"
+	"ndpipe/internal/nn"
+)
+
+// Store archives model versions as a delta chain.
+type Store struct {
+	mu     sync.RWMutex
+	baseV  int            // version of the base snapshot
+	base   nn.Snapshot    // full snapshot at baseV
+	deltas []*delta.Delta // deltas[i] transforms version baseV+i → baseV+i+1
+	blobs  [][]byte       // encoded form of each delta (what went on the wire)
+}
+
+// New creates a store rooted at version 0 with the given initial snapshot.
+func New(initial nn.Snapshot) *Store {
+	cp := make(nn.Snapshot, len(initial))
+	for k, m := range initial {
+		cp[k] = m.Clone()
+	}
+	return &Store{base: cp}
+}
+
+// Latest returns the newest archived version number.
+func (s *Store) Latest() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.baseV + len(s.deltas)
+}
+
+// Oldest returns the oldest reconstructible version (the re-base floor).
+func (s *Store) Oldest() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.baseV
+}
+
+// Append archives the next version from its full snapshot, returning the
+// encoded delta blob that represents it on the wire.
+func (s *Store) Append(next nn.Snapshot) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.reconstructLocked(s.baseV + len(s.deltas))
+	if err != nil {
+		return nil, err
+	}
+	d, err := delta.Diff(cur, next, 0)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		return nil, err
+	}
+	s.deltas = append(s.deltas, d)
+	s.blobs = append(s.blobs, blob)
+	return blob, nil
+}
+
+// Snapshot reconstructs the full snapshot at the given version.
+func (s *Store) Snapshot(version int) (nn.Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reconstructLocked(version)
+}
+
+func (s *Store) reconstructLocked(version int) (nn.Snapshot, error) {
+	if version < s.baseV || version > s.baseV+len(s.deltas) {
+		return nil, fmt.Errorf("modelstore: version %d outside [%d,%d]", version, s.baseV, s.baseV+len(s.deltas))
+	}
+	cur := make(nn.Snapshot, len(s.base))
+	for k, m := range s.base {
+		cur[k] = m.Clone()
+	}
+	for i := 0; i < version-s.baseV; i++ {
+		next, err := s.deltas[i].Apply(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// CatchUp returns one composite delta blob that upgrades a replica from
+// `from` directly to the latest version — the late-joiner path. It is
+// usually far smaller than replaying every intermediate blob because
+// repeatedly-updated weights collapse to their final value.
+func (s *Store) CatchUp(from int) (blob []byte, to int, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	latest := s.baseV + len(s.deltas)
+	if from == latest {
+		return nil, latest, nil
+	}
+	start, err := s.reconstructLocked(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	end, err := s.reconstructLocked(latest)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := delta.Diff(start, end, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err = d.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, latest, nil
+}
+
+// Blob returns the original wire blob for the transition version-1→version.
+func (s *Store) Blob(version int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := version - s.baseV - 1
+	if i < 0 || i >= len(s.blobs) {
+		return nil, fmt.Errorf("modelstore: no blob for version %d", version)
+	}
+	return s.blobs[i], nil
+}
+
+// Prune re-bases the chain at the given version, discarding older history.
+// Versions below it become unreconstructible.
+func (s *Store) Prune(keepFrom int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keepFrom < s.baseV || keepFrom > s.baseV+len(s.deltas) {
+		return fmt.Errorf("modelstore: cannot prune to %d (have [%d,%d])", keepFrom, s.baseV, s.baseV+len(s.deltas))
+	}
+	snap, err := s.reconstructLocked(keepFrom)
+	if err != nil {
+		return err
+	}
+	drop := keepFrom - s.baseV
+	s.base = snap
+	s.baseV = keepFrom
+	s.deltas = append([]*delta.Delta(nil), s.deltas[drop:]...)
+	s.blobs = append([][]byte(nil), s.blobs[drop:]...)
+	return nil
+}
+
+// HistoryBytes returns the total size of the archived delta blobs.
+func (s *Store) HistoryBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}

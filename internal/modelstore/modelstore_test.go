@@ -1,0 +1,171 @@
+package modelstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/delta"
+	"ndpipe/internal/nn"
+)
+
+// evolve produces a sequence of snapshots where a "fine-tune" perturbs a
+// fraction of the head weights each step.
+func evolve(t *testing.T, steps int) (*Store, []nn.Snapshot) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP("clf", []int{16, 32, 8}, rng)
+	snaps := []nn.Snapshot{net.TakeSnapshot()}
+	st := New(snaps[0])
+	for i := 0; i < steps; i++ {
+		for _, p := range net.Params() {
+			for j := range p.W.Data {
+				if rng.Float64() < 0.2 {
+					p.W.Data[j] += rng.NormFloat64() * 0.1
+				}
+			}
+		}
+		snap := net.TakeSnapshot()
+		if _, err := st.Append(snap); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	return st, snaps
+}
+
+func TestReconstructEveryVersion(t *testing.T) {
+	st, snaps := evolve(t, 5)
+	if st.Latest() != 5 || st.Oldest() != 0 {
+		t.Fatalf("range [%d,%d]", st.Oldest(), st.Latest())
+	}
+	for v, want := range snaps {
+		got, err := st.Snapshot(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !delta.SnapshotsEqual(got, want, 0) {
+			t.Fatalf("version %d does not reconstruct", v)
+		}
+	}
+	if _, err := st.Snapshot(6); err == nil {
+		t.Fatal("future version must error")
+	}
+	if _, err := st.Snapshot(-1); err == nil {
+		t.Fatal("negative version must error")
+	}
+}
+
+func TestBlobsReplayTheChain(t *testing.T) {
+	st, snaps := evolve(t, 4)
+	cur := snaps[0]
+	for v := 1; v <= 4; v++ {
+		blob, err := st.Blob(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := delta.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = d.Apply(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !delta.SnapshotsEqual(cur, snaps[v], 0) {
+			t.Fatalf("blob replay diverges at v%d", v)
+		}
+	}
+	if _, err := st.Blob(0); err == nil {
+		t.Fatal("version 0 has no blob")
+	}
+}
+
+func TestCatchUpJumpsToLatest(t *testing.T) {
+	st, snaps := evolve(t, 6)
+	blob, to, err := st.CatchUp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to != 6 {
+		t.Fatalf("catch-up target %d", to)
+	}
+	d, err := delta.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(snaps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.SnapshotsEqual(got, snaps[6], 0) {
+		t.Fatal("catch-up delta does not land on latest")
+	}
+	// Composite catch-up ≤ sum of individual blobs (weights collapse).
+	var individual int64
+	for v := 3; v <= 6; v++ {
+		b, _ := st.Blob(v)
+		individual += int64(len(b))
+	}
+	if int64(len(blob)) > individual {
+		t.Fatalf("composite %d B > replay %d B", len(blob), individual)
+	}
+	// Already current → nil blob.
+	none, to, err := st.CatchUp(6)
+	if err != nil || none != nil || to != 6 {
+		t.Fatalf("no-op catch-up: %v %v %v", none, to, err)
+	}
+}
+
+func TestPruneRebases(t *testing.T) {
+	st, snaps := evolve(t, 5)
+	before := st.HistoryBytes()
+	if before <= 0 {
+		t.Fatal("history should have bytes")
+	}
+	if err := st.Prune(3); err != nil {
+		t.Fatal(err)
+	}
+	if st.Oldest() != 3 || st.Latest() != 5 {
+		t.Fatalf("range after prune [%d,%d]", st.Oldest(), st.Latest())
+	}
+	if st.HistoryBytes() >= before {
+		t.Fatal("prune must shrink history")
+	}
+	// Newer versions still reconstruct exactly.
+	for v := 3; v <= 5; v++ {
+		got, err := st.Snapshot(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !delta.SnapshotsEqual(got, snaps[v], 0) {
+			t.Fatalf("v%d broken after prune", v)
+		}
+	}
+	// Pruned versions are gone.
+	if _, err := st.Snapshot(1); err == nil {
+		t.Fatal("pruned version must be unreconstructible")
+	}
+	if err := st.Prune(1); err == nil {
+		t.Fatal("pruning below the floor must error")
+	}
+}
+
+func TestBaseSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewMLP("m", []int{4, 3}, rng)
+	snap := net.TakeSnapshot()
+	st := New(snap)
+	// Mutating the caller's snapshot must not corrupt the archive.
+	for _, m := range snap {
+		m.Data[0] = 999
+	}
+	got, err := st.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if m.Data[0] == 999 {
+			t.Fatal("store shares storage with the caller")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ndpipe/internal/tensor"
+)
+
+// BatchNorm normalizes each feature column over the batch and applies a
+// learnable affine transform (γ, β). Training mode uses batch statistics
+// and maintains running estimates; eval mode uses the running estimates —
+// the standard construction the paper's CNN backbones are full of.
+type BatchNorm struct {
+	name     string
+	dim      int
+	Train    bool
+	Eps      float64
+	Momentum float64 // running-stat update rate
+
+	gamma, beta *Param
+
+	runMean, runVar []float64
+
+	// backward caches
+	xhat   *tensor.Matrix
+	std    []float64
+	center *tensor.Matrix
+}
+
+// NewBatchNorm creates a BatchNorm over dim features in training mode.
+func NewBatchNorm(name string, dim int) *BatchNorm {
+	g := tensor.New(1, dim)
+	g.Fill(1)
+	bn := &BatchNorm{
+		name: name, dim: dim, Train: true, Eps: 1e-5, Momentum: 0.1,
+		gamma:   &Param{Name: name + ".gamma", W: g, Grad: tensor.New(1, dim)},
+		beta:    &Param{Name: name + ".beta", W: tensor.New(1, dim), Grad: tensor.New(1, dim)},
+		runMean: make([]float64, dim),
+		runVar:  make([]float64, dim),
+	}
+	for i := range bn.runVar {
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Freeze marks γ and β as non-trainable.
+func (b *BatchNorm) Freeze() { b.gamma.Frozen = true; b.beta.Frozen = true }
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != b.dim {
+		panic(fmt.Sprintf("nn: batchnorm %s input width %d, want %d", b.name, x.Cols, b.dim))
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	if !b.Train {
+		for i := 0; i < x.Rows; i++ {
+			src, dst := x.Row(i), out.Row(i)
+			for j := 0; j < b.dim; j++ {
+				xhat := (src[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
+				dst[j] = b.gamma.W.Data[j]*xhat + b.beta.W.Data[j]
+			}
+		}
+		b.xhat = nil
+		return out
+	}
+	n := float64(x.Rows)
+	mean := make([]float64, b.dim)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	variance := make([]float64, b.dim)
+	b.center = tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src, c := x.Row(i), b.center.Row(i)
+		for j, v := range src {
+			d := v - mean[j]
+			c[j] = d
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+	b.std = make([]float64, b.dim)
+	for j := range b.std {
+		b.std[j] = math.Sqrt(variance[j] + b.Eps)
+	}
+	b.xhat = tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		c, xh, dst := b.center.Row(i), b.xhat.Row(i), out.Row(i)
+		for j := 0; j < b.dim; j++ {
+			xh[j] = c[j] / b.std[j]
+			dst[j] = b.gamma.W.Data[j]*xh[j] + b.beta.W.Data[j]
+		}
+	}
+	for j := 0; j < b.dim; j++ {
+		b.runMean[j] = (1-b.Momentum)*b.runMean[j] + b.Momentum*mean[j]
+		b.runVar[j] = (1-b.Momentum)*b.runVar[j] + b.Momentum*variance[j]
+	}
+	return out
+}
+
+// Backward implements Layer (training-mode batch statistics).
+func (b *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if b.xhat == nil {
+		// Eval mode: a per-column affine map.
+		out := tensor.New(grad.Rows, grad.Cols)
+		for i := 0; i < grad.Rows; i++ {
+			g, dst := grad.Row(i), out.Row(i)
+			for j := 0; j < b.dim; j++ {
+				dst[j] = g[j] * b.gamma.W.Data[j] / math.Sqrt(b.runVar[j]+b.Eps)
+			}
+		}
+		return out
+	}
+	n := float64(grad.Rows)
+	// Parameter gradients.
+	dgamma := make([]float64, b.dim)
+	dbeta := make([]float64, b.dim)
+	for i := 0; i < grad.Rows; i++ {
+		g, xh := grad.Row(i), b.xhat.Row(i)
+		for j := 0; j < b.dim; j++ {
+			dgamma[j] += g[j] * xh[j]
+			dbeta[j] += g[j]
+		}
+	}
+	if !b.gamma.Frozen {
+		for j := 0; j < b.dim; j++ {
+			b.gamma.Grad.Data[j] += dgamma[j]
+			b.beta.Grad.Data[j] += dbeta[j]
+		}
+	}
+	// Input gradient:
+	// dx = γ/(n·σ) · (n·dy − Σdy − x̂·Σ(dy·x̂))
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		g, xh, dst := grad.Row(i), b.xhat.Row(i), out.Row(i)
+		for j := 0; j < b.dim; j++ {
+			dst[j] = b.gamma.W.Data[j] / (n * b.std[j]) *
+				(n*g[j] - dbeta[j] - xh[j]*dgamma[j])
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return b.name }

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/tensor"
+)
+
+func TestBatchNormNormalizesColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm("bn", 4)
+	x := tensor.New(64, 4)
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64()*float64(j+1)+float64(j)*10)
+		}
+	}
+	y := bn.Forward(x)
+	for j := 0; j < 4; j++ {
+		var mean, sq float64
+		for i := 0; i < y.Rows; i++ {
+			mean += y.At(i, j)
+		}
+		mean /= float64(y.Rows)
+		for i := 0; i < y.Rows; i++ {
+			d := y.At(i, j) - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / float64(y.Rows))
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("col %d mean %v, want 0", j, mean)
+		}
+		if math.Abs(std-1) > 1e-3 {
+			t.Fatalf("col %d std %v, want 1", j, std)
+		}
+	}
+}
+
+// TestBatchNormGradientCheck validates the backward pass against finite
+// differences through a small network.
+func TestBatchNormGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bn := NewBatchNorm("bn", 6)
+	net := &Network{Layers: []Layer{
+		NewDense("fc0", 4, 6, rng),
+		bn,
+		NewReLU("r"),
+		NewDense("fc1", 6, 3, rng),
+	}}
+	x := tensor.New(8, 4)
+	x.RandNormal(rng, 1)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+
+	net.ZeroGrads()
+	_, grad := SoftmaxCrossEntropy(net.Forward(x), labels)
+	net.Backward(grad)
+
+	for _, p := range net.Params() {
+		for _, i := range []int{0, len(p.W.Data) - 1} {
+			got := p.Grad.Data[i]
+			want := numericalGrad(net, x, labels, p, i)
+			if math.Abs(got-want) > 2e-5 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm("bn", 3)
+	// Train on shifted data so running stats move off (0, 1).
+	for e := 0; e < 200; e++ {
+		x := tensor.New(32, 3)
+		for i := 0; i < 32; i++ {
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, rng.NormFloat64()*2+5)
+			}
+		}
+		bn.Forward(x)
+	}
+	bn.Train = false
+	// A single input at exactly the running mean must normalize to ~β (=0).
+	x := tensor.New(1, 3)
+	for j := 0; j < 3; j++ {
+		x.Set(0, j, bn.runMean[j])
+	}
+	y := bn.Forward(x)
+	for j := 0; j < 3; j++ {
+		if math.Abs(y.At(0, j)) > 1e-9 {
+			t.Fatalf("eval at running mean gave %v, want 0", y.At(0, j))
+		}
+	}
+	// Eval mode is deterministic (no batch dependence): a singleton batch
+	// and a repeated batch agree.
+	xx := tensor.New(2, 3)
+	copy(xx.Row(0), x.Row(0))
+	copy(xx.Row(1), x.Row(0))
+	yy := bn.Forward(xx)
+	if math.Abs(yy.At(0, 0)-y.At(0, 0)) > 1e-12 {
+		t.Fatal("eval output must not depend on batch composition")
+	}
+}
+
+func TestBatchNormFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bn := NewBatchNorm("bn", 5)
+	bn.Freeze()
+	net := &Network{Layers: []Layer{NewDense("fc", 5, 5, rng), bn, NewDense("out", 5, 2, rng)}}
+	x := tensor.New(6, 5)
+	x.RandNormal(rng, 1)
+	opt := NewSGD(0.5, 0.9)
+	gammaBefore := bn.gamma.W.Clone()
+	for i := 0; i < 3; i++ {
+		TrainBatch(net, opt, x, []int{0, 1, 0, 1, 0, 1})
+	}
+	if tensor.MaxAbsDiff(gammaBefore, bn.gamma.W) != 0 {
+		t.Fatal("frozen γ moved")
+	}
+}
+
+func TestBatchNormTrainingHelpsShiftedData(t *testing.T) {
+	// With a large input shift, a BN-equipped head should learn fine.
+	rng := rand.New(rand.NewSource(5))
+	const n, dim = 240, 6
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.NormFloat64()+100) // big shift
+		}
+		x.Set(i, c, x.At(i, c)+4)
+	}
+	net := &Network{Layers: []Layer{
+		NewBatchNorm("bn", dim),
+		NewDense("fc", dim, 16, rng),
+		NewReLU("r"),
+		NewDense("out", 16, 3, rng),
+	}}
+	opt := NewSGD(0.1, 0.9)
+	for e := 0; e < 80; e++ {
+		TrainBatch(net, opt, x, labels)
+	}
+	top1, _ := Accuracy(net, x, labels, 1)
+	if top1 < 0.9 {
+		t.Fatalf("BN head failed on shifted data: %.2f", top1)
+	}
+}

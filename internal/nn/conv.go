@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ndpipe/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over NCHW inputs flattened row-major
+// into the batch matrix: each sample row is C·H·W values. It uses im2col +
+// matrix multiply, the standard CPU formulation, and supports stride and
+// zero padding. With it, genuinely convolutional weight-freeze backbones
+// (the Conv1..Conv5 stages of the paper's CNNs) can run on this engine.
+type Conv2D struct {
+	name          string
+	inC, inH, inW int
+	outC, kH, kW  int
+	stride, pad   int
+	outH, outW    int
+	w, b          *Param // w: (inC·kH·kW)×outC
+	cols          *tensor.Matrix
+	batch         int
+}
+
+// NewConv2D creates a convolution with the given geometry. Weights use
+// Glorot initialization over the receptive field.
+func NewConv2D(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	if inC <= 0 || inH <= 0 || inW <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid conv geometry")
+	}
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv %s produces empty output (%dx%d)", name, outH, outW)
+	}
+	fanIn := inC * k * k
+	w := tensor.New(fanIn, outC)
+	w.GlorotInit(rng, fanIn, outC*k*k)
+	return &Conv2D{
+		name: name,
+		inC:  inC, inH: inH, inW: inW,
+		outC: outC, kH: k, kW: k,
+		stride: stride, pad: pad,
+		outH: outH, outW: outW,
+		w: &Param{Name: name + ".w", W: w, Grad: tensor.New(fanIn, outC)},
+		b: &Param{Name: name + ".b", W: tensor.New(1, outC), Grad: tensor.New(1, outC)},
+	}, nil
+}
+
+// OutShape returns the per-sample output dimensions (C, H, W).
+func (c *Conv2D) OutShape() (int, int, int) { return c.outC, c.outH, c.outW }
+
+// OutFloats returns the flattened output width.
+func (c *Conv2D) OutFloats() int { return c.outC * c.outH * c.outW }
+
+// InFloats returns the flattened input width.
+func (c *Conv2D) InFloats() int { return c.inC * c.inH * c.inW }
+
+// Freeze marks the kernel as non-trainable.
+func (c *Conv2D) Freeze() { c.w.Frozen = true; c.b.Frozen = true }
+
+// im2col unrolls one sample's patches into rows of (inC·kH·kW).
+func (c *Conv2D) im2col(sample []float64, out *tensor.Matrix) {
+	row := 0
+	for oy := 0; oy < c.outH; oy++ {
+		for ox := 0; ox < c.outW; ox++ {
+			dst := out.Row(row)
+			i := 0
+			for ch := 0; ch < c.inC; ch++ {
+				base := ch * c.inH * c.inW
+				for ky := 0; ky < c.kH; ky++ {
+					y := oy*c.stride + ky - c.pad
+					for kx := 0; kx < c.kW; kx++ {
+						x := ox*c.stride + kx - c.pad
+						if y < 0 || y >= c.inH || x < 0 || x >= c.inW {
+							dst[i] = 0
+						} else {
+							dst[i] = sample[base+y*c.inW+x]
+						}
+						i++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != c.InFloats() {
+		panic(fmt.Sprintf("nn: conv %s input width %d, want %d", c.name, x.Cols, c.InFloats()))
+	}
+	c.batch = x.Rows
+	patches := c.outH * c.outW
+	// Cache all samples' im2col matrices stacked for backward.
+	c.cols = tensor.New(x.Rows*patches, c.inC*c.kH*c.kW)
+	out := tensor.New(x.Rows, c.OutFloats())
+	for s := 0; s < x.Rows; s++ {
+		view := tensor.FromSlice(patches, c.cols.Cols, c.cols.Data[s*patches*c.cols.Cols:(s+1)*patches*c.cols.Cols])
+		c.im2col(x.Row(s), view)
+		prod := tensor.MatMul(view, c.w.W) // patches×outC
+		dst := out.Row(s)
+		for p := 0; p < patches; p++ {
+			for oc := 0; oc < c.outC; oc++ {
+				// NCHW layout: channel-major flattening.
+				dst[oc*patches+p] = prod.At(p, oc) + c.b.W.Data[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	patches := c.outH * c.outW
+	dx := tensor.New(c.batch, c.InFloats())
+	for s := 0; s < c.batch; s++ {
+		// Reassemble this sample's gradient as patches×outC.
+		g := tensor.New(patches, c.outC)
+		src := grad.Row(s)
+		for p := 0; p < patches; p++ {
+			for oc := 0; oc < c.outC; oc++ {
+				g.Set(p, oc, src[oc*patches+p])
+			}
+		}
+		view := tensor.FromSlice(patches, c.cols.Cols, c.cols.Data[s*patches*c.cols.Cols:(s+1)*patches*c.cols.Cols])
+		if !c.w.Frozen {
+			c.w.Grad.Add(tensor.MatMulATB(view, g))
+			for oc, v := range g.ColSums() {
+				c.b.Grad.Data[oc] += v
+			}
+		}
+		// dCols = g × wᵀ, then col2im scatter-add back to the input.
+		dCols := tensor.MatMulABT(g, c.w.W)
+		dst := dx.Row(s)
+		row := 0
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				srcRow := dCols.Row(row)
+				i := 0
+				for ch := 0; ch < c.inC; ch++ {
+					base := ch * c.inH * c.inW
+					for ky := 0; ky < c.kH; ky++ {
+						y := oy*c.stride + ky - c.pad
+						for kx := 0; kx < c.kW; kx++ {
+							x := ox*c.stride + kx - c.pad
+							if y >= 0 && y < c.inH && x >= 0 && x < c.inW {
+								dst[base+y*c.inW+x] += srcRow[i]
+							}
+							i++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// GlobalAvgPool2D averages each channel's H×W plane down to one value —
+// the pooling between the paper's Conv5 stage and its FC classifier, and
+// the reason the +Conv5 cut ships only `channels` floats per image.
+type GlobalAvgPool2D struct {
+	name     string
+	channels int
+	plane    int // H·W
+}
+
+// NewGlobalAvgPool2D pools C×H×W inputs (flattened) to C outputs.
+func NewGlobalAvgPool2D(name string, channels, h, w int) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{name: name, channels: channels, plane: h * w}
+}
+
+// Forward implements Layer.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != g.channels*g.plane {
+		panic(fmt.Sprintf("nn: pool %s input width %d, want %d", g.name, x.Cols, g.channels*g.plane))
+	}
+	out := tensor.New(x.Rows, g.channels)
+	inv := 1 / float64(g.plane)
+	for s := 0; s < x.Rows; s++ {
+		src := x.Row(s)
+		dst := out.Row(s)
+		for c := 0; c < g.channels; c++ {
+			var sum float64
+			for i := 0; i < g.plane; i++ {
+				sum += src[c*g.plane+i]
+			}
+			dst[c] = sum * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(grad.Rows, g.channels*g.plane)
+	inv := 1 / float64(g.plane)
+	for s := 0; s < grad.Rows; s++ {
+		src := grad.Row(s)
+		dst := out.Row(s)
+		for c := 0; c < g.channels; c++ {
+			v := src[c] * inv
+			for i := 0; i < g.plane; i++ {
+				dst[c*g.plane+i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (g *GlobalAvgPool2D) Name() string { return g.name }

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/tensor"
+)
+
+func TestConv2DOutputGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewConv2D("c", 3, 8, 8, 4, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, oh, ow := c.OutShape()
+	if oc != 4 || oh != 8 || ow != 8 {
+		t.Fatalf("same-pad geometry = %d×%d×%d", oc, oh, ow)
+	}
+	c2, err := NewConv2D("c2", 3, 8, 8, 4, 3, 2, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, oh, ow := c2.OutShape(); oh != 3 || ow != 3 {
+		t.Fatalf("strided geometry = %d×%d", oh, ow)
+	}
+	if _, err := NewConv2D("bad", 0, 8, 8, 4, 3, 1, 0, rng); err == nil {
+		t.Fatal("invalid geometry must error")
+	}
+	if _, err := NewConv2D("bad", 1, 2, 2, 1, 5, 1, 0, rng); err == nil {
+		t.Fatal("kernel larger than padded input must error")
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1×1 kernel with weight 1 and zero bias is the identity map.
+	rng := rand.New(rand.NewSource(2))
+	c, err := NewConv2D("id", 1, 4, 4, 1, 1, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.w.W.Fill(1)
+	c.b.W.Zero()
+	x := tensor.New(2, 16)
+	x.RandNormal(rng, 1)
+	y := c.Forward(x)
+	if !tensor.Equal(x, y, 1e-12) {
+		t.Fatal("1×1 identity kernel must pass input through")
+	}
+}
+
+func TestConv2DKnownConvolution(t *testing.T) {
+	// 2×2 input, 2×2 all-ones kernel, no pad: output = sum of the input.
+	rng := rand.New(rand.NewSource(3))
+	c, err := NewConv2D("sum", 1, 2, 2, 1, 2, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.w.W.Fill(1)
+	c.b.W.Data[0] = 0.5
+	x := tensor.FromSlice(1, 4, []float64{1, 2, 3, 4})
+	y := c.Forward(x)
+	if y.Rows != 1 || y.Cols != 1 || math.Abs(y.Data[0]-10.5) > 1e-12 {
+		t.Fatalf("conv sum = %v, want 10.5", y.Data)
+	}
+}
+
+// TestConv2DGradientCheck validates backward against finite differences —
+// the decisive correctness test for the convolution implementation.
+func TestConv2DGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv, err := NewConv2D("c", 2, 5, 5, 3, 3, 2, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{
+		conv,
+		NewReLU("r"),
+		NewDense("fc", conv.OutFloats(), 4, rng),
+	}}
+	x := tensor.New(3, conv.InFloats())
+	x.RandNormal(rng, 1)
+	labels := []int{0, 2, 1}
+
+	net.ZeroGrads()
+	_, grad := SoftmaxCrossEntropy(net.Forward(x), labels)
+	net.Backward(grad)
+
+	for _, p := range net.Params() {
+		for _, i := range []int{0, len(p.W.Data) / 3, len(p.W.Data) - 1} {
+			got := p.Grad.Data[i]
+			want := numericalGrad(net, x, labels, p, i)
+			if math.Abs(got-want) > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestConv2DInputGradientCheck(t *testing.T) {
+	// Check ∂L/∂x via finite differences on the input.
+	rng := rand.New(rand.NewSource(5))
+	conv, err := NewConv2D("c", 1, 4, 4, 2, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{conv, NewDense("fc", conv.OutFloats(), 3, rng)}}
+	x := tensor.New(2, 16)
+	x.RandNormal(rng, 1)
+	labels := []int{1, 0}
+
+	_, grad := SoftmaxCrossEntropy(net.Forward(x), labels)
+	net.ZeroGrads()
+	_, grad = SoftmaxCrossEntropy(net.Forward(x), labels)
+	dx := net.Backward(grad)
+
+	const eps = 1e-5
+	for _, i := range []int{0, 7, 15, 16, 31} {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(net.Forward(x), labels)
+		x.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(net.Forward(x), labels)
+		x.Data[i] = orig
+		want := (lp - lm) / (2 * eps)
+		if math.Abs(dx.Data[i]-want) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx.Data[i], want)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	g := NewGlobalAvgPool2D("p", 2, 2, 2)
+	x := tensor.FromSlice(1, 8, []float64{1, 2, 3, 4, 10, 20, 30, 40})
+	y := g.Forward(x)
+	if y.Cols != 2 || y.Data[0] != 2.5 || y.Data[1] != 25 {
+		t.Fatalf("pool = %v", y.Data)
+	}
+	// Backward spreads gradient evenly.
+	dx := g.Backward(tensor.FromSlice(1, 2, []float64{4, 8}))
+	for i := 0; i < 4; i++ {
+		if dx.Data[i] != 1 || dx.Data[4+i] != 2 {
+			t.Fatalf("pool grad = %v", dx.Data)
+		}
+	}
+}
+
+func TestConvBackboneTrainsOnPatterns(t *testing.T) {
+	// A tiny CNN must learn to separate horizontal vs vertical bars.
+	rng := rand.New(rand.NewSource(6))
+	conv, err := NewConv2D("c", 1, 6, 6, 4, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewGlobalAvgPool2D("p", 4, 6, 6)
+	net := &Network{Layers: []Layer{conv, NewReLU("r"), pool, NewDense("fc", 4, 2, rng)}}
+
+	mk := func(n int) (*tensor.Matrix, []int) {
+		x := tensor.New(n, 36)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % 2
+			labels[i] = c
+			pos := rng.Intn(6)
+			for j := 0; j < 6; j++ {
+				if c == 0 {
+					x.Set(i, pos*6+j, 1) // horizontal bar
+				} else {
+					x.Set(i, j*6+pos, 1) // vertical bar
+				}
+			}
+		}
+		return x, labels
+	}
+	x, labels := mk(64)
+	opt := NewSGD(0.3, 0.9)
+	for e := 0; e < 60; e++ {
+		TrainBatch(net, opt, x, labels)
+	}
+	tx, tl := mk(40)
+	top1, _ := Accuracy(net, tx, tl, 1)
+	if top1 < 0.9 {
+		t.Fatalf("CNN failed to learn bars: top-1 %.2f", top1)
+	}
+}
+
+func TestConv2DFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conv, err := NewConv2D("c", 1, 3, 3, 2, 2, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.Freeze()
+	before := conv.w.W.Clone()
+	net := &Network{Layers: []Layer{conv, NewDense("fc", conv.OutFloats(), 2, rng)}}
+	x := tensor.New(4, 9)
+	x.RandNormal(rng, 1)
+	opt := NewSGD(0.5, 0.9)
+	for i := 0; i < 3; i++ {
+		TrainBatch(net, opt, x, []int{0, 1, 0, 1})
+	}
+	if tensor.MaxAbsDiff(before, conv.w.W) != 0 {
+		t.Fatal("frozen conv kernel moved")
+	}
+}

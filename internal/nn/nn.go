@@ -1,0 +1,315 @@
+// Package nn is a small, self-contained neural-network engine: dense layers,
+// ReLU activations, a softmax cross-entropy head, stochastic gradient descent
+// with momentum, and per-parameter weight freezing.
+//
+// It exists because NDPipe's fine-tuning workload only ever *trains* a
+// classifier head (a few MLP layers) on features produced by a frozen
+// backbone. That workload runs end-to-end on this engine: PipeStores execute
+// the frozen feature-extraction layers (forward pass only, identical to
+// inference — §2.1 of the paper), and the Tuner trains the trainable layers
+// with real gradient descent. Accuracy-shaped experiments (drift, outdated
+// labels, pipelined-run catastrophic forgetting) therefore exercise genuine
+// learning dynamics, not canned numbers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ndpipe/internal/tensor"
+)
+
+// Param is one learnable (or frozen) parameter matrix with its gradient.
+type Param struct {
+	Name   string
+	W      *tensor.Matrix
+	Grad   *tensor.Matrix
+	Frozen bool
+}
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Forward computes the layer output for a batch (rows = samples).
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients along the way.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's parameters (may be empty).
+	Params() []*Param
+	// Name identifies the layer for serialization and diffing.
+	Name() string
+}
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	name  string
+	w, b  *Param
+	input *tensor.Matrix // cached for backward
+}
+
+// NewDense creates an in×out dense layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(in, out)
+	w.GlorotInit(rng, in, out)
+	return &Dense{
+		name: name,
+		w:    &Param{Name: name + ".w", W: w, Grad: tensor.New(in, out)},
+		b:    &Param{Name: name + ".b", W: tensor.New(1, out), Grad: tensor.New(1, out)},
+	}
+}
+
+// In returns the input width of the layer.
+func (d *Dense) In() int { return d.w.W.Rows }
+
+// Out returns the output width of the layer.
+func (d *Dense) Out() int { return d.w.W.Cols }
+
+// Freeze marks the layer's parameters as non-trainable (weight-freeze layer).
+func (d *Dense) Freeze() {
+	d.w.Frozen = true
+	d.b.Frozen = true
+}
+
+// Frozen reports whether the layer's parameters are frozen.
+func (d *Dense) Frozen() bool { return d.w.Frozen }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.input = x
+	out := tensor.MatMul(x, d.w.W)
+	out.AddRowVector(d.b.W.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if !d.w.Frozen {
+		d.w.Grad.Add(tensor.MatMulATB(d.input, grad))
+		bg := grad.ColSums()
+		for j, v := range bg {
+			d.b.Grad.Data[j] += v
+		}
+	}
+	return tensor.MatMulABT(grad, d.w.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name string
+	mask *tensor.Matrix
+}
+
+// NewReLU creates a named ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	r.mask = out.Relu()
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	g := grad.Clone()
+	g.MulElem(r.mask)
+	return g
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds Dense/ReLU stacks for the given widths, e.g. dims
+// {2048, 512, 100} produces Dense(2048→512)·ReLU·Dense(512→100).
+func NewMLP(prefix string, dims []int, rng *rand.Rand) *Network {
+	if len(dims) < 2 {
+		panic("nn: NewMLP needs at least two dims")
+	}
+	n := &Network{}
+	for i := 0; i < len(dims)-1; i++ {
+		n.Layers = append(n.Layers, NewDense(fmt.Sprintf("%s.fc%d", prefix, i), dims[i], dims[i+1], rng))
+		if i < len(dims)-2 {
+			n.Layers = append(n.Layers, NewReLU(fmt.Sprintf("%s.relu%d", prefix, i)))
+		}
+	}
+	return n
+}
+
+// Forward runs the whole stack.
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates ∂L/∂logits back through the stack.
+func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TrainableParams returns only the non-frozen parameters.
+func (n *Network) TrainableParams() []*Param {
+	var ps []*Param
+	for _, p := range n.Params() {
+		if !p.Frozen {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// FreezeAll freezes every parameter in the network.
+func (n *Network) FreezeAll() {
+	for _, p := range n.Params() {
+		p.Frozen = true
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W.Data)
+	}
+	return total
+}
+
+// Stack returns a network that runs a then b (used to compose a frozen
+// feature extractor with a trainable classifier, exactly the FT-DMP split).
+func Stack(a, b *Network) *Network {
+	out := &Network{}
+	out.Layers = append(out.Layers, a.Layers...)
+	out.Layers = append(out.Layers, b.Layers...)
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits against
+// integer labels and the gradient ∂L/∂logits.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
+	}
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	n := float64(logits.Rows)
+	grad = probs // reuse: grad = (probs - onehot)/n
+	for i, y := range labels {
+		p := probs.At(i, y)
+		loss -= math.Log(math.Max(p, 1e-15))
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	grad.Scale(1 / n)
+	return loss / n, grad
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*tensor.Matrix
+}
+
+// NewSGD creates an optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies one update to every non-frozen parameter and zeroes its grad.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		v, ok := o.vel[p]
+		if !ok {
+			v = tensor.New(p.W.Rows, p.W.Cols)
+			o.vel[p] = v
+		}
+		v.Scale(o.Momentum)
+		v.AXPY(-o.LR, p.Grad)
+		p.W.Add(v)
+		p.Grad.Zero()
+	}
+}
+
+// TrainBatch runs one forward/backward/update step and returns the loss.
+func TrainBatch(n *Network, opt *SGD, x *tensor.Matrix, labels []int) float64 {
+	logits := n.Forward(x)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	n.Backward(grad)
+	opt.Step(n.Params())
+	return loss
+}
+
+// Accuracy evaluates top-1 and top-k accuracy of the network on (x, labels).
+func Accuracy(n *Network, x *tensor.Matrix, labels []int, k int) (top1, topK float64) {
+	logits := n.Forward(x)
+	pred := logits.ArgmaxRows()
+	topk := logits.TopKRows(k)
+	var c1, ck int
+	for i, y := range labels {
+		if pred[i] == y {
+			c1++
+		}
+		for _, j := range topk[i] {
+			if j == y {
+				ck++
+				break
+			}
+		}
+	}
+	total := float64(len(labels))
+	return float64(c1) / total, float64(ck) / total
+}
+
+// DeltaBalance returns the δ-balance measure between two consecutive layer
+// weight matrices used by the convergence analysis (§5.2, assumption B):
+// ‖W₂ᵀW₂ − W₁W₁ᵀ‖_F in the paper's convention where Wⱼ maps layer j−1 to j.
+// Our Dense stores the transpose (x·W), so with wLower of shape d₀×d₁ and
+// wUpper of shape d₁×d₂ the measure is ‖wUpper·wUpperᵀ − wLowerᵀ·wLower‖_F
+// (both d₁×d₁). Small values mean the stack is approximately balanced.
+func DeltaBalance(wLower, wUpper *tensor.Matrix) float64 {
+	if wLower.Cols != wUpper.Rows {
+		panic(fmt.Sprintf("nn: DeltaBalance shape mismatch %dx%d then %dx%d",
+			wLower.Rows, wLower.Cols, wUpper.Rows, wUpper.Cols))
+	}
+	a := tensor.MatMulABT(wUpper, wUpper) // wUpper·wUpperᵀ (d₁×d₁)
+	b := tensor.MatMulATB(wLower, wLower) // wLowerᵀ·wLower (d₁×d₁)
+	a.Sub(b)
+	return a.FrobeniusNorm()
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"ndpipe/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every non-frozen parameter and zeroes its
+	// gradient.
+	Step(params []*Param)
+}
+
+// SGD already satisfies Optimizer (see nn.go); assert it.
+var _ Optimizer = (*SGD)(nil)
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction — what the
+// paper's TensorFlow-side classifier training typically runs.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+	m, v    map[*Param]*tensor.Matrix
+}
+
+// NewAdam creates an Adam optimizer with standard defaults for zero fields.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param]*tensor.Matrix),
+		v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.W.Rows, p.W.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.W.Rows, p.W.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.W.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Epsilon)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// ClipGradients scales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. A no-op when already within bounds.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if p.Frozen {
+				continue
+			}
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// StepDecay returns a learning-rate schedule that multiplies base by gamma
+// every `every` epochs — the classic staircase used for fine-tuning.
+func StepDecay(base, gamma float64, every int) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		if every <= 0 {
+			return base
+		}
+		return base * math.Pow(gamma, float64(epoch/every))
+	}
+}
+
+// CosineDecay anneals base → floor over horizon epochs.
+func CosineDecay(base, floor float64, horizon int) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		if horizon <= 0 || epoch >= horizon {
+			return floor
+		}
+		return floor + (base-floor)*0.5*(1+math.Cos(math.Pi*float64(epoch)/float64(horizon)))
+	}
+}
+
+// Dropout randomly zeroes activations during training (inverted dropout:
+// surviving units are scaled so inference needs no correction). Eval mode
+// passes inputs through untouched.
+type Dropout struct {
+	name  string
+	Rate  float64
+	Train bool
+	rng   *rand.Rand
+	mask  *tensor.Matrix
+}
+
+// NewDropout creates a dropout layer in training mode.
+func NewDropout(name string, rate float64, seed int64) *Dropout {
+	return &Dropout{name: name, Rate: rate, Train: true, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Train || d.Rate <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	d.mask = tensor.New(x.Rows, x.Cols)
+	keep := 1 - d.Rate
+	inv := 1 / keep
+	for i := range out.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = inv
+			out.Data[i] *= inv
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	g := grad.Clone()
+	g.MulElem(d.mask)
+	return g
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }

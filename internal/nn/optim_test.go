@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/tensor"
+)
+
+func TestAdamConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim, classes = 200, 8, 3
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.NormFloat64()*0.3)
+		}
+		x.Set(i, c, x.At(i, c)+2)
+	}
+	net := NewMLP("clf", []int{dim, 16, classes}, rng)
+	opt := NewAdam(0.01)
+	var first, last float64
+	for e := 0; e < 40; e++ {
+		logits := net.Forward(x)
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first/3 {
+		t.Fatalf("Adam did not converge: %v → %v", first, last)
+	}
+	top1, _ := Accuracy(net, x, labels, 1)
+	if top1 < 0.9 {
+		t.Fatalf("Adam accuracy %.2f", top1)
+	}
+}
+
+func TestAdamSkipsFrozen(t *testing.T) {
+	p := &Param{Name: "w", W: tensor.New(1, 1), Grad: tensor.New(1, 1), Frozen: true}
+	p.Grad.Data[0] = 1
+	NewAdam(0.1).Step([]*Param{p})
+	if p.W.Data[0] != 0 {
+		t.Fatal("frozen param must not move under Adam")
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := &Param{Name: "w", W: tensor.New(1, 2), Grad: tensor.FromSlice(1, 2, []float64{3, 4})}
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v, want 5", norm)
+	}
+	var after float64
+	for _, g := range p.Grad.Data {
+		after += g * g
+	}
+	if math.Abs(math.Sqrt(after)-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v, want 1", math.Sqrt(after))
+	}
+	// Within bounds: untouched.
+	q := &Param{Name: "q", W: tensor.New(1, 1), Grad: tensor.FromSlice(1, 1, []float64{0.5})}
+	ClipGradients([]*Param{q}, 1)
+	if q.Grad.Data[0] != 0.5 {
+		t.Fatal("small gradients must not be scaled")
+	}
+	// Frozen params excluded from the norm.
+	f := &Param{Name: "f", W: tensor.New(1, 1), Grad: tensor.FromSlice(1, 1, []float64{100}), Frozen: true}
+	if n := ClipGradients([]*Param{f}, 1); n != 0 {
+		t.Fatalf("frozen-only norm %v, want 0", n)
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	lr := StepDecay(0.1, 0.5, 10)
+	if lr(0) != 0.1 || lr(9) != 0.1 {
+		t.Fatal("first plateau")
+	}
+	if math.Abs(lr(10)-0.05) > 1e-12 || math.Abs(lr(25)-0.025) > 1e-12 {
+		t.Fatalf("decay: %v %v", lr(10), lr(25))
+	}
+	flat := StepDecay(0.1, 0.5, 0)
+	if flat(100) != 0.1 {
+		t.Fatal("every=0 must be constant")
+	}
+}
+
+func TestCosineDecay(t *testing.T) {
+	lr := CosineDecay(0.1, 0.001, 100)
+	if lr(0) != 0.1 {
+		t.Fatalf("start %v", lr(0))
+	}
+	if lr(100) != 0.001 || lr(200) != 0.001 {
+		t.Fatal("floor after horizon")
+	}
+	mid := lr(50)
+	if mid <= 0.001 || mid >= 0.1 {
+		t.Fatalf("midpoint %v out of band", mid)
+	}
+	// Monotone decreasing.
+	prev := lr(0)
+	for e := 1; e <= 100; e += 7 {
+		cur := lr(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine not monotone at %d", e)
+		}
+		prev = cur
+	}
+}
+
+func TestDropoutTrainEvalBehaviour(t *testing.T) {
+	d := NewDropout("d", 0.5, 1)
+	x := tensor.New(10, 100)
+	x.Fill(1)
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected activation %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("dropped %.2f, want ≈0.5", frac)
+	}
+	// Backward masks identically.
+	g := tensor.New(10, 100)
+	g.Fill(1)
+	dg := d.Backward(g)
+	for i, v := range y.Data {
+		if (v == 0) != (dg.Data[i] == 0) {
+			t.Fatal("gradient mask must match forward mask")
+		}
+	}
+	// Eval mode: pass-through.
+	d.Train = false
+	ye := d.Forward(x)
+	if tensor.MaxAbsDiff(x, ye) != 0 {
+		t.Fatal("eval mode must be identity")
+	}
+	if dge := d.Backward(g); tensor.MaxAbsDiff(g, dge) != 0 {
+		t.Fatal("eval backward must be identity")
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	// Inverted dropout keeps E[output] = input.
+	d := NewDropout("d", 0.3, 2)
+	x := tensor.New(1, 20000)
+	x.Fill(1)
+	y := d.Forward(x)
+	var mean float64
+	for _, v := range y.Data {
+		mean += v
+	}
+	mean /= float64(len(y.Data))
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("mean %v, want ≈1", mean)
+	}
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ndpipe/internal/tensor"
+)
+
+// Snapshot is a named copy of every parameter matrix in a network. It is the
+// unit of model distribution: the Tuner snapshots the classifier after
+// fine-tuning and ships it (or its delta) to every PipeStore.
+type Snapshot map[string]*tensor.Matrix
+
+// TakeSnapshot deep-copies all parameters of n.
+func (n *Network) TakeSnapshot() Snapshot {
+	s := make(Snapshot)
+	for _, p := range n.Params() {
+		s[p.Name] = p.W.Clone()
+	}
+	return s
+}
+
+// Restore copies snapshot values back into matching parameters of n.
+// Parameters absent from the snapshot are left untouched; snapshot entries
+// with no matching parameter are an error (they indicate a topology mismatch).
+func (n *Network) Restore(s Snapshot) error {
+	byName := make(map[string]*Param)
+	for _, p := range n.Params() {
+		byName[p.Name] = p
+	}
+	for name, w := range s {
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot has unknown parameter %q", name)
+		}
+		if p.W.Rows != w.Rows || p.W.Cols != w.Cols {
+			return fmt.Errorf("nn: snapshot %q shape %dx%d != %dx%d", name, w.Rows, w.Cols, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, w.Data)
+	}
+	return nil
+}
+
+// Bytes returns the total serialized size of the snapshot payload in bytes
+// (8 bytes per weight), used for network-traffic accounting.
+func (s Snapshot) Bytes() int64 {
+	var n int64
+	for _, m := range s {
+		n += int64(len(m.Data)) * 8
+	}
+	return n
+}
+
+// Names returns the sorted parameter names in the snapshot.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// binary wire format for snapshots:
+//   u32 count, then per entry: u32 nameLen, name bytes, u32 rows, u32 cols,
+//   rows*cols float64 (little endian).
+
+// EncodeSnapshot writes s to w in a deterministic binary format.
+func EncodeSnapshot(w io.Writer, s Snapshot) error {
+	names := s.Names()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		m := s[name]
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(name)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(m.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(m.Cols)); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(m.Data))
+		for i, v := range m.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot.
+func DecodeSnapshot(r io.Reader) (Snapshot, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxParams = 1 << 20
+	if count > maxParams {
+		return nil, fmt.Errorf("nn: snapshot declares %d params (limit %d)", count, maxParams)
+	}
+	s := make(Snapshot, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("nn: parameter name length %d too large", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, err
+		}
+		var rows, cols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return nil, err
+		}
+		if uint64(rows)*uint64(cols) > 1<<28 {
+			return nil, fmt.Errorf("nn: parameter %q too large: %dx%d", nameBuf, rows, cols)
+		}
+		m := tensor.New(int(rows), int(cols))
+		buf := make([]byte, 8*len(m.Data))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for j := range m.Data {
+			m.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		s[string(nameBuf)] = m
+	}
+	return s, nil
+}
+
+// NewFeatureExtractor builds the frozen backbone stand-in: a deterministic
+// (seeded) random MLP projecting raw inputs to a feature embedding. Every
+// PipeStore constructs the identical extractor from the same seed, mirroring
+// how the paper's weight-freeze layers are replicated across storage servers
+// with no synchronization (§5.1).
+func NewFeatureExtractor(seed int64, inDim, hidden, featDim int) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := NewMLP("backbone", []int{inDim, hidden, featDim}, rng)
+	net.FreezeAll()
+	return net
+}

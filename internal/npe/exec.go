@@ -1,0 +1,83 @@
+package npe
+
+import (
+	"sync"
+)
+
+// Run3Stage is the real (non-simulated) 3-stage pipeline executor used by
+// the PipeStore daemon: load (storage I/O), mid (CPU preprocessing or
+// decompression) and fin (accelerator execution) run concurrently, connected
+// by bounded channels, so that disk, CPU and the execution engine overlap
+// exactly as §5.4 prescribes. The first stage error cancels the pipeline and
+// is returned.
+func Run3Stage[A, B, C any](
+	items []A,
+	load func(A) (B, error),
+	mid func(B) (C, error),
+	fin func(C) error,
+	buf int,
+) error {
+	if buf < 1 {
+		buf = 1
+	}
+	loaded := make(chan B, buf)
+	ready := make(chan C, buf)
+	stop := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		defer close(loaded)
+		for _, it := range items {
+			b, err := load(it)
+			if err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case loaded <- b:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer close(ready)
+		for b := range loaded {
+			c, err := mid(b)
+			if err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case ready <- c:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for c := range ready {
+			if err := fin(c); err != nil {
+				fail(err)
+				// Drain so the upstream stages can exit promptly.
+				for range ready {
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	return firstErr
+}

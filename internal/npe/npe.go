@@ -1,0 +1,303 @@
+// Package npe implements the Near-data Processing Engine (§5.4): the
+// per-server execution model for fine-tuning feature extraction and offline
+// inference, with the paper's three optimizations —
+//
+//   - 3-stage pipelining (data loading ∥ preprocess/decompress ∥ FE&Cl),
+//   - preprocessing offloaded to the inference server at upload time
+//     (+Offload), with the preprocessed binaries stored deflate-compressed
+//     to contain the 17.5 % storage overhead (+Comp),
+//   - enlarged batch sizes to keep the accelerator busy (+Batch).
+//
+// It provides an analytic stage-time model (StageTimes/Throughput), a
+// discrete-event simulation of the pipeline on the sim engine
+// (SimulatePipeline), and a real goroutine pipeline executor (Run3Stage)
+// used by the PipeStore daemon.
+package npe
+
+import (
+	"errors"
+	"fmt"
+
+	"ndpipe/internal/cluster"
+	"ndpipe/internal/model"
+	"ndpipe/internal/sim"
+)
+
+// Task distinguishes the two near-data workloads.
+type Task int
+
+const (
+	// OfflineInference relabels stored photos: it starts from raw images
+	// unless preprocessing was offloaded at upload time.
+	OfflineInference Task = iota
+	// FineTune extracts features for FT-DMP: inputs are the preprocessed
+	// training binaries.
+	FineTune
+)
+
+// Compression ratios achieved by deflate on the two stored formats,
+// calibrated against §5.4 (preprocessed float binaries compress ≈4×;
+// already-encoded JPEGs barely compress).
+const (
+	PreprocCompressRatio = 0.245
+	JPEGCompressRatio    = 0.93
+)
+
+// Options selects which NPE optimizations are active.
+type Options struct {
+	// OffloadPreproc stores preprocessed binaries produced by the inference
+	// server at upload, removing the preprocessing stage from this server.
+	OffloadPreproc bool
+	// Compress stores the preprocessed binaries deflate-compressed, adding a
+	// decompression stage here (bounded to DecompCores CPU cores).
+	Compress bool
+	// BatchSize is the accelerator batch (paper default 128 for inference).
+	BatchSize int
+	// Pipelined enables the 3-stage pipeline; otherwise stages serialize.
+	Pipelined bool
+	// PreprocCores / DecompCores bound the CPU cores spent on each stage
+	// (storage servers must keep cores free for their primary duty: the
+	// paper allots 1 preprocessing core and at most 2 decompression cores).
+	PreprocCores int
+	DecompCores  int
+}
+
+// Naive is the unoptimized configuration in Fig 12.
+func Naive() Options {
+	return Options{BatchSize: 32, Pipelined: true, PreprocCores: 1, DecompCores: 2}
+}
+
+// Optimized is the full +Offload+Comp+Batch configuration the evaluation
+// uses (§6.1: batch 128 for inference).
+func Optimized() Options {
+	return Options{OffloadPreproc: true, Compress: true, BatchSize: 128, Pipelined: true, PreprocCores: 1, DecompCores: 2}
+}
+
+// Stages holds per-image stage times in seconds. A zero value means the
+// stage does not exist in this configuration.
+type Stages struct {
+	Read    float64
+	Preproc float64
+	Decomp  float64
+	FE      float64
+}
+
+// ErrOOM is returned when batch × activation memory exceeds the accelerator.
+var ErrOOM = errors.New("npe: accelerator out of memory")
+
+// BatchEff is the fraction of peak accelerator throughput attained at a
+// given batch size (kernel-launch overheads dominate small batches). The
+// half-saturation constant reproduces Fig 19: large gains up to ≈128,
+// marginal beyond.
+func BatchEff(batch int) float64 {
+	const half = 24.0
+	b := float64(batch)
+	return b / (b + half)
+}
+
+// MaxBatch returns the largest batch ≤ want that fits the accelerator's
+// memory (halving repeatedly), or an error if even a single image does not
+// fit. FT-DMP uses it to clamp the training batch on small accelerators.
+func MaxBatch(s *cluster.Server, m *model.Spec, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	for b := want; b >= 1; b /= 2 {
+		if CheckMemory(s, m, b) == nil {
+			return b, nil
+		}
+	}
+	return 0, CheckMemory(s, m, 1)
+}
+
+// CheckMemory reports ErrOOM if the batch does not fit the accelerator.
+func CheckMemory(s *cluster.Server, m *model.Spec, batch int) error {
+	if !s.HasAccel() {
+		return fmt.Errorf("npe: %s has no accelerator", s.Name)
+	}
+	need := int64(batch)*m.ActMemBytes + m.ParamBytes() + (1 << 30) // 1 GiB runtime reserve
+	if need > s.Accels[0].MemoryBytes {
+		return fmt.Errorf("%w: %s batch %d needs %.1f GiB > %.1f GiB",
+			ErrOOM, m.Name, batch, float64(need)/(1<<30), float64(s.Accels[0].MemoryBytes)/(1<<30))
+	}
+	return nil
+}
+
+// InputBytes returns the on-disk bytes read per image for the task under
+// the given options.
+func InputBytes(m *model.Spec, task Task, opt Options) int64 {
+	switch task {
+	case FineTune:
+		if opt.Compress {
+			return int64(float64(m.PreprocBytes()) * PreprocCompressRatio)
+		}
+		return m.PreprocBytes()
+	case OfflineInference:
+		if opt.OffloadPreproc {
+			if opt.Compress {
+				return int64(float64(m.PreprocBytes()) * PreprocCompressRatio)
+			}
+			return m.PreprocBytes()
+		}
+		return m.RawBytes
+	}
+	panic("npe: unknown task")
+}
+
+// StorageOverhead returns the extra storage fraction imposed by keeping
+// preprocessed binaries alongside the raw photos (§5.4 reports 17.5 %
+// uncompressed; compression shrinks it proportionally).
+func StorageOverhead(m *model.Spec, opt Options) float64 {
+	if !opt.OffloadPreproc {
+		return 0
+	}
+	extra := float64(m.PreprocBytes())
+	if opt.Compress {
+		extra *= PreprocCompressRatio
+	}
+	return extra / float64(m.RawBytes)
+}
+
+// StageTimes computes the per-image stage times for running `gflops` of
+// model m's forward pass on server s (pass m.TotalGFLOPs() for full
+// inference, m.StoreGFLOPs(cut) for FT-DMP feature extraction).
+func StageTimes(s *cluster.Server, m *model.Spec, gflops float64, task Task, opt Options) (Stages, error) {
+	if opt.BatchSize <= 0 {
+		return Stages{}, fmt.Errorf("npe: batch size must be positive")
+	}
+	if err := CheckMemory(s, m, opt.BatchSize); err != nil {
+		return Stages{}, err
+	}
+	var st Stages
+	in := InputBytes(m, task, opt)
+	st.Read = float64(in) / s.Disk.ReadBps
+
+	if task == OfflineInference && !opt.OffloadPreproc {
+		cores := opt.PreprocCores
+		if cores <= 0 {
+			cores = 1
+		}
+		if cores > s.CPU.Cores {
+			cores = s.CPU.Cores
+		}
+		st.Preproc = 1 / (s.CPU.PreprocIPS * float64(cores))
+	}
+	if opt.Compress && (task == FineTune || opt.OffloadPreproc) {
+		cores := opt.DecompCores
+		if cores <= 0 {
+			cores = 1
+		}
+		if cores > s.CPU.Cores {
+			cores = s.CPU.Cores
+		}
+		st.Decomp = float64(m.PreprocBytes()) / (s.CPU.DecompBps * float64(cores))
+	}
+	ips := s.InferIPS(m, gflops) * BatchEff(opt.BatchSize)
+	st.FE = 1 / ips
+	return st, nil
+}
+
+// Throughput returns images/s for the stage times: the bottleneck-stage
+// rate when pipelined, the serial rate otherwise.
+func Throughput(st Stages, pipelined bool) float64 {
+	if pipelined {
+		slow := st.Read
+		for _, t := range []float64{st.Preproc, st.Decomp, st.FE} {
+			if t > slow {
+				slow = t
+			}
+		}
+		if slow == 0 {
+			return 0
+		}
+		return 1 / slow
+	}
+	total := st.Read + st.Preproc + st.Decomp + st.FE
+	if total == 0 {
+		return 0
+	}
+	return 1 / total
+}
+
+// Report summarizes a simulated pipeline run.
+type Report struct {
+	Images    int
+	Duration  float64 // seconds
+	IPS       float64
+	DiskBusy  float64
+	CPUBusy   float64 // core-seconds
+	AccelBusy float64
+}
+
+// SimulatePipeline executes the NPE pipeline for nImages on the sim engine,
+// batch by batch, and returns the measured duration and per-component busy
+// times. It is the source of the Fig 12 ablation and validates the analytic
+// model (the two agree to within pipeline fill/drain effects).
+func SimulatePipeline(s *cluster.Server, m *model.Spec, gflops float64, task Task, opt Options, nImages int) (Report, error) {
+	st, err := StageTimes(s, m, gflops, task, opt)
+	if err != nil {
+		return Report{}, err
+	}
+	eng := sim.New()
+	disk := eng.NewResource("disk", 1)
+	cpu := eng.NewResource("cpu", s.CPU.Cores)
+	accel := eng.NewResource("accel", 1)
+
+	batch := opt.BatchSize
+	nBatches := (nImages + batch - 1) / batch
+	sizeOf := func(i int) int {
+		if i == nBatches-1 && nImages%batch != 0 {
+			return nImages % batch
+		}
+		return batch
+	}
+
+	if opt.Pipelined {
+		q1 := eng.NewQueue("loaded", 2)
+		q2 := eng.NewQueue("ready", 2)
+		eng.Go("load", func(p *sim.Proc) {
+			for i := 0; i < nBatches; i++ {
+				disk.Use(p, st.Read*float64(sizeOf(i)))
+				q1.Put(p, sizeOf(i))
+			}
+		})
+		eng.Go("mid", func(p *sim.Proc) {
+			for i := 0; i < nBatches; i++ {
+				n := q1.Get(p).(int)
+				if d := (st.Preproc + st.Decomp) * float64(n); d > 0 {
+					cpu.Use(p, d)
+				}
+				q2.Put(p, n)
+			}
+		})
+		eng.Go("fe", func(p *sim.Proc) {
+			for i := 0; i < nBatches; i++ {
+				n := q2.Get(p).(int)
+				accel.Use(p, st.FE*float64(n))
+			}
+		})
+	} else {
+		eng.Go("serial", func(p *sim.Proc) {
+			for i := 0; i < nBatches; i++ {
+				n := float64(sizeOf(i))
+				disk.Use(p, st.Read*n)
+				if d := (st.Preproc + st.Decomp) * n; d > 0 {
+					cpu.Use(p, d)
+				}
+				accel.Use(p, st.FE*n)
+			}
+		})
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Images:    nImages,
+		Duration:  end,
+		IPS:       float64(nImages) / end,
+		DiskBusy:  disk.BusyTime(),
+		CPUBusy:   cpu.BusyTime(),
+		AccelBusy: accel.BusyTime(),
+	}, nil
+}

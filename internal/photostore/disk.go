@@ -1,0 +1,248 @@
+package photostore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ObjectStore is the storage contract PipeStores program against; Store
+// (in-memory) and DiskStore (durable) both satisfy it.
+type ObjectStore interface {
+	Put(id uint64, raw []byte)
+	PutPreproc(id uint64, preproc []byte) error
+	GetRaw(id uint64) ([]byte, error)
+	GetPreproc(id uint64) ([]byte, error)
+	GetPreprocCompressed(id uint64) ([]byte, error)
+	Delete(id uint64)
+	Len() int
+	IDs() []uint64
+	Usage() Usage
+}
+
+var (
+	_ ObjectStore = (*Store)(nil)
+	_ ObjectStore = (*DiskStore)(nil)
+)
+
+// DiskStore persists photos under a directory: raw bytes at raw/<id> and
+// deflate-compressed preprocessed binaries at pre/<id>.z. Reads really hit
+// the filesystem, so the NPE pipeline's load stage exercises actual I/O.
+type DiskStore struct {
+	dir string
+	mu  sync.RWMutex
+	// meta tracks sizes so Usage stays O(objects) without stat storms.
+	meta map[uint64]*diskMeta
+}
+
+type diskMeta struct {
+	rawLen  int
+	preLen  int // uncompressed
+	preComp int // compressed on disk
+}
+
+// OpenDir opens (creating if needed) a disk-backed store rooted at dir and
+// indexes any objects already present.
+func OpenDir(dir string) (*DiskStore, error) {
+	for _, sub := range []string{"raw", "pre"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("photostore: %w", err)
+		}
+	}
+	d := &DiskStore{dir: dir, meta: make(map[uint64]*diskMeta)}
+	if err := d.reindex(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// reindex rebuilds the metadata map from the directory contents.
+func (d *DiskStore) reindex() error {
+	raws, err := os.ReadDir(filepath.Join(d.dir, "raw"))
+	if err != nil {
+		return err
+	}
+	for _, e := range raws {
+		id, err := strconv.ParseUint(e.Name(), 10, 64)
+		if err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		d.metaFor(id).rawLen = int(info.Size())
+	}
+	pres, err := os.ReadDir(filepath.Join(d.dir, "pre"))
+	if err != nil {
+		return err
+	}
+	for _, e := range pres {
+		name := e.Name()
+		if len(name) < 3 || name[len(name)-2:] != ".z" {
+			continue
+		}
+		id, err := strconv.ParseUint(name[:len(name)-2], 10, 64)
+		if err != nil {
+			continue
+		}
+		blob, err := os.ReadFile(d.prePath(id))
+		if err != nil {
+			continue
+		}
+		m := d.metaFor(id)
+		m.preComp = len(blob) - 8
+		if len(blob) >= 8 {
+			m.preLen = int(binary.LittleEndian.Uint64(blob))
+		}
+	}
+	return nil
+}
+
+func (d *DiskStore) metaFor(id uint64) *diskMeta {
+	m := d.meta[id]
+	if m == nil {
+		m = &diskMeta{}
+		d.meta[id] = m
+	}
+	return m
+}
+
+func (d *DiskStore) rawPath(id uint64) string {
+	return filepath.Join(d.dir, "raw", strconv.FormatUint(id, 10))
+}
+
+func (d *DiskStore) prePath(id uint64) string {
+	return filepath.Join(d.dir, "pre", strconv.FormatUint(id, 10)+".z")
+}
+
+// writeAtomic writes via a temp file + rename so crashes never leave
+// truncated objects.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Put implements ObjectStore.
+func (d *DiskStore) Put(id uint64, raw []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := writeAtomic(d.rawPath(id), raw); err != nil {
+		// Keep the interface signature; surface through a zero meta so
+		// GetRaw reports the miss.
+		return
+	}
+	d.metaFor(id).rawLen = len(raw)
+}
+
+// PutPreproc implements ObjectStore: the on-disk format is an 8-byte
+// little-endian uncompressed length followed by the deflate stream.
+func (d *DiskStore) PutPreproc(id uint64, preproc []byte) error {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(preproc)))
+	buf.Write(hdr[:])
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := zw.Write(preproc); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := writeAtomic(d.prePath(id), buf.Bytes()); err != nil {
+		return fmt.Errorf("photostore: %w", err)
+	}
+	m := d.metaFor(id)
+	m.preLen = len(preproc)
+	m.preComp = buf.Len() - 8
+	return nil
+}
+
+// GetRaw implements ObjectStore.
+func (d *DiskStore) GetRaw(id uint64) ([]byte, error) {
+	b, err := os.ReadFile(d.rawPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("photostore: no raw object %d: %w", id, err)
+	}
+	return b, nil
+}
+
+// GetPreprocCompressed implements ObjectStore (the deflate payload without
+// the length header — what the NPE read stage pulls off disk).
+func (d *DiskStore) GetPreprocCompressed(id uint64) ([]byte, error) {
+	b, err := os.ReadFile(d.prePath(id))
+	if err != nil || len(b) < 8 {
+		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
+	}
+	return b[8:], nil
+}
+
+// GetPreproc implements ObjectStore.
+func (d *DiskStore) GetPreproc(id uint64) ([]byte, error) {
+	blob, err := d.GetPreprocCompressed(id)
+	if err != nil {
+		return nil, err
+	}
+	return Inflate(blob)
+}
+
+// Delete implements ObjectStore.
+func (d *DiskStore) Delete(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = os.Remove(d.rawPath(id))
+	_ = os.Remove(d.prePath(id))
+	delete(d.meta, id)
+}
+
+// Len implements ObjectStore.
+func (d *DiskStore) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.meta)
+}
+
+// IDs implements ObjectStore.
+func (d *DiskStore) IDs() []uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]uint64, 0, len(d.meta))
+	for id := range d.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Usage implements ObjectStore.
+func (d *DiskStore) Usage() Usage {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var u Usage
+	for _, m := range d.meta {
+		u.RawBytes += int64(m.rawLen)
+		u.PreprocBytes += int64(m.preComp)
+		u.PreprocRawBytes += int64(m.preLen)
+	}
+	if u.RawBytes > 0 {
+		u.OverheadFraction = float64(u.PreprocBytes) / float64(u.RawBytes)
+	}
+	if u.PreprocBytes > 0 {
+		u.CompressionRatio = float64(u.PreprocRawBytes) / float64(u.PreprocBytes)
+	}
+	return u
+}

@@ -1,0 +1,146 @@
+package photostore
+
+import (
+	"bytes"
+	"testing"
+
+	"ndpipe/internal/dataset"
+)
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := dataset.Blob(42, dataset.DefaultJPEGSpec())
+	d.Put(42, raw)
+	got, err := d.GetRaw(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("raw round trip corrupted")
+	}
+	pre := bytes.Repeat([]byte{1, 2, 3, 4, 0, 0, 0, 0}, 500)
+	if err := d.PutPreproc(42, pre); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.GetPreproc(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pre) {
+		t.Fatal("preproc round trip corrupted")
+	}
+	comp, err := d.GetPreprocCompressed(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(pre) {
+		t.Fatal("compression ineffective on repetitive payload")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDiskStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 5; id++ {
+		d.Put(id, []byte{byte(id), 2, 3})
+		if err := d.PutPreproc(id, bytes.Repeat([]byte{byte(id)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u1 := d.Usage()
+
+	// Reopen: the index must rebuild from disk.
+	d2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 5 {
+		t.Fatalf("reopened store sees %d objects", d2.Len())
+	}
+	ids := d2.IDs()
+	for i, id := range []uint64{1, 2, 3, 4, 5} {
+		if ids[i] != id {
+			t.Fatalf("IDs after reopen: %v", ids)
+		}
+	}
+	got, err := d2.GetPreproc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{3}, 256)) {
+		t.Fatal("preproc corrupted across reopen")
+	}
+	u2 := d2.Usage()
+	if u1.RawBytes != u2.RawBytes || u1.PreprocRawBytes != u2.PreprocRawBytes {
+		t.Fatalf("usage accounting diverged across reopen: %+v vs %+v", u1, u2)
+	}
+}
+
+func TestDiskStoreDelete(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(9, []byte{1})
+	if err := d.PutPreproc(9, []byte{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	d.Delete(9)
+	if d.Len() != 0 {
+		t.Fatal("delete must remove the object")
+	}
+	if _, err := d.GetRaw(9); err == nil {
+		t.Fatal("deleted raw still readable")
+	}
+	if _, err := d.GetPreproc(9); err == nil {
+		t.Fatal("deleted preproc still readable")
+	}
+}
+
+func TestDiskStoreMissing(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetRaw(1); err == nil {
+		t.Fatal("missing raw must error")
+	}
+	if _, err := d.GetPreproc(1); err == nil {
+		t.Fatal("missing preproc must error")
+	}
+}
+
+// TestPipeStoreOnDisk runs the full PipeStore ingest + extraction path on a
+// disk-backed store — real file I/O through the NPE pipeline.
+func TestDiskAndMemoryStoresAgree(t *testing.T) {
+	mem := New()
+	disk, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{9, 8, 7, 0}, 300)
+	for _, s := range []ObjectStore{mem, disk} {
+		s.Put(5, []byte{1, 2})
+		if err := s.PutPreproc(5, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := mem.GetPreproc(5)
+	b, _ := disk.GetPreproc(5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("stores disagree on content")
+	}
+	ua, ub := mem.Usage(), disk.Usage()
+	if ua.PreprocRawBytes != ub.PreprocRawBytes {
+		t.Fatalf("usage accounting differs: %+v vs %+v", ua, ub)
+	}
+}

@@ -1,0 +1,183 @@
+// Package photostore is the object store inside every storage server: it
+// holds each photo's raw bytes and, when preprocessing is offloaded at
+// upload time (§5.4), the deflate-compressed preprocessed binary alongside
+// it. It tracks the storage overhead that compression is there to contain.
+package photostore
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Store is a thread-safe in-memory object store.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[uint64]*object
+}
+
+type object struct {
+	raw     []byte
+	preproc []byte // deflate-compressed; nil when not offloaded
+	rawLen  int
+	preLen  int // uncompressed preprocessed length
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{objects: make(map[uint64]*object)}
+}
+
+// Put stores a photo's raw bytes (copied).
+func (s *Store) Put(id uint64, raw []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		o = &object{}
+		s.objects[id] = o
+	}
+	o.raw = append([]byte(nil), raw...)
+	o.rawLen = len(raw)
+}
+
+// PutPreproc attaches the preprocessed binary for id, compressing it with
+// deflate before storage. The photo need not have raw bytes yet.
+func (s *Store) PutPreproc(id uint64, preproc []byte) error {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := zw.Write(preproc); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[id]
+	if o == nil {
+		o = &object{}
+		s.objects[id] = o
+	}
+	o.preproc = buf.Bytes()
+	o.preLen = len(preproc)
+	return nil
+}
+
+// GetRaw returns a copy of the photo's raw bytes.
+func (s *Store) GetRaw(id uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o := s.objects[id]
+	if o == nil || o.raw == nil {
+		return nil, fmt.Errorf("photostore: no raw object %d", id)
+	}
+	return append([]byte(nil), o.raw...), nil
+}
+
+// GetPreproc returns the decompressed preprocessed binary for id.
+func (s *Store) GetPreproc(id uint64) ([]byte, error) {
+	s.mu.RLock()
+	o := s.objects[id]
+	s.mu.RUnlock()
+	if o == nil || o.preproc == nil {
+		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
+	}
+	zr := flate.NewReader(bytes.NewReader(o.preproc))
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("photostore: inflate %d: %w", id, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetPreprocCompressed returns the stored (compressed) preprocessed bytes —
+// what actually leaves the disk on the NPE read stage.
+func (s *Store) GetPreprocCompressed(id uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o := s.objects[id]
+	if o == nil || o.preproc == nil {
+		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
+	}
+	return append([]byte(nil), o.preproc...), nil
+}
+
+// Delete removes the object entirely.
+func (s *Store) Delete(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, id)
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// IDs returns all object IDs in ascending order.
+func (s *Store) IDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint64, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Usage reports storage accounting.
+type Usage struct {
+	RawBytes         int64 // raw photo bytes
+	PreprocBytes     int64 // compressed preprocessed bytes on disk
+	PreprocRawBytes  int64 // what they would occupy uncompressed
+	OverheadFraction float64
+	CompressionRatio float64 // uncompressed/compressed
+}
+
+// Usage returns the store's current accounting (the §5.4 17.5 %-overhead
+// discussion in numbers).
+func (s *Store) Usage() Usage {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var u Usage
+	for _, o := range s.objects {
+		u.RawBytes += int64(o.rawLen)
+		u.PreprocBytes += int64(len(o.preproc))
+		u.PreprocRawBytes += int64(o.preLen)
+	}
+	if u.RawBytes > 0 {
+		u.OverheadFraction = float64(u.PreprocBytes) / float64(u.RawBytes)
+	}
+	if u.PreprocBytes > 0 {
+		u.CompressionRatio = float64(u.PreprocRawBytes) / float64(u.PreprocBytes)
+	}
+	return u
+}
+
+// Inflate decompresses a deflate blob produced by PutPreproc — exposed for
+// the NPE decompression stage, which reads compressed bytes off disk and
+// inflates them on its CPU budget.
+func Inflate(blob []byte) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(blob))
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("photostore: inflate: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

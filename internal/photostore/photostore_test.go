@@ -1,0 +1,158 @@
+package photostore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ndpipe/internal/dataset"
+)
+
+func TestPutGetRaw(t *testing.T) {
+	s := New()
+	blob := dataset.Blob(7, dataset.DefaultJPEGSpec())
+	s.Put(7, blob)
+	got, err := s.GetRaw(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("raw round trip corrupted")
+	}
+	// Returned slice must be a copy.
+	got[0] ^= 0xFF
+	again, _ := s.GetRaw(7)
+	if again[0] == got[0] {
+		t.Fatal("GetRaw must return a copy")
+	}
+}
+
+func TestMissingObjects(t *testing.T) {
+	s := New()
+	if _, err := s.GetRaw(1); err == nil {
+		t.Fatal("missing raw must error")
+	}
+	if _, err := s.GetPreproc(1); err == nil {
+		t.Fatal("missing preproc must error")
+	}
+	if _, err := s.GetPreprocCompressed(1); err == nil {
+		t.Fatal("missing compressed must error")
+	}
+}
+
+func TestPreprocCompressionRoundTrip(t *testing.T) {
+	s := New()
+	// Float-vector-like repetitive payload compresses.
+	payload := bytes.Repeat([]byte{1, 2, 3, 4, 0, 0, 0, 0}, 1000)
+	if err := s.PutPreproc(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetPreproc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("preproc round trip corrupted")
+	}
+	comp, err := s.GetPreprocCompressed(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(payload) {
+		t.Fatalf("compressible payload did not shrink: %d >= %d", len(comp), len(payload))
+	}
+	// Inflate must reverse the stored form.
+	raw, err := Inflate(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, payload) {
+		t.Fatal("Inflate mismatch")
+	}
+}
+
+func TestDeleteAndLenAndIDs(t *testing.T) {
+	s := New()
+	s.Put(5, []byte{1})
+	s.Put(2, []byte{2})
+	s.Put(9, []byte{3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := s.IDs()
+	want := []uint64{2, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v", ids)
+		}
+	}
+	s.Delete(5)
+	if s.Len() != 2 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+	if _, err := s.GetRaw(5); err == nil {
+		t.Fatal("deleted object must be gone")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	s := New()
+	raw := dataset.Blob(1, dataset.DefaultJPEGSpec())
+	s.Put(1, raw)
+	pre := bytes.Repeat([]byte{7, 7, 7, 7, 1, 2, 3, 4}, 512)
+	if err := s.PutPreproc(1, pre); err != nil {
+		t.Fatal(err)
+	}
+	u := s.Usage()
+	if u.RawBytes != int64(len(raw)) {
+		t.Fatalf("RawBytes = %d", u.RawBytes)
+	}
+	if u.PreprocRawBytes != int64(len(pre)) {
+		t.Fatalf("PreprocRawBytes = %d", u.PreprocRawBytes)
+	}
+	if u.CompressionRatio <= 1 {
+		t.Fatalf("compression ratio %v should exceed 1", u.CompressionRatio)
+	}
+	if u.OverheadFraction <= 0 || u.OverheadFraction >= 1 {
+		t.Fatalf("overhead fraction %v out of range", u.OverheadFraction)
+	}
+}
+
+func TestInflateGarbage(t *testing.T) {
+	if _, err := Inflate([]byte{0xde, 0xad}); err == nil {
+		t.Fatal("garbage must not inflate")
+	}
+}
+
+// Property: PutPreproc/GetPreproc is identity for arbitrary payloads.
+func TestPreprocProperty(t *testing.T) {
+	s := New()
+	id := uint64(0)
+	f := func(payload []byte) bool {
+		id++
+		if err := s.PutPreproc(id, payload); err != nil {
+			return false
+		}
+		got, err := s.GetPreproc(id)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	s := New()
+	s.Put(1, []byte{1, 2, 3})
+	s.Put(1, []byte{9})
+	got, _ := s.GetRaw(1)
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("overwrite failed: %v", got)
+	}
+	if s.Len() != 1 {
+		t.Fatal("overwrite must not duplicate")
+	}
+}

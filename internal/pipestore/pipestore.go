@@ -1,0 +1,362 @@
+// Package pipestore implements the PipeStore node: a storage server with an
+// on-board execution engine that performs near-data feature extraction for
+// FT-DMP fine-tuning and near-data offline inference, exactly as §5
+// describes. It stores photos (raw + compressed preprocessed binaries) in a
+// photostore, runs the NPE 3-stage pipeline (load → decompress/decode →
+// forward), and speaks the wire protocol to a Tuner.
+package pipestore
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/npe"
+	"ndpipe/internal/photostore"
+	"ndpipe/internal/tensor"
+	"ndpipe/internal/wire"
+)
+
+// Node is one PipeStore.
+type Node struct {
+	ID  string
+	cfg core.ModelConfig
+
+	backbone *nn.Network
+
+	mu         sync.Mutex
+	clf        *nn.Network
+	clfSnap    nn.Snapshot // base snapshot deltas apply to
+	clfVersion int
+	images     []dataset.Image
+	store      photostore.ObjectStore
+}
+
+// New creates a PipeStore with the deterministic backbone/classifier
+// replicas for cfg, backed by an in-memory object store.
+func New(id string, cfg core.ModelConfig) (*Node, error) {
+	return NewWithStorage(id, cfg, photostore.New())
+}
+
+// NewWithStorage creates a PipeStore over an explicit object store — pass a
+// photostore.DiskStore for a durable node whose NPE load stage performs
+// real file I/O.
+func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStore) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("pipestore %s: nil object store", id)
+	}
+	n := &Node{
+		ID:       id,
+		cfg:      cfg,
+		backbone: cfg.NewBackbone(),
+		clf:      cfg.NewClassifier(),
+		store:    store,
+	}
+	n.clfSnap = n.clf.TakeSnapshot()
+	return n, nil
+}
+
+// Ingest stores a batch of uploaded photos: the raw blob and the
+// preprocessed binary (the inference server's +Offload output), which the
+// photostore deflate-compresses (+Comp).
+func (n *Node) Ingest(imgs []dataset.Image) error {
+	for _, img := range imgs {
+		if len(img.Feat) != n.cfg.InputDim {
+			return fmt.Errorf("pipestore %s: image %d has dim %d, want %d",
+				n.ID, img.ID, len(img.Feat), n.cfg.InputDim)
+		}
+		n.store.Put(img.ID, dataset.Blob(img.ID, dataset.DefaultJPEGSpec()))
+		if err := n.store.PutPreproc(img.ID, core.EncodeFloats(img.Feat)); err != nil {
+			return err
+		}
+	}
+	n.mu.Lock()
+	n.images = append(n.images, imgs...)
+	n.mu.Unlock()
+	return nil
+}
+
+// NumImages returns the shard size.
+func (n *Node) NumImages() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.images)
+}
+
+// Storage exposes the underlying object store (read-mostly; used by tests
+// and the usage accounting).
+func (n *Node) Storage() photostore.ObjectStore { return n.store }
+
+// ModelVersion returns the classifier version currently installed.
+func (n *Node) ModelVersion() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clfVersion
+}
+
+// loadedImage is an item flowing through the NPE pipeline.
+type loadedImage struct {
+	img  dataset.Image
+	blob []byte // compressed preprocessed binary
+}
+
+type decodedImage struct {
+	img  dataset.Image
+	feat []float64
+}
+
+// ExtractRuns splits the local shard into nrun sub-shards and, for each
+// run, pushes feature batches through emit. The NPE 3-stage pipeline
+// overlaps storage reads, CPU decompression/decoding and the forward pass.
+func (n *Node) ExtractRuns(nrun, batch int, emit func(*wire.Message) error) error {
+	if nrun < 1 {
+		nrun = 1
+	}
+	if batch < 1 {
+		batch = 128
+	}
+	n.mu.Lock()
+	shard := append([]dataset.Image(nil), n.images...)
+	n.mu.Unlock()
+	if len(shard) == 0 {
+		return fmt.Errorf("pipestore %s: no images to extract", n.ID)
+	}
+	per := len(shard) / nrun
+	for r := 0; r < nrun; r++ {
+		lo := r * per
+		hi := lo + per
+		if r == nrun-1 {
+			hi = len(shard)
+		}
+		if err := n.extractRun(r, shard[lo:hi], batch, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*wire.Message) error) error {
+	var pending []decodedImage
+	nBatches := (len(shard) + batch - 1) / batch
+	sent := 0
+	flush := func(final bool) error {
+		if len(pending) == 0 {
+			return nil
+		}
+		msg, err := n.featureBatch(run, pending, final)
+		if err != nil {
+			return err
+		}
+		pending = pending[:0]
+		sent++
+		return emit(msg)
+	}
+	err := npe.Run3Stage(shard,
+		func(img dataset.Image) (loadedImage, error) {
+			blob, err := n.store.GetPreprocCompressed(img.ID)
+			if err != nil {
+				return loadedImage{}, err
+			}
+			return loadedImage{img: img, blob: blob}, nil
+		},
+		func(li loadedImage) (decodedImage, error) {
+			raw, err := inflate(li.blob)
+			if err != nil {
+				return decodedImage{}, err
+			}
+			feat, err := core.DecodeFloats(raw)
+			if err != nil {
+				return decodedImage{}, err
+			}
+			return decodedImage{img: li.img, feat: feat}, nil
+		},
+		func(di decodedImage) error {
+			pending = append(pending, di)
+			if len(pending) >= batch {
+				return flush(sent == nBatches-1)
+			}
+			return nil
+		},
+		4,
+	)
+	if err != nil {
+		return err
+	}
+	return flush(true)
+}
+
+// featureBatch runs the frozen backbone over a decoded batch and wraps the
+// embeddings in a wire message.
+func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Message, error) {
+	x := tensor.New(len(items), n.cfg.InputDim)
+	labels := make([]int, len(items))
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		copy(x.Row(i), it.feat)
+		labels[i] = it.img.Class
+		ids[i] = it.img.ID
+	}
+	feats := n.backbone.Forward(x)
+	return &wire.Message{
+		Type:    wire.MsgFeatures,
+		StoreID: n.ID,
+		Run:     run,
+		Rows:    feats.Rows,
+		Cols:    feats.Cols,
+		X:       feats.Data,
+		Labels:  labels,
+		IDs:     ids,
+		Final:   final,
+	}, nil
+}
+
+// ApplyDelta installs a Check-N-Run classifier delta broadcast by the Tuner.
+func (n *Node) ApplyDelta(blob []byte, version int) error {
+	d, err := delta.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	snap, err := d.Apply(n.clfSnap)
+	if err != nil {
+		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+	}
+	if err := n.clf.Restore(snap); err != nil {
+		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+	}
+	n.clfSnap = snap
+	n.clfVersion = version
+	return nil
+}
+
+// OfflineInfer relabels every locally stored photo with the current model,
+// entirely near the data: it reads the compressed binaries, decodes them,
+// and runs backbone+classifier. Only labels leave the node.
+func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
+	if batch < 1 {
+		batch = 128
+	}
+	n.mu.Lock()
+	shard := append([]dataset.Image(nil), n.images...)
+	clf := n.clf
+	n.mu.Unlock()
+	out := make(map[uint64]int, len(shard))
+	var pending []decodedImage
+	classify := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		x := tensor.New(len(pending), n.cfg.InputDim)
+		for i, it := range pending {
+			copy(x.Row(i), it.feat)
+		}
+		n.mu.Lock()
+		logits := clf.Forward(n.backbone.Forward(x))
+		n.mu.Unlock()
+		preds := logits.ArgmaxRows()
+		for i, it := range pending {
+			out[it.img.ID] = preds[i]
+		}
+		pending = pending[:0]
+		return nil
+	}
+	err := npe.Run3Stage(shard,
+		func(img dataset.Image) (loadedImage, error) {
+			blob, err := n.store.GetPreprocCompressed(img.ID)
+			if err != nil {
+				return loadedImage{}, err
+			}
+			return loadedImage{img: img, blob: blob}, nil
+		},
+		func(li loadedImage) (decodedImage, error) {
+			raw, err := inflate(li.blob)
+			if err != nil {
+				return decodedImage{}, err
+			}
+			feat, err := core.DecodeFloats(raw)
+			if err != nil {
+				return decodedImage{}, err
+			}
+			return decodedImage{img: li.img, feat: feat}, nil
+		},
+		func(di decodedImage) error {
+			pending = append(pending, di)
+			if len(pending) >= batch {
+				return classify()
+			}
+			return nil
+		},
+		4,
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := classify(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Serve speaks the wire protocol on conn until the peer disconnects:
+// registration, then TrainRequest / ModelDelta / InferRequest commands.
+func (n *Node) Serve(conn net.Conn) error {
+	defer conn.Close()
+	c := wire.NewCodec(conn)
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID}); err != nil {
+		return err
+	}
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case wire.MsgTrainRequest:
+			err := n.ExtractRuns(msg.Runs, msg.BatchSize, c.Send)
+			if err != nil {
+				_ = c.SendError(n.ID, err)
+				return err
+			}
+		case wire.MsgModelDelta:
+			if err := n.ApplyDelta(msg.Blob, msg.ModelVersion); err != nil {
+				_ = c.SendError(n.ID, err)
+				return err
+			}
+			if err := c.Send(&wire.Message{Type: wire.MsgAck, StoreID: n.ID, ModelVersion: msg.ModelVersion}); err != nil {
+				return err
+			}
+		case wire.MsgInferRequest:
+			labels, err := n.OfflineInfer(msg.BatchSize)
+			if err != nil {
+				_ = c.SendError(n.ID, err)
+				return err
+			}
+			if err := c.Send(&wire.Message{
+				Type: wire.MsgLabels, StoreID: n.ID,
+				LabelsOut: labels, ModelVersion: n.ModelVersion(),
+			}); err != nil {
+				return err
+			}
+		default:
+			_ = c.SendError(n.ID, fmt.Errorf("pipestore: unexpected message %v", msg.Type))
+		}
+	}
+}
+
+// inflate decompresses a deflate blob (photostore stores binaries
+// compressed, so this is the NPE decompression stage).
+func inflate(blob []byte) ([]byte, error) {
+	return photostore.Inflate(blob)
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/drift"
+)
+
+// TestDriftTriggeredRetraining: with periodic retraining disabled, only the
+// confidence-based drift detector drives the continuous-training loop. An
+// initial model is trained on day-0 data; then heavily drifted uploads push
+// online-inference confidence down until the detector fires and the service
+// retrains itself.
+func TestDriftTriggeredRetraining(t *testing.T) {
+	wcfg := dataset.DefaultConfig(71)
+	wcfg.InitialImages = 3000
+	wcfg.DriftStep = 0.08 // aggressive drift so the signal is unmistakable
+	world := dataset.NewWorld(wcfg)
+
+	policy := quickPolicy(0) // no periodic trigger
+	policy.RetrainOnDrift = true
+	policy.Drift = drift.Config{RefWindow: 300, RecentWindow: 150, Delta: 0.05, MinDrop: 0.01}
+
+	svc, err := Start(core.DefaultModelConfig(), 2, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Bootstrap: ingest most of the day-0 population and train an initial
+	// model, then upload the healthy remainder so the detector's reference
+	// window captures post-deployment confidence.
+	if err := svc.UploadBatch(world.Images()[:2300]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.UploadBatch(world.Images()[2300:]); err != nil {
+		t.Fatal(err)
+	}
+	baseRounds := svc.RetrainRounds()
+	if svc.DriftDetections() != 0 {
+		t.Fatalf("detector fired during bootstrap (%d)", svc.DriftDetections())
+	}
+
+	// The world drifts hard; fresh uploads confuse the stale model.
+	for d := 0; d < 30; d++ {
+		world.AdvanceDay()
+	}
+	before := world.NumImages()
+	for d := 0; d < 10 && svc.DriftDetections() == 0; d++ {
+		world.AdvanceDay()
+		newImgs := world.Images()[before:]
+		before = world.NumImages()
+		if err := svc.UploadBatch(newImgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.DriftDetections() == 0 {
+		t.Fatal("drift detector never fired on heavily drifted uploads")
+	}
+	if svc.RetrainRounds() <= baseRounds {
+		t.Fatal("drift detection must trigger retraining")
+	}
+}

@@ -1,0 +1,236 @@
+// Package service assembles the complete photo system of Fig 3 into one
+// deployable unit: an online inference server handling uploads and search,
+// N PipeStores holding the photos, a Tuner orchestrating continuous
+// fine-tuning over TCP, and a shared label database — plus the retraining
+// policy that closes the loop (fine-tune after every K uploads, then
+// refresh outdated labels with near-data offline inference).
+//
+// It is the "downstream user" API: everything else in this repository is a
+// substrate underneath it.
+package service
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/drift"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/inferserver"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/tuner"
+)
+
+// Policy controls continuous training.
+type Policy struct {
+	// RetrainEveryUploads triggers a fine-tune + relabel cycle after this
+	// many uploads (0 disables automatic retraining).
+	RetrainEveryUploads int
+	// RetrainOnDrift additionally watches online-inference confidence with
+	// a drift detector (§2.2's detection-based trigger) and retrains the
+	// moment it fires. Zero value disables it.
+	RetrainOnDrift bool
+	// Drift configures the detector when RetrainOnDrift is set.
+	Drift drift.Config
+	// Nrun is the FT-DMP pipeline depth per fine-tune.
+	Nrun int
+	// Batch is the feature-extraction batch size.
+	Batch int
+	// Train configures the Tuner's gradient descent.
+	Train ftdmp.TrainOptions
+}
+
+// DefaultPolicy retrains every 1,000 uploads with the paper's defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		RetrainEveryUploads: 1000,
+		Nrun:                3,
+		Batch:               128,
+		Train:               ftdmp.DefaultTrainOptions(),
+	}
+}
+
+// Service is a running photo system.
+type Service struct {
+	cfg    core.ModelConfig
+	policy Policy
+
+	stores []*pipestore.Node
+	tn     *tuner.Node
+	infer  *inferserver.Server
+	ln     net.Listener
+
+	mu            sync.Mutex
+	sinceRetrain  int
+	retrainRounds int
+	detector      *drift.Detector // nil unless the policy enables it
+	driftFires    int
+}
+
+// Start wires up a service with n PipeStores over loopback TCP.
+func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("service: need at least one PipeStore")
+	}
+	if policy.Nrun < 1 {
+		policy.Nrun = 1
+	}
+	if policy.Batch < 1 {
+		policy.Batch = 128
+	}
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, n) }()
+
+	s := &Service{cfg: cfg, policy: policy, tn: tn, ln: ln}
+	for i := 0; i < n; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("ps-%d", i), cfg)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		go func(ps *pipestore.Node, conn net.Conn) { _ = ps.Serve(conn) }(ps, conn)
+		s.stores = append(s.stores, ps)
+	}
+	if err := <-accepted; err != nil {
+		ln.Close()
+		return nil, err
+	}
+	// The online inference server routes uploads into the same stores and
+	// shares the Tuner's label database so search sees every label source.
+	inf, err := inferserver.New(cfg, s.stores, tn.DB())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.infer = inf
+	if policy.RetrainOnDrift {
+		dcfg := policy.Drift
+		if dcfg.RefWindow == 0 {
+			dcfg = drift.DefaultConfig()
+		}
+		det, err := drift.New(dcfg)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.detector = det
+	}
+	return s, nil
+}
+
+// DriftDetections returns how many times the drift trigger has fired.
+func (s *Service) DriftDetections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.driftFires
+}
+
+// Close tears the deployment down.
+func (s *Service) Close() {
+	s.tn.Close()
+	_ = s.ln.Close()
+}
+
+// Stores exposes the PipeStore fleet (read-only use).
+func (s *Service) Stores() []*pipestore.Node { return s.stores }
+
+// DB exposes the label database.
+func (s *Service) DB() *labeldb.DB { return s.tn.DB() }
+
+// ModelVersion returns the live model version.
+func (s *Service) ModelVersion() int { return s.tn.ModelVersion() }
+
+// RetrainRounds returns how many automatic fine-tune cycles have run.
+func (s *Service) RetrainRounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retrainRounds
+}
+
+// Upload runs the online path for one photo and, per policy, triggers a
+// continuous-training cycle. It returns the assigned label.
+func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
+	res, err := s.infer.Upload(img)
+	if err != nil {
+		return res, err
+	}
+	s.mu.Lock()
+	s.sinceRetrain++
+	due := s.policy.RetrainEveryUploads > 0 && s.sinceRetrain >= s.policy.RetrainEveryUploads
+	if s.detector != nil && s.detector.Observe(res.Confidence) {
+		s.driftFires++
+		due = true
+	}
+	if due {
+		s.sinceRetrain = 0
+	}
+	s.mu.Unlock()
+	if due {
+		if _, err := s.Retrain(); err != nil {
+			return res, fmt.Errorf("service: automatic retrain: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// UploadBatch ingests many photos through the online path.
+func (s *Service) UploadBatch(imgs []dataset.Image) error {
+	for _, img := range imgs {
+		if _, err := s.Upload(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Retrain runs one full continuous-training cycle: pipelined FT-DMP
+// fine-tuning across the PipeStores, Check-N-Run delta distribution (to the
+// stores *and* the online inference server), and a near-data offline
+// inference pass that refreshes every outdated label.
+func (s *Service) Retrain() (tuner.Report, error) {
+	rep, err := s.tn.FineTune(s.policy.Nrun, s.policy.Batch, s.policy.Train)
+	if err != nil {
+		return rep, err
+	}
+	if err := s.infer.ApplyDelta(rep.DeltaBlob, rep.ModelVersion); err != nil {
+		return rep, err
+	}
+	if _, err := s.tn.OfflineInference(s.policy.Batch); err != nil {
+		return rep, err
+	}
+	s.mu.Lock()
+	s.retrainRounds++
+	if s.detector != nil {
+		// The fleet just deployed a fresh model: restart the health baseline.
+		s.detector.Rebase()
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// Search returns the photos currently carrying the label.
+func (s *Service) Search(label int) []uint64 { return s.infer.Search(label) }
+
+// Evaluate measures the live model on a test batch.
+func (s *Service) Evaluate(test *dataset.Batch, k int) (top1, topK float64) {
+	return s.tn.Evaluate(test, k)
+}

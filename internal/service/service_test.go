@@ -1,0 +1,138 @@
+package service
+
+import (
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+)
+
+func startService(t *testing.T, stores int, policy Policy) (*Service, *dataset.World) {
+	t.Helper()
+	wcfg := dataset.DefaultConfig(51)
+	wcfg.InitialImages = 2400
+	world := dataset.NewWorld(wcfg)
+	s, err := Start(core.DefaultModelConfig(), stores, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, world
+}
+
+func quickPolicy(every int) Policy {
+	p := DefaultPolicy()
+	p.RetrainEveryUploads = every
+	p.Train.MaxEpochs = 20
+	return p
+}
+
+// TestDayInTheLife drives the full Fig 3 loop: uploads through the online
+// path, an automatic continuous-training cycle, delta propagation to both
+// the stores and the inference server, label refresh, and search.
+func TestDayInTheLife(t *testing.T) {
+	s, world := startService(t, 3, quickPolicy(2000))
+	imgs := world.Images()
+
+	// Phase 1: uploads labeled by the untrained v0 model.
+	if err := s.UploadBatch(imgs[:1800]); err != nil {
+		t.Fatal(err)
+	}
+	if s.RetrainRounds() != 0 {
+		t.Fatal("policy should not have fired yet")
+	}
+	if s.DB().Len() != 1800 {
+		t.Fatalf("db has %d entries", s.DB().Len())
+	}
+
+	// Phase 2: crossing the policy threshold triggers retraining.
+	if err := s.UploadBatch(imgs[1800:2400]); err != nil {
+		t.Fatal(err)
+	}
+	if s.RetrainRounds() != 1 {
+		t.Fatalf("retrain rounds = %d, want 1", s.RetrainRounds())
+	}
+	if s.ModelVersion() != 1 {
+		t.Fatalf("model version = %d, want 1", s.ModelVersion())
+	}
+	// Every store and the inference server must be on v1.
+	for _, ps := range s.Stores() {
+		if ps.ModelVersion() != 1 {
+			t.Fatalf("store %s stuck at v%d", ps.ID, ps.ModelVersion())
+		}
+	}
+	// Labels were refreshed: nothing predates v1 and accuracy is real.
+	if n := s.DB().OutdatedCount(1); n != 0 {
+		t.Fatalf("%d outdated labels after refresh", n)
+	}
+	correct, total := 0, 0
+	for _, img := range imgs[:2400] {
+		e, err := s.DB().Get(img.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if e.Label == img.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.5 {
+		t.Fatalf("post-retrain label accuracy %.2f too low", acc)
+	}
+
+	// Phase 3: search returns indexed photos with valid locations.
+	found := 0
+	for label := 0; label < world.MaxClasses(); label++ {
+		found += len(s.Search(label))
+	}
+	if found != 2400 {
+		t.Fatalf("search covers %d photos, want 2400", found)
+	}
+
+	// Phase 4: the live model beats the untrained baseline on fresh data.
+	test := world.FreshTestSet(600)
+	top1, _ := s.Evaluate(test, 5)
+	if top1 < 0.5 {
+		t.Fatalf("live model top-1 %.2f too low", top1)
+	}
+}
+
+func TestManualRetrainAndVersionChain(t *testing.T) {
+	s, world := startService(t, 2, quickPolicy(0)) // no auto retrain
+	if err := s.UploadBatch(world.Images()[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if s.RetrainRounds() != 0 {
+		t.Fatal("auto retrain disabled")
+	}
+	for v := 1; v <= 2; v++ {
+		rep, err := s.Retrain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ModelVersion != v {
+			t.Fatalf("round %d produced version %d", v, rep.ModelVersion)
+		}
+	}
+	if s.ModelVersion() != 2 {
+		t.Fatalf("final version %d", s.ModelVersion())
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(core.DefaultModelConfig(), 0, DefaultPolicy()); err == nil {
+		t.Fatal("zero stores must error")
+	}
+	bad := core.DefaultModelConfig()
+	bad.FeatureDim = 0
+	if _, err := Start(bad, 1, DefaultPolicy()); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestRetrainWithoutDataFails(t *testing.T) {
+	s, _ := startService(t, 2, quickPolicy(0))
+	if _, err := s.Retrain(); err == nil {
+		t.Fatal("retraining with empty stores must fail")
+	}
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/trace"
+)
+
+// TestTraceDrivenSoak replays a generated workload trace — interleaved
+// uploads and searches with Poisson arrivals — through the full service and
+// checks the system invariants at the end: every upload stored and indexed,
+// model versions consistent across all nodes, searches answered from the
+// index, and the live model genuinely trained.
+func TestTraceDrivenSoak(t *testing.T) {
+	wcfg := dataset.DefaultConfig(61)
+	wcfg.InitialImages = 3000
+	world := dataset.NewWorld(wcfg)
+
+	policy := quickPolicy(1400)
+	svc, err := Start(core.DefaultModelConfig(), 3, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	tcfg := trace.DefaultConfig(61)
+	tcfg.Classes = world.MaxClasses()
+	tcfg.Diurnal = true
+	tcfg.Period = 60
+	tcfg.Duration = 3000 / tcfg.UploadsPerSec * 1.5 // enough to drain the arrivals
+	events, err := trace.Generate(tcfg, world.Images())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.Summarize(events)
+	if stats.Uploads < 2800 {
+		t.Fatalf("trace has %d uploads, want ≈3000", stats.Uploads)
+	}
+	uploads := stats.Uploads
+	if stats.Searches == 0 {
+		t.Fatal("trace has no searches")
+	}
+
+	var searched int
+	err = trace.Replay(events,
+		func(img dataset.Image) error {
+			_, err := svc.Upload(img)
+			return err
+		},
+		func(label int) error {
+			searched += len(svc.Search(label))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Invariants.
+	if svc.DB().Len() != uploads {
+		t.Fatalf("index holds %d of %d uploads", svc.DB().Len(), uploads)
+	}
+	if want := uploads / 1400; svc.RetrainRounds() != want {
+		t.Fatalf("retrain rounds = %d, want %d", svc.RetrainRounds(), want)
+	}
+	v := svc.RetrainRounds()
+	if svc.ModelVersion() != v {
+		t.Fatalf("model version = %d, want %d", svc.ModelVersion(), v)
+	}
+	for _, ps := range svc.Stores() {
+		if ps.ModelVersion() != v {
+			t.Fatalf("store %s at v%d", ps.ID, ps.ModelVersion())
+		}
+	}
+	// The shards must cover all uploads without duplication.
+	total := 0
+	for _, ps := range svc.Stores() {
+		total += ps.NumImages()
+	}
+	if total != uploads {
+		t.Fatalf("stores hold %d photos", total)
+	}
+	// The trained model beats chance comfortably.
+	test := world.FreshTestSet(600)
+	top1, _ := svc.Evaluate(test, 5)
+	if top1 < 0.5 {
+		t.Fatalf("soaked model top-1 %.2f", top1)
+	}
+	if searched == 0 {
+		t.Fatal("searches returned nothing despite a populated index")
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFairLinkSingleFlow(t *testing.T) {
+	e := New()
+	l := e.NewFairLink("net", 1e6)
+	var at float64
+	e.Go("x", func(p *Proc) {
+		l.Transfer(p, 500_000)
+		at = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-0.5) > 1e-9 {
+		t.Fatalf("finish at %v, want 0.5", at)
+	}
+	if l.BytesSent() != 500_000 {
+		t.Fatalf("sent %v", l.BytesSent())
+	}
+}
+
+// TestFairLinkEqualFlowsShareEvenly: two identical concurrent transfers on
+// a 1 MB/s link each take 2 s for 1 MB (vs FCFS's 1 s and 2 s).
+func TestFairLinkEqualFlowsShareEvenly(t *testing.T) {
+	e := New()
+	l := e.NewFairLink("net", 1e6)
+	var finish []float64
+	for i := 0; i < 2; i++ {
+		e.Go("x", func(p *Proc) {
+			l.Transfer(p, 1e6)
+			finish = append(finish, e.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finish {
+		if math.Abs(f-2) > 1e-9 {
+			t.Fatalf("fair-share finishes %v, want both at 2", finish)
+		}
+	}
+}
+
+// TestFairLinkShortFlowPreemptsLong: a short flow arriving mid-transfer
+// slows the long one down but completes quickly itself (processor sharing).
+func TestFairLinkShortFlowPreemptsLong(t *testing.T) {
+	e := New()
+	l := e.NewFairLink("net", 1e6)
+	var longDone, shortDone float64
+	e.Go("long", func(p *Proc) {
+		l.Transfer(p, 2e6)
+		longDone = e.Now()
+	})
+	e.Go("short", func(p *Proc) {
+		p.Wait(1) // long flow has 1 MB left when we join
+		l.Transfer(p, 0.25e6)
+		shortDone = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// From t=1 both share 0.5 MB/s: short (0.25 MB) finishes at 1.5;
+	// long then has 0.75 MB left at full rate → 2.25.
+	if math.Abs(shortDone-1.5) > 1e-9 {
+		t.Fatalf("short finished at %v, want 1.5", shortDone)
+	}
+	if math.Abs(longDone-2.25) > 1e-9 {
+		t.Fatalf("long finished at %v, want 2.25", longDone)
+	}
+}
+
+func TestFairLinkConservation(t *testing.T) {
+	// N flows of equal size all finish exactly at N·size/bps.
+	e := New()
+	l := e.NewFairLink("net", 2e6)
+	const n = 5
+	var finishes []float64
+	for i := 0; i < n; i++ {
+		e.Go("x", func(p *Proc) {
+			l.Transfer(p, 1e6)
+			finishes = append(finishes, e.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * 1e6 / 2e6
+	if math.Abs(end-want) > 1e-6 {
+		t.Fatalf("end %v, want %v", end, want)
+	}
+	if l.Active() != 0 {
+		t.Fatalf("%d flows still active", l.Active())
+	}
+}
+
+func TestFairLinkZeroBytes(t *testing.T) {
+	e := New()
+	l := e.NewFairLink("net", 1e6)
+	var at float64
+	e.Go("x", func(p *Proc) {
+		l.Transfer(p, 0)
+		at = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("zero-byte transfer took %v", at)
+	}
+}
+
+// TestFairVsFCFSAggregate: total completion time of a batch is identical
+// under both disciplines (work conservation); only per-flow latency differs.
+func TestFairVsFCFSAggregate(t *testing.T) {
+	run := func(fair bool) float64 {
+		e := New()
+		var fl *FairLink
+		var fc *Link
+		if fair {
+			fl = e.NewFairLink("net", 1e6)
+		} else {
+			fc = e.NewLink("net", 1e6, 0)
+		}
+		for i := 0; i < 4; i++ {
+			sz := int64((i + 1) * 250_000)
+			e.Go("x", func(p *Proc) {
+				if fair {
+					fl.Transfer(p, sz)
+				} else {
+					fc.Transfer(p, sz)
+				}
+			})
+		}
+		end, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	fair, fcfs := run(true), run(false)
+	if math.Abs(fair-fcfs) > 1e-6 {
+		t.Fatalf("work conservation violated: fair %v vs fcfs %v", fair, fcfs)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFairLinkManyStaggeredFlows is a regression test for a livelock where
+// sub-ulp wait quanta stopped simulated time from advancing.
+func TestFairLinkManyStaggeredFlows(t *testing.T) {
+	eng := New()
+	fl := eng.NewFairLink("in", 1.25e9)
+	for s := 0; s < 8; s++ {
+		eng.Go("store", func(p *Proc) {
+			for k := 0; k < 50; k++ {
+				p.Wait(0.01)
+				fl.Transfer(p, 512*4096)
+			}
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		if _, err := eng.Run(); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeoutC(t):
+		t.Fatal("fair link simulation hung")
+	}
+}
+
+func timeoutC(t *testing.T) <-chan struct{} {
+	c := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Second)
+		close(c)
+	}()
+	return c
+}

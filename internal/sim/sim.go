@@ -1,0 +1,287 @@
+// Package sim is a deterministic, process-based discrete-event simulator.
+//
+// Processes are goroutines that interact with simulated time exclusively
+// through the Proc handle (Wait, Acquire/Release, queue Put/Get). The engine
+// runs exactly one process at a time and orders events by (time, sequence),
+// so a simulation is reproducible bit-for-bit regardless of Go scheduling.
+//
+// It is the substrate under the NPE pipeline model, FT-DMP pipelined
+// training and the baseline systems: storage arms, CPU cores, accelerators
+// and network links are Resources; batches flow through Queues.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns simulated time and the event queue.
+type Engine struct {
+	now     float64
+	events  eventHeap
+	seq     int64
+	yield   chan signal
+	running bool
+	procs   int
+}
+
+type signal struct {
+	done bool // the signalling process finished
+}
+
+type event struct {
+	at   float64
+	seq  int64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New returns an empty engine at time 0.
+func New() *Engine {
+	return &Engine{yield: make(chan signal)}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Proc is a process's handle to the engine. All methods must be called from
+// the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Go spawns a new process. It may be called before Run or from inside a
+// running process.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.schedule(e.now, p)
+	go func() {
+		<-p.resume // wait for the engine to start us
+		fn(p)
+		e.yield <- signal{done: true}
+	}()
+}
+
+func (e *Engine) schedule(at float64, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run executes events until the queue drains, then returns the final time.
+// Processes still blocked on resources or queues at that point are
+// deadlocked; Run returns ErrDeadlock alongside the time in that case.
+func (e *Engine) Run() (float64, error) {
+	if e.running {
+		return e.now, fmt.Errorf("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: time went backwards (%g < %g)", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		sig := <-e.yield
+		if sig.done {
+			e.procs--
+		}
+	}
+	if e.procs > 0 {
+		return e.now, fmt.Errorf("sim: deadlock: %d process(es) still blocked: %w", e.procs, ErrDeadlock)
+	}
+	return e.now, nil
+}
+
+// ErrDeadlock is wrapped by Run when processes remain blocked at drain time.
+var ErrDeadlock = fmt.Errorf("deadlock")
+
+// yieldAndWait parks the calling process until the engine resumes it.
+func (p *Proc) yieldAndWait() {
+	p.eng.yield <- signal{}
+	<-p.resume
+}
+
+// Wait advances the process by d seconds of simulated time.
+func (p *Proc) Wait(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s waits negative duration %g", p.name, d))
+	}
+	p.eng.schedule(p.eng.now+d, p)
+	p.yieldAndWait()
+}
+
+// Name returns the process name (useful in traces and tests).
+func (p *Proc) Name() string { return p.name }
+
+// Resource is a FIFO-queued server with integer capacity. It tracks busy
+// time (integral of holders over time) for utilization and energy metering.
+type Resource struct {
+	Label    string
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	busyIntegral float64 // ∫ holders dt
+	lastStamp    float64
+}
+
+// NewResource creates a resource with the given capacity (e.g. CPU cores).
+func (e *Engine) NewResource(label string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{Label: label, eng: e, capacity: capacity}
+}
+
+func (r *Resource) stamp() {
+	now := r.eng.now
+	r.busyIntegral += float64(r.inUse) * (now - r.lastStamp)
+	r.lastStamp = now
+}
+
+// Acquire blocks the process until a slot is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.stamp()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.yieldAndWait()
+	// The releaser already accounted for our slot.
+}
+
+// Release frees a slot and wakes the longest-waiting process, if any.
+func (r *Resource) Release() {
+	r.stamp()
+	r.inUse--
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: resource %s over-released", r.Label))
+	}
+	if len(r.waiters) > 0 && r.inUse < r.capacity {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++ // hand the slot to the waiter before it runs
+		r.eng.schedule(r.eng.now, next)
+	}
+}
+
+// Use acquires the resource, holds it for dur simulated seconds, and
+// releases it — the common "do work on this device" idiom.
+func (r *Resource) Use(p *Proc, dur float64) {
+	r.Acquire(p)
+	p.Wait(dur)
+	r.Release()
+}
+
+// BusyTime returns ∫ holders dt up to the current simulated time.
+func (r *Resource) BusyTime() float64 {
+	return r.busyIntegral + float64(r.inUse)*(r.eng.now-r.lastStamp)
+}
+
+// Utilization returns BusyTime normalized by capacity and elapsed time.
+func (r *Resource) Utilization() float64 {
+	if r.eng.now == 0 {
+		return 0
+	}
+	return r.BusyTime() / (float64(r.capacity) * r.eng.now)
+}
+
+// Queue is a bounded FIFO channel between processes; Put blocks when full,
+// Get blocks when empty. It is how pipeline stages hand off batches.
+type Queue struct {
+	Label   string
+	eng     *Engine
+	cap     int
+	items   []any
+	getters []*Proc
+	putters []*Proc
+}
+
+// NewQueue creates a queue with the given capacity (0 = unbounded).
+func (e *Engine) NewQueue(label string, capacity int) *Queue {
+	return &Queue{Label: label, eng: e, cap: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put enqueues v, blocking while the queue is full.
+func (q *Queue) Put(p *Proc, v any) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.putters = append(q.putters, p)
+		p.yieldAndWait()
+	}
+	q.items = append(q.items, v)
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.eng.schedule(q.eng.now, g)
+	}
+}
+
+// Get dequeues the oldest item, blocking while the queue is empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.yieldAndWait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		q.eng.schedule(q.eng.now, w)
+	}
+	return v
+}
+
+// Link models a network link of the given bandwidth (bytes/s) and per-message
+// latency. Transfers serialize FCFS on the link resource, which approximates
+// fair sharing closely enough for the throughput shapes we reproduce.
+type Link struct {
+	res      *Resource
+	bps      float64
+	latency  float64
+	sentByte float64
+}
+
+// NewLink creates a link with bandwidth bps (bytes/s) and per-transfer
+// latency lat (seconds).
+func (e *Engine) NewLink(label string, bps, lat float64) *Link {
+	return &Link{res: e.NewResource(label, 1), bps: bps, latency: lat}
+}
+
+// Transfer moves n bytes across the link, blocking the process for the
+// serialization plus latency time.
+func (l *Link) Transfer(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative transfer")
+	}
+	l.sentByte += float64(n)
+	l.res.Use(p, float64(n)/l.bps+l.latency)
+}
+
+// BytesSent returns the cumulative bytes offered to the link.
+func (l *Link) BytesSent() float64 { return l.sentByte }
+
+// BusyTime returns the total time the link spent transferring.
+func (l *Link) BusyTime() float64 { return l.res.BusyTime() }

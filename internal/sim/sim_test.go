@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWaitAdvancesTime(t *testing.T) {
+	e := New()
+	var at float64
+	e.Go("p", func(p *Proc) {
+		p.Wait(1.5)
+		at = e.Now()
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 1.5 || end != 1.5 {
+		t.Fatalf("at=%v end=%v, want 1.5", at, end)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				p.Wait(1) // all wake at t=1; FIFO by spawn order
+				order = append(order, name)
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		got := run()
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("nondeterministic order: %v vs %v", got, first)
+			}
+		}
+	}
+	if first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Fatalf("tie-break must follow spawn order, got %v", first)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := New()
+	r := e.NewResource("gpu", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Use(p, 2)
+			finish = append(finish, e.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+	if end != 6 {
+		t.Fatalf("end = %v", end)
+	}
+	if bt := r.BusyTime(); math.Abs(bt-6) > 1e-12 {
+		t.Fatalf("busy time %v, want 6", bt)
+	}
+	if u := r.Utilization(); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("utilization %v, want 1", u)
+	}
+}
+
+func TestResourceCapacityTwoRunsInParallel(t *testing.T) {
+	e := New()
+	r := e.NewResource("cores", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Use(p, 3)
+			finish = append(finish, e.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 6 {
+		t.Fatalf("4 jobs × 3s on 2 cores should end at 6, got %v", end)
+	}
+	if finish[0] != 3 || finish[1] != 3 || finish[2] != 6 || finish[3] != 6 {
+		t.Fatalf("finish = %v", finish)
+	}
+}
+
+func TestQueueBlocksGetterUntilPut(t *testing.T) {
+	e := New()
+	q := e.NewQueue("q", 0)
+	var got any
+	var at float64
+	e.Go("consumer", func(p *Proc) {
+		got = q.Get(p)
+		at = e.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Wait(5)
+		q.Put(p, 42)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || at != 5 {
+		t.Fatalf("got=%v at=%v", got, at)
+	}
+}
+
+func TestQueueBoundedBlocksPutter(t *testing.T) {
+	e := New()
+	q := e.NewQueue("q", 1)
+	var putDone float64
+	e.Go("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2) // blocks until the consumer drains one
+		putDone = e.Now()
+	})
+	e.Go("consumer", func(p *Proc) {
+		p.Wait(7)
+		q.Get(p)
+		p.Wait(1)
+		q.Get(p)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 7 {
+		t.Fatalf("second put completed at %v, want 7", putDone)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := New()
+	q := e.NewQueue("q", 0)
+	var order []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+			p.Wait(1)
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			order = append(order, q.Get(p).(int))
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New()
+	q := e.NewQueue("never", 0)
+	e.Go("stuck", func(p *Proc) {
+		q.Get(p) // nothing ever puts
+	})
+	_, err := e.Run()
+	if err == nil || !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	e := New()
+	l := e.NewLink("net", 1e6, 0.001) // 1 MB/s, 1 ms latency
+	var at float64
+	e.Go("xfer", func(p *Proc) {
+		l.Transfer(p, 500_000)
+		at = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-0.501) > 1e-9 {
+		t.Fatalf("transfer finished at %v, want 0.501", at)
+	}
+	if l.BytesSent() != 500_000 {
+		t.Fatalf("BytesSent = %v", l.BytesSent())
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	e := New()
+	l := e.NewLink("net", 1e6, 0)
+	var finish []float64
+	for i := 0; i < 2; i++ {
+		e.Go("xfer", func(p *Proc) {
+			l.Transfer(p, 1e6)
+			finish = append(finish, e.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finish[0] != 1 || finish[1] != 2 {
+		t.Fatalf("contended finishes %v, want [1 2]", finish)
+	}
+}
+
+// TestPipelineThroughputMatchesBottleneck builds a 3-stage pipeline and
+// verifies the steady-state rate equals the slowest stage — the invariant
+// the NPE design relies on (§5.4).
+func TestPipelineThroughputMatchesBottleneck(t *testing.T) {
+	e := New()
+	const items = 50
+	s1, s2, s3 := 0.01, 0.03, 0.02 // stage 2 is the bottleneck
+	q12 := e.NewQueue("q12", 2)
+	q23 := e.NewQueue("q23", 2)
+	d1 := e.NewResource("disk", 1)
+	d2 := e.NewResource("cpu", 1)
+	d3 := e.NewResource("gpu", 1)
+	e.Go("load", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			d1.Use(p, s1)
+			q12.Put(p, i)
+		}
+	})
+	e.Go("preproc", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			v := q12.Get(p)
+			d2.Use(p, s2)
+			q23.Put(p, v)
+		}
+	})
+	var end float64
+	e.Go("fe", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			q23.Get(p)
+			d3.Use(p, s3)
+		}
+		end = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected ≈ fill (s1+s2) + items·s2 + s3 drain.
+	expected := s1 + float64(items)*s2 + s3
+	if math.Abs(end-expected) > 0.05 {
+		t.Fatalf("pipeline end %v, want ≈%v", end, expected)
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	e := New()
+	var childAt float64
+	e.Go("parent", func(p *Proc) {
+		p.Wait(1)
+		e.Go("child", func(c *Proc) {
+			c.Wait(2)
+			childAt = e.Now()
+		})
+		p.Wait(0.5)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 3 {
+		t.Fatalf("child finished at %v, want 3", childAt)
+	}
+}
+
+func TestUtilizationPartial(t *testing.T) {
+	e := New()
+	r := e.NewResource("gpu", 1)
+	e.Go("w", func(p *Proc) {
+		r.Use(p, 1)
+		p.Wait(3) // idle tail
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(); math.Abs(u-0.25) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.25", u)
+	}
+}

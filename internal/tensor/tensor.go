@@ -1,0 +1,359 @@
+// Package tensor provides the dense linear-algebra primitives that back the
+// ndpipe neural-network engine (internal/nn).
+//
+// Everything is float64 and row-major. The package is intentionally small:
+// it implements exactly the operations a fine-tuning workload needs (matrix
+// multiply, transpose products, elementwise math, softmax, argmax) with no
+// external dependencies, so that the rest of the system can run real gradient
+// descent on any machine.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero-filled Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a Rows×Cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// RandNormal fills m with N(0, std²) samples drawn from rng.
+func (m *Matrix) RandNormal(rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// GlorotInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MatMul returns a×b. Panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+// matMulInto computes out = a×b using an ikj loop order for cache locality.
+func matMulInto(out, a, b *Matrix) {
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*p : (i+1)*p]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*p : (kk+1)*p]
+			for j := 0; j < p; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB returns aᵀ×b (a is k×n, b is k×p, result n×p) without
+// materializing the transpose.
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for kk := 0; kk < a.Rows; kk++ {
+		arow := a.Data[kk*a.Cols : (kk+1)*a.Cols]
+		brow := b.Data[kk*b.Cols : (kk+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a×bᵀ (a is n×k, b is p×k, result n×p) without
+// materializing the transpose.
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for t, av := range arow {
+				s += av * brow[t]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add computes m += other elementwise.
+func (m *Matrix) Add(other *Matrix) {
+	mustSameShape("Add", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= other elementwise.
+func (m *Matrix) Sub(other *Matrix) {
+	mustSameShape("Sub", m, other)
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes m += alpha*other.
+func (m *Matrix) AXPY(alpha float64, other *Matrix) {
+	mustSameShape("AXPY", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// AddRowVector adds vector v (length Cols) to every row of m.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m as a slice of length Cols.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// SoftmaxRows applies an in-place numerically stable softmax to each row.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRows returns, for each row, the index of its maximum element.
+func (m *Matrix) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// TopKRows returns, for each row, the indices of its k largest elements in
+// descending order of value.
+func (m *Matrix) TopKRows(k int) [][]int {
+	if k > m.Cols {
+		k = m.Cols
+	}
+	out := make([][]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		idx := make([]int, k)
+		for t := range idx {
+			idx[t] = -1
+		}
+		for j, v := range row {
+			// insertion into the running top-k
+			pos := -1
+			for t := 0; t < k; t++ {
+				if idx[t] == -1 || v > row[idx[t]] {
+					pos = t
+					break
+				}
+			}
+			if pos >= 0 {
+				copy(idx[pos+1:], idx[pos:k-1])
+				idx[pos] = j
+			}
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm ‖m‖_F.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max|m−other| elementwise; used by delta encoding and tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	mustSameShape("MaxAbsDiff", a, b)
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Relu applies max(0,x) in place and returns a mask matrix with 1 where the
+// input was positive (used by the backward pass).
+func (m *Matrix) Relu() *Matrix {
+	mask := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// MulElem computes m *= other elementwise (Hadamard product).
+func (m *Matrix) MulElem(other *Matrix) {
+	mustSameShape("MulElem", m, other)
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Equal reports whether a and b have the same shape and every element is
+// within tol of its counterpart.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row(1)[2] = %v, want 7.5", row[2])
+	}
+	row[0] = 1 // views share storage
+	if m.At(1, 0) != 1 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(5, 7)
+	m.RandNormal(rng, 1)
+	tt := m.Transpose().Transpose()
+	if !Equal(m, tt, 0) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, p := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := New(n, k), New(k, p)
+		a.RandNormal(r, 1)
+		b.RandNormal(r, 1)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return Equal(lhs, rhs, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMulATB(a,b) == aᵀ·b and MatMulABT(a,b) == a·bᵀ.
+func TestFusedTransposeProducts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, p := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b := New(k, n), New(k, p)
+		a.RandNormal(r, 1)
+		b.RandNormal(r, 1)
+		if !Equal(MatMulATB(a, b), MatMul(a.Transpose(), b), 1e-9) {
+			return false
+		}
+		c, d := New(n, k), New(p, k)
+		c.RandNormal(r, 1)
+		d.RandNormal(r, 1)
+		return Equal(MatMulABT(c, d), MatMul(c, d.Transpose()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	m.SoftmaxRows()
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v, want 1", i, sum)
+		}
+	}
+	// Second row tests numerical stability (all-equal large logits → uniform).
+	for _, v := range m.Row(1) {
+		if math.Abs(v-1.0/3.0) > 1e-9 {
+			t.Fatalf("expected uniform softmax, got %v", m.Row(1))
+		}
+	}
+	if m.At(0, 2) <= m.At(0, 1) || m.At(0, 1) <= m.At(0, 0) {
+		t.Fatal("softmax must preserve ordering")
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromSlice(3, 3, []float64{0, 5, 1, 9, 2, 3, -1, -2, -0.5})
+	got := m.ArgmaxRows()
+	want := []int{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgmaxRows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKRows(t *testing.T) {
+	m := FromSlice(1, 5, []float64{0.1, 0.9, 0.3, 0.8, 0.2})
+	top := m.TopKRows(3)[0]
+	want := []int{1, 3, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopKRows = %v, want %v", top, want)
+		}
+	}
+	// k larger than cols clamps.
+	if got := len(m.TopKRows(10)[0]); got != 5 {
+		t.Fatalf("TopKRows clamp = %d, want 5", got)
+	}
+}
+
+func TestReluAndMask(t *testing.T) {
+	m := FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	mask := m.Relu()
+	wantVals := []float64{0, 0, 2, 0}
+	wantMask := []float64{0, 0, 1, 0}
+	for i := range wantVals {
+		if m.Data[i] != wantVals[i] {
+			t.Fatalf("relu vals = %v", m.Data)
+		}
+		if mask.Data[i] != wantMask[i] {
+			t.Fatalf("relu mask = %v", mask.Data)
+		}
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{10, 20, 30})
+	a.Add(b)
+	if a.Data[2] != 33 {
+		t.Fatalf("Add: %v", a.Data)
+	}
+	a.Sub(b)
+	if a.Data[2] != 3 {
+		t.Fatalf("Sub: %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 2 {
+		t.Fatalf("Scale: %v", a.Data)
+	}
+	a.AXPY(0.5, b)
+	if a.Data[1] != 4+10 {
+		t.Fatalf("AXPY: %v", a.Data)
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := New(2, 3)
+	m.AddRowVector([]float64{1, 2, 3})
+	sums := m.ColSums()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("ColSums = %v, want %v", sums, want)
+		}
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{1, 5, 2})
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Fatalf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestGlorotInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(64, 32)
+	m.GlorotInit(rng, 64, 32)
+	limit := math.Sqrt(6.0 / 96.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("glorot sample %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(128, 128)
+	c := New(128, 128)
+	a.RandNormal(rng, 1)
+	c.RandNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}

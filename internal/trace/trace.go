@@ -1,0 +1,184 @@
+// Package trace generates and replays photo-service workloads: timestamped
+// upload and search events with Poisson arrivals and an optional diurnal
+// rate pattern. Production photo traces are proprietary (the paper cites
+// Facebook/Google aggregate statistics), so this is the synthetic-trace
+// substitution: arrival statistics are controllable and deterministic.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ndpipe/internal/dataset"
+)
+
+// Kind discriminates trace events.
+type Kind int
+
+const (
+	// Upload delivers a new photo to the service.
+	Upload Kind = iota
+	// Search queries the label index.
+	Search
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Upload {
+		return "upload"
+	}
+	return "search"
+}
+
+// Event is one timestamped operation.
+type Event struct {
+	At    float64 // seconds from trace start
+	Kind  Kind
+	Image dataset.Image // Upload only
+	Label int           // Search only
+}
+
+// Config shapes a trace.
+type Config struct {
+	Seed          int64
+	UploadsPerSec float64 // mean upload arrival rate
+	SearchPerSec  float64 // mean search arrival rate
+	Duration      float64 // seconds
+	// Diurnal modulates rates sinusoidally (peak 2×, trough ~0) over Period
+	// seconds; zero Period disables it.
+	Diurnal bool
+	Period  float64
+	// Classes bounds the search labels (Zipf-ish popularity).
+	Classes int
+}
+
+// DefaultConfig produces a small steady trace.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		UploadsPerSec: 20,
+		SearchPerSec:  5,
+		Duration:      60,
+		Classes:       20,
+	}
+}
+
+// MaxEvents bounds a generated trace; Generate rejects configurations whose
+// expected volume exceeds it (guarding against runaway durations).
+const MaxEvents = 5_000_000
+
+// Generate builds a trace. Upload events consume photos from `arrivals` in
+// order; the trace ends at cfg.Duration or when arrivals run out, whichever
+// is first. Events are sorted by timestamp and the result is deterministic
+// in (cfg, arrivals).
+func Generate(cfg Config, arrivals []dataset.Image) ([]Event, error) {
+	if cfg.UploadsPerSec < 0 || cfg.SearchPerSec < 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: invalid rates/duration")
+	}
+	expUploads := cfg.UploadsPerSec * cfg.Duration
+	if cap := float64(len(arrivals)); expUploads > cap {
+		expUploads = cap // uploads are bounded by the arrival stream
+	}
+	if expected := cfg.SearchPerSec*cfg.Duration + expUploads; expected > MaxEvents {
+		return nil, fmt.Errorf("trace: configuration implies ≈%.0f events (cap %d)", expected, MaxEvents)
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []Event
+
+	rate := func(base, at float64) float64 {
+		if !cfg.Diurnal || cfg.Period <= 0 {
+			return base
+		}
+		// Peak 2·base at midday, ~0 at night.
+		return base * (1 + math.Sin(2*math.Pi*at/cfg.Period))
+	}
+
+	// Uploads: thinned Poisson process against the peak rate.
+	if cfg.UploadsPerSec > 0 {
+		peak := cfg.UploadsPerSec * 2
+		t, used := 0.0, 0
+		for used < len(arrivals) {
+			t += rng.ExpFloat64() / peak
+			if t >= cfg.Duration {
+				break
+			}
+			if rng.Float64()*peak <= rate(cfg.UploadsPerSec, t) {
+				events = append(events, Event{At: t, Kind: Upload, Image: arrivals[used]})
+				used++
+			}
+		}
+	}
+	// Searches: independent process with Zipf-like label popularity.
+	if cfg.SearchPerSec > 0 {
+		zipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Classes-1))
+		peak := cfg.SearchPerSec * 2
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / peak
+			if t >= cfg.Duration {
+				break
+			}
+			if rng.Float64()*peak <= rate(cfg.SearchPerSec, t) {
+				events = append(events, Event{At: t, Kind: Search, Label: int(zipf.Uint64())})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Uploads, Searches int
+	Duration          float64
+	UploadRate        float64
+	SearchRate        float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(events []Event) Stats {
+	var s Stats
+	for _, e := range events {
+		switch e.Kind {
+		case Upload:
+			s.Uploads++
+		case Search:
+			s.Searches++
+		}
+		if e.At > s.Duration {
+			s.Duration = e.At
+		}
+	}
+	if s.Duration > 0 {
+		s.UploadRate = float64(s.Uploads) / s.Duration
+		s.SearchRate = float64(s.Searches) / s.Duration
+	}
+	return s
+}
+
+// Replay drives the handlers through the trace in timestamp order (logical
+// time — no sleeping). It stops at the first handler error.
+func Replay(events []Event, onUpload func(dataset.Image) error, onSearch func(label int) error) error {
+	for i, e := range events {
+		switch e.Kind {
+		case Upload:
+			if onUpload != nil {
+				if err := onUpload(e.Image); err != nil {
+					return fmt.Errorf("trace: event %d (upload t=%.2f): %w", i, e.At, err)
+				}
+			}
+		case Search:
+			if onSearch != nil {
+				if err := onSearch(e.Label); err != nil {
+					return fmt.Errorf("trace: event %d (search t=%.2f): %w", i, e.At, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ndpipe/internal/dataset"
+)
+
+func arrivals(n int) []dataset.Image {
+	imgs := make([]dataset.Image, n)
+	for i := range imgs {
+		imgs[i] = dataset.Image{ID: uint64(i), Class: i % 5, Feat: []float64{1}}
+	}
+	return imgs
+}
+
+func TestGenerateRates(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Duration = 200
+	evs, err := Generate(cfg, arrivals(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(evs)
+	if math.Abs(s.UploadRate-cfg.UploadsPerSec)/cfg.UploadsPerSec > 0.15 {
+		t.Fatalf("upload rate %.1f, want ≈%.1f", s.UploadRate, cfg.UploadsPerSec)
+	}
+	if math.Abs(s.SearchRate-cfg.SearchPerSec)/cfg.SearchPerSec > 0.25 {
+		t.Fatalf("search rate %.1f, want ≈%.1f", s.SearchRate, cfg.SearchPerSec)
+	}
+}
+
+func TestGenerateSortedAndDeterministic(t *testing.T) {
+	cfg := DefaultConfig(7)
+	a, err := Generate(cfg, arrivals(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(cfg, arrivals(5000))
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind {
+			t.Fatalf("event %d differs", i)
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestUploadsConsumeArrivalsInOrder(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.SearchPerSec = 0
+	evs, err := Generate(cfg, arrivals(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(0)
+	for _, e := range evs {
+		if e.Kind != Upload {
+			t.Fatal("searches disabled")
+		}
+		if e.Image.ID != next {
+			t.Fatalf("uploads out of order: %d", e.Image.ID)
+		}
+		next++
+	}
+	if next == 0 {
+		t.Fatal("no uploads generated")
+	}
+}
+
+func TestTraceEndsWhenArrivalsRunOut(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.SearchPerSec = 0
+	cfg.Duration = 1e6
+	evs, err := Generate(cfg, arrivals(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("generated %d uploads for 10 arrivals", len(evs))
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Diurnal = true
+	cfg.Period = 100
+	cfg.Duration = 100
+	cfg.SearchPerSec = 0
+	cfg.UploadsPerSec = 100
+	evs, err := Generate(cfg, arrivals(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half-period (rising sine) must carry far more traffic than the
+	// second (sine below 1 turns rates toward zero).
+	var firstHalf, secondHalf int
+	for _, e := range evs {
+		if e.At < 50 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if firstHalf < secondHalf*2 {
+		t.Fatalf("diurnal pattern absent: %d vs %d", firstHalf, secondHalf)
+	}
+}
+
+func TestSearchLabelsWithinRange(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.UploadsPerSec = 0
+	cfg.Classes = 7
+	evs, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popular := 0
+	for _, e := range evs {
+		if e.Label < 0 || e.Label >= 7 {
+			t.Fatalf("label %d out of range", e.Label)
+		}
+		if e.Label == 0 {
+			popular++
+		}
+	}
+	if len(evs) == 0 || popular*2 < len(evs)/2 {
+		t.Fatalf("Zipf popularity should concentrate on label 0: %d of %d", popular, len(evs))
+	}
+}
+
+func TestReplayDispatchAndErrors(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Duration = 5
+	evs, err := Generate(cfg, arrivals(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups, searches int
+	err = Replay(evs,
+		func(dataset.Image) error { ups++; return nil },
+		func(int) error { searches++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(evs)
+	if ups != s.Uploads || searches != s.Searches {
+		t.Fatalf("replayed %d/%d, want %d/%d", ups, searches, s.Uploads, s.Searches)
+	}
+	boom := fmt.Errorf("boom")
+	err = Replay(evs, func(dataset.Image) error { return boom }, nil)
+	if err == nil {
+		t.Fatal("handler error must propagate")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Duration = 0
+	if _, err := Generate(cfg, nil); err == nil {
+		t.Fatal("zero duration must error")
+	}
+	cfg = DefaultConfig(1)
+	cfg.UploadsPerSec = -1
+	if _, err := Generate(cfg, nil); err == nil {
+		t.Fatal("negative rate must error")
+	}
+}

@@ -1,0 +1,157 @@
+// Failure-injection tests: the Tuner must surface PipeStore failures
+// promptly instead of hanging or silently training on partial data.
+package tuner
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/wire"
+)
+
+// fakeStore registers with the tuner but misbehaves on command.
+type fakeStore struct {
+	conn  net.Conn
+	codec *wire.Codec
+}
+
+func dialFake(t *testing.T, tn *Node, ln net.Listener, id string) *fakeStore {
+	t.Helper()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewCodec(conn)
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: id}); err != nil {
+		t.Fatal(err)
+	}
+	return &fakeStore{conn: conn, codec: c}
+}
+
+func tunerWithListener(t *testing.T) (*Node, net.Listener) {
+	t.Helper()
+	tn, err := New(core.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	return tn, ln
+}
+
+func TestStoreDisconnectMidTrainingFailsFast(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }()
+	fs := dialFake(t, tn, ln, "flaky")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The fake store waits for the training request, then dies.
+	go func() {
+		_, _ = fs.codec.Recv()
+		fs.conn.Close()
+	}()
+
+	start := time.Now()
+	_, err := tn.FineTune(2, 64, trainOpts())
+	if err == nil {
+		t.Fatal("fine-tune must fail when the only store dies")
+	}
+	if !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("error should name the disconnect: %v", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("failure took %v; must surface promptly", time.Since(start))
+	}
+}
+
+func TestStoreErrorMessagePropagates(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }()
+	fs := dialFake(t, tn, ln, "broken")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = fs.codec.Recv()
+		_ = fs.codec.Send(&wire.Message{Type: wire.MsgError, StoreID: "broken", Err: "disk on fire"})
+	}()
+	_, err := tn.FineTune(1, 64, trainOpts())
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("store error must propagate, got %v", err)
+	}
+}
+
+func TestBadRunIndexRejected(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }()
+	fs := dialFake(t, tn, ln, "confused")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = fs.codec.Recv()
+		_ = fs.codec.Send(&wire.Message{
+			Type: wire.MsgFeatures, StoreID: "confused",
+			Run: 99, Rows: 1, Cols: core.DefaultModelConfig().FeatureDim,
+			X: make([]float64, core.DefaultModelConfig().FeatureDim), Labels: []int{0}, Final: true,
+		})
+	}()
+	if _, err := tn.FineTune(1, 64, trainOpts()); err == nil {
+		t.Fatal("out-of-range run index must be rejected")
+	}
+}
+
+func TestWrongFeatureWidthRejected(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }()
+	fs := dialFake(t, tn, ln, "narrow")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = fs.codec.Recv()
+		_ = fs.codec.Send(&wire.Message{
+			Type: wire.MsgFeatures, StoreID: "narrow",
+			Run: 0, Rows: 1, Cols: 3, X: []float64{1, 2, 3}, Labels: []int{0}, Final: true,
+		})
+	}()
+	if _, err := tn.FineTune(1, 64, trainOpts()); err == nil {
+		t.Fatal("wrong feature width must be rejected")
+	}
+}
+
+func TestAddStoreRejectsNonHello(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- tn.AddStore(conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewCodec(conn)
+	if err := c.Send(&wire.Message{Type: wire.MsgAck}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("non-hello first message must be rejected")
+	}
+}

@@ -1,0 +1,371 @@
+// Package tuner implements the Tuner node: the training server that
+// orchestrates a fleet of PipeStores (§5). It triggers FT-DMP fine-tuning,
+// gathers the feature batches the stores extract near their data, trains
+// the classifier run by run (pipelined: stores keep extracting run r+1
+// while the Tuner trains on run r), distributes the resulting Check-N-Run
+// delta, and drives offline inference to refresh the label database.
+package tuner
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/modelstore"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+	"ndpipe/internal/wire"
+)
+
+// Node is the Tuner.
+type Node struct {
+	cfg      core.ModelConfig
+	backbone *nn.Network
+
+	mu      sync.Mutex
+	clf     *nn.Network
+	version int
+	archive *modelstore.Store // every released version, as a delta chain
+	stores  []*storeConn
+	db      *labeldb.DB
+
+	features chan *wire.Message
+	acks     chan *wire.Message
+	labels   chan *wire.Message
+	errs     chan error
+}
+
+type storeConn struct {
+	id    string
+	codec *wire.Codec
+	conn  net.Conn
+}
+
+// New creates a Tuner with the deterministic model replicas for cfg and a
+// fresh label database.
+func New(cfg core.ModelConfig) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Node{
+		cfg:      cfg,
+		backbone: cfg.NewBackbone(),
+		clf:      cfg.NewClassifier(),
+		db:       labeldb.New(),
+		features: make(chan *wire.Message, 64),
+		acks:     make(chan *wire.Message, 16),
+		labels:   make(chan *wire.Message, 16),
+		errs:     make(chan error, 16),
+	}
+	t.archive = modelstore.New(t.clf.TakeSnapshot())
+	return t, nil
+}
+
+// Archive exposes the model-version store (read-only use).
+func (t *Node) Archive() *modelstore.Store { return t.archive }
+
+// DB exposes the label database.
+func (t *Node) DB() *labeldb.DB { return t.db }
+
+// ModelVersion returns the current classifier version.
+func (t *Node) ModelVersion() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// NumStores returns how many PipeStores are registered.
+func (t *Node) NumStores() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stores)
+}
+
+// Classifier returns the live classifier (callers must not train it
+// concurrently with FineTune).
+func (t *Node) Classifier() *nn.Network {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clf
+}
+
+// AcceptStores accepts exactly n PipeStore registrations on ln.
+func (t *Node) AcceptStores(ln net.Listener, n int) error {
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if err := t.AddStore(conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddStore registers a PipeStore connection (expects its Hello) and starts
+// its reader.
+func (t *Node) AddStore(conn net.Conn) error {
+	codec := wire.NewCodec(conn)
+	hello, err := codec.Recv()
+	if err != nil {
+		return fmt.Errorf("tuner: reading hello: %w", err)
+	}
+	if hello.Type != wire.MsgHello {
+		return fmt.Errorf("tuner: expected hello, got %v", hello.Type)
+	}
+	sc := &storeConn{id: hello.StoreID, codec: codec, conn: conn}
+	// Late joiner: bring the store's classifier to the current version with
+	// one composite catch-up delta before it enters the fleet.
+	t.mu.Lock()
+	version := t.version
+	t.mu.Unlock()
+	if version > 0 {
+		blob, to, err := t.archive.CatchUp(0)
+		if err != nil {
+			return fmt.Errorf("tuner: catch-up for %s: %w", sc.id, err)
+		}
+		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to}); err != nil {
+			return fmt.Errorf("tuner: sending catch-up to %s: %w", sc.id, err)
+		}
+		ack, err := codec.Recv()
+		if err != nil || ack.Type != wire.MsgAck {
+			return fmt.Errorf("tuner: catch-up ack from %s: %v (err %v)", sc.id, ack, err)
+		}
+	}
+	t.mu.Lock()
+	t.stores = append(t.stores, sc)
+	t.mu.Unlock()
+	go t.readLoop(sc)
+	return nil
+}
+
+// readLoop routes a store's messages to the Tuner's channels.
+func (t *Node) readLoop(sc *storeConn) {
+	for {
+		msg, err := sc.codec.Recv()
+		if err != nil {
+			// Connection closed or corrupted: fail any outstanding
+			// operation promptly rather than letting it time out.
+			select {
+			case t.errs <- fmt.Errorf("tuner: store %s disconnected: %w", sc.id, err):
+			default:
+			}
+			return
+		}
+		switch msg.Type {
+		case wire.MsgFeatures:
+			t.features <- msg
+		case wire.MsgAck:
+			t.acks <- msg
+		case wire.MsgLabels:
+			t.labels <- msg
+		case wire.MsgError:
+			t.errs <- fmt.Errorf("tuner: store %s: %s", msg.StoreID, msg.Err)
+		}
+	}
+}
+
+// Report summarizes one fine-tuning round.
+type Report struct {
+	Images       int
+	Runs         int
+	Epochs       int
+	WallTime     time.Duration
+	FeatureBytes int64  // feature payload gathered over the network
+	DeltaBytes   int64  // Check-N-Run broadcast size (per store)
+	DeltaBlob    []byte // the broadcast itself (for further distribution,
+	// e.g. to the online inference server)
+	FullModelBytes int64 // what shipping whole models would have cost (per store)
+	ModelVersion   int
+}
+
+// TrafficReduction is the Check-N-Run win for this round.
+func (r Report) TrafficReduction() float64 {
+	if r.DeltaBytes == 0 {
+		return 0
+	}
+	return float64(r.FullModelBytes) / float64(r.DeltaBytes)
+}
+
+// FineTune runs one pipelined FT-DMP round over all registered stores and
+// distributes the resulting model delta. Stores extract nrun sub-shards;
+// the Tuner trains on run r as soon as every store finished sending it.
+func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
+	start := time.Now()
+	if nrun < 1 {
+		nrun = 1
+	}
+	t.mu.Lock()
+	stores := append([]*storeConn(nil), t.stores...)
+	clf := t.clf
+	t.mu.Unlock()
+	if len(stores) == 0 {
+		return Report{}, fmt.Errorf("tuner: no PipeStores registered")
+	}
+	for _, sc := range stores {
+		if err := sc.codec.Send(&wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch}); err != nil {
+			return Report{}, fmt.Errorf("tuner: requesting training from %s: %w", sc.id, err)
+		}
+	}
+
+	rep := Report{Runs: nrun}
+	sgd := nn.NewSGD(opt.LR, opt.Momentum)
+	type runBuf struct {
+		rows   []float64
+		labels []int
+		finals int
+	}
+	bufs := make([]runBuf, nrun)
+	cols := t.cfg.FeatureDim
+	timeout := time.After(5 * time.Minute)
+	for r := 0; r < nrun; r++ {
+		// Gather run r (later-run batches may arrive early thanks to
+		// pipelining; they are buffered by run index).
+		for bufs[r].finals < len(stores) {
+			select {
+			case msg := <-t.features:
+				if msg.Run < 0 || msg.Run >= nrun {
+					return Report{}, fmt.Errorf("tuner: feature batch for bad run %d", msg.Run)
+				}
+				if msg.Cols != cols {
+					return Report{}, fmt.Errorf("tuner: feature width %d, want %d", msg.Cols, cols)
+				}
+				b := &bufs[msg.Run]
+				b.rows = append(b.rows, msg.X...)
+				b.labels = append(b.labels, msg.Labels...)
+				if msg.Final {
+					b.finals++
+				}
+				rep.FeatureBytes += int64(len(msg.X)) * 8
+			case err := <-t.errs:
+				return Report{}, err
+			case <-timeout:
+				return Report{}, fmt.Errorf("tuner: timed out gathering run %d", r)
+			}
+		}
+		// Tuner-stage: train on the gathered run.
+		b := bufs[r]
+		n := len(b.labels)
+		if n == 0 {
+			return Report{}, fmt.Errorf("tuner: run %d is empty", r)
+		}
+		batchData := &dataset.Batch{X: tensor.FromSlice(n, cols, b.rows), Labels: b.labels}
+		stats, err := trainOneRun(clf, sgd, batchData, opt)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Epochs += stats
+		rep.Images += n
+		bufs[r] = runBuf{} // release
+	}
+
+	// Check-N-Run distribution: archive the new version and broadcast its
+	// delta blob.
+	t.mu.Lock()
+	newSnap := clf.TakeSnapshot()
+	blob, err := t.archive.Append(newSnap)
+	if err != nil {
+		t.mu.Unlock()
+		return Report{}, err
+	}
+	t.version = t.archive.Latest()
+	version := t.version
+	t.mu.Unlock()
+
+	rep.DeltaBytes = int64(len(blob))
+	rep.DeltaBlob = blob
+	// Naive distribution would ship the entire model — frozen backbone
+	// included — to every store; Check-N-Run ships only the classifier
+	// delta (§5, up to 427× smaller at ImageNet scale where the backbone
+	// dwarfs the head).
+	rep.FullModelBytes = newSnap.Bytes() + t.backbone.TakeSnapshot().Bytes()
+	rep.ModelVersion = version
+	for _, sc := range stores {
+		if err := sc.codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version}); err != nil {
+			return Report{}, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err)
+		}
+	}
+	for range stores {
+		select {
+		case <-t.acks:
+		case err := <-t.errs:
+			return Report{}, err
+		case <-timeout:
+			return Report{}, fmt.Errorf("tuner: timed out waiting for delta acks")
+		}
+	}
+	rep.WallTime = time.Since(start)
+	return rep, nil
+}
+
+// trainOneRun trains the classifier to the paper's convergence criterion on
+// one run's features and returns the epochs used.
+func trainOneRun(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, opt ftdmp.TrainOptions) (int, error) {
+	stats, err := ftdmp.FineTuneRuns(clf, []*dataset.Batch{b}, opt)
+	if err != nil {
+		return 0, err
+	}
+	_ = sgd // optimizer state is run-local in FineTuneRuns
+	return stats.TotalEpochs, nil
+}
+
+// OfflineInference asks every store to relabel its shard with the current
+// model and applies the results to the label database. It returns the
+// aggregate refresh statistics (the Table 1 measurement).
+func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
+	t.mu.Lock()
+	stores := append([]*storeConn(nil), t.stores...)
+	version := t.version
+	t.mu.Unlock()
+	if len(stores) == 0 {
+		return labeldb.RefreshStats{}, fmt.Errorf("tuner: no PipeStores registered")
+	}
+	for _, sc := range stores {
+		if err := sc.codec.Send(&wire.Message{Type: wire.MsgInferRequest, BatchSize: batch}); err != nil {
+			return labeldb.RefreshStats{}, err
+		}
+	}
+	agg := labeldb.RefreshStats{ModelVersion: version}
+	timeout := time.After(5 * time.Minute)
+	for range stores {
+		select {
+		case msg := <-t.labels:
+			st := t.db.ApplyRefresh(msg.LabelsOut, version, msg.StoreID)
+			agg.Total += st.Total
+			agg.Changed += st.Changed
+		case err := <-t.errs:
+			return labeldb.RefreshStats{}, err
+		case <-timeout:
+			return labeldb.RefreshStats{}, fmt.Errorf("tuner: timed out waiting for labels")
+		}
+	}
+	if agg.Total > 0 {
+		agg.FixedFrac = float64(agg.Changed) / float64(agg.Total)
+	}
+	return agg, nil
+}
+
+// Evaluate measures the current model's top-1/top-k accuracy on raw-input
+// test data (backbone + classifier).
+func (t *Node) Evaluate(test *dataset.Batch, k int) (top1, topK float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	full := nn.Stack(t.backbone, t.clf)
+	return nn.Accuracy(full, test.X, test.Labels, k)
+}
+
+// Close disconnects all stores.
+func (t *Node) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sc := range t.stores {
+		_ = sc.conn.Close()
+	}
+	t.stores = nil
+}

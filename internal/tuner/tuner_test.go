@@ -1,0 +1,273 @@
+// End-to-end tests of the distributed NDPipe prototype: real PipeStore and
+// Tuner nodes exchanging features, deltas and labels over TCP on loopback.
+package tuner
+
+import (
+	"net"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+)
+
+// cluster spins up a Tuner and n connected PipeStores holding shards of a
+// fresh world, all over loopback TCP.
+func clusterUp(t *testing.T, n int, seed int64) (*Node, []*pipestore.Node, *dataset.World, func()) {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = 2000
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, n) }()
+
+	shards := world.Shard(n)
+	var stores []*pipestore.Node
+	for i := 0; i < n; i++ {
+		ps, err := pipestore.New(storeID(i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(ps *pipestore.Node, conn net.Conn) {
+			_ = ps.Serve(conn)
+		}(ps, conn)
+		stores = append(stores, ps)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		tn.Close()
+		ln.Close()
+	}
+	return tn, stores, world, cleanup
+}
+
+func storeID(i int) string { return string(rune('A'+i)) + "-store" }
+
+func trainOpts() ftdmp.TrainOptions {
+	o := ftdmp.DefaultTrainOptions()
+	o.MaxEpochs = 25
+	return o
+}
+
+func TestEndToEndFineTuneImprovesAccuracy(t *testing.T) {
+	tn, stores, world, cleanup := clusterUp(t, 3, 21)
+	defer cleanup()
+
+	test := world.FreshTestSet(600)
+	before, _ := tn.Evaluate(test, 5)
+
+	rep, err := tn.FineTune(2, 128, trainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tn.Evaluate(test, 5)
+	if after <= before+0.1 {
+		t.Fatalf("fine-tune should lift accuracy well above the random init: %.3f → %.3f", before, after)
+	}
+	if rep.Images != world.NumImages() {
+		t.Fatalf("trained on %d images, world has %d", rep.Images, world.NumImages())
+	}
+	if rep.ModelVersion != 1 {
+		t.Fatalf("model version %d, want 1", rep.ModelVersion)
+	}
+	// Every store must have installed the delta.
+	for _, ps := range stores {
+		if ps.ModelVersion() != 1 {
+			t.Fatalf("store %s at version %d", ps.ID, ps.ModelVersion())
+		}
+	}
+	// Check-N-Run: the delta beats shipping the whole model (backbone
+	// included). At ImageNet scale the backbone dwarfs the head and the
+	// reduction reaches the paper's orders of magnitude; at this laptop
+	// scale the win is modest but must exist.
+	if rep.TrafficReduction() <= 1.2 {
+		t.Fatalf("delta (%d B) should clearly beat the full model (%d B)",
+			rep.DeltaBytes, rep.FullModelBytes)
+	}
+	if rep.FeatureBytes == 0 || rep.Epochs == 0 {
+		t.Fatalf("suspicious report: %+v", rep)
+	}
+}
+
+func TestOfflineInferenceRefreshesLabels(t *testing.T) {
+	tn, _, world, cleanup := clusterUp(t, 2, 22)
+	defer cleanup()
+
+	// Label everything with the (untrained) v0 model.
+	st0, err := tn.OfflineInference(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Total != world.NumImages() {
+		t.Fatalf("labeled %d of %d", st0.Total, world.NumImages())
+	}
+	if tn.DB().Len() != world.NumImages() {
+		t.Fatalf("db has %d entries", tn.DB().Len())
+	}
+
+	// Fine-tune, then refresh: a meaningful share of labels must be fixed
+	// (Table 1's outdated-label phenomenon).
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := tn.OfflineInference(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.FixedFrac < 0.05 {
+		t.Fatalf("new model fixed only %.1f%% of labels", st1.FixedFrac*100)
+	}
+	if tn.DB().OutdatedCount(tn.ModelVersion()) != 0 {
+		t.Fatal("refresh must leave no outdated labels")
+	}
+	// Labels assigned by the trained model should mostly match ground truth.
+	correct, total := 0, 0
+	for _, img := range world.Images() {
+		e, err := tn.DB().Get(img.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if e.Label == img.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.5 {
+		t.Fatalf("offline-inference label accuracy %.3f too low", acc)
+	}
+}
+
+func TestPipelinedRunsDeliverSameModelEverywhere(t *testing.T) {
+	tn, stores, _, cleanup := clusterUp(t, 3, 23)
+	defer cleanup()
+	if _, err := tn.FineTune(3, 64, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	// All stores and the tuner agree on the classifier bit-for-bit: verify
+	// through identical offline-inference labels from two stores over the
+	// same synthetic input (indirect check via versions + a second round).
+	for _, ps := range stores {
+		if ps.ModelVersion() != tn.ModelVersion() {
+			t.Fatalf("store %s version %d != tuner %d", ps.ID, ps.ModelVersion(), tn.ModelVersion())
+		}
+	}
+	// A second round must advance versions consistently.
+	if _, err := tn.FineTune(2, 64, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if tn.ModelVersion() != 2 {
+		t.Fatalf("tuner version %d, want 2", tn.ModelVersion())
+	}
+	for _, ps := range stores {
+		if ps.ModelVersion() != 2 {
+			t.Fatalf("store %s missed the second delta", ps.ID)
+		}
+	}
+}
+
+func TestFineTuneWithoutStoresFails(t *testing.T) {
+	tn, err := New(core.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.FineTune(1, 128, trainOpts()); err == nil {
+		t.Fatal("fine-tune with no stores must fail")
+	}
+	if _, err := tn.OfflineInference(128); err == nil {
+		t.Fatal("inference with no stores must fail")
+	}
+}
+
+func TestInvalidModelConfig(t *testing.T) {
+	bad := core.DefaultModelConfig()
+	bad.Classes = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	if _, err := pipestore.New("x", bad); err == nil {
+		t.Fatal("pipestore must reject invalid config")
+	}
+}
+
+// TestLateJoinerCatchesUp: a PipeStore connecting after fine-tuning rounds
+// have happened receives one composite catch-up delta and lands on the
+// current version immediately.
+func TestLateJoinerCatchesUp(t *testing.T) {
+	tn, stores, world, cleanup := clusterUp(t, 2, 25)
+	defer cleanup()
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.FineTune(2, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if tn.ModelVersion() != 2 || tn.Archive().Latest() != 2 {
+		t.Fatalf("tuner at v%d, archive at v%d", tn.ModelVersion(), tn.Archive().Latest())
+	}
+
+	// A brand-new store joins at version 0.
+	late, err := pipestore.New("late-store", core.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Ingest(world.Images()[:50]); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	accept := make(chan error, 1)
+	go func() {
+		conn, err := ln2.Accept()
+		if err != nil {
+			accept <- err
+			return
+		}
+		accept <- tn.AddStore(conn)
+	}()
+	conn, err := net.Dial("tcp", ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = late.Serve(conn) }()
+	if err := <-accept; err != nil {
+		t.Fatal(err)
+	}
+	if late.ModelVersion() != 2 {
+		t.Fatalf("late joiner at v%d, want 2", late.ModelVersion())
+	}
+	// And it participates in the next round like everyone else.
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if late.ModelVersion() != 3 {
+		t.Fatalf("late joiner missed the next delta (v%d)", late.ModelVersion())
+	}
+	for _, ps := range stores {
+		if ps.ModelVersion() != 3 {
+			t.Fatalf("original store %s at v%d", ps.ID, ps.ModelVersion())
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package wire is the TCP protocol between the Tuner and its PipeStores:
+// gob-encoded, self-delimiting messages over a persistent connection. It
+// carries the whole FT-DMP conversation — training requests, fp16-style
+// feature batches, Check-N-Run model deltas, offline-inference requests and
+// label results.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgHello        MsgType = iota + 1 // store → tuner: registration
+	MsgTrainRequest                    // tuner → store: start FT-DMP feature extraction
+	MsgFeatures                        // store → tuner: one feature batch
+	MsgModelDelta                      // tuner → store: Check-N-Run delta broadcast
+	MsgInferRequest                    // tuner → store: run offline inference
+	MsgLabels                          // store → tuner: offline-inference results
+	MsgAck                             // either direction: acknowledgement
+	MsgError                           // either direction: failure report
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgTrainRequest:
+		return "train-request"
+	case MsgFeatures:
+		return "features"
+	case MsgModelDelta:
+		return "model-delta"
+	case MsgInferRequest:
+		return "infer-request"
+	case MsgLabels:
+		return "labels"
+	case MsgAck:
+		return "ack"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is the single envelope exchanged on the wire. Only the fields
+// relevant to Type are populated.
+type Message struct {
+	Type    MsgType
+	StoreID string
+
+	// MsgTrainRequest
+	Runs      int // pipeline depth Nrun
+	BatchSize int
+
+	// MsgFeatures
+	Run    int // which pipelined run this batch belongs to
+	Rows   int
+	Cols   int
+	X      []float64 // Rows×Cols row-major features
+	Labels []int
+	IDs    []uint64
+	Final  bool // last batch of this run from this store
+
+	// MsgModelDelta / MsgLabels
+	Blob         []byte
+	ModelVersion int
+	LabelsOut    map[uint64]int
+
+	// MsgError
+	Err string
+}
+
+// Codec frames Messages over a stream with gob. It is safe for one
+// concurrent reader and one concurrent writer.
+type Codec struct {
+	wmu sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a bidirectional stream (typically a net.Conn).
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// Send writes one message.
+func (c *Codec) Send(m *Message) error {
+	if m.Type == 0 {
+		return fmt.Errorf("wire: message has no type")
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("wire: send %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads the next message.
+func (c *Codec) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Type == 0 {
+		return nil, fmt.Errorf("wire: received untyped message")
+	}
+	return &m, nil
+}
+
+// SendError is a convenience for reporting a failure to the peer.
+func (c *Codec) SendError(storeID string, err error) error {
+	return c.Send(&Message{Type: MsgError, StoreID: storeID, Err: err.Error()})
+}

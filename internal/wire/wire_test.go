@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// pipeCodec builds two codecs over an in-memory duplex pipe.
+func pipeCodec() (*Codec, *Codec, func()) {
+	a, b := net.Pipe()
+	return NewCodec(a), NewCodec(b), func() { a.Close(); b.Close() }
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	want := &Message{
+		Type: MsgFeatures, StoreID: "ps-1", Run: 2,
+		Rows: 2, Cols: 3,
+		X:      []float64{1, 2, 3, 4, 5, 6},
+		Labels: []int{0, 1},
+		IDs:    []uint64{10, 11},
+		Final:  true,
+	}
+	go func() {
+		if err := ca.Send(want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.StoreID != want.StoreID || got.Run != want.Run || !got.Final {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestUntypedMessageRejected(t *testing.T) {
+	ca, _, done := pipeCodec()
+	defer done()
+	if err := ca.Send(&Message{}); err == nil {
+		t.Fatal("untyped message must be rejected")
+	}
+}
+
+func TestSendError(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	go func() { _ = ca.SendError("ps-2", io.ErrUnexpectedEOF) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgError || got.StoreID != "ps-2" || got.Err == "" {
+		t.Fatalf("error message = %+v", got)
+	}
+}
+
+func TestConcurrentSendersDoNotInterleave(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for s := 0; s < 2; s++ {
+		s := s
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				_ = ca.Send(&Message{Type: MsgAck, Run: s*1000 + i})
+			}
+		}()
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2*n; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Run] {
+			t.Fatalf("duplicate message %d", m.Run)
+		}
+		seen[m.Run] = true
+	}
+	wg.Wait()
+	if len(seen) != 2*n {
+		t.Fatalf("received %d unique messages", len(seen))
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, mt := range []MsgType{MsgHello, MsgTrainRequest, MsgFeatures, MsgModelDelta, MsgInferRequest, MsgLabels, MsgAck, MsgError} {
+		if mt.String() == "" {
+			t.Fatalf("empty name for %d", mt)
+		}
+	}
+	if MsgType(200).String() != "msgtype(200)" {
+		t.Fatal("unknown type rendering")
+	}
+}
+
+// Property: any message with LabelsOut maps survives a round trip through a
+// buffered stream.
+func TestCodecProperty(t *testing.T) {
+	f := func(ids []uint64, labels []int16) bool {
+		m := &Message{Type: MsgLabels, LabelsOut: map[uint64]int{}}
+		for i, id := range ids {
+			if i < len(labels) {
+				m.LabelsOut[id] = int(labels[i])
+			}
+		}
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		if err := c.Send(m); err != nil {
+			return false
+		}
+		got, err := c.Recv()
+		if err != nil {
+			return false
+		}
+		if len(got.LabelsOut) != len(m.LabelsOut) {
+			return false
+		}
+		for k, v := range m.LabelsOut {
+			if got.LabelsOut[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvOnClosedConn(t *testing.T) {
+	a, b := net.Pipe()
+	cb := NewCodec(b)
+	a.Close()
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("recv on closed conn must error")
+	}
+}
