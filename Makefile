@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench fmt-check ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench BenchmarkTelemetryOverhead -benchmem -run '^$$' ./internal/telemetry/
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+ci: build vet fmt-check race bench

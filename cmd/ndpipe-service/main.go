@@ -15,6 +15,7 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/service"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/trace"
 )
 
@@ -24,8 +25,16 @@ func main() {
 		uploads = flag.Int("uploads", 4000, "uploads in the trace")
 		every   = flag.Int("retrain-every", 1500, "retrain after this many uploads (0=off)")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		addr, _, err := telemetry.Default.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+	}
 
 	wcfg := dataset.DefaultConfig(*seed)
 	wcfg.InitialImages = *uploads

@@ -15,6 +15,7 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +26,16 @@ func main() {
 		of      = flag.Int("of", 1, "total number of shards")
 		seed    = flag.Int64("seed", 1, "photo-world seed (must match peers)")
 		images  = flag.Int("images", 6000, "world population size")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		addr, _, err := telemetry.Default.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+	}
 	if *shard < 0 || *shard >= *of {
 		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, *of))
 	}

@@ -15,23 +15,34 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tuner"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":9230", "address to listen on")
-		stores = flag.Int("stores", 1, "number of PipeStores to wait for")
-		nrun   = flag.Int("nrun", 3, "pipelined FT-DMP runs")
-		batch  = flag.Int("batch", 128, "feature-extraction batch size")
+		listen    = flag.String("listen", ":9230", "address to listen on")
+		stores    = flag.Int("stores", 1, "number of PipeStores to wait for")
+		nrun      = flag.Int("nrun", 3, "pipelined FT-DMP runs")
+		batch     = flag.Int("batch", 128, "feature-extraction batch size")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
+		acceptTTL = flag.Duration("accept-timeout", 0, "per-store registration deadline (0=wait forever)")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		addr, _, err := telemetry.Default.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+	}
 
 	cfg := core.DefaultModelConfig()
 	tn, err := tuner.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	tn.AcceptTimeout = *acceptTTL
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)

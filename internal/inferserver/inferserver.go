@@ -12,6 +12,7 @@ package inferserver
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
@@ -19,6 +20,7 @@ import (
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/nn"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 )
 
@@ -36,6 +38,32 @@ type Server struct {
 	db      *labeldb.DB
 
 	uploads int
+
+	met serverMetrics
+}
+
+// serverMetrics holds the upload-path instruments, registered once in New.
+type serverMetrics struct {
+	uploads       *telemetry.Counter
+	searches      *telemetry.Counter
+	deltasApplied *telemetry.Counter
+	modelVersion  *telemetry.Gauge
+	uploadLatency *telemetry.Histogram
+	confidence    *telemetry.Histogram
+}
+
+func newServerMetrics() serverMetrics {
+	reg := telemetry.Default
+	return serverMetrics{
+		uploads:       reg.Counter("inferserver_uploads_total"),
+		searches:      reg.Counter("inferserver_searches_total"),
+		deltasApplied: reg.Counter("inferserver_deltas_applied_total"),
+		modelVersion:  reg.Gauge("inferserver_model_version"),
+		uploadLatency: reg.Histogram("inferserver_upload_seconds"),
+		// Confidence lives in [0,1]: linear buckets, not latency buckets.
+		confidence: reg.HistogramBuckets("inferserver_upload_confidence",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+	}
 }
 
 // New creates an inference server that routes uploads across the given
@@ -56,6 +84,7 @@ func New(cfg core.ModelConfig, stores []*pipestore.Node, db *labeldb.DB) (*Serve
 		clf:      cfg.NewClassifier(),
 		stores:   stores,
 		db:       db,
+		met:      newServerMetrics(),
 	}
 	s.clfSnap = s.clf.TakeSnapshot()
 	return s, nil
@@ -95,6 +124,8 @@ func (s *Server) ApplyDelta(blob []byte, version int) error {
 	}
 	s.clfSnap = snap
 	s.version = version
+	s.met.deltasApplied.Inc()
+	s.met.modelVersion.Set(float64(version))
 	return nil
 }
 
@@ -110,6 +141,7 @@ type UploadResult struct {
 // Upload runs the full online path for one photo: preprocess → online
 // inference → store (raw + preprocessed binary) → index label.
 func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
+	defer func(t0 time.Time) { s.met.uploadLatency.Observe(time.Since(t0).Seconds()) }(time.Now())
 	if len(img.Feat) != s.cfg.InputDim {
 		return UploadResult{}, fmt.Errorf("inferserver: image %d has dim %d, want %d",
 			img.ID, len(img.Feat), s.cfg.InputDim)
@@ -140,6 +172,8 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 		ModelVersion: version,
 		Location:     target.ID,
 	})
+	s.met.uploads.Inc()
+	s.met.confidence.Observe(confidence)
 	return UploadResult{
 		ImageID: img.ID, Label: label, Confidence: confidence,
 		ModelVersion: version, StoreID: target.ID,
@@ -160,4 +194,7 @@ func (s *Server) UploadBatch(imgs []dataset.Image) ([]UploadResult, error) {
 }
 
 // Search proxies label queries to the index (the user-facing path of Fig 3).
-func (s *Server) Search(label int) []uint64 { return s.db.Search(label) }
+func (s *Server) Search(label int) []uint64 {
+	s.met.searches.Inc()
+	return s.db.Search(label)
+}

@@ -1,8 +1,37 @@
 package npe
 
 import (
+	"fmt"
 	"sync"
+	"time"
+
+	"ndpipe/internal/telemetry"
 )
+
+// StageMetrics carries the per-stage latency histograms for one NPE
+// pipeline, mirroring the paper's phase breakdown (Fig 6 / Fig 12:
+// Read → Preproc/Decomp → FE&Cl). Any nil histogram disables timing for
+// that stage; a nil *StageMetrics disables instrumentation entirely.
+type StageMetrics struct {
+	Read    *telemetry.Histogram // load stage: storage I/O per item
+	Preproc *telemetry.Histogram // mid stage: CPU preprocess/decompress per item
+	FECl    *telemetry.Histogram // fin stage: feature extraction & classification per item
+}
+
+// NewStageMetrics registers the three stage histograms in reg under
+// npe_stage_seconds{task=...,stage=...} — the Fig 6/Fig 12 phase names —
+// and returns them for use with Run3StageObserved. Call once per node/task,
+// not per run.
+func NewStageMetrics(reg *telemetry.Registry, task string) *StageMetrics {
+	name := func(stage string) string {
+		return fmt.Sprintf("npe_stage_seconds{task=%q,stage=%q}", task, stage)
+	}
+	return &StageMetrics{
+		Read:    reg.Histogram(name("read")),
+		Preproc: reg.Histogram(name("preproc")),
+		FECl:    reg.Histogram(name("fecl")),
+	}
+}
 
 // Run3Stage is the real (non-simulated) 3-stage pipeline executor used by
 // the PipeStore daemon: load (storage I/O), mid (CPU preprocessing or
@@ -17,6 +46,49 @@ func Run3Stage[A, B, C any](
 	fin func(C) error,
 	buf int,
 ) error {
+	return Run3StageObserved(items, load, mid, fin, buf, nil)
+}
+
+// Run3StageObserved is Run3Stage with per-item stage timing recorded into
+// sm's histograms (when non-nil), so the pipeline's phase breakdown is
+// visible on /metrics exactly as the paper's Fig 6 plots it.
+func Run3StageObserved[A, B, C any](
+	items []A,
+	load func(A) (B, error),
+	mid func(B) (C, error),
+	fin func(C) error,
+	buf int,
+	sm *StageMetrics,
+) error {
+	if sm != nil {
+		if h := sm.Read; h != nil {
+			inner := load
+			load = func(a A) (B, error) {
+				t0 := time.Now()
+				b, err := inner(a)
+				h.Observe(time.Since(t0).Seconds())
+				return b, err
+			}
+		}
+		if h := sm.Preproc; h != nil {
+			inner := mid
+			mid = func(b B) (C, error) {
+				t0 := time.Now()
+				c, err := inner(b)
+				h.Observe(time.Since(t0).Seconds())
+				return c, err
+			}
+		}
+		if h := sm.FECl; h != nil {
+			inner := fin
+			fin = func(c C) error {
+				t0 := time.Now()
+				err := inner(c)
+				h.Observe(time.Since(t0).Seconds())
+				return err
+			}
+		}
+	}
 	if buf < 1 {
 		buf = 1
 	}

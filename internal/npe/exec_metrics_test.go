@@ -1,0 +1,60 @@
+package npe
+
+import (
+	"testing"
+
+	"ndpipe/internal/telemetry"
+)
+
+func TestRun3StageObservedRecordsStageTimings(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sm := NewStageMetrics(reg, "test")
+	items := []int{1, 2, 3, 4, 5}
+	var got []int
+	err := Run3StageObserved(items,
+		func(a int) (int, error) { return a * 10, nil },
+		func(b int) (int, error) { return b + 1, nil },
+		func(c int) error { got = append(got, c); return nil },
+		2,
+		sm,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("processed %d items, want %d", len(got), len(items))
+	}
+	for _, h := range []*telemetry.Histogram{sm.Read, sm.Preproc, sm.FECl} {
+		if h.Count() != uint64(len(items)) {
+			t.Fatalf("stage histogram count = %d, want %d", h.Count(), len(items))
+		}
+	}
+}
+
+func TestRun3StageObservedNilMetricsOK(t *testing.T) {
+	n := 0
+	err := Run3StageObserved([]int{1, 2, 3},
+		func(a int) (int, error) { return a, nil },
+		func(b int) (int, error) { return b, nil },
+		func(c int) error { n++; return nil },
+		1,
+		nil,
+	)
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestNewStageMetricsNames(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	NewStageMetrics(reg, "finetune").Read.Observe(0.001)
+	found := false
+	for _, p := range reg.Snapshot() {
+		if p.Name == `npe_stage_seconds{task="finetune",stage="read"}` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stage histogram not registered under the Fig 6 phase name")
+	}
+}

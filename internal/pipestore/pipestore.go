@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
@@ -18,6 +19,7 @@ import (
 	"ndpipe/internal/nn"
 	"ndpipe/internal/npe"
 	"ndpipe/internal/photostore"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 	"ndpipe/internal/wire"
 )
@@ -35,6 +37,37 @@ type Node struct {
 	clfVersion int
 	images     []dataset.Image
 	store      photostore.ObjectStore
+
+	met nodeMetrics
+}
+
+// nodeMetrics holds the per-store instruments (labeled by store ID) plus the
+// shared NPE stage histograms. Registered once in New; hot paths only touch
+// the cached pointers.
+type nodeMetrics struct {
+	ingested       *telemetry.Counter
+	featureBatches *telemetry.Counter
+	deltasApplied  *telemetry.Counter
+	modelVersion   *telemetry.Gauge
+	extractRun     *telemetry.Histogram
+	offlineInfer   *telemetry.Histogram
+	stagesFT       *npe.StageMetrics
+	stagesInfer    *npe.StageMetrics
+}
+
+func newNodeMetrics(id string) nodeMetrics {
+	reg := telemetry.Default
+	lbl := func(name string) string { return telemetry.Labeled(name, "store", id) }
+	return nodeMetrics{
+		ingested:       reg.Counter(lbl("pipestore_images_ingested_total")),
+		featureBatches: reg.Counter(lbl("pipestore_feature_batches_total")),
+		deltasApplied:  reg.Counter(lbl("pipestore_deltas_applied_total")),
+		modelVersion:   reg.Gauge(lbl("pipestore_model_version")),
+		extractRun:     reg.Histogram(lbl("pipestore_extract_run_seconds")),
+		offlineInfer:   reg.Histogram(lbl("pipestore_offline_infer_seconds")),
+		stagesFT:       npe.NewStageMetrics(reg, "finetune"),
+		stagesInfer:    npe.NewStageMetrics(reg, "offline-inference"),
+	}
 }
 
 // New creates a PipeStore with the deterministic backbone/classifier
@@ -59,6 +92,7 @@ func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStor
 		backbone: cfg.NewBackbone(),
 		clf:      cfg.NewClassifier(),
 		store:    store,
+		met:      newNodeMetrics(id),
 	}
 	n.clfSnap = n.clf.TakeSnapshot()
 	return n, nil
@@ -81,6 +115,7 @@ func (n *Node) Ingest(imgs []dataset.Image) error {
 	n.mu.Lock()
 	n.images = append(n.images, imgs...)
 	n.mu.Unlock()
+	n.met.ingested.Add(int64(len(imgs)))
 	return nil
 }
 
@@ -144,6 +179,7 @@ func (n *Node) ExtractRuns(nrun, batch int, emit func(*wire.Message) error) erro
 }
 
 func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*wire.Message) error) error {
+	defer func(t0 time.Time) { n.met.extractRun.Observe(time.Since(t0).Seconds()) }(time.Now())
 	var pending []decodedImage
 	nBatches := (len(shard) + batch - 1) / batch
 	sent := 0
@@ -157,9 +193,10 @@ func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*
 		}
 		pending = pending[:0]
 		sent++
+		n.met.featureBatches.Inc()
 		return emit(msg)
 	}
-	err := npe.Run3Stage(shard,
+	err := npe.Run3StageObserved(shard,
 		func(img dataset.Image) (loadedImage, error) {
 			blob, err := n.store.GetPreprocCompressed(img.ID)
 			if err != nil {
@@ -186,6 +223,7 @@ func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*
 			return nil
 		},
 		4,
+		n.met.stagesFT,
 	)
 	if err != nil {
 		return err
@@ -235,6 +273,8 @@ func (n *Node) ApplyDelta(blob []byte, version int) error {
 	}
 	n.clfSnap = snap
 	n.clfVersion = version
+	n.met.deltasApplied.Inc()
+	n.met.modelVersion.Set(float64(version))
 	return nil
 }
 
@@ -242,6 +282,7 @@ func (n *Node) ApplyDelta(blob []byte, version int) error {
 // entirely near the data: it reads the compressed binaries, decodes them,
 // and runs backbone+classifier. Only labels leave the node.
 func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
+	defer func(t0 time.Time) { n.met.offlineInfer.Observe(time.Since(t0).Seconds()) }(time.Now())
 	if batch < 1 {
 		batch = 128
 	}
@@ -269,7 +310,7 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 		pending = pending[:0]
 		return nil
 	}
-	err := npe.Run3Stage(shard,
+	err := npe.Run3StageObserved(shard,
 		func(img dataset.Image) (loadedImage, error) {
 			blob, err := n.store.GetPreprocCompressed(img.ID)
 			if err != nil {
@@ -296,6 +337,7 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 			return nil
 		},
 		4,
+		n.met.stagesInfer,
 	)
 	if err != nil {
 		return nil, err

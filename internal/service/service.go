@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
@@ -21,6 +22,7 @@ import (
 	"ndpipe/internal/inferserver"
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tuner"
 )
 
@@ -68,6 +70,31 @@ type Service struct {
 	retrainRounds int
 	detector      *drift.Detector // nil unless the policy enables it
 	driftFires    int
+
+	met serviceMetrics
+}
+
+// serviceMetrics holds the continuous-training-loop instruments, registered
+// once in Start.
+type serviceMetrics struct {
+	retrains      *telemetry.Counter
+	driftChecks   *telemetry.Counter // drift-trigger decisions taken
+	driftFires    *telemetry.Counter // ... of which fired a retrain
+	uploadSeconds *telemetry.Histogram
+	retrainSecs   *telemetry.Histogram
+	sinceRetrain  *telemetry.Gauge
+}
+
+func newServiceMetrics() serviceMetrics {
+	reg := telemetry.Default
+	return serviceMetrics{
+		retrains:      reg.Counter("service_retrain_total"),
+		driftChecks:   reg.Counter("service_drift_checks_total"),
+		driftFires:    reg.Counter("service_drift_fires_total"),
+		uploadSeconds: reg.Histogram("service_upload_seconds"),
+		retrainSecs:   reg.Histogram("service_retrain_seconds"),
+		sinceRetrain:  reg.Gauge("service_uploads_since_retrain"),
+	}
 }
 
 // Start wires up a service with n PipeStores over loopback TCP.
@@ -95,7 +122,7 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 	accepted := make(chan error, 1)
 	go func() { accepted <- tn.AcceptStores(ln, n) }()
 
-	s := &Service{cfg: cfg, policy: policy, tn: tn, ln: ln}
+	s := &Service{cfg: cfg, policy: policy, tn: tn, ln: ln, met: newServiceMetrics()}
 	for i := 0; i < n; i++ {
 		ps, err := pipestore.New(fmt.Sprintf("ps-%d", i), cfg)
 		if err != nil {
@@ -169,6 +196,7 @@ func (s *Service) RetrainRounds() int {
 // Upload runs the online path for one photo and, per policy, triggers a
 // continuous-training cycle. It returns the assigned label.
 func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
+	defer func(t0 time.Time) { s.met.uploadSeconds.Observe(time.Since(t0).Seconds()) }(time.Now())
 	res, err := s.infer.Upload(img)
 	if err != nil {
 		return res, err
@@ -176,13 +204,18 @@ func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
 	s.mu.Lock()
 	s.sinceRetrain++
 	due := s.policy.RetrainEveryUploads > 0 && s.sinceRetrain >= s.policy.RetrainEveryUploads
-	if s.detector != nil && s.detector.Observe(res.Confidence) {
-		s.driftFires++
-		due = true
+	if s.detector != nil {
+		s.met.driftChecks.Inc()
+		if s.detector.Observe(res.Confidence) {
+			s.driftFires++
+			s.met.driftFires.Inc()
+			due = true
+		}
 	}
 	if due {
 		s.sinceRetrain = 0
 	}
+	s.met.sinceRetrain.Set(float64(s.sinceRetrain))
 	s.mu.Unlock()
 	if due {
 		if _, err := s.Retrain(); err != nil {
@@ -207,18 +240,31 @@ func (s *Service) UploadBatch(imgs []dataset.Image) error {
 // stores *and* the online inference server), and a near-data offline
 // inference pass that refreshes every outdated label.
 func (s *Service) Retrain() (tuner.Report, error) {
+	span := telemetry.Default.Spans().StartSpan("service.retrain", 0)
+	defer func() {
+		s.met.retrainSecs.Observe(span.End().Seconds())
+	}()
+	ft := telemetry.Default.Spans().StartSpan("service.finetune", span.ID())
 	rep, err := s.tn.FineTune(s.policy.Nrun, s.policy.Batch, s.policy.Train)
+	ft.End()
 	if err != nil {
 		return rep, err
 	}
-	if err := s.infer.ApplyDelta(rep.DeltaBlob, rep.ModelVersion); err != nil {
+	ad := telemetry.Default.Spans().StartSpan("service.apply-delta", span.ID())
+	err = s.infer.ApplyDelta(rep.DeltaBlob, rep.ModelVersion)
+	ad.End()
+	if err != nil {
 		return rep, err
 	}
-	if _, err := s.tn.OfflineInference(s.policy.Batch); err != nil {
+	oi := telemetry.Default.Spans().StartSpan("service.offline-inference", span.ID())
+	_, err = s.tn.OfflineInference(s.policy.Batch)
+	oi.End()
+	if err != nil {
 		return rep, err
 	}
 	s.mu.Lock()
 	s.retrainRounds++
+	s.met.retrains.Inc()
 	if s.detector != nil {
 		// The fleet just deployed a fresh model: restart the health baseline.
 		s.detector.Rebase()

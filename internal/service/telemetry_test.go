@@ -1,0 +1,105 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/telemetry"
+)
+
+// After a fine-tune + offline-inference round through the real TCP wiring,
+// the default registry must show wire traffic, per-stage NPE latency, tuner
+// round counters and upload-path latency — the acceptance check for the
+// telemetry subsystem, exercised end to end.
+func TestServiceTelemetryEndToEnd(t *testing.T) {
+	counter := func(name string) int64 { return telemetry.Default.Counter(name).Value() }
+	sentBefore := counter("wire_sent_bytes_total")
+	roundsBefore := counter("tuner_train_rounds_total")
+	retrainsBefore := counter("service_retrain_total")
+
+	cfg := core.DefaultModelConfig()
+	policy := DefaultPolicy()
+	policy.RetrainEveryUploads = 0
+	svc, err := Start(cfg, 2, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	world := dataset.NewWorld(dataset.DefaultConfig(7))
+	if err := svc.UploadBatch(world.Images()[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := counter("wire_sent_bytes_total") - sentBefore; d <= 0 {
+		t.Fatalf("wire bytes advanced by %d, want > 0", d)
+	}
+	if d := counter("tuner_train_rounds_total") - roundsBefore; d != 1 {
+		t.Fatalf("tuner rounds advanced by %d, want 1", d)
+	}
+	if d := counter("service_retrain_total") - retrainsBefore; d != 1 {
+		t.Fatalf("service retrains advanced by %d, want 1", d)
+	}
+
+	// Per-stage NPE latency histograms (the Fig 6 phase breakdown) must have
+	// fine-tune and offline-inference observations, and the upload path must
+	// be timed.
+	for _, name := range []string{
+		`npe_stage_seconds{task="finetune",stage="read"}`,
+		`npe_stage_seconds{task="finetune",stage="fecl"}`,
+		`npe_stage_seconds{task="offline-inference",stage="read"}`,
+		"inferserver_upload_seconds",
+		"tuner_finetune_seconds",
+	} {
+		h := telemetry.Default.Histogram(name)
+		if h.Count() == 0 {
+			t.Fatalf("histogram %s has no observations", name)
+		}
+		if p99 := h.Quantile(0.99); p99 <= 0 {
+			t.Fatalf("histogram %s p99 = %v, want > 0", name, p99)
+		}
+	}
+
+	// The retrain left a span tree in the ring buffer: service.retrain with
+	// finetune / apply-delta / offline-inference children.
+	recs := telemetry.Default.Spans().Recent()
+	var rootID telemetry.SpanID
+	names := map[string]bool{}
+	for _, r := range recs {
+		if r.Name == "service.retrain" {
+			rootID = r.ID
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no service.retrain span recorded")
+	}
+	for _, r := range recs {
+		if r.Parent == rootID {
+			names[r.Name] = true
+		}
+	}
+	for _, want := range []string{"service.finetune", "service.apply-delta", "service.offline-inference"} {
+		if !names[want] {
+			t.Fatalf("span %s missing under service.retrain (have %v)", want, names)
+		}
+	}
+
+	// And the whole thing is visible through the text exposition.
+	var sb strings.Builder
+	telemetry.WriteMetricsText(&sb, telemetry.Default.Snapshot())
+	body := sb.String()
+	for _, want := range []string{
+		`wire_send_total{type="features"}`,
+		`npe_stage_seconds_bucket{task="finetune",stage="read",le=`,
+		"tuner_train_rounds_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics text missing %q", want)
+		}
+	}
+}

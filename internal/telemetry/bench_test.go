@@ -1,0 +1,31 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryOverhead enforces the always-on instrumentation budget:
+// a counter increment and a histogram observation must each cost <100ns/op
+// with 0 allocs/op, so the wire codec and the NPE pipeline can stay
+// instrumented in production.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("CounterInc", func(b *testing.B) {
+		c := NewRegistry().Counter("bench_total")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		h := NewHistogram(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.0031) // mid-range bucket: realistic I/O latency
+		}
+	})
+	b.Run("GaugeSet", func(b *testing.B) {
+		g := NewRegistry().Gauge("bench_gauge")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets spans 1µs…100s in roughly ×3 steps — wide enough to
+// cover both a single atomic op on the wire hot path and a multi-minute
+// fine-tune round without reconfiguration. Values are seconds.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+	1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+	1, 3, 10, 30, 100,
+}
+
+// Histogram is a fixed-bucket histogram with atomic, allocation-free
+// observation. Bucket i counts observations ≤ bounds[i]; one overflow bucket
+// counts the rest. The observed sum is kept as CAS-updated float bits so
+// mean latency is exact, not bucket-approximated.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram creates a histogram with the given upper bounds (nil means
+// DefaultLatencyBuckets). Bounds must be sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample. Allocation-free; the bucket search is a
+// bounded linear scan (≤ len(bounds) comparisons — faster than binary search
+// at these sizes because latencies cluster in the low buckets).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket. Returns 0 with no observations; the overflow
+// bucket reports its lower bound (the largest configured bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// BucketCount is one exported histogram bucket.
+type BucketCount struct {
+	UpperBound float64 `json:"le"` // +Inf for the overflow bucket
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view (buckets are
+// read individually; a concurrent Observe may straddle the read).
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot exports counts, sum and the p50/p95/p99 summaries.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: make([]BucketCount, 0, len(h.counts)),
+	}
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: n})
+		}
+	}
+	return s
+}

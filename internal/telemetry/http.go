@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics — Prometheus-style text exposition (counters, gauges,
+//	           histogram buckets/sum/count plus p50/p95/p99 quantiles)
+//	/spans   — JSON dump of the span ring buffer, oldest first
+//	/snapshot— the Snapshot() view as JSON (what Publish exposes via expvar)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetricsText(w, r.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Spans().Recent())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	return mux
+}
+
+// WriteMetricsText writes the Prometheus text format for a snapshot.
+func WriteMetricsText(w interface{ Write([]byte) (int, error) }, pts []MetricPoint) {
+	var b strings.Builder
+	for _, p := range pts {
+		switch p.Kind {
+		case "counter", "gauge":
+			fmt.Fprintf(&b, "%s %s\n", p.Name, formatFloat(p.Value))
+		case "histogram":
+			base, labels := splitLabels(p.Name)
+			cum := uint64(0)
+			for _, bk := range p.Hist.Buckets {
+				cum += bk.Count
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, 1) {
+					le = formatFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, labels, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", base, bracketed(labels), formatFloat(p.Hist.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", base, bracketed(labels), p.Hist.Count)
+			for _, q := range [...]struct {
+				q string
+				v float64
+			}{{"0.5", p.Hist.P50}, {"0.95", p.Hist.P95}, {"0.99", p.Hist.P99}} {
+				fmt.Fprintf(&b, "%s{%squantile=%q} %s\n", base, labels, q.q, formatFloat(q.v))
+			}
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// splitLabels separates `name{k="v"}` into ("name", `k="v",`); a plain name
+// yields ("name", "").
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+func bracketed(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// String implements expvar.Var: the JSON snapshot, so a registry can be
+// published into the standard /debug/vars page.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "[]"
+	}
+	return string(b)
+}
+
+// Publish registers the registry under name in the process-wide expvar set.
+// Publishing the same name twice panics (expvar semantics), so daemons call
+// this once.
+func (r *Registry) Publish(name string) { expvar.Publish(name, r) }
+
+// Serve starts the exposition endpoint on addr in a background goroutine and
+// returns the bound listener address (useful with ":0") and a shutdown
+// function. The daemons call this behind their -telemetry-addr flag.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

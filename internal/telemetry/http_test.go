@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`wire_send_total{type="features"}`).Add(12)
+	r.Gauge("tuner_stores").Set(3)
+	h := r.Histogram(`npe_stage_seconds{stage="read"}`)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+
+	for _, want := range []string{
+		`wire_send_total{type="features"} 12`,
+		`tuner_stores 3`,
+		`npe_stage_seconds_bucket{stage="read",le="0.003"} 100`,
+		`npe_stage_seconds_count{stage="read"} 100`,
+		`npe_stage_seconds{stage="read",quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Spans().StartSpan("upload", 0)
+	sp.SetAttr("store", "ps-0")
+	sp.End()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	var recs []SpanRecord
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/spans")), &recs); err != nil {
+		t.Fatalf("unmarshal spans: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "upload" || len(recs[0].Attrs) != 1 {
+		t.Fatalf("spans = %+v", recs)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	var pts []MetricPoint
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/snapshot")), &pts); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	if len(pts) != 1 || pts[0].Name != "c" || pts[0].Value != 1 {
+		t.Fatalf("snapshot = %+v", pts)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Inc()
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	body := get(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "served 1") {
+		t.Fatalf("/metrics via Serve missing counter:\n%s", body)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(b)
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanRing is the default tracer ring capacity: enough for several
+// retrain cycles' worth of spans without unbounded growth.
+const DefaultSpanRing = 1024
+
+// SpanID identifies a span; 0 means "no parent" (a root span).
+type SpanID uint64
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is a finished span as stored in the ring buffer.
+type SpanRecord struct {
+	ID       SpanID    `json:"id"`
+	Parent   SpanID    `json:"parent,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	Duration float64   `json:"duration_seconds"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight operation. Create with Tracer.StartSpan, finish with
+// End; a Span is owned by one goroutine and must not be shared before End.
+type Span struct {
+	tr     *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// ID returns the span's identity, for parenting child spans.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value attribute (e.g. store ID, run index).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span, records it in the tracer's ring buffer, and returns
+// its duration. Safe on a nil span (returns 0) so instrumented code can run
+// with tracing disabled.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tr.record(SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: d.Seconds(),
+		Attrs:    s.attrs,
+	})
+	return d
+}
+
+// Tracer hands out spans and keeps the last `cap` finished ones in a ring
+// buffer for post-hoc inspection (the /spans endpoint).
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	pos  int
+	full bool
+}
+
+// NewTracer creates a tracer keeping the most recent capacity spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// StartSpan begins a span under the given parent (0 for a root span).
+func (t *Tracer) StartSpan(name string, parent SpanID) *Span {
+	return &Span{
+		tr:     t,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.pos] = rec
+	t.pos++
+	if t.pos == len(t.ring) {
+		t.pos = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the buffered finished spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring[:t.pos]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.pos:]...)
+	out = append(out, t.ring[:t.pos]...)
+	return out
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanParentAndAttrs(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.StartSpan("retrain", 0)
+	child := tr.StartSpan("finetune", root.ID())
+	child.SetAttr("run", "0")
+	time.Sleep(time.Millisecond)
+	if d := child.End(); d <= 0 {
+		t.Fatalf("child duration = %v, want > 0", d)
+	}
+	root.End()
+
+	recs := tr.Recent()
+	if len(recs) != 2 {
+		t.Fatalf("got %d spans, want 2", len(recs))
+	}
+	if recs[0].Name != "finetune" || recs[1].Name != "retrain" {
+		t.Fatalf("order = %s, %s; want finetune then retrain", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatalf("child parent = %d, want root ID %d", recs[0].Parent, recs[1].ID)
+	}
+	if len(recs[0].Attrs) != 1 || recs[0].Attrs[0].Key != "run" {
+		t.Fatalf("child attrs = %+v", recs[0].Attrs)
+	}
+	if recs[0].Duration < 0.001 {
+		t.Fatalf("child duration = %v, want ≥ 1ms", recs[0].Duration)
+	}
+}
+
+func TestSpanRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s", 0).End()
+	}
+	recs := tr.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	// Oldest first: IDs 7,8,9,10.
+	for i, want := range []SpanID{7, 8, 9, 10} {
+		if recs[i].ID != want {
+			t.Fatalf("recs[%d].ID = %d, want %d", i, recs[i].ID, want)
+		}
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	if s.End() != 0 {
+		t.Fatal("nil span End should return 0")
+	}
+	if s.ID() != 0 {
+		t.Fatal("nil span ID should be 0")
+	}
+}

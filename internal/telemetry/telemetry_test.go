@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("uploads_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("uploads_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("lag")
+	g.Set(2.5)
+	g.Add(1.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 3.0 {
+		t.Fatalf("gauge = %v, want 3.0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 100 samples at ~1ms, 10 at ~50ms, 1 at ~2s.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(2)
+	if h.Count() != 111 {
+		t.Fatalf("count = %d, want 111", h.Count())
+	}
+	wantSum := 100*0.001 + 10*0.05 + 2
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 0 || p50 > 0.003 {
+		t.Fatalf("p50 = %v, want within the ~1ms bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.03 || p99 > 0.1 {
+		t.Fatalf("p99 = %v, want within the ~50ms bucket", p99)
+	}
+	if q := h.Quantile(1.0); q < 1 || q > 3 {
+		t.Fatalf("p100 = %v, want within the ~2s bucket", q)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	h.Observe(100) // overflow bucket
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("overflow quantile = %v, want largest bound 2", q)
+	}
+	s := h.Snapshot()
+	if s.Count != 1 || len(s.Buckets) != 1 || !math.IsInf(s.Buckets[0].UpperBound, 1) {
+		t.Fatalf("snapshot = %+v, want one +Inf bucket", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %v, want 8.0", h.Sum())
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Inc()
+	r.Gauge("a_gauge").Set(7)
+	r.Histogram("c_hist").Observe(0.01)
+	pts := r.Snapshot()
+	if len(pts) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(pts))
+	}
+	if pts[0].Name != "a_gauge" || pts[1].Name != "b_count" || pts[2].Name != "c_hist" {
+		t.Fatalf("snapshot not sorted: %v %v %v", pts[0].Name, pts[1].Name, pts[2].Name)
+	}
+	if pts[2].Hist == nil || pts[2].Hist.Count != 1 {
+		t.Fatalf("histogram point missing snapshot: %+v", pts[2])
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	got := Labeled("wire_send_total", "type", "features")
+	if got != `wire_send_total{type="features"}` {
+		t.Fatalf("Labeled = %s", got)
+	}
+	base, labels := splitLabels(got)
+	if base != "wire_send_total" || labels != `type="features",` {
+		t.Fatalf("splitLabels = %q, %q", base, labels)
+	}
+}
+
+func TestExpvarString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(3)
+	s := r.String()
+	if !strings.Contains(s, `"x"`) || !strings.Contains(s, `"counter"`) {
+		t.Fatalf("expvar string missing metric: %s", s)
+	}
+}

@@ -155,3 +155,38 @@ func TestAddStoreRejectsNonHello(t *testing.T) {
 		t.Fatal("non-hello first message must be rejected")
 	}
 }
+
+func TestAcceptStoresTimesOutInsteadOfHanging(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	tn.AcceptTimeout = 100 * time.Millisecond
+
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }() // nobody ever connects
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("AcceptStores returned nil without any store connecting")
+		}
+		if !strings.Contains(err.Error(), "no store registration within") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcceptStores hung despite AcceptTimeout")
+	}
+}
+
+func TestAcceptStoresDeadlineClearedForLateStores(t *testing.T) {
+	tn, ln := tunerWithListener(t)
+	tn.AcceptTimeout = 2 * time.Second
+
+	done := make(chan error, 1)
+	go func() { done <- tn.AcceptStores(ln, 1) }()
+	// A store that connects inside the window registers normally.
+	dialFake(t, tn, ln, "on-time")
+	if err := <-done; err != nil {
+		t.Fatalf("store inside the window rejected: %v", err)
+	}
+	if tn.NumStores() != 1 {
+		t.Fatalf("stores = %d, want 1", tn.NumStores())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/modelstore"
 	"ndpipe/internal/nn"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 	"ndpipe/internal/wire"
 )
@@ -26,6 +27,11 @@ import (
 type Node struct {
 	cfg      core.ModelConfig
 	backbone *nn.Network
+
+	// AcceptTimeout, when positive, bounds how long AcceptStores waits for
+	// each PipeStore registration (the listener must support deadlines, as
+	// *net.TCPListener does). Zero means wait forever.
+	AcceptTimeout time.Duration
 
 	mu      sync.Mutex
 	clf     *nn.Network
@@ -38,12 +44,44 @@ type Node struct {
 	acks     chan *wire.Message
 	labels   chan *wire.Message
 	errs     chan error
+
+	met tunerMetrics
 }
 
 type storeConn struct {
 	id    string
 	codec *wire.Codec
 	conn  net.Conn
+	// lastRun tracks the highest pipelined run this store has finished
+	// sending, so per-store extraction lag is visible while the Tuner
+	// trains (run r trains while stores extract r+1).
+	lastRun *telemetry.Gauge
+}
+
+// tunerMetrics holds the Tuner's instruments, registered once in New.
+type tunerMetrics struct {
+	stores       *telemetry.Gauge
+	trainRounds  *telemetry.Counter
+	featureBytes *telemetry.Counter
+	deltaBytes   *telemetry.Counter
+	modelVersion *telemetry.Gauge
+	runTrain     *telemetry.Histogram
+	fineTune     *telemetry.Histogram
+	offlineInfer *telemetry.Histogram
+}
+
+func newTunerMetrics() tunerMetrics {
+	reg := telemetry.Default
+	return tunerMetrics{
+		stores:       reg.Gauge("tuner_stores"),
+		trainRounds:  reg.Counter("tuner_train_rounds_total"),
+		featureBytes: reg.Counter("tuner_feature_bytes_total"),
+		deltaBytes:   reg.Counter("tuner_delta_broadcast_bytes_total"),
+		modelVersion: reg.Gauge("tuner_model_version"),
+		runTrain:     reg.Histogram("tuner_run_train_seconds"),
+		fineTune:     reg.Histogram("tuner_finetune_seconds"),
+		offlineInfer: reg.Histogram("tuner_offline_inference_seconds"),
+	}
 }
 
 // New creates a Tuner with the deterministic model replicas for cfg and a
@@ -61,6 +99,7 @@ func New(cfg core.ModelConfig) (*Node, error) {
 		acks:     make(chan *wire.Message, 16),
 		labels:   make(chan *wire.Message, 16),
 		errs:     make(chan error, 16),
+		met:      newTunerMetrics(),
 	}
 	t.archive = modelstore.New(t.clf.TakeSnapshot())
 	return t, nil
@@ -94,12 +133,37 @@ func (t *Node) Classifier() *nn.Network {
 	return t.clf
 }
 
-// AcceptStores accepts exactly n PipeStore registrations on ln.
+// deadlineListener is implemented by listeners supporting accept deadlines
+// (*net.TCPListener and friends).
+type deadlineListener interface {
+	SetDeadline(time.Time) error
+}
+
+// AcceptStores accepts exactly n PipeStore registrations on ln. With a
+// positive AcceptTimeout and a deadline-capable listener, each registration
+// must arrive within the timeout or AcceptStores returns an error instead of
+// blocking forever on a store that never connects.
 func (t *Node) AcceptStores(ln net.Listener, n int) error {
+	dl, hasDeadline := ln.(deadlineListener)
 	for i := 0; i < n; i++ {
+		if t.AcceptTimeout > 0 && hasDeadline {
+			if err := dl.SetDeadline(time.Now().Add(t.AcceptTimeout)); err != nil {
+				return fmt.Errorf("tuner: setting accept deadline: %w", err)
+			}
+		}
 		conn, err := ln.Accept()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return fmt.Errorf("tuner: no store registration within %v (%d of %d accepted): %w",
+					t.AcceptTimeout, i, n, err)
+			}
 			return err
+		}
+		if t.AcceptTimeout > 0 && hasDeadline {
+			// Clear the deadline so established connections are unaffected.
+			if err := dl.SetDeadline(time.Time{}); err != nil {
+				return fmt.Errorf("tuner: clearing accept deadline: %w", err)
+			}
 		}
 		if err := t.AddStore(conn); err != nil {
 			return err
@@ -119,7 +183,11 @@ func (t *Node) AddStore(conn net.Conn) error {
 	if hello.Type != wire.MsgHello {
 		return fmt.Errorf("tuner: expected hello, got %v", hello.Type)
 	}
-	sc := &storeConn{id: hello.StoreID, codec: codec, conn: conn}
+	sc := &storeConn{
+		id: hello.StoreID, codec: codec, conn: conn,
+		lastRun: telemetry.Default.Gauge(telemetry.Labeled("tuner_store_last_run", "store", hello.StoreID)),
+	}
+	sc.lastRun.Set(-1)
 	// Late joiner: bring the store's classifier to the current version with
 	// one composite catch-up delta before it enters the fleet.
 	t.mu.Lock()
@@ -140,6 +208,7 @@ func (t *Node) AddStore(conn net.Conn) error {
 	}
 	t.mu.Lock()
 	t.stores = append(t.stores, sc)
+	t.met.stores.Set(float64(len(t.stores)))
 	t.mu.Unlock()
 	go t.readLoop(sc)
 	return nil
@@ -160,6 +229,9 @@ func (t *Node) readLoop(sc *storeConn) {
 		}
 		switch msg.Type {
 		case wire.MsgFeatures:
+			if msg.Final {
+				sc.lastRun.Set(float64(msg.Run))
+			}
 			t.features <- msg
 		case wire.MsgAck:
 			t.acks <- msg
@@ -198,6 +270,11 @@ func (r Report) TrafficReduction() float64 {
 // the Tuner trains on run r as soon as every store finished sending it.
 func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
 	start := time.Now()
+	span := telemetry.Default.Spans().StartSpan("tuner.finetune", 0)
+	span.SetAttr("nrun", fmt.Sprint(nrun))
+	defer func() {
+		t.met.fineTune.Observe(span.End().Seconds())
+	}()
 	if nrun < 1 {
 		nrun = 1
 	}
@@ -243,6 +320,7 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 					b.finals++
 				}
 				rep.FeatureBytes += int64(len(msg.X)) * 8
+				t.met.featureBytes.Add(int64(len(msg.X)) * 8)
 			case err := <-t.errs:
 				return Report{}, err
 			case <-timeout:
@@ -256,7 +334,10 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 			return Report{}, fmt.Errorf("tuner: run %d is empty", r)
 		}
 		batchData := &dataset.Batch{X: tensor.FromSlice(n, cols, b.rows), Labels: b.labels}
+		runSpan := telemetry.Default.Spans().StartSpan("tuner.train-run", span.ID())
+		runSpan.SetAttr("run", fmt.Sprint(r))
 		stats, err := trainOneRun(clf, sgd, batchData, opt)
+		t.met.runTrain.Observe(runSpan.End().Seconds())
 		if err != nil {
 			return Report{}, err
 		}
@@ -290,6 +371,7 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 		if err := sc.codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version}); err != nil {
 			return Report{}, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err)
 		}
+		t.met.deltaBytes.Add(int64(len(blob)))
 	}
 	for range stores {
 		select {
@@ -301,6 +383,8 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 		}
 	}
 	rep.WallTime = time.Since(start)
+	t.met.trainRounds.Inc()
+	t.met.modelVersion.Set(float64(version))
 	return rep, nil
 }
 
@@ -319,6 +403,10 @@ func trainOneRun(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, opt ftdmp.Train
 // model and applies the results to the label database. It returns the
 // aggregate refresh statistics (the Table 1 measurement).
 func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
+	span := telemetry.Default.Spans().StartSpan("tuner.offline-inference", 0)
+	defer func() {
+		t.met.offlineInfer.Observe(span.End().Seconds())
+	}()
 	t.mu.Lock()
 	stores := append([]*storeConn(nil), t.stores...)
 	version := t.version
@@ -368,4 +456,5 @@ func (t *Node) Close() {
 		_ = sc.conn.Close()
 	}
 	t.stores = nil
+	t.met.stores.Set(0)
 }

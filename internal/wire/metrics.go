@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"io"
+
+	"ndpipe/internal/telemetry"
+)
+
+// Protocol instrumentation: every codec in the process shares one set of
+// per-MsgType message counters plus byte counters, registered once in the
+// telemetry default registry. The hot path (Send/Recv and the stream
+// wrappers) only touches pre-registered atomic counters — no lookups, no
+// allocation.
+var (
+	sentMsgs  [MsgError + 1]*telemetry.Counter
+	recvMsgs  [MsgError + 1]*telemetry.Counter
+	sentBytes = telemetry.Default.Counter("wire_sent_bytes_total")
+	recvBytes = telemetry.Default.Counter("wire_recv_bytes_total")
+)
+
+func init() {
+	for t := MsgHello; t <= MsgError; t++ {
+		sentMsgs[t] = telemetry.Default.Counter(telemetry.Labeled("wire_send_total", "type", t.String()))
+		recvMsgs[t] = telemetry.Default.Counter(telemetry.Labeled("wire_recv_total", "type", t.String()))
+	}
+}
+
+func countSent(t MsgType) {
+	if t >= MsgHello && t <= MsgError {
+		sentMsgs[t].Inc()
+	}
+}
+
+func countRecv(t MsgType) {
+	if t >= MsgHello && t <= MsgError {
+		recvMsgs[t].Inc()
+	}
+}
+
+// countingStream wraps the codec's underlying stream and feeds the byte
+// counters, so wire traffic volume is visible on /metrics without touching
+// gob.
+type countingStream struct {
+	rw io.ReadWriter
+}
+
+func (c countingStream) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	recvBytes.Add(int64(n))
+	return n, err
+}
+
+func (c countingStream) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	sentBytes.Add(int64(n))
+	return n, err
+}

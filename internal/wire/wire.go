@@ -86,9 +86,12 @@ type Codec struct {
 	dec *gob.Decoder
 }
 
-// NewCodec wraps a bidirectional stream (typically a net.Conn).
+// NewCodec wraps a bidirectional stream (typically a net.Conn). The stream
+// is transparently instrumented: per-MsgType message counts and total bytes
+// in each direction land in the telemetry default registry.
 func NewCodec(rw io.ReadWriter) *Codec {
-	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+	cs := countingStream{rw: rw}
+	return &Codec{enc: gob.NewEncoder(cs), dec: gob.NewDecoder(cs)}
 }
 
 // Send writes one message.
@@ -101,6 +104,7 @@ func (c *Codec) Send(m *Message) error {
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("wire: send %v: %w", m.Type, err)
 	}
+	countSent(m.Type)
 	return nil
 }
 
@@ -113,10 +117,16 @@ func (c *Codec) Recv() (*Message, error) {
 	if m.Type == 0 {
 		return nil, fmt.Errorf("wire: received untyped message")
 	}
+	countRecv(m.Type)
 	return &m, nil
 }
 
-// SendError is a convenience for reporting a failure to the peer.
+// SendError is a convenience for reporting a failure to the peer. A nil err
+// is reported as "unknown error" rather than panicking.
 func (c *Codec) SendError(storeID string, err error) error {
-	return c.Send(&Message{Type: MsgError, StoreID: storeID, Err: err.Error()})
+	msg := "unknown error"
+	if err != nil {
+		msg = err.Error()
+	}
+	return c.Send(&Message{Type: MsgError, StoreID: storeID, Err: msg})
 }
