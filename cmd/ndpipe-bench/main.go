@@ -2,13 +2,16 @@
 // substrates.
 //
 //	ndpipe-bench -exp fig13          # one experiment
+//	ndpipe-bench -exp fig12,fig13    # several
 //	ndpipe-bench -all                # every experiment
 //	ndpipe-bench -all -quick         # smoke-test sizes
 //	ndpipe-bench -list               # available experiment IDs
+//	ndpipe-bench -exp fig12 -json    # machine-readable results
 package main
 
 import (
 	stdcsv "encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +21,26 @@ import (
 	"ndpipe/internal/experiments"
 )
 
+// jsonResult is the machine-readable form of one experiment run, committed
+// as a baseline in BENCH_pipeline.json and diffable across PRs.
+type jsonResult struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	Seconds    float64    `json:"seconds"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (fig4a..fig21, table1, table2)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		quick = flag.Bool("quick", false, "shrink workloads to smoke-test size")
-		seed  = flag.Int64("seed", 1, "random seed for accuracy experiments")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "", "experiment ID or comma-separated list (fig4a..fig21, table1, table2)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		quick   = flag.Bool("quick", false, "shrink workloads to smoke-test size")
+		seed    = flag.Int64("seed", 1, "random seed for accuracy experiments")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "emit a JSON array of results instead of aligned tables")
 	)
 	flag.Parse()
 
@@ -41,16 +56,24 @@ func main() {
 	case *all:
 		ids = experiments.IDs()
 	case *exp != "":
-		if _, ok := reg[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
 		}
-		ids = []string{*exp}
-	default:
+	}
+	if len(ids) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	var results []jsonResult
 	for _, id := range ids {
 		start := time.Now()
 		tbl, err := reg[id](params)
@@ -58,16 +81,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		if *csv {
+		elapsed := time.Since(start).Seconds()
+		switch {
+		case *jsonOut:
+			results = append(results, jsonResult{
+				Experiment: tbl.ID,
+				Title:      tbl.Title,
+				Header:     tbl.Header,
+				Rows:       tbl.Rows,
+				Notes:      tbl.Notes,
+				Seconds:    elapsed,
+			})
+		case *csv:
 			w := stdcsv.NewWriter(os.Stdout)
 			_ = w.Write(append([]string{"experiment"}, tbl.Header...))
 			for _, row := range tbl.Rows {
 				_ = w.Write(append([]string{tbl.ID}, row...))
 			}
 			w.Flush()
-		} else {
+		default:
 			fmt.Print(tbl.String())
-			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+			fmt.Printf("(%s in %.1fs)\n\n", id, elapsed)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "encode:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -69,6 +69,7 @@ func main() {
 	fmt.Printf("Overall fine-tuning time (sec): %.2f\n", ft)
 	fmt.Printf("Check-N-Run delta: %d B (%.1fx smaller than the full model)\n",
 		rep.DeltaBytes, rep.TrafficReduction())
+	fmt.Printf("Distributed trace: %s (every store's read/preproc/fecl spans, via /traces)\n", rep.Trace)
 
 	a1, a5 := tn.Evaluate(test, 5)
 	fmt.Printf("model v%d accuracy: top-1 %.2f%%  top-5 %.2f%%\n", rep.ModelVersion, 100*a1, 100*a5)

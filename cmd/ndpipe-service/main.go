@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -21,19 +22,32 @@ import (
 
 func main() {
 	var (
-		stores  = flag.Int("stores", 3, "number of PipeStores")
-		uploads = flag.Int("uploads", 4000, "uploads in the trace")
-		every   = flag.Int("retrain-every", 1500, "retrain after this many uploads (0=off)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		telAddr = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
+		stores   = flag.Int("stores", 3, "number of PipeStores")
+		uploads  = flag.Int("uploads", 4000, "uploads in the trace")
+		every    = flag.Int("retrain-every", 1500, "retrain after this many uploads (0=off)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /spans and /traces on this address (empty=off)")
+		pprofOn  = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
+		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		fatal(err)
+	}
 	if *telAddr != "" {
-		addr, _, err := telemetry.Default.Serve(*telAddr)
+		var opts []telemetry.ServeOption
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		addr, _, err := telemetry.Default.Serve(*telAddr, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+		slog.Info("telemetry serving",
+			slog.String("component", "ndpipe-service"),
+			slog.String("url", "http://"+addr),
+			slog.Bool("pprof", *pprofOn))
 	}
 
 	wcfg := dataset.DefaultConfig(*seed)
@@ -98,6 +112,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ndpipe-service:", err)
+	slog.Error("ndpipe-service exiting", slog.Any("err", err))
 	os.Exit(1)
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 
@@ -20,27 +21,40 @@ import (
 
 func main() {
 	var (
-		connect = flag.String("connect", "localhost:9230", "tuner address")
-		id      = flag.String("id", "", "store ID (default ps-<shard>)")
-		shard   = flag.Int("shard", 0, "shard index held by this store")
-		of      = flag.Int("of", 1, "total number of shards")
-		seed    = flag.Int64("seed", 1, "photo-world seed (must match peers)")
-		images  = flag.Int("images", 6000, "world population size")
-		telAddr = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
+		connect  = flag.String("connect", "localhost:9230", "tuner address")
+		id       = flag.String("id", "", "store ID (default ps-<shard>)")
+		shard    = flag.Int("shard", 0, "shard index held by this store")
+		of       = flag.Int("of", 1, "total number of shards")
+		seed     = flag.Int64("seed", 1, "photo-world seed (must match peers)")
+		images   = flag.Int("images", 6000, "world population size")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /spans and /traces on this address (empty=off)")
+		pprofOn  = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
+		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
-	if *telAddr != "" {
-		addr, _, err := telemetry.Default.Serve(*telAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		fatal(err)
 	}
 	if *shard < 0 || *shard >= *of {
 		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, *of))
 	}
 	if *id == "" {
 		*id = fmt.Sprintf("ps-%d", *shard)
+	}
+	log := telemetry.ComponentLogger("pipestore").With(slog.String("store", *id))
+	if *telAddr != "" {
+		var opts []telemetry.ServeOption
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		addr, _, err := telemetry.Default.Serve(*telAddr, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		log.Info("telemetry serving",
+			slog.String("url", "http://"+addr),
+			slog.Bool("pprof", *pprofOn))
 	}
 
 	wcfg := dataset.DefaultConfig(*seed)
@@ -56,21 +70,24 @@ func main() {
 		fatal(err)
 	}
 	u := node.Storage().Usage()
-	fmt.Printf("[%s] holding %d photos (%.1f MB raw, %.1f%% preproc overhead, %.1fx compression)\n",
-		*id, node.NumImages(), float64(u.RawBytes)/1e6, 100*u.OverheadFraction, u.CompressionRatio)
+	log.Info("shard materialized",
+		slog.Int("photos", node.NumImages()),
+		slog.Float64("raw_mb", float64(u.RawBytes)/1e6),
+		slog.Float64("preproc_overhead_pct", 100*u.OverheadFraction),
+		slog.Float64("compression_ratio", u.CompressionRatio))
 
 	conn, err := net.Dial("tcp", *connect)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("[%s] connected to tuner at %s\n", *id, *connect)
+	log.Info("connected to tuner", slog.String("addr", *connect))
 	if err := node.Serve(conn); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("[%s] tuner disconnected, shutting down\n", *id)
+	log.Info("tuner disconnected, shutting down")
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pipestore:", err)
+	slog.Error("pipestore exiting", slog.Any("err", err))
 	os.Exit(1)
 }

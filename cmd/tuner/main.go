@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"time"
@@ -25,16 +26,29 @@ func main() {
 		stores    = flag.Int("stores", 1, "number of PipeStores to wait for")
 		nrun      = flag.Int("nrun", 3, "pipelined FT-DMP runs")
 		batch     = flag.Int("batch", 128, "feature-extraction batch size")
-		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /spans on this address (empty=off)")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /spans and /traces on this address (empty=off)")
+		pprofOn   = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		acceptTTL = flag.Duration("accept-timeout", 0, "per-store registration deadline (0=wait forever)")
 	)
 	flag.Parse()
+	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		fatal(err)
+	}
+	log := telemetry.ComponentLogger("tuner")
 	if *telAddr != "" {
-		addr, _, err := telemetry.Default.Serve(*telAddr)
+		var opts []telemetry.ServeOption
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		addr, _, err := telemetry.Default.Serve(*telAddr, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("[telemetry] serving /metrics and /spans on http://%s\n", addr)
+		log.Info("telemetry serving",
+			slog.String("url", "http://"+addr),
+			slog.Bool("pprof", *pprofOn))
 	}
 
 	cfg := core.DefaultModelConfig()
@@ -48,11 +62,13 @@ func main() {
 		fatal(err)
 	}
 	defer ln.Close()
-	fmt.Printf("[tuner] listening on %s, waiting for %d PipeStore(s)\n", ln.Addr(), *stores)
+	log.Info("listening for PipeStores",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("expected", *stores))
 	if err := tn.AcceptStores(ln, *stores); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("[tuner] %d PipeStore(s) registered\n", tn.NumStores())
+	log.Info("fleet registered", slog.Int("stores", tn.NumStores()))
 
 	start := time.Now()
 	rep, err := tn.FineTune(*nrun, *batch, ftdmp.DefaultTrainOptions())
@@ -65,6 +81,7 @@ func main() {
 	fmt.Printf("Fine-tuning throughput (image/sec): %.2f\n", float64(rep.Images)/elapsed)
 	fmt.Printf("Model delta: %d B (vs %d B full model, %.1fx reduction)\n",
 		rep.DeltaBytes, rep.FullModelBytes, rep.TrafficReduction())
+	fmt.Printf("Trace ID: %s\n", rep.Trace)
 
 	start = time.Now()
 	st, err := tn.OfflineInference(*batch)
@@ -78,6 +95,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tuner:", err)
+	slog.Error("tuner exiting", slog.Any("err", err))
 	os.Exit(1)
 }

@@ -11,6 +11,7 @@ package inferserver
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -40,6 +41,7 @@ type Server struct {
 	uploads int
 
 	met serverMetrics
+	log *slog.Logger
 }
 
 // serverMetrics holds the upload-path instruments, registered once in New.
@@ -85,6 +87,7 @@ func New(cfg core.ModelConfig, stores []*pipestore.Node, db *labeldb.DB) (*Serve
 		stores:   stores,
 		db:       db,
 		met:      newServerMetrics(),
+		log:      telemetry.ComponentLogger("inferserver"),
 	}
 	s.clfSnap = s.clf.TakeSnapshot()
 	return s, nil
@@ -126,6 +129,9 @@ func (s *Server) ApplyDelta(blob []byte, version int) error {
 	s.version = version
 	s.met.deltasApplied.Inc()
 	s.met.modelVersion.Set(float64(version))
+	s.log.Debug("model delta applied",
+		slog.Int("model_version", version),
+		slog.Int("delta_bytes", len(blob)))
 	return nil
 }
 

@@ -60,6 +60,37 @@ func Run3StageObserved[A, B, C any](
 	buf int,
 	sm *StageMetrics,
 ) error {
+	return Run3StageTraced(items, load, mid, fin, buf, sm, nil)
+}
+
+// StageTrace ties one pipeline execution into a distributed trace: each
+// stage goroutine's lifetime is recorded as a span named with the Fig-6
+// phase names (`read`, `preproc`, `fecl`) under Parent, so a cross-node
+// trace shows per-run stage wall times, not just per-item histograms.
+type StageTrace struct {
+	Tracer *telemetry.Tracer
+	Parent telemetry.SpanContext
+}
+
+// Run3StageTraced is Run3StageObserved plus per-stage trace spans (st may
+// be nil to disable tracing). Because the three stages run concurrently,
+// the spans overlap; their common parent is the per-run span the caller
+// started.
+func Run3StageTraced[A, B, C any](
+	items []A,
+	load func(A) (B, error),
+	mid func(B) (C, error),
+	fin func(C) error,
+	buf int,
+	sm *StageMetrics,
+	st *StageTrace,
+) error {
+	stageSpan := func(string) *telemetry.Span { return nil }
+	if st != nil && st.Tracer != nil && st.Parent.Valid() {
+		stageSpan = func(name string) *telemetry.Span {
+			return st.Tracer.StartSpanIn(st.Parent, name)
+		}
+	}
 	if sm != nil {
 		if h := sm.Read; h != nil {
 			inner := load
@@ -109,6 +140,7 @@ func Run3StageObserved[A, B, C any](
 	go func() {
 		defer wg.Done()
 		defer close(loaded)
+		defer stageSpan("read").End()
 		for _, it := range items {
 			b, err := load(it)
 			if err != nil {
@@ -125,6 +157,7 @@ func Run3StageObserved[A, B, C any](
 	go func() {
 		defer wg.Done()
 		defer close(ready)
+		defer stageSpan("preproc").End()
 		for b := range loaded {
 			c, err := mid(b)
 			if err != nil {
@@ -140,6 +173,7 @@ func Run3StageObserved[A, B, C any](
 	}()
 	go func() {
 		defer wg.Done()
+		defer stageSpan("fecl").End()
 		for c := range ready {
 			if err := fin(c); err != nil {
 				fail(err)

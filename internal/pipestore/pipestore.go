@@ -9,6 +9,7 @@ package pipestore
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -38,7 +39,9 @@ type Node struct {
 	images     []dataset.Image
 	store      photostore.ObjectStore
 
-	met nodeMetrics
+	met    nodeMetrics
+	tracer *telemetry.Tracer
+	log    *slog.Logger
 }
 
 // nodeMetrics holds the per-store instruments (labeled by store ID) plus the
@@ -93,9 +96,21 @@ func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStor
 		clf:      cfg.NewClassifier(),
 		store:    store,
 		met:      newNodeMetrics(id),
+		tracer:   telemetry.Default.Spans(),
+		log:      telemetry.ComponentLogger("pipestore").With(slog.String("store", id)),
 	}
 	n.clfSnap = n.clf.TakeSnapshot()
 	return n, nil
+}
+
+// SetTracer replaces the node's span tracer (default: the process-wide
+// telemetry.Default tracer). Tests use a private tracer per node to prove
+// that spans reach the Tuner only by being shipped over the wire, exactly
+// as they would from a separate process.
+func (n *Node) SetTracer(tr *telemetry.Tracer) {
+	if tr != nil {
+		n.tracer = tr
+	}
 }
 
 // Ingest stores a batch of uploaded photos: the raw blob and the
@@ -152,12 +167,24 @@ type decodedImage struct {
 // run, pushes feature batches through emit. The NPE 3-stage pipeline
 // overlaps storage reads, CPU decompression/decoding and the forward pass.
 func (n *Node) ExtractRuns(nrun, batch int, emit func(*wire.Message) error) error {
+	return n.ExtractRunsTraced(telemetry.SpanContext{}, nrun, batch, emit)
+}
+
+// ExtractRunsTraced is ExtractRuns inside a distributed trace: tc is the
+// remote parent carried in the Tuner's MsgTrainRequest (an empty context
+// starts a store-local trace). The extraction root span, per-run spans and
+// the Fig-6 stage spans (read/preproc/fecl) all land in the node's tracer,
+// from which Serve ships them back to the Tuner.
+func (n *Node) ExtractRunsTraced(tc telemetry.SpanContext, nrun, batch int, emit func(*wire.Message) error) error {
 	if nrun < 1 {
 		nrun = 1
 	}
 	if batch < 1 {
 		batch = 128
 	}
+	span := n.tracer.StartSpanIn(tc, "pipestore.extract")
+	span.SetAttr("store", n.ID)
+	defer span.End()
 	n.mu.Lock()
 	shard := append([]dataset.Image(nil), n.images...)
 	n.mu.Unlock()
@@ -171,15 +198,22 @@ func (n *Node) ExtractRuns(nrun, batch int, emit func(*wire.Message) error) erro
 		if r == nrun-1 {
 			hi = len(shard)
 		}
-		if err := n.extractRun(r, shard[lo:hi], batch, emit); err != nil {
+		if err := n.extractRun(span.Context(), r, shard[lo:hi], batch, emit); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*wire.Message) error) error {
-	defer func(t0 time.Time) { n.met.extractRun.Observe(time.Since(t0).Seconds()) }(time.Now())
+func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Image, batch int, emit func(*wire.Message) error) error {
+	runSpan := n.tracer.StartSpanIn(tc, "pipestore.extract-run")
+	runSpan.SetAttr("store", n.ID)
+	runSpan.SetAttr("run", fmt.Sprint(run))
+	runCtx := runSpan.Context()
+	defer func(t0 time.Time) {
+		runSpan.End()
+		n.met.extractRun.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	var pending []decodedImage
 	nBatches := (len(shard) + batch - 1) / batch
 	sent := 0
@@ -191,12 +225,13 @@ func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*
 		if err != nil {
 			return err
 		}
+		msg.SetTraceContext(runCtx)
 		pending = pending[:0]
 		sent++
 		n.met.featureBatches.Inc()
 		return emit(msg)
 	}
-	err := npe.Run3StageObserved(shard,
+	err := npe.Run3StageTraced(shard,
 		func(img dataset.Image) (loadedImage, error) {
 			blob, err := n.store.GetPreprocCompressed(img.ID)
 			if err != nil {
@@ -224,6 +259,7 @@ func (n *Node) extractRun(run int, shard []dataset.Image, batch int, emit func(*
 		},
 		4,
 		n.met.stagesFT,
+		&npe.StageTrace{Tracer: n.tracer, Parent: runCtx},
 	)
 	if err != nil {
 		return err
@@ -282,7 +318,19 @@ func (n *Node) ApplyDelta(blob []byte, version int) error {
 // entirely near the data: it reads the compressed binaries, decodes them,
 // and runs backbone+classifier. Only labels leave the node.
 func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
-	defer func(t0 time.Time) { n.met.offlineInfer.Observe(time.Since(t0).Seconds()) }(time.Now())
+	return n.OfflineInferTraced(telemetry.SpanContext{}, batch)
+}
+
+// OfflineInferTraced is OfflineInfer inside a distributed trace, parented
+// at the Tuner's MsgInferRequest span when tc is set.
+func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint64]int, error) {
+	span := n.tracer.StartSpanIn(tc, "pipestore.offline-infer")
+	span.SetAttr("store", n.ID)
+	stageCtx := span.Context()
+	defer func(t0 time.Time) {
+		span.End()
+		n.met.offlineInfer.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	if batch < 1 {
 		batch = 128
 	}
@@ -310,7 +358,7 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 		pending = pending[:0]
 		return nil
 	}
-	err := npe.Run3StageObserved(shard,
+	err := npe.Run3StageTraced(shard,
 		func(img dataset.Image) (loadedImage, error) {
 			blob, err := n.store.GetPreprocCompressed(img.ID)
 			if err != nil {
@@ -338,6 +386,7 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 		},
 		4,
 		n.met.stagesInfer,
+		&npe.StageTrace{Tracer: n.tracer, Parent: stageCtx},
 	)
 	if err != nil {
 		return nil, err
@@ -350,6 +399,11 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 
 // Serve speaks the wire protocol on conn until the peer disconnects:
 // registration, then TrainRequest / ModelDelta / InferRequest commands.
+// Commands carrying a trace context are executed under spans parented at
+// the Tuner's remote span, and the finished spans are shipped back in a
+// MsgSpans envelope before the command's closing message, so the Tuner's
+// collector holds the store's side of the round by the time the round
+// completes.
 func (n *Node) Serve(conn net.Conn) error {
 	defer conn.Close()
 	c := wire.NewCodec(conn)
@@ -360,28 +414,44 @@ func (n *Node) Serve(conn net.Conn) error {
 		msg, err := c.Recv()
 		if err != nil {
 			if err == io.EOF {
+				n.log.Debug("tuner disconnected")
 				return nil
 			}
 			return err
 		}
+		tc := msg.TraceContext()
+		logger := n.log.With(telemetry.TraceAttrs(tc)...)
 		switch msg.Type {
 		case wire.MsgTrainRequest:
-			err := n.ExtractRuns(msg.Runs, msg.BatchSize, c.Send)
+			logger.Debug("train request", slog.Int("runs", msg.Runs), slog.Int("batch", msg.BatchSize))
+			err := n.ExtractRunsTraced(tc, msg.Runs, msg.BatchSize, c.Send)
+			n.shipSpans(c, tc.Trace)
 			if err != nil {
+				logger.Error("feature extraction failed", slog.Any("err", err))
 				_ = c.SendError(n.ID, err)
 				return err
 			}
 		case wire.MsgModelDelta:
-			if err := n.ApplyDelta(msg.Blob, msg.ModelVersion); err != nil {
+			span := n.tracer.StartSpanIn(tc, "pipestore.apply-delta")
+			span.SetAttr("store", n.ID)
+			err := n.ApplyDelta(msg.Blob, msg.ModelVersion)
+			span.End()
+			n.shipSpans(c, tc.Trace)
+			if err != nil {
+				logger.Error("delta apply failed", slog.Any("err", err))
 				_ = c.SendError(n.ID, err)
 				return err
 			}
+			logger.Debug("model delta applied", slog.Int("version", msg.ModelVersion), slog.Int("bytes", len(msg.Blob)))
 			if err := c.Send(&wire.Message{Type: wire.MsgAck, StoreID: n.ID, ModelVersion: msg.ModelVersion}); err != nil {
 				return err
 			}
 		case wire.MsgInferRequest:
-			labels, err := n.OfflineInfer(msg.BatchSize)
+			logger.Debug("offline-inference request", slog.Int("batch", msg.BatchSize))
+			labels, err := n.OfflineInferTraced(tc, msg.BatchSize)
+			n.shipSpans(c, tc.Trace)
 			if err != nil {
+				logger.Error("offline inference failed", slog.Any("err", err))
 				_ = c.SendError(n.ID, err)
 				return err
 			}
@@ -394,6 +464,23 @@ func (n *Node) Serve(conn net.Conn) error {
 		default:
 			_ = c.SendError(n.ID, fmt.Errorf("pipestore: unexpected message %v", msg.Type))
 		}
+	}
+}
+
+// shipSpans sends every buffered span of one trace back to the Tuner. The
+// collector on the other side deduplicates by span ID, so overlapping
+// shipments (extraction, then delta apply, within one round's trace) are
+// harmless. Untraced commands ship nothing.
+func (n *Node) shipSpans(c *wire.Codec, trace telemetry.TraceID) {
+	if trace == 0 {
+		return
+	}
+	spans := n.tracer.TraceSpans(trace)
+	if len(spans) == 0 {
+		return
+	}
+	if err := c.Send(&wire.Message{Type: wire.MsgSpans, StoreID: n.ID, Trace: trace, Spans: spans}); err != nil {
+		n.log.Warn("span shipment failed", slog.String("trace_id", trace.String()), slog.Any("err", err))
 	}
 }
 

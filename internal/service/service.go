@@ -11,6 +11,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -72,6 +73,7 @@ type Service struct {
 	driftFires    int
 
 	met serviceMetrics
+	log *slog.Logger
 }
 
 // serviceMetrics holds the continuous-training-loop instruments, registered
@@ -122,7 +124,11 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 	accepted := make(chan error, 1)
 	go func() { accepted <- tn.AcceptStores(ln, n) }()
 
-	s := &Service{cfg: cfg, policy: policy, tn: tn, ln: ln, met: newServiceMetrics()}
+	s := &Service{
+		cfg: cfg, policy: policy, tn: tn, ln: ln,
+		met: newServiceMetrics(),
+		log: telemetry.ComponentLogger("service"),
+	}
 	for i := 0; i < n; i++ {
 		ps, err := pipestore.New(fmt.Sprintf("ps-%d", i), cfg)
 		if err != nil {
@@ -210,6 +216,9 @@ func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
 			s.driftFires++
 			s.met.driftFires.Inc()
 			due = true
+			s.log.Info("drift detected, retraining",
+				slog.Int("fires", s.driftFires),
+				slog.Float64("confidence", res.Confidence))
 		}
 	}
 	if due {
@@ -238,38 +247,47 @@ func (s *Service) UploadBatch(imgs []dataset.Image) error {
 // Retrain runs one full continuous-training cycle: pipelined FT-DMP
 // fine-tuning across the PipeStores, Check-N-Run delta distribution (to the
 // stores *and* the online inference server), and a near-data offline
-// inference pass that refreshes every outdated label.
+// inference pass that refreshes every outdated label. The whole cycle runs
+// under one distributed trace — the Tuner's spans and every PipeStore's
+// shipped extraction/apply/infer spans nest under the retrain root, so
+// /traces shows the complete upload-to-delta-broadcast story per round.
 func (s *Service) Retrain() (tuner.Report, error) {
-	span := telemetry.Default.Spans().StartSpan("service.retrain", 0)
+	span := telemetry.Default.Spans().StartTrace("service.retrain")
+	tc := span.Context()
+	logger := s.log.With(telemetry.TraceAttrs(tc)...)
 	defer func() {
 		s.met.retrainSecs.Observe(span.End().Seconds())
 	}()
-	ft := telemetry.Default.Spans().StartSpan("service.finetune", span.ID())
-	rep, err := s.tn.FineTune(s.policy.Nrun, s.policy.Batch, s.policy.Train)
-	ft.End()
+	rep, err := s.tn.FineTuneTraced(tc, s.policy.Nrun, s.policy.Batch, s.policy.Train)
 	if err != nil {
+		logger.Error("retrain failed during fine-tune", slog.Any("err", err))
 		return rep, err
 	}
-	ad := telemetry.Default.Spans().StartSpan("service.apply-delta", span.ID())
+	ad := telemetry.Default.Spans().StartSpanIn(tc, "service.apply-delta")
 	err = s.infer.ApplyDelta(rep.DeltaBlob, rep.ModelVersion)
 	ad.End()
 	if err != nil {
+		logger.Error("retrain failed applying delta to inference server", slog.Any("err", err))
 		return rep, err
 	}
-	oi := telemetry.Default.Spans().StartSpan("service.offline-inference", span.ID())
-	_, err = s.tn.OfflineInference(s.policy.Batch)
-	oi.End()
+	_, err = s.tn.OfflineInferenceTraced(tc, s.policy.Batch)
 	if err != nil {
+		logger.Error("retrain failed during offline inference", slog.Any("err", err))
 		return rep, err
 	}
 	s.mu.Lock()
 	s.retrainRounds++
+	rounds := s.retrainRounds
 	s.met.retrains.Inc()
 	if s.detector != nil {
 		// The fleet just deployed a fresh model: restart the health baseline.
 		s.detector.Rebase()
 	}
 	s.mu.Unlock()
+	logger.Info("retrain cycle complete",
+		slog.Int("round", rounds),
+		slog.Int("model_version", rep.ModelVersion),
+		slog.Int("images", rep.Images))
 	return rep, nil
 }
 

@@ -66,7 +66,8 @@ func TestServiceTelemetryEndToEnd(t *testing.T) {
 	}
 
 	// The retrain left a span tree in the ring buffer: service.retrain with
-	// finetune / apply-delta / offline-inference children.
+	// the tuner's finetune / offline-inference rounds and the delta apply
+	// as direct children (one shared trace).
 	recs := telemetry.Default.Spans().Recent()
 	var rootID telemetry.SpanID
 	names := map[string]bool{}
@@ -83,7 +84,7 @@ func TestServiceTelemetryEndToEnd(t *testing.T) {
 			names[r.Name] = true
 		}
 	}
-	for _, want := range []string{"service.finetune", "service.apply-delta", "service.offline-inference"} {
+	for _, want := range []string{"tuner.finetune", "service.apply-delta", "tuner.offline-inference"} {
 		if !names[want] {
 			t.Fatalf("span %s missing under service.retrain (have %v)", want, names)
 		}

@@ -28,4 +28,14 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			g.Set(float64(i))
 		}
 	})
+	b.Run("SpanStartEnd", func(b *testing.B) {
+		// A standalone tracer (no collector) isolates the span hot path:
+		// pooled span + ring-slot reuse must keep it at 0 allocs/op.
+		tr := NewTracer(256)
+		tc := tr.StartTrace("bench-root").Context()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.StartSpanIn(tc, "bench-span").End()
+		}
+	})
 }

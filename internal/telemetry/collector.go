@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector limits: keep the most recent DefaultTraceCap traces, each
+// bounded to DefaultTraceSpanCap spans, so a long-lived Tuner cannot grow
+// without bound while still holding several full FT-DMP rounds.
+const (
+	DefaultTraceCap     = 64
+	DefaultTraceSpanCap = 8192
+)
+
+// Collector assembles distributed traces: it accumulates finished spans —
+// local ones fed by a Tracer, remote ones shipped over the wire in MsgSpans
+// envelopes — grouped by TraceID, and serves them as per-round span trees
+// (the /traces endpoint). Spans are deduplicated by SpanID, so a record
+// that arrives both locally and over the wire (in-process deployments) is
+// stored once; traces are evicted oldest-first beyond the capacity.
+type Collector struct {
+	mu       sync.Mutex
+	capTr    int
+	capSpans int
+	order    []TraceID
+	traces   map[TraceID]*traceEntry
+}
+
+type traceEntry struct {
+	spans   []SpanRecord
+	seen    map[SpanID]int // span ID → index in spans, for dedup/replace
+	dropped int            // spans discarded beyond capSpans
+}
+
+// NewCollector creates a collector holding at most capTraces traces of at
+// most capSpans spans each (≤0 selects the defaults).
+func NewCollector(capTraces, capSpans int) *Collector {
+	if capTraces <= 0 {
+		capTraces = DefaultTraceCap
+	}
+	if capSpans <= 0 {
+		capSpans = DefaultTraceSpanCap
+	}
+	return &Collector{
+		capTr:    capTraces,
+		capSpans: capSpans,
+		traces:   make(map[TraceID]*traceEntry),
+	}
+}
+
+// Add merges finished spans into their traces. Records without a TraceID
+// are ignored; a record whose SpanID was already collected replaces the
+// earlier copy (shipped records win ties, which is harmless: they are
+// identical).
+func (c *Collector) Add(spans ...SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range spans {
+		if rec.Trace == 0 || rec.ID == 0 {
+			continue
+		}
+		e := c.traces[rec.Trace]
+		if e == nil {
+			if len(c.order) >= c.capTr {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				delete(c.traces, oldest)
+			}
+			e = &traceEntry{seen: make(map[SpanID]int)}
+			c.traces[rec.Trace] = e
+			c.order = append(c.order, rec.Trace)
+		}
+		if i, ok := e.seen[rec.ID]; ok {
+			e.spans[i] = rec
+			continue
+		}
+		if len(e.spans) >= c.capSpans {
+			e.dropped++
+			continue
+		}
+		e.seen[rec.ID] = len(e.spans)
+		e.spans = append(e.spans, rec)
+	}
+}
+
+// Len returns how many traces are currently held.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}
+
+// TraceNode is one span in an assembled trace tree.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree is one fully assembled trace: every collected span for a
+// TraceID, stitched into parent/child trees. Spans whose parent was never
+// collected (e.g. the remote parent lives on a node that has not shipped
+// yet) surface as additional roots rather than being dropped.
+type TraceTree struct {
+	TraceID      TraceID      `json:"trace_id"`
+	Start        time.Time    `json:"start"`
+	Duration     float64      `json:"duration_seconds"` // wall span: min start → max end
+	SpanCount    int          `json:"span_count"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Roots        []*TraceNode `json:"roots"`
+}
+
+// Spans returns the raw collected records for one trace, start-ordered
+// (the JSONL export view). Nil if the trace is unknown.
+func (c *Collector) Spans(id TraceID) []SpanRecord {
+	c.mu.Lock()
+	e := c.traces[id]
+	var out []SpanRecord
+	if e != nil {
+		out = append([]SpanRecord(nil), e.spans...)
+	}
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Tree assembles one trace (nil if unknown).
+func (c *Collector) Tree(id TraceID) *TraceTree {
+	spans := c.Spans(id)
+	if spans == nil {
+		return nil
+	}
+	c.mu.Lock()
+	dropped := 0
+	if e := c.traces[id]; e != nil {
+		dropped = e.dropped
+	}
+	c.mu.Unlock()
+	return buildTree(id, spans, dropped)
+}
+
+// Trees assembles every collected trace, oldest first.
+func (c *Collector) Trees() []*TraceTree {
+	c.mu.Lock()
+	ids := append([]TraceID(nil), c.order...)
+	c.mu.Unlock()
+	out := make([]*TraceTree, 0, len(ids))
+	for _, id := range ids {
+		if tr := c.Tree(id); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+func buildTree(id TraceID, spans []SpanRecord, dropped int) *TraceTree {
+	tree := &TraceTree{TraceID: id, SpanCount: len(spans), DroppedSpans: dropped}
+	nodes := make(map[SpanID]*TraceNode, len(spans))
+	for _, rec := range spans {
+		nodes[rec.ID] = &TraceNode{SpanRecord: rec}
+	}
+	var end time.Time
+	for i, rec := range spans {
+		if i == 0 || rec.Start.Before(tree.Start) {
+			tree.Start = rec.Start
+		}
+		if e := rec.Start.Add(time.Duration(rec.Duration * float64(time.Second))); e.After(end) {
+			end = e
+		}
+		n := nodes[rec.ID]
+		if p, ok := nodes[rec.Parent]; ok && rec.Parent != rec.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			tree.Roots = append(tree.Roots, n)
+		}
+	}
+	if !tree.Start.IsZero() {
+		tree.Duration = end.Sub(tree.Start).Seconds()
+	}
+	var sortNodes func([]*TraceNode)
+	sortNodes = func(ns []*TraceNode) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(tree.Roots)
+	return tree
+}
+
+// Find walks a tree depth-first and returns the first node satisfying
+// pred, or nil — a convenience for tests and trace tooling.
+func (t *TraceTree) Find(pred func(*TraceNode) bool) *TraceNode {
+	var walk func(ns []*TraceNode) *TraceNode
+	walk = func(ns []*TraceNode) *TraceNode {
+		for _, n := range ns {
+			if pred(n) {
+				return n
+			}
+			if m := walk(n.Children); m != nil {
+				return m
+			}
+		}
+		return nil
+	}
+	return walk(t.Roots)
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func rec(trace TraceID, id, parent SpanID, name string, start time.Time, dur float64) SpanRecord {
+	return SpanRecord{Trace: trace, ID: id, Parent: parent, Name: name, Start: start, Duration: dur}
+}
+
+func TestCollectorTreeAssembly(t *testing.T) {
+	c := NewCollector(0, 0)
+	t0 := time.Now()
+	// A two-node round: tuner root, local child, plus a remote subtree whose
+	// spans arrive out of order (children shipped before their parent).
+	c.Add(
+		rec(1, 30, 10, "pipestore.extract", t0.Add(20*time.Millisecond), 0.05),
+		rec(1, 10, 0, "tuner.finetune", t0, 0.1),
+		rec(1, 20, 10, "tuner.train-run", t0.Add(10*time.Millisecond), 0.02),
+		rec(1, 31, 30, "read", t0.Add(21*time.Millisecond), 0.01),
+	)
+	tree := c.Tree(1)
+	if tree == nil || tree.SpanCount != 4 {
+		t.Fatalf("tree = %+v, want 4 spans", tree)
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Name != "tuner.finetune" {
+		t.Fatalf("roots = %+v, want single tuner.finetune root", tree.Roots)
+	}
+	if !tree.Start.Equal(t0) {
+		t.Fatalf("tree start = %v, want earliest span start %v", tree.Start, t0)
+	}
+	// Wall span: min start (t0) → max end (root t0+100ms).
+	if tree.Duration < 0.099 || tree.Duration > 0.101 {
+		t.Fatalf("tree duration = %v, want ~0.1", tree.Duration)
+	}
+	ex := tree.Find(func(n *TraceNode) bool { return n.Name == "pipestore.extract" })
+	if ex == nil || len(ex.Children) != 1 || ex.Children[0].Name != "read" {
+		t.Fatalf("extract subtree = %+v, want read child", ex)
+	}
+	// Children are start-ordered: train-run (t0+10ms) before extract (t0+20ms).
+	if got := tree.Roots[0].Children; len(got) != 2 ||
+		got[0].Name != "tuner.train-run" || got[1].Name != "pipestore.extract" {
+		t.Fatalf("root children = %+v, want start-ordered train-run, extract", got)
+	}
+}
+
+func TestCollectorDedupBySpanID(t *testing.T) {
+	// In-process deployments deliver the same span twice: once locally via
+	// the tracer's collector feed, once shipped in a MsgSpans envelope.
+	c := NewCollector(0, 0)
+	t0 := time.Now()
+	span := rec(1, 10, 0, "pipestore.extract", t0, 0.05)
+	c.Add(span)
+	c.Add(span) // the wire copy
+	if got := c.Spans(1); len(got) != 1 {
+		t.Fatalf("collected %d spans, want 1 after dedup", len(got))
+	}
+}
+
+func TestCollectorOrphanBecomesRoot(t *testing.T) {
+	// A span whose parent lives on a node that never shipped must surface
+	// as an extra root, not vanish.
+	c := NewCollector(0, 0)
+	c.Add(rec(1, 20, 999, "pipestore.extract", time.Now(), 0.01))
+	tree := c.Tree(1)
+	if len(tree.Roots) != 1 || tree.Roots[0].Name != "pipestore.extract" {
+		t.Fatalf("orphan not promoted to root: %+v", tree.Roots)
+	}
+}
+
+func TestCollectorEvictsOldestTrace(t *testing.T) {
+	c := NewCollector(2, 0)
+	t0 := time.Now()
+	c.Add(rec(1, 1, 0, "a", t0, 0))
+	c.Add(rec(2, 2, 0, "b", t0, 0))
+	c.Add(rec(3, 3, 0, "c", t0, 0))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if c.Tree(1) != nil {
+		t.Fatal("oldest trace 1 should have been evicted")
+	}
+	if c.Tree(3) == nil {
+		t.Fatal("newest trace 3 missing")
+	}
+}
+
+func TestCollectorSpanCapCountsDropped(t *testing.T) {
+	c := NewCollector(0, 2)
+	t0 := time.Now()
+	c.Add(
+		rec(1, 1, 0, "a", t0, 0),
+		rec(1, 2, 1, "b", t0, 0),
+		rec(1, 3, 1, "c", t0, 0), // beyond cap
+	)
+	tree := c.Tree(1)
+	if tree.SpanCount != 2 || tree.DroppedSpans != 1 {
+		t.Fatalf("tree = %d spans / %d dropped, want 2 / 1", tree.SpanCount, tree.DroppedSpans)
+	}
+}
+
+func TestCollectorIgnoresUntracedSpans(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.Add(rec(0, 1, 0, "untraced", time.Now(), 0))
+	c.Add(rec(1, 0, 0, "no-id", time.Now(), 0))
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0 (zero trace/span IDs must be ignored)", c.Len())
+	}
+}
+
+func TestTracerFeedsCollector(t *testing.T) {
+	// A registry's tracer auto-forwards finished spans to its collector, so
+	// Tuner-local spans appear in /traces without explicit shipping.
+	r := NewRegistry()
+	sp := r.Spans().StartTrace("service.retrain")
+	r.Spans().StartSpanIn(sp.Context(), "tuner.finetune").End()
+	sp.End()
+	tree := r.Traces().Tree(sp.TraceID())
+	if tree == nil {
+		t.Fatal("trace missing from registry collector")
+	}
+	if n := tree.Find(func(n *TraceNode) bool { return n.Name == "tuner.finetune" }); n == nil {
+		t.Fatal("child span missing from assembled tree")
+	}
+}

@@ -38,7 +38,14 @@ func NewHistogram(bounds []float64) *Histogram {
 // Observe records one sample. Allocation-free; the bucket search is a
 // bounded linear scan (≤ len(bounds) comparisons — faster than binary search
 // at these sizes because latencies cluster in the low buckets).
+//
+// Non-finite samples are rejected: a single NaN would poison the
+// CAS-updated running sum forever (NaN+x is NaN), and ±Inf would saturate
+// it, so neither may enter.
 func (h *Histogram) Observe(v float64) {
+	if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+		return
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++

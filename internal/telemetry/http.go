@@ -7,17 +7,41 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 )
+
+// ServeOption customizes Handler/Serve.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts the net/http/pprof handlers (/debug/pprof/...) on the
+// telemetry mux, so CPU and heap profiles are reachable on the same
+// -telemetry-addr as /metrics. Off by default: profiling endpoints can
+// reveal more than metrics, so the daemons gate this behind -pprof.
+func WithPprof() ServeOption { return func(c *serveConfig) { c.pprof = true } }
 
 // Handler serves the registry over HTTP:
 //
 //	/metrics — Prometheus-style text exposition (counters, gauges,
 //	           histogram buckets/sum/count plus p50/p95/p99 quantiles)
 //	/spans   — JSON dump of the span ring buffer, oldest first
+//	/traces  — assembled distributed traces (local + shipped spans) as
+//	           nested JSON trees; ?format=jsonl streams the raw span
+//	           records one JSON object per line; ?trace=<hex id> selects
+//	           a single trace
 //	/snapshot— the Snapshot() view as JSON (what Publish exposes via expvar)
-func (r *Registry) Handler() http.Handler {
+//
+// With WithPprof, /debug/pprof/... is mounted as well.
+func (r *Registry) Handler(opts ...ServeOption) http.Handler {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,11 +51,53 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(r.Spans().Recent())
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		r.serveTraces(w, req)
+	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(r.Snapshot())
 	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// serveTraces implements /traces: nested JSON trees by default, raw span
+// records as JSONL with ?format=jsonl, optionally filtered to one trace
+// with ?trace=<hex id>.
+func (r *Registry) serveTraces(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	var trees []*TraceTree
+	if want := q.Get("trace"); want != "" {
+		id, err := strconv.ParseUint(want, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+			return
+		}
+		if tr := r.Traces().Tree(TraceID(id)); tr != nil {
+			trees = append(trees, tr)
+		}
+	} else {
+		trees = r.Traces().Trees()
+	}
+	if q.Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, tr := range trees {
+			for _, rec := range r.Traces().Spans(tr.TraceID) {
+				_ = enc.Encode(rec)
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(trees)
 }
 
 // WriteMetricsText writes the Prometheus text format for a snapshot.
@@ -107,13 +173,14 @@ func (r *Registry) Publish(name string) { expvar.Publish(name, r) }
 
 // Serve starts the exposition endpoint on addr in a background goroutine and
 // returns the bound listener address (useful with ":0") and a shutdown
-// function. The daemons call this behind their -telemetry-addr flag.
-func (r *Registry) Serve(addr string) (string, func() error, error) {
+// function. The daemons call this behind their -telemetry-addr flag;
+// WithPprof additionally mounts /debug/pprof/ on the same mux.
+func (r *Registry) Serve(addr string, opts ...ServeOption) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{Handler: r.Handler(opts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

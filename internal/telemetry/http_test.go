@@ -37,7 +37,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestSpansEndpoint(t *testing.T) {
 	r := NewRegistry()
-	sp := r.Spans().StartSpan("upload", 0)
+	sp := r.Spans().StartTrace("upload")
 	sp.SetAttr("store", "ps-0")
 	sp.End()
 
@@ -63,6 +63,88 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 	if len(pts) != 1 || pts[0].Name != "c" || pts[0].Value != 1 {
 		t.Fatalf("snapshot = %+v", pts)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	r := NewRegistry()
+	root := r.Spans().StartTrace("service.retrain")
+	r.Spans().StartSpanIn(root.Context(), "tuner.finetune").End()
+	root.End()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var trees []*TraceTree
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/traces")), &trees); err != nil {
+		t.Fatalf("unmarshal traces: %v", err)
+	}
+	if len(trees) != 1 || trees[0].SpanCount != 2 {
+		t.Fatalf("traces = %+v, want one 2-span tree", trees)
+	}
+	if len(trees[0].Roots) != 1 || trees[0].Roots[0].Name != "service.retrain" {
+		t.Fatalf("roots = %+v", trees[0].Roots)
+	}
+
+	// ?trace=<hex> selects one trace; an unknown ID yields an empty list.
+	one := get(t, srv.URL+"/traces?trace="+root.TraceID().String())
+	if err := json.Unmarshal([]byte(one), &trees); err != nil || len(trees) != 1 {
+		t.Fatalf("single-trace query = %s (%v)", one, err)
+	}
+	if body := get(t, srv.URL+"/traces?trace=ffffffffffffffff"); strings.TrimSpace(body) != "null" {
+		t.Fatalf("unknown trace = %q, want null", body)
+	}
+
+	// ?format=jsonl streams raw records, one per line.
+	jl := strings.TrimSpace(get(t, srv.URL+"/traces?format=jsonl"))
+	lines := strings.Split(jl, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl = %d lines, want 2:\n%s", len(lines), jl)
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil || rec.Trace != root.TraceID() {
+		t.Fatalf("jsonl record = %+v (%v)", rec, err)
+	}
+
+	// A malformed trace ID is a 400, not a panic.
+	resp, err := http.Get(srv.URL + "/traces?trace=not-hex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPprofMountIsOptIn(t *testing.T) {
+	r := NewRegistry()
+
+	// Default: profiling endpoints absent.
+	plain := httptest.NewServer(r.Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without WithPprof = %d, want 404", resp.StatusCode)
+	}
+
+	// With WithPprof: the index and the heap profile respond.
+	prof := httptest.NewServer(r.Handler(WithPprof()))
+	defer prof.Close()
+	if body := get(t, prof.URL+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%.200s", body)
+	}
+	if body := get(t, prof.URL+"/debug/pprof/heap?debug=1"); !strings.Contains(body, "heap profile") {
+		t.Fatalf("heap profile malformed:\n%.200s", body)
+	}
+	// Metrics still served on the same mux.
+	r.Counter("with_pprof").Inc()
+	if body := get(t, prof.URL+"/metrics"); !strings.Contains(body, "with_pprof 1") {
+		t.Fatalf("/metrics missing on pprof-enabled mux:\n%s", body)
 	}
 }
 

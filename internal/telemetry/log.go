@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured logging conventions for the NDPipe processes: every daemon
+// logs through log/slog with a shared handler configured once at startup
+// (SetupLogging), each subsystem namespaces itself with a `component`
+// attribute (ComponentLogger), and anything that happens inside a traced
+// operation carries `trace_id`/`span_id` attributes (TraceAttrs), so logs
+// correlate with /traces and /metrics on the same identifiers.
+
+// SetupLogging installs the process-wide slog default handler writing to w
+// (os.Stderr if nil). level is "debug", "info", "warn" or "error"; jsonOut
+// selects JSON lines instead of logfmt-style text. The daemons call this
+// from their -log-level / -log-json flags before any other work.
+func SetupLogging(w io.Writer, level string, jsonOut bool) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	var lvl slog.Level
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// ComponentLogger returns the default logger namespaced with a `component`
+// attribute ("tuner", "pipestore", "inferserver", "service", ...).
+func ComponentLogger(component string) *slog.Logger {
+	return slog.Default().With(slog.String("component", component))
+}
+
+// TraceAttrs renders a span context as the conventional trace_id/span_id
+// log attributes. An invalid (zero) context yields nothing, so callers can
+// pass it through unconditionally:
+//
+//	logger.Info("round done", telemetry.TraceAttrs(span.Context())...)
+func TraceAttrs(tc SpanContext) []any {
+	if !tc.Valid() {
+		return nil
+	}
+	return []any{
+		slog.String("trace_id", tc.Trace.String()),
+		slog.Uint64("span_id", uint64(tc.Span)),
+	}
+}

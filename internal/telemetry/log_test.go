@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestSetupLoggingLevelsAndFormats(t *testing.T) {
+	defer slog.SetDefault(slog.Default())
+
+	var buf bytes.Buffer
+	if err := SetupLogging(&buf, "warn", false); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("hidden")
+	slog.Warn("shown")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("warn level filtering broken:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := SetupLogging(&buf, "info", true); err != nil {
+		t.Fatal(err)
+	}
+	ComponentLogger("tuner").Info("round", slog.Int("n", 3))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON mode emitted non-JSON: %v\n%s", err, buf.String())
+	}
+	if rec["component"] != "tuner" || rec["msg"] != "round" || rec["n"] != float64(3) {
+		t.Fatalf("record = %v", rec)
+	}
+
+	if err := SetupLogging(&buf, "shout", false); err == nil {
+		t.Fatal("unknown level must be rejected")
+	}
+}
+
+func TestTraceAttrs(t *testing.T) {
+	if got := TraceAttrs(SpanContext{}); got != nil {
+		t.Fatalf("invalid context attrs = %v, want nil", got)
+	}
+	tc := SpanContext{Trace: 0xab, Span: 7}
+	defer slog.SetDefault(slog.Default())
+	var buf bytes.Buffer
+	if err := SetupLogging(&buf, "info", true); err != nil {
+		t.Fatal(err)
+	}
+	slog.Default().With(TraceAttrs(tc)...).Info("x")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != "00000000000000ab" || rec["span_id"] != float64(7) {
+		t.Fatalf("record = %v", rec)
+	}
+}

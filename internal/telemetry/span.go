@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,8 +13,67 @@ import (
 // retrain cycles' worth of spans without unbounded growth.
 const DefaultSpanRing = 1024
 
-// SpanID identifies a span; 0 means "no parent" (a root span).
+// TraceID identifies one end-to-end request (e.g. one FT-DMP round) across
+// every process that touches it; 0 means "untraced". IDs are drawn from a
+// per-process random 64-bit base plus a counter, so two nodes minting
+// traces independently will not collide in practice.
+type TraceID uint64
+
+// SpanID identifies a span; 0 means "no parent" (a root span). Like trace
+// IDs, span IDs are offset by a per-tracer random base so spans minted on
+// different nodes stay distinct when stitched into one trace.
 type SpanID uint64
+
+var (
+	traceBase    = rand.Uint64()
+	traceCounter atomic.Uint64
+)
+
+// NewTraceID mints a process-unique trace identifier (never 0). It is a
+// single atomic add over a random base: allocation-free and safe for
+// concurrent callers.
+func NewTraceID() TraceID {
+	id := TraceID(traceBase + traceCounter.Add(1))
+	if id == 0 {
+		id = TraceID(traceBase + traceCounter.Add(1))
+	}
+	return id
+}
+
+// String renders the trace ID as fixed-width hex, the form used in logs and
+// JSON so traces can be grepped across nodes.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// MarshalJSON encodes the trace ID as a hex string (uint64 would lose
+// precision in JavaScript consumers).
+func (t TraceID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the hex-string form produced by MarshalJSON.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad trace id %q: %w", s, err)
+	}
+	*t = TraceID(v)
+	return nil
+}
+
+// SpanContext is the propagated trace context: which trace an operation
+// belongs to and which span is its parent. It is what crosses process
+// boundaries in wire.Message envelopes; the zero value means "untraced".
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a trace.
+func (tc SpanContext) Valid() bool { return tc.Trace != 0 }
 
 // Attr is one span attribute.
 type Attr struct {
@@ -19,8 +81,10 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
-// SpanRecord is a finished span as stored in the ring buffer.
+// SpanRecord is a finished span as stored in the ring buffer and shipped
+// between nodes (it is gob-encodable for MsgSpans).
 type SpanRecord struct {
+	Trace    TraceID   `json:"trace_id,omitempty"`
 	ID       SpanID    `json:"id"`
 	Parent   SpanID    `json:"parent,omitempty"`
 	Name     string    `json:"name"`
@@ -29,10 +93,23 @@ type SpanRecord struct {
 	Attrs    []Attr    `json:"attrs,omitempty"`
 }
 
-// Span is an in-flight operation. Create with Tracer.StartSpan, finish with
-// End; a Span is owned by one goroutine and must not be shared before End.
+// AttrValue returns the value of the named attribute ("" if absent).
+func (r SpanRecord) AttrValue(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Span is an in-flight operation. Create with Tracer.StartTrace /
+// StartSpanIn, finish with End. A Span is owned by one goroutine and must
+// not be shared before End; after End it returns to an internal pool and
+// must not be touched again.
 type Span struct {
 	tr     *Tracer
+	trace  TraceID
 	id     SpanID
 	parent SpanID
 	name   string
@@ -48,6 +125,23 @@ func (s *Span) ID() SpanID {
 	return s.id
 }
 
+// TraceID returns the trace this span belongs to.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// Context returns the propagation context for children of this span —
+// local ones (StartSpanIn) or remote ones (carried in wire envelopes).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
 // SetAttr attaches a key/value attribute (e.g. store ID, run index).
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
@@ -56,29 +150,34 @@ func (s *Span) SetAttr(key, value string) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
-// End finishes the span, records it in the tracer's ring buffer, and returns
-// its duration. Safe on a nil span (returns 0) so instrumented code can run
-// with tracing disabled.
+// End finishes the span, records it in the tracer's ring buffer (and trace
+// collector, if attached), and returns its duration. Safe on a nil span
+// (returns 0) so instrumented code can run with tracing disabled; a second
+// End is a no-op.
 func (s *Span) End() time.Duration {
-	if s == nil {
+	if s == nil || s.tr == nil {
 		return 0
 	}
 	d := time.Since(s.start)
-	s.tr.record(SpanRecord{
-		ID:       s.id,
-		Parent:   s.parent,
-		Name:     s.name,
-		Start:    s.start,
-		Duration: d.Seconds(),
-		Attrs:    s.attrs,
-	})
+	tr := s.tr
+	s.tr = nil // double-End guard: the pool must see each span once
+	tr.record(s, d)
+	tr.pool.Put(s)
 	return d
 }
 
 // Tracer hands out spans and keeps the last `cap` finished ones in a ring
-// buffer for post-hoc inspection (the /spans endpoint).
+// buffer for post-hoc inspection (the /spans endpoint). Spans are pooled,
+// and ring slots reuse their attribute storage, so the start/end hot path
+// is allocation-free in steady state.
 type Tracer struct {
+	base   uint64 // random offset making span IDs process-unique
 	nextID atomic.Uint64
+	pool   sync.Pool
+
+	// collector, when set, receives every finished span that belongs to a
+	// trace, so cross-node traces can be assembled (see Collector).
+	collector *Collector
 
 	mu   sync.Mutex
 	ring []SpanRecord
@@ -92,40 +191,124 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{ring: make([]SpanRecord, capacity)}
+	t := &Tracer{base: rand.Uint64(), ring: make([]SpanRecord, capacity)}
+	t.pool.New = func() any { return new(Span) }
+	return t
 }
 
-// StartSpan begins a span under the given parent (0 for a root span).
-func (t *Tracer) StartSpan(name string, parent SpanID) *Span {
-	return &Span{
-		tr:     t,
-		id:     SpanID(t.nextID.Add(1)),
-		parent: parent,
-		name:   name,
-		start:  time.Now(),
+// SetCollector attaches a trace collector: every finished span with a
+// non-zero TraceID is forwarded to it. Call before tracing starts.
+func (t *Tracer) SetCollector(c *Collector) { t.collector = c }
+
+// StartTrace mints a fresh trace and begins its root span.
+func (t *Tracer) StartTrace(name string) *Span {
+	return t.StartSpanIn(SpanContext{}, name)
+}
+
+// StartSpanIn begins a span inside the given trace context — a local child
+// when the context came from Span.Context(), a remote child when it was
+// carried over the wire. An empty context starts a new trace (so entry
+// points can accept a caller's context or stand alone).
+func (t *Tracer) StartSpanIn(tc SpanContext, name string) *Span {
+	if tc.Trace == 0 {
+		tc.Trace = NewTraceID()
+		tc.Span = 0
 	}
+	s := t.pool.Get().(*Span)
+	s.tr = t
+	s.trace = tc.Trace
+	s.id = SpanID(t.base + t.nextID.Add(1))
+	s.parent = tc.Span
+	s.name = name
+	s.attrs = s.attrs[:0]
+	s.start = time.Now()
+	return s
 }
 
-func (t *Tracer) record(rec SpanRecord) {
+// record writes the finished span into the ring (reusing the slot's
+// attribute storage: no allocation in steady state) and forwards a copy to
+// the collector.
+func (t *Tracer) record(s *Span, d time.Duration) {
 	t.mu.Lock()
-	t.ring[t.pos] = rec
+	slot := &t.ring[t.pos]
+	slot.Trace = s.trace
+	slot.ID = s.id
+	slot.Parent = s.parent
+	slot.Name = s.name
+	slot.Start = s.start
+	slot.Duration = d.Seconds()
+	slot.Attrs = append(slot.Attrs[:0], s.attrs...)
 	t.pos++
 	if t.pos == len(t.ring) {
 		t.pos = 0
 		t.full = true
 	}
 	t.mu.Unlock()
+	if t.collector != nil && s.trace != 0 {
+		t.collector.Add(SpanRecord{
+			Trace:    s.trace,
+			ID:       s.id,
+			Parent:   s.parent,
+			Name:     s.name,
+			Start:    s.start,
+			Duration: d.Seconds(),
+			Attrs:    append([]Attr(nil), s.attrs...),
+		})
+	}
+}
+
+// cloneRecord deep-copies a ring slot: slots reuse their Attrs backing
+// arrays, so exported records must not alias them.
+func cloneRecord(rec SpanRecord) SpanRecord {
+	if len(rec.Attrs) > 0 {
+		rec.Attrs = append([]Attr(nil), rec.Attrs...)
+	} else {
+		rec.Attrs = nil
+	}
+	return rec
 }
 
 // Recent returns the buffered finished spans, oldest first.
 func (t *Tracer) Recent() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var out []SpanRecord
 	if !t.full {
-		return append([]SpanRecord(nil), t.ring[:t.pos]...)
+		out = make([]SpanRecord, 0, t.pos)
+		for _, rec := range t.ring[:t.pos] {
+			out = append(out, cloneRecord(rec))
+		}
+		return out
 	}
-	out := make([]SpanRecord, 0, len(t.ring))
-	out = append(out, t.ring[t.pos:]...)
-	out = append(out, t.ring[:t.pos]...)
+	out = make([]SpanRecord, 0, len(t.ring))
+	for _, rec := range t.ring[t.pos:] {
+		out = append(out, cloneRecord(rec))
+	}
+	for _, rec := range t.ring[:t.pos] {
+		out = append(out, cloneRecord(rec))
+	}
+	return out
+}
+
+// TraceSpans returns the buffered spans belonging to one trace, oldest
+// first — what a PipeStore ships back to the Tuner in a MsgSpans envelope.
+func (t *Tracer) TraceSpans(id TraceID) []SpanRecord {
+	if id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	scan := func(recs []SpanRecord) {
+		for _, rec := range recs {
+			if rec.Trace == id {
+				out = append(out, cloneRecord(rec))
+			}
+		}
+	}
+	if t.full {
+		scan(t.ring[t.pos:])
+	}
+	scan(t.ring[:t.pos])
 	return out
 }

@@ -7,8 +7,8 @@ import (
 
 func TestSpanParentAndAttrs(t *testing.T) {
 	tr := NewTracer(16)
-	root := tr.StartSpan("retrain", 0)
-	child := tr.StartSpan("finetune", root.ID())
+	root := tr.StartTrace("retrain")
+	child := tr.StartSpanIn(root.Context(), "finetune")
 	child.SetAttr("run", "0")
 	time.Sleep(time.Millisecond)
 	if d := child.End(); d <= 0 {
@@ -26,6 +26,9 @@ func TestSpanParentAndAttrs(t *testing.T) {
 	if recs[0].Parent != recs[1].ID {
 		t.Fatalf("child parent = %d, want root ID %d", recs[0].Parent, recs[1].ID)
 	}
+	if recs[0].Trace == 0 || recs[0].Trace != recs[1].Trace {
+		t.Fatalf("trace IDs = %v, %v; want equal and non-zero", recs[0].Trace, recs[1].Trace)
+	}
 	if len(recs[0].Attrs) != 1 || recs[0].Attrs[0].Key != "run" {
 		t.Fatalf("child attrs = %+v", recs[0].Attrs)
 	}
@@ -36,18 +39,101 @@ func TestSpanParentAndAttrs(t *testing.T) {
 
 func TestSpanRingBounded(t *testing.T) {
 	tr := NewTracer(4)
+	var ids []SpanID
 	for i := 0; i < 10; i++ {
-		tr.StartSpan("s", 0).End()
+		sp := tr.StartTrace("s")
+		ids = append(ids, sp.ID())
+		sp.End()
 	}
 	recs := tr.Recent()
 	if len(recs) != 4 {
 		t.Fatalf("ring holds %d, want 4", len(recs))
 	}
-	// Oldest first: IDs 7,8,9,10.
-	for i, want := range []SpanID{7, 8, 9, 10} {
+	// Oldest first: the last four spans started, in start order.
+	for i, want := range ids[6:] {
 		if recs[i].ID != want {
 			t.Fatalf("recs[%d].ID = %d, want %d", i, recs[i].ID, want)
 		}
+	}
+}
+
+func TestSpanIDsUniqueAcrossTracers(t *testing.T) {
+	// Two tracers stand in for two processes: their randomized ID bases
+	// must keep span IDs distinct so cross-node traces never collide.
+	a, b := NewTracer(8), NewTracer(8)
+	seen := map[SpanID]bool{}
+	for i := 0; i < 8; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			sp := tr.StartTrace("s")
+			if sp.ID() == 0 || seen[sp.ID()] {
+				t.Fatalf("span ID %d zero or duplicated", sp.ID())
+			}
+			seen[sp.ID()] = true
+			sp.End()
+		}
+	}
+}
+
+func TestStartSpanInRemoteParent(t *testing.T) {
+	// A remote parent context (as decoded from a wire.Message) must be
+	// honoured verbatim: same trace, parent = the remote span ID.
+	tr := NewTracer(8)
+	remote := SpanContext{Trace: NewTraceID(), Span: 42}
+	sp := tr.StartSpanIn(remote, "pipestore.extract")
+	sp.End()
+	recs := tr.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("got %d spans, want 1", len(recs))
+	}
+	if recs[0].Trace != remote.Trace || recs[0].Parent != remote.Span {
+		t.Fatalf("span = trace %v parent %d, want trace %v parent 42",
+			recs[0].Trace, recs[0].Parent, remote.Trace)
+	}
+}
+
+func TestStartSpanInEmptyContextMintsTrace(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.StartSpanIn(SpanContext{}, "untraced-peer")
+	if !sp.Context().Valid() {
+		t.Fatal("span from empty context should mint a fresh trace")
+	}
+	sp.End()
+	recs := tr.Recent()
+	if recs[0].Trace == 0 || recs[0].Parent != 0 {
+		t.Fatalf("span = trace %v parent %d, want fresh trace with no parent",
+			recs[0].Trace, recs[0].Parent)
+	}
+}
+
+func TestTraceSpansFilters(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.StartTrace("a")
+	tr.StartSpanIn(a.Context(), "a-child").End()
+	a.End()
+	b := tr.StartTrace("b")
+	b.End()
+
+	got := tr.TraceSpans(a.TraceID())
+	if len(got) != 2 {
+		t.Fatalf("trace a has %d spans, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.Trace != a.TraceID() {
+			t.Fatalf("span %s leaked from another trace", r.Name)
+		}
+	}
+	if got := tr.TraceSpans(b.TraceID()); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("trace b spans = %+v", got)
+	}
+}
+
+func TestTraceIDString(t *testing.T) {
+	if s := TraceID(0xabc).String(); s != "0000000000000abc" {
+		t.Fatalf("TraceID string = %q", s)
+	}
+	var id TraceID
+	if err := id.UnmarshalJSON([]byte(`"0000000000000abc"`)); err != nil || id != 0xabc {
+		t.Fatalf("unmarshal = %v, %v", id, err)
 	}
 }
 
@@ -60,4 +146,12 @@ func TestNilSpanSafe(t *testing.T) {
 	if s.ID() != 0 {
 		t.Fatal("nil span ID should be 0")
 	}
+	if s.Context().Valid() {
+		t.Fatal("nil span context should be invalid")
+	}
+	// Double End must be harmless (the span is pooled).
+	tr := NewTracer(4)
+	sp := tr.StartTrace("once")
+	sp.End()
+	sp.End()
 }

@@ -76,17 +76,22 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    *Tracer
+	traces   *Collector
 }
 
 // NewRegistry creates an empty registry with a span tracer of the default
-// ring capacity.
+// ring capacity, wired to a trace collector so every traced span the
+// process finishes is available for cross-node assembly (/traces).
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		spans:    NewTracer(DefaultSpanRing),
+		traces:   NewCollector(0, 0),
 	}
+	r.spans.SetCollector(r.traces)
+	return r
 }
 
 // Default is the process-wide registry the NDPipe packages instrument into.
@@ -157,6 +162,10 @@ func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
 
 // Spans returns the registry's span tracer.
 func (r *Registry) Spans() *Tracer { return r.spans }
+
+// Traces returns the registry's trace collector — the sink for both local
+// spans (fed by the tracer) and remote spans shipped over the wire.
+func (r *Registry) Traces() *Collector { return r.traces }
 
 // MetricPoint is one exported metric sample.
 type MetricPoint struct {

@@ -96,6 +96,60 @@ func TestHistogramEmptyAndOverflow(t *testing.T) {
 	}
 }
 
+// Regression: one NaN used to poison the CAS-updated running sum forever
+// (NaN+x is NaN), and ±Inf saturated it. Non-finite samples must be dropped
+// without touching count, sum or buckets.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(0.001)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(v)
+	}
+	h.Observe(0.003)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (non-finite samples must be dropped)", h.Count())
+	}
+	if s := h.Sum(); math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("sum poisoned: %v", s)
+	}
+	if math.Abs(h.Sum()-0.004) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.004", h.Sum())
+	}
+	if q := h.Quantile(0.99); math.IsNaN(q) || q <= 0 {
+		t.Fatalf("p99 = %v after non-finite observes, want finite > 0", q)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	// Out-of-range q is clamped, and both extremes interpolate inside the
+	// single occupied bucket: q→0 at its lower bound, q=1 at its upper bound.
+	if q := h.Quantile(-0.5); q < 1 || q > 2 {
+		t.Fatalf("q<0 clamped quantile = %v, want within (1,2]", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q=0 = %v, want bucket lower bound 1", q)
+	}
+	if q := h.Quantile(1); q != 2 {
+		t.Fatalf("q=1 = %v, want bucket upper bound 2", q)
+	}
+	if q := h.Quantile(7); q != 2 {
+		t.Fatalf("q>1 clamped quantile = %v, want 2", q)
+	}
+	// Interpolation is linear in rank: half the samples → bucket midpoint.
+	if q := h.Quantile(0.5); math.Abs(q-1.5) > 1e-9 {
+		t.Fatalf("q=0.5 = %v, want midpoint 1.5", q)
+	}
+	// Overflow-bucket ranks report the largest configured bound.
+	h.Observe(1000)
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("overflow q=1 = %v, want largest bound 4", q)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := NewHistogram(nil)
 	var wg sync.WaitGroup

@@ -1,0 +1,163 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ndpipe/internal/telemetry"
+)
+
+// findIn walks a subtree depth-first for the first node matching pred.
+func findIn(n *telemetry.TraceNode, pred func(*telemetry.TraceNode) bool) *telemetry.TraceNode {
+	if pred(n) {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := findIn(c, pred); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// The tracing acceptance test: one Tuner and two PipeStores over loopback
+// TCP run a full FT-DMP round, and /traces must return a SINGLE trace whose
+// tree nests each store's NPE stage spans (the Fig-6 phases read, preproc,
+// fecl) under the Tuner's round span. The stores get private tracers, so
+// their spans can only have reached the Tuner's collector by traveling in
+// MsgSpans envelopes over the wire — this proves propagation, shipping and
+// stitching end to end.
+func TestDistributedTraceAcrossStores(t *testing.T) {
+	tn, stores, _, cleanup := clusterUp(t, 2, 33)
+	defer cleanup()
+	for _, ps := range stores {
+		ps.SetTracer(telemetry.NewTracer(1024))
+	}
+
+	rep, err := tn.FineTune(2, 128, trainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == 0 {
+		t.Fatal("fine-tune report carries no trace ID")
+	}
+
+	srv := httptest.NewServer(telemetry.Default.Handler())
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("%s/traces?trace=%s", srv.URL, rep.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var trees []*telemetry.TraceTree
+	if err := json.NewDecoder(resp.Body).Decode(&trees); err != nil {
+		t.Fatalf("decode /traces: %v", err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("/traces returned %d trees for the round, want exactly 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.TraceID != rep.Trace {
+		t.Fatalf("tree trace = %s, want %s", tree.TraceID, rep.Trace)
+	}
+
+	round := tree.Find(func(n *telemetry.TraceNode) bool { return n.Name == "tuner.finetune" })
+	if round == nil {
+		t.Fatal("tuner.finetune round span missing from trace tree")
+	}
+	for _, ps := range stores {
+		extract := findIn(round, func(n *telemetry.TraceNode) bool {
+			return n.Name == "pipestore.extract" && n.AttrValue("store") == ps.ID
+		})
+		if extract == nil {
+			t.Fatalf("store %s has no pipestore.extract span under the round", ps.ID)
+		}
+		for _, stage := range []string{"read", "preproc", "fecl"} {
+			s := findIn(extract, func(n *telemetry.TraceNode) bool { return n.Name == stage })
+			if s == nil {
+				t.Fatalf("store %s: stage span %q missing under its extract span", ps.ID, stage)
+			}
+			if s.Trace != rep.Trace {
+				t.Fatalf("store %s stage %s is in trace %s, want %s", ps.ID, stage, s.Trace, rep.Trace)
+			}
+		}
+	}
+
+	// The JSONL export streams the same spans one record per line.
+	resp2, err := http.Get(fmt.Sprintf("%s/traces?trace=%s&format=jsonl", srv.URL, rep.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var lines int
+	dec := json.NewDecoder(resp2.Body)
+	seen := map[string]bool{}
+	for dec.More() {
+		var rec telemetry.SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("jsonl line %d: %v", lines, err)
+		}
+		seen[rec.Name] = true
+		lines++
+	}
+	if lines != tree.SpanCount {
+		t.Fatalf("jsonl export has %d records, tree has %d spans", lines, tree.SpanCount)
+	}
+	for _, want := range []string{"tuner.finetune", "pipestore.extract", "read", "preproc", "fecl"} {
+		if !seen[want] {
+			t.Fatalf("jsonl export missing span %q (have %s)", want, strings.Join(keys(seen), ", "))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// A delta broadcast and offline inference continue the same trace: the
+// stores' apply-delta and offline-infer spans land in the round's trace too
+// when the caller threads one parent context through both phases.
+func TestTraceSpansOfflineInference(t *testing.T) {
+	tn, stores, _, cleanup := clusterUp(t, 2, 34)
+	defer cleanup()
+	for _, ps := range stores {
+		ps.SetTracer(telemetry.NewTracer(1024))
+	}
+	root := telemetry.Default.Spans().StartTrace("test.round")
+	tc := root.Context()
+	if _, err := tn.FineTuneTraced(tc, 1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.OfflineInferenceTraced(tc, 128); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := telemetry.Default.Traces().Tree(tc.Trace)
+	if tree == nil {
+		t.Fatal("round trace missing from collector")
+	}
+	for _, want := range []string{"tuner.finetune", "tuner.offline-inference",
+		"pipestore.apply-delta", "pipestore.offline-infer"} {
+		if tree.Find(func(n *telemetry.TraceNode) bool { return n.Name == want }) == nil {
+			t.Fatalf("span %q missing from the round trace", want)
+		}
+	}
+	// Both stores shipped their offline-infer spans into the one trace.
+	for _, ps := range stores {
+		found := tree.Find(func(n *telemetry.TraceNode) bool {
+			return n.Name == "pipestore.offline-infer" && n.AttrValue("store") == ps.ID
+		})
+		if found == nil {
+			t.Fatalf("store %s offline-infer span missing", ps.ID)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package tuner
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -46,6 +47,7 @@ type Node struct {
 	errs     chan error
 
 	met tunerMetrics
+	log *slog.Logger
 }
 
 type storeConn struct {
@@ -100,6 +102,7 @@ func New(cfg core.ModelConfig) (*Node, error) {
 		labels:   make(chan *wire.Message, 16),
 		errs:     make(chan error, 16),
 		met:      newTunerMetrics(),
+		log:      telemetry.ComponentLogger("tuner"),
 	}
 	t.archive = modelstore.New(t.clf.TakeSnapshot())
 	return t, nil
@@ -208,8 +211,10 @@ func (t *Node) AddStore(conn net.Conn) error {
 	}
 	t.mu.Lock()
 	t.stores = append(t.stores, sc)
-	t.met.stores.Set(float64(len(t.stores)))
+	nstores := len(t.stores)
+	t.met.stores.Set(float64(nstores))
 	t.mu.Unlock()
+	t.log.Info("store registered", slog.String("store", sc.id), slog.Int("fleet", nstores))
 	go t.readLoop(sc)
 	return nil
 }
@@ -221,6 +226,7 @@ func (t *Node) readLoop(sc *storeConn) {
 		if err != nil {
 			// Connection closed or corrupted: fail any outstanding
 			// operation promptly rather than letting it time out.
+			t.log.Debug("store disconnected", slog.String("store", sc.id), slog.Any("err", err))
 			select {
 			case t.errs <- fmt.Errorf("tuner: store %s disconnected: %w", sc.id, err):
 			default:
@@ -237,6 +243,10 @@ func (t *Node) readLoop(sc *storeConn) {
 			t.acks <- msg
 		case wire.MsgLabels:
 			t.labels <- msg
+		case wire.MsgSpans:
+			// The store's half of a distributed trace: stitch it into the
+			// collector, where it joins the Tuner's own spans for the round.
+			telemetry.Default.Traces().Add(msg.Spans...)
 		case wire.MsgError:
 			t.errs <- fmt.Errorf("tuner: store %s: %s", msg.StoreID, msg.Err)
 		}
@@ -245,6 +255,7 @@ func (t *Node) readLoop(sc *storeConn) {
 
 // Report summarizes one fine-tuning round.
 type Report struct {
+	Trace        telemetry.TraceID // the round's distributed trace (see /traces)
 	Images       int
 	Runs         int
 	Epochs       int
@@ -268,10 +279,23 @@ func (r Report) TrafficReduction() float64 {
 // FineTune runs one pipelined FT-DMP round over all registered stores and
 // distributes the resulting model delta. Stores extract nrun sub-shards;
 // the Tuner trains on run r as soon as every store finished sending it.
+// The round runs under a fresh distributed trace (see FineTuneTraced).
 func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
+	return t.FineTuneTraced(telemetry.SpanContext{}, nrun, batch, opt)
+}
+
+// FineTuneTraced is FineTune inside a caller-provided trace context (an
+// empty context mints a fresh trace). The round span parents both the
+// Tuner's local train-run spans and — via the trace context carried in
+// every MsgTrainRequest/MsgModelDelta envelope — the remote extraction and
+// delta-apply spans each PipeStore records and ships back, so /traces
+// shows the full Fig-6 decomposition of the round.
+func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
 	start := time.Now()
-	span := telemetry.Default.Spans().StartSpan("tuner.finetune", 0)
+	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.finetune")
 	span.SetAttr("nrun", fmt.Sprint(nrun))
+	tc := span.Context()
+	logger := t.log.With(telemetry.TraceAttrs(tc)...)
 	defer func() {
 		t.met.fineTune.Observe(span.End().Seconds())
 	}()
@@ -286,12 +310,15 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 		return Report{}, fmt.Errorf("tuner: no PipeStores registered")
 	}
 	for _, sc := range stores {
-		if err := sc.codec.Send(&wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch}); err != nil {
+		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch}
+		req.SetTraceContext(tc)
+		if err := sc.codec.Send(req); err != nil {
 			return Report{}, fmt.Errorf("tuner: requesting training from %s: %w", sc.id, err)
 		}
 	}
+	logger.Debug("fine-tune round started", slog.Int("stores", len(stores)), slog.Int("nrun", nrun))
 
-	rep := Report{Runs: nrun}
+	rep := Report{Trace: tc.Trace, Runs: nrun}
 	sgd := nn.NewSGD(opt.LR, opt.Momentum)
 	type runBuf struct {
 		rows   []float64
@@ -334,7 +361,7 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 			return Report{}, fmt.Errorf("tuner: run %d is empty", r)
 		}
 		batchData := &dataset.Batch{X: tensor.FromSlice(n, cols, b.rows), Labels: b.labels}
-		runSpan := telemetry.Default.Spans().StartSpan("tuner.train-run", span.ID())
+		runSpan := telemetry.Default.Spans().StartSpanIn(tc, "tuner.train-run")
 		runSpan.SetAttr("run", fmt.Sprint(r))
 		stats, err := trainOneRun(clf, sgd, batchData, opt)
 		t.met.runTrain.Observe(runSpan.End().Seconds())
@@ -368,7 +395,9 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 	rep.FullModelBytes = newSnap.Bytes() + t.backbone.TakeSnapshot().Bytes()
 	rep.ModelVersion = version
 	for _, sc := range stores {
-		if err := sc.codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version}); err != nil {
+		msg := &wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version}
+		msg.SetTraceContext(tc)
+		if err := sc.codec.Send(msg); err != nil {
 			return Report{}, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err)
 		}
 		t.met.deltaBytes.Add(int64(len(blob)))
@@ -385,6 +414,11 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 	rep.WallTime = time.Since(start)
 	t.met.trainRounds.Inc()
 	t.met.modelVersion.Set(float64(version))
+	logger.Info("fine-tune round complete",
+		slog.Int("images", rep.Images),
+		slog.Int("model_version", version),
+		slog.Int64("delta_bytes", rep.DeltaBytes),
+		slog.Duration("wall", rep.WallTime))
 	return rep, nil
 }
 
@@ -403,7 +437,15 @@ func trainOneRun(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, opt ftdmp.Train
 // model and applies the results to the label database. It returns the
 // aggregate refresh statistics (the Table 1 measurement).
 func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
-	span := telemetry.Default.Spans().StartSpan("tuner.offline-inference", 0)
+	return t.OfflineInferenceTraced(telemetry.SpanContext{}, batch)
+}
+
+// OfflineInferenceTraced is OfflineInference inside a caller-provided
+// trace context (an empty context mints a fresh trace); the per-store
+// near-data inference spans ship back and nest under this span.
+func (t *Node) OfflineInferenceTraced(parent telemetry.SpanContext, batch int) (labeldb.RefreshStats, error) {
+	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.offline-inference")
+	tc := span.Context()
 	defer func() {
 		t.met.offlineInfer.Observe(span.End().Seconds())
 	}()
@@ -415,7 +457,9 @@ func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
 		return labeldb.RefreshStats{}, fmt.Errorf("tuner: no PipeStores registered")
 	}
 	for _, sc := range stores {
-		if err := sc.codec.Send(&wire.Message{Type: wire.MsgInferRequest, BatchSize: batch}); err != nil {
+		req := &wire.Message{Type: wire.MsgInferRequest, BatchSize: batch}
+		req.SetTraceContext(tc)
+		if err := sc.codec.Send(req); err != nil {
 			return labeldb.RefreshStats{}, err
 		}
 	}
@@ -436,6 +480,10 @@ func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
 	if agg.Total > 0 {
 		agg.FixedFrac = float64(agg.Changed) / float64(agg.Total)
 	}
+	t.log.With(telemetry.TraceAttrs(tc)...).Info("offline inference complete",
+		slog.Int("relabeled", agg.Total),
+		slog.Int("changed", agg.Changed),
+		slog.Int("model_version", agg.ModelVersion))
 	return agg, nil
 }
 

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"ndpipe/internal/telemetry"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	tc := telemetry.SpanContext{Trace: telemetry.NewTraceID(), Span: 77}
+	msg := &Message{Type: MsgTrainRequest, StoreID: "ps-0", Run: 1}
+	msg.SetTraceContext(tc)
+	go func() { _ = ca.Send(msg) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceContext() != tc {
+		t.Fatalf("trace context = %+v, want %+v", got.TraceContext(), tc)
+	}
+}
+
+func TestSpansMessageRoundTrip(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	trace := telemetry.NewTraceID()
+	want := &Message{
+		Type:    MsgSpans,
+		StoreID: "ps-1",
+		Trace:   trace,
+		Spans: []telemetry.SpanRecord{
+			{Trace: trace, ID: 5, Parent: 3, Name: "pipestore.extract",
+				Start: time.Now().Truncate(0), Duration: 0.25,
+				Attrs: []telemetry.Attr{{Key: "store", Value: "ps-1"}}},
+			{Trace: trace, ID: 6, Parent: 5, Name: "read",
+				Start: time.Now().Truncate(0), Duration: 0.1},
+		},
+	}
+	go func() { _ = ca.Send(want) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgSpans || got.Trace != trace || len(got.Spans) != 2 {
+		t.Fatalf("spans message = %+v", got)
+	}
+	if got.Spans[0].Name != "pipestore.extract" || got.Spans[0].ID != 5 ||
+		len(got.Spans[0].Attrs) != 1 || got.Spans[0].Attrs[0].Value != "ps-1" {
+		t.Fatalf("span record mangled: %+v", got.Spans[0])
+	}
+	if got.Spans[1].Parent != 5 || got.Spans[1].Duration != 0.1 {
+		t.Fatalf("child span mangled: %+v", got.Spans[1])
+	}
+}
+
+// legacyMessage is the PR-1 wire struct, before the trace fields existed.
+// Gob matches fields by name, so an old peer's encoding must still decode —
+// with zero trace context, meaning "untraced".
+type legacyMessage struct {
+	Type      MsgType
+	StoreID   string
+	Runs      int
+	BatchSize int
+	Run       int
+	Rows      int
+	Cols      int
+	X         []float64
+	Labels    []int
+	IDs       []uint64
+	Final     bool
+	Err       string
+}
+
+func TestOldPeerMessageDecodesUntraced(t *testing.T) {
+	var buf bytes.Buffer
+	old := legacyMessage{Type: MsgFeatures, StoreID: "ps-0", Run: 3,
+		Rows: 1, Cols: 2, X: []float64{1, 2}, Final: true}
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decoding an old peer's message failed: %v", err)
+	}
+	if got.Type != MsgFeatures || got.StoreID != "ps-0" || got.Run != 3 || !got.Final {
+		t.Fatalf("legacy payload mangled: %+v", got)
+	}
+	if tc := got.TraceContext(); tc.Valid() || tc.Trace != 0 || tc.Span != 0 {
+		t.Fatalf("legacy message must decode as untraced, got %+v", tc)
+	}
+	if got.Spans != nil {
+		t.Fatalf("legacy message must have no spans, got %+v", got.Spans)
+	}
+}
+
+// And the reverse: a traced message decoded by an old peer must not error —
+// gob ignores fields the receiving struct lacks.
+func TestNewMessageDecodesOnOldPeer(t *testing.T) {
+	var buf bytes.Buffer
+	msg := &Message{Type: MsgTrainRequest, Run: 2,
+		Trace: telemetry.NewTraceID(), Parent: 9}
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyMessage
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old peer failed to decode a traced message: %v", err)
+	}
+	if old.Type != MsgTrainRequest || old.Run != 2 {
+		t.Fatalf("payload mangled on old peer: %+v", old)
+	}
+}
+
+func TestSetTraceContextZeroIsNoTrace(t *testing.T) {
+	var msg Message
+	msg.SetTraceContext(telemetry.SpanContext{})
+	if msg.Trace != 0 || msg.Parent != 0 || msg.TraceContext().Valid() {
+		t.Fatalf("zero context must stay zero: %+v", msg)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"ndpipe/internal/telemetry"
 )
 
 // MsgType discriminates protocol messages.
@@ -25,6 +27,7 @@ const (
 	MsgLabels                          // store → tuner: offline-inference results
 	MsgAck                             // either direction: acknowledgement
 	MsgError                           // either direction: failure report
+	MsgSpans                           // store → tuner: finished trace spans for stitching
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +49,8 @@ func (t MsgType) String() string {
 		return "ack"
 	case MsgError:
 		return "error"
+	case MsgSpans:
+		return "spans"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -55,6 +60,12 @@ func (t MsgType) String() string {
 type Message struct {
 	Type    MsgType
 	StoreID string
+
+	// Trace context, carried on every traced message. The zero values mean
+	// "untraced", which is also what a pre-tracing peer's messages decode
+	// to (gob leaves absent fields zero), so old and new nodes interoperate.
+	Trace  telemetry.TraceID // trace this message belongs to
+	Parent telemetry.SpanID  // sender's span: the remote parent for receiver-side spans
 
 	// MsgTrainRequest
 	Runs      int // pipeline depth Nrun
@@ -76,6 +87,22 @@ type Message struct {
 
 	// MsgError
 	Err string
+
+	// MsgSpans: finished spans a PipeStore ships back so the Tuner's
+	// collector can stitch the cross-node trace.
+	Spans []telemetry.SpanRecord
+}
+
+// TraceContext returns the message's trace context in telemetry form.
+func (m *Message) TraceContext() telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: m.Trace, Span: m.Parent}
+}
+
+// SetTraceContext stamps the envelope with a trace context (no-op fields
+// when tc is the zero value).
+func (m *Message) SetTraceContext(tc telemetry.SpanContext) {
+	m.Trace = tc.Trace
+	m.Parent = tc.Span
 }
 
 // Codec frames Messages over a stream with gob. It is safe for one
