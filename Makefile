@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check ci
+.PHONY: all build test vet race bench bench-smoke fmt-check ci
 
 all: build vet test
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -bench BenchmarkTelemetryOverhead -benchmem -run '^$$' ./internal/telemetry/
+
+# One racy iteration of every kernel benchmark (the n=1024 grid points are
+# skipped: a single 1024³ product under -race takes minutes, not seconds).
+bench-smoke:
+	$(GO) test -race -benchtime 1x -benchmem -run '^$$' \
+		-bench 'BenchmarkTensorMatMul256|BenchmarkTensorMatMulGrid/n=(64|256)|BenchmarkNNTrainBatch' .
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

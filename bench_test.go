@@ -6,6 +6,7 @@
 package ndpipe_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -71,9 +72,35 @@ func BenchmarkTensorMatMul256(b *testing.B) {
 	y := tensor.New(256, 256)
 	x.RandNormal(rng, 1)
 	y.RandNormal(rng, 1)
+	out := tensor.New(256, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tensor.MatMul(x, y)
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+// BenchmarkTensorMatMulGrid sweeps square-product size × kernel parallelism
+// (sub-benchmark names select slices, e.g. -bench 'Grid/n=256').
+func BenchmarkTensorMatMulGrid(b *testing.B) {
+	defer tensor.SetParallelism(0)
+	for _, n := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewSource(1))
+		x := tensor.New(n, n)
+		y := tensor.New(n, n)
+		x.RandNormal(rng, 1)
+		y.RandNormal(rng, 1)
+		out := tensor.New(n, n)
+		for _, par := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, par), func(b *testing.B) {
+				tensor.SetParallelism(par)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.MatMulInto(out, x, y)
+				}
+			})
+		}
 	}
 }
 
@@ -87,6 +114,9 @@ func BenchmarkNNTrainBatch(b *testing.B) {
 	for i := range labels {
 		labels[i] = i % 26
 	}
+	// Warm-up sizes the layer scratch; steady state then runs at 0 allocs/op.
+	nn.TrainBatch(net, opt, x, labels)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nn.TrainBatch(net, opt, x, labels)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ndpipe/internal/experiments"
+	"ndpipe/internal/tensor"
 )
 
 // jsonResult is the machine-readable form of one experiment run, committed
@@ -41,8 +42,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for accuracy experiments")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "emit a JSON array of results instead of aligned tables")
+		par     = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*par)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

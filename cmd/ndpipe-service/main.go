@@ -17,6 +17,7 @@ import (
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/service"
 	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tensor"
 	"ndpipe/internal/trace"
 )
 
@@ -30,8 +31,10 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*par)
 	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/ftdmp"
 	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tensor"
 	"ndpipe/internal/tuner"
 )
 
@@ -31,8 +32,10 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		acceptTTL = flag.Duration("accept-timeout", 0, "per-store registration deadline (0=wait forever)")
+		par       = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*par)
 	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
 		fatal(err)
 	}

@@ -85,36 +85,34 @@ func FineTuneRuns(clf *nn.Network, runs []*dataset.Batch, opt TrainOptions) (Tra
 }
 
 // trainEpoch runs one shuffled pass of minibatch SGD and returns the mean
-// loss over the epoch.
+// loss over the epoch. The minibatch matrix comes from the tensor scratch
+// arena, so a whole epoch gathers rows into one recycled buffer instead of
+// materializing a fresh batch per step.
 func trainEpoch(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, mini int, rng *rand.Rand) float64 {
 	n := b.Len()
 	perm := rng.Perm(n)
 	var lossSum float64
 	var batches int
+	x := tensor.Get(min(mini, n), b.X.Cols)
+	defer tensor.Put(x)
+	labels := make([]int, 0, mini)
 	for lo := 0; lo < n; lo += mini {
 		hi := lo + mini
 		if hi > n {
 			hi = n
 		}
-		x := sliceRows(b, perm[lo:hi])
-		loss := nn.TrainBatch(clf, sgd, x.X, x.Labels)
+		idx := perm[lo:hi]
+		x = tensor.Reuse(x, len(idx), b.X.Cols)
+		labels = labels[:0]
+		for i, k := range idx {
+			copy(x.Row(i), b.X.Row(k))
+			labels = append(labels, b.Labels[k])
+		}
+		loss := nn.TrainBatch(clf, sgd, x, labels)
 		lossSum += loss
 		batches++
 	}
 	return lossSum / float64(batches)
-}
-
-// sliceRows materializes the selected rows as a new batch.
-func sliceRows(b *dataset.Batch, idx []int) *dataset.Batch {
-	out := &dataset.Batch{
-		X:      newMatrixLike(b, len(idx)),
-		Labels: make([]int, len(idx)),
-	}
-	for i, k := range idx {
-		copy(out.X.Row(i), b.X.Row(k))
-		out.Labels[i] = b.Labels[k]
-	}
-	return out
 }
 
 // SplitRuns partitions a feature batch into n contiguous runs of
@@ -134,9 +132,4 @@ func SplitRuns(b *dataset.Batch, n int) []*dataset.Batch {
 		runs = append(runs, b.Slice(lo, hi))
 	}
 	return runs
-}
-
-// newMatrixLike allocates an n-row matrix with b's column width.
-func newMatrixLike(b *dataset.Batch, n int) *tensor.Matrix {
-	return tensor.New(n, b.X.Cols)
 }

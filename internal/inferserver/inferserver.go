@@ -156,12 +156,14 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	x := tensor.FromSlice(1, s.cfg.InputDim, img.Feat)
 	s.mu.Lock()
 	logits := s.clf.Forward(s.backbone.Forward(x))
+	// Clone before the unlock: logits is the classifier's layer scratch and
+	// the next Forward (any goroutine) overwrites it in place.
+	probs := logits.Clone()
 	version := s.version
 	target := s.stores[s.next%len(s.stores)]
 	s.next++
 	s.uploads++
 	s.mu.Unlock()
-	probs := logits.Clone()
 	probs.SoftmaxRows()
 	label := probs.ArgmaxRows()[0]
 	confidence := probs.At(0, label)

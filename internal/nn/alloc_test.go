@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/tensor"
+)
+
+// TestTrainBatchZeroAllocSteadyState is the allocation contract of the
+// scratch-reuse refactor: after a warm-up step sizes every layer's buffers,
+// a full TrainBatch (forward, softmax loss, backward, SGD step) allocates
+// nothing.
+func TestTrainBatchZeroAllocSteadyState(t *testing.T) {
+	// 4 lanes with a product over the parallel threshold: the worker-pool
+	// dispatch itself must also be allocation-free.
+	t.Cleanup(func() { tensor.SetParallelism(0) })
+	tensor.SetParallelism(4)
+	rng := rand.New(rand.NewSource(1))
+	const batch, dim, classes = 32, 64, 10
+	x := tensor.New(batch, dim)
+	x.RandNormal(rng, 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	net := NewMLP("clf", []int{dim, 48, classes}, rng)
+	opt := NewSGD(0.05, 0.9)
+	// Warm-up: sizes layer scratch, SGD velocity and the cached params slice.
+	for i := 0; i < 3; i++ {
+		TrainBatch(net, opt, x, labels)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		TrainBatch(net, opt, x, labels)
+	})
+	if allocs != 0 {
+		t.Fatalf("TrainBatch steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestForwardZeroAllocSteadyState covers the inference path (the per-upload
+// online classification and the NPE feature-extraction batches).
+func TestForwardZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewMLP("bb", []int{32, 64, 16}, rng)
+	x := tensor.New(8, 32)
+	x.RandNormal(rng, 1)
+	net.Forward(x)
+	allocs := testing.AllocsPerRun(10, func() {
+		net.Forward(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("Forward steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTrainDeterministicAcrossParallelism trains three identically seeded
+// networks at different kernel parallelism levels; weights must stay
+// bit-identical (the tensor layer's determinism contract, observed through
+// a whole training loop).
+func TestTrainDeterministicAcrossParallelism(t *testing.T) {
+	t.Cleanup(func() { tensor.SetParallelism(0) })
+	const batch, dim, classes, steps = 64, 128, 10, 5
+	mk := func() (*Network, *tensor.Matrix, []int) {
+		rng := rand.New(rand.NewSource(9))
+		net := NewMLP("clf", []int{dim, 96, classes}, rng)
+		x := tensor.New(batch, dim)
+		x.RandNormal(rng, 1)
+		labels := make([]int, batch)
+		for i := range labels {
+			labels[i] = i % classes
+		}
+		return net, x, labels
+	}
+	train := func(par int) Snapshot {
+		tensor.SetParallelism(par)
+		net, x, labels := mk()
+		opt := NewSGD(0.05, 0.9)
+		for s := 0; s < steps; s++ {
+			TrainBatch(net, opt, x, labels)
+		}
+		return net.TakeSnapshot()
+	}
+	want := train(1)
+	for _, par := range []int{4, 0} { // 0 = GOMAXPROCS default
+		got := train(par)
+		for name, m := range want {
+			g, ok := got[name]
+			if !ok {
+				t.Fatalf("parallelism %d: missing param %s", par, name)
+			}
+			for i := range m.Data {
+				if m.Data[i] != g.Data[i] {
+					t.Fatalf("parallelism %d: param %s element %d = %v, want %v (bit-identical)",
+						par, name, i, g.Data[i], m.Data[i])
+				}
+			}
+		}
+	}
+}

@@ -22,10 +22,14 @@ type BatchNorm struct {
 
 	runMean, runVar []float64
 
-	// backward caches
-	xhat   *tensor.Matrix
-	std    []float64
-	center *tensor.Matrix
+	// backward caches and reused scratch (Layer buffer-ownership contract)
+	xhat           *tensor.Matrix
+	std            []float64
+	center         *tensor.Matrix
+	out            *tensor.Matrix
+	dx             *tensor.Matrix
+	mean, variance []float64
+	dgamma, dbeta  []float64
 }
 
 // NewBatchNorm creates a BatchNorm over dim features in training mode.
@@ -53,7 +57,8 @@ func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != b.dim {
 		panic(fmt.Sprintf("nn: batchnorm %s input width %d, want %d", b.name, x.Cols, b.dim))
 	}
-	out := tensor.New(x.Rows, x.Cols)
+	b.out = tensor.Reuse(b.out, x.Rows, x.Cols)
+	out := b.out
 	if !b.Train {
 		for i := 0; i < x.Rows; i++ {
 			src, dst := x.Row(i), out.Row(i)
@@ -66,7 +71,11 @@ func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 		return out
 	}
 	n := float64(x.Rows)
-	mean := make([]float64, b.dim)
+	b.mean = tensor.ReuseSlice(b.mean, b.dim)
+	mean := b.mean
+	for j := range mean {
+		mean[j] = 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		for j, v := range x.Row(i) {
 			mean[j] += v
@@ -75,8 +84,12 @@ func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	for j := range mean {
 		mean[j] /= n
 	}
-	variance := make([]float64, b.dim)
-	b.center = tensor.New(x.Rows, x.Cols)
+	b.variance = tensor.ReuseSlice(b.variance, b.dim)
+	variance := b.variance
+	for j := range variance {
+		variance[j] = 0
+	}
+	b.center = tensor.Reuse(b.center, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		src, c := x.Row(i), b.center.Row(i)
 		for j, v := range src {
@@ -88,11 +101,11 @@ func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	for j := range variance {
 		variance[j] /= n
 	}
-	b.std = make([]float64, b.dim)
+	b.std = tensor.ReuseSlice(b.std, b.dim)
 	for j := range b.std {
 		b.std[j] = math.Sqrt(variance[j] + b.Eps)
 	}
-	b.xhat = tensor.New(x.Rows, x.Cols)
+	b.xhat = tensor.Reuse(b.xhat, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		c, xh, dst := b.center.Row(i), b.xhat.Row(i), out.Row(i)
 		for j := 0; j < b.dim; j++ {
@@ -111,7 +124,8 @@ func (b *BatchNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 func (b *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if b.xhat == nil {
 		// Eval mode: a per-column affine map.
-		out := tensor.New(grad.Rows, grad.Cols)
+		b.dx = tensor.Reuse(b.dx, grad.Rows, grad.Cols)
+		out := b.dx
 		for i := 0; i < grad.Rows; i++ {
 			g, dst := grad.Row(i), out.Row(i)
 			for j := 0; j < b.dim; j++ {
@@ -122,8 +136,13 @@ func (b *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	n := float64(grad.Rows)
 	// Parameter gradients.
-	dgamma := make([]float64, b.dim)
-	dbeta := make([]float64, b.dim)
+	b.dgamma = tensor.ReuseSlice(b.dgamma, b.dim)
+	b.dbeta = tensor.ReuseSlice(b.dbeta, b.dim)
+	dgamma, dbeta := b.dgamma, b.dbeta
+	for j := range dgamma {
+		dgamma[j] = 0
+		dbeta[j] = 0
+	}
 	for i := 0; i < grad.Rows; i++ {
 		g, xh := grad.Row(i), b.xhat.Row(i)
 		for j := 0; j < b.dim; j++ {
@@ -139,7 +158,8 @@ func (b *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	// Input gradient:
 	// dx = γ/(n·σ) · (n·dy − Σdy − x̂·Σ(dy·x̂))
-	out := tensor.New(grad.Rows, grad.Cols)
+	b.dx = tensor.Reuse(b.dx, grad.Rows, grad.Cols)
+	out := b.dx
 	for i := 0; i < grad.Rows; i++ {
 		g, xh, dst := grad.Row(i), b.xhat.Row(i), out.Row(i)
 		for j := 0; j < b.dim; j++ {

@@ -21,6 +21,14 @@ type Conv2D struct {
 	w, b          *Param // w: (inC·kH·kW)×outC
 	cols          *tensor.Matrix
 	batch         int
+
+	// Reused scratch (see the Layer buffer-ownership contract): forward
+	// output and per-sample product, backward gradient reassembly, column
+	// gradient, input gradient and bias column sums.
+	out, prod    *tensor.Matrix
+	g, dCols, dx *tensor.Matrix
+	wg           *tensor.Matrix
+	bg           []float64
 }
 
 // NewConv2D creates a convolution with the given geometry. Weights use
@@ -95,17 +103,21 @@ func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 	c.batch = x.Rows
 	patches := c.outH * c.outW
 	// Cache all samples' im2col matrices stacked for backward.
-	c.cols = tensor.New(x.Rows*patches, c.inC*c.kH*c.kW)
-	out := tensor.New(x.Rows, c.OutFloats())
+	c.cols = tensor.Reuse(c.cols, x.Rows*patches, c.inC*c.kH*c.kW)
+	c.out = tensor.Reuse(c.out, x.Rows, c.OutFloats())
+	c.prod = tensor.Reuse(c.prod, patches, c.outC)
+	out := c.out
+	var view tensor.Matrix
+	view.Rows, view.Cols = patches, c.cols.Cols
 	for s := 0; s < x.Rows; s++ {
-		view := tensor.FromSlice(patches, c.cols.Cols, c.cols.Data[s*patches*c.cols.Cols:(s+1)*patches*c.cols.Cols])
-		c.im2col(x.Row(s), view)
-		prod := tensor.MatMul(view, c.w.W) // patches×outC
+		view.Data = c.cols.Data[s*patches*c.cols.Cols : (s+1)*patches*c.cols.Cols]
+		c.im2col(x.Row(s), &view)
+		tensor.MatMulInto(c.prod, &view, c.w.W) // patches×outC
 		dst := out.Row(s)
 		for p := 0; p < patches; p++ {
 			for oc := 0; oc < c.outC; oc++ {
 				// NCHW layout: channel-major flattening.
-				dst[oc*patches+p] = prod.At(p, oc) + c.b.W.Data[oc]
+				dst[oc*patches+p] = c.prod.At(p, oc) + c.b.W.Data[oc]
 			}
 		}
 	}
@@ -115,25 +127,36 @@ func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	patches := c.outH * c.outW
-	dx := tensor.New(c.batch, c.InFloats())
+	c.dx = tensor.Reuse(c.dx, c.batch, c.InFloats())
+	c.dx.Zero() // scatter-add target
+	c.g = tensor.Reuse(c.g, patches, c.outC)
+	c.dCols = tensor.Reuse(c.dCols, patches, c.cols.Cols)
+	c.wg = tensor.Reuse(c.wg, c.w.W.Rows, c.w.W.Cols)
+	c.bg = tensor.ReuseSlice(c.bg, c.outC)
+	dx := c.dx
+	g := c.g
+	var view tensor.Matrix
+	view.Rows, view.Cols = patches, c.cols.Cols
 	for s := 0; s < c.batch; s++ {
 		// Reassemble this sample's gradient as patches×outC.
-		g := tensor.New(patches, c.outC)
 		src := grad.Row(s)
 		for p := 0; p < patches; p++ {
 			for oc := 0; oc < c.outC; oc++ {
 				g.Set(p, oc, src[oc*patches+p])
 			}
 		}
-		view := tensor.FromSlice(patches, c.cols.Cols, c.cols.Data[s*patches*c.cols.Cols:(s+1)*patches*c.cols.Cols])
+		view.Data = c.cols.Data[s*patches*c.cols.Cols : (s+1)*patches*c.cols.Cols]
 		if !c.w.Frozen {
-			c.w.Grad.Add(tensor.MatMulATB(view, g))
-			for oc, v := range g.ColSums() {
+			tensor.MatMulATBInto(c.wg, &view, g)
+			c.w.Grad.Add(c.wg)
+			g.ColSumsInto(c.bg)
+			for oc, v := range c.bg {
 				c.b.Grad.Data[oc] += v
 			}
 		}
 		// dCols = g × wᵀ, then col2im scatter-add back to the input.
-		dCols := tensor.MatMulABT(g, c.w.W)
+		dCols := c.dCols
+		tensor.MatMulABTInto(dCols, g, c.w.W)
 		dst := dx.Row(s)
 		row := 0
 		for oy := 0; oy < c.outH; oy++ {
@@ -173,6 +196,8 @@ type GlobalAvgPool2D struct {
 	name     string
 	channels int
 	plane    int // H·W
+
+	out, dx *tensor.Matrix // reused scratch
 }
 
 // NewGlobalAvgPool2D pools C×H×W inputs (flattened) to C outputs.
@@ -185,7 +210,8 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != g.channels*g.plane {
 		panic(fmt.Sprintf("nn: pool %s input width %d, want %d", g.name, x.Cols, g.channels*g.plane))
 	}
-	out := tensor.New(x.Rows, g.channels)
+	g.out = tensor.Reuse(g.out, x.Rows, g.channels)
+	out := g.out
 	inv := 1 / float64(g.plane)
 	for s := 0; s < x.Rows; s++ {
 		src := x.Row(s)
@@ -203,7 +229,8 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (g *GlobalAvgPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(grad.Rows, g.channels*g.plane)
+	g.dx = tensor.Reuse(g.dx, grad.Rows, g.channels*g.plane)
+	out := g.dx
 	inv := 1 / float64(g.plane)
 	for s := 0; s < grad.Rows; s++ {
 		src := grad.Row(s)

@@ -29,6 +29,14 @@ type Param struct {
 }
 
 // Layer is a differentiable network stage.
+//
+// Buffer-ownership contract (the allocation-free kernel discipline,
+// DESIGN.md S29): Forward may return layer-owned scratch that stays valid
+// only until the layer's next Forward call — callers that need the output
+// past that point must copy it. Forward must not mutate its input.
+// Backward takes ownership of grad (it may mutate it in place) and its
+// return value follows the same scratch rule. Layers are therefore stateful
+// and a single Layer/Network must not run Forward/Backward concurrently.
 type Layer interface {
 	// Forward computes the layer output for a batch (rows = samples).
 	Forward(x *tensor.Matrix) *tensor.Matrix
@@ -42,10 +50,19 @@ type Layer interface {
 }
 
 // Dense is a fully connected layer: y = xW + b.
+//
+// The layer owns per-layer scratch for its output, input gradient and
+// weight-gradient product, reused across batches (see the buffer-ownership
+// contract on Layer): steady-state training allocates nothing.
 type Dense struct {
 	name  string
 	w, b  *Param
 	input *tensor.Matrix // cached for backward
+
+	out *tensor.Matrix // forward scratch: xW + b
+	gw  *tensor.Matrix // backward scratch: xᵀ·grad before accumulation
+	bg  []float64      // backward scratch: column sums of grad
+	dx  *tensor.Matrix // backward scratch: grad·Wᵀ
 }
 
 // NewDense creates an in×out dense layer with Glorot-uniform weights.
@@ -77,21 +94,27 @@ func (d *Dense) Frozen() bool { return d.w.Frozen }
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	d.input = x
-	out := tensor.MatMul(x, d.w.W)
-	out.AddRowVector(d.b.W.Data)
-	return out
+	d.out = tensor.Reuse(d.out, x.Rows, d.w.W.Cols)
+	tensor.MatMulInto(d.out, x, d.w.W)
+	d.out.AddRowVector(d.b.W.Data)
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if !d.w.Frozen {
-		d.w.Grad.Add(tensor.MatMulATB(d.input, grad))
-		bg := grad.ColSums()
-		for j, v := range bg {
+		d.gw = tensor.Reuse(d.gw, d.w.W.Rows, d.w.W.Cols)
+		tensor.MatMulATBInto(d.gw, d.input, grad)
+		d.w.Grad.Add(d.gw)
+		d.bg = tensor.ReuseSlice(d.bg, grad.Cols)
+		grad.ColSumsInto(d.bg)
+		for j, v := range d.bg {
 			d.b.Grad.Data[j] += v
 		}
 	}
-	return tensor.MatMulABT(grad, d.w.W)
+	d.dx = tensor.Reuse(d.dx, grad.Rows, d.w.W.Rows)
+	tensor.MatMulABTInto(d.dx, grad, d.w.W)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -104,23 +127,27 @@ func (d *Dense) Name() string { return d.name }
 type ReLU struct {
 	name string
 	mask *tensor.Matrix
+	out  *tensor.Matrix // forward scratch; mask is its pooled companion
 }
 
 // NewReLU creates a named ReLU layer.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
-// Forward implements Layer.
+// Forward implements Layer. The input is copied into layer-owned scratch and
+// rectified in place with a reused mask — no per-batch allocation.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out := x.Clone()
-	r.mask = out.Relu()
-	return out
+	r.out = tensor.Reuse(r.out, x.Rows, x.Cols)
+	x.CopyInto(r.out)
+	r.mask = tensor.Reuse(r.mask, x.Rows, x.Cols)
+	r.out.ReluInto(r.mask)
+	return r.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Per the Layer contract it takes ownership of
+// grad and masks it in place.
 func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	g := grad.Clone()
-	g.MulElem(r.mask)
-	return g
+	grad.MulElem(r.mask)
+	return grad
 }
 
 // Params implements Layer.
@@ -132,6 +159,13 @@ func (r *ReLU) Name() string { return r.name }
 // Network is an ordered stack of layers.
 type Network struct {
 	Layers []Layer
+
+	// params caches the flattened parameter list so the training hot loop
+	// (TrainBatch → Step/ZeroGrads) does not rebuild the slice every batch.
+	// Invalidated when len(Layers) changes; replacing a layer in place
+	// without changing the count is not supported.
+	params       []*Param
+	paramsLayers int
 }
 
 // NewMLP builds Dense/ReLU stacks for the given widths, e.g. dims
@@ -166,12 +200,18 @@ func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	return grad
 }
 
-// Params returns all parameters in layer order.
+// Params returns all parameters in layer order. The slice is cached and
+// shared across calls — treat it as read-only.
 func (n *Network) Params() []*Param {
+	if n.params != nil && n.paramsLayers == len(n.Layers) {
+		return n.params
+	}
 	var ps []*Param
 	for _, l := range n.Layers {
 		ps = append(ps, l.Params()...)
 	}
+	n.params = ps
+	n.paramsLayers = len(n.Layers)
 	return ps
 }
 
@@ -219,22 +259,30 @@ func Stack(a, b *Network) *Network {
 }
 
 // SoftmaxCrossEntropy computes the mean cross-entropy loss of logits against
-// integer labels and the gradient ∂L/∂logits.
+// integer labels and the gradient ∂L/∂logits. The logits are left untouched
+// (the gradient is a fresh matrix); the training hot path uses
+// SoftmaxCrossEntropyInPlace instead.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix) {
+	probs := logits.Clone()
+	return SoftmaxCrossEntropyInPlace(probs, labels), probs
+}
+
+// SoftmaxCrossEntropyInPlace is the allocation-free softmax head: it takes
+// ownership of logits, overwrites it with the gradient ∂L/∂logits =
+// (softmax(logits) − onehot)/n, and returns the mean cross-entropy loss.
+func SoftmaxCrossEntropyInPlace(logits *tensor.Matrix, labels []int) (loss float64) {
 	if len(labels) != logits.Rows {
 		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
 	}
-	probs := logits.Clone()
-	probs.SoftmaxRows()
+	logits.SoftmaxRows()
 	n := float64(logits.Rows)
-	grad = probs // reuse: grad = (probs - onehot)/n
 	for i, y := range labels {
-		p := probs.At(i, y)
+		p := logits.At(i, y)
 		loss -= math.Log(math.Max(p, 1e-15))
-		grad.Set(i, y, grad.At(i, y)-1)
+		logits.Set(i, y, p-1)
 	}
-	grad.Scale(1 / n)
-	return loss / n, grad
+	logits.Scale(1 / n)
+	return loss / n
 }
 
 // SGD is stochastic gradient descent with classical momentum.
@@ -268,10 +316,13 @@ func (o *SGD) Step(params []*Param) {
 }
 
 // TrainBatch runs one forward/backward/update step and returns the loss.
+// Steady state (shapes unchanged since the previous batch) it performs no
+// heap allocation: the logits buffer is consumed in place as the loss
+// gradient and every layer reuses its own scratch.
 func TrainBatch(n *Network, opt *SGD, x *tensor.Matrix, labels []int) float64 {
 	logits := n.Forward(x)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
-	n.Backward(grad)
+	loss := SoftmaxCrossEntropyInPlace(logits, labels)
+	n.Backward(logits)
 	opt.Step(n.Params())
 	return loss
 }

@@ -119,6 +119,7 @@ type Dropout struct {
 	Train bool
 	rng   *rand.Rand
 	mask  *tensor.Matrix
+	out   *tensor.Matrix // forward scratch, reused across batches
 }
 
 // NewDropout creates a dropout layer in training mode.
@@ -132,8 +133,10 @@ func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
-	d.mask = tensor.New(x.Rows, x.Cols)
+	d.out = tensor.Reuse(d.out, x.Rows, x.Cols)
+	x.CopyInto(d.out)
+	out := d.out
+	d.mask = tensor.Reuse(d.mask, x.Rows, x.Cols)
 	keep := 1 - d.Rate
 	inv := 1 / keep
 	for i := range out.Data {
@@ -141,20 +144,21 @@ func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
 			d.mask.Data[i] = inv
 			out.Data[i] *= inv
 		} else {
+			d.mask.Data[i] = 0
 			out.Data[i] = 0
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Masks grad in place (the Layer contract hands
+// it ownership of the gradient).
 func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if d.mask == nil {
 		return grad
 	}
-	g := grad.Clone()
-	g.MulElem(d.mask)
-	return g
+	grad.MulElem(d.mask)
+	return grad
 }
 
 // Params implements Layer.

@@ -268,9 +268,13 @@ func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Ima
 }
 
 // featureBatch runs the frozen backbone over a decoded batch and wraps the
-// embeddings in a wire message.
+// embeddings in a wire message. The input matrix comes from the tensor
+// scratch arena, and the embeddings are copied out of the backbone's layer
+// scratch before the lock drops (the network's Forward output is only valid
+// until its next Forward — see the nn.Layer contract).
 func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Message, error) {
-	x := tensor.New(len(items), n.cfg.InputDim)
+	x := tensor.Get(len(items), n.cfg.InputDim)
+	defer tensor.Put(x)
 	labels := make([]int, len(items))
 	ids := make([]uint64, len(items))
 	for i, it := range items {
@@ -278,14 +282,18 @@ func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Me
 		labels[i] = it.img.Class
 		ids[i] = it.img.ID
 	}
+	n.mu.Lock()
 	feats := n.backbone.Forward(x)
+	rows, cols := feats.Rows, feats.Cols
+	data := append([]float64(nil), feats.Data...)
+	n.mu.Unlock()
 	return &wire.Message{
 		Type:    wire.MsgFeatures,
 		StoreID: n.ID,
 		Run:     run,
-		Rows:    feats.Rows,
-		Cols:    feats.Cols,
-		X:       feats.Data,
+		Rows:    rows,
+		Cols:    cols,
+		X:       data,
 		Labels:  labels,
 		IDs:     ids,
 		Final:   final,
@@ -344,14 +352,17 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 		if len(pending) == 0 {
 			return nil
 		}
-		x := tensor.New(len(pending), n.cfg.InputDim)
+		x := tensor.Get(len(pending), n.cfg.InputDim)
 		for i, it := range pending {
 			copy(x.Row(i), it.feat)
 		}
+		// ArgmaxRows must run before the unlock: logits is the classifier's
+		// layer scratch and the next Forward (any goroutine) overwrites it.
 		n.mu.Lock()
 		logits := clf.Forward(n.backbone.Forward(x))
-		n.mu.Unlock()
 		preds := logits.ArgmaxRows()
+		n.mu.Unlock()
+		tensor.Put(x)
 		for i, it := range pending {
 			out[it.img.ID] = preds[i]
 		}

@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"fmt"
+	"time"
+)
+
+// Destination-passing ("Into") kernels. Every product has a variant that
+// writes into a caller-owned destination instead of allocating, which is what
+// lets the nn engine and the NPE feature-extraction path run steady-state
+// allocation-free. The destination is always fully overwritten and must not
+// alias either input.
+//
+// Tuning constants. kkBlock is the panel height of the packed traversal:
+// the kernels walk the shared dimension in kkBlock-row panels of b so a
+// panel stays cache-resident while every output row in the worker's range
+// consumes it. Blocking never reorders the per-element accumulation (panels
+// and rows within a panel are visited in ascending kk), so blocked, serial
+// and parallel kernels all produce identical bits.
+const (
+	kkBlock = 64
+
+	// parallelFlops is the minimum multiply-add count before a product is
+	// worth fanning out to the worker pool (and worth timing): below this,
+	// goroutine handoff costs more than the arithmetic.
+	parallelFlops = 1 << 16
+
+	// minRowsPerChunk keeps row partitions coarse enough that workers don't
+	// fight over cache lines at partition boundaries.
+	minRowsPerChunk = 8
+
+	// sparseProbeLimit bounds how many elements the sparsity probe samples;
+	// sparseMinFrac is the zero fraction above which the zero-skip kernel
+	// wins (post-ReLU activations sit near 50 %).
+	sparseProbeLimit = 256
+	sparseMinFrac    = 0.25
+)
+
+// isSparse decides between the zero-skipping and the straight-line inner
+// loop. Small inputs keep the historical always-skip behaviour; large ones
+// are probed (activation-shaped matrices coming out of a ReLU are roughly
+// half zeros, dense weight/gradient matrices have essentially none). The
+// decision depends only on the input values, never on the worker count, so
+// it cannot break cross-parallelism determinism.
+func isSparse(a *Matrix) bool {
+	n := len(a.Data)
+	if n < 4096 {
+		return true
+	}
+	stride := n / sparseProbeLimit
+	if stride < 1 {
+		stride = 1
+	}
+	zeros, probes := 0, 0
+	for i := 0; i < n; i += stride {
+		if a.Data[i] == 0 {
+			zeros++
+		}
+		probes++
+	}
+	return float64(zeros) >= sparseMinFrac*float64(probes)
+}
+
+// mustNotAlias panics if dst shares backing storage with src — an aliased
+// destination would silently corrupt the product mid-accumulation.
+func mustNotAlias(op string, dst, src *Matrix) {
+	if len(dst.Data) == 0 || len(src.Data) == 0 {
+		return
+	}
+	if &dst.Data[0] == &src.Data[0] {
+		panic(fmt.Sprintf("tensor: %s destination aliases an input", op))
+	}
+}
+
+// MatMulInto computes out = a×b into a caller-owned n×p destination.
+// out is fully overwritten and must not alias a or b.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul destination %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	mustNotAlias("MatMulInto", out, a)
+	mustNotAlias("MatMulInto", out, b)
+	n, k, p := a.Rows, a.Cols, b.Cols
+	if n == 0 || p == 0 {
+		return
+	}
+	sparse := isSparse(a)
+	if n*k*p >= parallelFlops {
+		defer observeKernel(metMatMul, time.Now())
+		parallelKernel(kindMatMul, out, a, b, sparse, n, minRowsPerChunk)
+		return
+	}
+	matMulRange(out, a, b, 0, n, sparse)
+}
+
+// matMulRange computes output rows [lo,hi) of a×b with a kkBlock-panel
+// traversal: per output element the accumulation is over kk ascending,
+// identical to the classic ikj loop.
+func matMulRange(out, a, b *Matrix, lo, hi int, sparse bool) {
+	k, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*p : (i+1)*p]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for kk0 := 0; kk0 < k; kk0 += kkBlock {
+		kk1 := kk0 + kkBlock
+		if kk1 > k {
+			kk1 = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*p : i*p+p]
+			if sparse {
+				for kk := kk0; kk < kk1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[kk*p : kk*p+p]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			} else {
+				for kk := kk0; kk < kk1; kk++ {
+					av := arow[kk]
+					brow := b.Data[kk*p : kk*p+p]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulATBInto computes out = aᵀ×b (a is k×n, b is k×p, out n×p) without
+// materializing the transpose. out is fully overwritten and must not alias
+// a or b.
+func MatMulATBInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulATB destination %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	mustNotAlias("MatMulATBInto", out, a)
+	mustNotAlias("MatMulATBInto", out, b)
+	n, k, p := a.Cols, a.Rows, b.Cols
+	if n == 0 || p == 0 {
+		return
+	}
+	sparse := isSparse(a)
+	if n*k*p >= parallelFlops {
+		defer observeKernel(metMatMulATB, time.Now())
+		parallelKernel(kindMatMulATB, out, a, b, sparse, n, minRowsPerChunk)
+		return
+	}
+	matMulATBRange(out, a, b, 0, n, sparse)
+}
+
+// matMulATBRange computes output rows [lo,hi) of aᵀ×b — i.e. columns
+// [lo,hi) of a. Panels of b rows are reused across every output row in the
+// range; per element the accumulation runs over kk (rows of a) ascending,
+// matching the serial kernel bit-for-bit.
+func matMulATBRange(out, a, b *Matrix, lo, hi int, sparse bool) {
+	k, n, p := a.Rows, a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*p : (i+1)*p]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for kk0 := 0; kk0 < k; kk0 += kkBlock {
+		kk1 := kk0 + kkBlock
+		if kk1 > k {
+			kk1 = k
+		}
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*p : i*p+p]
+			for kk := kk0; kk < kk1; kk++ {
+				av := a.Data[kk*n+i]
+				if sparse && av == 0 {
+					continue
+				}
+				brow := b.Data[kk*p : kk*p+p]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes out = a×bᵀ (a is n×k, b is p×k, out n×p) without
+// materializing the transpose. out is fully overwritten and must not alias
+// a or b.
+func MatMulABTInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulABT destination %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	mustNotAlias("MatMulABTInto", out, a)
+	mustNotAlias("MatMulABTInto", out, b)
+	n, k, p := a.Rows, a.Cols, b.Rows
+	if n == 0 || p == 0 {
+		return
+	}
+	if n*k*p >= parallelFlops {
+		defer observeKernel(metMatMulABT, time.Now())
+		parallelKernel(kindMatMulABT, out, a, b, false, n, minRowsPerChunk)
+		return
+	}
+	matMulABTRange(out, a, b, 0, n)
+}
+
+// matMulABTRange computes output rows [lo,hi) of a×bᵀ as row-pair dot
+// products; per element the reduction runs over t ascending, matching the
+// serial kernel bit-for-bit.
+func matMulABTRange(out, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			brow := b.Data[j*k : j*k+k]
+			var s float64
+			for t, av := range arow {
+				s += av * brow[t]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// TransposeInto writes mᵀ into a caller-owned Cols×Rows destination, which
+// must not alias m.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: transpose destination %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Cols, m.Rows))
+	}
+	mustNotAlias("TransposeInto", dst, m)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst.Data[j*m.Rows+i] = v
+		}
+	}
+}
+
+// CopyInto copies m's contents into dst (same shape required).
+func (m *Matrix) CopyInto(dst *Matrix) {
+	mustSameShape("CopyInto", dst, m)
+	copy(dst.Data, m.Data)
+}
+
+// ReluInto applies max(0,x) to m in place and writes the 0/1 positive mask
+// into the caller-owned mask matrix (same shape, used by the backward pass).
+// The allocation-free form of Relu.
+func (m *Matrix) ReluInto(mask *Matrix) {
+	mustSameShape("ReluInto", m, mask)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+			mask.Data[i] = 0
+		}
+	}
+}
+
+// ColSumsInto writes the per-column sums of m into dst (length Cols).
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}

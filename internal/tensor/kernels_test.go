@@ -1,0 +1,303 @@
+package tensor
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// randMatrix fills a rows×cols matrix with deterministic values; zeroFrac
+// of the entries are forced to zero (post-ReLU-shaped inputs exercise the
+// sparse kernels).
+func randMatrix(rng *rand.Rand, rows, cols int, zeroFrac float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < zeroFrac {
+			continue
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func bitsEqual(t *testing.T, name string, want, got *Matrix) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bit-identical)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulDeterministicAcrossParallelism is the determinism contract: all
+// three products produce bit-identical results at every parallelism level,
+// including shapes big enough to fan out, odd sizes that straddle block and
+// chunk boundaries, and half-zero activation-shaped inputs.
+func TestMatMulDeterministicAcrossParallelism(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(0) })
+	shapes := []struct {
+		n, k, p  int
+		zeroFrac float64
+	}{
+		{3, 5, 7, 0},
+		{64, 64, 64, 0},
+		{97, 131, 61, 0},    // odd sizes, straddles kkBlock and chunk edges
+		{128, 256, 96, 0.5}, // big enough to parallelize, post-ReLU shaped
+		{256, 64, 256, 0.9},
+		{1, 300, 1, 0},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range shapes {
+		a := randMatrix(rng, s.n, s.k, s.zeroFrac)
+		b := randMatrix(rng, s.k, s.p, 0)
+		at := randMatrix(rng, s.k, s.n, s.zeroFrac) // for ATB: k×n
+		bt := randMatrix(rng, s.p, s.k, 0)          // for ABT: p×k
+
+		SetParallelism(1)
+		wantMM := MatMul(a, b)
+		wantATB := MatMulATB(at, b)
+		wantABT := MatMulABT(a, bt)
+
+		for _, par := range []int{2, 4, 0} { // 0 = GOMAXPROCS default
+			SetParallelism(par)
+			bitsEqual(t, "MatMul", wantMM, MatMul(a, b))
+			bitsEqual(t, "MatMulATB", wantATB, MatMulATB(at, b))
+			bitsEqual(t, "MatMulABT", wantABT, MatMulABT(a, bt))
+		}
+	}
+}
+
+// TestConcurrentKernels hammers the worker pool from many goroutines at once
+// (run under -race); every caller must get its own correct, untouched result.
+func TestConcurrentKernels(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(0) })
+	SetParallelism(4)
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 96, 128, 0.3)
+	b := randMatrix(rng, 128, 96, 0)
+	want := MatMul(a, b)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				got := MatMul(a, b)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						select {
+						case errs <- "concurrent MatMul diverged":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestIntoVariantsMatchAllocating checks the destination-passing kernels
+// against their allocating counterparts, including reuse of a dirty
+// destination (Into must fully overwrite).
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 33, 47, 0.4)
+	b := randMatrix(rng, 47, 29, 0)
+
+	dst := New(33, 29)
+	dst.Fill(999) // dirty destination must not leak into the product
+	MatMulInto(dst, a, b)
+	bitsEqual(t, "MatMulInto", MatMul(a, b), dst)
+
+	at := randMatrix(rng, 47, 33, 0)
+	dATB := New(33, 29)
+	dATB.Fill(-1)
+	MatMulATBInto(dATB, at, b)
+	bitsEqual(t, "MatMulATBInto", MatMulATB(at, b), dATB)
+
+	bt := randMatrix(rng, 29, 47, 0)
+	dABT := New(33, 29)
+	dABT.Fill(-1)
+	MatMulABTInto(dABT, a, bt)
+	bitsEqual(t, "MatMulABTInto", MatMulABT(a, bt), dABT)
+
+	tr := New(47, 33)
+	a.TransposeInto(tr)
+	bitsEqual(t, "TransposeInto", a.Transpose(), tr)
+}
+
+func TestIntoAliasPanics(t *testing.T) {
+	a := New(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMulInto with aliased destination did not panic")
+		}
+	}()
+	MatMulInto(a, a, New(8, 8))
+}
+
+func TestIntoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMulInto with wrong destination shape did not panic")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(3, 4))
+}
+
+func TestReluInto(t *testing.T) {
+	m := FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	mask := New(1, 4)
+	mask.Fill(9) // dirty mask must be fully rewritten, zeros included
+	m.ReluInto(mask)
+	for i, want := range []float64{0, 0, 2, 0} {
+		if m.Data[i] != want {
+			t.Fatalf("relu[%d] = %v, want %v", i, m.Data[i], want)
+		}
+	}
+	for i, want := range []float64{0, 0, 1, 0} {
+		if mask.Data[i] != want {
+			t.Fatalf("mask[%d] = %v, want %v", i, mask.Data[i], want)
+		}
+	}
+}
+
+func TestColSumsInto(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := []float64{99, 99, 99} // must be zeroed first
+	m.ColSumsInto(dst)
+	for i, want := range []float64{5, 7, 9} {
+		if dst[i] != want {
+			t.Fatalf("colsum[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestPoolGetPut(t *testing.T) {
+	m := Get(10, 10)
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Get returned a non-zero matrix")
+		}
+	}
+	m.Fill(3)
+	Put(m)
+	// A pooled buffer coming back around must be zeroed again.
+	m2 := Get(9, 11)
+	if m2.Rows != 9 || m2.Cols != 11 {
+		t.Fatalf("Get shape %dx%d", m2.Rows, m2.Cols)
+	}
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("recycled Get buffer was not zero-filled")
+		}
+	}
+	Put(m2)
+	// Put of a non-pool matrix (odd capacity) must be a safe no-op.
+	Put(New(3, 5))
+	Put(nil)
+}
+
+func TestReuse(t *testing.T) {
+	m := New(4, 8)
+	if got := Reuse(m, 4, 8); got != m {
+		t.Fatal("Reuse with matching shape must return the same header")
+	}
+	// Shape change within capacity: new header, same backing array, and the
+	// old header stays valid (callers may hold views across a Reuse).
+	got := Reuse(m, 2, 8)
+	if got == m {
+		t.Fatal("Reuse with a different shape must return a fresh header")
+	}
+	if &got.Data[0] != &m.Data[0] {
+		t.Fatal("Reuse within capacity must keep the backing array")
+	}
+	if m.Rows != 4 || len(m.Data) != 32 {
+		t.Fatal("Reuse mutated the old header")
+	}
+	// Growth allocates.
+	big := Reuse(m, 100, 100)
+	if big.Rows != 100 || big.Cols != 100 {
+		t.Fatalf("Reuse growth shape %dx%d", big.Rows, big.Cols)
+	}
+	if nilCase := Reuse(nil, 3, 3); nilCase.Rows != 3 || nilCase.Cols != 3 {
+		t.Fatal("Reuse(nil) must allocate")
+	}
+	s := ReuseSlice(nil, 5)
+	if len(s) != 5 {
+		t.Fatal("ReuseSlice(nil) length")
+	}
+	if s2 := ReuseSlice(s, 3); &s2[0] != &s[0] {
+		t.Fatal("ReuseSlice within capacity must reslice")
+	}
+}
+
+// TestTopKRowsOracle checks the bounded-selection TopKRows against a plain
+// sort-based oracle, with duplicate-heavy rows where tie-breaking (equal
+// values rank by ascending index) is what distinguishes implementations.
+func TestTopKRowsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		cols := 1 + rng.Intn(40)
+		m := New(1, cols)
+		for i := range m.Data {
+			// Few distinct values → lots of duplicates.
+			m.Data[i] = float64(rng.Intn(5))
+		}
+		k := rng.Intn(cols + 2) // sometimes k > cols
+		got := m.TopKRows(k)[0]
+
+		oracle := make([]int, cols)
+		for i := range oracle {
+			oracle[i] = i
+		}
+		row := m.Row(0)
+		sort.SliceStable(oracle, func(a, b int) bool {
+			if row[oracle[a]] != row[oracle[b]] {
+				return row[oracle[a]] > row[oracle[b]]
+			}
+			return oracle[a] < oracle[b]
+		})
+		want := oracle[:min(k, cols)]
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len=%d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: row %v k=%d: got %v, want %v", trial, row, k, got, want)
+			}
+		}
+	}
+}
+
+func TestIsSparseProbe(t *testing.T) {
+	// Small matrices keep the historical always-skip behaviour.
+	if !isSparse(New(4, 4)) {
+		t.Fatal("small matrix must use the zero-skip kernel")
+	}
+	dense := New(100, 100)
+	dense.Fill(1)
+	if isSparse(dense) {
+		t.Fatal("dense large matrix misclassified as sparse")
+	}
+	half := New(100, 100)
+	for i := range half.Data {
+		if i%2 == 0 {
+			half.Data[i] = 1
+		}
+	}
+	if !isSparse(half) {
+		t.Fatal("half-zero large matrix misclassified as dense")
+	}
+}

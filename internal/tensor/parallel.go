@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndpipe/internal/telemetry"
+)
+
+// The kernel worker pool. Large matrix products are row-partitioned across
+// a package-level pool of long-lived goroutines sized from GOMAXPROCS (or
+// SetParallelism). The partitioning never changes the floating-point
+// accumulation order of any output element — each element is produced by
+// exactly one worker running the same loop the serial kernel runs — so
+// results are bit-identical at every parallelism level (see
+// TestMatMulDeterministicAcrossParallelism).
+//
+// Dispatch uses an unbuffered channel with a non-blocking send: a chunk is
+// handed to a worker only if one is idle *right now*, otherwise the caller
+// runs it inline. Work is therefore never queued behind a busy pool, which
+// makes nested parallel kernels (a worker's task calling parallelFor again)
+// deadlock-free by construction.
+
+// Kernel kinds. Dispatch carries a plain value struct naming the kernel and
+// its operands instead of a closure: closures sent over a channel escape to
+// the heap on every launch, and the steady-state-zero-alloc contract covers
+// big parallel products too.
+const (
+	kindMatMul = iota
+	kindMatMulATB
+	kindMatMulABT
+)
+
+type kernelTask struct {
+	kind      int
+	out, a, b *Matrix
+	sparse    bool
+	lo, hi    int
+	wg        *sync.WaitGroup
+}
+
+func (t *kernelTask) exec() {
+	switch t.kind {
+	case kindMatMul:
+		matMulRange(t.out, t.a, t.b, t.lo, t.hi, t.sparse)
+	case kindMatMulATB:
+		matMulATBRange(t.out, t.a, t.b, t.lo, t.hi, t.sparse)
+	case kindMatMulABT:
+		matMulABTRange(t.out, t.a, t.b, t.lo, t.hi)
+	}
+}
+
+var (
+	parallelism atomic.Int64 // configured worker count (≥1)
+
+	workCh = make(chan kernelTask) // unbuffered: send succeeds only to an idle worker
+
+	spawnMu sync.Mutex
+	spawned int // workers started so far (they never exit)
+)
+
+// Pool-utilization telemetry: configured size, live goroutines, and how many
+// are executing a chunk right now; per-kernel wall-time histograms for the
+// launches big enough to go parallel.
+var (
+	metWorkersConf = telemetry.Default.Gauge("tensor_pool_workers")
+	metWorkersLive = telemetry.Default.Gauge("tensor_pool_workers_live")
+	metBusy        = telemetry.Default.Gauge("tensor_pool_busy_workers")
+	metInline      = telemetry.Default.Counter("tensor_pool_inline_chunks_total")
+	metDispatched  = telemetry.Default.Counter("tensor_pool_dispatched_chunks_total")
+
+	metMatMul    = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul"}`)
+	metMatMulATB = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul_atb"}`)
+	metMatMulABT = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul_abt"}`)
+)
+
+func init() {
+	setParallelism(runtime.GOMAXPROCS(0))
+}
+
+// SetParallelism sets the number of goroutines matrix kernels may use.
+// n < 1 resets to GOMAXPROCS. Safe to call concurrently with running
+// kernels: in-flight launches keep the partition count they started with,
+// and output bits never depend on the worker count anyway.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	setParallelism(n)
+}
+
+func setParallelism(n int) {
+	parallelism.Store(int64(n))
+	metWorkersConf.Set(float64(n))
+	ensureWorkers(n - 1) // the caller's goroutine is the n-th lane
+}
+
+// Parallelism returns the configured kernel worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+func ensureWorkers(n int) {
+	spawnMu.Lock()
+	for spawned < n {
+		go worker()
+		spawned++
+	}
+	metWorkersLive.Set(float64(spawned))
+	spawnMu.Unlock()
+}
+
+func worker() {
+	for t := range workCh {
+		metBusy.Add(1)
+		t.exec()
+		metBusy.Add(-1)
+		t.wg.Done()
+	}
+}
+
+// wgPool recycles the per-launch WaitGroup so a parallel launch performs no
+// heap allocation at all (the task structs travel by value).
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// parallelKernel splits [0, rows) into up to Parallelism() contiguous chunks
+// of at least minRows rows and runs the named kernel on each, one chunk per
+// goroutine. Each chunk writes only its own output rows. Falls back to a
+// single inline call when the range is too small or the pool is down to one
+// lane.
+func parallelKernel(kind int, out, a, b *Matrix, sparse bool, rows, minRows int) {
+	t := kernelTask{kind: kind, out: out, a: a, b: b, sparse: sparse}
+	p := Parallelism()
+	if minRows < 1 {
+		minRows = 1
+	}
+	chunks := rows / minRows
+	if chunks > p {
+		chunks = p
+	}
+	if p <= 1 || chunks < 2 {
+		t.hi = rows
+		t.exec()
+		return
+	}
+	chunk := (rows + chunks - 1) / chunks
+	wg := wgPool.Get().(*sync.WaitGroup)
+	t.wg = wg
+	for lo := chunk; lo < rows; lo += chunk {
+		t.lo, t.hi = lo, min(lo+chunk, rows)
+		wg.Add(1)
+		select {
+		case workCh <- t:
+			metDispatched.Add(1)
+		default:
+			// No idle worker: run this chunk on the caller. Correctness is
+			// unaffected (same rows, same loops), and not queueing keeps
+			// nested kernels deadlock-free.
+			metInline.Add(1)
+			t.exec()
+			wg.Done()
+		}
+	}
+	t.lo, t.hi = 0, min(chunk, rows) // the caller always takes the first chunk
+	t.exec()
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// observeKernel records a kernel wall time when the launch was large enough
+// to be timed (tiny serial launches skip the clock entirely).
+func observeKernel(h *telemetry.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+
+	"ndpipe/internal/telemetry"
+)
+
+// A size-bucketed scratch arena for transient matrices. Hot paths that need
+// a matrix for one batch (feature-extraction inputs, minibatch slices,
+// softmax scratch) Get one here and Put it back, so steady-state traffic
+// recycles a handful of power-of-two buffers instead of allocating fresh
+// Rows×Cols storage every call.
+//
+// Ownership rules (see DESIGN.md S29): Get transfers ownership to the
+// caller; Put transfers it back and the caller must not touch the matrix —
+// or any header previously Reuse'd from it — afterwards. Never Put a matrix
+// whose Data the caller handed to someone else (e.g. wrapped in a wire
+// message): copy first.
+
+const (
+	poolMinBits = 6  // smallest class: 64 floats (512 B)
+	poolMaxBits = 24 // largest class: 16 Mi floats (128 MiB)
+)
+
+var (
+	poolClasses [poolMaxBits - poolMinBits + 1]sync.Pool
+
+	metPoolHits   = telemetry.Default.Counter("tensor_pool_get_hits_total")
+	metPoolMisses = telemetry.Default.Counter("tensor_pool_get_misses_total")
+)
+
+// poolClass returns the index of the smallest class holding need floats,
+// or -1 if need exceeds the largest class (such requests are not pooled).
+func poolClass(need int) int {
+	if need <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(need - 1)) // ceil(log2(need))
+	if b < poolMinBits {
+		b = poolMinBits
+	}
+	if b > poolMaxBits {
+		return -1
+	}
+	return b - poolMinBits
+}
+
+// Get returns a zero-filled rows×cols matrix, reusing pooled storage when a
+// suitable buffer is available. Return it with Put when done.
+func Get(rows, cols int) *Matrix {
+	need := rows * cols
+	c := poolClass(need)
+	if c < 0 {
+		metPoolMisses.Add(1)
+		return New(rows, cols)
+	}
+	if v := poolClasses[c].Get(); v != nil {
+		metPoolHits.Add(1)
+		m := v.(*Matrix)
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:need]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+		return m
+	}
+	metPoolMisses.Add(1)
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, need, 1<<(c+poolMinBits))}
+}
+
+// Put returns a matrix obtained from Get to the arena. Matrices with
+// non-class capacities (e.g. built by New or FromSlice) are dropped
+// silently, so Put is always safe to call.
+func Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	c := poolClass(cap(m.Data))
+	if c < 0 || cap(m.Data) != 1<<(c+poolMinBits) {
+		return
+	}
+	poolClasses[c].Put(m)
+}
+
+// Reuse returns a rows×cols matrix backed by m's storage when it fits:
+// the same header if the shape already matches, a fresh header over the
+// same array if only the shape changed, or a brand-new matrix if m is nil
+// or too small. Contents are unspecified — callers must fully overwrite
+// (MatMulInto and friends do). Store the result back into the scratch slot:
+//
+//	d.out = tensor.Reuse(d.out, rows, cols)
+func Reuse(m *Matrix, rows, cols int) *Matrix {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	need := rows * cols
+	if m != nil && cap(m.Data) >= need {
+		return &Matrix{Rows: rows, Cols: cols, Data: m.Data[:need]}
+	}
+	return New(rows, cols)
+}
+
+// ReuseSlice is the []float64 analogue of Reuse: it returns s resliced to
+// length n when capacity allows, or a new slice. Contents are unspecified.
+func ReuseSlice(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

@@ -83,32 +83,15 @@ func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
 }
 
 // MatMul returns a×b. Panics if the inner dimensions disagree.
+// Large products run blocked and parallel (see kernels.go / parallel.go);
+// output bits are identical at every parallelism level.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	matMulInto(out, a, b)
+	MatMulInto(out, a, b)
 	return out
-}
-
-// matMulInto computes out = a×b using an ikj loop order for cache locality.
-func matMulInto(out, a, b *Matrix) {
-	n, k, p := a.Rows, a.Cols, b.Cols
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*p : (i+1)*p]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*p : (kk+1)*p]
-			for j := 0; j < p; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
 }
 
 // MatMulATB returns aᵀ×b (a is k×n, b is k×p, result n×p) without
@@ -118,19 +101,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for kk := 0; kk < a.Rows; kk++ {
-		arow := a.Data[kk*a.Cols : (kk+1)*a.Cols]
-		brow := b.Data[kk*b.Cols : (kk+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MatMulATBInto(out, a, b)
 	return out
 }
 
@@ -141,18 +112,7 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for t, av := range arow {
-				s += av * brow[t]
-			}
-			orow[j] = s
-		}
-	}
+	MatMulABTInto(out, a, b)
 	return out
 }
 
@@ -263,35 +223,71 @@ func (m *Matrix) ArgmaxRows() []int {
 }
 
 // TopKRows returns, for each row, the indices of its k largest elements in
-// descending order of value.
+// descending order of value; equal values rank by ascending index. Runs in
+// O(cols·log k) per row via a bounded min-heap (the previous implementation
+// did an O(cols·k) insertion scan with a memmove per hit).
 func (m *Matrix) TopKRows(k int) [][]int {
 	if k > m.Cols {
 		k = m.Cols
 	}
 	out := make([][]int, m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		idx := make([]int, k)
-		for t := range idx {
-			idx[t] = -1
-		}
-		for j, v := range row {
-			// insertion into the running top-k
-			pos := -1
-			for t := 0; t < k; t++ {
-				if idx[t] == -1 || v > row[idx[t]] {
-					pos = t
-					break
-				}
-			}
-			if pos >= 0 {
-				copy(idx[pos+1:], idx[pos:k-1])
-				idx[pos] = j
-			}
-		}
-		out[i] = idx
+		out[i] = topK(m.Row(i), k)
 	}
 	return out
+}
+
+// topKLess orders candidates for eviction: index a is a worse answer than
+// index b if its value is smaller, or — on ties — if it appeared later.
+// The heap keeps the worst candidate at the root.
+func topKLess(row []float64, a, b int) bool {
+	return row[a] < row[b] || (row[a] == row[b] && a > b)
+}
+
+// topK selects the k largest elements of row as a bounded min-heap, then
+// heap-sorts the survivors into descending (value, then ascending index)
+// order — the same order the insertion-scan version produced.
+func topK(row []float64, k int) []int {
+	if k <= 0 {
+		return []int{}
+	}
+	h := make([]int, k)
+	for j := 0; j < k; j++ {
+		h[j] = j
+	}
+	// Heapify the first k indices (min at h[0]).
+	for t := k/2 - 1; t >= 0; t-- {
+		topKSiftDown(row, h, t, k)
+	}
+	for j := k; j < len(row); j++ {
+		if topKLess(row, h[0], j) { // j beats the current worst survivor
+			h[0] = j
+			topKSiftDown(row, h, 0, k)
+		}
+	}
+	// Pop repeatedly: the heap yields ascending order, so fill from the back.
+	for end := k - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		topKSiftDown(row, h, 0, end)
+	}
+	return h
+}
+
+func topKSiftDown(row []float64, h []int, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && topKLess(row, h[child+1], h[child]) {
+			child++
+		}
+		if !topKLess(row, h[child], h[root]) {
+			return
+		}
+		h[root], h[child] = h[child], h[root]
+		root = child
+	}
 }
 
 // FrobeniusNorm returns the Frobenius norm ‖m‖_F.
@@ -320,13 +316,7 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 // input was positive (used by the backward pass).
 func (m *Matrix) Relu() *Matrix {
 	mask := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		if v > 0 {
-			mask.Data[i] = 1
-		} else {
-			m.Data[i] = 0
-		}
-	}
+	m.ReluInto(mask)
 	return mask
 }
 
