@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos fmt-check ci
 
 all: build vet test
 
@@ -25,7 +25,14 @@ bench-smoke:
 	$(GO) test -race -benchtime 1x -benchmem -run '^$$' \
 		-bench 'BenchmarkTensorMatMul256|BenchmarkTensorMatMulGrid/n=(64|256)|BenchmarkNNTrainBatch' .
 
+# Deterministic chaos suite: seeded fault injection, quorum rounds, store
+# eviction/rejoin, and the kill/restart soak — all under the race detector.
+chaos:
+	$(GO) test -race -v -run 'TestQuorum|TestEvicted|TestRoundTimeout|TestStaleEpoch|TestChaosSoak' ./internal/tuner/
+	$(GO) test -race -run 'TestServeAnswersPing|TestDialRetry' ./internal/pipestore/
+	$(GO) test -race ./internal/faultinject/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench
+ci: build vet fmt-check race bench chaos

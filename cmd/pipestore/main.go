@@ -15,6 +15,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/faultinject"
 	"ndpipe/internal/pipestore"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
@@ -33,6 +34,11 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
+
+		dialRetries = flag.Int("dial-retries", 0, "connection attempts per session (0=default 5)")
+		dialBackoff = flag.Duration("dial-backoff", 0, "base dial backoff, doubled and jittered (0=default 100ms)")
+		rejoinFlag  = flag.Bool("rejoin", false, "redial and re-register after the session ends (survives tuner restarts and evictions)")
+		faultSpec   = flag.String("fault-spec", "", "inject deterministic faults on the tuner conn, e.g. 'seed=7;drop:write,after=40' (empty=off)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -79,12 +85,30 @@ func main() {
 		slog.Float64("preproc_overhead_pct", 100*u.OverheadFraction),
 		slog.Float64("compression_ratio", u.CompressionRatio))
 
-	conn, err := net.Dial("tcp", *connect)
-	if err != nil {
-		fatal(err)
+	var inj *faultinject.Injector
+	if *faultSpec != "" {
+		if inj, err = faultinject.Parse(*faultSpec); err != nil {
+			fatal(err)
+		}
+		if inj != nil {
+			log.Warn("fault injection active", slog.String("spec", *faultSpec), slog.Int64("seed", inj.Seed()))
+		}
 	}
-	log.Info("connected to tuner", slog.String("addr", *connect))
-	if err := node.Serve(conn); err != nil {
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return nil, err
+		}
+		log.Info("connected to tuner", slog.String("addr", *connect))
+		return inj.Conn(conn), nil
+	}
+	err = node.DialRetry(*connect, pipestore.DialOptions{
+		Attempts: *dialRetries,
+		Backoff:  *dialBackoff,
+		Rejoin:   *rejoinFlag,
+		Dial:     dial,
+	})
+	if err != nil {
 		fatal(err)
 	}
 	log.Info("tuner disconnected, shutting down")

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ndpipe/internal/core"
+	"ndpipe/internal/faultinject"
 	"ndpipe/internal/ftdmp"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
@@ -33,6 +34,13 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		acceptTTL = flag.Duration("accept-timeout", 0, "per-store registration deadline (0=wait forever)")
 		par       = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
+
+		quorum     = flag.Int("quorum", 0, "minimum surviving stores for a round to commit (0=default 1)")
+		storeTTL   = flag.Duration("store-timeout", 0, "per-store silence/send deadline (0=default 30s)")
+		roundTTL   = flag.Duration("round-timeout", 0, "per-phase round deadline (0=default 5m)")
+		maxRetries = flag.Int("max-retries", 0, "per-store send retries (0=default 3, -1=none)")
+		backoff    = flag.Duration("backoff", 0, "base retry backoff, doubled and jittered (0=default 50ms)")
+		faultSpec  = flag.String("fault-spec", "", "inject deterministic faults on accepted conns, e.g. 'seed=7;drop:write,after=40' (empty=off)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -60,11 +68,28 @@ func main() {
 		fatal(err)
 	}
 	tn.AcceptTimeout = *acceptTTL
+	tn.SetRoundOptions(tuner.RoundOptions{
+		Quorum:       *quorum,
+		StoreTimeout: *storeTTL,
+		RoundTimeout: *roundTTL,
+		MaxRetries:   *maxRetries,
+		Backoff:      *backoff,
+	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
 	defer ln.Close()
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if inj != nil {
+			ln = inj.Listener(ln)
+			log.Warn("fault injection active", slog.String("spec", *faultSpec), slog.Int64("seed", inj.Seed()))
+		}
+	}
 	log.Info("listening for PipeStores",
 		slog.String("addr", ln.Addr().String()),
 		slog.Int("expected", *stores))
@@ -85,6 +110,10 @@ func main() {
 	fmt.Printf("Model delta: %d B (vs %d B full model, %.1fx reduction)\n",
 		rep.DeltaBytes, rep.FullModelBytes, rep.TrafficReduction())
 	fmt.Printf("Trace ID: %s\n", rep.Trace)
+	if rep.Degraded {
+		fmt.Printf("DEGRADED round: %d/%d stores survived (failed: %v), %d gathered images discarded\n",
+			rep.Participants-len(rep.FailedStores), rep.Participants, rep.FailedStores, rep.ImagesLost)
+	}
 
 	start = time.Now()
 	st, err := tn.OfflineInference(*batch)

@@ -106,6 +106,8 @@ func Registry() map[string]Func {
 		"fig19":  Fig19,
 		"fig20":  Fig20,
 		"fig21":  Fig21,
+		// Robustness: quorum rounds under injected faults.
+		"faults": Faults,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

@@ -1,0 +1,288 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory conn with the client side
+// fault-wrapped.
+func pipePair(t *testing.T, in *Injector) (faulty, peer net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return in.Conn(a), b
+}
+
+func TestDropAfterNWrites(t *testing.T) {
+	in, err := New(1, Rule{Kind: Drop, Op: OpWrite, After: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("hello")
+	for i := 1; i <= 2; i++ {
+		if _, err := faulty.Write(msg); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if _, err := faulty.Write(msg); err == nil {
+		t.Fatal("third write must fail: drop scheduled at after=3")
+	}
+	// The conn is gone for good; reads fail too.
+	if _, err := faulty.Read(make([]byte, 1)); err == nil {
+		t.Fatal("reads after a drop must fail")
+	}
+}
+
+func TestDropCountsOnlySelectedOps(t *testing.T) {
+	in, err := New(1, Rule{Kind: Drop, Op: OpWrite, After: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	// Reads must not advance the write counter.
+	go func() { peer.Write([]byte("x")) }()
+	if _, err := faulty.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	go func() { io_discard(peer) }()
+	if _, err := faulty.Write([]byte("a")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := faulty.Write([]byte("b")); err == nil {
+		t.Fatal("second write should trigger the drop")
+	}
+}
+
+func io_discard(c net.Conn) {
+	buf := make([]byte, 64)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	in, err := New(7, Rule{Kind: Corrupt, Op: OpWrite, After: 1, Once: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	payload := bytes.Repeat([]byte{0x42}, 32)
+	got := make([]byte, len(payload))
+	done := make(chan error, 1)
+	go func() {
+		_, err := faulty.Write(payload)
+		done <- err
+	}()
+	if _, err := peer.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range payload {
+		if payload[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want exactly 1", diff)
+	}
+	// The caller's buffer must stay pristine (corruption copies).
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0x42}, 32)) {
+		t.Fatal("corrupt mutated the caller's buffer")
+	}
+}
+
+func TestBlackholeSwallowsWritesAndHangsReads(t *testing.T) {
+	in, err := New(1, Rule{Kind: Blackhole, After: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, _ := pipePair(t, in)
+	// Writes claim success without a peer reading anything (net.Pipe is
+	// unbuffered, so a real write would block forever here).
+	if n, err := faulty.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("blackholed write = (%d, %v), want (6, nil)", n, err)
+	}
+	// Reads hang until close.
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := faulty.Read(make([]byte, 1))
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	faulty.Close()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("read after close must error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+}
+
+func TestDelayIsDeterministicForSeed(t *testing.T) {
+	run := func() time.Duration {
+		in, err := New(99, Rule{Kind: Delay, Op: OpWrite, After: 1, Prob: 1, Delay: time.Millisecond, Jitter: 4 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, peer := pipePair(t, in)
+		go io_discard(peer)
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			if _, err := faulty.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	a, b := run(), run()
+	// Identical seeds draw identical jitter; wall-clock noise stays well
+	// under the 3ms+jitter floor each run must sleep.
+	if a < 3*time.Millisecond || b < 3*time.Millisecond {
+		t.Fatalf("delays not applied: %v, %v", a, b)
+	}
+	if diff := a - b; diff < -5*time.Millisecond || diff > 5*time.Millisecond {
+		t.Fatalf("seeded runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestListenerWrapsEachConnIndependently(t *testing.T) {
+	in, err := New(1, Rule{Kind: Drop, Op: OpWrite, After: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fln := in.Listener(ln)
+	for i := 0; i < 2; i++ {
+		client, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		server, err := fln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go io_discard(client)
+		// Every accepted conn gets a fresh counter: the first write works,
+		// the second drops — on both conns.
+		if _, err := server.Write([]byte("a")); err != nil {
+			t.Fatalf("conn %d first write: %v", i, err)
+		}
+		if _, err := server.Write([]byte("b")); err == nil {
+			t.Fatalf("conn %d second write must drop", i)
+		}
+		client.Close()
+		server.Close()
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("seed=42; drop:write,after=5; delay:prob=0.25,ms=10,jitter=5; corrupt:after=9,once; blackhole:after=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Fatalf("seed = %d, want 42", in.Seed())
+	}
+	if len(in.rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(in.rules))
+	}
+	want := []Rule{
+		{Kind: Drop, Op: OpWrite, After: 5},
+		{Kind: Delay, Prob: 0.25, Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
+		{Kind: Corrupt, After: 9, Once: true},
+		{Kind: Blackhole, After: 12},
+	}
+	for i, w := range want {
+		if in.rules[i] != w {
+			t.Fatalf("rule %d = %+v, want %+v", i, in.rules[i], w)
+		}
+	}
+}
+
+func TestParseEmptyAndInvalid(t *testing.T) {
+	if in, err := Parse(""); in != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{
+		"explode:after=1",     // unknown kind
+		"drop",                // no trigger
+		"drop:after=-1",       // negative threshold
+		"delay:prob=2,ms=1",   // probability out of range
+		"delay:after=1",       // delay with no duration
+		"drop:after=1,flux=3", // unknown parameter
+		"seed=abc",            // bad seed
+		"seed=1",              // seed but no faults
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestProbabilisticFiringIsSeedStable(t *testing.T) {
+	fires := func(seed int64) []int {
+		in, err := New(seed, Rule{Kind: Delay, Op: OpWrite, Prob: 0.5, Delay: time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, peer := pipePair(t, in)
+		go io_discard(peer)
+		before := in.fired.Value()
+		var out []int
+		for i := 0; i < 20; i++ {
+			if _, err := faulty.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, int(in.fired.Value()-before))
+		}
+		return out
+	}
+	a, b := fires(1234), fires(1234)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded firing schedules diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+	if a[len(a)-1] == 0 || a[len(a)-1] == 20 {
+		t.Fatalf("prob=0.5 over 20 ops fired %d times; schedule looks degenerate", a[len(a)-1])
+	}
+}
+
+func TestDroppedErrorIsNotTimeout(t *testing.T) {
+	var ne net.Error
+	if !errors.As(error(droppedError{}), &ne) || ne.Timeout() {
+		t.Fatal("droppedError must be a non-timeout net.Error-shaped failure")
+	}
+	if !strings.Contains(droppedError{}.Error(), "dropped") {
+		t.Fatal("error text should name the drop")
+	}
+}

@@ -1,0 +1,117 @@
+package pipestore
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// DialOptions configures DialRetry: how hard a store tries to (re)connect
+// to its Tuner and whether it rejoins after a session ends. The zero value
+// means "a few attempts, no rejoin".
+type DialOptions struct {
+	// Attempts is the number of connection attempts per session (default 5).
+	Attempts int
+	// Backoff is the base delay between attempts, doubled per attempt up to
+	// BackoffCap with uniform jitter in [0.5×, 1.5×).
+	Backoff    time.Duration // default 100ms
+	BackoffCap time.Duration // default 5s
+	// Rejoin keeps the store in service across sessions: after Serve
+	// returns — the Tuner evicted us, restarted, or crashed — dial again,
+	// re-register via the Hello/catch-up path, and carry on. Without it a
+	// session end is final.
+	Rejoin bool
+	// MaxSessions caps how many sessions a rejoining store will serve
+	// (0 = unlimited); tests use it to bound the loop.
+	MaxSessions int
+	// Dial is the connection factory (default: net.Dial "tcp" to the
+	// address given to DialRetry). Tests inject faultinject wrappers here.
+	Dial func() (net.Conn, error)
+	// Seed fixes the backoff jitter (0 = entropy).
+	Seed int64
+}
+
+func (o DialOptions) withDefaults(addr string) DialOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.BackoffCap < o.Backoff {
+		o.BackoffCap = 5 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return o
+}
+
+// DialRetry connects to the Tuner with retries and capped, jittered
+// exponential backoff, then serves the session. It is the store half of
+// the rejoin protocol: with Rejoin set, a store that is evicted mid-round,
+// or whose Tuner restarts, keeps redialing and re-registering — each new
+// session replays the Hello handshake, so the Tuner's AddStore catch-up
+// path brings the classifier back to the current version before the store
+// re-enters the fleet.
+//
+// It returns nil after a cleanly closed session (without Rejoin) or the
+// MaxSessions'th session (with it); otherwise it returns the first
+// session or dial error that ends the loop.
+func (n *Node) DialRetry(addr string, o DialOptions) error {
+	o = o.withDefaults(addr)
+	seed := o.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sessions := 0
+	for {
+		conn, err := dialBackoff(n, o, rng)
+		if err != nil {
+			return err
+		}
+		sessions++
+		err = n.Serve(conn)
+		if err != nil {
+			n.log.Warn("session ended", slog.Int("session", sessions), slog.Any("err", err))
+		} else {
+			n.log.Info("session closed by tuner", slog.Int("session", sessions))
+		}
+		if !o.Rejoin {
+			return err
+		}
+		if o.MaxSessions > 0 && sessions >= o.MaxSessions {
+			return err
+		}
+	}
+}
+
+// dialBackoff makes one session's worth of connection attempts.
+func dialBackoff(n *Node, o DialOptions, rng *rand.Rand) (net.Conn, error) {
+	var err error
+	for a := 0; a < o.Attempts; a++ {
+		if a > 0 {
+			d := o.Backoff
+			for i := 1; i < a; i++ {
+				d *= 2
+				if d >= o.BackoffCap {
+					d = o.BackoffCap
+					break
+				}
+			}
+			time.Sleep(d/2 + time.Duration(rng.Float64()*float64(d)))
+		}
+		var conn net.Conn
+		if conn, err = o.Dial(); err == nil {
+			return conn, nil
+		}
+		n.log.Debug("dial failed", slog.Int("attempt", a+1), slog.Any("err", err))
+	}
+	return nil, fmt.Errorf("pipestore %s: dial failed after %d attempts: %w", n.ID, o.Attempts, err)
+}

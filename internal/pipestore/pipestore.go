@@ -415,67 +415,114 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 // MsgSpans envelope before the command's closing message, so the Tuner's
 // collector holds the store's side of the round by the time the round
 // completes.
+//
+// Reading and command execution are split across two goroutines so that a
+// liveness ping is answered immediately even while the node is deep in a
+// long extraction or inference — otherwise a busy store would be
+// indistinguishable from a dead one and the Tuner's silent-death detector
+// would evict it. Codec sends are mutex-serialized, so the pong cannot
+// interleave with an in-flight feature batch.
 func (n *Node) Serve(conn net.Conn) error {
 	defer conn.Close()
 	c := wire.NewCodec(conn)
 	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID}); err != nil {
 		return err
 	}
-	for {
-		msg, err := c.Recv()
-		if err != nil {
-			if err == io.EOF {
-				n.log.Debug("tuner disconnected")
-				return nil
+	cmds := make(chan *wire.Message)
+	readErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(cmds)
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				readErr <- err
+				return
 			}
+			if msg.Type == wire.MsgPing {
+				_ = c.Send(&wire.Message{Type: wire.MsgPong, StoreID: n.ID, Epoch: msg.Epoch})
+				continue
+			}
+			select {
+			case cmds <- msg:
+			case <-done:
+				return
+			}
+		}
+	}()
+	for msg := range cmds {
+		if err := n.serveOne(c, msg); err != nil {
 			return err
 		}
-		tc := msg.TraceContext()
-		logger := n.log.With(telemetry.TraceAttrs(tc)...)
-		switch msg.Type {
-		case wire.MsgTrainRequest:
-			logger.Debug("train request", slog.Int("runs", msg.Runs), slog.Int("batch", msg.BatchSize))
-			err := n.ExtractRunsTraced(tc, msg.Runs, msg.BatchSize, c.Send)
-			n.shipSpans(c, tc.Trace)
-			if err != nil {
-				logger.Error("feature extraction failed", slog.Any("err", err))
-				_ = c.SendError(n.ID, err)
-				return err
-			}
-		case wire.MsgModelDelta:
-			span := n.tracer.StartSpanIn(tc, "pipestore.apply-delta")
-			span.SetAttr("store", n.ID)
-			err := n.ApplyDelta(msg.Blob, msg.ModelVersion)
-			span.End()
-			n.shipSpans(c, tc.Trace)
-			if err != nil {
-				logger.Error("delta apply failed", slog.Any("err", err))
-				_ = c.SendError(n.ID, err)
-				return err
-			}
-			logger.Debug("model delta applied", slog.Int("version", msg.ModelVersion), slog.Int("bytes", len(msg.Blob)))
-			if err := c.Send(&wire.Message{Type: wire.MsgAck, StoreID: n.ID, ModelVersion: msg.ModelVersion}); err != nil {
-				return err
-			}
-		case wire.MsgInferRequest:
-			logger.Debug("offline-inference request", slog.Int("batch", msg.BatchSize))
-			labels, err := n.OfflineInferTraced(tc, msg.BatchSize)
-			n.shipSpans(c, tc.Trace)
-			if err != nil {
-				logger.Error("offline inference failed", slog.Any("err", err))
-				_ = c.SendError(n.ID, err)
-				return err
-			}
-			if err := c.Send(&wire.Message{
-				Type: wire.MsgLabels, StoreID: n.ID,
-				LabelsOut: labels, ModelVersion: n.ModelVersion(),
-			}); err != nil {
-				return err
-			}
-		default:
-			_ = c.SendError(n.ID, fmt.Errorf("pipestore: unexpected message %v", msg.Type))
-		}
 	}
+	err := <-readErr
+	if err == io.EOF {
+		n.log.Debug("tuner disconnected")
+		return nil
+	}
+	return err
+}
+
+// serveOne executes a single Tuner command. Every reply echoes the
+// command's round epoch, so if this store is evicted mid-round and later
+// rejoins, replies still in flight from the old round are detectably stale
+// at the Tuner instead of poisoning the next round.
+func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
+	tc := msg.TraceContext()
+	epoch := msg.Epoch
+	logger := n.log.With(telemetry.TraceAttrs(tc)...)
+	sendErr := func(cmdErr error) {
+		_ = c.Send(&wire.Message{Type: wire.MsgError, StoreID: n.ID, Err: cmdErr.Error(), Epoch: epoch})
+	}
+	switch msg.Type {
+	case wire.MsgTrainRequest:
+		logger.Debug("train request", slog.Int("runs", msg.Runs), slog.Int("batch", msg.BatchSize))
+		emit := func(m *wire.Message) error {
+			m.Epoch = epoch
+			return c.Send(m)
+		}
+		err := n.ExtractRunsTraced(tc, msg.Runs, msg.BatchSize, emit)
+		n.shipSpans(c, tc.Trace)
+		if err != nil {
+			logger.Error("feature extraction failed", slog.Any("err", err))
+			sendErr(err)
+			return err
+		}
+	case wire.MsgModelDelta:
+		span := n.tracer.StartSpanIn(tc, "pipestore.apply-delta")
+		span.SetAttr("store", n.ID)
+		err := n.ApplyDelta(msg.Blob, msg.ModelVersion)
+		span.End()
+		n.shipSpans(c, tc.Trace)
+		if err != nil {
+			logger.Error("delta apply failed", slog.Any("err", err))
+			sendErr(err)
+			return err
+		}
+		logger.Debug("model delta applied", slog.Int("version", msg.ModelVersion), slog.Int("bytes", len(msg.Blob)))
+		if err := c.Send(&wire.Message{Type: wire.MsgAck, StoreID: n.ID, ModelVersion: msg.ModelVersion, Epoch: epoch}); err != nil {
+			return err
+		}
+	case wire.MsgInferRequest:
+		logger.Debug("offline-inference request", slog.Int("batch", msg.BatchSize))
+		labels, err := n.OfflineInferTraced(tc, msg.BatchSize)
+		n.shipSpans(c, tc.Trace)
+		if err != nil {
+			logger.Error("offline inference failed", slog.Any("err", err))
+			sendErr(err)
+			return err
+		}
+		if err := c.Send(&wire.Message{
+			Type: wire.MsgLabels, StoreID: n.ID,
+			LabelsOut: labels, ModelVersion: n.ModelVersion(), Epoch: epoch,
+		}); err != nil {
+			return err
+		}
+	default:
+		_ = c.SendError(n.ID, fmt.Errorf("pipestore: unexpected message %v", msg.Type))
+	}
+	return nil
 }
 
 // shipSpans sends every buffered span of one trace back to the Tuner. The

@@ -1,0 +1,178 @@
+package pipestore
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpipe/internal/delta"
+	"ndpipe/internal/wire"
+)
+
+// serveSession starts Serve over an in-memory pipe and returns the fake
+// Tuner's codec (Hello already consumed).
+func serveSession(t *testing.T, n *Node) (*wire.Codec, func()) {
+	t.Helper()
+	tunerEnd, storeEnd := net.Pipe()
+	go func() { _ = n.Serve(storeEnd) }()
+	c := wire.NewCodec(tunerEnd)
+	hello, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != wire.MsgHello || hello.StoreID != n.ID {
+		t.Fatalf("hello = %+v", hello)
+	}
+	return c, func() { tunerEnd.Close() }
+}
+
+// A ping is answered even while the node is busy extracting, and every
+// command reply echoes the request's epoch.
+func TestServeAnswersPingDuringCommandAndEchoesEpoch(t *testing.T) {
+	n, _ := newStore(t, 60)
+	c, done := serveSession(t, n)
+	defer done()
+
+	if err := c.Send(&wire.Message{Type: wire.MsgTrainRequest, Runs: 2, BatchSize: 16, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&wire.Message{Type: wire.MsgPing, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var pong, finals int
+	for finals < 2 {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch msg.Type {
+		case wire.MsgPong:
+			if msg.Epoch != 5 {
+				t.Fatalf("pong epoch %d, want 5", msg.Epoch)
+			}
+			pong++
+		case wire.MsgFeatures:
+			if msg.Epoch != 5 {
+				t.Fatalf("feature batch epoch %d, want 5", msg.Epoch)
+			}
+			if msg.Final {
+				finals++
+			}
+		default:
+			t.Fatalf("unexpected %v", msg.Type)
+		}
+	}
+	if pong != 1 {
+		t.Fatalf("got %d pongs, want 1", pong)
+	}
+}
+
+func TestServeEchoesEpochOnAckAndLabels(t *testing.T) {
+	n, _ := newStore(t, 20)
+	c, done := serveSession(t, n)
+	defer done()
+
+	// Delta command → epoch-tagged ack.
+	clf := n.cfg.NewClassifier()
+	base := clf.TakeSnapshot()
+	for _, p := range clf.TrainableParams() {
+		p.W.Data[0] += 0.5
+	}
+	d, err := delta.Diff(base, clf.TakeSnapshot(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: 1, Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != wire.MsgAck || ack.Epoch != 3 {
+		t.Fatalf("ack = %+v, want epoch 3", ack)
+	}
+
+	// Inference command → epoch-tagged labels.
+	if err := c.Send(&wire.Message{Type: wire.MsgInferRequest, BatchSize: 8, Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.Type != wire.MsgLabels || labels.Epoch != 4 {
+		t.Fatalf("labels = type %v epoch %d, want labels epoch 4", labels.Type, labels.Epoch)
+	}
+	if len(labels.LabelsOut) != n.NumImages() {
+		t.Fatalf("relabeled %d of %d", len(labels.LabelsOut), n.NumImages())
+	}
+}
+
+// A rejoining store redials after its session dies and replays the Hello
+// handshake — the Tuner-side rejoin contract.
+func TestDialRetrySurvivesTunerRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var hellos atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c := wire.NewCodec(conn)
+			if msg, err := c.Recv(); err == nil && msg.Type == wire.MsgHello {
+				hellos.Add(1)
+			}
+			// Simulate a Tuner crash/restart: drop the session immediately.
+			conn.Close()
+		}
+	}()
+
+	n, _ := newStore(t, 10)
+	err = n.DialRetry(ln.Addr().String(), DialOptions{
+		Attempts:    5,
+		Backoff:     time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		Rejoin:      true,
+		MaxSessions: 3,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	if got := hellos.Load(); got != 3 {
+		t.Fatalf("tuner saw %d registrations, want 3", got)
+	}
+}
+
+func TestDialRetryGivesUpAfterAttempts(t *testing.T) {
+	n, _ := newStore(t, 5)
+	dials := 0
+	err := n.DialRetry("unused", DialOptions{
+		Attempts: 3,
+		Backoff:  time.Millisecond,
+		Seed:     7,
+		Dial: func() (net.Conn, error) {
+			dials++
+			return nil, net.ErrClosed
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if dials != 3 {
+		t.Fatalf("dialed %d times, want 3", dials)
+	}
+}

@@ -44,6 +44,10 @@ type Policy struct {
 	Batch int
 	// Train configures the Tuner's gradient descent.
 	Train ftdmp.TrainOptions
+	// Rounds is the fleet fault-tolerance policy (quorum, per-store and
+	// per-phase timeouts, retry/backoff). Zero fields take the tuner
+	// defaults; see tuner.DefaultRoundOptions.
+	Rounds tuner.RoundOptions
 }
 
 // DefaultPolicy retrains every 1,000 uploads with the paper's defaults.
@@ -117,6 +121,7 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	tn.SetRoundOptions(policy.Rounds)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -262,6 +267,15 @@ func (s *Service) Retrain() (tuner.Report, error) {
 	if err != nil {
 		logger.Error("retrain failed during fine-tune", slog.Any("err", err))
 		return rep, err
+	}
+	if rep.Degraded {
+		// The round committed without the full fleet: the service keeps
+		// running (evicted stores rejoin and their labels refresh in a later
+		// pass), but the gap is an operator-visible event.
+		logger.Warn("retrain round committed degraded",
+			slog.Any("failed_stores", rep.FailedStores),
+			slog.Int("images_lost", rep.ImagesLost),
+			slog.Int("participants", rep.Participants))
 	}
 	ad := telemetry.Default.Spans().StartSpanIn(tc, "service.apply-delta")
 	err = s.infer.ApplyDelta(rep.DeltaBlob, rep.ModelVersion)

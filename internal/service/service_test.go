@@ -2,9 +2,11 @@ package service
 
 import (
 	"testing"
+	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/tuner"
 )
 
 func startService(t *testing.T, stores int, policy Policy) (*Service, *dataset.World) {
@@ -134,5 +136,23 @@ func TestRetrainWithoutDataFails(t *testing.T) {
 	s, _ := startService(t, 2, quickPolicy(0))
 	if _, err := s.Retrain(); err == nil {
 		t.Fatal("retraining with empty stores must fail")
+	}
+}
+
+// The policy's fault-tolerance knobs reach the Tuner, with zero fields
+// defaulted.
+func TestPolicyRoundOptionsPropagate(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.RetrainEveryUploads = 0
+	pol.Rounds.Quorum = 2
+	pol.Rounds.StoreTimeout = 7 * time.Second
+	s, _ := startService(t, 2, pol)
+	got := s.tn.RoundOptionsInEffect()
+	if got.Quorum != 2 || got.StoreTimeout != 7*time.Second {
+		t.Fatalf("round options not applied: %+v", got)
+	}
+	def := tuner.DefaultRoundOptions()
+	if got.RoundTimeout != def.RoundTimeout || got.MaxRetries != def.MaxRetries {
+		t.Fatalf("zero fields must take defaults: %+v", got)
 	}
 }

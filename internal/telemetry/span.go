@@ -150,6 +150,17 @@ func (s *Span) SetAttr(key, value string) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
+// Event records a point-in-time occurrence on the span — an eviction, a
+// retry, a phase transition — as an attribute keyed "event" whose value
+// carries the offset since span start, so /traces shows when within the
+// operation it happened. Safe on a nil span.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: "event", Value: name + " +" + time.Since(s.start).Round(time.Microsecond).String()})
+}
+
 // End finishes the span, records it in the tracer's ring buffer (and trace
 // collector, if attached), and returns its duration. Safe on a nil span
 // (returns 0) so instrumented code can run with tracing disabled; a second

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -154,4 +155,22 @@ func TestNilSpanSafe(t *testing.T) {
 	sp := tr.StartTrace("once")
 	sp.End()
 	sp.End()
+}
+
+func TestSpanEvent(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.StartTrace("round")
+	s.Event("evicted ps-1")
+	s.End()
+	recs := tr.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	v := recs[0].AttrValue("event")
+	if !strings.HasPrefix(v, "evicted ps-1 +") {
+		t.Fatalf("event attr = %q, want prefix %q", v, "evicted ps-1 +")
+	}
+	// Nil spans swallow events like they swallow attrs.
+	var nilSpan *Span
+	nilSpan.Event("nothing")
 }

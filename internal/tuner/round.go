@@ -1,0 +1,733 @@
+// Round protocol: quorum-based fault tolerance for FT-DMP rounds.
+//
+// Every FineTune / OfflineInference invocation is one *round*, stamped
+// with a monotonically increasing epoch that tags every request and is
+// echoed by the stores, so anything buffered from an earlier (possibly
+// failed) round is detectably stale. Within a round each participating
+// store runs a small state machine: live → (suspect on silence, pinged) →
+// failed (evicted from the fleet). A store that disconnects, reports an
+// error, violates the protocol, or stays silent past StoreTimeout is
+// evicted; its contributions to not-yet-trained runs are discarded and the
+// round completes on the surviving quorum — a hard error is returned only
+// when fewer than Quorum stores survive a phase. Evicted stores rejoin
+// through Node.AddStore (the catch-up-delta path) and are folded into the
+// next round.
+package tuner
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tensor"
+	"ndpipe/internal/wire"
+)
+
+// RoundOptions is the fleet fault-tolerance policy.
+type RoundOptions struct {
+	// Quorum is the minimum number of stores that must survive (and, for
+	// fine-tuning, contribute) for a round to commit. Below it the round
+	// returns a hard error. Zero defaults to 1: at the paper's scale a
+	// round on any surviving subset beats restarting.
+	Quorum int
+	// StoreTimeout bounds per-store silence. A store that has sent nothing
+	// for longer (despite a heartbeat ping at half the budget) is declared
+	// dead and evicted. Also used as the per-store send deadline.
+	StoreTimeout time.Duration
+	// RoundTimeout bounds each phase of a round (feature gather, delta
+	// ack collection, label collection) with its own timer.
+	RoundTimeout time.Duration
+	// MaxRetries caps re-attempts of a failed per-store send. Zero means
+	// the default (3); use -1 to disable retries.
+	MaxRetries int
+	// Backoff is the base delay between retries, doubled per attempt up to
+	// BackoffCap, with uniform jitter in [0.5×, 1.5×) drawn from the
+	// seeded source.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Seed fixes the jitter RNG for deterministic chaos runs (0 = entropy).
+	Seed int64
+}
+
+// DefaultRoundOptions returns the production policy.
+func DefaultRoundOptions() RoundOptions {
+	return RoundOptions{
+		Quorum:       1,
+		StoreTimeout: 30 * time.Second,
+		RoundTimeout: 5 * time.Minute,
+		MaxRetries:   3,
+		Backoff:      50 * time.Millisecond,
+		BackoffCap:   2 * time.Second,
+	}
+}
+
+// WithDefaults fills zero fields with the defaults.
+func (o RoundOptions) WithDefaults() RoundOptions {
+	d := DefaultRoundOptions()
+	if o.Quorum <= 0 {
+		o.Quorum = d.Quorum
+	}
+	if o.StoreTimeout <= 0 {
+		o.StoreTimeout = d.StoreTimeout
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = d.RoundTimeout
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = d.MaxRetries
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = d.Backoff
+	}
+	if o.BackoffCap < o.Backoff {
+		o.BackoffCap = d.BackoffCap
+	}
+	return o
+}
+
+// heartbeatInterval is how often a round checks store liveness.
+func heartbeatInterval(o RoundOptions) time.Duration {
+	hb := o.StoreTimeout / 4
+	if hb < 5*time.Millisecond {
+		hb = 5 * time.Millisecond
+	}
+	if hb > time.Second {
+		hb = time.Second
+	}
+	return hb
+}
+
+// backoffRNG is the seeded jitter source (guarded by Node.rngMu).
+type backoffRNG = *rand.Rand
+
+func newBackoffRNG(seed int64) backoffRNG {
+	if seed == 0 {
+		var s int64
+		// Draw entropy from the global source rather than the clock so two
+		// Tuners started in the same nanosecond still diverge.
+		s = rand.Int63()
+		if s == 0 {
+			s = 1
+		}
+		seed = s
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func (t *Node) randFloat() float64 {
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.Float64()
+}
+
+// backoff returns the capped, jittered exponential delay before retry
+// `attempt` (0-based).
+func (t *Node) backoff(o RoundOptions, attempt int) time.Duration {
+	d := o.Backoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= o.BackoffCap {
+			d = o.BackoffCap
+			break
+		}
+	}
+	// Full jitter around the midpoint: [0.5d, 1.5d).
+	return d/2 + time.Duration(t.randFloat()*float64(d))
+}
+
+// sendWithDeadline writes one message with a per-store write deadline, so
+// a stalled peer cannot wedge the round inside a blocking send.
+func (t *Node) sendWithDeadline(sc *storeConn, msg *wire.Message, d time.Duration) error {
+	if d > 0 {
+		_ = sc.conn.SetWriteDeadline(time.Now().Add(d))
+		defer sc.conn.SetWriteDeadline(time.Time{})
+	}
+	return sc.codec.Send(msg)
+}
+
+// storeRunBuf accumulates one store's feature batches for one run.
+type storeRunBuf struct {
+	rows   []float64
+	labels []int
+	final  bool
+}
+
+// roundCtx is the per-round state machine over the participating stores.
+type roundCtx struct {
+	t     *Node
+	o     RoundOptions
+	epoch int
+
+	span   *telemetry.Span
+	logger *slog.Logger
+
+	participants []*storeConn        // round entrants, in registration order
+	live         map[*storeConn]bool // still healthy this round
+	failed       map[string]error    // storeID → why it left the round
+
+	// Feature-gather state (FineTune only): per-run, per-store buffers plus
+	// the next run to train, so a failing store's not-yet-trained
+	// contributions can be discarded and accounted.
+	ftBufs     []map[string]*storeRunBuf
+	nextRun    int
+	imagesLost int
+}
+
+// beginRound stamps a fresh epoch, snapshots the fleet as this round's
+// participants and verifies the quorum is reachable at all.
+func (t *Node) beginRound(span *telemetry.Span, logger *slog.Logger) (*roundCtx, error) {
+	t.mu.Lock()
+	t.epoch++
+	rc := &roundCtx{
+		t:            t,
+		o:            t.rounds,
+		epoch:        t.epoch,
+		span:         span,
+		logger:       logger,
+		participants: append([]*storeConn(nil), t.stores...),
+		live:         make(map[*storeConn]bool),
+		failed:       make(map[string]error),
+	}
+	t.mu.Unlock()
+	span.SetAttr("epoch", fmt.Sprint(rc.epoch))
+	if len(rc.participants) == 0 {
+		return nil, fmt.Errorf("tuner: no PipeStores registered")
+	}
+	for _, sc := range rc.participants {
+		rc.live[sc] = true
+	}
+	if len(rc.live) < rc.o.Quorum {
+		return nil, fmt.Errorf("tuner: %d stores registered, below quorum %d", len(rc.participants), rc.o.Quorum)
+	}
+	return rc, nil
+}
+
+// fail takes a store out of the round (and the fleet). Duplicate signals
+// for the same store are no-ops.
+func (rc *roundCtx) fail(sc *storeConn, err error) {
+	rc.t.evict(sc, err, rc.span)
+	if !rc.live[sc] {
+		return // not (or no longer) part of this round
+	}
+	delete(rc.live, sc)
+	if rc.failed[sc.id] == nil {
+		rc.failed[sc.id] = err
+	}
+	rc.discardPending(sc.id)
+	rc.logger.Warn("store failed mid-round",
+		slog.String("store", sc.id),
+		slog.Int("live", len(rc.live)),
+		slog.Any("err", err))
+}
+
+// adopt folds a store that joined the fleet mid-round (via AddStore) into
+// the round for the delta phase, so its ack is awaited and its liveness
+// checked like everyone else's.
+func (rc *roundCtx) adopt(sc *storeConn) {
+	if rc.live[sc] || rc.failed[sc.id] != nil || sc.evicted.Load() {
+		return
+	}
+	rc.participants = append(rc.participants, sc)
+	rc.live[sc] = true
+}
+
+// discardPending drops a failed store's contributions to runs that have
+// not been trained yet: a half-gathered run must not train on a partial
+// shard without accounting for it.
+func (rc *roundCtx) discardPending(storeID string) {
+	for r := rc.nextRun; r < len(rc.ftBufs); r++ {
+		if b := rc.ftBufs[r][storeID]; b != nil {
+			rc.imagesLost += len(b.labels)
+			delete(rc.ftBufs[r], storeID)
+		}
+	}
+}
+
+// handle routes one inbox event: terminal errors and MsgError fail the
+// store, stale-epoch messages are counted and dropped, and everything else
+// goes to the phase's accept function.
+func (rc *roundCtx) handle(ev inbound, accept func(*storeConn, *wire.Message)) {
+	if ev.err != nil {
+		rc.fail(ev.sc, ev.err)
+		return
+	}
+	msg := ev.msg
+	if msg.Epoch != 0 && msg.Epoch != rc.epoch {
+		rc.t.met.staleMsgs.Inc()
+		return
+	}
+	if msg.Type == wire.MsgError {
+		rc.fail(ev.sc, fmt.Errorf("tuner: store %s: %s", ev.sc.id, msg.Err))
+		return
+	}
+	accept(ev.sc, msg)
+}
+
+// checkLiveness pings quiet stores and fails silent ones. pending filters
+// which live stores the current phase is still waiting on (nil = all).
+func (rc *roundCtx) checkLiveness(pending func(*storeConn) bool) {
+	var cands []*storeConn
+	for sc := range rc.live {
+		if pending == nil || pending(sc) {
+			cands = append(cands, sc)
+		}
+	}
+	for _, sc := range cands {
+		silent := sc.silence()
+		switch {
+		case silent > rc.o.StoreTimeout:
+			rc.fail(sc, fmt.Errorf("tuner: store %s silent for %v (store timeout %v)",
+				sc.id, silent.Round(time.Millisecond), rc.o.StoreTimeout))
+		case silent > rc.o.StoreTimeout/2:
+			// Suspect: probe it. A pong (or any message) resets the clock.
+			ping := &wire.Message{Type: wire.MsgPing, Epoch: rc.epoch}
+			if err := rc.t.sendWithDeadline(sc, ping, rc.o.StoreTimeout); err != nil {
+				rc.fail(sc, fmt.Errorf("tuner: ping to store %s: %w", sc.id, err))
+				continue
+			}
+			rc.t.met.pings.Inc()
+		}
+	}
+}
+
+// sendWithRetry sends with per-store deadlines and capped exponential
+// backoff with jitter between attempts.
+func (rc *roundCtx) sendWithRetry(sc *storeConn, msg *wire.Message) error {
+	var err error
+	for attempt := 0; attempt <= rc.o.MaxRetries; attempt++ {
+		if attempt > 0 {
+			rc.t.met.retries.Inc()
+			time.Sleep(rc.t.backoff(rc.o, attempt-1))
+		}
+		if err = rc.t.sendWithDeadline(sc, msg, rc.o.StoreTimeout); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("tuner: send %v to store %s failed after %d attempts: %w",
+		msg.Type, sc.id, rc.o.MaxRetries+1, err)
+}
+
+// quorumError is the hard failure: fewer than Quorum stores survive. It
+// names every casualty and its reason, so the one real root cause (a
+// disconnect, a store-side error) is in the message.
+func (rc *roundCtx) quorumError(phase string) error {
+	ids := make([]string, 0, len(rc.failed))
+	for id := range rc.failed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %v", id, rc.failed[id])
+	}
+	return fmt.Errorf("tuner: round %d aborted while %s: %d live stores, quorum %d; failed: [%s]",
+		rc.epoch, phase, len(rc.live), rc.o.Quorum, b.String())
+}
+
+// failedSorted lists the round's casualties for the Report.
+func (rc *roundCtx) failedSorted() []string {
+	if len(rc.failed) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(rc.failed))
+	for id := range rc.failed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// finishAccounting stamps the degraded-round outcome into the report and
+// the metrics.
+func (rc *roundCtx) finishAccounting(rep *Report) {
+	rep.Participants = len(rc.participants)
+	rep.FailedStores = rc.failedSorted()
+	rep.Degraded = len(rc.failed) > 0
+	rep.ImagesLost = rc.imagesLost
+	if rep.Degraded {
+		rc.t.met.degradedRounds.Inc()
+		rc.t.met.imagesLost.Add(int64(rc.imagesLost))
+		rc.span.SetAttr("degraded", "true")
+	}
+}
+
+// runComplete reports whether every live store has finished sending run r.
+func (rc *roundCtx) runComplete(r int) bool {
+	for sc := range rc.live {
+		b := rc.ftBufs[r][sc.id]
+		if b == nil || !b.final {
+			return false
+		}
+	}
+	return true
+}
+
+// FineTune runs one pipelined FT-DMP round over all registered stores and
+// distributes the resulting model delta. Stores extract nrun sub-shards;
+// the Tuner trains on run r as soon as every store finished sending it.
+// The round runs under a fresh distributed trace (see FineTuneTraced).
+func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
+	return t.FineTuneTraced(telemetry.SpanContext{}, nrun, batch, opt)
+}
+
+// FineTuneTraced is FineTune inside a caller-provided trace context (an
+// empty context mints a fresh trace). The round span parents both the
+// Tuner's local train-run spans and — via the trace context carried in
+// every MsgTrainRequest/MsgModelDelta envelope — the remote extraction and
+// delta-apply spans each PipeStore records and ships back, so /traces
+// shows the full Fig-6 decomposition of the round.
+//
+// The round tolerates partial failure: stores that die, stall past
+// StoreTimeout, or misbehave are evicted and the round commits on the
+// surviving quorum with Report.Degraded accounting. Only when fewer than
+// RoundOptions.Quorum stores survive does it return an error.
+func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
+	start := time.Now()
+	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.finetune")
+	span.SetAttr("nrun", fmt.Sprint(nrun))
+	tc := span.Context()
+	logger := t.log.With(telemetry.TraceAttrs(tc)...)
+	defer func() {
+		t.met.fineTune.Observe(span.End().Seconds())
+	}()
+	if nrun < 1 {
+		nrun = 1
+	}
+	t.mu.Lock()
+	clf := t.clf
+	t.mu.Unlock()
+
+	rc, err := t.beginRound(span, logger)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, sc := range rc.participants {
+		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch, Epoch: rc.epoch}
+		req.SetTraceContext(tc)
+		if err := rc.sendWithRetry(sc, req); err != nil {
+			rc.fail(sc, fmt.Errorf("tuner: requesting training from %s: %w", sc.id, err))
+		}
+	}
+	if len(rc.live) < rc.o.Quorum {
+		return Report{}, rc.quorumError("requesting training")
+	}
+	logger.Debug("fine-tune round started",
+		slog.Int("epoch", rc.epoch), slog.Int("stores", len(rc.live)), slog.Int("nrun", nrun))
+
+	rep := Report{Trace: tc.Trace, Runs: nrun}
+	rc.ftBufs = make([]map[string]*storeRunBuf, nrun)
+	for r := range rc.ftBufs {
+		rc.ftBufs[r] = make(map[string]*storeRunBuf)
+	}
+	cols := t.cfg.FeatureDim
+
+	acceptFeatures := func(sc *storeConn, msg *wire.Message) {
+		if !rc.live[sc] || msg.Type != wire.MsgFeatures {
+			rc.t.met.staleMsgs.Inc()
+			return
+		}
+		if msg.Run < 0 || msg.Run >= nrun {
+			rc.fail(sc, fmt.Errorf("tuner: store %s sent feature batch for bad run %d", sc.id, msg.Run))
+			return
+		}
+		if msg.Cols != cols {
+			rc.fail(sc, fmt.Errorf("tuner: store %s sent feature width %d, want %d", sc.id, msg.Cols, cols))
+			return
+		}
+		if msg.Run < rc.nextRun {
+			// Already trained that run; a duplicate or laggard batch.
+			rc.t.met.staleMsgs.Inc()
+			return
+		}
+		b := rc.ftBufs[msg.Run][sc.id]
+		if b == nil {
+			b = &storeRunBuf{}
+			rc.ftBufs[msg.Run][sc.id] = b
+		}
+		b.rows = append(b.rows, msg.X...)
+		b.labels = append(b.labels, msg.Labels...)
+		if msg.Final {
+			b.final = true
+		}
+		rep.FeatureBytes += int64(len(msg.X)) * 8
+		t.met.featureBytes.Add(int64(len(msg.X)) * 8)
+	}
+
+	// Gather+train, pipelined: a per-phase timer (satisfying the round
+	// deadline) and a heartbeat ticker (satisfying per-store silence
+	// detection) run alongside the inbox.
+	gatherTimer := time.NewTimer(rc.o.RoundTimeout)
+	defer gatherTimer.Stop()
+	hb := time.NewTicker(heartbeatInterval(rc.o))
+	defer hb.Stop()
+
+	for r := 0; r < nrun; r++ {
+		rc.nextRun = r
+		for {
+			if len(rc.live) < rc.o.Quorum {
+				return Report{}, rc.quorumError(fmt.Sprintf("gathering run %d", r))
+			}
+			if rc.runComplete(r) {
+				break
+			}
+			select {
+			case ev := <-t.inbox:
+				rc.handle(ev, acceptFeatures)
+			case <-hb.C:
+				rc.checkLiveness(func(sc *storeConn) bool {
+					b := rc.ftBufs[r][sc.id]
+					return b == nil || !b.final
+				})
+			case <-gatherTimer.C:
+				return Report{}, fmt.Errorf("tuner: round %d timed out gathering run %d after %v",
+					rc.epoch, r, rc.o.RoundTimeout)
+			}
+		}
+		// Tuner-stage: train on the gathered run, concatenating survivors in
+		// registration order (deterministic for a fixed failure schedule).
+		var rows []float64
+		var labels []int
+		for _, sc := range rc.participants {
+			if b := rc.ftBufs[r][sc.id]; b != nil && b.final {
+				rows = append(rows, b.rows...)
+				labels = append(labels, b.labels...)
+			}
+		}
+		n := len(labels)
+		if n == 0 {
+			if len(rc.failed) == 0 {
+				return Report{}, fmt.Errorf("tuner: run %d is empty", r)
+			}
+			// Every contributor to this run died; skip it and train on what
+			// later runs bring.
+			rc.ftBufs[r] = nil
+			continue
+		}
+		batchData := &dataset.Batch{X: tensor.FromSlice(n, cols, rows), Labels: labels}
+		runSpan := telemetry.Default.Spans().StartSpanIn(tc, "tuner.train-run")
+		runSpan.SetAttr("run", fmt.Sprint(r))
+		stats, err := trainOneRun(clf, batchData, opt)
+		t.met.runTrain.Observe(runSpan.End().Seconds())
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Epochs += stats
+		rep.Images += n
+		rc.ftBufs[r] = nil // release
+		// Training blocks the event loop; don't hold that idle time against
+		// the stores' silence budget.
+		for sc := range rc.live {
+			sc.touch()
+		}
+	}
+	gatherTimer.Stop()
+
+	// Check-N-Run distribution: archive the new version and broadcast its
+	// delta blob.
+	t.mu.Lock()
+	newSnap := clf.TakeSnapshot()
+	blob, err := t.archive.Append(newSnap)
+	if err != nil {
+		t.mu.Unlock()
+		return Report{}, err
+	}
+	t.version = t.archive.Latest()
+	version := t.version
+	// The broadcast targets the *current* fleet — surviving participants
+	// plus any store that registered mid-round (already caught up to the
+	// pre-round version; deltas carry absolute values, so even a straddling
+	// catch-up is idempotent).
+	targets := append([]*storeConn(nil), t.stores...)
+	t.mu.Unlock()
+
+	rep.DeltaBytes = int64(len(blob))
+	rep.DeltaBlob = blob
+	// Naive distribution would ship the entire model — frozen backbone
+	// included — to every store; Check-N-Run ships only the classifier
+	// delta (§5, up to 427× smaller at ImageNet scale where the backbone
+	// dwarfs the head).
+	rep.FullModelBytes = newSnap.Bytes() + t.backbone.TakeSnapshot().Bytes()
+	rep.ModelVersion = version
+
+	pending := make(map[*storeConn]bool, len(targets))
+	for _, sc := range targets {
+		rc.adopt(sc)
+		if !rc.live[sc] {
+			continue
+		}
+		msg := &wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version, Epoch: rc.epoch}
+		msg.SetTraceContext(tc)
+		if err := rc.sendWithRetry(sc, msg); err != nil {
+			rc.fail(sc, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err))
+			continue
+		}
+		t.met.deltaBytes.Add(int64(len(blob)))
+		pending[sc] = true
+	}
+
+	// Ack collection: its own phase timer, heartbeat-checked, pruned as
+	// stores fail.
+	ackTimer := time.NewTimer(rc.o.RoundTimeout)
+	defer ackTimer.Stop()
+	prune := func() {
+		for sc := range pending {
+			if !rc.live[sc] {
+				delete(pending, sc)
+			}
+		}
+	}
+	for len(pending) > 0 {
+		if len(rc.live) < rc.o.Quorum {
+			return Report{}, rc.quorumError("distributing delta")
+		}
+		select {
+		case ev := <-t.inbox:
+			rc.handle(ev, func(sc *storeConn, msg *wire.Message) {
+				if msg.Type == wire.MsgAck && pending[sc] {
+					delete(pending, sc)
+					return
+				}
+				rc.t.met.staleMsgs.Inc()
+			})
+		case <-hb.C:
+			rc.checkLiveness(func(sc *storeConn) bool { return pending[sc] })
+		case <-ackTimer.C:
+			return Report{}, fmt.Errorf("tuner: round %d timed out waiting for delta acks after %v",
+				rc.epoch, rc.o.RoundTimeout)
+		}
+		prune()
+	}
+	if len(rc.live) < rc.o.Quorum {
+		return Report{}, rc.quorumError("collecting delta acks")
+	}
+
+	rep.WallTime = time.Since(start)
+	t.met.trainRounds.Inc()
+	t.met.modelVersion.Set(float64(version))
+	rc.finishAccounting(&rep)
+	logger.Info("fine-tune round complete",
+		slog.Int("epoch", rc.epoch),
+		slog.Int("images", rep.Images),
+		slog.Int("model_version", version),
+		slog.Int64("delta_bytes", rep.DeltaBytes),
+		slog.Bool("degraded", rep.Degraded),
+		slog.Int("images_lost", rep.ImagesLost),
+		slog.Duration("wall", rep.WallTime))
+	if rep.Degraded {
+		logger.Warn("round committed degraded",
+			slog.Int("epoch", rc.epoch),
+			slog.Any("failed_stores", rep.FailedStores),
+			slog.Int("images_lost", rep.ImagesLost))
+	}
+	return rep, nil
+}
+
+// OfflineInference asks every store to relabel its shard with the current
+// model and applies the results to the label database. It returns the
+// aggregate refresh statistics (the Table 1 measurement). Like FineTune,
+// it completes on the surviving quorum: labels from failed stores are
+// simply refreshed in a later pass.
+func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
+	return t.OfflineInferenceTraced(telemetry.SpanContext{}, batch)
+}
+
+// OfflineInferenceTraced is OfflineInference inside a caller-provided
+// trace context (an empty context mints a fresh trace); the per-store
+// near-data inference spans ship back and nest under this span.
+func (t *Node) OfflineInferenceTraced(parent telemetry.SpanContext, batch int) (labeldb.RefreshStats, error) {
+	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.offline-inference")
+	tc := span.Context()
+	logger := t.log.With(telemetry.TraceAttrs(tc)...)
+	defer func() {
+		t.met.offlineInfer.Observe(span.End().Seconds())
+	}()
+	t.mu.Lock()
+	version := t.version
+	t.mu.Unlock()
+
+	rc, err := t.beginRound(span, logger)
+	if err != nil {
+		return labeldb.RefreshStats{}, err
+	}
+	for _, sc := range rc.participants {
+		req := &wire.Message{Type: wire.MsgInferRequest, BatchSize: batch, Epoch: rc.epoch}
+		req.SetTraceContext(tc)
+		if err := rc.sendWithRetry(sc, req); err != nil {
+			rc.fail(sc, fmt.Errorf("tuner: requesting inference from %s: %w", sc.id, err))
+		}
+	}
+	if len(rc.live) < rc.o.Quorum {
+		return labeldb.RefreshStats{}, rc.quorumError("requesting inference")
+	}
+
+	agg := labeldb.RefreshStats{ModelVersion: version}
+	pending := make(map[*storeConn]bool, len(rc.live))
+	for sc := range rc.live {
+		pending[sc] = true
+	}
+	labelTimer := time.NewTimer(rc.o.RoundTimeout)
+	defer labelTimer.Stop()
+	hb := time.NewTicker(heartbeatInterval(rc.o))
+	defer hb.Stop()
+	prune := func() {
+		for sc := range pending {
+			if !rc.live[sc] {
+				delete(pending, sc)
+			}
+		}
+	}
+	for len(pending) > 0 {
+		if len(rc.live) < rc.o.Quorum {
+			return labeldb.RefreshStats{}, rc.quorumError("collecting labels")
+		}
+		select {
+		case ev := <-t.inbox:
+			rc.handle(ev, func(sc *storeConn, msg *wire.Message) {
+				if msg.Type == wire.MsgLabels && pending[sc] {
+					st := t.db.ApplyRefresh(msg.LabelsOut, version, msg.StoreID)
+					agg.Total += st.Total
+					agg.Changed += st.Changed
+					delete(pending, sc)
+					return
+				}
+				rc.t.met.staleMsgs.Inc()
+			})
+		case <-hb.C:
+			rc.checkLiveness(func(sc *storeConn) bool { return pending[sc] })
+		case <-labelTimer.C:
+			return labeldb.RefreshStats{}, fmt.Errorf("tuner: round %d timed out waiting for labels after %v",
+				rc.epoch, rc.o.RoundTimeout)
+		}
+		prune()
+	}
+	if len(rc.live) < rc.o.Quorum {
+		return labeldb.RefreshStats{}, rc.quorumError("collecting labels")
+	}
+	if agg.Total > 0 {
+		agg.FixedFrac = float64(agg.Changed) / float64(agg.Total)
+	}
+	logger.Info("offline inference complete",
+		slog.Int("epoch", rc.epoch),
+		slog.Int("relabeled", agg.Total),
+		slog.Int("changed", agg.Changed),
+		slog.Int("model_version", agg.ModelVersion),
+		slog.Bool("degraded", len(rc.failed) > 0))
+	if len(rc.failed) > 0 {
+		logger.Warn("offline inference degraded",
+			slog.Any("failed_stores", rc.failedSorted()))
+	}
+	return agg, nil
+}

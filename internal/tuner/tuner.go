@@ -4,6 +4,12 @@
 // the classifier run by run (pipelined: stores keep extracting run r+1
 // while the Tuner trains on run r), distributes the resulting Check-N-Run
 // delta, and drives offline inference to refresh the label database.
+//
+// At the paper's scale — tens of cheap st1-backed stores per Tuner —
+// partial failure is the common case, so rounds run a quorum protocol
+// (see round.go): a store that dies, stalls, or misbehaves mid-round is
+// evicted and the round completes degraded on the survivors; evicted
+// stores rejoin through the AddStore catch-up path.
 package tuner
 
 import (
@@ -11,6 +17,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndpipe/internal/core"
@@ -20,7 +27,6 @@ import (
 	"ndpipe/internal/modelstore"
 	"ndpipe/internal/nn"
 	"ndpipe/internal/telemetry"
-	"ndpipe/internal/tensor"
 	"ndpipe/internal/wire"
 )
 
@@ -37,17 +43,34 @@ type Node struct {
 	mu      sync.Mutex
 	clf     *nn.Network
 	version int
+	epoch   int               // round counter; stamps every request (staleness tag)
+	rounds  RoundOptions      // quorum/timeout/retry policy, see SetRoundOptions
 	archive *modelstore.Store // every released version, as a delta chain
 	stores  []*storeConn
 	db      *labeldb.DB
 
-	features chan *wire.Message
-	acks     chan *wire.Message
-	labels   chan *wire.Message
-	errs     chan error
+	// inbox is the single ordered stream of store events (messages and
+	// disconnects). readLoop delivery is blocking — never dropped — so the
+	// one disconnect signal of a dying store cannot be lost; the active
+	// round drains the inbox and discards anything tagged with a stale
+	// epoch.
+	inbox     chan inbound
+	done      chan struct{}
+	closeOnce sync.Once
+
+	rngMu sync.Mutex
+	rng   backoffRNG
 
 	met tunerMetrics
 	log *slog.Logger
+}
+
+// inbound is one event from a store's read loop: a decoded message, or the
+// terminal error that ended the connection (msg == nil).
+type inbound struct {
+	sc  *storeConn
+	msg *wire.Message
+	err error
 }
 
 type storeConn struct {
@@ -58,31 +81,59 @@ type storeConn struct {
 	// sending, so per-store extraction lag is visible while the Tuner
 	// trains (run r trains while stores extract r+1).
 	lastRun *telemetry.Gauge
+	// lastSeen is the unix-nano arrival time of the store's most recent
+	// message (including pongs); the heartbeat check evicts stores whose
+	// silence exceeds RoundOptions.StoreTimeout.
+	lastSeen atomic.Int64
+	// evicted latches once the Tuner removes the store from the fleet, so
+	// duplicate failure signals (read error racing a heartbeat timeout)
+	// evict only once.
+	evicted atomic.Bool
+}
+
+// touch records message arrival for the liveness check.
+func (sc *storeConn) touch() { sc.lastSeen.Store(time.Now().UnixNano()) }
+
+// silence returns how long the store has been quiet.
+func (sc *storeConn) silence() time.Duration {
+	return time.Duration(time.Now().UnixNano() - sc.lastSeen.Load())
 }
 
 // tunerMetrics holds the Tuner's instruments, registered once in New.
 type tunerMetrics struct {
-	stores       *telemetry.Gauge
-	trainRounds  *telemetry.Counter
-	featureBytes *telemetry.Counter
-	deltaBytes   *telemetry.Counter
-	modelVersion *telemetry.Gauge
-	runTrain     *telemetry.Histogram
-	fineTune     *telemetry.Histogram
-	offlineInfer *telemetry.Histogram
+	stores         *telemetry.Gauge
+	trainRounds    *telemetry.Counter
+	degradedRounds *telemetry.Counter
+	evictions      *telemetry.Counter
+	retries        *telemetry.Counter
+	pings          *telemetry.Counter
+	staleMsgs      *telemetry.Counter
+	imagesLost     *telemetry.Counter
+	featureBytes   *telemetry.Counter
+	deltaBytes     *telemetry.Counter
+	modelVersion   *telemetry.Gauge
+	runTrain       *telemetry.Histogram
+	fineTune       *telemetry.Histogram
+	offlineInfer   *telemetry.Histogram
 }
 
 func newTunerMetrics() tunerMetrics {
 	reg := telemetry.Default
 	return tunerMetrics{
-		stores:       reg.Gauge("tuner_stores"),
-		trainRounds:  reg.Counter("tuner_train_rounds_total"),
-		featureBytes: reg.Counter("tuner_feature_bytes_total"),
-		deltaBytes:   reg.Counter("tuner_delta_broadcast_bytes_total"),
-		modelVersion: reg.Gauge("tuner_model_version"),
-		runTrain:     reg.Histogram("tuner_run_train_seconds"),
-		fineTune:     reg.Histogram("tuner_finetune_seconds"),
-		offlineInfer: reg.Histogram("tuner_offline_inference_seconds"),
+		stores:         reg.Gauge("tuner_stores"),
+		trainRounds:    reg.Counter("tuner_train_rounds_total"),
+		degradedRounds: reg.Counter("tuner_degraded_rounds_total"),
+		evictions:      reg.Counter("tuner_store_evictions_total"),
+		retries:        reg.Counter("tuner_send_retries_total"),
+		pings:          reg.Counter("tuner_pings_sent_total"),
+		staleMsgs:      reg.Counter("tuner_stale_msgs_total"),
+		imagesLost:     reg.Counter("tuner_images_lost_total"),
+		featureBytes:   reg.Counter("tuner_feature_bytes_total"),
+		deltaBytes:     reg.Counter("tuner_delta_broadcast_bytes_total"),
+		modelVersion:   reg.Gauge("tuner_model_version"),
+		runTrain:       reg.Histogram("tuner_run_train_seconds"),
+		fineTune:       reg.Histogram("tuner_finetune_seconds"),
+		offlineInfer:   reg.Histogram("tuner_offline_inference_seconds"),
 	}
 }
 
@@ -97,13 +148,13 @@ func New(cfg core.ModelConfig) (*Node, error) {
 		backbone: cfg.NewBackbone(),
 		clf:      cfg.NewClassifier(),
 		db:       labeldb.New(),
-		features: make(chan *wire.Message, 64),
-		acks:     make(chan *wire.Message, 16),
-		labels:   make(chan *wire.Message, 16),
-		errs:     make(chan error, 16),
+		rounds:   DefaultRoundOptions(),
+		inbox:    make(chan inbound, 256),
+		done:     make(chan struct{}),
 		met:      newTunerMetrics(),
 		log:      telemetry.ComponentLogger("tuner"),
 	}
+	t.rng = newBackoffRNG(0)
 	t.archive = modelstore.New(t.clf.TakeSnapshot())
 	return t, nil
 }
@@ -134,6 +185,28 @@ func (t *Node) Classifier() *nn.Network {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.clf
+}
+
+// SetRoundOptions installs the fleet's fault-tolerance policy (quorum,
+// per-store and per-phase timeouts, retry/backoff). Zero fields take the
+// defaults; call before rounds start.
+func (t *Node) SetRoundOptions(o RoundOptions) {
+	o = o.WithDefaults()
+	t.mu.Lock()
+	t.rounds = o
+	t.mu.Unlock()
+	if o.Seed != 0 {
+		t.rngMu.Lock()
+		t.rng = newBackoffRNG(o.Seed)
+		t.rngMu.Unlock()
+	}
+}
+
+// RoundOptionsInEffect returns the active (defaulted) policy.
+func (t *Node) RoundOptionsInEffect() RoundOptions {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rounds
 }
 
 // deadlineListener is implemented by listeners supporting accept deadlines
@@ -176,7 +249,9 @@ func (t *Node) AcceptStores(ln net.Listener, n int) error {
 }
 
 // AddStore registers a PipeStore connection (expects its Hello) and starts
-// its reader.
+// its reader. It is also the rejoin path: an evicted or restarted store
+// reconnects here, receives one composite catch-up delta bringing its
+// classifier to the current version, and is folded into the next round.
 func (t *Node) AddStore(conn net.Conn) error {
 	codec := wire.NewCodec(conn)
 	hello, err := codec.Recv()
@@ -191,6 +266,7 @@ func (t *Node) AddStore(conn net.Conn) error {
 		lastRun: telemetry.Default.Gauge(telemetry.Labeled("tuner_store_last_run", "store", hello.StoreID)),
 	}
 	sc.lastRun.Set(-1)
+	sc.touch()
 	// Late joiner: bring the store's classifier to the current version with
 	// one composite catch-up delta before it enters the fleet.
 	t.mu.Lock()
@@ -208,6 +284,7 @@ func (t *Node) AddStore(conn net.Conn) error {
 		if err != nil || ack.Type != wire.MsgAck {
 			return fmt.Errorf("tuner: catch-up ack from %s: %v (err %v)", sc.id, ack, err)
 		}
+		sc.touch()
 	}
 	t.mu.Lock()
 	t.stores = append(t.stores, sc)
@@ -219,38 +296,72 @@ func (t *Node) AddStore(conn net.Conn) error {
 	return nil
 }
 
-// readLoop routes a store's messages to the Tuner's channels.
+// readLoop routes a store's messages into the Tuner's inbox. Pongs and
+// span shipments are absorbed here (they only feed liveness and the trace
+// collector); everything else — including the terminal disconnect error —
+// is delivered losslessly to the active round.
 func (t *Node) readLoop(sc *storeConn) {
 	for {
 		msg, err := sc.codec.Recv()
 		if err != nil {
-			// Connection closed or corrupted: fail any outstanding
-			// operation promptly rather than letting it time out.
 			t.log.Debug("store disconnected", slog.String("store", sc.id), slog.Any("err", err))
-			select {
-			case t.errs <- fmt.Errorf("tuner: store %s disconnected: %w", sc.id, err):
-			default:
-			}
+			t.deliver(inbound{sc: sc, err: fmt.Errorf("tuner: store %s disconnected: %w", sc.id, err)})
 			return
 		}
+		sc.touch()
 		switch msg.Type {
-		case wire.MsgFeatures:
-			if msg.Final {
-				sc.lastRun.Set(float64(msg.Run))
-			}
-			t.features <- msg
-		case wire.MsgAck:
-			t.acks <- msg
-		case wire.MsgLabels:
-			t.labels <- msg
 		case wire.MsgSpans:
 			// The store's half of a distributed trace: stitch it into the
 			// collector, where it joins the Tuner's own spans for the round.
 			telemetry.Default.Traces().Add(msg.Spans...)
-		case wire.MsgError:
-			t.errs <- fmt.Errorf("tuner: store %s: %s", msg.StoreID, msg.Err)
+			continue
+		case wire.MsgPong:
+			// Liveness only; touch above already recorded it.
+			continue
+		case wire.MsgFeatures:
+			if msg.Final {
+				sc.lastRun.Set(float64(msg.Run))
+			}
+		}
+		t.deliver(inbound{sc: sc, msg: msg})
+	}
+}
+
+// deliver blocks until the event is consumed (or the Tuner shuts down):
+// the disconnect signal of a dying store must never be dropped on the
+// floor, or a round would stall until its timeout instead of reacting.
+func (t *Node) deliver(ev inbound) {
+	select {
+	case t.inbox <- ev:
+	case <-t.done:
+	}
+}
+
+// evict removes a store from the fleet and closes its connection. It is
+// idempotent (the first caller wins) and reports whether this call did the
+// eviction.
+func (t *Node) evict(sc *storeConn, reason error, span *telemetry.Span) bool {
+	if !sc.evicted.CompareAndSwap(false, true) {
+		return false
+	}
+	_ = sc.conn.Close()
+	t.mu.Lock()
+	for i, s := range t.stores {
+		if s == sc {
+			t.stores = append(t.stores[:i], t.stores[i+1:]...)
+			break
 		}
 	}
+	nstores := len(t.stores)
+	t.mu.Unlock()
+	t.met.stores.Set(float64(nstores))
+	t.met.evictions.Inc()
+	span.Event("evicted " + sc.id)
+	t.log.Warn("store evicted",
+		slog.String("store", sc.id),
+		slog.Int("fleet", nstores),
+		slog.Any("reason", reason))
+	return true
 }
 
 // Report summarizes one fine-tuning round.
@@ -266,6 +377,15 @@ type Report struct {
 	// e.g. to the online inference server)
 	FullModelBytes int64 // what shipping whole models would have cost (per store)
 	ModelVersion   int
+
+	// Degraded-round accounting: the round committed without the full
+	// fleet. FailedStores lists the stores evicted during the round (sorted),
+	// ImagesLost counts feature rows they had contributed to runs that had
+	// not been trained yet (discarded rather than half-trained).
+	Degraded     bool
+	FailedStores []string
+	ImagesLost   int
+	Participants int // stores that entered the round
 }
 
 // TrafficReduction is the Check-N-Run win for this round.
@@ -276,215 +396,14 @@ func (r Report) TrafficReduction() float64 {
 	return float64(r.FullModelBytes) / float64(r.DeltaBytes)
 }
 
-// FineTune runs one pipelined FT-DMP round over all registered stores and
-// distributes the resulting model delta. Stores extract nrun sub-shards;
-// the Tuner trains on run r as soon as every store finished sending it.
-// The round runs under a fresh distributed trace (see FineTuneTraced).
-func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
-	return t.FineTuneTraced(telemetry.SpanContext{}, nrun, batch, opt)
-}
-
-// FineTuneTraced is FineTune inside a caller-provided trace context (an
-// empty context mints a fresh trace). The round span parents both the
-// Tuner's local train-run spans and — via the trace context carried in
-// every MsgTrainRequest/MsgModelDelta envelope — the remote extraction and
-// delta-apply spans each PipeStore records and ships back, so /traces
-// shows the full Fig-6 decomposition of the round.
-func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
-	start := time.Now()
-	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.finetune")
-	span.SetAttr("nrun", fmt.Sprint(nrun))
-	tc := span.Context()
-	logger := t.log.With(telemetry.TraceAttrs(tc)...)
-	defer func() {
-		t.met.fineTune.Observe(span.End().Seconds())
-	}()
-	if nrun < 1 {
-		nrun = 1
-	}
-	t.mu.Lock()
-	stores := append([]*storeConn(nil), t.stores...)
-	clf := t.clf
-	t.mu.Unlock()
-	if len(stores) == 0 {
-		return Report{}, fmt.Errorf("tuner: no PipeStores registered")
-	}
-	for _, sc := range stores {
-		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch}
-		req.SetTraceContext(tc)
-		if err := sc.codec.Send(req); err != nil {
-			return Report{}, fmt.Errorf("tuner: requesting training from %s: %w", sc.id, err)
-		}
-	}
-	logger.Debug("fine-tune round started", slog.Int("stores", len(stores)), slog.Int("nrun", nrun))
-
-	rep := Report{Trace: tc.Trace, Runs: nrun}
-	sgd := nn.NewSGD(opt.LR, opt.Momentum)
-	type runBuf struct {
-		rows   []float64
-		labels []int
-		finals int
-	}
-	bufs := make([]runBuf, nrun)
-	cols := t.cfg.FeatureDim
-	timeout := time.After(5 * time.Minute)
-	for r := 0; r < nrun; r++ {
-		// Gather run r (later-run batches may arrive early thanks to
-		// pipelining; they are buffered by run index).
-		for bufs[r].finals < len(stores) {
-			select {
-			case msg := <-t.features:
-				if msg.Run < 0 || msg.Run >= nrun {
-					return Report{}, fmt.Errorf("tuner: feature batch for bad run %d", msg.Run)
-				}
-				if msg.Cols != cols {
-					return Report{}, fmt.Errorf("tuner: feature width %d, want %d", msg.Cols, cols)
-				}
-				b := &bufs[msg.Run]
-				b.rows = append(b.rows, msg.X...)
-				b.labels = append(b.labels, msg.Labels...)
-				if msg.Final {
-					b.finals++
-				}
-				rep.FeatureBytes += int64(len(msg.X)) * 8
-				t.met.featureBytes.Add(int64(len(msg.X)) * 8)
-			case err := <-t.errs:
-				return Report{}, err
-			case <-timeout:
-				return Report{}, fmt.Errorf("tuner: timed out gathering run %d", r)
-			}
-		}
-		// Tuner-stage: train on the gathered run.
-		b := bufs[r]
-		n := len(b.labels)
-		if n == 0 {
-			return Report{}, fmt.Errorf("tuner: run %d is empty", r)
-		}
-		batchData := &dataset.Batch{X: tensor.FromSlice(n, cols, b.rows), Labels: b.labels}
-		runSpan := telemetry.Default.Spans().StartSpanIn(tc, "tuner.train-run")
-		runSpan.SetAttr("run", fmt.Sprint(r))
-		stats, err := trainOneRun(clf, sgd, batchData, opt)
-		t.met.runTrain.Observe(runSpan.End().Seconds())
-		if err != nil {
-			return Report{}, err
-		}
-		rep.Epochs += stats
-		rep.Images += n
-		bufs[r] = runBuf{} // release
-	}
-
-	// Check-N-Run distribution: archive the new version and broadcast its
-	// delta blob.
-	t.mu.Lock()
-	newSnap := clf.TakeSnapshot()
-	blob, err := t.archive.Append(newSnap)
-	if err != nil {
-		t.mu.Unlock()
-		return Report{}, err
-	}
-	t.version = t.archive.Latest()
-	version := t.version
-	t.mu.Unlock()
-
-	rep.DeltaBytes = int64(len(blob))
-	rep.DeltaBlob = blob
-	// Naive distribution would ship the entire model — frozen backbone
-	// included — to every store; Check-N-Run ships only the classifier
-	// delta (§5, up to 427× smaller at ImageNet scale where the backbone
-	// dwarfs the head).
-	rep.FullModelBytes = newSnap.Bytes() + t.backbone.TakeSnapshot().Bytes()
-	rep.ModelVersion = version
-	for _, sc := range stores {
-		msg := &wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version}
-		msg.SetTraceContext(tc)
-		if err := sc.codec.Send(msg); err != nil {
-			return Report{}, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err)
-		}
-		t.met.deltaBytes.Add(int64(len(blob)))
-	}
-	for range stores {
-		select {
-		case <-t.acks:
-		case err := <-t.errs:
-			return Report{}, err
-		case <-timeout:
-			return Report{}, fmt.Errorf("tuner: timed out waiting for delta acks")
-		}
-	}
-	rep.WallTime = time.Since(start)
-	t.met.trainRounds.Inc()
-	t.met.modelVersion.Set(float64(version))
-	logger.Info("fine-tune round complete",
-		slog.Int("images", rep.Images),
-		slog.Int("model_version", version),
-		slog.Int64("delta_bytes", rep.DeltaBytes),
-		slog.Duration("wall", rep.WallTime))
-	return rep, nil
-}
-
 // trainOneRun trains the classifier to the paper's convergence criterion on
 // one run's features and returns the epochs used.
-func trainOneRun(clf *nn.Network, sgd *nn.SGD, b *dataset.Batch, opt ftdmp.TrainOptions) (int, error) {
+func trainOneRun(clf *nn.Network, b *dataset.Batch, opt ftdmp.TrainOptions) (int, error) {
 	stats, err := ftdmp.FineTuneRuns(clf, []*dataset.Batch{b}, opt)
 	if err != nil {
 		return 0, err
 	}
-	_ = sgd // optimizer state is run-local in FineTuneRuns
 	return stats.TotalEpochs, nil
-}
-
-// OfflineInference asks every store to relabel its shard with the current
-// model and applies the results to the label database. It returns the
-// aggregate refresh statistics (the Table 1 measurement).
-func (t *Node) OfflineInference(batch int) (labeldb.RefreshStats, error) {
-	return t.OfflineInferenceTraced(telemetry.SpanContext{}, batch)
-}
-
-// OfflineInferenceTraced is OfflineInference inside a caller-provided
-// trace context (an empty context mints a fresh trace); the per-store
-// near-data inference spans ship back and nest under this span.
-func (t *Node) OfflineInferenceTraced(parent telemetry.SpanContext, batch int) (labeldb.RefreshStats, error) {
-	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.offline-inference")
-	tc := span.Context()
-	defer func() {
-		t.met.offlineInfer.Observe(span.End().Seconds())
-	}()
-	t.mu.Lock()
-	stores := append([]*storeConn(nil), t.stores...)
-	version := t.version
-	t.mu.Unlock()
-	if len(stores) == 0 {
-		return labeldb.RefreshStats{}, fmt.Errorf("tuner: no PipeStores registered")
-	}
-	for _, sc := range stores {
-		req := &wire.Message{Type: wire.MsgInferRequest, BatchSize: batch}
-		req.SetTraceContext(tc)
-		if err := sc.codec.Send(req); err != nil {
-			return labeldb.RefreshStats{}, err
-		}
-	}
-	agg := labeldb.RefreshStats{ModelVersion: version}
-	timeout := time.After(5 * time.Minute)
-	for range stores {
-		select {
-		case msg := <-t.labels:
-			st := t.db.ApplyRefresh(msg.LabelsOut, version, msg.StoreID)
-			agg.Total += st.Total
-			agg.Changed += st.Changed
-		case err := <-t.errs:
-			return labeldb.RefreshStats{}, err
-		case <-timeout:
-			return labeldb.RefreshStats{}, fmt.Errorf("tuner: timed out waiting for labels")
-		}
-	}
-	if agg.Total > 0 {
-		agg.FixedFrac = float64(agg.Changed) / float64(agg.Total)
-	}
-	t.log.With(telemetry.TraceAttrs(tc)...).Info("offline inference complete",
-		slog.Int("relabeled", agg.Total),
-		slog.Int("changed", agg.Changed),
-		slog.Int("model_version", agg.ModelVersion))
-	return agg, nil
 }
 
 // Evaluate measures the current model's top-1/top-k accuracy on raw-input
@@ -498,6 +417,7 @@ func (t *Node) Evaluate(test *dataset.Batch, k int) (top1, topK float64) {
 
 // Close disconnects all stores.
 func (t *Node) Close() {
+	t.closeOnce.Do(func() { close(t.done) })
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, sc := range t.stores {

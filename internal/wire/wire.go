@@ -28,6 +28,8 @@ const (
 	MsgAck                             // either direction: acknowledgement
 	MsgError                           // either direction: failure report
 	MsgSpans                           // store → tuner: finished trace spans for stitching
+	MsgPing                            // tuner → store: liveness probe (silent-death detection)
+	MsgPong                            // store → tuner: liveness reply, echoing the ping's epoch
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +53,10 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgSpans:
 		return "spans"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -66,6 +72,14 @@ type Message struct {
 	// to (gob leaves absent fields zero), so old and new nodes interoperate.
 	Trace  telemetry.TraceID // trace this message belongs to
 	Parent telemetry.SpanID  // sender's span: the remote parent for receiver-side spans
+
+	// Epoch tags the message with the Tuner round it belongs to. The Tuner
+	// stamps it on every request and stores echo it on every reply, so a
+	// buffered feature batch or ack left over from a failed round is
+	// detectably stale instead of poisoning the next round. Zero means
+	// "untagged" (a pre-epoch peer), which the Tuner accepts for
+	// compatibility.
+	Epoch int
 
 	// MsgTrainRequest
 	Runs      int // pipeline depth Nrun

@@ -99,13 +99,38 @@ func TestConcurrentSendersDoNotInterleave(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for _, mt := range []MsgType{MsgHello, MsgTrainRequest, MsgFeatures, MsgModelDelta, MsgInferRequest, MsgLabels, MsgAck, MsgError} {
+	for _, mt := range []MsgType{MsgHello, MsgTrainRequest, MsgFeatures, MsgModelDelta, MsgInferRequest, MsgLabels, MsgAck, MsgError, MsgSpans, MsgPing, MsgPong} {
 		if mt.String() == "" {
 			t.Fatalf("empty name for %d", mt)
 		}
 	}
 	if MsgType(200).String() != "msgtype(200)" {
 		t.Fatal("unknown type rendering")
+	}
+}
+
+// The round-epoch tag survives the codec, and an untagged (pre-epoch) peer
+// message decodes to epoch 0.
+func TestEpochRoundTripAndLegacyZero(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	go func() {
+		_ = ca.Send(&Message{Type: MsgPing, Epoch: 7})
+		_ = ca.Send(&Message{Type: MsgPong}) // untagged
+	}()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgPing || got.Epoch != 7 {
+		t.Fatalf("ping = %+v, want epoch 7", got)
+	}
+	got, err = cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("untagged message decoded with epoch %d", got.Epoch)
 	}
 }
 
