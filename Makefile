@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash fmt-check ci
 
 all: build vet test
 
@@ -32,7 +32,14 @@ chaos:
 	$(GO) test -race -run 'TestServeAnswersPing|TestDialRetry' ./internal/pipestore/
 	$(GO) test -race ./internal/faultinject/
 
+# Crash-injection suite: WAL torn at every byte offset, seeded disk faults
+# (short writes, crash-before/after-rename), tuner and store kill/restart
+# recovery, compaction crash points — all under the race detector.
+crash:
+	$(GO) test -race ./internal/durable/
+	$(GO) test -race -v -run 'TestCrash' ./internal/tuner/ ./internal/pipestore/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos
+ci: build vet fmt-check race bench chaos crash

@@ -32,6 +32,7 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
+		stateDir = flag.String("state-dir", "", "persist tuner WAL and store model state here; restarts recover the last committed round (empty=in-memory)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -59,6 +60,7 @@ func main() {
 
 	policy := service.DefaultPolicy()
 	policy.RetrainEveryUploads = *every
+	policy.StateDir = *stateDir
 	svc, err := service.Start(core.DefaultModelConfig(), *stores, policy)
 	if err != nil {
 		fatal(err)

@@ -12,10 +12,12 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"path/filepath"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/faultinject"
+	"ndpipe/internal/photostore"
 	"ndpipe/internal/pipestore"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
@@ -39,6 +41,7 @@ func main() {
 		dialBackoff = flag.Duration("dial-backoff", 0, "base dial backoff, doubled and jittered (0=default 100ms)")
 		rejoinFlag  = flag.Bool("rejoin", false, "redial and re-register after the session ends (survives tuner restarts and evictions)")
 		faultSpec   = flag.String("fault-spec", "", "inject deterministic faults on the tuner conn, e.g. 'seed=7;drop:write,after=40' (empty=off)")
+		stateDir    = flag.String("state-dir", "", "persist model state and photos here; on restart, re-register at the persisted version (empty=in-memory)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -71,9 +74,32 @@ func main() {
 	world := dataset.NewWorld(wcfg)
 	shardImgs := world.Shard(*of)[*shard]
 
-	node, err := pipestore.New(*id, core.DefaultModelConfig())
-	if err != nil {
-		fatal(err)
+	var node *pipestore.Node
+	var err error
+	if *stateDir != "" {
+		// Durable node: photos on disk, model state recovered across restarts.
+		photos, perr := photostore.OpenDir(filepath.Join(*stateDir, "photos"))
+		if perr != nil {
+			fatal(perr)
+		}
+		node, err = pipestore.NewWithStorage(*id, core.DefaultModelConfig(), photos)
+		if err != nil {
+			fatal(err)
+		}
+		rec, rerr := node.OpenState(*stateDir)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		log.Info("state recovered",
+			slog.String("dir", *stateDir),
+			slog.Int("version", rec.Version),
+			slog.Bool("cold", rec.Cold),
+			slog.Duration("elapsed", rec.Elapsed))
+	} else {
+		node, err = pipestore.New(*id, core.DefaultModelConfig())
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if err := node.Ingest(shardImgs); err != nil {
 		fatal(err)

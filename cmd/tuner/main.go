@@ -41,6 +41,9 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "per-store send retries (0=default 3, -1=none)")
 		backoff    = flag.Duration("backoff", 0, "base retry backoff, doubled and jittered (0=default 50ms)")
 		faultSpec  = flag.String("fault-spec", "", "inject deterministic faults on accepted conns, e.g. 'seed=7;drop:write,after=40' (empty=off)")
+
+		stateDir    = flag.String("state-dir", "", "persist the WAL, model archive and labels here; on restart, recover the last committed round (empty=in-memory)")
+		compactKeep = flag.Int("compact-keep", 0, "after each round, compact the WAL keeping this many recent versions (0=never; needs -state-dir)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -68,6 +71,22 @@ func main() {
 		fatal(err)
 	}
 	tn.AcceptTimeout = *acceptTTL
+	if *stateDir != "" {
+		rec, err := tn.OpenState(*stateDir)
+		if err != nil {
+			fatal(err)
+		}
+		log.Info("state recovered",
+			slog.String("dir", *stateDir),
+			slog.Int("version", rec.Version),
+			slog.Int("epoch", rec.Epoch),
+			slog.Int("wal_records", rec.Records),
+			slog.Int64("torn_bytes", rec.TornBytes),
+			slog.Int("labels", rec.Labels),
+			slog.Duration("elapsed", rec.Elapsed))
+	} else if *compactKeep > 0 {
+		fatal(fmt.Errorf("-compact-keep needs -state-dir"))
+	}
 	tn.SetRoundOptions(tuner.RoundOptions{
 		Quorum:       *quorum,
 		StoreTimeout: *storeTTL,
@@ -110,6 +129,13 @@ func main() {
 	fmt.Printf("Model delta: %d B (vs %d B full model, %.1fx reduction)\n",
 		rep.DeltaBytes, rep.FullModelBytes, rep.TrafficReduction())
 	fmt.Printf("Trace ID: %s\n", rep.Trace)
+	if *compactKeep > 0 {
+		if keepFrom := tn.ModelVersion() - *compactKeep; keepFrom > tn.Archive().Oldest() {
+			if err := tn.CompactState(keepFrom); err != nil {
+				log.Warn("state compaction failed", slog.Any("err", err))
+			}
+		}
+	}
 	if rep.Degraded {
 		fmt.Printf("DEGRADED round: %d/%d stores survived (failed: %v), %d gathered images discarded\n",
 			rep.Participants-len(rep.FailedStores), rep.Participants, rep.FailedStores, rep.ImagesLost)

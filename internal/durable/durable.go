@@ -1,0 +1,566 @@
+// Package durable is the crash-consistency toolkit of the NDPipe
+// prototype: atomic file replacement with real fsync barriers, a CRC32C-
+// framed append-only record log whose reader truncates a torn tail instead
+// of failing, and seeded disk-fault hooks (short write, write error, sync
+// error, crash-before/after-rename) that follow the same spec DSL as
+// internal/faultinject's network faults — so a crash schedule replays
+// identically run after run.
+//
+// The durability contract every caller builds on:
+//
+//   - AtomicWriteFile: after it returns nil, the file holds the new bytes
+//     even across power loss (temp written, temp fsynced, renamed, parent
+//     directory fsynced). After a crash at ANY point inside it, the file
+//     holds either the complete old bytes or the complete new bytes, never
+//     a mixture and never a truncation.
+//   - Log.Append: after it returns nil, the record is on disk (framed,
+//     checksummed, fsynced). A crash mid-append leaves at most a torn tail,
+//     which the next Open verifies against the per-record CRC32C, truncates,
+//     and counts — every fully acknowledged record survives.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"ndpipe/internal/telemetry"
+)
+
+// castagnoli is the CRC32C polynomial table (the checksum used by ext4
+// metadata, iSCSI, and most WAL implementations; hardware-accelerated).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of b.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ErrCrashed is the injected-crash sentinel: a fault hook decided the
+// process dies *here*. Callers must abandon the operation exactly as it
+// stands — no cleanup, no rollback — so the on-disk state is precisely what
+// a real kill at that point would leave behind. Test harnesses then recover
+// from that state with a fresh process.
+var ErrCrashed = errors.New("durable: injected crash")
+
+// ErrCorrupt marks a checksummed file whose frame or CRC32C does not verify.
+var ErrCorrupt = errors.New("durable: checksum mismatch")
+
+// metrics are the package-wide durability instruments, registered lazily so
+// importing durable costs nothing until it is used.
+var (
+	metricsOnce sync.Once
+	met         struct {
+		atomicWrites *telemetry.Counter // completed AtomicWriteFile calls
+		appends      *telemetry.Counter // completed Log.Append calls
+		appendBytes  *telemetry.Counter // framed bytes appended
+		replayed     *telemetry.Counter // records replayed across all Opens
+		tornTails    *telemetry.Counter // torn tails truncated by Open
+		corruptFiles *telemetry.Counter // checksummed files failing verification
+		faultsFired  *telemetry.Counter // injected disk faults
+	}
+)
+
+func metrics() *struct {
+	atomicWrites *telemetry.Counter
+	appends      *telemetry.Counter
+	appendBytes  *telemetry.Counter
+	replayed     *telemetry.Counter
+	tornTails    *telemetry.Counter
+	corruptFiles *telemetry.Counter
+	faultsFired  *telemetry.Counter
+} {
+	metricsOnce.Do(func() {
+		reg := telemetry.Default
+		met.atomicWrites = reg.Counter("durable_atomic_writes_total")
+		met.appends = reg.Counter("durable_wal_appends_total")
+		met.appendBytes = reg.Counter("durable_wal_append_bytes_total")
+		met.replayed = reg.Counter("durable_records_replayed_total")
+		met.tornTails = reg.Counter("durable_torn_tail_truncations_total")
+		met.corruptFiles = reg.Counter("durable_corrupt_files_total")
+		met.faultsFired = reg.Counter("durable_faults_fired_total")
+	})
+	return &met
+}
+
+// FaultKind selects which disk misbehaviour a rule injects.
+type FaultKind uint8
+
+// Disk fault kinds.
+const (
+	// ShortWrite persists a prefix of the write (half the bytes) and then
+	// fails — the torn write a power cut leaves behind.
+	ShortWrite FaultKind = iota + 1
+	// WriteErr fails the write without persisting anything (EIO).
+	WriteErr
+	// SyncErr fails the fsync; the data may or may not be durable.
+	SyncErr
+	// CrashBeforeRename returns ErrCrashed after the temp file is written
+	// and fsynced but before the rename — the destination still holds the
+	// old bytes, an orphan temp file remains.
+	CrashBeforeRename
+	// CrashAfterRename returns ErrCrashed after the rename but before the
+	// parent directory fsync — the destination holds the new bytes.
+	CrashAfterRename
+	// CrashWrite persists a prefix of the write and returns ErrCrashed:
+	// the process dies mid-write, leaving a torn frame on disk.
+	CrashWrite
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case ShortWrite:
+		return "shortwrite"
+	case WriteErr:
+		return "writeerr"
+	case SyncErr:
+		return "syncerr"
+	case CrashBeforeRename:
+		return "crash:before-rename"
+	case CrashAfterRename:
+		return "crash:after-rename"
+	case CrashWrite:
+		return "crash:write"
+	}
+	return fmt.Sprintf("faultkind(%d)", uint8(k))
+}
+
+// opClass groups the hook points a rule's counter ticks on.
+type opClass uint8
+
+const (
+	opWrite opClass = iota + 1
+	opSync
+	opRename
+)
+
+func (k FaultKind) class() opClass {
+	switch k {
+	case ShortWrite, WriteErr, CrashWrite:
+		return opWrite
+	case SyncErr:
+		return opSync
+	default:
+		return opRename
+	}
+}
+
+// FaultRule schedules one disk fault, mirroring faultinject.Rule: with
+// After > 0 and Prob == 0 it fires exactly at the After-th matching
+// operation; with Prob > 0 it fires per matching operation with that
+// probability once the After-th op has passed; Once caps probabilistic
+// rules at a single firing. Crash kinds are implicitly one-shot.
+type FaultRule struct {
+	Kind  FaultKind
+	After int
+	Prob  float64
+	Once  bool
+}
+
+func (r FaultRule) validate() error {
+	switch r.Kind {
+	case ShortWrite, WriteErr, SyncErr, CrashBeforeRename, CrashAfterRename, CrashWrite:
+	default:
+		return fmt.Errorf("durable: fault rule has no kind")
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("durable: probability %v outside [0,1]", r.Prob)
+	}
+	if r.After < 0 {
+		return fmt.Errorf("durable: negative after=%d", r.After)
+	}
+	if r.After == 0 && r.Prob == 0 {
+		return fmt.Errorf("durable: %s rule needs after=N or prob=P", r.Kind)
+	}
+	return nil
+}
+
+// injectedError is a non-crash injected I/O failure.
+type injectedError struct{ kind FaultKind }
+
+func (e injectedError) Error() string { return fmt.Sprintf("durable: injected %s", e.kind) }
+
+// Faults owns a seeded disk-fault schedule. A nil *Faults injects nothing —
+// every hook is nil-safe, so production code passes nil and pays only a
+// branch. Rule counters are per-Faults (not per-file): one schedule spans
+// every file operation the owner performs, which is how "crash at the N-th
+// write of the run" is expressed.
+type Faults struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	states []faultRuleState
+	seed   int64
+}
+
+type faultRuleState struct {
+	rule  FaultRule
+	ops   int
+	spent bool
+}
+
+// NewFaults builds a disk-fault injector with the given seed and schedule.
+// Seed 0 is replaced by 1 so the zero value stays deterministic.
+func NewFaults(seed int64, rules ...FaultRule) (*Faults, error) {
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	f := &Faults{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	f.states = make([]faultRuleState, len(rules))
+	for i, r := range rules {
+		f.states[i] = faultRuleState{rule: r}
+	}
+	return f, nil
+}
+
+// Seed returns the injector's seed (for logging crash runs).
+func (f *Faults) Seed() int64 { return f.seed }
+
+// ParseFaults builds an injector from a spec string in the same shape as
+// faultinject.Parse: semicolon-separated `kind:param,param` clauses with an
+// optional standalone `seed=N`. Kinds: shortwrite, writeerr, syncerr,
+// crash. A crash clause names its point with a bare parameter —
+// before-rename, after-rename, or write. Parameters: after=N, prob=P, once.
+//
+//	seed=7;shortwrite:after=3
+//	crash:before-rename,after=1
+//	crash:write,after=5;writeerr:prob=0.01
+//
+// An empty spec returns (nil, nil): no injection.
+func ParseFaults(spec string) (*Faults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var (
+		seed  int64
+		rules []FaultRule
+	)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("durable: bad seed %q: %w", v, err)
+			}
+			seed = n
+			continue
+		}
+		kindStr, params, _ := strings.Cut(clause, ":")
+		var r FaultRule
+		isCrash := false
+		switch kindStr {
+		case "shortwrite":
+			r.Kind = ShortWrite
+		case "writeerr":
+			r.Kind = WriteErr
+		case "syncerr":
+			r.Kind = SyncErr
+		case "crash":
+			isCrash = true
+		default:
+			return nil, fmt.Errorf("durable: unknown fault %q (want shortwrite|writeerr|syncerr|crash)", kindStr)
+		}
+		for _, p := range strings.Split(params, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(p, "=")
+			var err error
+			switch {
+			case isCrash && !hasVal && key == "before-rename":
+				r.Kind = CrashBeforeRename
+			case isCrash && !hasVal && key == "after-rename":
+				r.Kind = CrashAfterRename
+			case isCrash && !hasVal && key == "write":
+				r.Kind = CrashWrite
+			case key == "once" && !hasVal:
+				r.Once = true
+			case key == "after":
+				r.After, err = strconv.Atoi(val)
+			case key == "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			default:
+				return nil, fmt.Errorf("durable: unknown parameter %q in %q", p, clause)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("durable: bad parameter %q: %w", p, err)
+			}
+		}
+		if isCrash && r.Kind == 0 {
+			return nil, fmt.Errorf("durable: crash clause %q needs a point (before-rename|after-rename|write)", clause)
+		}
+		if isCrash && r.After == 0 && r.Prob == 0 {
+			// Crash points default to the first matching operation.
+			r.After = 1
+		}
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("%w (clause %q)", err, clause)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("durable: spec %q has no fault clauses", spec)
+	}
+	return NewFaults(seed, rules...)
+}
+
+// decide advances every rule of the given class by one operation and
+// returns the first that fires (crash kinds are implicitly one-shot).
+func (f *Faults) decide(class opClass) (FaultKind, bool) {
+	if f == nil {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.states {
+		st := &f.states[i]
+		if st.rule.Kind.class() != class {
+			continue
+		}
+		st.ops++
+		if st.rule.Kind == CrashAfterRename {
+			// Counted here (the rename op), fired by afterRenameCrash —
+			// decide runs at the before-rename point, too early to crash.
+			continue
+		}
+		if st.spent || st.ops < st.rule.After {
+			continue
+		}
+		fire := false
+		if st.rule.Prob > 0 {
+			fire = f.rng.Float64() < st.rule.Prob
+		} else {
+			fire = st.ops == st.rule.After
+		}
+		if !fire {
+			continue
+		}
+		switch st.rule.Kind {
+		case CrashBeforeRename, CrashAfterRename, CrashWrite:
+			st.spent = true
+		default:
+			if st.rule.Once || st.rule.Prob == 0 {
+				st.spent = true
+			}
+		}
+		metrics().faultsFired.Inc()
+		return st.rule.Kind, true
+	}
+	return 0, false
+}
+
+// fileWrite writes b to file through the fault schedule: a ShortWrite or
+// CrashWrite persists the first half of b before failing, so the file holds
+// a genuinely torn frame.
+func (f *Faults) fileWrite(file *os.File, b []byte) error {
+	kind, fired := f.decide(opWrite)
+	if !fired {
+		_, err := file.Write(b)
+		return err
+	}
+	switch kind {
+	case ShortWrite, CrashWrite:
+		if n := len(b) / 2; n > 0 {
+			_, _ = file.Write(b[:n])
+			_ = file.Sync() // the torn prefix really lands on disk
+		}
+		if kind == CrashWrite {
+			return ErrCrashed
+		}
+		return injectedError{kind}
+	default: // WriteErr
+		return injectedError{kind}
+	}
+}
+
+// fileSync fsyncs file through the fault schedule.
+func (f *Faults) fileSync(file *os.File) error {
+	if kind, fired := f.decide(opSync); fired {
+		return injectedError{kind}
+	}
+	return file.Sync()
+}
+
+// beforeRename fires CrashBeforeRename rules.
+func (f *Faults) beforeRename() error {
+	if kind, fired := f.decide(opRename); fired && kind == CrashBeforeRename {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// afterRename fires CrashAfterRename rules. The rename op was already
+// counted by beforeRename; this checks only the post-rename crash point.
+func (f *Faults) afterRenameCrash() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.states {
+		st := &f.states[i]
+		if st.rule.Kind != CrashAfterRename || st.spent {
+			continue
+		}
+		// CrashAfterRename shares the rename op counter ticked in decide
+		// (beforeRename counted this op for all rename-class rules).
+		if st.ops >= st.rule.After {
+			st.spent = true
+			metrics().faultsFired.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Platforms that cannot sync directories (EINVAL) are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("durable: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// AtomicWriteFile replaces path with data crash-consistently: the bytes go
+// to a temp file in the same directory, the temp file is fsynced, renamed
+// over path, and the parent directory is fsynced so the rename itself is
+// durable. A reader (or a post-crash recovery) sees either the complete old
+// contents or the complete new contents, never a mixture.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	return (*Faults)(nil).AtomicWriteFile(path, data, perm)
+}
+
+// AtomicWriteFile is the fault-injectable form: hooks fire at each write,
+// sync, and rename point. On ErrCrashed the temp file is deliberately left
+// behind, exactly as a real kill would leave it; the next successful write
+// to the same path overwrites it.
+func (f *Faults) AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	file, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	cleanup := func(err error) error {
+		_ = file.Close()
+		if !errors.Is(err, ErrCrashed) {
+			_ = os.Remove(tmp)
+		}
+		return err
+	}
+	if err := f.fileWrite(file, data); err != nil {
+		return cleanup(fmt.Errorf("durable: writing %s: %w", tmp, err))
+	}
+	if err := f.fileSync(file); err != nil {
+		return cleanup(fmt.Errorf("durable: fsync %s: %w", tmp, err))
+	}
+	if err := file.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: closing %s: %w", tmp, err)
+	}
+	if err := f.beforeRename(); err != nil {
+		return err // crash point: temp stays, destination untouched
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if f.afterRenameCrash() {
+		return ErrCrashed // crash point: rename landed, dir sync did not
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	metrics().atomicWrites.Inc()
+	return nil
+}
+
+// checksummed single-file format: a fixed header binding length and CRC32C
+// to the payload, so a recovery can tell a complete file from a damaged one.
+//
+//	magic "NDCK" | u32 crc32c(payload) | u64 len(payload) | payload
+var ckMagic = [4]byte{'N', 'D', 'C', 'K'}
+
+const ckHeaderLen = 4 + 4 + 8
+
+// WriteFileChecksummed atomically replaces path with a checksummed frame
+// around payload. Pair with ReadFileChecksummed.
+func (f *Faults) WriteFileChecksummed(path string, payload []byte, perm os.FileMode) error {
+	buf := make([]byte, ckHeaderLen+len(payload))
+	copy(buf, ckMagic[:])
+	putU32(buf[4:], Checksum(payload))
+	putU64(buf[8:], uint64(len(payload)))
+	copy(buf[ckHeaderLen:], payload)
+	return f.AtomicWriteFile(path, buf, perm)
+}
+
+// WriteFileChecksummed is the hook-free form.
+func WriteFileChecksummed(path string, payload []byte, perm os.FileMode) error {
+	return (*Faults)(nil).WriteFileChecksummed(path, payload, perm)
+}
+
+// ReadFileChecksummed reads a file written by WriteFileChecksummed,
+// verifying magic, length, and CRC32C. Damage of any kind — truncation, bit
+// flips, a foreign file — returns an error wrapping ErrCorrupt; a missing
+// file returns the underlying fs.ErrNotExist so callers can distinguish
+// "never written" from "written and damaged".
+func ReadFileChecksummed(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < ckHeaderLen || string(b[:4]) != string(ckMagic[:]) {
+		metrics().corruptFiles.Inc()
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	want := getU32(b[4:])
+	n := getU64(b[8:])
+	if n != uint64(len(b)-ckHeaderLen) {
+		metrics().corruptFiles.Inc()
+		return nil, fmt.Errorf("%w: %s: length %d != payload %d", ErrCorrupt, path, n, len(b)-ckHeaderLen)
+	}
+	payload := b[ckHeaderLen:]
+	if got := Checksum(payload); got != want {
+		metrics().corruptFiles.Inc()
+		return nil, fmt.Errorf("%w: %s: crc32c %08x != %08x", ErrCorrupt, path, got, want)
+	}
+	return payload, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,227 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	if err := AtomicWriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("got %q", b)
+	}
+	if err := AtomicWriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("got %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestAtomicWriteFileCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFaults("crash:before-rename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.AtomicWriteFile(path, []byte("new"), 0o644)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Destination untouched; orphan temp stays (as a real kill would leave).
+	if b, _ := os.ReadFile(path); string(b) != "old" {
+		t.Fatalf("destination damaged: %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("expected orphan temp: %v", err)
+	}
+	// A later successful write recovers.
+	if err := AtomicWriteFile(path, []byte("new2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "new2" {
+		t.Fatalf("got %q", b)
+	}
+}
+
+func TestAtomicWriteFileCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFaults("crash:after-rename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.AtomicWriteFile(path, []byte("new"), 0o644)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Rename landed: destination already holds the new bytes.
+	if b, _ := os.ReadFile(path); string(b) != "new" {
+		t.Fatalf("got %q", b)
+	}
+}
+
+func TestAtomicWriteFileInjectedErrors(t *testing.T) {
+	for _, spec := range []string{"shortwrite:after=1", "writeerr:after=1", "syncerr:after=1"} {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "obj")
+			if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f, err := ParseFaults(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.AtomicWriteFile(path, []byte("new"), 0o644); err == nil {
+				t.Fatal("want injected error")
+			} else if errors.Is(err, ErrCrashed) {
+				t.Fatalf("non-crash fault returned ErrCrashed: %v", err)
+			}
+			// Ordinary failures clean up their temp and leave the old bytes.
+			if b, _ := os.ReadFile(path); string(b) != "old" {
+				t.Fatalf("destination damaged: %q", b)
+			}
+			if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("temp not cleaned up: %v", err)
+			}
+		})
+	}
+}
+
+func TestChecksummedFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	payload := []byte("the quick brown fox")
+	if err := WriteFileChecksummed(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileChecksummed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChecksummedFileDetectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	payload := bytes.Repeat([]byte("abcdefgh"), 16)
+	if err := WriteFileChecksummed(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-bit flip and every truncation length must be caught.
+	for i := 0; i < len(whole); i++ {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFileChecksummed(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d not detected: %v", i, err)
+		}
+	}
+	for n := 0; n < len(whole); n++ {
+		if err := os.WriteFile(path, whole[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFileChecksummed(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d not detected: %v", n, err)
+		}
+	}
+	// Missing file is not "corrupt" — callers distinguish the two.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileChecksummed(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	good := []string{
+		"seed=7;shortwrite:after=3",
+		"crash:before-rename",
+		"crash:after-rename,after=2",
+		"crash:write,after=5;writeerr:prob=0.01",
+		"syncerr:prob=0.5,once",
+	}
+	for _, spec := range good {
+		if _, err := ParseFaults(spec); err != nil {
+			t.Errorf("ParseFaults(%q): %v", spec, err)
+		}
+	}
+	bad := []string{
+		"unknown:after=1",
+		"shortwrite",          // no after/prob
+		"crash",               // no point
+		"crash:somewhere",     // bad point
+		"shortwrite:prob=1.5", // out of range
+		"seed=x",
+		"seed=7", // seed alone, no fault clause
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Errorf("ParseFaults(%q): want error", spec)
+		}
+	}
+	if f, err := ParseFaults(""); err != nil || f != nil {
+		t.Errorf("empty spec: got %v, %v", f, err)
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	fire := func() []int {
+		f, err := ParseFaults("seed=11;writeerr:prob=0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 40; i++ {
+			if _, ok := f.decide(opWrite); ok {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := fire(), fire()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("prob=0.3 over 40 ops never fired")
+	}
+}
+
+func TestNilFaultsAreNoOps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	var f *Faults
+	if err := f.AtomicWriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

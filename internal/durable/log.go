@@ -1,0 +1,204 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Log frame layout, little-endian:
+//
+//	u32 len(payload) | u32 crc32c(payload) | payload
+//
+// A record is valid only if its full frame is present and the checksum
+// verifies. Zero-length records are illegal by construction, so a
+// preallocated or zero-filled tail (len=0, crc=0) never parses as a valid
+// empty record — it is a torn tail and gets truncated.
+const (
+	frameHeaderLen = 8
+	// maxRecord bounds a single payload; a length prefix beyond it is
+	// treated as tail corruption, not an allocation request.
+	maxRecord = 1 << 28
+)
+
+// RecoverStats describes what Open found on disk.
+type RecoverStats struct {
+	Records   int   // records that verified and were replayed
+	TornBytes int64 // bytes truncated from a torn/corrupt tail
+}
+
+// Log is a CRC32C-framed append-only record log. One writer at a time;
+// Append is not internally locked because every caller (tuner, tests)
+// already serialises writes under its own mutex.
+type Log struct {
+	path   string
+	f      *os.File
+	faults *Faults
+	size   int64
+	broken bool // a torn append happened; the file tail is suspect
+}
+
+// Open opens (creating if absent) the log at path, verifies every record,
+// calls replay for each valid payload in order, and truncates the first
+// torn or corrupt frame and everything after it. A replay error aborts the
+// open — that is state corruption above the framing layer and the caller
+// must decide, not the log.
+//
+// faults may be nil. The returned log is positioned for Append.
+func Open(path string, faults *Faults, replay func(payload []byte) error) (*Log, RecoverStats, error) {
+	var stats RecoverStats
+	created := false
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		created = true
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("durable: open log: %w", err)
+	}
+	if created {
+		// Make the log's existence itself durable.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, stats, err
+		}
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("durable: read log: %w", err)
+	}
+
+	valid := int64(0) // offset of the end of the last valid record
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			break // torn header
+		}
+		n := int(getU32(rest))
+		want := getU32(rest[4:])
+		if n == 0 || n > maxRecord || len(rest) < frameHeaderLen+n {
+			break // zero-filled tail, hostile length, or torn payload
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+n]
+		if Checksum(payload) != want {
+			break // bit rot or torn-then-overwritten frame
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("durable: replay record %d: %w", stats.Records, err)
+			}
+		}
+		stats.Records++
+		off += frameHeaderLen + n
+		valid = int64(off)
+	}
+	metrics().replayed.Add(int64(stats.Records))
+
+	if torn := int64(len(data)) - valid; torn > 0 {
+		stats.TornBytes = torn
+		metrics().tornTails.Inc()
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("durable: fsync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("durable: seek log end: %w", err)
+	}
+	return &Log{path: path, f: f, faults: faults, size: valid}, stats, nil
+}
+
+// Append frames payload, writes it in a single write call, and fsyncs.
+// When Append returns nil the record is durable. After a failed append the
+// log is marked broken: the on-disk tail may be torn, and further appends
+// are refused — reopen (which truncates the tail) to resume.
+func (l *Log) Append(payload []byte) error {
+	if l.broken {
+		return fmt.Errorf("durable: log %s has a torn tail; reopen to recover", l.path)
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("durable: empty record")
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("durable: record %d bytes exceeds max %d", len(payload), maxRecord)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	putU32(frame, uint32(len(payload)))
+	putU32(frame[4:], Checksum(payload))
+	copy(frame[frameHeaderLen:], payload)
+
+	if err := l.faults.fileWrite(l.f, frame); err != nil {
+		l.broken = true
+		return fmt.Errorf("durable: append %s: %w", l.path, err)
+	}
+	if err := l.faults.fileSync(l.f); err != nil {
+		l.broken = true
+		return fmt.Errorf("durable: fsync %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	metrics().appends.Inc()
+	metrics().appendBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Rewrite atomically replaces the log's contents with the given payloads
+// (compaction): frames them into a fresh temp file, fsyncs, renames over
+// the log, fsyncs the directory, and reopens for appending. On failure the
+// old log is untouched and still open.
+func (l *Log) Rewrite(payloads [][]byte) error {
+	var buf []byte
+	for _, p := range payloads {
+		if len(p) == 0 {
+			return fmt.Errorf("durable: empty record in rewrite")
+		}
+		frame := make([]byte, frameHeaderLen)
+		putU32(frame, uint32(len(p)))
+		putU32(frame[4:], Checksum(p))
+		buf = append(buf, frame...)
+		buf = append(buf, p...)
+	}
+	if err := l.faults.AtomicWriteFile(l.path, buf, 0o644); err != nil {
+		return err
+	}
+	// The rename invalidated our open descriptor; switch to the new file.
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: reopen after rewrite: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: seek after rewrite: %w", err)
+	}
+	old := l.f
+	l.f = f
+	l.size = int64(len(buf))
+	l.broken = false
+	_ = old.Close()
+	return nil
+}
+
+// Size returns the log's current on-disk size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,324 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCollect(t *testing.T, path string, faults *Faults) (*Log, RecoverStats, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, stats, err := Open(path, faults, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return l, stats, got
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, stats, _ := openCollect(t, path, nil)
+	if stats.Records != 0 || stats.TornBytes != 0 {
+		t.Fatalf("fresh log stats: %+v", stats)
+	}
+	records := [][]byte{[]byte("one"), []byte("two-two"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, stats, got := openCollect(t, path, nil)
+	defer l2.Close()
+	if stats.Records != len(records) || stats.TornBytes != 0 {
+		t.Fatalf("reopen stats: %+v", stats)
+	}
+	for i, r := range records {
+		if !bytes.Equal(got[i], r) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], r)
+		}
+	}
+	// Appending after reopen continues the chain.
+	if err := l2.Append([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ = openCollect(t, path, nil)
+	if stats.Records != len(records)+1 {
+		t.Fatalf("after reopen-append: %+v", stats)
+	}
+}
+
+// TestLogTornTailEveryOffset is the kill-at-any-point property at the
+// framing layer: truncate the log at EVERY byte offset and assert recovery
+// yields exactly the records whose frames fit entirely below the cut.
+func TestLogTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	l, _, _ := openCollect(t, path, nil)
+	records := [][]byte{[]byte("a"), []byte("bbbb"), []byte("cc-cc-cc"), bytes.Repeat([]byte{7}, 100)}
+	var ends []int64 // ends[i] = offset after record i
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Size())
+	}
+	l.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := int64(0); off <= int64(len(whole)); off++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d", off))
+		if err := os.WriteFile(torn, whole[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecs := 0
+		var wantEnd int64
+		for i, e := range ends {
+			if e <= off {
+				wantRecs = i + 1
+				wantEnd = e
+			}
+		}
+		l2, stats, got := openCollect(t, torn, nil)
+		if stats.Records != wantRecs {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, stats.Records, wantRecs)
+		}
+		if wantTorn := off - wantEnd; stats.TornBytes != wantTorn {
+			t.Fatalf("offset %d: torn %d bytes, want %d", off, stats.TornBytes, wantTorn)
+		}
+		for i := 0; i < wantRecs; i++ {
+			if !bytes.Equal(got[i], records[i]) {
+				t.Fatalf("offset %d: record %d mismatch", off, i)
+			}
+		}
+		// The torn tail must be gone from disk, and the log appendable.
+		if l2.Size() != wantEnd {
+			t.Fatalf("offset %d: size %d after truncate, want %d", off, l2.Size(), wantEnd)
+		}
+		if err := l2.Append([]byte("resumed")); err != nil {
+			t.Fatalf("offset %d: append after recovery: %v", off, err)
+		}
+		l2.Close()
+		if fi, _ := os.Stat(torn); fi.Size() != wantEnd+8+int64(len("resumed")) {
+			t.Fatalf("offset %d: on-disk size %d", off, fi.Size())
+		}
+		os.Remove(torn)
+	}
+}
+
+// TestLogBitFlipTruncatesFromDamage flips one bit mid-log: the damaged
+// record and everything after it are dropped, records before it survive.
+func TestLogBitFlipTruncatesFromDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	l, _, _ := openCollect(t, path, nil)
+	for i := 0; i < 4; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte('a' + i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	firstEnd := int64(8 + 50)
+	l.Close()
+	whole, _ := os.ReadFile(path)
+	// Flip a payload bit inside record 2.
+	whole[firstEnd+8+10] ^= 0x01
+	os.WriteFile(path, whole, 0o644)
+
+	l2, stats, got := openCollect(t, path, nil)
+	defer l2.Close()
+	if stats.Records != 1 || len(got) != 1 {
+		t.Fatalf("want 1 surviving record, got %d", stats.Records)
+	}
+	if stats.TornBytes != int64(len(whole))-firstEnd {
+		t.Fatalf("torn bytes %d", stats.TornBytes)
+	}
+}
+
+// TestLogZeroFilledTail mimics a filesystem that preallocated zeroes past
+// the last durable write: an all-zero frame (len=0) must not parse as a
+// valid empty record.
+func TestLogZeroFilledTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, nil)
+	if err := l.Append([]byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	end := l.Size()
+	l.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write(make([]byte, 64))
+	f.Close()
+
+	l2, stats, _ := openCollect(t, path, nil)
+	defer l2.Close()
+	if stats.Records != 1 || stats.TornBytes != 64 || l2.Size() != end {
+		t.Fatalf("stats %+v size %d", stats, l2.Size())
+	}
+}
+
+// TestLogHostileLength writes a frame whose length prefix claims 3 GiB:
+// recovery must truncate, not allocate.
+func TestLogHostileLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, nil)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	end := l.Size()
+	l.Close()
+	frame := make([]byte, 8+4)
+	putU32(frame, uint32(3<<30))
+	putU32(frame[4:], 0xDEAD)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write(frame)
+	f.Close()
+
+	l2, stats, _ := openCollect(t, path, nil)
+	defer l2.Close()
+	if stats.Records != 1 || l2.Size() != end {
+		t.Fatalf("stats %+v size %d", stats, l2.Size())
+	}
+}
+
+func TestLogTornAppendMarksBroken(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	faults, err := ParseFaults("shortwrite:after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, _ := openCollect(t, path, faults)
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("second-torn")); err == nil {
+		t.Fatal("want injected short write")
+	}
+	// Broken log refuses further appends until reopened.
+	if err := l.Append([]byte("third")); err == nil {
+		t.Fatal("append on broken log must fail")
+	}
+	l.Close()
+
+	l2, stats, got := openCollect(t, path, nil)
+	defer l2.Close()
+	if stats.Records != 1 || !bytes.Equal(got[0], []byte("first")) {
+		t.Fatalf("recovery: %+v", stats)
+	}
+	if stats.TornBytes == 0 {
+		t.Fatal("short write left no torn tail?")
+	}
+	if err := l2.Append([]byte("resumed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogCrashWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	faults, err := ParseFaults("crash:write,after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, _ := openCollect(t, path, faults)
+	if err := l.Append([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("dies-here")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	l.Close()
+	_, stats, got := openCollect(t, path, nil)
+	if stats.Records != 1 || !bytes.Equal(got[0], []byte("committed")) {
+		t.Fatalf("recovery after crash-write: %+v", stats)
+	}
+}
+
+func TestLogRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, nil)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact down to the last two records.
+	kept := [][]byte{[]byte("rec-3"), []byte("rec-4")}
+	if err := l.Rewrite(kept); err != nil {
+		t.Fatal(err)
+	}
+	// The live handle keeps appending to the NEW file.
+	if err := l.Append([]byte("rec-5")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, stats, got := openCollect(t, path, nil)
+	if stats.Records != 3 {
+		t.Fatalf("after rewrite: %+v", stats)
+	}
+	want := append(kept, []byte("rec-5"))
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogRewriteCrashLeavesOldOrNew(t *testing.T) {
+	for _, spec := range []string{"crash:before-rename", "crash:after-rename"} {
+		t.Run(spec, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			faults, err := ParseFaults(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, _, _ := openCollect(t, path, faults)
+			for i := 0; i < 3; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			err = l.Rewrite([][]byte{[]byte("new-0")})
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("want ErrCrashed, got %v", err)
+			}
+			l.Close()
+			_, stats, got := openCollect(t, path, nil)
+			// Crash before rename: all old records. After: exactly the new set.
+			switch spec {
+			case "crash:before-rename":
+				if stats.Records != 3 {
+					t.Fatalf("old log damaged: %+v", stats)
+				}
+			case "crash:after-rename":
+				if stats.Records != 1 || !bytes.Equal(got[0], []byte("new-0")) {
+					t.Fatalf("new log incomplete: %+v", stats)
+				}
+			}
+		})
+	}
+}
+
+func TestLogRejectsEmptyAndOversized(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, nil)
+	defer l.Close()
+	if err := l.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}

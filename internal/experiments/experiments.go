@@ -108,6 +108,8 @@ func Registry() map[string]Func {
 		"fig21":  Fig21,
 		// Robustness: quorum rounds under injected faults.
 		"faults": Faults,
+		// Crash consistency: WAL replay and warm vs cold store rejoin.
+		"recovery": Recovery,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/tuner"
+)
+
+// Recovery measures the crash-consistency layer (S31): restart-to-ready
+// time and catch-up traffic for a tuner replaying its WAL and for stores
+// rejoining warm (persisted state.snap) versus cold. The headline row pair
+// is store-persisted vs store-cold: a store restarted at the tuner's
+// latest version receives a zero-byte catch-up, strictly smaller than the
+// full composite delta a cold store must download.
+func Recovery(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "recovery",
+		Title:  "Crash recovery: WAL replay and warm vs cold store rejoin (2 stores)",
+		Header: []string{"scenario", "version", "walRecords", "labels", "catchup(B)", "ready(ms)"},
+	}
+	images := 900
+	rounds := 2
+	if p.Quick {
+		images, rounds = 300, 1
+	}
+	const nStores = 2
+
+	root, err := os.MkdirTemp("", "ndpipe-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	tunerDir := filepath.Join(root, "tuner")
+	storeDir := func(i int) string { return filepath.Join(root, fmt.Sprintf("rec-%d", i)) }
+
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(p.Seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+	shards := world.Shard(nStores)
+
+	// Phase 1: a persistent cluster commits some rounds and a label pass,
+	// then dies.
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tn.OpenState(tunerDir); err != nil {
+		return nil, err
+	}
+	tn.SetRoundOptions(tuner.RoundOptions{
+		Quorum: 1, StoreTimeout: 10 * time.Second, RoundTimeout: 2 * time.Minute, Seed: p.Seed,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, nStores) }()
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("rec-%d", i), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ps.OpenState(storeDir(i)); err != nil {
+			return nil, err
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			return nil, err
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		go func(ps *pipestore.Node, conn net.Conn) { _ = ps.Serve(conn) }(ps, conn)
+	}
+	if err := <-accepted; err != nil {
+		return nil, err
+	}
+	opt := ftdmp.DefaultTrainOptions()
+	if p.Quick {
+		opt.MaxEpochs = 5
+	}
+	for r := 0; r < rounds; r++ {
+		if _, err := tn.FineTune(2, 128, opt); err != nil {
+			return nil, fmt.Errorf("recovery setup round: %w", err)
+		}
+	}
+	if _, err := tn.OfflineInference(128); err != nil {
+		return nil, fmt.Errorf("recovery label pass: %w", err)
+	}
+	ln.Close()
+	tn.Close() // kill: committed state is already on disk
+
+	// Phase 2: the tuner restarts and replays its WAL.
+	tn2, err := tuner.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer tn2.Close()
+	rec, err := tn2.OpenState(tunerDir)
+	if err != nil {
+		return nil, fmt.Errorf("recovery replay: %w", err)
+	}
+	t.Add("tuner-recover", rec.Version, rec.Records, rec.Labels, "-",
+		fmt.Sprintf("%.1f", float64(rec.Elapsed.Microseconds())/1000))
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln2.Close()
+	join := func(ps *pipestore.Node) (time.Duration, error) {
+		res := make(chan error, 1)
+		go func() {
+			conn, err := ln2.Accept()
+			if err != nil {
+				res <- err
+				return
+			}
+			res <- tn2.AddStore(conn)
+		}()
+		start := time.Now()
+		conn, err := net.Dial("tcp", ln2.Addr().String())
+		if err != nil {
+			return 0, err
+		}
+		go func() { _ = ps.Serve(conn) }()
+		if err := <-res; err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// A warm store restarts from its persisted snapshot: it re-registers at
+	// the version it acked, and the tuner ships only the missing rounds —
+	// zero bytes here, since it was current when it died.
+	warm, err := pipestore.New("rec-0", cfg)
+	if err != nil {
+		return nil, err
+	}
+	wrec, err := warm.OpenState(storeDir(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := warm.Ingest(shards[0]); err != nil {
+		return nil, err
+	}
+	warmReady, err := join(warm)
+	if err != nil {
+		return nil, fmt.Errorf("recovery warm rejoin: %w", err)
+	}
+	warmReady += wrec.Elapsed
+	warmCatch := tn2.LastCatchUp()
+	t.Add("store-persisted", wrec.Version, "-", "-", warmCatch.Bytes,
+		fmt.Sprintf("%.1f", float64(warmReady.Microseconds())/1000))
+
+	// A cold store has no state: it must download the full composite delta.
+	cold, err := pipestore.New("rec-cold", cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := cold.Ingest(shards[1]); err != nil {
+		return nil, err
+	}
+	coldReady, err := join(cold)
+	if err != nil {
+		return nil, fmt.Errorf("recovery cold join: %w", err)
+	}
+	coldCatch := tn2.LastCatchUp()
+	t.Add("store-cold", 0, "-", "-", coldCatch.Bytes,
+		fmt.Sprintf("%.1f", float64(coldReady.Microseconds())/1000))
+
+	if warmCatch.Bytes >= coldCatch.Bytes {
+		return nil, fmt.Errorf("recovery: warm catch-up (%d B) not smaller than cold (%d B)",
+			warmCatch.Bytes, coldCatch.Bytes)
+	}
+	t.Notes = append(t.Notes,
+		"tuner-recover replays the CRC32C-framed WAL over the base.snap chain root (torn tails truncated)",
+		fmt.Sprintf("warm store re-registered at v%d and was shipped %d bytes; the cold store needed the full %d-byte composite",
+			wrec.Version, warmCatch.Bytes, coldCatch.Bytes))
+	return t, nil
+}

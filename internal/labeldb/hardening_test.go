@@ -1,0 +1,86 @@
+package labeldb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func savedBytes(t *testing.T) []byte {
+	t.Helper()
+	db := New()
+	for i := uint64(0); i < 50; i++ {
+		db.Upsert(Entry{ImageID: i, Label: int(i % 7), ModelVersion: int(i % 3), Location: "ps-0"})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadTruncated feeds every strict prefix of a valid snapshot: each must
+// error without panicking, and a failed load must leave the DB untouched.
+func TestLoadTruncated(t *testing.T) {
+	whole := savedBytes(t)
+	for n := 0; n < len(whole); n++ {
+		db := New()
+		db.Upsert(Entry{ImageID: 999, Label: 1})
+		if err := db.Load(bytes.NewReader(whole[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes loaded successfully", n)
+		}
+		if db.Len() != 1 {
+			t.Fatalf("failed load at %d bytes mutated the DB (%d entries)", n, db.Len())
+		}
+	}
+}
+
+// TestLoadBitFlips flips each byte: Load must terminate with error-or-success,
+// never panic (gob-internal panics are recovered).
+func TestLoadBitFlips(t *testing.T) {
+	whole := savedBytes(t)
+	for i := 0; i < len(whole); i++ {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0xFF
+		db := New()
+		_ = db.Load(bytes.NewReader(mut))
+	}
+}
+
+func TestLoadGarbagePayloads(t *testing.T) {
+	for _, in := range [][]byte{
+		{},
+		{0x00},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0x7F}, 4096),
+	} {
+		db := New()
+		if err := db.Load(bytes.NewReader(in)); err == nil && len(in) > 0 {
+			t.Errorf("garbage %v loaded successfully", in[:min(8, len(in))])
+		}
+	}
+}
+
+func FuzzLoad(f *testing.F) {
+	db := New()
+	for i := uint64(0); i < 5; i++ {
+		db.Upsert(Entry{ImageID: i, Label: int(i)})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are expected.
+		_ = New().Load(bytes.NewReader(data))
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,10 +1,13 @@
 package labeldb
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+
+	"ndpipe/internal/durable"
 )
 
 // snapshot is the serialized form of the database.
@@ -26,8 +29,17 @@ func (db *DB) Save(w io.Writer) error {
 	return nil
 }
 
-// Load replaces the database contents with a snapshot written by Save.
-func (db *DB) Load(r io.Reader) error {
+// Load replaces the database contents with a snapshot written by Save. It
+// is safe on hostile input: truncated or bit-flipped streams return an
+// error — a gob-internal panic on malformed input is recovered and
+// reported, never propagated — and on any failure the existing contents
+// are left untouched.
+func (db *DB) Load(r io.Reader) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("labeldb: load: malformed snapshot: %v", p)
+		}
+	}()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("labeldb: load: %w", err)
@@ -42,29 +54,19 @@ func (db *DB) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile persists the database to path atomically (temp file + rename),
-// so a crash mid-save never corrupts the previous index.
+// SaveFile persists the database to path atomically (temp file + fsync of
+// file and parent directory + rename, via durable.AtomicWriteFile), so a
+// crash mid-save never corrupts the previous index and a completed save
+// survives power loss.
 func (db *DB) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("labeldb: %w", err)
-	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	if err := durable.AtomicWriteFile(path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("labeldb: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("labeldb: %w", err)
-	}
-	return os.Rename(tmp, path)
+	return nil
 }
 
 // LoadFile restores the database from a file written by SaveFile.

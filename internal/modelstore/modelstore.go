@@ -34,6 +34,15 @@ func New(initial nn.Snapshot) *Store {
 	return &Store{base: cp}
 }
 
+// NewAt creates a store whose base snapshot carries an arbitrary version
+// number — the recovery path: a tuner restarting from a compacted WAL roots
+// the chain at the persisted base version, not 0.
+func NewAt(baseV int, snap nn.Snapshot) *Store {
+	s := New(snap)
+	s.baseV = baseV
+	return s
+}
+
 // Latest returns the newest archived version number.
 func (s *Store) Latest() int {
 	s.mu.RLock()
@@ -68,6 +77,53 @@ func (s *Store) Append(next nn.Snapshot) ([]byte, error) {
 	s.deltas = append(s.deltas, d)
 	s.blobs = append(s.blobs, blob)
 	return blob, nil
+}
+
+// AppendBlob archives the next version from its already-encoded delta blob
+// — the WAL replay path. The blob is decoded and validated by applying it
+// to the current latest snapshot before it joins the chain, so a corrupt
+// (but checksum-passing) record cannot poison the archive silently.
+// Returns the new latest version.
+func (s *Store) AppendBlob(blob []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := delta.Decode(blob)
+	if err != nil {
+		return 0, fmt.Errorf("modelstore: decode replayed delta: %w", err)
+	}
+	cur, err := s.reconstructLocked(s.baseV + len(s.deltas))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.Apply(cur); err != nil {
+		return 0, fmt.Errorf("modelstore: replayed delta does not apply: %w", err)
+	}
+	s.deltas = append(s.deltas, d)
+	s.blobs = append(s.blobs, append([]byte(nil), blob...))
+	return s.baseV + len(s.deltas), nil
+}
+
+// Blobs returns copies of every archived delta blob in chain order —
+// what a WAL compaction rewrites.
+func (s *Store) Blobs() [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(s.blobs))
+	for i, b := range s.blobs {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// Base returns the chain's root: its version and a copy of the snapshot.
+func (s *Store) Base() (int, nn.Snapshot) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := make(nn.Snapshot, len(s.base))
+	for k, m := range s.base {
+		cp[k] = m.Clone()
+	}
+	return s.baseV, cp
 }
 
 // Snapshot reconstructs the full snapshot at the given version.

@@ -101,50 +101,99 @@ func EncodeSnapshot(w io.Writer, s Snapshot) error {
 	return nil
 }
 
-// DecodeSnapshot reads a snapshot written by EncodeSnapshot.
+// Decoder hardening limits. A length prefix is attacker-controlled until the
+// data behind it actually arrives, so no limit below may be enforced by
+// allocation — only by arithmetic before allocating.
+const (
+	maxSnapshotParams = 1 << 20 // parameter count a snapshot may declare
+	maxParamElems     = 1 << 24 // elements in one parameter matrix
+	maxSnapshotElems  = 1 << 26 // elements across the whole snapshot
+	decodeChunkElems  = 8 << 10 // floats read per chunk (64 KiB)
+)
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot. It is safe on
+// hostile input: truncated or corrupt streams return an error (never a
+// panic), and a hostile length prefix cannot force a large allocation —
+// sized readers are length-checked up front, and unsized streams allocate
+// in 64 KiB chunks proportional to the bytes actually delivered.
 func DecodeSnapshot(r io.Reader) (Snapshot, error) {
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: snapshot header: %w", err)
 	}
-	const maxParams = 1 << 20
-	if count > maxParams {
-		return nil, fmt.Errorf("nn: snapshot declares %d params (limit %d)", count, maxParams)
+	if count > maxSnapshotParams {
+		return nil, fmt.Errorf("nn: snapshot declares %d params (limit %d)", count, maxSnapshotParams)
 	}
-	s := make(Snapshot, count)
+	// Pre-size the map from the declared count, but bounded: the count is
+	// unverified until entries actually decode.
+	sizeHint := count
+	if sizeHint > 1024 {
+		sizeHint = 1024
+	}
+	s := make(Snapshot, sizeHint)
+	var totalElems uint64
 	for i := uint32(0); i < count; i++ {
 		var nameLen uint32
 		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: snapshot param %d: %w", i, err)
 		}
 		if nameLen > 4096 {
 			return nil, fmt.Errorf("nn: parameter name length %d too large", nameLen)
 		}
 		nameBuf := make([]byte, nameLen)
 		if _, err := io.ReadFull(r, nameBuf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: snapshot param %d name: %w", i, err)
 		}
 		var rows, cols uint32
 		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: snapshot param %q: %w", nameBuf, err)
 		}
 		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: snapshot param %q: %w", nameBuf, err)
 		}
-		if uint64(rows)*uint64(cols) > 1<<28 {
+		elems := uint64(rows) * uint64(cols)
+		if elems > maxParamElems {
 			return nil, fmt.Errorf("nn: parameter %q too large: %dx%d", nameBuf, rows, cols)
 		}
-		m := tensor.New(int(rows), int(cols))
-		buf := make([]byte, 8*len(m.Data))
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, err
+		totalElems += elems
+		if totalElems > maxSnapshotElems {
+			return nil, fmt.Errorf("nn: snapshot exceeds %d total elements at parameter %q", maxSnapshotElems, nameBuf)
 		}
-		for j := range m.Data {
-			m.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		// Sized readers (bytes.Reader & friends) expose how much input truly
+		// remains: reject an over-claiming prefix before allocating for it.
+		if lr, ok := r.(interface{ Len() int }); ok && uint64(lr.Len()) < 8*elems {
+			return nil, fmt.Errorf("nn: parameter %q claims %d elements but only %d bytes remain: %w",
+				nameBuf, elems, lr.Len(), io.ErrUnexpectedEOF)
 		}
-		s[string(nameBuf)] = m
+		data := make([]float64, 0, minU64(elems, decodeChunkElems))
+		var chunk [8 * decodeChunkElems]byte
+		for read := uint64(0); read < elems; {
+			n := elems - read
+			if n > decodeChunkElems {
+				n = decodeChunkElems
+			}
+			if _, err := io.ReadFull(r, chunk[:8*n]); err != nil {
+				return nil, fmt.Errorf("nn: snapshot param %q data: %w", nameBuf, err)
+			}
+			for j := uint64(0); j < n; j++ {
+				data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(chunk[j*8:])))
+			}
+			read += n
+		}
+		if rows == 0 || cols == 0 {
+			s[string(nameBuf)] = tensor.New(int(rows), int(cols))
+		} else {
+			s[string(nameBuf)] = tensor.FromSlice(int(rows), int(cols), data)
+		}
 	}
 	return s, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // NewFeatureExtractor builds the frozen backbone stand-in: a deterministic

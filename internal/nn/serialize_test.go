@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func sampleSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	net := NewMLP("m", []int{4, 6, 3}, rng)
+	return net.TakeSnapshot()
+}
+
+func encodeToBytes(t *testing.T, s Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	got, err := DecodeSnapshot(bytes.NewReader(encodeToBytes(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("got %d params, want %d", len(got), len(s))
+	}
+	for name, m := range s {
+		g := got[name]
+		if g == nil || g.Rows != m.Rows || g.Cols != m.Cols {
+			t.Fatalf("param %q shape mismatch", name)
+		}
+		for i := range m.Data {
+			if g.Data[i] != m.Data[i] {
+				t.Fatalf("param %q data[%d]: %v != %v", name, i, g.Data[i], m.Data[i])
+			}
+		}
+	}
+}
+
+// TestDecodeSnapshotTruncated feeds every strict prefix of a valid encoding:
+// all must error, none may panic.
+func TestDecodeSnapshotTruncated(t *testing.T) {
+	whole := encodeToBytes(t, sampleSnapshot(t))
+	for n := 0; n < len(whole); n++ {
+		if _, err := DecodeSnapshot(bytes.NewReader(whole[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+// TestDecodeSnapshotBitFlips flips each byte of the structural prefix (the
+// header and first entry's metadata): decode must error or succeed, never
+// panic or allocate unboundedly. Flips inside float payloads legitimately
+// decode to different values, so only structural corruption is asserted on.
+func TestDecodeSnapshotBitFlips(t *testing.T) {
+	whole := encodeToBytes(t, sampleSnapshot(t))
+	for i := 0; i < len(whole); i++ {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0xFF
+		// Must terminate without panicking; error or not depends on where
+		// the flip landed.
+		_, _ = DecodeSnapshot(bytes.NewReader(mut))
+	}
+}
+
+// TestDecodeSnapshotHostilePrefixes hand-crafts headers that claim enormous
+// payloads: the decoder must reject them by arithmetic, not by attempting
+// the allocation.
+func TestDecodeSnapshotHostilePrefixes(t *testing.T) {
+	u32 := func(vs ...uint32) []byte {
+		var b bytes.Buffer
+		for _, v := range vs {
+			binary.Write(&b, binary.LittleEndian, v)
+		}
+		return b.Bytes()
+	}
+	cases := map[string][]byte{
+		"huge count":    u32(1 << 30),
+		"huge name len": append(u32(1), u32(1<<31)...),
+		// one param "w" claiming a 1<<16 x 1<<16 matrix with no data behind it
+		"huge dims": append(append(append(u32(1), u32(1)...), 'w'), u32(1<<16, 1<<16)...),
+		// dims within the per-param cap but with zero payload bytes remaining
+		"over-claiming dims": append(append(append(u32(1), u32(1)...), 'w'), u32(1024, 1024)...),
+		"empty":              {},
+		"header only":        u32(2),
+	}
+	for name, in := range cases {
+		if _, err := DecodeSnapshot(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+	// Cumulative cap: many params individually under the per-param limit.
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, uint32(8))
+	for i := 0; i < 8; i++ {
+		binary.Write(&b, binary.LittleEndian, uint32(1))
+		b.WriteByte(byte('a' + i))
+		binary.Write(&b, binary.LittleEndian, uint32(1<<12))
+		binary.Write(&b, binary.LittleEndian, uint32(1<<12))
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(b.Bytes())); err == nil {
+		t.Error("cumulative-cap input decoded successfully")
+	}
+}
+
+// TestDecodeSnapshotUnsizedReader exercises the chunked path (no Len()
+// pre-flight): truncation mid-payload must error after reading at most the
+// delivered bytes.
+func TestDecodeSnapshotUnsizedReader(t *testing.T) {
+	whole := encodeToBytes(t, sampleSnapshot(t))
+	// An io.Reader wrapper hides bytes.Reader's Len method.
+	unsized := struct{ io.Reader }{bytes.NewReader(whole)}
+	if _, err := DecodeSnapshot(unsized); err != nil {
+		t.Fatalf("unsized round trip: %v", err)
+	}
+	truncated := struct{ io.Reader }{bytes.NewReader(whole[:len(whole)/2])}
+	if _, err := DecodeSnapshot(truncated); err == nil {
+		t.Fatal("unsized truncated decode succeeded")
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(3))
+	if err := EncodeSnapshot(&buf, NewMLP("m", []int{4, 6, 3}, rng).TakeSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or OOM; errors are expected.
+		_, _ = DecodeSnapshot(bytes.NewReader(data))
+	})
+}

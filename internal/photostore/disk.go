@@ -5,11 +5,15 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
 )
 
 // ObjectStore is the storage contract PipeStores program against; Store
@@ -122,23 +126,33 @@ func (d *DiskStore) prePath(id uint64) string {
 	return filepath.Join(d.dir, "pre", strconv.FormatUint(id, 10)+".z")
 }
 
-// writeAtomic writes via a temp file + rename so crashes never leave
-// truncated objects.
+// writeAtomic commits an object crash-consistently: temp file, fsync, rename,
+// parent-directory fsync. Before this routed through durable.AtomicWriteFile
+// it renamed an unsynced temp file, so a power cut could surface a
+// "committed" object as empty — the rename can reach the directory before
+// the data reaches the platters.
 func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return durable.AtomicWriteFile(path, data, 0o644)
 }
 
-// Put implements ObjectStore.
+// writeErrors counts Puts that failed to reach disk (see DiskStore.Put).
+var writeErrors = telemetry.Default.Counter("photostore_write_errors_total")
+
+// Put implements ObjectStore. The interface swallows the error, so a failed
+// write is logged, counted (photostore_write_errors_total), and the object
+// is marked absent — a stale meta entry would make Usage and Len advertise
+// an object GetRaw can't serve.
 func (d *DiskStore) Put(id uint64, raw []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := writeAtomic(d.rawPath(id), raw); err != nil {
-		// Keep the interface signature; surface through a zero meta so
-		// GetRaw reports the miss.
+		telemetry.ComponentLogger("photostore").Error("raw object write failed",
+			slog.Uint64("id", id), slog.Any("err", err))
+		writeErrors.Inc()
+		// Drop the object entirely: a half-written state must read as a
+		// miss, not as whatever bytes the previous version held.
+		_ = os.Remove(d.rawPath(id))
+		delete(d.meta, id)
 		return
 	}
 	d.metaFor(id).rawLen = len(raw)

@@ -1,0 +1,109 @@
+package photostore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndpipe/internal/telemetry"
+)
+
+// TestWriteAtomicLeavesNoTemp is the regression test for the unsynced-rename
+// bug: writeAtomic must route through durable.AtomicWriteFile, which fsyncs
+// the temp file and the parent directory and never leaves a temp file behind.
+func TestWriteAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	if err := writeAtomic(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite: the previous content must be fully replaced, atomically.
+	if err := writeAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "obj" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after atomic writes: %v", names)
+	}
+}
+
+// breakRawDir makes every future raw write fail by replacing the raw/
+// subdirectory with a regular file (ENOTDIR defeats even a root test run,
+// which permission bits would not).
+func breakRawDir(t *testing.T, dir string) {
+	t.Helper()
+	raw := filepath.Join(dir, "raw")
+	if err := os.RemoveAll(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(raw, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutSurfacesWriteErrors: ObjectStore.Put swallows the error, so a failed
+// write must be logged, counted in photostore_write_errors_total, and the
+// object must read as a miss rather than linger in the index.
+func TestPutSurfacesWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakRawDir(t, dir)
+
+	before := telemetry.Default.Counter("photostore_write_errors_total").Value()
+	d.Put(7, []byte{1, 2, 3})
+	after := telemetry.Default.Counter("photostore_write_errors_total").Value()
+	if after != before+1 {
+		t.Fatalf("photostore_write_errors_total went %d -> %d, want +1", before, after)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("failed Put left %d objects in the index", d.Len())
+	}
+	if _, err := d.GetRaw(7); err == nil {
+		t.Fatal("failed Put still readable")
+	}
+}
+
+// TestPutFailureEvictsStaleObject: when an overwrite of an existing object
+// fails, the previous version must not survive in the index — a half-written
+// state must read as a miss, not as the old bytes presented as the new ones.
+func TestPutFailureEvictsStaleObject(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(9, []byte("v1"))
+	if d.Len() != 1 {
+		t.Fatalf("seed Put failed, Len=%d", d.Len())
+	}
+	breakRawDir(t, dir)
+	d.Put(9, []byte("v2"))
+	if d.Len() != 0 {
+		t.Fatalf("failed overwrite left %d objects indexed", d.Len())
+	}
+	if _, err := d.GetRaw(9); err == nil {
+		t.Fatal("object readable after failed overwrite eviction")
+	}
+	if u := d.Usage(); u.RawBytes != 0 {
+		t.Fatalf("usage still accounts %d raw bytes for evicted object", u.RawBytes)
+	}
+}

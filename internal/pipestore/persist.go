@@ -1,0 +1,131 @@
+// PipeStore crash consistency (S31). A store's recoverable training state
+// is one pair: the classifier snapshot and its version. It lives in a
+// single checksummed file, state.snap, atomically replaced after every
+// applied delta — so a restarted store re-registers at its real version
+// (Hello.ModelVersion) and receives only the catch-up for the rounds it
+// missed, instead of the full composite a cold store needs.
+//
+// Unlike the tuner's chain root, state.snap is never the only copy of
+// anything: a damaged file degrades to a cold start (version 0), which the
+// catch-up path repairs. Corruption is therefore logged and counted, never
+// fatal.
+package pipestore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/telemetry"
+)
+
+// psState is the checksummed payload of state.snap.
+type psState struct {
+	Version int
+	Model   []byte // nn.EncodeSnapshot of the classifier at Version
+}
+
+// StoreRecovery describes what OpenState found.
+type StoreRecovery struct {
+	Version int           // recovered model version (0 = cold)
+	Cold    bool          // no usable state.snap (fresh dir or damaged file)
+	Elapsed time.Duration // wall time of the recovery
+}
+
+// OpenState attaches the store to a state directory and, if a valid
+// state.snap exists, restores the persisted classifier and version. Call
+// before Serve so the Hello carries the recovered version.
+func (n *Node) OpenState(dir string) (StoreRecovery, error) {
+	return n.OpenStateFaults(dir, nil)
+}
+
+// OpenStateFaults is OpenState with a disk-fault schedule (crash tests).
+func (n *Node) OpenStateFaults(dir string, faults *durable.Faults) (StoreRecovery, error) {
+	start := time.Now()
+	var rec StoreRecovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return rec, fmt.Errorf("pipestore %s: state dir: %w", n.ID, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stateDir != "" {
+		return rec, fmt.Errorf("pipestore %s: state already open at %s", n.ID, n.stateDir)
+	}
+	n.stateDir = dir
+	n.stateFaults = faults
+
+	path := n.statePath()
+	payload, err := durable.ReadFileChecksummed(path)
+	if errors.Is(err, os.ErrNotExist) {
+		rec.Cold = true
+		rec.Elapsed = time.Since(start)
+		return rec, nil
+	}
+	var st psState
+	if err == nil {
+		err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&st)
+	}
+	var snap nn.Snapshot
+	if err == nil {
+		snap, err = nn.DecodeSnapshot(bytes.NewReader(st.Model))
+	}
+	if err == nil {
+		err = n.clf.Restore(snap)
+	}
+	if err != nil {
+		// Damaged state: cold-start and let catch-up repair us. Remove the
+		// file so the next persist is a fresh write, not a doomed re-read.
+		n.log.Warn("state.snap unusable; cold start", slog.Any("err", err))
+		telemetry.Default.Counter("pipestore_state_corrupt_total").Inc()
+		_ = os.Remove(path)
+		rec.Cold = true
+		rec.Elapsed = time.Since(start)
+		return rec, nil
+	}
+	n.clfSnap = snap
+	n.clfVersion = st.Version
+	n.met.modelVersion.Set(float64(st.Version))
+	rec.Version = st.Version
+	rec.Elapsed = time.Since(start)
+	recoverSeconds().Observe(rec.Elapsed.Seconds())
+	n.log.Info("state recovered",
+		slog.String("dir", dir),
+		slog.Int("version", st.Version),
+		slog.Duration("elapsed", rec.Elapsed))
+	return rec, nil
+}
+
+func recoverSeconds() *telemetry.Histogram {
+	return telemetry.Default.Histogram(telemetry.Labeled("durable_recover_seconds", "component", "pipestore"))
+}
+
+// statePath is the snapshot file location (caller holds n.mu).
+func (n *Node) statePath() string { return filepath.Join(n.stateDir, "state.snap") }
+
+// persistStateLocked atomically replaces state.snap with the current
+// classifier snapshot + version. Caller holds n.mu. A persistence failure
+// is returned: an unpersistable store must not ack a delta it would forget.
+func (n *Node) persistStateLocked() error {
+	if n.stateDir == "" {
+		return nil
+	}
+	var model bytes.Buffer
+	if err := nn.EncodeSnapshot(&model, n.clfSnap); err != nil {
+		return fmt.Errorf("pipestore %s: encoding state: %w", n.ID, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&psState{Version: n.clfVersion, Model: model.Bytes()}); err != nil {
+		return fmt.Errorf("pipestore %s: encoding state: %w", n.ID, err)
+	}
+	if err := n.stateFaults.WriteFileChecksummed(n.statePath(), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("pipestore %s: persisting state: %w", n.ID, err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Crash-consistency tests for the store's state.snap (S31).
+package pipestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/durable"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/telemetry"
+)
+
+func tinyStoreConfig() core.ModelConfig {
+	return core.ModelConfig{Seed: 7, InputDim: 6, BackboneHidden: 8, FeatureDim: 8, HeadHidden: 8, Classes: 4}
+}
+
+// testDelta builds an applicable v1 delta: the store's initial classifier
+// with every weight nudged.
+func testDelta(t *testing.T, n *Node) []byte {
+	t.Helper()
+	from := n.ClassifierSnapshot()
+	to := make(nn.Snapshot, len(from))
+	for name, m := range from {
+		c := m.Clone()
+		for i := range c.Data {
+			c.Data[i] += 0.25
+		}
+		to[name] = c
+	}
+	d, err := delta.Diff(from, to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func encodeSnap(t *testing.T, s nn.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := nn.EncodeSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCrashStorePersistRoundTrip: a delta applied with a state dir open is
+// durable — a fresh node over the same dir recovers the exact version and
+// byte-identical classifier.
+func TestCrashStorePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n1, err := New("ps-wal", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := n1.OpenState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Cold || rec.Version != 0 {
+		t.Fatalf("fresh dir must recover cold at v0, got %+v", rec)
+	}
+	if err := n1.ApplyDelta(testDelta(t, n1), 1); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeSnap(t, n1.ClassifierSnapshot())
+
+	n2, err := New("ps-wal", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := n2.OpenState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Cold || rec2.Version != 1 {
+		t.Fatalf("restart must recover warm at v1, got %+v", rec2)
+	}
+	if n2.ModelVersion() != 1 {
+		t.Fatalf("restarted node at v%d, want 1", n2.ModelVersion())
+	}
+	if got := encodeSnap(t, n2.ClassifierSnapshot()); !bytes.Equal(got, want) {
+		t.Fatal("recovered classifier is not byte-identical")
+	}
+}
+
+// TestCrashStoreCorruptStateFallsBackCold: every single-byte corruption of
+// state.snap must degrade to a counted cold start (catch-up repairs it) —
+// never an error, panic, or silent acceptance of damaged weights.
+func TestCrashStoreCorruptStateFallsBackCold(t *testing.T) {
+	dir := t.TempDir()
+	n1, err := New("ps-corrupt", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.ApplyDelta(testDelta(t, n1), 1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "state.snap")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := telemetry.Default.Counter("pipestore_state_corrupt_total")
+	// Corrupting any one byte in a sample across the file must cold-start.
+	for i := 0; i < len(whole); i += 17 {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := corrupt.Value()
+		n, err := New("ps-corrupt", tinyStoreConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := n.OpenState(dir)
+		if err != nil {
+			t.Fatalf("byte %d: corruption must not be fatal: %v", i, err)
+		}
+		if !rec.Cold || rec.Version != 0 || n.ModelVersion() != 0 {
+			t.Fatalf("byte %d: corrupt state accepted: %+v v%d", i, rec, n.ModelVersion())
+		}
+		if corrupt.Value() != before+1 {
+			t.Fatalf("byte %d: pipestore_state_corrupt_total not incremented", i)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("byte %d: damaged state.snap not removed", i)
+		}
+	}
+	// A truncated file behaves the same way.
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New("ps-corrupt", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := n.OpenState(dir)
+	if err != nil || !rec.Cold {
+		t.Fatalf("truncated state: rec=%+v err=%v", rec, err)
+	}
+}
+
+// TestCrashStorePersistFailureRollsBack is the persist-before-ack rule: a
+// delta whose state write crashes must be reported as an error, and the
+// in-memory model must roll back to agree with what a restart would see.
+func TestCrashStorePersistFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	faults, err := durable.ParseFaults("seed=9;crash:before-rename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New("ps-rollback", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OpenStateFaults(dir, faults); err != nil {
+		t.Fatal(err)
+	}
+	before := encodeSnap(t, n.ClassifierSnapshot())
+	if err := n.ApplyDelta(testDelta(t, n), 1); err == nil {
+		t.Fatal("delta whose persist crashes must not be accepted")
+	}
+	if n.ModelVersion() != 0 {
+		t.Fatalf("failed persist left version at %d, want rollback to 0", n.ModelVersion())
+	}
+	if got := encodeSnap(t, n.ClassifierSnapshot()); !bytes.Equal(got, before) {
+		t.Fatal("failed persist left the in-memory model ahead of disk")
+	}
+	// The crash left no durable state: a restart is a cold start.
+	n2, err := New("ps-rollback", tinyStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := n2.OpenState(dir)
+	if err != nil || !rec.Cold {
+		t.Fatalf("restart after crashed persist: rec=%+v err=%v", rec, err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/delta"
+	"ndpipe/internal/durable"
 	"ndpipe/internal/nn"
 	"ndpipe/internal/npe"
 	"ndpipe/internal/photostore"
@@ -38,6 +39,12 @@ type Node struct {
 	clfVersion int
 	images     []dataset.Image
 	store      photostore.ObjectStore
+
+	// Crash consistency (see persist.go): with a state dir open, every
+	// applied delta atomically persists the new snapshot + version before
+	// it is acked, so a restarted store re-registers at its real version.
+	stateDir    string
+	stateFaults *durable.Faults
 
 	met    nodeMetrics
 	tracer *telemetry.Tracer
@@ -150,6 +157,18 @@ func (n *Node) ModelVersion() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.clfVersion
+}
+
+// ClassifierSnapshot returns a deep copy of the installed classifier state
+// (what the store would persist), for recovery assertions and experiments.
+func (n *Node) ClassifierSnapshot() nn.Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(nn.Snapshot, len(n.clfSnap))
+	for k, m := range n.clfSnap {
+		out[k] = m.Clone()
+	}
+	return out
 }
 
 // loadedImage is an item flowing through the NPE pipeline.
@@ -302,21 +321,43 @@ func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Me
 
 // ApplyDelta installs a Check-N-Run classifier delta broadcast by the Tuner.
 func (n *Node) ApplyDelta(blob []byte, version int) error {
+	return n.applyDelta(blob, version, false)
+}
+
+// applyDelta installs a delta against the current snapshot — or, when
+// rebase is set, against the deterministic initial classifier (the Tuner
+// sends rebase catch-ups when this store's version predates its pruned
+// history floor). With a state dir open the new state is made durable
+// before the method returns, so the ack that follows is a promise the
+// store keeps across restarts.
+func (n *Node) applyDelta(blob []byte, version int, rebase bool) error {
 	d, err := delta.Decode(blob)
 	if err != nil {
 		return fmt.Errorf("pipestore %s: %w", n.ID, err)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	snap, err := d.Apply(n.clfSnap)
+	base := n.clfSnap
+	if rebase {
+		base = n.cfg.NewClassifier().TakeSnapshot()
+	}
+	snap, err := d.Apply(base)
 	if err != nil {
 		return fmt.Errorf("pipestore %s: %w", n.ID, err)
 	}
 	if err := n.clf.Restore(snap); err != nil {
 		return fmt.Errorf("pipestore %s: %w", n.ID, err)
 	}
+	prevSnap, prevVersion := n.clfSnap, n.clfVersion
 	n.clfSnap = snap
 	n.clfVersion = version
+	if err := n.persistStateLocked(); err != nil {
+		// Roll back: an unpersistable delta must not be acked, and the
+		// in-memory model must agree with what we would recover to.
+		n.clfSnap, n.clfVersion = prevSnap, prevVersion
+		_ = n.clf.Restore(prevSnap)
+		return err
+	}
 	n.met.deltasApplied.Inc()
 	n.met.modelVersion.Set(float64(version))
 	return nil
@@ -425,7 +466,9 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 func (n *Node) Serve(conn net.Conn) error {
 	defer conn.Close()
 	c := wire.NewCodec(conn)
-	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID}); err != nil {
+	// The Hello advertises our persisted model version, so the Tuner ships
+	// only the catch-up for rounds we missed (nothing, if we're current).
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID, ModelVersion: n.ModelVersion()}); err != nil {
 		return err
 	}
 	cmds := make(chan *wire.Message)
@@ -492,7 +535,7 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 	case wire.MsgModelDelta:
 		span := n.tracer.StartSpanIn(tc, "pipestore.apply-delta")
 		span.SetAttr("store", n.ID)
-		err := n.ApplyDelta(msg.Blob, msg.ModelVersion)
+		err := n.applyDelta(msg.Blob, msg.ModelVersion, msg.Rebase)
 		span.End()
 		n.shipSpans(c, tc.Trace)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -48,6 +49,11 @@ type Policy struct {
 	// per-phase timeouts, retry/backoff). Zero fields take the tuner
 	// defaults; see tuner.DefaultRoundOptions.
 	Rounds tuner.RoundOptions
+	// StateDir, when set, makes the deployment crash-consistent: the tuner
+	// opens its WAL under <StateDir>/tuner and each store persists its model
+	// under <StateDir>/<storeID>. A service restarted on the same directory
+	// recovers the last committed model version, epoch, and labels.
+	StateDir string
 }
 
 // DefaultPolicy retrains every 1,000 uploads with the paper's defaults.
@@ -122,6 +128,18 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 		return nil, err
 	}
 	tn.SetRoundOptions(policy.Rounds)
+	if policy.StateDir != "" {
+		// Recover before any store registers: a Hello must be answered from
+		// fully recovered state, never a half-replayed one.
+		rec, err := tn.OpenState(filepath.Join(policy.StateDir, "tuner"))
+		if err != nil {
+			return nil, err
+		}
+		telemetry.ComponentLogger("service").Info("tuner state recovered",
+			slog.Int("version", rec.Version),
+			slog.Int("epoch", rec.Epoch),
+			slog.Int("wal_records", rec.Records))
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -139,6 +157,12 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 		if err != nil {
 			ln.Close()
 			return nil, err
+		}
+		if policy.StateDir != "" {
+			if _, err := ps.OpenState(filepath.Join(policy.StateDir, ps.ID)); err != nil {
+				ln.Close()
+				return nil, err
+			}
 		}
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {

@@ -1,0 +1,559 @@
+// Crash-injection tests (S31): kill/restart the tuner and stores at every
+// interesting point — including a torn WAL write at every single byte
+// offset — and prove the recovered state is byte-identical to the last
+// durably committed round. They run under -race via `make crash`.
+package tuner
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/durable"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+)
+
+// tinyModelConfig keeps crash-test deltas around a kilobyte so the
+// every-byte-offset WAL sweep stays fast.
+func tinyModelConfig() core.ModelConfig {
+	return core.ModelConfig{Seed: 7, InputDim: 6, BackboneHidden: 8, FeatureDim: 8, HeadHidden: 8, Classes: 4}
+}
+
+func tinyWorld(t *testing.T, images int, seed int64) *dataset.World {
+	t.Helper()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InputDim = 6
+	wcfg.InitialClasses = 4
+	wcfg.MaxClasses = 4
+	wcfg.InitialImages = images
+	return dataset.NewWorld(wcfg)
+}
+
+// crashCluster is a tuner + store fleet whose state lives under root:
+// the tuner at root/tuner, each store at root/<store-id>.
+type crashCluster struct {
+	tn     *Node
+	stores []*chaosStore
+	ln     net.Listener
+	root   string
+	cfg    core.ModelConfig
+	world  *dataset.World
+	shards [][]dataset.Image
+}
+
+func (c *crashCluster) tunerDir() string      { return filepath.Join(c.root, "tuner") }
+func (c *crashCluster) storeDir(i int) string { return filepath.Join(c.root, fmt.Sprintf("cs-%d", i)) }
+func (c *crashCluster) walPath() string       { return filepath.Join(c.tunerDir(), "tuner.wal") }
+func (c *crashCluster) encodedClassifier() []byte {
+	return mustEncode(c.tn.Classifier().TakeSnapshot())
+}
+
+// crashClusterUp builds a persistent cluster. With storeState, every store
+// opens its own state dir before serving (so its Hello carries the
+// persisted version on a restart).
+func crashClusterUp(t *testing.T, root string, nStores, images int, seed int64, storeState bool) *crashCluster {
+	t.Helper()
+	c := &crashCluster{root: root, cfg: tinyModelConfig()}
+	c.world = tinyWorld(t, images, seed)
+	c.shards = c.world.Shard(nStores)
+
+	tn, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.OpenState(c.tunerDir()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.tn, c.ln = tn, ln
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, nStores) }()
+
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("cs-%d", i), c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if storeState {
+			if _, err := ps.OpenState(c.storeDir(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ps.Ingest(c.shards[i]); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &chaosStore{ps: ps, conn: conn, done: make(chan error, 1)}
+		go func() { cs.done <- cs.ps.Serve(cs.conn) }()
+		c.stores = append(c.stores, cs)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	tn.SetRoundOptions(RoundOptions{
+		Quorum: 1, StoreTimeout: 5 * time.Second, RoundTimeout: 60 * time.Second,
+		MaxRetries: 1, Backoff: time.Millisecond, BackoffCap: 10 * time.Millisecond, Seed: 1,
+	})
+	return c
+}
+
+func crashTrainOpts() ftdmp.TrainOptions { return soakOpts() }
+
+// copyTree duplicates a state directory (the "disk image" a restarted
+// process would see).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashTunerRestartRecoversExactState: run rounds and a label pass,
+// kill the tuner, restart from the state dir, and require the recovered
+// model bytes, version, epoch, and label count to match exactly.
+func TestCrashTunerRestartRecoversExactState(t *testing.T) {
+	c := crashClusterUp(t, t.TempDir(), 2, 160, 11, false)
+	for round := 0; round < 2; round++ {
+		if _, err := c.tn.FineTune(2, 32, crashTrainOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.tn.OfflineInference(32); err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := c.tn.ModelVersion()
+	wantEpoch := c.tn.Epoch()
+	wantModel := c.encodedClassifier()
+	wantLabels := c.tn.DB().Len()
+	if wantVersion != 2 || wantLabels == 0 {
+		t.Fatalf("setup: version %d, labels %d", wantVersion, wantLabels)
+	}
+	c.ln.Close()
+	c.tn.Close() // "kill": every committed round is already fsynced
+
+	tn2, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn2.Close()
+	rep, err := tn2.OpenState(c.tunerDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != wantVersion || tn2.ModelVersion() != wantVersion {
+		t.Fatalf("recovered version %d (report %d), want %d", tn2.ModelVersion(), rep.Version, wantVersion)
+	}
+	if rep.Epoch != wantEpoch || tn2.Epoch() != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", tn2.Epoch(), wantEpoch)
+	}
+	// 2 round records + 1 label-pass record.
+	if rep.Records != 3 {
+		t.Fatalf("replayed %d records, want 3", rep.Records)
+	}
+	if rep.TornBytes != 0 {
+		t.Fatalf("clean shutdown left a torn tail of %d bytes", rep.TornBytes)
+	}
+	got := mustEncode(tn2.Classifier().TakeSnapshot())
+	if string(got) != string(wantModel) {
+		t.Fatal("recovered classifier is not byte-identical")
+	}
+	if tn2.DB().Len() != wantLabels {
+		t.Fatalf("recovered %d labels, want %d", tn2.DB().Len(), wantLabels)
+	}
+}
+
+// TestCrashTunerWALTornAtEveryOffset is the kill-at-any-point property:
+// for EVERY byte offset of the WAL, a tuner restarted from a log truncated
+// there must recover exactly the last round whose record fully survived —
+// byte-identical model, correct version, correct torn-tail accounting —
+// and the recovered log must accept new appends.
+func TestCrashTunerWALTornAtEveryOffset(t *testing.T) {
+	c := crashClusterUp(t, t.TempDir(), 2, 160, 13, false)
+
+	type commit struct {
+		walSize int64
+		version int
+		model   []byte
+	}
+	commits := []commit{{walSize: 0, version: 0, model: c.encodedClassifier()}}
+	for round := 0; round < 2; round++ {
+		if _, err := c.tn.FineTune(2, 32, crashTrainOpts()); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(c.walPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, commit{walSize: fi.Size(), version: c.tn.ModelVersion(), model: c.encodedClassifier()})
+	}
+	wal, err := os.ReadFile(c.walPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(filepath.Join(c.tunerDir(), "base.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ln.Close()
+	c.tn.Close()
+
+	scratch := t.TempDir()
+	if err := os.WriteFile(filepath.Join(scratch, "base.snap"), base, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for offset := int64(0); offset <= int64(len(wal)); offset++ {
+		// The disk image a crash at this write offset would leave behind.
+		if err := os.WriteFile(filepath.Join(scratch, "tuner.wal"), wal[:offset], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want := commits[0]
+		for _, cm := range commits {
+			if cm.walSize <= offset {
+				want = cm
+			}
+		}
+		tn, err := New(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := tn.OpenState(scratch)
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", offset, err)
+		}
+		if rep.Version != want.version {
+			t.Fatalf("offset %d: recovered v%d, want v%d", offset, rep.Version, want.version)
+		}
+		if rep.TornBytes != offset-want.walSize {
+			t.Fatalf("offset %d: torn bytes %d, want %d", offset, rep.TornBytes, offset-want.walSize)
+		}
+		if got := mustEncode(tn.Classifier().TakeSnapshot()); string(got) != string(want.model) {
+			t.Fatalf("offset %d: recovered model differs from commit v%d", offset, want.version)
+		}
+		// The truncated-and-repaired log must be appendable again.
+		rec, err := encodeWAL(walRecord{Kind: walRound, Version: want.version + 1, Epoch: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.mu.Lock()
+		err = tn.state.wal.Append(rec)
+		tn.mu.Unlock()
+		if err != nil {
+			t.Fatalf("offset %d: recovered log rejects appends: %v", offset, err)
+		}
+		tn.Close()
+	}
+}
+
+// TestCrashCompactionAtEveryFaultPoint drives CompactState into an
+// injected crash or error at each of its durability points (base.snap
+// write, base.snap rename, WAL rewrite write, WAL rewrite rename, fsync
+// failure). Whatever half-state the crash leaves, a restart must recover
+// the exact pre-compaction model.
+func TestCrashCompactionAtEveryFaultPoint(t *testing.T) {
+	c := crashClusterUp(t, t.TempDir(), 2, 160, 17, false)
+	for round := 0; round < 3; round++ {
+		if _, err := c.tn.FineTune(2, 32, crashTrainOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantModel := c.encodedClassifier()
+	c.ln.Close()
+	c.tn.Close()
+
+	specs := []string{
+		"seed=3;crash:write,after=1",         // during the new base.snap's data write
+		"seed=3;crash:before-rename",         // base.snap temp never renamed
+		"seed=3;crash:after-rename",          // base replaced, WAL not yet rewritten
+		"seed=3;crash:write,after=2",         // during the WAL rewrite's data write
+		"seed=3;crash:before-rename,after=2", // WAL rewrite temp never renamed
+		"seed=3;syncerr:after=1",             // first fsync fails (error, not crash)
+	}
+	for _, spec := range specs {
+		dir := t.TempDir()
+		copyTree(t, c.tunerDir(), dir)
+		faults, err := durable.ParseFaults(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := New(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tn.OpenStateFaults(dir, faults); err != nil {
+			t.Fatalf("%s: recovery before compaction: %v", spec, err)
+		}
+		if err := tn.CompactState(2); err == nil {
+			t.Fatalf("%s: compaction must fail under the injected fault", spec)
+		}
+		tn.Close()
+
+		// Restart on whatever the crash left behind.
+		tn2, err := New(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := tn2.OpenState(dir)
+		if err != nil {
+			t.Fatalf("%s: recovery after crashed compaction: %v", spec, err)
+		}
+		if rep.Version != 3 {
+			t.Fatalf("%s: recovered v%d, want v3", spec, rep.Version)
+		}
+		if got := mustEncode(tn2.Classifier().TakeSnapshot()); string(got) != string(wantModel) {
+			t.Fatalf("%s: recovered model differs after crashed compaction", spec)
+		}
+		tn2.Close()
+	}
+
+	// And a compaction that is allowed to finish: still v3, old history
+	// pruned, and a pre-floor joiner falls back to a rebase delta.
+	dir := t.TempDir()
+	copyTree(t, c.tunerDir(), dir)
+	tn, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	if _, err := tn.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.CompactState(2); err != nil {
+		t.Fatal(err)
+	}
+	tn2, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn2.Close()
+	rep, err := tn2.OpenState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 3 || rep.Records != 1 {
+		t.Fatalf("post-compaction recovery: v%d from %d records, want v3 from 1", rep.Version, rep.Records)
+	}
+	if got := mustEncode(tn2.Classifier().TakeSnapshot()); string(got) != string(wantModel) {
+		t.Fatal("post-compaction recovery: model differs")
+	}
+	if tn2.Archive().Oldest() != 2 {
+		t.Fatalf("archive floor %d, want 2", tn2.Archive().Oldest())
+	}
+	blob, to, rebase, err := tn2.catchUpFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebase || to != 3 || len(blob) == 0 {
+		t.Fatalf("pre-floor catch-up: rebase=%v to=%d bytes=%d", rebase, to, len(blob))
+	}
+}
+
+// TestCrashStoreRestartMinimalCatchUp is the acceptance criterion for the
+// versioned rejoin path: a store restarted from its state dir re-registers
+// at its persisted version, gets only the rounds it missed (byte-identical
+// result), and a store persisted at the latest version gets a catch-up
+// strictly smaller than the full composite a cold store needs — zero bytes.
+func TestCrashStoreRestartMinimalCatchUp(t *testing.T) {
+	c := crashClusterUp(t, t.TempDir(), 2, 160, 19, true)
+	if _, err := c.tn.FineTune(2, 32, crashTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	// Kill store 0, then commit round 2 without it (degraded, quorum 1):
+	// its persisted state stays at v1 while the fleet moves to v2.
+	c.stores[0].conn.Close()
+	select {
+	case <-c.stores[0].done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed store session did not terminate")
+	}
+	if _, err := c.tn.FineTune(2, 32, crashTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if c.tn.ModelVersion() != 2 {
+		t.Fatalf("tuner at v%d, want v2", c.tn.ModelVersion())
+	}
+	tunerModel := c.encodedClassifier()
+
+	// Restart store 0 as a fresh process over the same state dir.
+	ps, err := pipestore.New("cs-0", c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ps.OpenState(c.storeDir(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cold || rec.Version != 1 {
+		t.Fatalf("restarted store recovered cold=%v v%d, want warm v1", rec.Cold, rec.Version)
+	}
+	if err := ps.Ingest(c.shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.stores[0].ps = ps
+	rejoin(t, c.tn, c.ln, c.stores[0], nil)
+	warm := c.tn.LastCatchUp()
+	if warm.From != 1 || warm.To != 2 || warm.Rebase || warm.Bytes == 0 {
+		t.Fatalf("warm rejoin catch-up: %+v", warm)
+	}
+	if ps.ModelVersion() != 2 {
+		t.Fatalf("rejoined store at v%d, want 2", ps.ModelVersion())
+	}
+	if got := mustEncode(ps.ClassifierSnapshot()); string(got) != string(tunerModel) {
+		t.Fatal("caught-up store model is not byte-identical to the tuner's")
+	}
+
+	// A cold store (no state) needs the full composite from v0.
+	cold, err := pipestore.New("cs-cold", c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csCold := &chaosStore{ps: cold}
+	rejoin(t, c.tn, c.ln, csCold, nil)
+	coldInfo := c.tn.LastCatchUp()
+	if coldInfo.From != 0 || coldInfo.To != 2 || coldInfo.Bytes == 0 {
+		t.Fatalf("cold join catch-up: %+v", coldInfo)
+	}
+
+	// A store persisted AT the latest version: restart store 1 (it acked
+	// and persisted v2 before we kill it) and require a zero-byte catch-up —
+	// strictly smaller than the cold store's full composite.
+	c.stores[1].conn.Close()
+	select {
+	case <-c.stores[1].done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed store session did not terminate")
+	}
+	ps1, err := pipestore.New("cs-1", c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, err := ps1.OpenState(c.storeDir(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Version != 2 {
+		t.Fatalf("restarted store 1 recovered v%d, want 2", rec1.Version)
+	}
+	if err := ps1.Ingest(c.shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	c.stores[1].ps = ps1
+	rejoin(t, c.tn, c.ln, c.stores[1], nil)
+	atLatest := c.tn.LastCatchUp()
+	if atLatest.From != 2 || atLatest.To != 2 {
+		t.Fatalf("at-latest rejoin catch-up: %+v", atLatest)
+	}
+	if atLatest.Bytes != 0 {
+		t.Fatalf("store persisted at the latest version was sent %d bytes, want 0", atLatest.Bytes)
+	}
+	if atLatest.Bytes >= coldInfo.Bytes {
+		t.Fatalf("persisted catch-up (%d B) must be strictly smaller than cold composite (%d B)",
+			atLatest.Bytes, coldInfo.Bytes)
+	}
+	if got := mustEncode(ps1.ClassifierSnapshot()); string(got) != string(tunerModel) {
+		t.Fatal("at-latest store model is not byte-identical to the tuner's")
+	}
+}
+
+// TestCrashTunerJournalBeforeBroadcast: a round whose WAL append crashes
+// must fail without moving the fleet — no store may ever hold a version
+// the restarted tuner cannot reconstruct.
+func TestCrashTunerJournalBeforeBroadcast(t *testing.T) {
+	root := t.TempDir()
+	// Write op 1 is OpenState creating base.snap; op 2 is the round's WAL
+	// append — the crash point under test.
+	faults, err := durable.ParseFaults("seed=5;crash:write,after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &crashCluster{root: root, cfg: tinyModelConfig()}
+	c.world = tinyWorld(t, 160, 23)
+	c.shards = c.world.Shard(1)
+	tn, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.OpenStateFaults(c.tunerDir(), faults); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, 1) }()
+	ps, err := pipestore.New("cs-0", c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Ingest(c.shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ps.Serve(conn) }()
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	tn.SetRoundOptions(RoundOptions{Quorum: 1, StoreTimeout: 5 * time.Second,
+		RoundTimeout: 60 * time.Second, MaxRetries: -1, Backoff: time.Millisecond, Seed: 1})
+
+	if _, err := tn.FineTune(2, 32, crashTrainOpts()); err == nil {
+		t.Fatal("round must fail when its journal write crashes")
+	}
+	// The store never saw the delta: the failed round broadcast nothing.
+	if v := ps.ModelVersion(); v != 0 {
+		t.Fatalf("store holds v%d after a round that never became durable", v)
+	}
+	conn.Close()
+	ln.Close()
+	tn.Close()
+
+	// A restart recovers the pre-round state (v0) from the torn journal.
+	tn2, err := New(c.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn2.Close()
+	rep, err := tn2.OpenState(c.tunerDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 0 {
+		t.Fatalf("recovered v%d after crashed journal write, want v0", rep.Version)
+	}
+}

@@ -1,0 +1,351 @@
+// Tuner crash consistency (S31). The training state that must survive a
+// restart is exactly what a round commits: the delta chain (one blob per
+// released version), the round epoch, and the label database. It lives
+// under -state-dir as
+//
+//	base.snap   checksummed: chain root (base version + epoch + full snapshot)
+//	tuner.wal   CRC32C record log: one record per committed round / label pass
+//	labels.snap checksummed: gob labeldb snapshot (rewritten per label pass)
+//
+// Write ordering makes every point crash-safe:
+//
+//   - A round journals its WAL record (fsynced) BEFORE the delta broadcast,
+//     so no store can ever hold a version the restarted tuner cannot
+//     reconstruct.
+//   - Compaction writes the new base.snap FIRST (atomic replace), then
+//     rewrites the WAL. Replay skips records at or below the base version,
+//     so a crash between the two steps replays the old records harmlessly.
+//   - labels.snap is a whole-file atomic replace; a torn write leaves the
+//     previous snapshot, and a corrupt one degrades to a cold label DB
+//     (labels are reconstructible by the next offline-inference pass).
+package tuner
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/modelstore"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/telemetry"
+)
+
+// WAL record kinds.
+const (
+	walRound  = 1 // a committed fine-tuning round (carries the delta blob)
+	walLabels = 2 // a committed offline-inference pass (labels.snap ref)
+)
+
+// walRecord is one WAL entry, gob-encoded inside a durable.Log frame.
+type walRecord struct {
+	Kind    int
+	Version int
+	Epoch   int
+	Delta   []byte // walRound only: the round's encoded delta blob
+}
+
+// baseSnap is the checksummed payload of base.snap: the delta chain's root.
+type baseSnap struct {
+	Version int
+	Epoch   int
+	Model   []byte // nn.EncodeSnapshot of the classifier at Version
+}
+
+// nodeState is the tuner's open persistence handles.
+type nodeState struct {
+	dir    string
+	wal    *durable.Log
+	faults *durable.Faults
+}
+
+func (s *nodeState) basePath() string   { return filepath.Join(s.dir, "base.snap") }
+func (s *nodeState) walPath() string    { return filepath.Join(s.dir, "tuner.wal") }
+func (s *nodeState) labelsPath() string { return filepath.Join(s.dir, "labels.snap") }
+
+// RecoveryReport describes what OpenState reconstructed.
+type RecoveryReport struct {
+	Version   int           // recovered model version
+	Epoch     int           // recovered round epoch
+	Records   int           // WAL records replayed
+	TornBytes int64         // bytes truncated from the WAL's torn tail
+	Labels    int           // label entries restored
+	Elapsed   time.Duration // wall time of the whole recovery
+}
+
+// OpenState attaches the tuner to a state directory, replaying any existing
+// WAL to recover the exact model version, epoch, and version archive of the
+// last durably committed round. It must run before rounds start and before
+// AcceptStores (a store must never register against half-recovered state).
+// From then on every committed round is journaled before its broadcast.
+func (t *Node) OpenState(dir string) (RecoveryReport, error) {
+	return t.OpenStateFaults(dir, nil)
+}
+
+// OpenStateFaults is OpenState with a disk-fault schedule (crash tests).
+func (t *Node) OpenStateFaults(dir string, faults *durable.Faults) (RecoveryReport, error) {
+	start := time.Now()
+	span := telemetry.Default.Spans().StartTrace("tuner.recover")
+	defer span.End()
+	var rep RecoveryReport
+	if t.state != nil {
+		return rep, fmt.Errorf("tuner: state already open at %s", t.state.dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return rep, fmt.Errorf("tuner: state dir: %w", err)
+	}
+	st := &nodeState{dir: dir, faults: faults}
+
+	// Root the chain. A missing base.snap is a fresh state dir: persist the
+	// deterministic initial classifier as the root so every later recovery
+	// is self-contained. A corrupt one is a hard error — after compaction
+	// the root is the only copy of pruned history's endpoint.
+	base := baseSnap{Model: mustEncode(t.cfg.NewClassifier().TakeSnapshot())}
+	payload, err := durable.ReadFileChecksummed(st.basePath())
+	switch {
+	case err == nil:
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&base); err != nil {
+			return rep, fmt.Errorf("tuner: base.snap undecodable: %w", err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		if err := writeBase(st, base); err != nil {
+			return rep, err
+		}
+	default:
+		return rep, fmt.Errorf("tuner: base.snap unreadable: %w", err)
+	}
+	rootSnap, err := nn.DecodeSnapshot(bytes.NewReader(base.Model))
+	if err != nil {
+		return rep, fmt.Errorf("tuner: base.snap model: %w", err)
+	}
+	archive := modelstore.NewAt(base.Version, rootSnap)
+	epoch := base.Epoch
+
+	// Replay the WAL on top of the root. Records at or below the archive's
+	// latest version are replays of pre-compaction history — skip them.
+	wal, stats, err := durable.Open(st.walPath(), faults, func(p []byte) error {
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); err != nil {
+			return fmt.Errorf("undecodable record: %w", err)
+		}
+		if rec.Epoch > epoch {
+			epoch = rec.Epoch
+		}
+		if rec.Kind != walRound || rec.Version <= archive.Latest() {
+			return nil
+		}
+		v, err := archive.AppendBlob(rec.Delta)
+		if err != nil {
+			return err
+		}
+		if v != rec.Version {
+			return fmt.Errorf("record says version %d, chain is at %d", rec.Version, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("tuner: wal replay: %w", err)
+	}
+	rep.Records = stats.Records
+	rep.TornBytes = stats.TornBytes
+
+	// Labels: recoverable state, not critical state. Corrupt → cold DB.
+	if payload, err := durable.ReadFileChecksummed(st.labelsPath()); err == nil {
+		if err := t.db.Load(bytes.NewReader(payload)); err != nil {
+			t.log.Warn("labels.snap undecodable; starting with empty label DB", slog.Any("err", err))
+		} else {
+			rep.Labels = t.db.Len()
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		t.log.Warn("labels.snap damaged; starting with empty label DB", slog.Any("err", err))
+	}
+
+	// Install the recovered model.
+	latest := archive.Latest()
+	snap, err := archive.Snapshot(latest)
+	if err != nil {
+		return rep, fmt.Errorf("tuner: reconstructing version %d: %w", latest, err)
+	}
+	t.mu.Lock()
+	if err := t.clf.Restore(snap); err != nil {
+		t.mu.Unlock()
+		wal.Close()
+		return rep, fmt.Errorf("tuner: restoring recovered model: %w", err)
+	}
+	t.archive = archive
+	t.version = latest
+	t.epoch = epoch
+	t.state = st
+	st.wal = wal
+	t.mu.Unlock()
+
+	rep.Version = latest
+	rep.Epoch = epoch
+	rep.Elapsed = time.Since(start)
+	t.met.modelVersion.Set(float64(latest))
+	recoverSeconds("tuner").Observe(rep.Elapsed.Seconds())
+	span.SetAttr("version", fmt.Sprint(latest))
+	span.SetAttr("records", fmt.Sprint(rep.Records))
+	span.SetAttr("torn_bytes", fmt.Sprint(rep.TornBytes))
+	t.log.Info("state recovered",
+		slog.String("dir", dir),
+		slog.Int("version", latest),
+		slog.Int("epoch", epoch),
+		slog.Int("wal_records", rep.Records),
+		slog.Int64("torn_bytes", rep.TornBytes),
+		slog.Int("labels", rep.Labels),
+		slog.Duration("elapsed", rep.Elapsed))
+	return rep, nil
+}
+
+// recoverSeconds is the per-component recovery-time histogram.
+func recoverSeconds(component string) *telemetry.Histogram {
+	return telemetry.Default.Histogram(telemetry.Labeled("durable_recover_seconds", "component", component))
+}
+
+// StateDir returns the open state directory ("" when running in-memory).
+func (t *Node) StateDir() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == nil {
+		return ""
+	}
+	return t.state.dir
+}
+
+// Epoch returns the current round epoch (recovered across restarts).
+func (t *Node) Epoch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// journalRoundLocked makes a committed round durable before it is
+// broadcast. Caller holds t.mu. A journaling failure aborts the round: the
+// archive entry stays in memory but no store ever sees the version, so a
+// restart (which recovers the previous version) cannot strand the fleet
+// ahead of the tuner.
+func (t *Node) journalRoundLocked(version, epoch int, blob []byte) error {
+	if t.state == nil {
+		return nil
+	}
+	rec, err := encodeWAL(walRecord{Kind: walRound, Version: version, Epoch: epoch, Delta: blob})
+	if err != nil {
+		return err
+	}
+	if err := t.state.wal.Append(rec); err != nil {
+		return fmt.Errorf("tuner: journaling round %d: %w", version, err)
+	}
+	return nil
+}
+
+// persistLabels snapshots the label DB (atomic replace) and journals the
+// pass, so a restarted tuner serves the labels of the last completed
+// offline-inference pass.
+func (t *Node) persistLabels(version, epoch int) error {
+	t.mu.Lock()
+	st := t.state
+	t.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := t.db.Save(&buf); err != nil {
+		return err
+	}
+	if err := st.faults.WriteFileChecksummed(st.labelsPath(), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("tuner: persisting labels: %w", err)
+	}
+	rec, err := encodeWAL(walRecord{Kind: walLabels, Version: version, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == nil {
+		return nil
+	}
+	if err := t.state.wal.Append(rec); err != nil {
+		return fmt.Errorf("tuner: journaling label pass: %w", err)
+	}
+	return nil
+}
+
+// CompactState prunes archive history below keepFrom and shrinks the WAL to
+// match: the new chain root goes to base.snap first (atomic replace), then
+// the WAL is rewritten with only the surviving rounds. A crash between the
+// two steps is safe — replay skips records at or below the new root.
+func (t *Node) CompactState(keepFrom int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == nil {
+		return fmt.Errorf("tuner: no state dir open")
+	}
+	snap, err := t.archive.Snapshot(keepFrom)
+	if err != nil {
+		return err
+	}
+	if err := writeBase(t.state, baseSnap{Version: keepFrom, Epoch: t.epoch, Model: mustEncode(snap)}); err != nil {
+		return err
+	}
+	if err := t.archive.Prune(keepFrom); err != nil {
+		return err
+	}
+	blobs := t.archive.Blobs()
+	payloads := make([][]byte, 0, len(blobs))
+	for i, b := range blobs {
+		rec, err := encodeWAL(walRecord{Kind: walRound, Version: keepFrom + i + 1, Epoch: t.epoch, Delta: b})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, rec)
+	}
+	if err := t.state.wal.Rewrite(payloads); err != nil {
+		return fmt.Errorf("tuner: rewriting wal: %w", err)
+	}
+	t.log.Info("state compacted",
+		slog.Int("base_version", keepFrom),
+		slog.Int("wal_records", len(payloads)),
+		slog.Int64("wal_bytes", t.state.wal.Size()))
+	return nil
+}
+
+// closeState releases the WAL handle (called from Close).
+func (t *Node) closeState() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != nil && t.state.wal != nil {
+		_ = t.state.wal.Close()
+	}
+	t.state = nil
+}
+
+func writeBase(st *nodeState, b baseSnap) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&b); err != nil {
+		return fmt.Errorf("tuner: encoding base.snap: %w", err)
+	}
+	return st.faults.WriteFileChecksummed(st.basePath(), buf.Bytes(), 0o644)
+}
+
+func encodeWAL(rec walRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return nil, fmt.Errorf("tuner: encoding wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func mustEncode(snap nn.Snapshot) []byte {
+	var buf bytes.Buffer
+	// EncodeSnapshot only fails on writer errors; a bytes.Buffer cannot.
+	if err := nn.EncodeSnapshot(&buf, snap); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

@@ -546,6 +546,13 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 	}
 	t.version = t.archive.Latest()
 	version := t.version
+	// Durability barrier: the round's WAL record is fsynced BEFORE any
+	// store sees the new version, so no acked delta can ever reference a
+	// version a restarted tuner fails to recover.
+	if err := t.journalRoundLocked(version, rc.epoch, blob); err != nil {
+		t.mu.Unlock()
+		return Report{}, err
+	}
 	// The broadcast targets the *current* fleet — surviving participants
 	// plus any store that registered mid-round (already caught up to the
 	// pre-round version; deltas carry absolute values, so even a straddling
@@ -718,6 +725,11 @@ func (t *Node) OfflineInferenceTraced(parent telemetry.SpanContext, batch int) (
 	}
 	if agg.Total > 0 {
 		agg.FixedFrac = float64(agg.Changed) / float64(agg.Total)
+	}
+	// The pass is complete: snapshot the refreshed label DB so a restarted
+	// tuner serves these labels rather than the previous pass's.
+	if err := t.persistLabels(version, rc.epoch); err != nil {
+		return labeldb.RefreshStats{}, err
 	}
 	logger.Info("offline inference complete",
 		slog.Int("epoch", rc.epoch),

@@ -22,6 +22,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
 	"ndpipe/internal/ftdmp"
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/modelstore"
@@ -57,6 +58,12 @@ type Node struct {
 	inbox     chan inbound
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// state is the crash-consistency layer (nil = in-memory only). Opened
+	// by OpenState before rounds begin; every committed round journals to
+	// its WAL before broadcast. See persist.go.
+	state       *nodeState
+	lastCatchUp CatchUpInfo
 
 	rngMu sync.Mutex
 	rng   backoffRNG
@@ -267,17 +274,20 @@ func (t *Node) AddStore(conn net.Conn) error {
 	}
 	sc.lastRun.Set(-1)
 	sc.touch()
-	// Late joiner: bring the store's classifier to the current version with
-	// one composite catch-up delta before it enters the fleet.
+	// Late joiner: bring the store's classifier to the current version
+	// before it enters the fleet. The Hello carries the store's persisted
+	// version (0 for cold or pre-persistence stores), so a restarted store
+	// gets only the delta for the rounds it missed — or nothing, if its
+	// state is already current — instead of the full composite from v0.
+	blob, to, rebase, err := t.catchUpFrom(hello.ModelVersion)
+	if err != nil {
+		return fmt.Errorf("tuner: catch-up for %s: %w", sc.id, err)
+	}
 	t.mu.Lock()
-	version := t.version
+	t.lastCatchUp = CatchUpInfo{StoreID: sc.id, From: hello.ModelVersion, To: to, Bytes: len(blob), Rebase: rebase}
 	t.mu.Unlock()
-	if version > 0 {
-		blob, to, err := t.archive.CatchUp(0)
-		if err != nil {
-			return fmt.Errorf("tuner: catch-up for %s: %w", sc.id, err)
-		}
-		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to}); err != nil {
+	if blob != nil {
+		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to, Rebase: rebase}); err != nil {
 			return fmt.Errorf("tuner: sending catch-up to %s: %w", sc.id, err)
 		}
 		ack, err := codec.Recv()
@@ -415,9 +425,58 @@ func (t *Node) Evaluate(test *dataset.Batch, k int) (top1, topK float64) {
 	return nn.Accuracy(full, test.X, test.Labels, k)
 }
 
-// Close disconnects all stores.
+// CatchUpInfo records the most recent AddStore catch-up — what the tuner
+// shipped to bring a (re)joining store current. Bytes is 0 when the store's
+// persisted version was already the latest (nothing sent).
+type CatchUpInfo struct {
+	StoreID string
+	From    int
+	To      int
+	Bytes   int
+	Rebase  bool
+}
+
+// LastCatchUp returns the most recent AddStore catch-up record.
+func (t *Node) LastCatchUp() CatchUpInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastCatchUp
+}
+
+// catchUpFrom builds the minimal delta upgrading a store from the claimed
+// version to the latest. A nil blob means the store is already current.
+// Versions outside the archive's reconstructible range — hostile claims, or
+// honest ones that predate a compaction's prune floor — fall back to a
+// rebase delta: a diff from the deterministic initial classifier (which
+// every store can reconstruct from cfg) to the latest snapshot.
+func (t *Node) catchUpFrom(from int) (blob []byte, to int, rebase bool, err error) {
+	latest := t.archive.Latest()
+	if from == latest {
+		return nil, latest, false, nil
+	}
+	if from >= t.archive.Oldest() && from < latest {
+		blob, to, err = t.archive.CatchUp(from)
+		return blob, to, false, err
+	}
+	end, err := t.archive.Snapshot(latest)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	d, err := delta.Diff(t.cfg.NewClassifier().TakeSnapshot(), end, 0)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	blob, err = d.Encode()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return blob, latest, true, nil
+}
+
+// Close disconnects all stores and releases the state handles.
 func (t *Node) Close() {
 	t.closeOnce.Do(func() { close(t.done) })
+	t.closeState()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, sc := range t.stores {

@@ -94,10 +94,19 @@ type Message struct {
 	IDs    []uint64
 	Final  bool // last batch of this run from this store
 
-	// MsgModelDelta / MsgLabels
+	// MsgModelDelta / MsgLabels. MsgHello also carries ModelVersion: the
+	// store's persisted model version (0 = cold start), so the Tuner can
+	// ship a minimal catch-up delta instead of the full composite. Absent
+	// from pre-persistence stores, which gob-decodes to 0 — exactly the
+	// cold-start behaviour they had.
 	Blob         []byte
 	ModelVersion int
 	LabelsOut    map[uint64]int
+	// Rebase marks a catch-up delta computed against the deterministic
+	// initial classifier rather than the receiver's current snapshot — sent
+	// when the store's persisted version predates the Tuner's pruned history
+	// floor. Decodes as false from pre-rebase peers (gob zero value).
+	Rebase bool
 
 	// MsgError
 	Err string
