@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos crash fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke fmt-check ci
 
 all: build vet test
 
@@ -39,7 +39,15 @@ crash:
 	$(GO) test -race ./internal/durable/
 	$(GO) test -race -v -run 'TestCrash' ./internal/tuner/ ./internal/pipestore/
 
+# Serving-gateway smoke: closed-loop load through the gateway with shed and
+# tenant-throttle rejections in play, checking request conservation (every
+# outcome client-visible AND counted in /metrics) plus the concurrent
+# upload/delta hammer and bitwise batched-vs-sequential identity — all under
+# the race detector.
+serve-smoke:
+	$(GO) test -race -v -run 'TestServeSmoke|TestServeHammer|TestServeBitwiseAcrossParallelism|TestServeMemoVersionGate' ./internal/serve/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos crash
+ci: build vet fmt-check race bench chaos crash serve-smoke

@@ -10,14 +10,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/inferserver"
+	"ndpipe/internal/labeldb"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/serve"
 	"ndpipe/internal/tuner"
 )
 
@@ -27,6 +34,10 @@ func main() {
 		nrun   = flag.Int("nrun", 3, "pipelined FT-DMP runs")
 		images = flag.Int("images", 6000, "photo-world population")
 		seed   = flag.Int64("seed", 1, "world seed")
+
+		serveUploads = flag.Int("serve-uploads", 0, "after training, push this many concurrent uploads through the serving gateway (0=skip)")
+		serveBatch   = flag.Int("serve-max-batch", 64, "gateway: photos per coalesced batch")
+		serveWait    = flag.Duration("serve-max-wait", 500*time.Microsecond, "gateway: max time a partial batch stays open")
 	)
 	flag.Parse()
 
@@ -82,6 +93,73 @@ func main() {
 	fmt.Printf("[NDPipe] inference throughput: %.2fIPS\n", float64(st.Total)/inf)
 	fmt.Printf("[NDPipe] label database: %d entries, %.2f%% relabeled by v%d\n",
 		tn.DB().Len(), 100*st.FixedFrac, st.ModelVersion)
+
+	if *serveUploads > 0 {
+		serveDemo(cfg, world, *serveUploads, *serveBatch, *serveWait, *seed)
+	}
+}
+
+// serveDemo pushes a burst of concurrent uploads — a Zipf-popular mix of
+// re-shared content under fresh photo IDs — through the online serving
+// gateway and prints the throughput, tail latency, and batching/cache
+// telemetry the gateway exists to provide.
+func serveDemo(cfg core.ModelConfig, world *dataset.World, uploads, maxBatch int, maxWait time.Duration, seed int64) {
+	nodes := make([]*pipestore.Node, 2)
+	for i := range nodes {
+		ps, err := pipestore.New(fmt.Sprintf("gw-%d", i), cfg)
+		check(err)
+		nodes[i] = ps
+	}
+	srv, err := inferserver.New(cfg, nodes, labeldb.New())
+	check(err)
+	gw, err := serve.New(srv, serve.Options{MaxBatch: maxBatch, MaxWait: maxWait})
+	check(err)
+	defer gw.Close()
+
+	catalog := world.Images()
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(len(catalog)-1))
+	stream := make([]dataset.Image, uploads)
+	for i := range stream {
+		img := catalog[z.Uint64()]
+		img.ID = 3_000_000_000 + uint64(i)
+		stream[i] = img
+	}
+
+	const clients = 64
+	lats := make([]time.Duration, len(stream))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					return
+				}
+				t := time.Now()
+				_, err := gw.UploadImage(stream[i])
+				lats[i] = time.Since(t)
+				check(err)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	st := gw.Stats()
+	hitPct := 0.0
+	if st.CacheHits+st.CacheMisses > 0 {
+		hitPct = 100 * float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	fmt.Printf("[serve] %d uploads from %d clients: %.0f uploads/sec, p99 %.2fms\n",
+		uploads, clients, float64(uploads)/wall, float64(p99.Microseconds())/1000)
+	fmt.Printf("[serve] mean batch %.1f, cache hit %.1f%% (%d memoized), %d SLO violations\n",
+		st.MeanBatch(), hitPct, st.CacheResultHits, st.SLOViolations)
 }
 
 func check(err error) {

@@ -15,6 +15,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/serve"
 	"ndpipe/internal/service"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
@@ -33,6 +34,16 @@ func main() {
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 		stateDir = flag.String("state-dir", "", "persist tuner WAL and store model state here; restarts recover the last committed round (empty=in-memory)")
+
+		serveOn     = flag.Bool("serve", false, "route uploads through the serving gateway (dynamic batching + admission control + feature cache)")
+		serveBatch  = flag.Int("serve-max-batch", 0, "gateway: photos per coalesced batch (0=default)")
+		serveWait   = flag.Duration("serve-max-wait", 0, "gateway: max time the batcher holds a partial batch open (0=default)")
+		serveQueue  = flag.Int("serve-queue", 0, "gateway: admission queue depth (0=default)")
+		servePolicy = flag.String("serve-policy", "block", "gateway overload policy: block|shed")
+		serveSLO    = flag.Duration("serve-slo", 0, "gateway: upload-latency SLO target (0=default)")
+		serveCache  = flag.Int("serve-cache", 0, "gateway: content-hash feature-cache entries (0=default, -1=off)")
+		serveTRate  = flag.Float64("serve-tenant-rate", 0, "gateway: per-tenant admission rate in uploads/sec (0=unthrottled)")
+		serveTBurst = flag.Int("serve-tenant-burst", 0, "gateway: per-tenant token-bucket burst (0=derived from rate)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -61,6 +72,23 @@ func main() {
 	policy := service.DefaultPolicy()
 	policy.RetrainEveryUploads = *every
 	policy.StateDir = *stateDir
+	if *serveOn {
+		pol, err := serve.ParsePolicy(*servePolicy)
+		if err != nil {
+			fatal(err)
+		}
+		policy.Serve = true
+		policy.ServeOptions = serve.Options{
+			MaxBatch:     *serveBatch,
+			MaxWait:      *serveWait,
+			QueueDepth:   *serveQueue,
+			Policy:       pol,
+			SLOTarget:    *serveSLO,
+			CacheEntries: *serveCache,
+			TenantRate:   *serveTRate,
+			TenantBurst:  *serveTBurst,
+		}
+	}
 	svc, err := service.Start(core.DefaultModelConfig(), *stores, policy)
 	if err != nil {
 		fatal(err)
@@ -80,6 +108,8 @@ func main() {
 
 	start := time.Now()
 	var searchHits int
+	// svc.Upload routes through the gateway itself when -serve is set, so
+	// the retrain/drift policy keeps firing on gateway uploads.
 	err = trace.Replay(events,
 		func(img dataset.Image) error {
 			_, err := svc.Upload(img)
@@ -96,6 +126,15 @@ func main() {
 	fmt.Printf("replay done in %.1fs: %d photos stored, %d retrain cycles, model v%d\n",
 		elapsed.Seconds(), svc.DB().Len(), svc.RetrainRounds(), svc.ModelVersion())
 	fmt.Printf("search results served: %d\n", searchHits)
+	if gw := svc.Gateway(); gw != nil {
+		st := gw.Stats()
+		hitPct := 0.0
+		if st.CacheHits+st.CacheMisses > 0 {
+			hitPct = 100 * float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		}
+		fmt.Printf("gateway: %d admitted, %d completed, mean batch %.1f, cache hit %.1f%% (%d memo), %d shed, %d SLO violations\n",
+			st.Admitted, st.Completed, st.MeanBatch(), hitPct, st.CacheResultHits, st.Rejected(), st.SLOViolations)
+	}
 
 	test := world.FreshTestSet(1000)
 	top1, top5 := svc.Evaluate(test, 5)

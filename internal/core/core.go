@@ -152,11 +152,19 @@ func (c ModelConfig) NewClassifier() *nn.Network {
 // EncodeFloats serializes a float64 vector little-endian — the preprocessed
 // binary format stored by photostore and decoded by the NPE pipeline.
 func EncodeFloats(v []float64) []byte {
-	out := make([]byte, 8*len(v))
+	return AppendFloats(make([]byte, 0, 8*len(v)), v)
+}
+
+// AppendFloats appends the little-endian serialization of v to dst and
+// returns the extended slice: EncodeFloats without the per-call allocation,
+// for hot paths that recycle an encode buffer.
+func AppendFloats(dst []byte, v []float64) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(v))...)
 	for i, f := range v {
-		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+		binary.LittleEndian.PutUint64(dst[off+i*8:], math.Float64bits(f))
 	}
-	return out
+	return dst
 }
 
 // DecodeFloats reverses EncodeFloats.

@@ -62,6 +62,23 @@ type Image struct {
 	Class int
 	Day   int
 	Feat  []float64
+	// Raw optionally carries the photo's raw bytes, as a client upload
+	// would. When nil, storage nodes regenerate the content from the ID via
+	// Blob — correct but wasteful on the serving hot path, so load
+	// generators pre-attach payloads (see AttachRaw). Once uploaded, Raw is
+	// immutable: the store keeps the slice without copying.
+	Raw []byte
+}
+
+// AttachRaw materializes every image's raw payload under spec, like a load
+// generator preparing upload bodies before the timed run. Images that
+// already carry Raw are left alone.
+func AttachRaw(imgs []Image, spec BlobSpec) {
+	for i := range imgs {
+		if imgs[i].Raw == nil {
+			imgs[i].Raw = Blob(imgs[i].ID, spec)
+		}
+	}
 }
 
 // Batch is a design-matrix view of a set of images.

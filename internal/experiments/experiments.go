@@ -110,6 +110,8 @@ func Registry() map[string]Func {
 		"faults": Faults,
 		// Crash consistency: WAL replay and warm vs cold store rejoin.
 		"recovery": Recovery,
+		// Online serving: batched gateway vs sequential upload loop.
+		"serve": Serve,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/inferserver"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/serve"
+	"ndpipe/internal/telemetry"
+)
+
+// serveRig is one fresh online-serving deployment: an inference server over
+// its own PipeStores. Every sweep point gets a new rig so rows don't inherit
+// warm caches or grown shards from earlier rows.
+func serveRig(cfg core.ModelConfig, stores int) (*inferserver.Server, error) {
+	nodes := make([]*pipestore.Node, stores)
+	for i := range nodes {
+		ps, err := pipestore.New(fmt.Sprintf("srv-%d", i), cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = ps
+	}
+	return inferserver.New(cfg, nodes, labeldb.New())
+}
+
+// makeStream builds the offered upload stream as a Zipf-popular serving mix,
+// the standard model for content-serving workloads: each arrival is a
+// distinct photo object (fresh ID) whose *content* is drawn from a catalog
+// with Zipf(s) popularity — re-shares, cross-posts and duplicate uploads of
+// popular photos. The first arrival of any content is a cache miss; repeats
+// are what the content-hash cache exists for. Draws are deterministic in the
+// seed; the realized repeat fraction is reported in the table, not assumed.
+func makeStream(catalog []dataset.Image, total int, s float64, seed int64) []dataset.Image {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(len(catalog)-1))
+	stream := make([]dataset.Image, total)
+	for i := range stream {
+		img := catalog[z.Uint64()]
+		img.ID = 2_000_000_000 + uint64(i) // every arrival is a new photo object
+		stream[i] = img
+	}
+	return stream
+}
+
+// driveOpenLoop offers stream at a fixed arrival rate (uploads/sec) and
+// serves it from a bounded worker pool. Latency is measured from each
+// request's scheduled arrival time, not from when a worker got to it, so an
+// overloaded system shows its real queueing delay instead of hiding it by
+// slowing the generator (no coordinated omission). Returns achieved
+// throughput and every per-request latency, sorted.
+func driveOpenLoop(stream []dataset.Image, rate float64, workers int, up func(dataset.Image) error) (float64, []time.Duration, error) {
+	tickets := make(chan int, len(stream))
+	lats := make([]time.Duration, len(stream))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	t0 := time.Now()
+	sched := func(i int) time.Time {
+		return t0.Add(time.Duration(float64(i) * float64(time.Second) / rate))
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tickets {
+				err := up(stream[i])
+				lats[i] = time.Since(sched(i))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	// The generator checks the clock lazily: while behind schedule it must
+	// not burn the (shared) CPU on a time.Now-per-ticket spin — `now` only
+	// refreshes when the next scheduled arrival might still be in the future.
+	now := t0
+	for i := range stream {
+		if s := sched(i); now.Before(s) {
+			now = time.Now()
+			if d := s.Sub(now); d > 0 {
+				time.Sleep(d)
+				now = s
+			}
+		}
+		tickets <- i
+	}
+	close(tickets)
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	if firstErr != nil {
+		return 0, nil, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return float64(len(stream)) / wall, lats, nil
+}
+
+// driveClosedLoop runs `clients` goroutines each uploading their strided
+// share of imgs back-to-back. Used for the capacity probe and the replay /
+// shed validation rows.
+func driveClosedLoop(imgs []dataset.Image, clients int, up func(dataset.Image) error) (float64, []time.Duration, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	lats := make([][]time.Duration, clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			own := make([]time.Duration, 0, len(imgs)/clients+1)
+			for i := c; i < len(imgs); i += clients {
+				s := time.Now()
+				err := up(imgs[i])
+				own = append(own, time.Since(s))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			lats[c] = own
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	if firstErr != nil {
+		return 0, nil, firstErr
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return float64(len(all)) / wall, all, nil
+}
+
+// pctMs reads an exact percentile (nearest-rank on the sorted sample) in ms.
+func pctMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Seconds() * 1e3
+}
+
+// Serve measures the online serving gateway against the sequential Upload
+// loop as a throughput-vs-p99 curve: a fixed-rate offered-load sweep (in
+// multiples of the sequential path's measured capacity) over an upload mix
+// that is half fresh photos, half re-uploads of earlier content under new
+// IDs. The sequential baseline recomputes everything per request; the
+// gateway coalesces batches and serves repeated content from the
+// content-hash feature cache. Latency percentiles are exact and measured
+// from scheduled arrival, so an overloaded mode shows its real backlog.
+// Separate rows validate cache bitwise identity (replay) and shed
+// accounting under overload.
+func Serve(p Params) (*Table, error) {
+	cfg := core.DefaultModelConfig()
+	const (
+		nStores = 2
+		zipfS   = 1.2 // popularity skew of the serving mix
+		workers = 128
+	)
+	multipliers := []float64{0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}
+	streamLen := 6000
+	if p.Quick {
+		multipliers = []float64{1.0, 2.0, 3.0, 4.0}
+		streamLen = 1200
+	}
+	wcfg := dataset.DefaultConfig(p.Seed)
+	wcfg.InitialImages = streamLen // catalog: more uniques than any stream needs
+	uniques := dataset.NewWorld(wcfg).Images()[:streamLen]
+	// Like any load generator, prepare the upload payloads before the timed
+	// runs — both modes ingest real raw bytes instead of synthesizing them
+	// inside the measurement.
+	dataset.AttachRaw(uniques, dataset.DefaultJPEGSpec())
+	stream := makeStream(uniques, streamLen, zipfS, p.Seed+1)
+	freshStream := uniques // all-distinct content: the no-repeat control
+
+	t := &Table{
+		ID:    "serve",
+		Title: "Online serving: batched+cached gateway vs sequential upload (offered-load sweep)",
+		Header: []string{"mode", "offered/s", "uploads/s", "p50(ms)", "p95(ms)",
+			"p99(ms)", "batch(avg)", "cacheHit%", "shed"},
+	}
+
+	gwOpts := func() serve.Options {
+		return serve.Options{
+			MaxBatch:     64,
+			MaxWait:      500 * time.Microsecond,
+			QueueDepth:   256,
+			Policy:       serve.Block,
+			CacheEntries: 2 * streamLen,
+			Registry:     telemetry.NewRegistry(),
+		}
+	}
+
+	// Capacity probe: the sequential Upload loop at full tilt sets the
+	// sweep's unit. The probe uses the same mixed stream the sweep offers.
+	probe := stream
+	if len(probe) > 1500 {
+		probe = probe[:1500]
+	}
+	srv, err := serveRig(cfg, nStores)
+	if err != nil {
+		return nil, err
+	}
+	seqCap, _, err := driveClosedLoop(probe, 1, func(img dataset.Image) error {
+		_, err := srv.Upload(img)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Saturation comparison is per offered rate: the note reports the row
+	// where the gateway's sustained throughput peaks, against the sequential
+	// loop under the SAME offered load — comparing each mode's best row at
+	// different rates would pair a saturated p99 with an unsaturated one.
+	var seqSatThr, seqSatP99, gwSatThr, gwSatP99 float64
+	for _, m := range multipliers {
+		rate := m * seqCap
+		var seqThr, seqP99 float64
+
+		// Baseline: one worker draining the arrival queue through Upload.
+		srv, err := serveRig(cfg, nStores)
+		if err != nil {
+			return nil, err
+		}
+		thr, lats, err := driveOpenLoop(stream, rate, 1, func(img dataset.Image) error {
+			_, err := srv.Upload(img)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add("sequential", int(rate), thr, pctMs(lats, 0.50), pctMs(lats, 0.95),
+			pctMs(lats, 0.99), "1.0", "-", 0)
+		seqThr, seqP99 = thr, pctMs(lats, 0.99)
+
+		// Gateway: same offered load, coalesced and cached.
+		srv, err = serveRig(cfg, nStores)
+		if err != nil {
+			return nil, err
+		}
+		g, err := serve.New(srv, gwOpts())
+		if err != nil {
+			return nil, err
+		}
+		thr, lats, err = driveOpenLoop(stream, rate, workers, func(img dataset.Image) error {
+			_, err := g.UploadImage(img)
+			return err
+		})
+		g.Close()
+		if err != nil {
+			return nil, err
+		}
+		st := g.Stats()
+		if st.Admitted != int64(len(stream)) || st.Completed != st.Admitted || st.Rejected() != 0 {
+			return nil, fmt.Errorf("serve: gateway lost requests at rate %.0f: %+v", rate, st)
+		}
+		hitPct := 100 * float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		t.Add("gateway", int(rate), thr, pctMs(lats, 0.50), pctMs(lats, 0.95),
+			pctMs(lats, 0.99), fmt.Sprintf("%.1f", st.MeanBatch()),
+			fmt.Sprintf("%.1f", hitPct), 0)
+		if thr > gwSatThr {
+			gwSatThr, gwSatP99 = thr, pctMs(lats, 0.99)
+			seqSatThr, seqSatP99 = seqThr, seqP99
+		}
+
+		// Control row: the gateway on an all-distinct stream (no repeated
+		// content), isolating what batching alone buys without the cache.
+		if m == 2.0 {
+			srv, err = serveRig(cfg, nStores)
+			if err != nil {
+				return nil, err
+			}
+			g, err := serve.New(srv, gwOpts())
+			if err != nil {
+				return nil, err
+			}
+			thr, lats, err = driveOpenLoop(freshStream, rate, workers, func(img dataset.Image) error {
+				_, err := g.UploadImage(img)
+				return err
+			})
+			g.Close()
+			if err != nil {
+				return nil, err
+			}
+			st := g.Stats()
+			t.Add("gw-nodup", int(rate), thr, pctMs(lats, 0.50), pctMs(lats, 0.95),
+				pctMs(lats, 0.99), fmt.Sprintf("%.1f", st.MeanBatch()), "0.0", 0)
+		}
+	}
+
+	// Cache replay: upload everything once, then re-upload the same content
+	// under fresh IDs — every replay must hit the content-hash cache and
+	// reproduce the original label and confidence bitwise.
+	srv, err = serveRig(cfg, nStores)
+	if err != nil {
+		return nil, err
+	}
+	opts := gwOpts()
+	g, err := serve.New(srv, opts)
+	if err != nil {
+		return nil, err
+	}
+	firstRes := make(map[uint64]inferserver.UploadResult, len(uniques))
+	var firstMu sync.Mutex
+	_, _, err = driveClosedLoop(uniques, workers, func(img dataset.Image) error {
+		r, err := g.UploadImage(img)
+		if err == nil {
+			firstMu.Lock()
+			firstRes[img.ID] = r
+			firstMu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	warm := g.Stats()
+	replays := make([]dataset.Image, len(uniques))
+	for i, img := range uniques {
+		img.ID += 1_000_000_000
+		replays[i] = img
+	}
+	thr, lats, err := driveClosedLoop(replays, workers, func(img dataset.Image) error {
+		r, err := g.UploadImage(img)
+		if err != nil {
+			return err
+		}
+		orig := firstRes[img.ID-1_000_000_000]
+		if r.Label != orig.Label || r.Confidence != orig.Confidence {
+			return fmt.Errorf("serve: cache hit for image %d not identical to miss", img.ID)
+		}
+		return nil
+	})
+	g.Close()
+	if err != nil {
+		return nil, err
+	}
+	st := g.Stats()
+	hits := st.CacheHits - warm.CacheHits
+	hitPct := 100 * float64(hits) / float64(len(replays))
+	t.Add("gw-replay", 0, thr, pctMs(lats, 0.50), pctMs(lats, 0.95),
+		pctMs(lats, 0.99), fmt.Sprintf("%.1f", st.MeanBatch()),
+		fmt.Sprintf("%.1f", hitPct), 0)
+
+	// Shed overload: a deliberately small queue with the shed policy; drops
+	// fail fast and every one is counted — offered == completed + shed.
+	srv, err = serveRig(cfg, nStores)
+	if err != nil {
+		return nil, err
+	}
+	opts = gwOpts()
+	opts.Policy = serve.Shed
+	opts.QueueDepth = 8
+	g, err = serve.New(srv, opts)
+	if err != nil {
+		return nil, err
+	}
+	var shed int64
+	var shedMu sync.Mutex
+	thr, lats, err = driveClosedLoop(stream, workers, func(img dataset.Image) error {
+		_, err := g.UploadImage(img)
+		if err == serve.ErrOverloaded {
+			shedMu.Lock()
+			shed++
+			shedMu.Unlock()
+			return nil // shedding is the expected overload behavior
+		}
+		return err
+	})
+	g.Close()
+	if err != nil {
+		return nil, err
+	}
+	st = g.Stats()
+	if st.ShedQueueFull != shed {
+		return nil, fmt.Errorf("serve: silent drop: clients saw %d sheds, gateway counted %d",
+			shed, st.ShedQueueFull)
+	}
+	if st.Admitted+st.ShedQueueFull != int64(len(stream)) {
+		return nil, fmt.Errorf("serve: conservation violated: admitted %d + shed %d != offered %d",
+			st.Admitted, st.ShedQueueFull, len(stream))
+	}
+	t.Add("gw-shed", 0, thr, pctMs(lats, 0.50), pctMs(lats, 0.95),
+		pctMs(lats, 0.99), fmt.Sprintf("%.1f", st.MeanBatch()), "-", shed)
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("offered-load sweep in multiples of the sequential capacity probe (%.0f up/s); latency measured from scheduled arrival (no coordinated omission)", seqCap),
+		fmt.Sprintf("upload mix: Zipf(%.1f)-popular content under fresh photo IDs (re-shares/duplicate uploads); realized repeat rate is the cacheHit%% column; gw-nodup row is the all-distinct control", zipfS),
+		fmt.Sprintf("at saturating offered load (same rate, both modes): gateway sustains %.0f up/s (p99 %.2fms) vs sequential %.0f up/s (p99 %.2fms) — %.1fx at %s p99",
+			gwSatThr, gwSatP99, seqSatThr, seqSatP99, gwSatThr/seqSatThr,
+			map[bool]string{true: "lower", false: "higher"}[gwSatP99 <= seqSatP99]),
+		"replay row re-uploads identical content under fresh IDs; hits are bitwise-identical to misses",
+		"shed row: bounded queue (8) under the shed policy; every drop is client-visible and counted")
+	return t, nil
+}

@@ -52,6 +52,10 @@ type serverMetrics struct {
 	modelVersion  *telemetry.Gauge
 	uploadLatency *telemetry.Histogram
 	confidence    *telemetry.Histogram
+	// Upload failures by cause — without these, rejected uploads are
+	// invisible in /metrics (only their latency is observed).
+	errDim    *telemetry.Counter
+	errIngest *telemetry.Counter
 }
 
 func newServerMetrics() serverMetrics {
@@ -65,6 +69,8 @@ func newServerMetrics() serverMetrics {
 		// Confidence lives in [0,1]: linear buckets, not latency buckets.
 		confidence: reg.HistogramBuckets("inferserver_upload_confidence",
 			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+		errDim:    reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "dim")),
+		errIngest: reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "ingest")),
 	}
 }
 
@@ -149,6 +155,7 @@ type UploadResult struct {
 func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	defer func(t0 time.Time) { s.met.uploadLatency.Observe(time.Since(t0).Seconds()) }(time.Now())
 	if len(img.Feat) != s.cfg.InputDim {
+		s.met.errDim.Inc()
 		return UploadResult{}, fmt.Errorf("inferserver: image %d has dim %d, want %d",
 			img.ID, len(img.Feat), s.cfg.InputDim)
 	}
@@ -171,6 +178,7 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	// Store near the data: raw photo plus the preprocessed binary
 	// (+Offload), which the PipeStore compresses (+Comp).
 	if err := target.Ingest([]dataset.Image{img}); err != nil {
+		s.met.errIngest.Inc()
 		return UploadResult{}, err
 	}
 	// Index for search.
@@ -186,19 +194,6 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 		ImageID: img.ID, Label: label, Confidence: confidence,
 		ModelVersion: version, StoreID: target.ID,
 	}, nil
-}
-
-// UploadBatch ingests many photos, returning per-photo results.
-func (s *Server) UploadBatch(imgs []dataset.Image) ([]UploadResult, error) {
-	out := make([]UploadResult, 0, len(imgs))
-	for _, img := range imgs {
-		r, err := s.Upload(img)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
 }
 
 // Search proxies label queries to the index (the user-facing path of Fig 3).

@@ -1,6 +1,7 @@
 package inferserver
 
 import (
+	"math"
 	"testing"
 
 	"ndpipe/internal/core"
@@ -8,6 +9,7 @@ import (
 	"ndpipe/internal/delta"
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
 )
 
 func rig(t *testing.T, nStores int) (*Server, []*pipestore.Node, *dataset.World) {
@@ -72,9 +74,11 @@ func TestUploadStoresLabelsAndIndexes(t *testing.T) {
 
 func TestUploadBatchRoundRobins(t *testing.T) {
 	srv, stores, world := rig(t, 3)
-	res, err := srv.UploadBatch(world.Images()[:99])
-	if err != nil {
-		t.Fatal(err)
+	res, errs := srv.UploadBatch(world.Images()[:99])
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("photo %d: %v", i, err)
+		}
 	}
 	if len(res) != 99 || srv.Uploads() != 99 {
 		t.Fatalf("uploaded %d", len(res))
@@ -83,6 +87,161 @@ func TestUploadBatchRoundRobins(t *testing.T) {
 		if n := ps.NumImages(); n != 33 {
 			t.Fatalf("store %s holds %d, want 33 (round-robin)", ps.ID, n)
 		}
+	}
+}
+
+// One bad photo in a batch must not discard its batchmates: every other
+// photo is ingested, indexed, and reported, and the failure is attributed to
+// exactly the offending index (and counted in /metrics).
+func TestUploadBatchPartialFailure(t *testing.T) {
+	srv, _, world := rig(t, 2)
+	errsBefore := telemetry.Default.Counter(
+		telemetry.Labeled("inferserver_upload_errors_total", "reason", "dim")).Value()
+	imgs := append([]dataset.Image(nil), world.Images()[:7]...)
+	imgs[3] = dataset.Image{ID: 777, Feat: []float64{1, 2}} // wrong dim
+	res, errs := srv.UploadBatch(imgs)
+	if len(res) != 7 || len(errs) != 7 {
+		t.Fatalf("got %d results, %d errs", len(res), len(errs))
+	}
+	for i := range imgs {
+		if i == 3 {
+			if errs[i] == nil {
+				t.Fatal("bad photo must carry its own error")
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("good photo %d failed: %v", i, errs[i])
+		}
+		if res[i].ImageID != imgs[i].ID {
+			t.Fatalf("photo %d result = %+v", i, res[i])
+		}
+		if _, err := srv.DB().Get(imgs[i].ID); err != nil {
+			t.Fatalf("good photo %d not indexed", i)
+		}
+	}
+	if srv.Uploads() != 6 {
+		t.Fatalf("uploads = %d, want 6", srv.Uploads())
+	}
+	got := telemetry.Default.Counter(
+		telemetry.Labeled("inferserver_upload_errors_total", "reason", "dim")).Value()
+	if got-errsBefore != 1 {
+		t.Fatalf("error counter moved by %d, want 1", got-errsBefore)
+	}
+}
+
+// Batched inference must be bitwise-identical to the sequential Upload loop:
+// same labels, same confidence bits, same round-robin placement.
+func TestInferBatchMatchesSequentialBitwise(t *testing.T) {
+	seqSrv, _, world := rig(t, 2)
+	batSrv, _, _ := rig(t, 2)
+	imgs := world.Images()[:40]
+
+	want := make([]UploadResult, len(imgs))
+	for i, img := range imgs {
+		r, err := seqSrv.Upload(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	got, errs := batSrv.UploadBatch(imgs)
+	for i := range imgs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i].Label != want[i].Label {
+			t.Fatalf("photo %d label %d != sequential %d", i, got[i].Label, want[i].Label)
+		}
+		if math.Float64bits(got[i].Confidence) != math.Float64bits(want[i].Confidence) {
+			t.Fatalf("photo %d confidence %x != sequential %x", i,
+				math.Float64bits(got[i].Confidence), math.Float64bits(want[i].Confidence))
+		}
+		if got[i].StoreID != want[i].StoreID {
+			t.Fatalf("photo %d store %s != sequential %s", i, got[i].StoreID, want[i].StoreID)
+		}
+	}
+}
+
+// A cached embedding fed back through InferBatch must reproduce the
+// cache-miss result exactly — the frozen backbone makes hit and miss
+// bitwise-interchangeable.
+func TestInferBatchCachedEmbeddingBitwise(t *testing.T) {
+	srv, _, world := rig(t, 1)
+	img := world.Images()[5]
+	first := srv.InferBatch([]BatchRequest{{Img: img, WantEmb: true}})
+	if first[0].Err != nil {
+		t.Fatal(first[0].Err)
+	}
+	if len(first[0].Emb) == 0 {
+		t.Fatal("WantEmb must return the embedding")
+	}
+	replay := img
+	replay.ID = 424242 // same content, new upload
+	second := srv.InferBatch([]BatchRequest{{Img: replay, Emb: first[0].Emb}})
+	if second[0].Err != nil {
+		t.Fatal(second[0].Err)
+	}
+	if second[0].Label != first[0].Label ||
+		math.Float64bits(second[0].Confidence) != math.Float64bits(first[0].Confidence) {
+		t.Fatalf("cache-hit result %+v != miss result %+v", second[0], first[0])
+	}
+	bad := srv.InferBatch([]BatchRequest{{Img: img, Emb: []float64{1}}})
+	if bad[0].Err == nil {
+		t.Fatal("wrong-dim cached embedding must error")
+	}
+}
+
+// A memoized classifier result is returned verbatim while its model version
+// is current, skipping the head; once the version moves on, the memo is
+// ignored and the row is recomputed at the live version.
+func TestInferBatchMemoVersionGate(t *testing.T) {
+	srv, _, world := rig(t, 1)
+	img := world.Images()[6]
+	first := srv.InferBatch([]BatchRequest{{Img: img, WantEmb: true}})
+	if first[0].Err != nil {
+		t.Fatal(first[0].Err)
+	}
+
+	// Current version: the memo rides through untouched — visible because we
+	// plant a sentinel confidence no real softmax would produce.
+	memo := img
+	memo.ID = 555555
+	hit := srv.InferBatch([]BatchRequest{{
+		Img: memo, Emb: first[0].Emb,
+		HaveMemo: true, MemoLabel: first[0].Label, MemoConf: 0.123456,
+		MemoVersion: first[0].ModelVersion,
+	}})
+	if hit[0].Err != nil {
+		t.Fatal(hit[0].Err)
+	}
+	if hit[0].Label != first[0].Label || hit[0].Confidence != 0.123456 {
+		t.Fatalf("memo not honored: %+v", hit[0])
+	}
+	if hit[0].ModelVersion != first[0].ModelVersion {
+		t.Fatalf("memo result labeled v%d, want v%d", hit[0].ModelVersion, first[0].ModelVersion)
+	}
+
+	// Stale version: the memo must be discarded and the head recomputed —
+	// bitwise-equal to a plain upload of the same content.
+	stale := img
+	stale.ID = 666666
+	re := srv.InferBatch([]BatchRequest{{
+		Img: stale, Emb: first[0].Emb,
+		HaveMemo: true, MemoLabel: first[0].Label, MemoConf: 0.123456,
+		MemoVersion: first[0].ModelVersion - 1,
+	}})
+	if re[0].Err != nil {
+		t.Fatal(re[0].Err)
+	}
+	if re[0].Confidence == 0.123456 {
+		t.Fatal("stale memo served verbatim")
+	}
+	if re[0].Label != first[0].Label ||
+		math.Float64bits(re[0].Confidence) != math.Float64bits(first[0].Confidence) {
+		t.Fatalf("recomputed row (%d, %x) != fresh computation (%d, %x)",
+			re[0].Label, math.Float64bits(re[0].Confidence),
+			first[0].Label, math.Float64bits(first[0].Confidence))
 	}
 }
 

@@ -192,6 +192,19 @@ func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return x
 }
 
+// ForwardInto runs the stack on x and copies the output into dst, which is
+// resized via tensor.Reuse (nil allocates). It is the batched-inference
+// entry point for callers that must hold network outputs past the next
+// Forward call: per the Layer buffer-ownership contract, Forward returns
+// layer scratch that the next Forward (any goroutine, once the caller's
+// lock is released) overwrites in place. Returns dst.
+func (n *Network) ForwardInto(dst, x *tensor.Matrix) *tensor.Matrix {
+	out := n.Forward(x)
+	dst = tensor.Reuse(dst, out.Rows, out.Cols)
+	out.CopyInto(dst)
+	return dst
+}
+
 // Backward propagates ∂L/∂logits back through the stack.
 func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	for i := len(n.Layers) - 1; i >= 0; i-- {

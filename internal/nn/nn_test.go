@@ -283,6 +283,31 @@ func TestSGDMomentumAccelerates(t *testing.T) {
 	}
 }
 
+func TestForwardIntoSurvivesNextForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := NewMLP("m", []int{4, 8, 3}, rng)
+	x1 := tensor.New(2, 4)
+	x1.RandNormal(rng, 1)
+	x2 := tensor.New(2, 4)
+	x2.RandNormal(rng, 1)
+
+	kept := n.ForwardInto(nil, x1)
+	want := kept.Clone()
+	_ = n.Forward(x2) // overwrites layer scratch
+	if tensor.MaxAbsDiff(kept, want) != 0 {
+		t.Fatal("ForwardInto output must survive the next Forward")
+	}
+	// And it must equal a plain Forward bit for bit.
+	direct := n.Forward(x1)
+	if tensor.MaxAbsDiff(kept, direct) != 0 {
+		t.Fatal("ForwardInto must match Forward bitwise")
+	}
+	// Reuse path: same dst back when shapes match.
+	if again := n.ForwardInto(kept, x2); again != kept {
+		t.Fatal("matching-shape dst must be reused")
+	}
+}
+
 func TestNumParams(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := NewMLP("m", []int{10, 5, 2}, rng)

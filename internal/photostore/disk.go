@@ -2,7 +2,6 @@ package photostore
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"log/slog"
@@ -165,15 +164,17 @@ func (d *DiskStore) PutPreproc(id uint64, preproc []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(preproc)))
 	buf.Write(hdr[:])
-	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return err
-	}
-	if _, err := zw.Write(preproc); err != nil {
-		return err
-	}
-	if err := zw.Close(); err != nil {
-		return err
+	if len(preproc) < storedBlockMax {
+		buf.Write(storedBlock(preproc))
+	} else {
+		zw := acquireFlateWriter(&buf)
+		if _, err := zw.Write(preproc); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		releaseFlateWriter(zw)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -1,0 +1,61 @@
+package photostore
+
+import (
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// flate.NewWriter allocates ~50 KB of window and hash-chain state per call,
+// which dwarfs the actual deflate work for the small preprocessed binaries
+// on the upload hot path. Writers (and readers, on the training read path)
+// are pooled and Reset between uses instead; a (de)compressor goes back to
+// the pool only after a clean Close so a failed stream can never leak state
+// into the next one.
+var (
+	flateWriters sync.Pool
+	flateReaders sync.Pool
+)
+
+// storedBlockMax is the payload size below which PutPreproc emits deflate
+// stored blocks instead of BestSpeed streams: under ~1 KB the per-stream
+// LZ77/Huffman setup costs far more time than the compression saves, and the
+// output is still a valid deflate stream that GetPreproc/Inflate decode
+// unchanged.
+const storedBlockMax = 1024
+
+// storedBlock frames payload as a single final deflate stored block
+// (BFINAL=1, BTYPE=00, LEN, ^LEN, payload — RFC 1951 §3.2.4). Emitting the
+// five-byte header directly skips the flate.Writer machinery entirely on the
+// upload hot path; the result inflates through the same reader as any other
+// stream. Only valid for payloads that fit one stored block (< 64 KB),
+// which storedBlockMax guarantees.
+func storedBlock(payload []byte) []byte {
+	n := len(payload)
+	enc := make([]byte, 0, 5+n)
+	enc = append(enc, 0x01, byte(n), byte(n>>8), ^byte(n), ^byte(n>>8))
+	return append(enc, payload...)
+}
+
+func acquireFlateWriter(w io.Writer) *flate.Writer {
+	if zw, ok := flateWriters.Get().(*flate.Writer); ok {
+		zw.Reset(w)
+		return zw
+	}
+	zw, _ := flate.NewWriter(w, flate.BestSpeed) // only invalid levels error
+	return zw
+}
+
+func releaseFlateWriter(zw *flate.Writer) {
+	flateWriters.Put(zw)
+}
+
+func acquireFlateReader(r io.Reader) io.ReadCloser {
+	if zr, ok := flateReaders.Get().(io.ReadCloser); ok {
+		_ = zr.(flate.Resetter).Reset(r, nil) // nil dict never errors
+		return zr
+	}
+	return flate.NewReader(r)
+}
+
+func releaseFlateReader(zr io.ReadCloser) { flateReaders.Put(zr) }

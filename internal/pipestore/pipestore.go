@@ -26,6 +26,11 @@ import (
 	"ndpipe/internal/wire"
 )
 
+// preprocBufs recycles the per-photo preprocessed-binary encode buffers
+// (see Ingest): the object store compresses the bytes synchronously, so the
+// buffer never outlives the PutPreproc call.
+var preprocBufs sync.Pool
+
 // Node is one PipeStore.
 type Node struct {
 	ID  string
@@ -129,8 +134,21 @@ func (n *Node) Ingest(imgs []dataset.Image) error {
 			return fmt.Errorf("pipestore %s: image %d has dim %d, want %d",
 				n.ID, img.ID, len(img.Feat), n.cfg.InputDim)
 		}
-		n.store.Put(img.ID, dataset.Blob(img.ID, dataset.DefaultJPEGSpec()))
-		if err := n.store.PutPreproc(img.ID, core.EncodeFloats(img.Feat)); err != nil {
+		raw := img.Raw
+		if raw == nil {
+			// No client payload attached: regenerate the deterministic
+			// content (off-path uses like training-set backfill).
+			raw = dataset.Blob(img.ID, dataset.DefaultJPEGSpec())
+		}
+		n.store.Put(img.ID, raw)
+		// PutPreproc copies (compresses) the binary before returning, so the
+		// encode buffer can be recycled — one less allocation per photo on
+		// the upload hot path.
+		buf, _ := preprocBufs.Get().([]byte)
+		enc := core.AppendFloats(buf[:0], img.Feat)
+		err := n.store.PutPreproc(img.ID, enc)
+		preprocBufs.Put(enc)
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// admitter enforces per-tenant admission rates with lazily-created token
+// buckets: each tenant accrues rate tokens/sec up to burst, and every
+// admitted upload spends one. A tenant that outruns its bucket is throttled
+// (ErrThrottled) without touching any other tenant's budget.
+type admitter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmitter(rate, burst float64) *admitter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &admitter{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token from tenant's bucket, refilling by elapsed wall
+// time first. New tenants start with a full bucket.
+func (a *admitter) allow(tenant string, now time.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * a.rate
+			if b.tokens > a.burst {
+				b.tokens = a.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

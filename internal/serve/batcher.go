@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"ndpipe/internal/inferserver"
+)
+
+// dispatch is the batcher: it owns the consumer side of the queue, coalesces
+// arrivals into time/size-windowed batches, and runs them against the
+// backend. One dispatcher is enough — InferBatch itself fans the storage
+// path out across goroutines, so the gateway's serial section is only the
+// (batched) forward pass.
+func (g *Gateway) dispatch() {
+	defer close(g.drained)
+	for {
+		p, ok := <-g.queue
+		if !ok {
+			return
+		}
+		g.met.queueDepth.Add(-1)
+		batch := append(make([]*pending, 0, g.opts.MaxBatch), p)
+		if g.opts.MaxBatch > 1 {
+			batch = g.fill(batch)
+		}
+		g.runBatch(batch)
+	}
+}
+
+// fill grows a just-opened batch toward MaxBatch. The batcher is
+// work-conserving: it drains whatever the queue holds, yields the scheduler
+// so clients woken by the previous batch's replies get to enqueue, and
+// dispatches the moment the queue stops producing — it never idles out the
+// window when nothing more can arrive. MaxWait still bounds how long a slow
+// trickle of arrivals can hold a partial batch open.
+func (g *Gateway) fill(batch []*pending) []*pending {
+	deadline := time.Now().Add(g.opts.MaxWait)
+	idle := 0
+	for len(batch) < g.opts.MaxBatch {
+		select {
+		case q, ok := <-g.queue:
+			if !ok {
+				return batch // closed: run what we have; the outer recv exits
+			}
+			g.met.queueDepth.Add(-1)
+			batch = append(batch, q)
+			idle = 0
+			continue
+		default:
+		}
+		// Queue momentarily empty. Admitted-but-unqueued clients are
+		// runnable, not blocked, so a yield is enough for them to show up;
+		// two empty passes in a row mean nobody is coming and holding the
+		// batch open would only add dead latency.
+		if idle >= 2 || time.Now().After(deadline) {
+			return batch
+		}
+		idle++
+		runtime.Gosched()
+	}
+	return batch
+}
+
+// runBatch resolves cache hits, executes one batched inference call, feeds
+// fresh embeddings back into the cache, and answers every waiter with its
+// latency observed against the SLO.
+func (g *Gateway) runBatch(batch []*pending) {
+	reqs := make([]inferserver.BatchRequest, len(batch))
+	var keys []uint64
+	var hits []bool
+	if g.cache != nil {
+		keys = make([]uint64, len(batch))
+		hits = make([]bool, len(batch))
+	}
+	for i, p := range batch {
+		reqs[i].Img = p.req.Img
+		if g.cache == nil {
+			continue
+		}
+		keys[i] = hashFeat(p.req.Img.Feat)
+		if h, ok := g.cache.get(keys[i], p.req.Img.Feat); ok {
+			reqs[i].Emb = h.emb
+			// Offer the memoized classifier result too; the backend applies
+			// it only if the model version still matches (checked under the
+			// model lock), else it recomputes the head from the embedding.
+			reqs[i].HaveMemo = true
+			reqs[i].MemoLabel = h.label
+			reqs[i].MemoConf = h.conf
+			reqs[i].MemoVersion = h.version
+			hits[i] = true
+			g.met.cacheHit.Inc()
+		} else {
+			reqs[i].WantEmb = true // miss: bring the embedding back for the cache
+			g.met.cacheMiss.Inc()
+		}
+	}
+
+	results := g.backend.InferBatch(reqs)
+	g.met.batches.Inc()
+	g.met.batchSize.Observe(float64(len(batch)))
+
+	sloSec := g.opts.SLOTarget.Seconds()
+	done := g.now() // one completion timestamp for the whole batch
+	for i, p := range batch {
+		r := results[i]
+		if g.cache != nil && r.Err == nil {
+			switch {
+			case !hits[i] && r.Emb != nil:
+				if g.cache.put(keys[i], p.req.Img.Feat, r.Emb,
+					r.Label, r.Confidence, r.ModelVersion) {
+					g.met.cacheEvict.Inc()
+				}
+			case hits[i] && r.ModelVersion == reqs[i].MemoVersion:
+				g.met.resultHit.Inc() // memo survived the in-lock version check
+			case hits[i]:
+				// A classifier delta landed since the memo: the head was
+				// recomputed from the cached embedding — refresh the memo.
+				g.cache.put(keys[i], p.req.Img.Feat, reqs[i].Emb,
+					r.Label, r.Confidence, r.ModelVersion)
+			}
+		}
+		lat := done.Sub(p.enq).Seconds()
+		g.met.latency.Observe(lat)
+		if lat > sloSec {
+			g.met.sloViol.Inc()
+		}
+		if r.Err != nil {
+			g.met.errors.Inc()
+		}
+		g.met.completed.Inc()
+		p.resp <- outcome{res: r.UploadResult, err: r.Err}
+	}
+	if done := g.met.completed.Value(); done > 0 {
+		g.met.sloBurn.Set(float64(g.met.sloViol.Value()) / float64(done))
+	}
+}

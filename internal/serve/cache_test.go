@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newFeatureCache(2)
+	fa, fb, fc := []float64{1}, []float64{2}, []float64{3}
+	if c.put(hashFeat(fa), fa, []float64{10}, 0, 0, 0) {
+		t.Fatal("no eviction below capacity")
+	}
+	c.put(hashFeat(fb), fb, []float64{20}, 0, 0, 0)
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.get(hashFeat(fa), fa); !ok {
+		t.Fatal("a must hit")
+	}
+	if !c.put(hashFeat(fc), fc, []float64{30}, 0, 0, 0) {
+		t.Fatal("third insert at cap 2 must evict")
+	}
+	if _, ok := c.get(hashFeat(fb), fb); ok {
+		t.Fatal("b (least recently used) must be gone")
+	}
+	if _, ok := c.get(hashFeat(fa), fa); !ok {
+		t.Fatal("a must survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+// A hash collision must degrade to a miss, never serve a wrong embedding.
+func TestCacheCollisionGuard(t *testing.T) {
+	c := newFeatureCache(4)
+	feat := []float64{1, 2, 3}
+	other := []float64{4, 5, 6}
+	key := uint64(777) // force both vectors onto one key
+	c.put(key, feat, []float64{1}, 7, 0.5, 3)
+	if _, ok := c.get(key, other); ok {
+		t.Fatal("colliding content must miss")
+	}
+	if h, ok := c.get(key, feat); !ok || h.emb[0] != 1 || h.label != 7 || h.conf != 0.5 || h.version != 3 {
+		t.Fatal("original content must still hit with its memo")
+	}
+	// Refresh on the same key replaces the entry; the guard keeps working.
+	c.put(key, other, []float64{2}, 8, 0.25, 4)
+	if _, ok := c.get(key, feat); ok {
+		t.Fatal("replaced content must now miss")
+	}
+	if h, ok := c.get(key, other); !ok || h.emb[0] != 2 || h.label != 8 || h.version != 4 {
+		t.Fatal("new content must hit with the refreshed memo")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestHashFeatContentKeyed(t *testing.T) {
+	a := []float64{0.25, -3, 17}
+	b := append([]float64(nil), a...)
+	if hashFeat(a) != hashFeat(b) {
+		t.Fatal("equal content must hash equal")
+	}
+	b[2] = 17.0000000001
+	if hashFeat(a) == hashFeat(b) {
+		t.Fatal("different content should hash differently")
+	}
+	// ±0 differ in bits, so they are different content by design.
+	if hashFeat([]float64{0}) == hashFeat([]float64{math.Copysign(0, -1)}) {
+		t.Fatal("+0 and -0 are distinct bit patterns")
+	}
+}

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/inferserver"
+	"ndpipe/internal/labeldb"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tensor"
+)
+
+// rig builds a real inference server over in-process PipeStores.
+func rig(t *testing.T, nStores, nImages int, seed int64) (*inferserver.Server, *dataset.World) {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = nImages
+	world := dataset.NewWorld(wcfg)
+	var stores []*pipestore.Node
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(string(rune('a'+i)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, ps)
+	}
+	srv, err := inferserver.New(cfg, stores, labeldb.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, world
+}
+
+// makeDelta produces an encoded classifier delta that substantially changes
+// the head (the Check-N-Run update the hammer applies mid-flight).
+func makeDelta(t *testing.T, scale float64) []byte {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	clf := cfg.NewClassifier()
+	base := clf.TakeSnapshot()
+	for _, p := range clf.TrainableParams() {
+		for i := range p.W.Data {
+			p.W.Data[i] += scale * 0.05
+		}
+	}
+	d, err := delta.Diff(base, clf.TakeSnapshot(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestServeHammer drives ≥100 concurrent Upload goroutines through the
+// gateway while deltas are applied concurrently, under -race: it proves the
+// clone-under-lock scratch-buffer contract holds on the batched path (no
+// torn logits, every result well-formed) and that nothing is lost.
+func TestServeHammer(t *testing.T) {
+	const (
+		clients   = 100
+		perClient = 5
+		total     = clients * perClient
+	)
+	srv, world := rig(t, 2, total+10, 7)
+	opts := testOptions()
+	opts.MaxBatch = 16
+	opts.MaxWait = 500 * time.Microsecond
+	opts.QueueDepth = 128
+	opts.CacheEntries = 512
+	g, err := New(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultModelConfig()
+	imgs := world.Images()[:total]
+
+	// Precompute delta blobs on the test goroutine (makeDelta may t.Fatal);
+	// the applier goroutine cycles through them with increasing versions.
+	blobs := make([][]byte, 8)
+	for i := range blobs {
+		blobs[i] = makeDelta(t, float64(i+1))
+	}
+	stop := make(chan struct{})
+	var deltaWG sync.WaitGroup
+	deltaWG.Add(1)
+	go func() {
+		defer deltaWG.Done()
+		v := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := srv.ApplyDelta(blobs[v%len(blobs)], v); err != nil {
+				t.Error(err)
+				return
+			}
+			v++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				img := imgs[c*perClient+k]
+				res, err := g.Upload(Request{Img: img, Tenant: string(rune('A' + c%5))})
+				if err != nil {
+					t.Errorf("client %d upload %d: %v", c, k, err)
+					return
+				}
+				if res.ImageID != img.ID {
+					t.Errorf("client %d got result for image %d, want %d", c, res.ImageID, img.ID)
+				}
+				if res.Label < 0 || res.Label >= cfg.Classes {
+					t.Errorf("label %d out of range", res.Label)
+				}
+				if !(res.Confidence > 0 && res.Confidence <= 1) || math.IsNaN(res.Confidence) {
+					t.Errorf("torn confidence %v", res.Confidence)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	deltaWG.Wait()
+	g.Close()
+
+	st := g.Stats()
+	if st.Admitted != total || st.Completed != total || st.Errors != 0 || st.Rejected() != 0 {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if srv.Uploads() != total {
+		t.Fatalf("server ingested %d, want %d", srv.Uploads(), total)
+	}
+}
+
+// TestServeBitwiseAcrossParallelism proves the batched gateway path is
+// bitwise-identical to the sequential Upload loop at every kernel
+// parallelism level: same labels, same confidence bits per photo.
+func TestServeBitwiseAcrossParallelism(t *testing.T) {
+	defer tensor.SetParallelism(0)
+	const n = 48
+	for _, par := range []int{1, 2, 4} {
+		tensor.SetParallelism(par)
+
+		seqSrv, world := rig(t, 2, n+10, 11)
+		imgs := world.Images()[:n]
+		type key struct {
+			label int
+			bits  uint64
+		}
+		want := make(map[uint64]key, n)
+		for _, img := range imgs {
+			r, err := seqSrv.Upload(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[img.ID] = key{r.Label, math.Float64bits(r.Confidence)}
+		}
+
+		gwSrv, _ := rig(t, 2, n+10, 11)
+		opts := testOptions()
+		opts.MaxBatch = 8
+		opts.MaxWait = 200 * time.Microsecond
+		opts.CacheEntries = 64
+		g, err := New(gwSrv, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		got := make([]inferserver.UploadResult, n)
+		for i := range imgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := g.Upload(Request{Img: imgs[i]})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[i] = r
+			}(i)
+		}
+		wg.Wait()
+		g.Close()
+		for i, img := range imgs {
+			w := want[img.ID]
+			if got[i].Label != w.label || math.Float64bits(got[i].Confidence) != w.bits {
+				t.Fatalf("parallelism %d photo %d: batched (%d, %x) != sequential (%d, %x)",
+					par, i, got[i].Label, math.Float64bits(got[i].Confidence), w.label, w.bits)
+			}
+		}
+	}
+}
+
+// TestServeCacheBitwiseIdentity re-uploads identical content through the
+// gateway cache and demands bit-equal results — the cache-correctness
+// acceptance criterion.
+func TestServeCacheBitwiseIdentity(t *testing.T) {
+	const n = 24
+	srv, world := rig(t, 2, n+10, 13)
+	opts := testOptions()
+	opts.MaxBatch = 8
+	opts.MaxWait = 200 * time.Microsecond
+	opts.CacheEntries = 256
+	g, err := New(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	imgs := world.Images()[:n]
+	first := make([]inferserver.UploadResult, n)
+	for i, img := range imgs {
+		r, err := g.Upload(Request{Img: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = r
+	}
+	for i, img := range imgs {
+		replay := img
+		replay.ID = img.ID + 1_000_000 // same content, fresh upload
+		r, err := g.Upload(Request{Img: replay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Label != first[i].Label ||
+			math.Float64bits(r.Confidence) != math.Float64bits(first[i].Confidence) {
+			t.Fatalf("photo %d: cache-hit (%d, %x) != miss (%d, %x)", i,
+				r.Label, math.Float64bits(r.Confidence),
+				first[i].Label, math.Float64bits(first[i].Confidence))
+		}
+	}
+	st := g.Stats()
+	if st.CacheHits < int64(n) {
+		t.Fatalf("cache hits = %d, want ≥ %d", st.CacheHits, n)
+	}
+}
+
+// TestServeMemoVersionGate proves the result-memo tier of the cache: while
+// the model is unchanged, a repeat upload of known content skips the
+// classifier entirely (CacheResultHits) and returns the original bits; after
+// a classifier delta, the stale memo is never served — the head is recomputed
+// from the still-valid cached embedding, bitwise-identical to a fresh
+// sequential upload at the new version — and the refreshed memo hits again.
+func TestServeMemoVersionGate(t *testing.T) {
+	srv, world := rig(t, 1, 40, 19)
+	opts := testOptions()
+	opts.MaxBatch = 4
+	opts.CacheEntries = 64
+	g, err := New(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	photo := world.Images()[0]
+	first, err := g.Upload(Request{Img: photo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := photo
+	replay.ID += 1_000_000
+	second, err := g.Upload(Request{Img: replay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Label != first.Label ||
+		math.Float64bits(second.Confidence) != math.Float64bits(first.Confidence) {
+		t.Fatalf("memo hit (%d, %x) != original (%d, %x)", second.Label,
+			math.Float64bits(second.Confidence), first.Label, math.Float64bits(first.Confidence))
+	}
+	if st := g.Stats(); st.CacheResultHits != 1 {
+		t.Fatalf("CacheResultHits = %d, want 1 (stats %+v)", st.CacheResultHits, st)
+	}
+
+	if err := srv.ApplyDelta(makeDelta(t, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the sequential path at v1 on the same content.
+	ref := photo
+	ref.ID += 2_000_000
+	want, err := srv.Upload(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := photo
+	stale.ID += 3_000_000
+	got, err := g.Upload(Request{Img: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 1 {
+		t.Fatalf("post-delta upload labeled by v%d, want v1", got.ModelVersion)
+	}
+	if got.Label != want.Label ||
+		math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+		t.Fatalf("post-delta hit (%d, %x) != sequential v1 (%d, %x)", got.Label,
+			math.Float64bits(got.Confidence), want.Label, math.Float64bits(want.Confidence))
+	}
+	st := g.Stats()
+	if st.CacheResultHits != 1 {
+		t.Fatalf("stale memo must not count as a result hit: %+v", st)
+	}
+	// The recompute refreshed the memo at v1: the next repeat skips the head.
+	again := photo
+	again.ID += 4_000_000
+	r3, err := g.Upload(Request{Img: again})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Label != want.Label ||
+		math.Float64bits(r3.Confidence) != math.Float64bits(want.Confidence) {
+		t.Fatalf("refreshed memo (%d, %x) != sequential v1 (%d, %x)", r3.Label,
+			math.Float64bits(r3.Confidence), want.Label, math.Float64bits(want.Confidence))
+	}
+	if st := g.Stats(); st.CacheResultHits != 2 {
+		t.Fatalf("refreshed memo must hit: %+v", st)
+	}
+}
+
+// TestServeSmoke is the closed-loop serving smoke check behind
+// `make serve-smoke`: it drives an overloaded gateway with shedding and
+// tenant throttling, then fails on any silent drop (client-side tallies
+// must equal the gateway's counters exactly) or SLO-counter mismatch (the
+// latency histogram must have observed exactly the completed requests).
+func TestServeSmoke(t *testing.T) {
+	const (
+		clients   = 16
+		perClient = 40
+		offered   = clients * perClient
+	)
+	srv, world := rig(t, 2, offered+10, 17)
+	reg := telemetry.NewRegistry()
+	opts := Options{
+		MaxBatch:     8,
+		MaxWait:      200 * time.Microsecond,
+		QueueDepth:   16,
+		Policy:       Shed,
+		SLOTarget:    25 * time.Millisecond,
+		CacheEntries: 256,
+		TenantRate:   500, // high enough to admit most, low enough to fire
+		TenantBurst:  8,
+		Registry:     reg,
+	}
+	g, err := New(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var okN, shedN, throttledN, otherN int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	imgs := world.Images()[:offered]
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := "t0"
+			if c%4 == 0 {
+				tenant = "noisy"
+			}
+			var ok, shed, throttled, other int64
+			for k := 0; k < perClient; k++ {
+				_, err := g.Upload(Request{Img: imgs[c*perClient+k], Tenant: tenant})
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrOverloaded):
+					shed++
+				case errors.Is(err, ErrThrottled):
+					throttled++
+				default:
+					other++
+				}
+			}
+			mu.Lock()
+			okN += ok
+			shedN += shed
+			throttledN += throttled
+			otherN += other
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	g.Close()
+
+	st := g.Stats()
+	if otherN != 0 {
+		t.Fatalf("%d uploads failed with unexpected errors", otherN)
+	}
+	// No silent drops: every offered request is accounted for, and the
+	// client-observed outcome tallies match the exported counters exactly.
+	if okN+shedN+throttledN != offered {
+		t.Fatalf("client tallies %d+%d+%d != offered %d", okN, shedN, throttledN, offered)
+	}
+	if st.Admitted != okN || st.ShedQueueFull != shedN || st.ShedTenant != throttledN {
+		t.Fatalf("counter mismatch: stats %+v vs client ok=%d shed=%d throttled=%d",
+			st, okN, shedN, throttledN)
+	}
+	if st.Completed != st.Admitted {
+		t.Fatalf("admitted %d but completed %d (lost in the queue)", st.Admitted, st.Completed)
+	}
+	// SLO-counter consistency: the latency histogram observed exactly the
+	// completed requests, and violations never exceed completions.
+	h := reg.Histogram("serve_upload_seconds")
+	if h.Count() != uint64(st.Completed) {
+		t.Fatalf("serve_upload_seconds count %d != completed %d", h.Count(), st.Completed)
+	}
+	if st.SLOViolations > st.Completed {
+		t.Fatalf("slo violations %d > completed %d", st.SLOViolations, st.Completed)
+	}
+	// Every drop is visible in the registry exposition, not just Stats.
+	for reason, want := range map[string]int64{
+		"queue_full": st.ShedQueueFull,
+		"tenant":     st.ShedTenant,
+		"closed":     st.RejectedClosed,
+	} {
+		c := reg.Counter(telemetry.Labeled("serve_rejected_total", "reason", reason))
+		if c.Value() != want {
+			t.Fatalf("serve_rejected_total{reason=%q} = %d, want %d", reason, c.Value(), want)
+		}
+	}
+}

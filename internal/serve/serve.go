@@ -1,0 +1,414 @@
+// Package serve is the online serving gateway in front of the inference
+// path (§6, Fig 3): the subsystem that turns "one request, one inference
+// under a mutex" into a latency-SLO serving system.
+//
+// Three mechanisms, following the determinism-first rules of bounded-queue
+// stream processing (DESIGN.md §8):
+//
+//   - Dynamic batching: concurrent uploads are coalesced by a time/size
+//     window (MaxBatch photos or MaxWait, whichever first) into one
+//     inferserver.InferBatch call, so the pooled parallel kernels see real
+//     N×D forward passes instead of N separate 1×D ones.
+//   - Admission control: a bounded queue with an explicit overload policy
+//     (Block applies backpressure, Shed fails fast with ErrOverloaded) and
+//     per-tenant token buckets. Every rejected request is counted — drops
+//     are never silent.
+//   - Feature cache: a content-hash-keyed LRU of backbone embeddings plus a
+//     versioned memo of the classifier result. The backbone is frozen, so an
+//     embedding hit is bitwise-identical to a miss and classifier-only
+//     deltas need no invalidation; the result memo is version-gated inside
+//     the backend's model lock, so a delta transparently downgrades hits
+//     from "skip everything" to "skip the backbone, re-run the head".
+//
+// SLO burn (p50/p95/p99 against a configurable target), queue depth, batch
+// sizes, cache hit/miss and shed counts are exported through the telemetry
+// registry as serve_* metrics.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/inferserver"
+	"ndpipe/internal/telemetry"
+)
+
+// OverloadPolicy selects what a full queue does to new arrivals.
+type OverloadPolicy int
+
+const (
+	// Block applies backpressure: Upload blocks until the queue has room.
+	Block OverloadPolicy = iota
+	// Shed fails fast: Upload returns ErrOverloaded immediately and the
+	// drop is counted in serve_rejected_total{reason="queue_full"}.
+	Shed
+)
+
+// String implements fmt.Stringer.
+func (p OverloadPolicy) String() string {
+	if p == Shed {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParsePolicy parses "block" or "shed" (the -serve-policy flag values).
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "block", "":
+		return Block, nil
+	case "shed":
+		return Shed, nil
+	}
+	return Block, fmt.Errorf("serve: unknown overload policy %q (want block|shed)", s)
+}
+
+// Options configures a Gateway. The zero value of any field takes the
+// DefaultOptions value for that field.
+type Options struct {
+	// MaxBatch is the largest coalesced forward pass (photos per batch).
+	MaxBatch int
+	// MaxWait bounds how long the batcher holds the first photo of a batch
+	// open waiting for company. The batcher is work-conserving: it dispatches
+	// as soon as the queue stops producing, so MaxWait only matters when a
+	// slow trickle of arrivals keeps a partial batch open.
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue. Arrivals beyond it hit Policy.
+	QueueDepth int
+	// Policy is the overload behavior: Block (backpressure) or Shed.
+	Policy OverloadPolicy
+	// SLOTarget is the upload-latency objective; completions above it count
+	// into serve_slo_violations_total and the serve_slo_burn_ratio gauge.
+	SLOTarget time.Duration
+	// CacheEntries sizes the content-hash embedding LRU. Negative disables
+	// the cache; zero takes the default.
+	CacheEntries int
+	// TenantRate is the per-tenant admission rate in uploads/sec; 0 leaves
+	// tenants unthrottled. Requests are keyed by Request.Tenant ("" is a
+	// tenant like any other).
+	TenantRate float64
+	// TenantBurst is the token-bucket burst per tenant (default: max(1,
+	// ceil(TenantRate))).
+	TenantBurst int
+	// Registry receives the serve_* instruments (default telemetry.Default).
+	// Benchmarks use a private registry per run so curves don't bleed
+	// across sweep points.
+	Registry *telemetry.Registry
+}
+
+// DefaultOptions returns the serving defaults: batches of 16 within 2ms,
+// a 256-deep queue with backpressure, a 50ms SLO and a 4096-entry cache.
+func DefaultOptions() Options {
+	return Options{
+		MaxBatch:     16,
+		MaxWait:      2 * time.Millisecond,
+		QueueDepth:   256,
+		Policy:       Block,
+		SLOTarget:    50 * time.Millisecond,
+		CacheEntries: 4096,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MaxBatch == 0 {
+		o.MaxBatch = d.MaxBatch
+	}
+	if o.MaxWait == 0 {
+		o.MaxWait = d.MaxWait
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = d.QueueDepth
+	}
+	if o.SLOTarget == 0 {
+		o.SLOTarget = d.SLOTarget
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = d.CacheEntries
+	}
+	if o.TenantBurst == 0 && o.TenantRate > 0 {
+		o.TenantBurst = int(o.TenantRate + 1)
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch %d < 1", o.MaxBatch)
+	}
+	if o.MaxWait < 0 {
+		return fmt.Errorf("serve: negative MaxWait %v", o.MaxWait)
+	}
+	if o.QueueDepth < 1 {
+		return fmt.Errorf("serve: QueueDepth %d < 1", o.QueueDepth)
+	}
+	if o.SLOTarget <= 0 {
+		return fmt.Errorf("serve: SLOTarget %v must be positive", o.SLOTarget)
+	}
+	if o.TenantRate < 0 {
+		return fmt.Errorf("serve: negative TenantRate %v", o.TenantRate)
+	}
+	return nil
+}
+
+// Backend is the batched inference surface the gateway fronts;
+// *inferserver.Server implements it.
+type Backend interface {
+	InferBatch([]inferserver.BatchRequest) []inferserver.BatchResult
+}
+
+// Request is one upload entering the gateway.
+type Request struct {
+	Img dataset.Image
+	// Tenant keys per-tenant admission control; empty string is the
+	// default tenant.
+	Tenant string
+}
+
+// Sentinel errors of the admission path. Every return of one of these has a
+// matching increment in serve_rejected_total{reason=...}.
+var (
+	ErrOverloaded = errors.New("serve: queue full, request shed")
+	ErrThrottled  = errors.New("serve: tenant over admission rate")
+	ErrClosed     = errors.New("serve: gateway closed")
+)
+
+type outcome struct {
+	res inferserver.UploadResult
+	err error
+}
+
+type pending struct {
+	req  Request
+	enq  time.Time
+	resp chan outcome // buffered(1): runBatch never blocks on a reply
+}
+
+// pendingPool recycles pending slots (and their reply channels): every
+// admitted request gets exactly one reply, so after the waiter reads it the
+// slot is quiescent and safe to reuse.
+var pendingPool = sync.Pool{
+	New: func() any { return &pending{resp: make(chan outcome, 1)} },
+}
+
+// gatewayMetrics holds the serve_* instruments, registered once in New.
+type gatewayMetrics struct {
+	admitted   *telemetry.Counter
+	completed  *telemetry.Counter
+	errors     *telemetry.Counter
+	shedQueue  *telemetry.Counter
+	shedTenant *telemetry.Counter
+	rejClosed  *telemetry.Counter
+	cacheHit   *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	cacheEvict *telemetry.Counter
+	resultHit  *telemetry.Counter
+	batches    *telemetry.Counter
+	sloViol    *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	sloTarget  *telemetry.Gauge
+	sloBurn    *telemetry.Gauge
+	latency    *telemetry.Histogram
+	batchSize  *telemetry.Histogram
+}
+
+func newGatewayMetrics(reg *telemetry.Registry) gatewayMetrics {
+	rej := func(reason string) *telemetry.Counter {
+		return reg.Counter(telemetry.Labeled("serve_rejected_total", "reason", reason))
+	}
+	return gatewayMetrics{
+		admitted:   reg.Counter("serve_admitted_total"),
+		completed:  reg.Counter("serve_completed_total"),
+		errors:     reg.Counter("serve_errors_total"),
+		shedQueue:  rej("queue_full"),
+		shedTenant: rej("tenant"),
+		rejClosed:  rej("closed"),
+		cacheHit:   reg.Counter("serve_cache_hits_total"),
+		cacheMiss:  reg.Counter("serve_cache_misses_total"),
+		cacheEvict: reg.Counter("serve_cache_evictions_total"),
+		resultHit:  reg.Counter("serve_cache_result_hits_total"),
+		batches:    reg.Counter("serve_batches_total"),
+		sloViol:    reg.Counter("serve_slo_violations_total"),
+		queueDepth: reg.Gauge("serve_queue_depth"),
+		sloTarget:  reg.Gauge("serve_slo_target_seconds"),
+		sloBurn:    reg.Gauge("serve_slo_burn_ratio"),
+		latency:    reg.Histogram("serve_upload_seconds"),
+		batchSize: reg.HistogramBuckets("serve_batch_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+}
+
+// Gateway is the serving front door. Create with New, feed with Upload from
+// any number of goroutines, stop with Close (drains admitted requests).
+type Gateway struct {
+	opts    Options
+	backend Backend
+
+	queue   chan *pending
+	drained chan struct{}
+
+	// admitMu orders admission against Close: Upload holds the read lock
+	// across its closed-check and enqueue, so once Close holds the write
+	// lock no sender is in flight and the queue channel can be closed.
+	admitMu sync.RWMutex
+	closed  bool
+
+	cache   *featureCache // nil when disabled
+	tenants *admitter     // nil when unthrottled
+	now     func() time.Time
+
+	met gatewayMetrics
+	log *slog.Logger
+}
+
+// New starts a gateway over backend and launches its batcher. Close it.
+func New(backend Backend, opts Options) (*Gateway, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		opts:    opts,
+		backend: backend,
+		queue:   make(chan *pending, opts.QueueDepth),
+		drained: make(chan struct{}),
+		now:     time.Now,
+		met:     newGatewayMetrics(opts.Registry),
+		log:     telemetry.ComponentLogger("serve"),
+	}
+	if opts.CacheEntries > 0 {
+		g.cache = newFeatureCache(opts.CacheEntries)
+	}
+	if opts.TenantRate > 0 {
+		g.tenants = newAdmitter(opts.TenantRate, float64(opts.TenantBurst))
+	}
+	g.met.sloTarget.Set(opts.SLOTarget.Seconds())
+	go g.dispatch()
+	g.log.Debug("gateway up",
+		slog.Int("max_batch", opts.MaxBatch),
+		slog.Duration("max_wait", opts.MaxWait),
+		slog.Int("queue_depth", opts.QueueDepth),
+		slog.String("policy", opts.Policy.String()),
+		slog.Duration("slo_target", opts.SLOTarget),
+		slog.Int("cache_entries", max(0, opts.CacheEntries)))
+	return g, nil
+}
+
+// Upload submits one photo and blocks until its batch completes (or the
+// request is rejected by admission control). Safe for concurrent use.
+func (g *Gateway) Upload(req Request) (inferserver.UploadResult, error) {
+	g.admitMu.RLock()
+	if g.closed {
+		g.admitMu.RUnlock()
+		g.met.rejClosed.Inc()
+		return inferserver.UploadResult{}, ErrClosed
+	}
+	if g.tenants != nil && !g.tenants.allow(req.Tenant, g.now()) {
+		g.admitMu.RUnlock()
+		g.met.shedTenant.Inc()
+		return inferserver.UploadResult{}, ErrThrottled
+	}
+	p := pendingPool.Get().(*pending)
+	p.req, p.enq = req, g.now()
+	if g.opts.Policy == Shed {
+		select {
+		case g.queue <- p:
+		default:
+			g.admitMu.RUnlock()
+			g.met.shedQueue.Inc()
+			pendingPool.Put(p) // never enqueued: no reply will arrive
+			return inferserver.UploadResult{}, ErrOverloaded
+		}
+	} else {
+		g.queue <- p // backpressure: blocks while the queue is full
+	}
+	g.met.admitted.Inc()
+	g.met.queueDepth.Add(1)
+	g.admitMu.RUnlock()
+	o := <-p.resp
+	p.req = Request{}
+	pendingPool.Put(p)
+	return o.res, o.err
+}
+
+// UploadImage is Upload for the default tenant.
+func (g *Gateway) UploadImage(img dataset.Image) (inferserver.UploadResult, error) {
+	return g.Upload(Request{Img: img})
+}
+
+// Close stops admission (new Uploads fail with ErrClosed), drains every
+// already-admitted request through the batcher, and returns once all of
+// them have been answered. Idempotent.
+func (g *Gateway) Close() {
+	g.admitMu.Lock()
+	already := g.closed
+	g.closed = true
+	if !already {
+		// No sender can be mid-enqueue while the write lock is held.
+		close(g.queue)
+	}
+	g.admitMu.Unlock()
+	<-g.drained
+}
+
+// Stats is a point-in-time snapshot of the gateway counters — the same
+// numbers the serve_* metrics export, for programmatic assertions
+// (conservation checks: Offered == Admitted + Shed* + RejectedClosed and
+// Admitted == Completed after Close).
+type Stats struct {
+	Admitted       int64
+	Completed      int64
+	Errors         int64
+	ShedQueueFull  int64
+	ShedTenant     int64
+	RejectedClosed int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// CacheResultHits counts hits whose memoized classifier result was still
+	// current (model version unchanged) and so skipped the head entirely;
+	// always <= CacheHits.
+	CacheResultHits int64
+	Batches         int64
+	SLOViolations   int64
+}
+
+// Rejected returns the total count of non-admitted requests.
+func (s Stats) Rejected() int64 { return s.ShedQueueFull + s.ShedTenant + s.RejectedClosed }
+
+// MeanBatch returns the average coalesced batch size.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Batches)
+}
+
+// Stats snapshots the gateway counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Admitted:        g.met.admitted.Value(),
+		Completed:       g.met.completed.Value(),
+		Errors:          g.met.errors.Value(),
+		ShedQueueFull:   g.met.shedQueue.Value(),
+		ShedTenant:      g.met.shedTenant.Value(),
+		RejectedClosed:  g.met.rejClosed.Value(),
+		CacheHits:       g.met.cacheHit.Value(),
+		CacheMisses:     g.met.cacheMiss.Value(),
+		CacheEvictions:  g.met.cacheEvict.Value(),
+		CacheResultHits: g.met.resultHit.Value(),
+		Batches:         g.met.batches.Value(),
+		SLOViolations:   g.met.sloViol.Value(),
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ndpipe/internal/inferserver"
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/serve"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tuner"
 )
@@ -54,6 +55,13 @@ type Policy struct {
 	// under <StateDir>/<storeID>. A service restarted on the same directory
 	// recovers the last committed model version, epoch, and labels.
 	StateDir string
+	// Serve routes uploads through the serving gateway — dynamic batching,
+	// admission control, and the content-hash embedding cache — instead of
+	// calling the inference server one photo at a time.
+	Serve bool
+	// ServeOptions tunes the gateway when Serve is set; zero fields take
+	// serve.DefaultOptions.
+	ServeOptions serve.Options
 }
 
 // DefaultPolicy retrains every 1,000 uploads with the paper's defaults.
@@ -74,6 +82,7 @@ type Service struct {
 	stores []*pipestore.Node
 	tn     *tuner.Node
 	infer  *inferserver.Server
+	gw     *serve.Gateway // nil unless Policy.Serve
 	ln     net.Listener
 
 	mu            sync.Mutex
@@ -184,6 +193,14 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 		return nil, err
 	}
 	s.infer = inf
+	if policy.Serve {
+		gw, err := serve.New(inf, policy.ServeOptions)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.gw = gw
+	}
 	if policy.RetrainOnDrift {
 		dcfg := policy.Drift
 		if dcfg.RefWindow == 0 {
@@ -206,11 +223,18 @@ func (s *Service) DriftDetections() int {
 	return s.driftFires
 }
 
-// Close tears the deployment down.
+// Close tears the deployment down. The gateway drains first so no admitted
+// upload is abandoned.
 func (s *Service) Close() {
+	if s.gw != nil {
+		s.gw.Close()
+	}
 	s.tn.Close()
 	_ = s.ln.Close()
 }
+
+// Gateway exposes the serving gateway, or nil when Policy.Serve is off.
+func (s *Service) Gateway() *serve.Gateway { return s.gw }
 
 // Stores exposes the PipeStore fleet (read-only use).
 func (s *Service) Stores() []*pipestore.Node { return s.stores }
@@ -232,7 +256,15 @@ func (s *Service) RetrainRounds() int {
 // continuous-training cycle. It returns the assigned label.
 func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
 	defer func(t0 time.Time) { s.met.uploadSeconds.Observe(time.Since(t0).Seconds()) }(time.Now())
-	res, err := s.infer.Upload(img)
+	var (
+		res inferserver.UploadResult
+		err error
+	)
+	if s.gw != nil {
+		res, err = s.gw.UploadImage(img)
+	} else {
+		res, err = s.infer.Upload(img)
+	}
 	if err != nil {
 		return res, err
 	}

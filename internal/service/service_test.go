@@ -1,11 +1,14 @@
 package service
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/serve"
+	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tuner"
 )
 
@@ -154,5 +157,47 @@ func TestPolicyRoundOptionsPropagate(t *testing.T) {
 	def := tuner.DefaultRoundOptions()
 	if got.RoundTimeout != def.RoundTimeout || got.MaxRetries != def.MaxRetries {
 		t.Fatalf("zero fields must take defaults: %+v", got)
+	}
+}
+
+// With Policy.Serve the upload path runs through the serving gateway:
+// concurrent uploads coalesce into batches, every one is accounted for, and
+// the label database sees them all.
+func TestServePolicyRoutesThroughGateway(t *testing.T) {
+	pol := quickPolicy(0)
+	pol.Serve = true
+	pol.ServeOptions = serve.Options{
+		MaxBatch:     8,
+		MaxWait:      500 * time.Microsecond,
+		CacheEntries: 128,
+		Registry:     telemetry.NewRegistry(),
+	}
+	s, world := startService(t, 2, pol)
+	if s.Gateway() == nil {
+		t.Fatal("gateway must be running")
+	}
+
+	const n = 120
+	imgs := world.Images()[:n]
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Upload(imgs[i]); err != nil {
+				t.Errorf("upload %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.DB().Len() != n {
+		t.Fatalf("db has %d entries, want %d", s.DB().Len(), n)
+	}
+	st := s.Gateway().Stats()
+	if st.Admitted != n || st.Completed != n || st.Rejected() != 0 || st.Errors != 0 {
+		t.Fatalf("gateway stats = %+v", st)
+	}
+	if st.Batches >= n {
+		t.Fatalf("no coalescing: %d batches for %d uploads", st.Batches, n)
 	}
 }

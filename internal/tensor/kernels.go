@@ -37,14 +37,16 @@ const (
 )
 
 // isSparse decides between the zero-skipping and the straight-line inner
-// loop. Small inputs keep the historical always-skip behaviour; large ones
-// are probed (activation-shaped matrices coming out of a ReLU are roughly
-// half zeros, dense weight/gradient matrices have essentially none). The
-// decision depends only on the input values, never on the worker count, so
-// it cannot break cross-parallelism determinism.
+// loop. Small single-row inputs keep the historical always-skip behaviour;
+// batched and large inputs are probed (activation-shaped matrices coming out
+// of a ReLU are roughly half zeros, dense weight/gradient/feature matrices
+// have essentially none — and a dense batch earns the register-blocked
+// micro-kernel). The decision depends only on the input values and shape,
+// never on the worker count, so it cannot break cross-parallelism
+// determinism.
 func isSparse(a *Matrix) bool {
 	n := len(a.Data)
-	if n < 4096 {
+	if n < 4096 && a.Rows < 4 {
 		return true
 	}
 	stride := n / sparseProbeLimit
@@ -96,10 +98,98 @@ func MatMulInto(out, a, b *Matrix) {
 	matMulRange(out, a, b, 0, n, sparse)
 }
 
-// matMulRange computes output rows [lo,hi) of a×b with a kkBlock-panel
+// matMulRange computes output rows [lo,hi) of a×b. Dense ranges of four or
+// more rows go through the register-blocked micro-kernel four rows at a
+// time — the per-row speedup batched inference actually buys on one core.
+// Sparse (activation-shaped) inputs keep the zero-skipping panel loop, which
+// measures faster than dense register blocking at ReLU-typical ~50 % zeros;
+// the remainder rows also fall back to the panel traversal. Both paths
+// accumulate every output element over kk ascending with individually-
+// rounded float64 ops (Go never contracts or reassociates), so which path
+// computes a row can never change its bits.
+func matMulRange(out, a, b *Matrix, lo, hi int, sparse bool) {
+	if sparse {
+		matMulPanels(out, a, b, lo, hi, true)
+		return
+	}
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		matMul4Rows(out, a, b, i)
+	}
+	if i < hi {
+		matMulPanels(out, a, b, i, hi, false)
+	}
+}
+
+// matMul4Rows computes output rows [i,i+4) with a 4×4 register-blocked
+// micro-kernel: the 16 accumulators live in registers across the whole kk
+// loop, so the output never round-trips through memory per step and each
+// loaded b value feeds four rows. A single row can't amortize those loads —
+// this is why a coalesced batch is cheaper per photo than four sequential
+// forward passes doing identical FLOPs.
+func matMul4Rows(out, a, b *Matrix, i int) {
+	k, p := a.Cols, b.Cols
+	a0 := a.Data[i*k : i*k+k]
+	a1 := a.Data[(i+1)*k : (i+1)*k+k]
+	a2 := a.Data[(i+2)*k : (i+2)*k+k]
+	a3 := a.Data[(i+3)*k : (i+3)*k+k]
+	o0 := out.Data[i*p : i*p+p]
+	o1 := out.Data[(i+1)*p : (i+1)*p+p]
+	o2 := out.Data[(i+2)*p : (i+2)*p+p]
+	o3 := out.Data[(i+3)*p : (i+3)*p+p]
+	bd := b.Data
+	j := 0
+	for ; j+4 <= p; j += 4 {
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		var c20, c21, c22, c23 float64
+		var c30, c31, c32, c33 float64
+		for kk := 0; kk < k; kk++ {
+			br := bd[kk*p+j : kk*p+j+4 : kk*p+j+4]
+			b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+			v := a0[kk]
+			c00 += v * b0
+			c01 += v * b1
+			c02 += v * b2
+			c03 += v * b3
+			v = a1[kk]
+			c10 += v * b0
+			c11 += v * b1
+			c12 += v * b2
+			c13 += v * b3
+			v = a2[kk]
+			c20 += v * b0
+			c21 += v * b1
+			c22 += v * b2
+			c23 += v * b3
+			v = a3[kk]
+			c30 += v * b0
+			c31 += v * b1
+			c32 += v * b2
+			c33 += v * b3
+		}
+		o0[j], o0[j+1], o0[j+2], o0[j+3] = c00, c01, c02, c03
+		o1[j], o1[j+1], o1[j+2], o1[j+3] = c10, c11, c12, c13
+		o2[j], o2[j+1], o2[j+2], o2[j+3] = c20, c21, c22, c23
+		o3[j], o3[j+1], o3[j+2], o3[j+3] = c30, c31, c32, c33
+	}
+	for ; j < p; j++ {
+		var c0, c1, c2, c3 float64
+		for kk := 0; kk < k; kk++ {
+			bv := bd[kk*p+j]
+			c0 += a0[kk] * bv
+			c1 += a1[kk] * bv
+			c2 += a2[kk] * bv
+			c3 += a3[kk] * bv
+		}
+		o0[j], o1[j], o2[j], o3[j] = c0, c1, c2, c3
+	}
+}
+
+// matMulPanels computes output rows [lo,hi) of a×b with a kkBlock-panel
 // traversal: per output element the accumulation is over kk ascending,
 // identical to the classic ikj loop.
-func matMulRange(out, a, b *Matrix, lo, hi int, sparse bool) {
+func matMulPanels(out, a, b *Matrix, lo, hi int, sparse bool) {
 	k, p := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {
 		orow := out.Data[i*p : (i+1)*p]

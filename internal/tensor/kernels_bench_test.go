@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the matmul paths the online serving experiment leans on:
+// single-row (sequential Upload), the kkBlock panel loop, and the 4×4
+// register-blocked micro-kernel used for coalesced batches. Shapes mirror
+// the default model (backbone 24→64→32, classifier 32→128→26).
+
+func benchMat(rows, cols int, zeroFrac float64, rng *rand.Rand) *Matrix {
+	m := Get(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < zeroFrac {
+			m.Data[i] = 0
+		} else {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func benchMatMul(b *testing.B, rows, k, p int, zeroFrac float64) {
+	rng := rand.New(rand.NewSource(7))
+	a := benchMat(rows, k, zeroFrac, rng)
+	w := benchMat(k, p, 0, rng)
+	out := Get(rows, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, w)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rows), "ns/row")
+}
+
+func BenchmarkMatMulRow1Dense(b *testing.B)     { benchMatMul(b, 1, 24, 64, 0) }
+func BenchmarkMatMulRow1Sparse(b *testing.B)    { benchMatMul(b, 1, 64, 32, 0.5) }
+func BenchmarkMatMulBatch32Dense(b *testing.B)  { benchMatMul(b, 32, 24, 64, 0) }
+func BenchmarkMatMulBatch32Sparse(b *testing.B) { benchMatMul(b, 32, 64, 32, 0.5) }
+func BenchmarkMatMulHeadBatch32(b *testing.B)   { benchMatMul(b, 32, 32, 128, 0.5) }
+func BenchmarkMatMulHeadRow1(b *testing.B)      { benchMatMul(b, 1, 32, 128, 0.5) }

@@ -52,6 +52,17 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view of row i (shared storage).
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// SetRow copies v into row i. Panics if len(v) != Cols. It is the
+// row-assembly primitive of the batched inference path: callers gather
+// per-request feature vectors (or cached embeddings) into one design matrix
+// before a single batched Forward.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow length %d != cols %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
 // Zero sets every element to 0.
 func (m *Matrix) Zero() {
 	for i := range m.Data {

@@ -228,6 +228,23 @@ func TestMaxAbsDiff(t *testing.T) {
 	}
 }
 
+func TestSetRow(t *testing.T) {
+	m := New(3, 2)
+	m.SetRow(1, []float64{7, 8})
+	if m.At(1, 0) != 7 || m.At(1, 1) != 8 {
+		t.Fatalf("row 1 = %v", m.Row(1))
+	}
+	if m.At(0, 0) != 0 || m.At(2, 1) != 0 {
+		t.Fatal("SetRow must not touch other rows")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	m.SetRow(0, []float64{1})
+}
+
 func TestGlorotInitBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m := New(64, 32)
