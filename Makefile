@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke fmt-check ci
 
 all: build vet test
 
@@ -47,7 +47,16 @@ crash:
 serve-smoke:
 	$(GO) test -race -v -run 'TestServeSmoke|TestServeHammer|TestServeBitwiseAcrossParallelism|TestServeMemoVersionGate' ./internal/serve/
 
+# Observability smoke: a real tuner + store fleet over loopback, scraped
+# through the daemon HTTP surface — /fleet exact shipped rollups, the
+# straggler gauge after an injected slow store, /healthz, /readyz and
+# /flightrec — plus the fleet merge/dedup suite, flight-dump crash paths
+# (panic and SIGQUIT) and the metrics lint, all under the race detector.
+obs-smoke:
+	$(GO) test -race -v -run 'TestObsSmoke' ./internal/tuner/
+	$(GO) test -race ./internal/telemetry/ ./internal/flightdump/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos crash serve-smoke
+ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke

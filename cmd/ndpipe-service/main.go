@@ -15,6 +15,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/flightdump"
 	"ndpipe/internal/serve"
 	"ndpipe/internal/service"
 	"ndpipe/internal/telemetry"
@@ -50,21 +51,6 @@ func main() {
 	if err := telemetry.SetupLogging(os.Stderr, *logLevel, *logJSON); err != nil {
 		fatal(err)
 	}
-	if *telAddr != "" {
-		var opts []telemetry.ServeOption
-		if *pprofOn {
-			opts = append(opts, telemetry.WithPprof())
-		}
-		addr, _, err := telemetry.Default.Serve(*telAddr, opts...)
-		if err != nil {
-			fatal(err)
-		}
-		slog.Info("telemetry serving",
-			slog.String("component", "ndpipe-service"),
-			slog.String("url", "http://"+addr),
-			slog.Bool("pprof", *pprofOn))
-	}
-
 	wcfg := dataset.DefaultConfig(*seed)
 	wcfg.InitialImages = *uploads
 	world := dataset.NewWorld(wcfg)
@@ -94,6 +80,28 @@ func main() {
 		fatal(err)
 	}
 	defer svc.Close()
+	// The telemetry server mounts after Start so /fleet can serve the live
+	// aggregator; service.Start registers the gateway readiness check itself.
+	if *telAddr != "" {
+		opts := []telemetry.ServeOption{telemetry.WithFleet(svc.Fleet())}
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		addr, _, err := telemetry.Default.Serve(*telAddr, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		slog.Info("telemetry serving",
+			slog.String("component", "ndpipe-service"),
+			slog.String("url", "http://"+addr),
+			slog.Bool("pprof", *pprofOn))
+	}
+	if *stateDir != "" {
+		// Crash black box: panic and SIGQUIT leave a replayable flight dump
+		// in the state dir next to the tuner WAL.
+		defer flightdump.Recover(telemetry.Default, "ndpipe-service", *stateDir)
+		defer flightdump.InstallSignal(telemetry.Default, "ndpipe-service", *stateDir)()
+	}
 
 	tcfg := trace.DefaultConfig(*seed)
 	tcfg.Classes = world.MaxClasses()

@@ -17,6 +17,7 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/faultinject"
+	"ndpipe/internal/flightdump"
 	"ndpipe/internal/photostore"
 	"ndpipe/internal/pipestore"
 	"ndpipe/internal/telemetry"
@@ -103,6 +104,19 @@ func main() {
 	}
 	if err := node.Ingest(shardImgs); err != nil {
 		fatal(err)
+	}
+	// Readiness: a store is serving only while its tuner session is live.
+	telemetry.Default.Health().RegisterCheck("tuner", func() error {
+		if !node.Connected() {
+			return fmt.Errorf("not connected to tuner")
+		}
+		return nil
+	})
+	if *stateDir != "" {
+		// Crash black box: panic and SIGQUIT leave a replayable flight dump
+		// in the state dir next to the model state.
+		defer flightdump.Recover(telemetry.Default, "pipestore", *stateDir)
+		defer flightdump.InstallSignal(telemetry.Default, "pipestore", *stateDir)()
 	}
 	u := node.Storage().Usage()
 	log.Info("shard materialized",

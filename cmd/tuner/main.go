@@ -12,10 +12,12 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/faultinject"
+	"ndpipe/internal/flightdump"
 	"ndpipe/internal/ftdmp"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
@@ -51,8 +53,32 @@ func main() {
 		fatal(err)
 	}
 	log := telemetry.ComponentLogger("tuner")
+
+	cfg := core.DefaultModelConfig()
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tn.AcceptTimeout = *acceptTTL
+
+	// Readiness: the tuner is serving once state is recovered (trivially
+	// true without -state-dir) and at least one store has registered.
+	var stateReady atomic.Bool
+	stateReady.Store(*stateDir == "")
+	telemetry.Default.Health().RegisterCheck("state", func() error {
+		if !stateReady.Load() {
+			return fmt.Errorf("state not recovered")
+		}
+		return nil
+	})
+	telemetry.Default.Health().RegisterCheck("stores", func() error {
+		if tn.NumStores() == 0 {
+			return fmt.Errorf("no stores registered")
+		}
+		return nil
+	})
 	if *telAddr != "" {
-		var opts []telemetry.ServeOption
+		opts := []telemetry.ServeOption{telemetry.WithFleet(tn.Fleet())}
 		if *pprofOn {
 			opts = append(opts, telemetry.WithPprof())
 		}
@@ -64,13 +90,12 @@ func main() {
 			slog.String("url", "http://"+addr),
 			slog.Bool("pprof", *pprofOn))
 	}
-
-	cfg := core.DefaultModelConfig()
-	tn, err := tuner.New(cfg)
-	if err != nil {
-		fatal(err)
+	if *stateDir != "" {
+		// Crash black box: panic and SIGQUIT leave a replayable flight dump
+		// in the state dir next to the WAL.
+		defer flightdump.Recover(telemetry.Default, "tuner", *stateDir)
+		defer flightdump.InstallSignal(telemetry.Default, "tuner", *stateDir)()
 	}
-	tn.AcceptTimeout = *acceptTTL
 	if *stateDir != "" {
 		rec, err := tn.OpenState(*stateDir)
 		if err != nil {
@@ -84,6 +109,7 @@ func main() {
 			slog.Int64("torn_bytes", rec.TornBytes),
 			slog.Int("labels", rec.Labels),
 			slog.Duration("elapsed", rec.Elapsed))
+		stateReady.Store(true)
 	} else if *compactKeep > 0 {
 		fatal(fmt.Errorf("-compact-keep needs -state-dir"))
 	}

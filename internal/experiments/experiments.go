@@ -112,6 +112,8 @@ func Registry() map[string]Func {
 		"recovery": Recovery,
 		// Online serving: batched gateway vs sequential upload loop.
 		"serve": Serve,
+		// Fleet observability: exact rollups, shipping cost, stragglers.
+		"obs": Obs,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"strings"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/faultinject"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tuner"
+)
+
+// allocsPerOp measures heap allocations per call of f, pinned to one P so
+// concurrent background allocation doesn't leak into the count (the same
+// discipline as testing.AllocsPerRun, without importing testing into a
+// non-test package).
+func allocsPerOp(iters int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm-up: one-time lazy initialization doesn't count
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// Obs validates and prices the fleet observability plane:
+//
+//   - rollup-exactness: 64 simulated store registries ship dense snapshots
+//     into a FleetAggregator; the merged fleet histogram quantiles must be
+//     bitwise-identical to a single histogram that observed the union of
+//     every store's samples, and the fleet counter must be the exact sum.
+//     The row prices shipping (snapshot+ship per store) and merging.
+//   - hotpath-*: allocations per operation of the three instruments that sit
+//     on request/round hot paths (counter increment, histogram observation,
+//     flight-recorder event). All must be 0 allocs/op — observability must
+//     not put garbage-collection pressure on the paths it watches.
+//   - straggler-round: a real tuner + 4-store fleet over loopback where one
+//     store's connection carries an injected per-write delay; the round
+//     report must flag exactly that store within one fine-tuning round.
+func Obs(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "obs",
+		Title: "Fleet observability: exact rollups, shipping overhead, hot-path cost, stragglers",
+		Header: []string{"scenario", "stores", "samples", "ship(us/store)", "merge(ms)",
+			"fleet p99(ms)", "exact", "allocs/op", "stragglers"},
+	}
+	nStores, perStore := 64, 2000
+	images := 800
+	if p.Quick {
+		nStores, perStore = 16, 500
+		images = 300
+	}
+
+	// --- rollup-exactness -------------------------------------------------
+	// Every simulated store observes its own latency stream into a private
+	// registry; a union histogram sees all of them. After shipping, the fleet
+	// merge must reproduce the union bitwise (shared quantileOver, dense
+	// bucket layouts) and the summed counter exactly.
+	union := telemetry.NewHistogram(nil)
+	rng := rand.New(rand.NewSource(p.Seed))
+	regs := make([]*telemetry.Registry, nStores)
+	ids := make([]string, nStores)
+	for i := range regs {
+		regs[i] = telemetry.NewRegistry()
+		ids[i] = fmt.Sprintf("sim-%d", i)
+		h := regs[i].Histogram("obs_op_seconds")
+		c := regs[i].Counter("obs_ops_total")
+		// Per-store latency regimes differ (scale grows with the store index)
+		// so the merge is exercised across buckets, not within one.
+		scale := 1e-4 * (1 + float64(i%8))
+		for j := 0; j < perStore; j++ {
+			v := scale * (0.5 + rng.Float64()*4)
+			h.Observe(v)
+			union.Observe(v)
+			c.Inc()
+		}
+	}
+	agg := telemetry.NewFleetAggregator(nil)
+	shipStart := time.Now()
+	for i, reg := range regs {
+		if !agg.Ship(ids[i], 1, reg.SnapshotDense()) {
+			return nil, fmt.Errorf("obs: shipment from %s rejected", ids[i])
+		}
+	}
+	shipPerStore := float64(time.Since(shipStart).Microseconds()) / float64(nStores)
+	mergeStart := time.Now()
+	snap := agg.Snapshot()
+	mergeMs := float64(time.Since(mergeStart).Microseconds()) / 1e3
+
+	var fleetHist *telemetry.HistogramSnapshot
+	var fleetOps float64
+	for _, s := range snap.Series {
+		switch s.Name {
+		case "obs_op_seconds":
+			fleetHist = s.Fleet.Hist
+		case "obs_ops_total":
+			fleetOps = s.Fleet.Value
+		}
+	}
+	if fleetHist == nil {
+		return nil, fmt.Errorf("obs: merged histogram missing from fleet snapshot")
+	}
+	want := union.DenseSnapshot()
+	exact := fleetHist.P50 == want.P50 && fleetHist.P95 == want.P95 &&
+		fleetHist.P99 == want.P99 && fleetHist.Count == want.Count
+	if !exact {
+		return nil, fmt.Errorf("obs: fleet merge not exact: p50 %v/%v p95 %v/%v p99 %v/%v count %d/%d",
+			fleetHist.P50, want.P50, fleetHist.P95, want.P95, fleetHist.P99, want.P99,
+			fleetHist.Count, want.Count)
+	}
+	if wantOps := float64(nStores * perStore); fleetOps != wantOps {
+		return nil, fmt.Errorf("obs: fleet counter %v, want %v", fleetOps, wantOps)
+	}
+	t.Add("rollup-exactness", nStores, nStores*perStore,
+		fmt.Sprintf("%.1f", shipPerStore), fmt.Sprintf("%.2f", mergeMs),
+		fmt.Sprintf("%.3f", fleetHist.P99*1e3), "bitwise", "-", "-")
+
+	// --- hot-path allocation cost ----------------------------------------
+	hreg := telemetry.NewRegistry()
+	ctr := hreg.Counter("obs_hot_total")
+	hist := hreg.Histogram("obs_hot_seconds")
+	flight := telemetry.NewFlightRecorder(0)
+	iters := 100_000
+	if p.Quick {
+		iters = 20_000
+	}
+	for _, hp := range []struct {
+		name string
+		f    func()
+	}{
+		{"hotpath-counter", func() { ctr.Inc() }},
+		{"hotpath-histogram", func() { hist.Observe(2.5e-4) }},
+		{"hotpath-flightrec", func() {
+			flight.Record(telemetry.FlightRoundStart, "obs", "sim-0", 1, 2)
+		}},
+	} {
+		allocs := allocsPerOp(iters, hp.f)
+		// Runtime background activity (GC bookkeeping) can contribute a
+		// handful of mallocs across 100k iterations; anything at or above
+		// 0.01 allocs/op is a real per-operation allocation.
+		if allocs >= 0.01 {
+			return nil, fmt.Errorf("obs: %s allocates %.2f allocs/op, want 0", hp.name, allocs)
+		}
+		t.Add(hp.name, "-", iters, "-", "-", "-", "-", fmt.Sprintf("%.2f", allocs), "-")
+	}
+
+	// --- straggler-round --------------------------------------------------
+	// A real fleet where one store's writes each carry an injected delay:
+	// its gather latency separates from the fleet median and the round
+	// report must name it (and only it) within one round.
+	const fleetN = 4
+	const victimIdx = fleetN - 1
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(p.Seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tn.SetRoundOptions(tuner.RoundOptions{
+		StoreTimeout: 30 * time.Second,
+		RoundTimeout: 2 * time.Minute,
+		Seed:         p.Seed,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, fleetN) }()
+	shards := world.Shard(fleetN)
+	victimID := ""
+	for i := 0; i < fleetN; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("obs-%d", i), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			return nil, err
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		if i == victimIdx {
+			inj, err := faultinject.New(p.Seed, faultinject.Rule{
+				Kind: faultinject.Delay, Op: faultinject.OpWrite,
+				After: 1, Prob: 1, Delay: 100 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			conn = inj.Conn(conn)
+			victimID = ps.ID
+		}
+		go func(ps *pipestore.Node, conn net.Conn) { _ = ps.Serve(conn) }(ps, conn)
+	}
+	if err := <-accepted; err != nil {
+		return nil, err
+	}
+	defer tn.Close()
+
+	opt := ftdmp.DefaultTrainOptions()
+	if p.Quick {
+		opt.MaxEpochs = 5
+	}
+	roundStart := time.Now()
+	rep, err := tn.FineTune(2, 128, opt)
+	if err != nil {
+		return nil, fmt.Errorf("obs straggler round: %w", err)
+	}
+	roundMs := time.Since(roundStart).Milliseconds()
+	if len(rep.Stragglers) != 1 || rep.Stragglers[0] != victimID {
+		return nil, fmt.Errorf("obs: round flagged %v as stragglers, want [%s]",
+			rep.Stragglers, victimID)
+	}
+	t.Add("straggler-round", fleetN, rep.Images, "-", "-", "-", "-", "-",
+		strings.Join(rep.Stragglers, " "))
+
+	t.Notes = append(t.Notes,
+		"rollup row: fleet p50/p95/p99 from merged bucket counts are bitwise-equal to a union-observing histogram (shared quantileOver over dense snapshots), counters sum exactly",
+		"hotpath rows: instruments on request/round hot paths must not allocate; measured pinned to one P, warm-up excluded",
+		fmt.Sprintf("straggler row: one store's writes carry an injected 100ms delay; the median+MAD rule (k=%.0f) flagged it in a single %dms round", telemetry.DefaultStragglerK, roundMs),
+		fmt.Sprintf("round resource accounting: %.2fs CPU, %d B in / %d B out on the wire",
+			rep.Resources.CPUSeconds, rep.WireBytesIn, rep.WireBytesOut))
+	return t, nil
+}

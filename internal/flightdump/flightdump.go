@@ -1,0 +1,67 @@
+// Package flightdump connects a registry's flight recorder to durable
+// storage: the daemons install it so a panic or SIGQUIT leaves a replayable
+// crash dump (the last few thousand structured events — round transitions,
+// evictions, retries, shed decisions) in the -state-dir next to the WAL.
+//
+// It lives outside internal/telemetry because durable itself instruments
+// into telemetry; telemetry importing durable back would be a cycle. The
+// daemons are the natural owner of the glue anyway: they know the state dir.
+package flightdump
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
+)
+
+// Path returns where a component's flight dump lands inside stateDir.
+func Path(stateDir, component string) string {
+	return filepath.Join(stateDir, component+".flightrec.json")
+}
+
+// Dump serializes reg's flight recorder and writes it atomically (tmp +
+// rename via durable.AtomicWriteFile) to Path(stateDir, component), so a
+// crash mid-dump can never leave a torn file. Returns the written path.
+func Dump(reg *telemetry.Registry, component, stateDir, reason string) (string, error) {
+	if stateDir == "" {
+		return "", fmt.Errorf("flightdump: no state dir")
+	}
+	data, err := reg.Flight().Dump(component, reason)
+	if err != nil {
+		return "", fmt.Errorf("flightdump: encode: %w", err)
+	}
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return "", fmt.Errorf("flightdump: %w", err)
+	}
+	p := Path(stateDir, component)
+	if err := durable.AtomicWriteFile(p, data, 0o644); err != nil {
+		return "", fmt.Errorf("flightdump: write: %w", err)
+	}
+	return p, nil
+}
+
+// Load reads back a dump written by Dump.
+func Load(stateDir, component string) (telemetry.FlightDumpRecord, error) {
+	data, err := os.ReadFile(Path(stateDir, component))
+	if err != nil {
+		return telemetry.FlightDumpRecord{}, err
+	}
+	return telemetry.ParseFlightDump(data)
+}
+
+// Recover is the panic half: defer it at the top of a daemon's main
+// goroutine. On panic it dumps the flight recorder (reason "panic") and
+// re-panics so the crash still surfaces with its stack.
+//
+//	defer flightdump.Recover(telemetry.Default, "tuner", *stateDir)
+func Recover(reg *telemetry.Registry, component, stateDir string) {
+	if r := recover(); r != nil {
+		if p, err := Dump(reg, component, stateDir, "panic"); err == nil {
+			fmt.Fprintf(os.Stderr, "flight recorder dumped to %s\n", p)
+		}
+		panic(r)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package flightdump
+
+import "ndpipe/internal/telemetry"
+
+// InstallSignal is a no-op off unix: there is no SIGQUIT to hook.
+func InstallSignal(_ *telemetry.Registry, _, _ string) func() {
+	return func() {}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package flightdump
+
+func signalSupported() bool { return false }
+
+func raiseQuit() error { return nil }

@@ -1,0 +1,39 @@
+//go:build unix
+
+package flightdump
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ndpipe/internal/telemetry"
+)
+
+// InstallSignal arms a SIGQUIT handler that dumps the flight recorder to
+// stateDir, then restores the default disposition and re-raises the signal
+// so the runtime still prints its goroutine dump and the process dies as a
+// SIGQUIT-killed process should. Returns a stop function that disarms the
+// handler (for tests).
+func InstallSignal(reg *telemetry.Registry, component, stateDir string) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+		case <-done:
+			return
+		}
+		if p, err := Dump(reg, component, stateDir, "sigquit"); err == nil {
+			fmt.Fprintf(os.Stderr, "flight recorder dumped to %s\n", p)
+		}
+		signal.Reset(syscall.SIGQUIT)
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build unix
+
+package flightdump
+
+import "syscall"
+
+func signalSupported() bool { return true }
+
+func raiseQuit() error { return syscall.Kill(syscall.Getpid(), syscall.SIGQUIT) }

@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndpipe/internal/core"
@@ -52,9 +53,24 @@ type Node struct {
 	stateFaults *durable.Faults
 
 	met    nodeMetrics
+	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	log    *slog.Logger
+
+	// Fleet observability: connected flips while Serve holds a tuner
+	// connection (the /readyz "tuner-connected" check reads it), metricsSeq
+	// numbers MsgMetrics shipments so the tuner-side aggregator can drop
+	// stale or duplicate snapshots, and metricsEvery rate-limits shipments
+	// (the first one goes immediately; see SetMetricsInterval).
+	connected    atomic.Bool
+	metricsSeq   atomic.Uint64
+	metricsEvery time.Duration
+	lastShip     atomic.Int64 // unix-nano of the last shipment (0 = never)
 }
+
+// DefaultMetricsInterval is how often a store ships its registry snapshot to
+// the tuner's fleet aggregator (piggy-backed on command replies).
+const DefaultMetricsInterval = 5 * time.Second
 
 // nodeMetrics holds the per-store instruments (labeled by store ID) plus the
 // shared NPE stage histograms. Registered once in New; hot paths only touch
@@ -70,8 +86,7 @@ type nodeMetrics struct {
 	stagesInfer    *npe.StageMetrics
 }
 
-func newNodeMetrics(id string) nodeMetrics {
-	reg := telemetry.Default
+func newNodeMetrics(reg *telemetry.Registry, id string) nodeMetrics {
 	lbl := func(name string) string { return telemetry.Labeled(name, "store", id) }
 	return nodeMetrics{
 		ingested:       reg.Counter(lbl("pipestore_images_ingested_total")),
@@ -102,14 +117,16 @@ func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStor
 		return nil, fmt.Errorf("pipestore %s: nil object store", id)
 	}
 	n := &Node{
-		ID:       id,
-		cfg:      cfg,
-		backbone: cfg.NewBackbone(),
-		clf:      cfg.NewClassifier(),
-		store:    store,
-		met:      newNodeMetrics(id),
-		tracer:   telemetry.Default.Spans(),
-		log:      telemetry.ComponentLogger("pipestore").With(slog.String("store", id)),
+		ID:           id,
+		cfg:          cfg,
+		backbone:     cfg.NewBackbone(),
+		clf:          cfg.NewClassifier(),
+		store:        store,
+		met:          newNodeMetrics(telemetry.Default, id),
+		reg:          telemetry.Default,
+		metricsEvery: DefaultMetricsInterval,
+		tracer:       telemetry.Default.Spans(),
+		log:          telemetry.ComponentLogger("pipestore").With(slog.String("store", id)),
 	}
 	n.clfSnap = n.clf.TakeSnapshot()
 	return n, nil
@@ -124,6 +141,34 @@ func (n *Node) SetTracer(tr *telemetry.Tracer) {
 		n.tracer = tr
 	}
 }
+
+// SetRegistry moves the node's instruments into a private registry —
+// re-registering the per-store metrics there and switching the tracer and
+// flight recorder along with them. In-process fleet simulations (the obs
+// experiment, the fleet tests) give each simulated store its own registry so
+// the snapshots it ships over MsgMetrics carry only that store's series,
+// exactly as a separate process would. Call before Serve or any traffic.
+func (n *Node) SetRegistry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	n.reg = reg
+	n.met = newNodeMetrics(reg, n.ID)
+	n.tracer = reg.Spans()
+}
+
+// Registry returns the registry the node instruments into (telemetry.Default
+// unless SetRegistry replaced it).
+func (n *Node) Registry() *telemetry.Registry { return n.reg }
+
+// SetMetricsInterval sets the minimum spacing between MsgMetrics shipments
+// (default DefaultMetricsInterval). Zero or negative ships after every
+// command — what fleet tests use to see fresh rollups immediately.
+func (n *Node) SetMetricsInterval(d time.Duration) { n.metricsEvery = d }
+
+// Connected reports whether the node currently holds a live tuner
+// connection — the /readyz "tuner-connected" health check.
+func (n *Node) Connected() bool { return n.connected.Load() }
 
 // Ingest stores a batch of uploaded photos: the raw blob and the
 // preprocessed binary (the inference server's +Offload output), which the
@@ -247,6 +292,7 @@ func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Ima
 	runSpan.SetAttr("store", n.ID)
 	runSpan.SetAttr("run", fmt.Sprint(run))
 	runCtx := runSpan.Context()
+	n.reg.Flight().Record(telemetry.FlightExtractRun, "pipestore", n.ID, int64(run), int64(len(shard)))
 	defer func(t0 time.Time) {
 		runSpan.End()
 		n.met.extractRun.Observe(time.Since(t0).Seconds())
@@ -378,6 +424,7 @@ func (n *Node) applyDelta(blob []byte, version int, rebase bool) error {
 	}
 	n.met.deltasApplied.Inc()
 	n.met.modelVersion.Set(float64(version))
+	n.reg.Flight().Record(telemetry.FlightDeltaApply, "pipestore", n.ID, int64(version), int64(len(blob)))
 	return nil
 }
 
@@ -483,6 +530,8 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 // interleave with an in-flight feature batch.
 func (n *Node) Serve(conn net.Conn) error {
 	defer conn.Close()
+	n.connected.Store(true)
+	defer n.connected.Store(false)
 	c := wire.NewCodec(conn)
 	// The Hello advertises our persisted model version, so the Tuner ships
 	// only the catch-up for rounds we missed (nothing, if we're current).
@@ -516,6 +565,10 @@ func (n *Node) Serve(conn net.Conn) error {
 		if err := n.serveOne(c, msg); err != nil {
 			return err
 		}
+		// Piggy-back a registry snapshot on the command's tail, after the
+		// closing reply: the Tuner's catch-up path does a direct Recv for the
+		// ack, and shipping metrics behind it keeps that exchange in order.
+		n.shipMetrics(c)
 	}
 	err := <-readErr
 	if err == io.EOF {
@@ -600,6 +653,39 @@ func (n *Node) shipSpans(c *wire.Codec, trace telemetry.TraceID) {
 	}
 	if err := c.Send(&wire.Message{Type: wire.MsgSpans, StoreID: n.ID, Trace: trace, Spans: spans}); err != nil {
 		n.log.Warn("span shipment failed", slog.String("trace_id", trace.String()), slog.Any("err", err))
+	}
+}
+
+// shipMetrics sends the node's registry snapshot (dense histogram buckets,
+// so the aggregator's merge is lossless) tagged with the next shipment
+// sequence number. Best-effort: a failed shipment is logged, never fatal —
+// the next command's piggy-back carries a fresher snapshot anyway.
+func (n *Node) shipMetrics(c *wire.Codec) {
+	if every := n.metricsEvery; every > 0 {
+		now := time.Now().UnixNano()
+		last := n.lastShip.Load()
+		// First-ever shipment goes immediately (the aggregator should see a
+		// new store within its first command); after that, rate-limit.
+		if last != 0 && now-last < int64(every) {
+			return
+		}
+		if !n.lastShip.CompareAndSwap(last, now) {
+			return
+		}
+	}
+	seq := n.metricsSeq.Add(1)
+	points := n.reg.SnapshotDense()
+	if len(points) == 0 {
+		return
+	}
+	err := c.Send(&wire.Message{
+		Type:       wire.MsgMetrics,
+		StoreID:    n.ID,
+		Metrics:    points,
+		MetricsSeq: seq,
+	})
+	if err != nil {
+		n.log.Warn("metrics shipment failed", slog.Uint64("seq", seq), slog.Any("err", err))
 	}
 }
 

@@ -28,6 +28,23 @@ func serveSession(t *testing.T, n *Node) (*wire.Codec, func()) {
 	return c, func() { tunerEnd.Close() }
 }
 
+// recvReply reads the next command reply, skipping the span and metrics
+// shipments a store piggy-backs on its replies (a real tuner absorbs those
+// in its read loop).
+func recvReply(t *testing.T, c *wire.Codec) *wire.Message {
+	t.Helper()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type == wire.MsgSpans || msg.Type == wire.MsgMetrics {
+			continue
+		}
+		return msg
+	}
+}
+
 // A ping is answered even while the node is busy extracting, and every
 // command reply echoes the request's epoch.
 func TestServeAnswersPingDuringCommandAndEchoesEpoch(t *testing.T) {
@@ -91,10 +108,7 @@ func TestServeEchoesEpochOnAckAndLabels(t *testing.T) {
 	if err := c.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: 1, Epoch: 3}); err != nil {
 		t.Fatal(err)
 	}
-	ack, err := c.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
+	ack := recvReply(t, c)
 	if ack.Type != wire.MsgAck || ack.Epoch != 3 {
 		t.Fatalf("ack = %+v, want epoch 3", ack)
 	}
@@ -103,10 +117,7 @@ func TestServeEchoesEpochOnAckAndLabels(t *testing.T) {
 	if err := c.Send(&wire.Message{Type: wire.MsgInferRequest, BatchSize: 8, Epoch: 4}); err != nil {
 		t.Fatal(err)
 	}
-	labels, err := c.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
+	labels := recvReply(t, c)
 	if labels.Type != wire.MsgLabels || labels.Epoch != 4 {
 		t.Fatalf("labels = type %v epoch %d, want labels epoch 4", labels.Type, labels.Epoch)
 	}

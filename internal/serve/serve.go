@@ -265,8 +265,9 @@ type Gateway struct {
 	tenants *admitter     // nil when unthrottled
 	now     func() time.Time
 
-	met gatewayMetrics
-	log *slog.Logger
+	met    gatewayMetrics
+	flight *telemetry.FlightRecorder
+	log    *slog.Logger
 }
 
 // New starts a gateway over backend and launches its batcher. Close it.
@@ -285,6 +286,7 @@ func New(backend Backend, opts Options) (*Gateway, error) {
 		drained: make(chan struct{}),
 		now:     time.Now,
 		met:     newGatewayMetrics(opts.Registry),
+		flight:  opts.Registry.Flight(),
 		log:     telemetry.ComponentLogger("serve"),
 	}
 	if opts.CacheEntries > 0 {
@@ -312,11 +314,13 @@ func (g *Gateway) Upload(req Request) (inferserver.UploadResult, error) {
 	if g.closed {
 		g.admitMu.RUnlock()
 		g.met.rejClosed.Inc()
+		g.flight.Record(telemetry.FlightShed, "serve", "closed", 0, 0)
 		return inferserver.UploadResult{}, ErrClosed
 	}
 	if g.tenants != nil && !g.tenants.allow(req.Tenant, g.now()) {
 		g.admitMu.RUnlock()
 		g.met.shedTenant.Inc()
+		g.flight.Record(telemetry.FlightShed, "serve", "tenant", 0, 0)
 		return inferserver.UploadResult{}, ErrThrottled
 	}
 	p := pendingPool.Get().(*pending)
@@ -327,6 +331,7 @@ func (g *Gateway) Upload(req Request) (inferserver.UploadResult, error) {
 		default:
 			g.admitMu.RUnlock()
 			g.met.shedQueue.Inc()
+			g.flight.Record(telemetry.FlightShed, "serve", "queue_full", 0, 0)
 			pendingPool.Put(p) // never enqueued: no reply will arrive
 			return inferserver.UploadResult{}, ErrOverloaded
 		}
@@ -345,6 +350,14 @@ func (g *Gateway) Upload(req Request) (inferserver.UploadResult, error) {
 // UploadImage is Upload for the default tenant.
 func (g *Gateway) UploadImage(img dataset.Image) (inferserver.UploadResult, error) {
 	return g.Upload(Request{Img: img})
+}
+
+// Accepting reports whether the gateway is still admitting uploads — the
+// /readyz "gateway" health check.
+func (g *Gateway) Accepting() bool {
+	g.admitMu.RLock()
+	defer g.admitMu.RUnlock()
+	return !g.closed
 }
 
 // Close stops admission (new Uploads fail with ErrClosed), drains every

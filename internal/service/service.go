@@ -200,6 +200,13 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 			return nil, err
 		}
 		s.gw = gw
+		// Readiness: the deployment is serving only while the gateway admits.
+		telemetry.Default.Health().RegisterCheck("gateway", func() error {
+			if !gw.Accepting() {
+				return fmt.Errorf("gateway closed")
+			}
+			return nil
+		})
 	}
 	if policy.RetrainOnDrift {
 		dcfg := policy.Drift
@@ -235,6 +242,9 @@ func (s *Service) Close() {
 
 // Gateway exposes the serving gateway, or nil when Policy.Serve is off.
 func (s *Service) Gateway() *serve.Gateway { return s.gw }
+
+// Fleet exposes the tuner's fleet aggregator (the /fleet rollup source).
+func (s *Service) Fleet() *telemetry.FleetAggregator { return s.tn.Fleet() }
 
 // Stores exposes the PipeStore fleet (read-only use).
 func (s *Service) Stores() []*pipestore.Node { return s.stores }

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FleetAggregator is the tuner-side half of the fleet observability plane.
+// Every PipeStore periodically serializes its private registry into a
+// MsgMetrics envelope (piggy-backed on round traffic, like MsgSpans); the
+// aggregator keeps the latest snapshot per store and serves the merged
+// fleet view at /fleet:
+//
+//   - per-store series, re-labeled with store="<id>" so one scrape sees the
+//     whole fleet without N endpoints;
+//   - exact fleet rollups under the recording-rule-style "fleet:" prefix —
+//     counters and gauges sum, fixed-bucket histograms merge losslessly by
+//     bucket (MergeHistogramSnapshots), so fleet p50/p95/p99 are true
+//     quantile merges, not averages of per-store quantiles;
+//   - the local registry's own series (the tuner's fleet-level instruments,
+//     including ndpipe_straggler{store=...}), verbatim.
+//
+// Shipments are deduplicated by a per-store sequence number: a snapshot
+// whose Seq is not strictly greater than the last accepted one for that
+// store is dropped, so retransmits, reordered piggy-backs and concurrent
+// shipping cannot double-count or roll a store's view backwards.
+type FleetAggregator struct {
+	local *Registry // may be nil: fleet-only view
+
+	mu     sync.Mutex
+	stores map[string]*storeShipment
+}
+
+type storeShipment struct {
+	seq    uint64
+	at     time.Time
+	points []MetricPoint
+}
+
+// NewFleetAggregator creates an aggregator whose /fleet view also includes
+// the local registry's series (nil means fleet shipments only).
+func NewFleetAggregator(local *Registry) *FleetAggregator {
+	return &FleetAggregator{local: local, stores: make(map[string]*storeShipment)}
+}
+
+// Ship installs one store's registry snapshot. It reports whether the
+// shipment was accepted: stale or duplicate sequence numbers (retransmits,
+// reordering) are dropped so the per-store view is monotone.
+func (a *FleetAggregator) Ship(store string, seq uint64, points []MetricPoint) bool {
+	if store == "" || len(points) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev := a.stores[store]
+	if prev != nil && seq <= prev.seq {
+		return false
+	}
+	a.stores[store] = &storeShipment{seq: seq, at: time.Now(), points: points}
+	return true
+}
+
+// Stores returns the IDs of every store that has shipped metrics, sorted.
+func (a *FleetAggregator) Stores() []string {
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.stores))
+	for id := range a.stores {
+		ids = append(ids, id)
+	}
+	a.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// FleetSeries is one logical instrument merged across the fleet.
+type FleetSeries struct {
+	Name   string                 `json:"name"` // original (store-less) name
+	Kind   string                 `json:"kind"`
+	Fleet  MetricPoint            `json:"fleet"`  // exact rollup over all stores
+	Stores map[string]MetricPoint `json:"stores"` // per-store latest values
+}
+
+// FleetSnapshot is the merged fleet view: every shipped series rolled up,
+// plus which stores contributed.
+type FleetSnapshot struct {
+	Stores []string      `json:"stores"`
+	Series []FleetSeries `json:"series"`
+	Local  []MetricPoint `json:"local,omitempty"`
+}
+
+// Snapshot merges the latest shipment of every store into the fleet view.
+func (a *FleetAggregator) Snapshot() FleetSnapshot {
+	a.mu.Lock()
+	type shipped struct {
+		id  string
+		pts []MetricPoint
+	}
+	ships := make([]shipped, 0, len(a.stores))
+	for id, sh := range a.stores {
+		ships = append(ships, shipped{id: id, pts: sh.points})
+	}
+	a.mu.Unlock()
+	sort.Slice(ships, func(i, j int) bool { return ships[i].id < ships[j].id })
+
+	byName := make(map[string]*FleetSeries)
+	var order []string
+	for _, sh := range ships {
+		for _, p := range sh.pts {
+			// Real per-store instruments embed their owner's ID as a
+			// store label; strip it so fleet-mates group under the
+			// store-less name (the shipment itself is the identity —
+			// exposition re-injects it via WithStoreLabel).
+			p.Name = StripStoreLabel(p.Name)
+			s := byName[p.Name]
+			if s == nil {
+				s = &FleetSeries{Name: p.Name, Kind: p.Kind, Stores: make(map[string]MetricPoint)}
+				byName[p.Name] = s
+				order = append(order, p.Name)
+			}
+			s.Stores[sh.id] = p
+		}
+	}
+	sort.Strings(order)
+
+	snap := FleetSnapshot{Series: make([]FleetSeries, 0, len(order))}
+	for _, sh := range ships {
+		snap.Stores = append(snap.Stores, sh.id)
+	}
+	for _, name := range order {
+		s := byName[name]
+		s.Fleet = mergePoints(name, s.Kind, s.Stores)
+		snap.Series = append(snap.Series, *s)
+	}
+	if a.local != nil {
+		snap.Local = a.local.Snapshot()
+	}
+	return snap
+}
+
+// mergePoints computes the exact rollup of one series over all stores:
+// counters and gauges sum (the only rollup that is exact without
+// assumptions), histograms merge bucket-by-bucket.
+func mergePoints(name, kind string, stores map[string]MetricPoint) MetricPoint {
+	out := MetricPoint{Name: name, Kind: kind}
+	if kind == "histogram" {
+		snaps := make([]HistogramSnapshot, 0, len(stores))
+		// Deterministic order so the merged Sum (float addition) is stable.
+		ids := make([]string, 0, len(stores))
+		for id := range stores {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if h := stores[id].Hist; h != nil {
+				snaps = append(snaps, *h)
+			}
+		}
+		merged := MergeHistogramSnapshots(snaps...)
+		out.Hist = &merged
+		return out
+	}
+	for _, p := range stores {
+		out.Value += p.Value
+	}
+	return out
+}
+
+// WithStoreLabel injects store="id" as the first label of a metric name,
+// e.g. `wire_send_total{type="features"}` → `wire_send_total{store="ps-0",
+// type="features"}`. A name that already carries a store label is returned
+// unchanged. Exposition-time only, never on the hot path.
+func WithStoreLabel(name, store string) string {
+	base, labels := splitLabels(name)
+	if strings.Contains(labels, `store="`) {
+		return name
+	}
+	if labels == "" {
+		return fmt.Sprintf("%s{store=%q}", base, store)
+	}
+	return fmt.Sprintf("%s{store=%q,%s}", base, store, strings.TrimSuffix(labels, ","))
+}
+
+// StripStoreLabel removes a store="..." label from a metric name. Shipped
+// series that already embed their owner's ID (the per-store instruments)
+// must group with their fleet-mates under the store-less name; the store
+// identity of a shipment is authoritative and exposition re-injects it.
+// Label values in this codebase never contain commas.
+func StripStoreLabel(name string) string {
+	base, labels := splitLabels(name)
+	if labels == "" || !strings.Contains(labels, `store="`) {
+		return name
+	}
+	parts := strings.Split(strings.TrimSuffix(labels, ","), ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, `store="`) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return base
+	}
+	return base + "{" + strings.Join(kept, ",") + "}"
+}
+
+// ServeHTTP renders the fleet view: Prometheus text by default (per-store
+// series with the store label injected, exact rollups under the "fleet:"
+// recording-rule prefix, then the local registry verbatim), or structured
+// JSON with ?format=json.
+func (a *FleetAggregator) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	snap := a.Snapshot()
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(jsonSafeFleet(snap))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, s := range snap.Series {
+		pts := make([]MetricPoint, 0, len(s.Stores))
+		ids := make([]string, 0, len(s.Stores))
+		for id := range s.Stores {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			p := s.Stores[id]
+			p.Name = WithStoreLabel(p.Name, id)
+			pts = append(pts, p)
+		}
+		fleet := s.Fleet
+		fleet.Name = "fleet:" + fleet.Name
+		pts = append(pts, fleet)
+		WriteMetricsText(w, pts)
+	}
+	WriteMetricsText(w, snap.Local)
+}
+
+// jsonSafeFleet deep-copies a fleet snapshot with non-finite bucket bounds
+// replaced (encoding/json cannot represent +Inf): the overflow bucket's
+// upper bound becomes MaxFloat64, which consumers can treat as "rest".
+func jsonSafeFleet(snap FleetSnapshot) FleetSnapshot {
+	fix := func(p MetricPoint) MetricPoint {
+		if p.Hist == nil {
+			return p
+		}
+		h := *p.Hist
+		h.Buckets = append([]BucketCount(nil), h.Buckets...)
+		for i := range h.Buckets {
+			if math.IsInf(h.Buckets[i].UpperBound, 1) {
+				h.Buckets[i].UpperBound = math.MaxFloat64
+			}
+		}
+		p.Hist = &h
+		return p
+	}
+	out := snap
+	out.Series = make([]FleetSeries, len(snap.Series))
+	for i, s := range snap.Series {
+		ns := s
+		ns.Fleet = fix(s.Fleet)
+		ns.Stores = make(map[string]MetricPoint, len(s.Stores))
+		for id, p := range s.Stores {
+			ns.Stores[id] = fix(p)
+		}
+		out.Series[i] = ns
+	}
+	out.Local = make([]MetricPoint, len(snap.Local))
+	for i, p := range snap.Local {
+		out.Local[i] = fix(p)
+	}
+	return out
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs around its median — the
+// robust spread estimator straggler detection uses: unlike the standard
+// deviation, one extreme straggler cannot inflate it and mask itself.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// DefaultStragglerK is the default deviation multiplier: a store is a
+// straggler when its latency exceeds median + K·MAD. 3 is the conventional
+// robust-outlier cutoff (≈2σ for normal data, scaled by the MAD/σ factor).
+const DefaultStragglerK = 3.0
+
+// FlagStragglers applies the median+MAD rule to one phase's per-store
+// latencies and returns the straggling store IDs, sorted. k ≤ 0 selects
+// DefaultStragglerK. To stay meaningful on tight fleets the deviation floor
+// is max(MAD, 10% of median, 1ms): with MAD ≈ 0 (every store identical) a
+// microsecond of jitter must not flag half the fleet.
+func FlagStragglers(latencies map[string]float64, k float64) []string {
+	if len(latencies) < 3 {
+		return nil // no meaningful fleet median below 3 stores
+	}
+	if k <= 0 {
+		k = DefaultStragglerK
+	}
+	xs := make([]float64, 0, len(latencies))
+	for _, v := range latencies {
+		xs = append(xs, v)
+	}
+	med := Median(xs)
+	dev := MAD(xs)
+	if floor := med * 0.10; dev < floor {
+		dev = floor
+	}
+	if dev < 1e-3 {
+		dev = 1e-3
+	}
+	cut := med + k*dev
+	var out []string
+	for id, v := range latencies {
+		if v > cut {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tentpole exactness guarantee: fleet quantiles computed from merged
+// per-store bucket counts are bitwise-identical to a single histogram that
+// observed the union of every store's samples.
+func TestFleetMergeBitwiseEqualsUnionRegistry(t *testing.T) {
+	const stores, perStore = 9, 400
+	union := NewHistogram(nil)
+	agg := NewFleetAggregator(nil)
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < stores; s++ {
+		reg := NewRegistry()
+		h := reg.Histogram("op_seconds")
+		c := reg.Counter("ops_total")
+		scale := 1e-4 * float64(1+s)
+		for i := 0; i < perStore; i++ {
+			v := scale * (0.5 + rng.Float64()*3)
+			h.Observe(v)
+			union.Observe(v)
+			c.Inc()
+		}
+		if !agg.Ship("ps-"+string(rune('a'+s)), 1, reg.SnapshotDense()) {
+			t.Fatalf("shipment %d rejected", s)
+		}
+	}
+	snap := agg.Snapshot()
+	var hist *HistogramSnapshot
+	var ops float64
+	for _, s := range snap.Series {
+		switch s.Name {
+		case "op_seconds":
+			hist = s.Fleet.Hist
+		case "ops_total":
+			ops = s.Fleet.Value
+		}
+	}
+	if hist == nil {
+		t.Fatal("merged histogram missing")
+	}
+	want := union.DenseSnapshot()
+	if hist.Count != want.Count {
+		t.Fatalf("count = %d, want %d", hist.Count, want.Count)
+	}
+	// Sum is float addition in a different association order (per-store then
+	// merged vs globally interleaved), so it is near-equal, not bitwise.
+	if diff := math.Abs(hist.Sum - want.Sum); diff > 1e-9*math.Abs(want.Sum) {
+		t.Fatalf("sum = %v, want %v", hist.Sum, want.Sum)
+	}
+	if hist.P50 != want.P50 || hist.P95 != want.P95 || hist.P99 != want.P99 {
+		t.Fatalf("quantiles not bitwise equal: %v/%v/%v vs %v/%v/%v",
+			hist.P50, hist.P95, hist.P99, want.P50, want.P95, want.P99)
+	}
+	if ops != stores*perStore {
+		t.Fatalf("fleet counter %v, want %d", ops, stores*perStore)
+	}
+}
+
+// Sum is float addition, so the merge must use a deterministic store order:
+// two snapshots over the same shipments are identical.
+func TestFleetSnapshotDeterministic(t *testing.T) {
+	agg := NewFleetAggregator(nil)
+	for _, id := range []string{"z", "a", "m"} {
+		reg := NewRegistry()
+		h := reg.Histogram("h")
+		h.Observe(0.1)
+		h.Observe(0.2)
+		agg.Ship(id, 1, reg.SnapshotDense())
+	}
+	a, b := agg.Snapshot(), agg.Snapshot()
+	if len(a.Series) != len(b.Series) {
+		t.Fatal("series count differs")
+	}
+	for i := range a.Series {
+		ha, hb := a.Series[i].Fleet.Hist, b.Series[i].Fleet.Hist
+		if ha.Sum != hb.Sum || ha.Count != hb.Count || ha.P99 != hb.P99 {
+			t.Fatalf("series %d not deterministic", i)
+		}
+	}
+}
+
+// Dedup under concurrent shipping (run with -race): stale and duplicate
+// sequence numbers are dropped, the highest seq wins, and exactly one
+// goroutine wins each seq.
+func TestFleetAggregatorDedupConcurrentShipping(t *testing.T) {
+	agg := NewFleetAggregator(nil)
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	points := reg.SnapshotDense()
+
+	const goroutines, seqs = 8, 50
+	accepted := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= seqs; seq++ {
+				if agg.Ship("ps-0", seq, points) {
+					accepted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range accepted {
+		total += n
+	}
+	// Each seq can be accepted at most once; seq 1..seqs arrive in order per
+	// goroutine so at least the overall max is accepted.
+	if total < 1 || total > seqs {
+		t.Fatalf("accepted %d shipments of %d distinct seqs", total, seqs)
+	}
+	if got := agg.Stores(); len(got) != 1 || got[0] != "ps-0" {
+		t.Fatalf("stores = %v", got)
+	}
+	// A replay of an old seq must be rejected now.
+	if agg.Ship("ps-0", 1, points) {
+		t.Fatal("stale seq accepted after higher seq")
+	}
+}
+
+func TestWithStoreLabel(t *testing.T) {
+	if got := WithStoreLabel("up_total", "ps-1"); got != `up_total{store="ps-1"}` {
+		t.Fatalf("got %s", got)
+	}
+	got := WithStoreLabel(`wire_send_total{type="features"}`, "ps-2")
+	if got != `wire_send_total{store="ps-2",type="features"}` {
+		t.Fatalf("got %s", got)
+	}
+	// Already-carried store labels are never duplicated.
+	already := `pipestore_model_version{store="ps-3"}`
+	if got := WithStoreLabel(already, "ps-3"); got != already {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestStripStoreLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"up_total":                                    "up_total",
+		`up_total{store="ps-0"}`:                      "up_total",
+		`wire_send_total{type="features"}`:            `wire_send_total{type="features"}`,
+		`x{store="ps-1",type="ack"}`:                  `x{type="ack"}`,
+		`x{type="ack",store="ps-1"}`:                  `x{type="ack"}`,
+		`pipestore_extract_run_seconds{store="ps-9"}`: "pipestore_extract_run_seconds",
+	} {
+		if got := StripStoreLabel(in); got != want {
+			t.Errorf("StripStoreLabel(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// Real per-store instruments embed their owner's ID as a store label; the
+// aggregator must group them across stores under the store-less name, roll
+// them up exactly, and expose each store's point with a single store label.
+func TestFleetGroupsStoreLabeledSeries(t *testing.T) {
+	agg := NewFleetAggregator(nil)
+	for i, n := range []int64{3, 4} {
+		id := fmt.Sprintf("ps-%d", i)
+		reg := NewRegistry()
+		reg.Counter(Labeled("pipestore_images_ingested_total", "store", id)).Add(n)
+		if !agg.Ship(id, 1, reg.SnapshotDense()) {
+			t.Fatalf("ship %s rejected", id)
+		}
+	}
+	snap := agg.Snapshot()
+	if len(snap.Series) != 1 {
+		t.Fatalf("series = %d, want 1 (store-labeled names must group)", len(snap.Series))
+	}
+	s := snap.Series[0]
+	if s.Name != "pipestore_images_ingested_total" || s.Fleet.Value != 7.0 {
+		t.Fatalf("rollup = %s %v, want pipestore_images_ingested_total 7", s.Name, s.Fleet.Value)
+	}
+	rec := httptest.NewRecorder()
+	agg.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`pipestore_images_ingested_total{store="ps-0"} 3`,
+		`pipestore_images_ingested_total{store="ps-1"} 4`,
+		"fleet:pipestore_images_ingested_total 7",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet text missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `store="ps-0",store=`) {
+		t.Errorf("duplicated store label:\n%s", body)
+	}
+}
+
+func TestFleetServeHTTPTextAndJSON(t *testing.T) {
+	local := NewRegistry()
+	local.Gauge(`ndpipe_straggler{store="ps-1"}`).Set(1)
+	agg := NewFleetAggregator(local)
+	for _, id := range []string{"ps-0", "ps-1"} {
+		reg := NewRegistry()
+		reg.Counter("ops_total").Add(3)
+		agg.Ship(id, 1, reg.SnapshotDense())
+	}
+
+	rec := httptest.NewRecorder()
+	agg.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`ops_total{store="ps-0"} 3`,
+		`ops_total{store="ps-1"} 3`,
+		"fleet:ops_total 6",
+		`ndpipe_straggler{store="ps-1"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("text view missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	agg.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content-type = %s", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"fleet":{"name":"ops_total"`) {
+		t.Fatalf("json view missing rollup: %s", rec.Body.String())
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+	if d := MAD([]float64{1, 2, 3, 4, 100}); d != 1 {
+		t.Fatalf("MAD = %v (one outlier must not inflate it)", d)
+	}
+}
+
+func TestFlagStragglers(t *testing.T) {
+	// A clear outlier is flagged.
+	got := FlagStragglers(map[string]float64{"a": 1.0, "b": 1.1, "c": 0.9, "d": 5.0}, 0)
+	if len(got) != 1 || got[0] != "d" {
+		t.Fatalf("stragglers = %v, want [d]", got)
+	}
+	// Identical fleets: MAD is 0 but the deviation floor keeps microsecond
+	// jitter from flagging half the fleet.
+	got = FlagStragglers(map[string]float64{"a": 1.0, "b": 1.0000001, "c": 1.0}, 0)
+	if len(got) != 0 {
+		t.Fatalf("jitter flagged %v", got)
+	}
+	// Below 3 stores there is no meaningful median.
+	if got = FlagStragglers(map[string]float64{"a": 1, "b": 100}, 0); got != nil {
+		t.Fatalf("tiny fleet flagged %v", got)
+	}
+}

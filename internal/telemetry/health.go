@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is the per-process component health set behind /healthz and
+// /readyz. Components register named checks (WAL open, fleet connected,
+// gateway accepting); /healthz reports process liveness (always 200 while
+// the process can serve HTTP, with per-check detail), /readyz gates on
+// every check passing (503 otherwise) so an orchestrator can hold traffic
+// until the daemon is actually serving.
+type Health struct {
+	mu     sync.Mutex
+	order  []string
+	checks map[string]func() error
+	start  time.Time
+}
+
+// NewHealth creates an empty health set.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error), start: time.Now()}
+}
+
+// RegisterCheck installs (or replaces) a named readiness check. fn must be
+// safe for concurrent callers and cheap — it runs on every /readyz scrape.
+func (h *Health) RegisterCheck(name string, fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.checks[name]; !dup {
+		h.order = append(h.order, name)
+	}
+	h.checks[name] = fn
+}
+
+// CheckResult is one check's outcome.
+type CheckResult struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+}
+
+// HealthReport is the JSON body of /healthz and /readyz.
+type HealthReport struct {
+	Status        string        `json:"status"` // "ok" | "unready"
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Checks        []CheckResult `json:"checks,omitempty"`
+}
+
+// Run executes every check and reports the results (sorted by name) and
+// whether all passed.
+func (h *Health) Run() ([]CheckResult, bool) {
+	h.mu.Lock()
+	names := append([]string(nil), h.order...)
+	fns := make([]func() error, len(names))
+	for i, n := range names {
+		fns[i] = h.checks[n]
+	}
+	h.mu.Unlock()
+	out := make([]CheckResult, len(names))
+	ok := true
+	for i, n := range names {
+		r := CheckResult{Name: n, OK: true}
+		if err := fns[i](); err != nil {
+			r.OK = false
+			r.Err = err.Error()
+			ok = false
+		}
+		out[i] = r
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, ok
+}
+
+// serveHealthz implements /healthz: liveness. Answering at all is the
+// signal; the body carries the check detail for humans.
+func (h *Health) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	checks, _ := h.Run()
+	h.mu.Lock()
+	up := time.Since(h.start).Seconds()
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(HealthReport{Status: "ok", UptimeSeconds: up, Checks: checks})
+}
+
+// serveReadyz implements /readyz: 200 only when every registered check
+// passes, 503 with the failing checks otherwise.
+func (h *Health) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	checks, ok := h.Run()
+	h.mu.Lock()
+	up := time.Since(h.start).Seconds()
+	h.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if !ok {
+		status = "unready"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(HealthReport{Status: status, UptimeSeconds: up, Checks: checks})
+}

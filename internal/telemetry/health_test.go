@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHealthzAlwaysOKReadyzGatesOnChecks(t *testing.T) {
+	reg := NewRegistry()
+	var ready atomic.Bool
+	reg.Health().RegisterCheck("wal", func() error {
+		if !ready.Load() {
+			return errors.New("wal not open")
+		}
+		return nil
+	})
+	reg.Health().RegisterCheck("fleet", func() error { return nil })
+	h := reg.Handler()
+
+	get := func(path string) (int, HealthReport) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		var rep HealthReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return rec.Code, rep
+	}
+
+	// Liveness answers 200 even while unready, with the failing detail.
+	code, rep := get("/healthz")
+	if code != 200 || rep.Status != "ok" {
+		t.Fatalf("healthz = %d %s", code, rep.Status)
+	}
+	if len(rep.Checks) != 2 || rep.Checks[1].OK || rep.Checks[1].Err == "" {
+		t.Fatalf("healthz checks = %+v", rep.Checks)
+	}
+
+	code, rep = get("/readyz")
+	if code != 503 || rep.Status != "unready" {
+		t.Fatalf("readyz before ready = %d %s", code, rep.Status)
+	}
+
+	ready.Store(true)
+	code, rep = get("/readyz")
+	if code != 200 || rep.Status != "ok" {
+		t.Fatalf("readyz after ready = %d %s", code, rep.Status)
+	}
+}
+
+func TestHealthNoChecksIsReady(t *testing.T) {
+	h := NewHealth()
+	if checks, ok := h.Run(); !ok || len(checks) != 0 {
+		t.Fatalf("empty health = %v %v", checks, ok)
+	}
+}
+
+var publishSeq atomic.Int64
+
+func TestPublishSecondCallReturnsError(t *testing.T) {
+	// expvar names are process-global and cannot be unregistered, so mint a
+	// fresh one per run (-count reuses the process).
+	name := fmt.Sprintf("publish_twice_test_%d", publishSeq.Add(1))
+	if err := NewRegistry().Publish(name); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	// A second publish under the same expvar name used to panic inside
+	// expvar.Publish; it must surface as an error instead.
+	if err := NewRegistry().Publish(name); err == nil {
+		t.Fatal("second publish did not error")
+	}
+}

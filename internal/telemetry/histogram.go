@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -71,8 +72,20 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // within the containing bucket. Returns 0 with no observations; the overflow
 // bucket reports its lower bound (the largest configured bound).
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileOver(counts, h.bounds, h.count.Load(), q)
+}
+
+// quantileOver is the one quantile algorithm, shared by live histograms and
+// merged fleet snapshots so that a fleet-level quantile computed from merged
+// bucket counts is bitwise-identical to what a single histogram observing
+// the union would report. counts has len(bounds)+1 entries (the last is the
+// overflow bucket).
+func quantileOver(counts []uint64, bounds []float64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -83,26 +96,26 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
+	for i := range counts {
+		n := float64(counts[i])
 		if n == 0 {
 			continue
 		}
 		if cum+n >= rank {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			hi := h.bounds[i]
+			hi := bounds[i]
 			frac := (rank - cum) / n
 			return lo + (hi-lo)*frac
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // BucketCount is one exported histogram bucket.
@@ -122,8 +135,22 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets"`
 }
 
-// Snapshot exports counts, sum and the p50/p95/p99 summaries.
+// Snapshot exports counts, sum and the p50/p95/p99 summaries. Zero-count
+// buckets are elided (the compact /metrics view).
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	return h.snapshot(false)
+}
+
+// DenseSnapshot is Snapshot with every bucket present, including zero-count
+// ones. The dense form carries the full bucket layout, which is what makes
+// cross-node merging lossless: MergeHistogramSnapshots aligns buckets by
+// upper bound, and a missing (elided) bucket would shift the interpolation
+// base of the bucket above it. This is the form shipped in MsgMetrics.
+func (h *Histogram) DenseSnapshot() HistogramSnapshot {
+	return h.snapshot(true)
+}
+
+func (h *Histogram) snapshot(dense bool) HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:   h.Count(),
 		Sum:     h.Sum(),
@@ -137,9 +164,64 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		if n := h.counts[i].Load(); n > 0 {
+		if n := h.counts[i].Load(); n > 0 || dense {
 			s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: n})
 		}
 	}
 	return s
+}
+
+// MergeHistogramSnapshots merges per-node snapshots of the same logical
+// histogram into one fleet-level snapshot. Buckets are aligned by upper
+// bound (the union of all bounds seen) and their integer counts summed, so
+// the merge is lossless: the merged quantiles are computed by quantileOver
+// on exactly the counts a single histogram observing every node's samples
+// would hold — a true quantile merge, not an average of quantiles.
+//
+// Snapshots should be dense (DenseSnapshot); sparse ones still merge, but a
+// bucket layout that elides everything below the first sample degrades the
+// interpolation lower bound exactly as it does in a standalone sparse view.
+func MergeHistogramSnapshots(snaps ...HistogramSnapshot) HistogramSnapshot {
+	boundSet := make(map[float64]struct{})
+	for _, s := range snaps {
+		for _, b := range s.Buckets {
+			if !math.IsInf(b.UpperBound, 1) {
+				boundSet[b.UpperBound] = struct{}{}
+			}
+		}
+	}
+	bounds := make([]float64, 0, len(boundSet))
+	for ub := range boundSet {
+		bounds = append(bounds, ub)
+	}
+	sort.Float64s(bounds)
+	idx := make(map[float64]int, len(bounds))
+	for i, ub := range bounds {
+		idx[ub] = i
+	}
+	counts := make([]uint64, len(bounds)+1) // +1: overflow
+	out := HistogramSnapshot{}
+	for _, s := range snaps {
+		out.Count += s.Count
+		out.Sum += s.Sum
+		for _, b := range s.Buckets {
+			if math.IsInf(b.UpperBound, 1) {
+				counts[len(bounds)] += b.Count
+			} else {
+				counts[idx[b.UpperBound]] += b.Count
+			}
+		}
+	}
+	out.P50 = quantileOver(counts, bounds, out.Count, 0.50)
+	out.P95 = quantileOver(counts, bounds, out.Count, 0.95)
+	out.P99 = quantileOver(counts, bounds, out.Count, 0.99)
+	out.Buckets = make([]BucketCount, 0, len(counts))
+	for i, n := range counts {
+		ub := math.Inf(1)
+		if i < len(bounds) {
+			ub = bounds[i]
+		}
+		out.Buckets = append(out.Buckets, BucketCount{UpperBound: ub, Count: n})
+	}
+	return out
 }

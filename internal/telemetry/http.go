@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ServeOption customizes Handler/Serve.
@@ -17,6 +18,7 @@ type ServeOption func(*serveConfig)
 
 type serveConfig struct {
 	pprof bool
+	fleet *FleetAggregator
 }
 
 // WithPprof mounts the net/http/pprof handlers (/debug/pprof/...) on the
@@ -24,6 +26,13 @@ type serveConfig struct {
 // -telemetry-addr as /metrics. Off by default: profiling endpoints can
 // reveal more than metrics, so the daemons gate this behind -pprof.
 func WithPprof() ServeOption { return func(c *serveConfig) { c.pprof = true } }
+
+// WithFleet mounts a fleet aggregator's merged view at /fleet on the
+// telemetry mux — the tuner passes its aggregator so one scrape covers the
+// whole fleet.
+func WithFleet(agg *FleetAggregator) ServeOption {
+	return func(c *serveConfig) { c.fleet = agg }
+}
 
 // Handler serves the registry over HTTP:
 //
@@ -35,8 +44,12 @@ func WithPprof() ServeOption { return func(c *serveConfig) { c.pprof = true } }
 //	           records one JSON object per line; ?trace=<hex id> selects
 //	           a single trace
 //	/snapshot— the Snapshot() view as JSON (what Publish exposes via expvar)
+//	/flightrec — the flight recorder's event ring as a JSON dump record
+//	/healthz — liveness (always 200, with per-check detail)
+//	/readyz  — readiness (503 until every registered check passes)
 //
-// With WithPprof, /debug/pprof/... is mounted as well.
+// With WithPprof, /debug/pprof/... is mounted as well; with WithFleet, the
+// aggregator's merged fleet view is mounted at /fleet.
 func (r *Registry) Handler(opts ...ServeOption) http.Handler {
 	var cfg serveConfig
 	for _, o := range opts {
@@ -58,6 +71,20 @@ func (r *Registry) Handler(opts ...ServeOption) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(FlightDumpRecord{
+			Component: "live",
+			At:        time.Now(),
+			Reason:    "http",
+			Events:    r.Flight().Events(),
+		})
+	})
+	mux.HandleFunc("/healthz", r.Health().serveHealthz)
+	mux.HandleFunc("/readyz", r.Health().serveReadyz)
+	if cfg.fleet != nil {
+		mux.Handle("/fleet", cfg.fleet)
+	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -167,9 +194,17 @@ func (r *Registry) String() string {
 }
 
 // Publish registers the registry under name in the process-wide expvar set.
-// Publishing the same name twice panics (expvar semantics), so daemons call
-// this once.
-func (r *Registry) Publish(name string) { expvar.Publish(name, r) }
+// A second Publish of the same name returns an error instead of inheriting
+// the expvar panic — daemons restarted inside one test process (and tests
+// that exercise restart paths) must be able to treat the duplicate as a
+// no-op failure rather than crash.
+func (r *Registry) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("telemetry: expvar name %q already published", name)
+	}
+	expvar.Publish(name, r)
+	return nil
+}
 
 // Serve starts the exposition endpoint on addr in a background goroutine and
 // returns the bound listener address (useful with ":0") and a shutdown

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// instrumentRegistrations scans every non-test .go file in the repository
+// for Counter/Gauge/Histogram/HistogramBuckets registrations and returns the
+// literal metric names used (base name only; Labeled() label keys are
+// validated in place). Names built entirely at runtime can't be linted and
+// don't occur in this codebase.
+func instrumentRegistrations(t *testing.T, root string) map[string][]string {
+	t.Helper()
+	found := make(map[string][]string) // name -> files registering it
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram", "HistogramBuckets":
+			default:
+				return true
+			}
+			// The name argument is either a string literal, a Labeled(name,
+			// key, value) call, or a thin wrapper like lbl(name); in every
+			// form the first string literal reached is the base name.
+			if name, labelKeys := firstMetricLiteral(call.Args[0]); name != "" {
+				found[name] = append(found[name], rel)
+				for _, k := range labelKeys {
+					if !promLabelName.MatchString(k) {
+						t.Errorf("%s: label %q on metric %q is not a valid Prometheus label name", rel, k, name)
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return found
+}
+
+// firstMetricLiteral digs the base metric name out of a registration
+// argument. For telemetry.Labeled("name", "key", value) calls it also
+// returns the literal label keys (arguments 1, 3, ... when literal).
+func firstMetricLiteral(e ast.Expr) (name string, labelKeys []string) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			s, err := strconv.Unquote(v.Value)
+			if err == nil {
+				return s, nil
+			}
+		}
+	case *ast.CallExpr:
+		isLabeled := false
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Labeled" {
+			isLabeled = true
+		}
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "Labeled" {
+			isLabeled = true
+		}
+		for i, arg := range v.Args {
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if i == 0 {
+				name = s
+			} else if isLabeled && i%2 == 1 {
+				labelKeys = append(labelKeys, s)
+			}
+		}
+	}
+	return name, labelKeys
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test dir")
+		}
+		dir = parent
+	}
+}
+
+// Every instrument the codebase registers must have a valid Prometheus name
+// and a row in README.md's metric table — the scrape surface is part of the
+// public interface, and an undocumented metric is a silent one.
+func TestMetricNamesLintedAndDocumented(t *testing.T) {
+	root := repoRoot(t)
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	regs := instrumentRegistrations(t, root)
+	if len(regs) < 40 {
+		t.Fatalf("scan found only %d instrument registrations — the scanner is broken", len(regs))
+	}
+	names := make([]string, 0, len(regs))
+	for name := range regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !promMetricName.MatchString(base) {
+			t.Errorf("metric %q (registered in %v) is not a valid Prometheus metric name", name, regs[name])
+		}
+		if !strings.Contains(doc, base) {
+			t.Errorf("metric %q (registered in %v) is missing from the README metric table", base, regs[name])
+		}
+	}
+}

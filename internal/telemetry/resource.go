@@ -1,0 +1,50 @@
+package telemetry
+
+import "runtime"
+
+// ResourceSample is one point-in-time process resource reading, the basis of
+// per-round resource accounting: the tuner samples before and after a round
+// and reports the deltas (CPU seconds burned, bytes allocated, allocation
+// count) alongside the round's wall time.
+type ResourceSample struct {
+	CPUSeconds   float64 `json:"cpu_seconds"` // user+system CPU, process-wide
+	AllocBytes   uint64  `json:"alloc_bytes"` // cumulative heap bytes allocated
+	AllocObjects uint64  `json:"alloc_objects"`
+}
+
+// SampleResources reads the current process resource counters. CPU time
+// comes from getrusage where available (zero on unsupported platforms);
+// allocation counters come from runtime.ReadMemStats. Not for hot paths —
+// ReadMemStats stops the world briefly — but cheap enough per round.
+func SampleResources() ResourceSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ResourceSample{
+		CPUSeconds:   processCPUSeconds(),
+		AllocBytes:   ms.TotalAlloc,
+		AllocObjects: ms.Mallocs,
+	}
+}
+
+// ResourceDelta is the resource cost between two samples (a round, a phase).
+type ResourceDelta struct {
+	CPUSeconds   float64 `json:"cpu_seconds"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	AllocObjects uint64  `json:"alloc_objects"`
+}
+
+// Sub returns the delta from earlier to s. Counters that regressed (CPU
+// clock skew, platform quirks) clamp to zero rather than going negative.
+func (s ResourceSample) Sub(earlier ResourceSample) ResourceDelta {
+	d := ResourceDelta{}
+	if s.CPUSeconds > earlier.CPUSeconds {
+		d.CPUSeconds = s.CPUSeconds - earlier.CPUSeconds
+	}
+	if s.AllocBytes > earlier.AllocBytes {
+		d.AllocBytes = s.AllocBytes - earlier.AllocBytes
+	}
+	if s.AllocObjects > earlier.AllocObjects {
+		d.AllocObjects = s.AllocObjects - earlier.AllocObjects
+	}
+	return d
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package telemetry
+
+// processCPUSeconds is unavailable off unix; resource deltas then carry
+// allocation counters only.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// processCPUSeconds returns total (user + system) CPU time consumed by the
+// process, via getrusage(RUSAGE_SELF).
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

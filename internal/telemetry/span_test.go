@@ -109,21 +109,25 @@ func TestStartSpanInEmptyContextMintsTrace(t *testing.T) {
 func TestTraceSpansFilters(t *testing.T) {
 	tr := NewTracer(16)
 	a := tr.StartTrace("a")
+	// Capture identities before End: an ended span returns to the pool and
+	// may be reused (and rewritten) by the next StartTrace.
+	aID := a.TraceID()
 	tr.StartSpanIn(a.Context(), "a-child").End()
 	a.End()
 	b := tr.StartTrace("b")
+	bID := b.TraceID()
 	b.End()
 
-	got := tr.TraceSpans(a.TraceID())
+	got := tr.TraceSpans(aID)
 	if len(got) != 2 {
 		t.Fatalf("trace a has %d spans, want 2", len(got))
 	}
 	for _, r := range got {
-		if r.Trace != a.TraceID() {
+		if r.Trace != aID {
 			t.Fatalf("span %s leaked from another trace", r.Name)
 		}
 	}
-	if got := tr.TraceSpans(b.TraceID()); len(got) != 1 || got[0].Name != "b" {
+	if got := tr.TraceSpans(bID); len(got) != 1 || got[0].Name != "b" {
 		t.Fatalf("trace b spans = %+v", got)
 	}
 }

@@ -77,6 +77,8 @@ type Registry struct {
 	hists    map[string]*Histogram
 	spans    *Tracer
 	traces   *Collector
+	flight   *FlightRecorder
+	health   *Health
 }
 
 // NewRegistry creates an empty registry with a span tracer of the default
@@ -89,6 +91,8 @@ func NewRegistry() *Registry {
 		hists:    make(map[string]*Histogram),
 		spans:    NewTracer(DefaultSpanRing),
 		traces:   NewCollector(0, 0),
+		flight:   NewFlightRecorder(DefaultFlightRing),
+		health:   NewHealth(),
 	}
 	r.spans.SetCollector(r.traces)
 	return r
@@ -167,6 +171,14 @@ func (r *Registry) Spans() *Tracer { return r.spans }
 // spans (fed by the tracer) and remote spans shipped over the wire.
 func (r *Registry) Traces() *Collector { return r.traces }
 
+// Flight returns the registry's flight recorder — the bounded black box of
+// structured events served at /flightrec and dumped on panic/SIGQUIT.
+func (r *Registry) Flight() *FlightRecorder { return r.flight }
+
+// Health returns the registry's component health set (the /healthz and
+// /readyz checks).
+func (r *Registry) Health() *Health { return r.health }
+
 // MetricPoint is one exported metric sample.
 type MetricPoint struct {
 	Name  string             `json:"name"`
@@ -179,6 +191,18 @@ type MetricPoint struct {
 // name — the expvar-compatible view (see Publish) and the source for both
 // exposition formats.
 func (r *Registry) Snapshot() []MetricPoint {
+	return r.snapshot(false)
+}
+
+// SnapshotDense is Snapshot with dense histogram buckets (zero-count
+// buckets included), the form a node serializes into a MsgMetrics envelope:
+// the full bucket layout is what lets the fleet aggregator merge histograms
+// losslessly (see MergeHistogramSnapshots).
+func (r *Registry) SnapshotDense() []MetricPoint {
+	return r.snapshot(true)
+}
+
+func (r *Registry) snapshot(dense bool) []MetricPoint {
 	r.mu.RLock()
 	pts := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
@@ -188,7 +212,12 @@ func (r *Registry) Snapshot() []MetricPoint {
 		pts = append(pts, MetricPoint{Name: name, Kind: "gauge", Value: g.Value()})
 	}
 	for name, h := range r.hists {
-		snap := h.Snapshot()
+		var snap HistogramSnapshot
+		if dense {
+			snap = h.DenseSnapshot()
+		} else {
+			snap = h.Snapshot()
+		}
 		pts = append(pts, MetricPoint{Name: name, Kind: "histogram", Hist: &snap})
 	}
 	r.mu.RUnlock()

@@ -128,7 +128,7 @@ func chaosRoundOptions() RoundOptions {
 // conn drops after a fixed number of write ops — mid feature stream). With
 // Quorum 2 the round must commit degraded on the survivors.
 func TestQuorumRoundSurvivesStoreDeath(t *testing.T) {
-	inj, err := faultinject.New(7, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 12})
+	inj, err := faultinject.New(7, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestQuorumHardErrorBelowQuorum(t *testing.T) {
 		if i == 0 {
 			return c
 		}
-		inj, err := faultinject.New(int64(10+i), faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 12 + i})
+		inj, err := faultinject.New(int64(10+i), faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17 + i})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +220,7 @@ func TestQuorumHardErrorBelowQuorum(t *testing.T) {
 // An evicted store rejoins through AddStore, is caught up by a composite
 // delta, and participates fully in the next round.
 func TestEvictedStoreRejoins(t *testing.T) {
-	inj, err := faultinject.New(3, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 12})
+	inj, err := faultinject.New(3, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,10 +385,12 @@ func TestChaosSoakSeededKillRestart(t *testing.T) {
 		inj, err := faultinject.New(rng.Int63n(1<<30)+1, faultinject.Rule{
 			Kind: faultinject.Drop,
 			Op:   faultinject.OpWrite,
-			// Floor 20: gob's first Encode spends ~10 writes on type
-			// descriptors, so lower thresholds can kill the hello/catch-up
+			// Floor 32: gob's first Encode spends ~15 writes on type
+			// descriptors (the Message type graph includes the telemetry
+			// snapshot types) and the first command piggy-backs one metrics
+			// shipment, so lower thresholds can kill the hello/catch-up
 			// handshake itself instead of mid-round traffic.
-			After: 20 + int(rng.Int63n(40)),
+			After: 32 + int(rng.Int63n(40)),
 		})
 		if err != nil {
 			t.Fatal(err)

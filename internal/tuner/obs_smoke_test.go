@@ -1,0 +1,192 @@
+// Observability smoke (make obs-smoke): real tuner + PipeStore fleets over
+// loopback TCP, asserted through the same HTTP surface an operator scrapes.
+// TestObsSmokeFleetRollup boots a tuner + 2 stores and checks the /fleet
+// merged view (shipped per-store series, exact rollups, flight recorder,
+// health endpoints); TestObsSmokeStragglerFlag boots 4 stores (the
+// median+MAD rule needs >=3 for a meaningful median) with one delayed
+// connection and checks the straggler is flagged — in the round report and
+// in the exported gauge — within a single round.
+package tuner
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/faultinject"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
+)
+
+// obsFleetUp boots a tuner + nStores PipeStores over loopback. Every store
+// gets a private registry (as a separate process would have) and ships its
+// metrics after every command, so /fleet is fresh after one round. wrap, if
+// non-nil, wraps store i's client conn (the fault-injection seam).
+func obsFleetUp(t *testing.T, nStores, images int, wrap func(i int, c net.Conn) net.Conn) (*Node, []string) {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(11)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, nStores) }()
+
+	shards := world.Shard(nStores)
+	ids := make([]string, nStores)
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("obs-%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = ps.ID
+		ps.SetRegistry(telemetry.NewRegistry())
+		ps.SetMetricsInterval(0)
+		if err := ps.Ingest(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrap != nil {
+			conn = wrap(i, conn)
+		}
+		go func(ps *pipestore.Node, conn net.Conn) { _ = ps.Serve(conn) }(ps, conn)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	return tn, ids
+}
+
+// fleetText scrapes /fleet through the full registry handler (the same mux
+// the daemons mount) and returns the text exposition.
+func fleetText(t *testing.T, tn *Node, path string) (int, string) {
+	t.Helper()
+	h := telemetry.Default.Handler(telemetry.WithFleet(tn.Fleet()))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// metricValue finds `name <value>` in a text exposition.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("bad value for %s: %q", name, line)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+func obsTrainOpts() ftdmp.TrainOptions {
+	o := ftdmp.DefaultTrainOptions()
+	o.MaxEpochs = 5
+	return o
+}
+
+func TestObsSmokeFleetRollup(t *testing.T) {
+	const nStores, images = 2, 300
+	tn, ids := obsFleetUp(t, nStores, images, nil)
+	if _, err := tn.FineTune(2, 128, obsTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := fleetText(t, tn, "/fleet")
+	if code != 200 {
+		t.Fatalf("/fleet = %d", code)
+	}
+	// Every store's shipped series appears with its store label, and the
+	// fleet: rollup is the exact sum across shipments.
+	var sum float64
+	for _, id := range ids {
+		sum += metricValue(t, body, fmt.Sprintf("pipestore_images_ingested_total{store=%q}", id))
+	}
+	if sum != float64(images) {
+		t.Fatalf("per-store ingested sums to %v, want %d", sum, images)
+	}
+	if got := metricValue(t, body, "fleet:pipestore_images_ingested_total"); got != sum {
+		t.Fatalf("fleet rollup = %v, want exact sum %v", got, sum)
+	}
+	// The tuner's local series (including the per-store straggler gauges,
+	// refreshed every round) ride along after the fleet view.
+	for _, id := range ids {
+		if v := metricValue(t, body, fmt.Sprintf("ndpipe_straggler{store=%q}", id)); v != 0 {
+			t.Fatalf("store %s flagged straggler in a healthy fleet", id)
+		}
+	}
+
+	// Health contract: liveness always 200, readiness 200 (no failing checks
+	// registered here), and the flight recorder carries the round events.
+	if code, _ := fleetText(t, tn, "/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code, _ := fleetText(t, tn, "/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d", code)
+	}
+	code, flight := fleetText(t, tn, "/flightrec")
+	if code != 200 || !strings.Contains(flight, telemetry.FlightRoundCommit) {
+		t.Fatalf("/flightrec (%d) missing %s:\n%s", code, telemetry.FlightRoundCommit, flight)
+	}
+}
+
+func TestObsSmokeStragglerFlag(t *testing.T) {
+	const nStores, victim = 4, 3
+	tn, ids := obsFleetUp(t, nStores, 400, func(i int, c net.Conn) net.Conn {
+		if i != victim {
+			return c
+		}
+		inj, err := faultinject.New(11, faultinject.Rule{
+			Kind: faultinject.Delay, Op: faultinject.OpWrite,
+			After: 1, Prob: 1, Delay: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Conn(c)
+	})
+	rep, err := tn.FineTune(2, 128, obsTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stragglers) != 1 || rep.Stragglers[0] != ids[victim] {
+		t.Fatalf("stragglers = %v, want [%s]", rep.Stragglers, ids[victim])
+	}
+	_, body := fleetText(t, tn, "/fleet")
+	if v := metricValue(t, body, fmt.Sprintf("ndpipe_straggler{store=%q}", ids[victim])); v != 1 {
+		t.Fatalf("ndpipe_straggler{store=%q} = %v, want 1", ids[victim], v)
+	}
+	for i, id := range ids {
+		if i == victim {
+			continue
+		}
+		if v := metricValue(t, body, fmt.Sprintf("ndpipe_straggler{store=%q}", id)); v != 0 {
+			t.Fatalf("healthy store %s flagged", id)
+		}
+	}
+}

@@ -181,6 +181,22 @@ type roundCtx struct {
 	ftBufs     []map[string]*storeRunBuf
 	nextRun    int
 	imagesLost int
+
+	// Straggler accounting: per-store phase latencies measured against the
+	// shared phase start, so one slow store stands out of the fleet median.
+	stats       map[string]*StoreRoundStats
+	gatherStart time.Time
+	ackStart    time.Time
+}
+
+// stat returns (creating) a store's per-round accounting slot.
+func (rc *roundCtx) stat(id string) *StoreRoundStats {
+	st := rc.stats[id]
+	if st == nil {
+		st = &StoreRoundStats{}
+		rc.stats[id] = st
+	}
+	return st
 }
 
 // beginRound stamps a fresh epoch, snapshots the fleet as this round's
@@ -197,9 +213,12 @@ func (t *Node) beginRound(span *telemetry.Span, logger *slog.Logger) (*roundCtx,
 		participants: append([]*storeConn(nil), t.stores...),
 		live:         make(map[*storeConn]bool),
 		failed:       make(map[string]error),
+		stats:        make(map[string]*StoreRoundStats),
 	}
 	t.mu.Unlock()
 	span.SetAttr("epoch", fmt.Sprint(rc.epoch))
+	telemetry.Default.Flight().Record(telemetry.FlightRoundStart, "tuner", "",
+		int64(rc.epoch), int64(len(rc.participants)))
 	if len(rc.participants) == 0 {
 		return nil, fmt.Errorf("tuner: no PipeStores registered")
 	}
@@ -307,6 +326,7 @@ func (rc *roundCtx) sendWithRetry(sc *storeConn, msg *wire.Message) error {
 	for attempt := 0; attempt <= rc.o.MaxRetries; attempt++ {
 		if attempt > 0 {
 			rc.t.met.retries.Inc()
+			telemetry.Default.Flight().Record(telemetry.FlightRetry, "tuner", sc.id, int64(attempt), int64(rc.epoch))
 			time.Sleep(rc.t.backoff(rc.o, attempt-1))
 		}
 		if err = rc.t.sendWithDeadline(sc, msg, rc.o.StoreTimeout); err == nil {
@@ -333,6 +353,7 @@ func (rc *roundCtx) quorumError(phase string) error {
 		}
 		fmt.Fprintf(&b, "%s: %v", id, rc.failed[id])
 	}
+	telemetry.Default.Flight().Record(telemetry.FlightRoundAbort, "tuner", phase, int64(rc.epoch), int64(len(rc.live)))
 	return fmt.Errorf("tuner: round %d aborted while %s: %d live stores, quorum %d; failed: [%s]",
 		rc.epoch, phase, len(rc.live), rc.o.Quorum, b.String())
 }
@@ -361,6 +382,60 @@ func (rc *roundCtx) finishAccounting(rep *Report) {
 		rc.t.met.degradedRounds.Inc()
 		rc.t.met.imagesLost.Add(int64(rc.imagesLost))
 		rc.span.SetAttr("degraded", "true")
+	}
+}
+
+// flagStragglers applies the median+MAD rule to the round's per-store phase
+// latencies: the gather phase (request → last final feature batch) and the
+// ack phase (delta broadcast → ack) are judged independently, and a store
+// flagged in either is a straggler. Flags land in the report, in the
+// ndpipe_straggler{store=...} gauges (1 flagged / 0 clear, refreshed every
+// round) and in structured log + flight-recorder events.
+func (rc *roundCtx) flagStragglers(rep *Report) {
+	gather := make(map[string]float64, len(rc.stats))
+	ack := make(map[string]float64, len(rc.stats))
+	for id, st := range rc.stats {
+		if st.GatherSeconds > 0 {
+			gather[id] = st.GatherSeconds
+		}
+		if st.AckSeconds > 0 {
+			ack[id] = st.AckSeconds
+		}
+	}
+	flagged := make(map[string]bool)
+	for _, id := range telemetry.FlagStragglers(gather, 0) {
+		flagged[id] = true
+	}
+	for _, id := range telemetry.FlagStragglers(ack, 0) {
+		flagged[id] = true
+	}
+	rep.StoreStats = make(map[string]StoreRoundStats, len(rc.stats))
+	for id, st := range rc.stats {
+		st.Straggler = flagged[id]
+		rep.StoreStats[id] = *st
+		v := 0.0
+		if st.Straggler {
+			v = 1
+		}
+		telemetry.Default.Gauge(telemetry.Labeled("ndpipe_straggler", "store", id)).Set(v)
+	}
+	if len(flagged) == 0 {
+		return
+	}
+	rep.Stragglers = make([]string, 0, len(flagged))
+	for id := range flagged {
+		rep.Stragglers = append(rep.Stragglers, id)
+	}
+	sort.Strings(rep.Stragglers)
+	for _, id := range rep.Stragglers {
+		rc.t.met.stragglersSeen.Inc()
+		telemetry.Default.Flight().Record(telemetry.FlightStraggler, "tuner", id, int64(rc.epoch), 0)
+		st := rc.stats[id]
+		rc.logger.Warn("straggler detected",
+			slog.String("store", id),
+			slog.Int("epoch", rc.epoch),
+			slog.Float64("gather_seconds", st.GatherSeconds),
+			slog.Float64("ack_seconds", st.AckSeconds))
 	}
 }
 
@@ -396,6 +471,9 @@ func (t *Node) FineTune(nrun, batch int, opt ftdmp.TrainOptions) (Report, error)
 // RoundOptions.Quorum stores survive does it return an error.
 func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt ftdmp.TrainOptions) (Report, error) {
 	start := time.Now()
+	res0 := telemetry.SampleResources()
+	wireIn0 := telemetry.Default.Counter("wire_recv_bytes_total").Value()
+	wireOut0 := telemetry.Default.Counter("wire_sent_bytes_total").Value()
 	span := telemetry.Default.Spans().StartSpanIn(parent, "tuner.finetune")
 	span.SetAttr("nrun", fmt.Sprint(nrun))
 	tc := span.Context()
@@ -414,6 +492,7 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 	if err != nil {
 		return Report{}, err
 	}
+	rc.gatherStart = time.Now()
 	for _, sc := range rc.participants {
 		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch, Epoch: rc.epoch}
 		req.SetTraceContext(tc)
@@ -464,6 +543,12 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		}
 		rep.FeatureBytes += int64(len(msg.X)) * 8
 		t.met.featureBytes.Add(int64(len(msg.X)) * 8)
+		st := rc.stat(sc.id)
+		st.FeatureBytes += int64(len(msg.X)) * 8
+		if msg.Final && msg.Run == nrun-1 {
+			// The store's last pipelined run is in: its gather phase is done.
+			st.GatherSeconds = time.Since(rc.gatherStart).Seconds()
+		}
 	}
 
 	// Gather+train, pipelined: a per-phase timer (satisfying the round
@@ -569,6 +654,7 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 	rep.FullModelBytes = newSnap.Bytes() + t.backbone.TakeSnapshot().Bytes()
 	rep.ModelVersion = version
 
+	rc.ackStart = time.Now()
 	pending := make(map[*storeConn]bool, len(targets))
 	for _, sc := range targets {
 		rc.adopt(sc)
@@ -604,6 +690,7 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		case ev := <-t.inbox:
 			rc.handle(ev, func(sc *storeConn, msg *wire.Message) {
 				if msg.Type == wire.MsgAck && pending[sc] {
+					rc.stat(sc.id).AckSeconds = time.Since(rc.ackStart).Seconds()
 					delete(pending, sc)
 					return
 				}
@@ -625,6 +712,15 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 	t.met.trainRounds.Inc()
 	t.met.modelVersion.Set(float64(version))
 	rc.finishAccounting(&rep)
+	rc.flagStragglers(&rep)
+	// Per-round resource accounting: the tuner process's cost of the round.
+	rep.Resources = telemetry.SampleResources().Sub(res0)
+	rep.WireBytesIn = telemetry.Default.Counter("wire_recv_bytes_total").Value() - wireIn0
+	rep.WireBytesOut = telemetry.Default.Counter("wire_sent_bytes_total").Value() - wireOut0
+	t.met.roundCPU.Set(rep.Resources.CPUSeconds)
+	t.met.roundAllocB.Set(float64(rep.Resources.AllocBytes))
+	t.met.roundAllocN.Set(float64(rep.Resources.AllocObjects))
+	telemetry.Default.Flight().Record(telemetry.FlightRoundCommit, "tuner", "", int64(rc.epoch), int64(version))
 	logger.Info("fine-tune round complete",
 		slog.Int("epoch", rc.epoch),
 		slog.Int("images", rep.Images),

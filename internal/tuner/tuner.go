@@ -68,6 +68,11 @@ type Node struct {
 	rngMu sync.Mutex
 	rng   backoffRNG
 
+	// fleet is the tuner-side half of the fleet observability plane: it
+	// merges the registry snapshots stores piggy-back on round traffic
+	// (MsgMetrics) and serves the exact fleet rollup at /fleet.
+	fleet *telemetry.FleetAggregator
+
 	met tunerMetrics
 	log *slog.Logger
 }
@@ -122,6 +127,12 @@ type tunerMetrics struct {
 	runTrain       *telemetry.Histogram
 	fineTune       *telemetry.Histogram
 	offlineInfer   *telemetry.Histogram
+
+	// Fleet observability: straggler flags and per-round resource cost.
+	stragglersSeen *telemetry.Counter
+	roundCPU       *telemetry.Gauge
+	roundAllocB    *telemetry.Gauge
+	roundAllocN    *telemetry.Gauge
 }
 
 func newTunerMetrics() tunerMetrics {
@@ -141,6 +152,10 @@ func newTunerMetrics() tunerMetrics {
 		runTrain:       reg.Histogram("tuner_run_train_seconds"),
 		fineTune:       reg.Histogram("tuner_finetune_seconds"),
 		offlineInfer:   reg.Histogram("tuner_offline_inference_seconds"),
+		stragglersSeen: reg.Counter("tuner_stragglers_total"),
+		roundCPU:       reg.Gauge("tuner_round_cpu_seconds"),
+		roundAllocB:    reg.Gauge("tuner_round_alloc_bytes"),
+		roundAllocN:    reg.Gauge("tuner_round_alloc_objects"),
 	}
 }
 
@@ -158,6 +173,7 @@ func New(cfg core.ModelConfig) (*Node, error) {
 		rounds:   DefaultRoundOptions(),
 		inbox:    make(chan inbound, 256),
 		done:     make(chan struct{}),
+		fleet:    telemetry.NewFleetAggregator(telemetry.Default),
 		met:      newTunerMetrics(),
 		log:      telemetry.ComponentLogger("tuner"),
 	}
@@ -168,6 +184,10 @@ func New(cfg core.ModelConfig) (*Node, error) {
 
 // Archive exposes the model-version store (read-only use).
 func (t *Node) Archive() *modelstore.Store { return t.archive }
+
+// Fleet returns the tuner's fleet aggregator — mount it at /fleet with
+// telemetry.WithFleet to expose the merged fleet view.
+func (t *Node) Fleet() *telemetry.FleetAggregator { return t.fleet }
 
 // DB exposes the label database.
 func (t *Node) DB() *labeldb.DB { return t.db }
@@ -291,6 +311,17 @@ func (t *Node) AddStore(conn net.Conn) error {
 			return fmt.Errorf("tuner: sending catch-up to %s: %w", sc.id, err)
 		}
 		ack, err := codec.Recv()
+		// The store may piggy-back span or metrics shipments around the ack;
+		// absorb them into their sinks rather than failing the catch-up.
+		for err == nil && (ack.Type == wire.MsgSpans || ack.Type == wire.MsgMetrics) {
+			switch ack.Type {
+			case wire.MsgSpans:
+				telemetry.Default.Traces().Add(ack.Spans...)
+			case wire.MsgMetrics:
+				t.fleet.Ship(sc.id, ack.MetricsSeq, ack.Metrics)
+			}
+			ack, err = codec.Recv()
+		}
 		if err != nil || ack.Type != wire.MsgAck {
 			return fmt.Errorf("tuner: catch-up ack from %s: %v (err %v)", sc.id, ack, err)
 		}
@@ -327,6 +358,11 @@ func (t *Node) readLoop(sc *storeConn) {
 			continue
 		case wire.MsgPong:
 			// Liveness only; touch above already recorded it.
+			continue
+		case wire.MsgMetrics:
+			// The store's registry snapshot for the fleet aggregator. The
+			// shipment sequence number dedups retransmits and reordering.
+			t.fleet.Ship(sc.id, msg.MetricsSeq, msg.Metrics)
 			continue
 		case wire.MsgFeatures:
 			if msg.Final {
@@ -366,6 +402,7 @@ func (t *Node) evict(sc *storeConn, reason error, span *telemetry.Span) bool {
 	t.mu.Unlock()
 	t.met.stores.Set(float64(nstores))
 	t.met.evictions.Inc()
+	telemetry.Default.Flight().Record(telemetry.FlightEvict, "tuner", sc.id, 0, 0)
 	span.Event("evicted " + sc.id)
 	t.log.Warn("store evicted",
 		slog.String("store", sc.id),
@@ -396,6 +433,26 @@ type Report struct {
 	FailedStores []string
 	ImagesLost   int
 	Participants int // stores that entered the round
+
+	// Straggler detection: per-store, per-phase latencies for the round and
+	// the stores flagged by the median+MAD rule (telemetry.FlagStragglers),
+	// also exported as ndpipe_straggler{store=...} gauges.
+	StoreStats map[string]StoreRoundStats
+	Stragglers []string
+
+	// Per-round resource accounting: the tuner process's CPU and allocation
+	// cost of the round, plus total wire traffic during it.
+	Resources    telemetry.ResourceDelta
+	WireBytesIn  int64
+	WireBytesOut int64
+}
+
+// StoreRoundStats is one store's observable cost within a round.
+type StoreRoundStats struct {
+	GatherSeconds float64 // request sent → last run's final feature batch
+	AckSeconds    float64 // delta broadcast → ack received
+	FeatureBytes  int64   // feature payload this store contributed
+	Straggler     bool
 }
 
 // TrafficReduction is the Check-N-Run win for this round.

@@ -30,6 +30,7 @@ const (
 	MsgSpans                           // store → tuner: finished trace spans for stitching
 	MsgPing                            // tuner → store: liveness probe (silent-death detection)
 	MsgPong                            // store → tuner: liveness reply, echoing the ping's epoch
+	MsgMetrics                         // store → tuner: registry snapshot for the fleet aggregator
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +58,8 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgMetrics:
+		return "metrics"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -114,6 +117,15 @@ type Message struct {
 	// MsgSpans: finished spans a PipeStore ships back so the Tuner's
 	// collector can stitch the cross-node trace.
 	Spans []telemetry.SpanRecord
+
+	// MsgMetrics: the store's registry snapshot (dense histogram buckets so
+	// the fleet aggregator can merge losslessly), piggy-backed on round
+	// traffic like MsgSpans. MetricsSeq is the store's monotone shipment
+	// counter — the aggregator drops stale or duplicate sequence numbers, so
+	// retransmits cannot double-count. A pre-metrics peer decodes these to
+	// nil/0 and ignores them.
+	Metrics    []telemetry.MetricPoint
+	MetricsSeq uint64
 }
 
 // TraceContext returns the message's trace context in telemetry form.
