@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke quant-smoke fmt-check ci
 
 all: build vet test
 
@@ -56,7 +56,22 @@ obs-smoke:
 	$(GO) test -race -v -run 'TestObsSmoke' ./internal/tuner/
 	$(GO) test -race ./internal/telemetry/ ./internal/flightdump/
 
+# Quantized-path smoke: int8 kernel correctness and determinism across
+# worker counts, the quantized-replica determinism and accuracy-agreement
+# tests, the compressed-delta codec (error feedback, hostile inputs, the
+# ≥4x byte-reduction gate) and the mixed-encoding fleet round-trip — all
+# under the race detector — plus one racy iteration of the int8 kernel grid
+# (n=1024 skipped, as in bench-smoke).
+quant-smoke:
+	$(GO) test -race -run 'TestQuant|TestQMatMul' ./internal/tensor/ ./internal/nn/
+	$(GO) test -race ./internal/delta/
+	$(GO) test -race -run 'TestQuantized|TestApplyDeltaCompressed' ./internal/pipestore/
+	$(GO) test -race -v -run 'TestMixedFleetCompressedDeltas|TestCompressedLateJoinerRebases' ./internal/tuner/
+	$(GO) test -race -run 'TestCacheKeyIncludesPrecisionMode' ./internal/serve/
+	$(GO) test -race -benchtime 1x -benchmem -run '^$$' \
+		-bench 'BenchmarkQMatMulGridLocal/n=(64|256)' ./internal/tensor/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke
+ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke quant-smoke

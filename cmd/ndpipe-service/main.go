@@ -35,6 +35,8 @@ func main() {
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 		stateDir = flag.String("state-dir", "", "persist tuner WAL and store model state here; restarts recover the last committed round (empty=in-memory)")
+		quantize = flag.Bool("quantize", false, "run all frozen backbones (stores + inference server) as calibrated int8 replicas")
+		deltaEnc = flag.String("delta-encoding", "dense", "wire encoding for classifier deltas to stores: dense|topk|int8")
 
 		serveOn     = flag.Bool("serve", false, "route uploads through the serving gateway (dynamic batching + admission control + feature cache)")
 		serveBatch  = flag.Int("serve-max-batch", 0, "gateway: photos per coalesced batch (0=default)")
@@ -58,6 +60,8 @@ func main() {
 	policy := service.DefaultPolicy()
 	policy.RetrainEveryUploads = *every
 	policy.StateDir = *stateDir
+	policy.Quantize = *quantize
+	policy.DeltaEncoding = *deltaEnc
 	if *serveOn {
 		pol, err := serve.ParsePolicy(*servePolicy)
 		if err != nil {

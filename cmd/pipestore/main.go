@@ -16,6 +16,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
 	"ndpipe/internal/faultinject"
 	"ndpipe/internal/flightdump"
 	"ndpipe/internal/photostore"
@@ -37,6 +38,9 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
+
+		quantize = flag.Bool("quantize", false, "run the frozen backbone as a calibrated int8 replica (SWAR kernels)")
+		deltaEnc = flag.String("delta-encoding", "dense", "wire encoding to request for classifier deltas: dense|topk|int8")
 
 		dialRetries = flag.Int("dial-retries", 0, "connection attempts per session (0=default 5)")
 		dialBackoff = flag.Duration("dial-backoff", 0, "base dial backoff, doubled and jittered (0=default 100ms)")
@@ -101,6 +105,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *quantize {
+		if err := node.SetQuantize(); err != nil {
+			fatal(err)
+		}
+		log.Info("quantized backbone active", slog.String("precision", "int8"))
+	}
+	enc, err := delta.ParseEncoding(*deltaEnc)
+	if err != nil {
+		fatal(err)
+	}
+	if err := node.SetDeltaEncoding(enc); err != nil {
+		fatal(err)
 	}
 	if err := node.Ingest(shardImgs); err != nil {
 		fatal(err)

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
 )
 
 // BackboneKind selects the frozen feature extractor's architecture.
@@ -147,6 +148,46 @@ func (c ModelConfig) newCNNBackbone() (*nn.Network, error) {
 func (c ModelConfig) NewClassifier() *nn.Network {
 	rng := rand.New(rand.NewSource(c.Seed + 1))
 	return nn.NewMLP("clf", []int{c.FeatureDim, c.HeadHidden, c.Classes}, rng)
+}
+
+// calibRows sizes the quantization calibration batch: enough samples that
+// per-layer min/max ranges stabilize, small enough that quantized model
+// load stays cheap.
+const calibRows = 256
+
+// CalibrationBatch synthesizes the deterministic sample batch quantized
+// backbones calibrate their activation ranges on: unit-sphere directions
+// plus Gaussian cluster noise, the same shape dataset inputs have. Derived
+// only from the model seed — never from a store's local shard, whose
+// contents differ per node — so every replica calibrates to identical
+// parameters and quantized embeddings stay bitwise-identical fleet-wide.
+func (c ModelConfig) CalibrationBatch() *tensor.Matrix {
+	rng := rand.New(rand.NewSource(c.Seed + 3))
+	x := tensor.New(calibRows, c.InputDim)
+	for i := 0; i < calibRows; i++ {
+		row := x.Row(i)
+		var norm float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			norm += row[j] * row[j]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			norm = 1
+		}
+		for j := range row {
+			row[j] = row[j]/norm + rng.NormFloat64()*0.3
+		}
+	}
+	return x
+}
+
+// NewQuantBackbone builds the int8 replica of the frozen backbone,
+// calibrated on CalibrationBatch. Same-config nodes get bit-identical
+// quantized replicas, exactly like NewBackbone. Errors when the backbone
+// architecture is not quantizable (the CNN extractor).
+func (c ModelConfig) NewQuantBackbone() (*nn.QuantNetwork, error) {
+	return nn.Quantize(c.NewBackbone(), c.CalibrationBatch())
 }
 
 // EncodeFloats serializes a float64 vector little-endian — the preprocessed

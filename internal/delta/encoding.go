@@ -1,0 +1,444 @@
+package delta
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+// Compressed delta encodings. The legacy codec (Delta) ships every changed
+// weight as a full float64 — after a round of momentum SGD that is every
+// weight, so broadcast bytes scale with parameter count, not information.
+// The two compressed encodings below ship an *additive* correction toward
+// the target model instead, and pair with a per-store Compressor that
+// tracks exactly what the store has reconstructed so far: anything an
+// encoding drops (truncated indices, quantization error) stays in the next
+// round's residual — error feedback — so lossy rounds never accumulate
+// drift.
+//
+// Wire semantics differ from the legacy codec: legacy deltas *assign*
+// weights, compressed deltas *add* to them. A compressed blob therefore
+// only makes sense against the precise state the Compressor believes the
+// peer holds; stores negotiate the encoding at Hello and the Tuner rebases
+// any store whose state it cannot account for.
+
+// Encoding identifies a delta wire codec. The zero value is the legacy
+// dense codec, which keeps old peers interoperable: a peer that never
+// heard of encodings sends and expects 0.
+type Encoding uint8
+
+const (
+	// EncodingDense is the legacy codec: sparse-assign full-precision
+	// weights (Delta.Encode). Exact.
+	EncodingDense Encoding = 0
+	// EncodingTopK ships only the k largest-magnitude residual entries per
+	// parameter as exact f64 additions; the rest ride the error feedback.
+	EncodingTopK Encoding = 1
+	// EncodingInt8 ships the whole residual as int8 codes under a
+	// per-parameter scale (≈8× smaller than f64 before compression);
+	// quantization error rides the error feedback.
+	EncodingInt8 Encoding = 2
+)
+
+// String returns the metric-label name of the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingDense:
+		return "dense"
+	case EncodingTopK:
+		return "topk"
+	case EncodingInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(e))
+	}
+}
+
+// Valid reports whether e names a codec this build understands.
+func (e Encoding) Valid() bool { return e <= EncodingInt8 }
+
+// ParseEncoding maps flag values ("dense", "topk", "int8") to an Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "dense", "":
+		return EncodingDense, nil
+	case "topk":
+		return EncodingTopK, nil
+	case "int8":
+		return EncodingInt8, nil
+	default:
+		return 0, fmt.Errorf("delta: unknown encoding %q (want dense|topk|int8)", s)
+	}
+}
+
+// topKDenom sets the top-k truncation ratio: each parameter ships its
+// len/topKDenom largest residual entries per round (at least one).
+const topKDenom = 8
+
+// Compressed is a decoded compressed delta: per-parameter additive updates.
+type Compressed struct {
+	Enc     Encoding
+	Entries map[string][]Update // Value is an *addition*, not an assignment
+}
+
+// ApplyAdd produces the updated snapshot by adding the compressed updates
+// to base. Base matrices are cloned, never mutated.
+func (c *Compressed) ApplyAdd(base nn.Snapshot) (nn.Snapshot, error) {
+	out := make(nn.Snapshot, len(base))
+	for name, m := range base {
+		out[name] = m.Clone()
+	}
+	for name, ups := range c.Entries {
+		m, ok := out[name]
+		if !ok {
+			return nil, fmt.Errorf("delta: base snapshot missing parameter %q", name)
+		}
+		for _, u := range ups {
+			if u.Index < 0 || u.Index >= len(m.Data) {
+				return nil, fmt.Errorf("delta: index %d out of range for %q", u.Index, name)
+			}
+			m.Data[u.Index] += u.Value
+		}
+	}
+	return out, nil
+}
+
+// NumUpdates returns the total number of shipped scalar corrections.
+func (c *Compressed) NumUpdates() int {
+	n := 0
+	for _, ups := range c.Entries {
+		n += len(ups)
+	}
+	return n
+}
+
+// Compressor encodes one store's stream of model updates under a lossy
+// encoding with error feedback. It tracks `shipped` — the snapshot the
+// store has reconstructed from everything sent so far — and each Compress
+// call encodes (target − shipped), then advances shipped by exactly what
+// the encoding could represent. Residual the encoding dropped is thus still
+// present in the next round's difference; quantization error never
+// accumulates across rounds.
+//
+// A Compressor is bound to one peer: blobs only apply against the state it
+// tracks. It is not safe for concurrent use.
+type Compressor struct {
+	enc     Encoding
+	shipped nn.Snapshot
+}
+
+// NewCompressor creates a compressor for a peer whose current exact state
+// is base (cloned). base is typically the deterministic initial classifier
+// for a fresh store, or the catch-up target for a rebased one.
+func NewCompressor(enc Encoding, base nn.Snapshot) (*Compressor, error) {
+	if !enc.Valid() || enc == EncodingDense {
+		return nil, fmt.Errorf("delta: compressor needs a compressed encoding, got %v", enc)
+	}
+	shipped := make(nn.Snapshot, len(base))
+	for name, m := range base {
+		shipped[name] = m.Clone()
+	}
+	return &Compressor{enc: enc, shipped: shipped}, nil
+}
+
+// Encoding returns the codec this compressor emits.
+func (c *Compressor) Encoding() Encoding { return c.enc }
+
+// Shipped returns the snapshot the peer is known to hold (shared storage;
+// callers must not mutate).
+func (c *Compressor) Shipped() nn.Snapshot { return c.shipped }
+
+// Compress encodes the correction that moves the peer from its shipped
+// state toward target and advances the shipped state by the represented
+// part. The returned blob decodes with DecodeCompressed and applies
+// additively.
+func (c *Compressor) Compress(target nn.Snapshot) ([]byte, error) {
+	names := make([]string, 0, len(target))
+	for name := range target {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var raw bytes.Buffer
+	if err := binary.Write(&raw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		tm := target[name]
+		sm, ok := c.shipped[name]
+		if !ok {
+			return nil, fmt.Errorf("delta: compressor has no shipped state for parameter %q", name)
+		}
+		if sm.Rows != tm.Rows || sm.Cols != tm.Cols {
+			return nil, fmt.Errorf("delta: parameter %q changed shape %dx%d→%dx%d",
+				name, sm.Rows, sm.Cols, tm.Rows, tm.Cols)
+		}
+		if err := binary.Write(&raw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return nil, err
+		}
+		raw.WriteString(name)
+		switch c.enc {
+		case EncodingTopK:
+			if err := compressTopK(&raw, sm, tm); err != nil {
+				return nil, err
+			}
+		case EncodingInt8:
+			if err := compressInt8(&raw, sm, tm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var out bytes.Buffer
+	out.WriteByte(byte(c.enc))
+	zw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// compressTopK writes the k = ⌈len/topKDenom⌉ largest-magnitude residual
+// entries of one parameter as exact (gap, f64) pairs and adds them to the
+// shipped state.
+func compressTopK(raw *bytes.Buffer, shipped, target *tensor.Matrix) error {
+	n := len(target.Data)
+	k := (n + topKDenom - 1) / topKDenom
+	// Select the k largest |residual| indices with a bounded min-heap, then
+	// re-sort ascending so indices gap-encode small.
+	type cand struct {
+		idx int
+		val float64 // residual
+	}
+	heap := make([]cand, 0, k)
+	less := func(a, b cand) bool {
+		aa, ab := math.Abs(a.val), math.Abs(b.val)
+		return aa < ab || (aa == ab && a.idx > b.idx)
+	}
+	siftDown := func(root int) {
+		for {
+			child := 2*root + 1
+			if child >= len(heap) {
+				return
+			}
+			if child+1 < len(heap) && less(heap[child+1], heap[child]) {
+				child++
+			}
+			if !less(heap[child], heap[root]) {
+				return
+			}
+			heap[root], heap[child] = heap[child], heap[root]
+			root = child
+		}
+	}
+	for i, v := range target.Data {
+		r := v - shipped.Data[i]
+		if r == 0 {
+			continue
+		}
+		cd := cand{idx: i, val: r}
+		if len(heap) < k {
+			heap = append(heap, cd)
+			if len(heap) == k {
+				for t := k/2 - 1; t >= 0; t-- {
+					siftDown(t)
+				}
+			}
+			continue
+		}
+		if less(heap[0], cd) {
+			heap[0] = cd
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return heap[a].idx < heap[b].idx })
+	if err := binary.Write(raw, binary.LittleEndian, uint32(len(heap))); err != nil {
+		return err
+	}
+	prev := 0
+	for _, cd := range heap {
+		if err := binary.Write(raw, binary.LittleEndian, uint32(cd.idx-prev)); err != nil {
+			return err
+		}
+		prev = cd.idx
+		if err := binary.Write(raw, binary.LittleEndian, math.Float64bits(cd.val)); err != nil {
+			return err
+		}
+		shipped.Data[cd.idx] += cd.val // exact: these entries carry no error
+	}
+	return nil
+}
+
+// compressInt8 writes one parameter's full residual as int8 codes under a
+// per-parameter symmetric scale and adds the *dequantized* values to the
+// shipped state, leaving the quantization error in the next residual.
+func compressInt8(raw *bytes.Buffer, shipped, target *tensor.Matrix) error {
+	n := len(target.Data)
+	var maxAbs float64
+	for i, v := range target.Data {
+		if a := math.Abs(v - shipped.Data[i]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		// Nothing (finite) to ship: an empty parameter block.
+		if err := binary.Write(raw, binary.LittleEndian, uint32(0)); err != nil {
+			return err
+		}
+		return binary.Write(raw, binary.LittleEndian, float64(0))
+	}
+	if err := binary.Write(raw, binary.LittleEndian, uint32(n)); err != nil {
+		return err
+	}
+	if err := binary.Write(raw, binary.LittleEndian, scale); err != nil {
+		return err
+	}
+	codes := make([]byte, n)
+	for i, v := range target.Data {
+		q := math.Round((v - shipped.Data[i]) / scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		codes[i] = byte(int8(q))
+		shipped.Data[i] += q * scale
+	}
+	_, err := raw.Write(codes)
+	return err
+}
+
+// maxCompressedElems bounds a decoded parameter block; matches the legacy
+// decoder's hardening posture (length prefixes are hostile until proven).
+const maxCompressedElems = 1 << 28
+
+// DecodeCompressed reverses Compressor.Compress. The blob is
+// self-describing (a 1-byte encoding header ahead of the deflate stream),
+// so flight recorders and tests can classify blobs without wire context.
+func DecodeCompressed(data []byte) (*Compressed, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("delta: empty compressed blob")
+	}
+	enc := Encoding(data[0])
+	if !enc.Valid() || enc == EncodingDense {
+		return nil, fmt.Errorf("delta: blob header names invalid compressed encoding %d", data[0])
+	}
+	zr := flate.NewReader(bytes.NewReader(data[1:]))
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("delta: inflate: %w", err)
+	}
+	r := bytes.NewReader(raw)
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("delta: absurd parameter count %d", count)
+	}
+	c := &Compressed{Enc: enc, Entries: make(map[string][]Update, count)}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("delta: absurd name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, err
+		}
+		var ups []Update
+		switch enc {
+		case EncodingTopK:
+			ups, err = decodeTopKParam(r)
+		case EncodingInt8:
+			ups, err = decodeInt8Param(r)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("delta: parameter %q: %w", nameBuf, err)
+		}
+		if len(ups) > 0 {
+			c.Entries[string(nameBuf)] = ups
+		}
+	}
+	return c, nil
+}
+
+func decodeTopKParam(r *bytes.Reader) ([]Update, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxCompressedElems {
+		return nil, fmt.Errorf("absurd update count %d", n)
+	}
+	if uint64(r.Len()) < 12*uint64(n) {
+		return nil, fmt.Errorf("update count %d exceeds remaining payload: %w", n, io.ErrUnexpectedEOF)
+	}
+	ups := make([]Update, n)
+	prev := 0
+	for j := range ups {
+		var gap uint32
+		if err := binary.Read(r, binary.LittleEndian, &gap); err != nil {
+			return nil, err
+		}
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return nil, err
+		}
+		prev += int(gap)
+		ups[j] = Update{Index: prev, Value: math.Float64frombits(bits)}
+	}
+	return ups, nil
+}
+
+func decodeInt8Param(r *bytes.Reader) ([]Update, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxCompressedElems {
+		return nil, fmt.Errorf("absurd element count %d", n)
+	}
+	var scale float64
+	if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+		return nil, fmt.Errorf("invalid scale %v", scale)
+	}
+	if uint64(r.Len()) < uint64(n) {
+		return nil, fmt.Errorf("element count %d exceeds remaining payload: %w", n, io.ErrUnexpectedEOF)
+	}
+	codes := make([]byte, n)
+	if _, err := io.ReadFull(r, codes); err != nil {
+		return nil, err
+	}
+	ups := make([]Update, 0, n/4)
+	for i, b := range codes {
+		q := int8(b)
+		if q == 0 {
+			continue
+		}
+		ups = append(ups, Update{Index: i, Value: float64(q) * scale})
+	}
+	return ups, nil
+}

@@ -1,0 +1,399 @@
+package delta
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/nn"
+	"ndpipe/internal/tensor"
+)
+
+func TestParseEncoding(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Encoding
+	}{
+		{"", EncodingDense}, {"dense", EncodingDense},
+		{"topk", EncodingTopK}, {"int8", EncodingInt8},
+	}
+	for _, c := range cases {
+		got, err := ParseEncoding(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseEncoding(%q) = %v, %v", c.in, got, err)
+		}
+		if !got.Valid() {
+			t.Fatalf("%v must be Valid", got)
+		}
+	}
+	if _, err := ParseEncoding("zstd"); err == nil {
+		t.Fatal("unknown encoding must error")
+	}
+	if Encoding(3).Valid() || Encoding(255).Valid() {
+		t.Fatal("future encodings must not be Valid")
+	}
+	if EncodingDense.String() != "dense" || EncodingTopK.String() != "topk" || EncodingInt8.String() != "int8" {
+		t.Fatal("String must match the flag/metric-label names")
+	}
+}
+
+func TestNewCompressorRejectsDense(t *testing.T) {
+	base, _ := twoSnapshots(10, 0)
+	if _, err := NewCompressor(EncodingDense, base); err == nil {
+		t.Fatal("dense compressor must be rejected (dense has no error feedback)")
+	}
+	if _, err := NewCompressor(Encoding(7), base); err == nil {
+		t.Fatal("invalid encoding must be rejected")
+	}
+}
+
+// receiver replays blobs the way a PipeStore does: decode, then apply
+// additively onto its reconstructed state.
+type receiver struct {
+	t     *testing.T
+	state nn.Snapshot
+}
+
+func newReceiver(t *testing.T, base nn.Snapshot) *receiver {
+	st := make(nn.Snapshot, len(base))
+	for k, m := range base {
+		st[k] = m.Clone()
+	}
+	return &receiver{t: t, state: st}
+}
+
+func (r *receiver) apply(blob []byte, wantEnc Encoding) {
+	r.t.Helper()
+	cd, err := DecodeCompressed(blob)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if cd.Enc != wantEnc {
+		r.t.Fatalf("blob self-describes as %v, want %v", cd.Enc, wantEnc)
+	}
+	next, err := cd.ApplyAdd(r.state)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.state = next
+}
+
+// maxErr returns the largest per-element |a-b| across two same-shaped
+// snapshots.
+func maxErr(t *testing.T, a, b nn.Snapshot) float64 {
+	t.Helper()
+	var worst float64
+	for k, ma := range a {
+		mb, ok := b[k]
+		if !ok || len(ma.Data) != len(mb.Data) {
+			t.Fatalf("snapshot shape mismatch on %q", k)
+		}
+		for i := range ma.Data {
+			if d := math.Abs(ma.Data[i] - mb.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestCompressedRoundTrip checks the core contract for both lossy codecs:
+// what the receiver reconstructs is bitwise what the compressor believes it
+// shipped. That identity is what makes error feedback sound — the next
+// residual is computed against the peer's true state.
+func TestCompressedRoundTrip(t *testing.T) {
+	for _, enc := range []Encoding{EncodingTopK, EncodingInt8} {
+		t.Run(enc.String(), func(t *testing.T) {
+			old, target := twoSnapshots(11, 0.5)
+			comp, err := NewCompressor(enc, old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx := newReceiver(t, old)
+			blob, err := comp.Compress(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx.apply(blob, enc)
+			if !SnapshotsEqual(rx.state, comp.Shipped(), 0) {
+				t.Fatal("receiver state must bitwise-equal the compressor's shipped snapshot")
+			}
+			// Old base must be untouched by both sides.
+			base, _ := twoSnapshots(11, 0.5)
+			if !SnapshotsEqual(old, base, 0) {
+				t.Fatal("Compress/ApplyAdd must not mutate the base snapshot")
+			}
+		})
+	}
+}
+
+// TestErrorFeedbackInt8 drives repeated int8 rounds toward a fixed target:
+// the per-round error must shrink geometrically (each round's scale is
+// maxResid/127, and the residual after a round is ≤ scale/2), and the
+// shipped/receiver identity must hold every round.
+func TestErrorFeedbackInt8(t *testing.T) {
+	old, target := twoSnapshots(12, 1.0)
+	comp, err := NewCompressor(EncodingInt8, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := newReceiver(t, old)
+	prev := maxErr(t, old, target)
+	for round := 0; round < 4; round++ {
+		blob, err := comp.Compress(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx.apply(blob, EncodingInt8)
+		if !SnapshotsEqual(rx.state, comp.Shipped(), 0) {
+			t.Fatalf("round %d: receiver diverged from shipped state", round)
+		}
+		cur := maxErr(t, rx.state, target)
+		// Quantizing the residual at scale = maxResid/127 bounds the new
+		// residual by scale/2, i.e. ≥254× smaller; 100× leaves slack for
+		// per-parameter scales.
+		if cur > prev/100 {
+			t.Fatalf("round %d: error %g did not shrink ≥100× from %g", round, cur, prev)
+		}
+		prev = cur
+		if prev == 0 {
+			break
+		}
+	}
+	if prev > 1e-9 {
+		t.Fatalf("after 4 rounds of error feedback, residual %g still above 1e-9", prev)
+	}
+}
+
+// TestErrorFeedbackTopK: each round ships the ⌈n/8⌉ largest residual entries
+// exactly, so toward a fixed target the stream must converge bitwise within
+// topKDenom+1 rounds.
+func TestErrorFeedbackTopK(t *testing.T) {
+	old, target := twoSnapshots(13, 1.0)
+	comp, err := NewCompressor(EncodingTopK, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := newReceiver(t, old)
+	converged := -1
+	for round := 0; round < topKDenom+1; round++ {
+		blob, err := comp.Compress(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx.apply(blob, EncodingTopK)
+		if !SnapshotsEqual(rx.state, comp.Shipped(), 0) {
+			t.Fatalf("round %d: receiver diverged from shipped state", round)
+		}
+		if SnapshotsEqual(rx.state, target, 0) {
+			converged = round
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("top-k did not converge bitwise within %d rounds (max err %g)",
+			topKDenom+1, maxErr(t, rx.state, target))
+	}
+}
+
+// TestMovingTargetTracking is the realistic fine-tune shape: the target
+// moves a little every round (momentum SGD), and both codecs must track it
+// with bounded error instead of accumulating drift.
+func TestMovingTargetTracking(t *testing.T) {
+	for _, enc := range []Encoding{EncodingTopK, EncodingInt8} {
+		t.Run(enc.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(14))
+			old, target := twoSnapshots(14, 1.0)
+			comp, err := NewCompressor(enc, old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx := newReceiver(t, old)
+			var errs []float64
+			for round := 0; round < 2*topKDenom; round++ {
+				for _, m := range target {
+					for i := range m.Data {
+						m.Data[i] += rng.NormFloat64() * 0.01
+					}
+				}
+				blob, err := comp.Compress(target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rx.apply(blob, enc)
+				if !SnapshotsEqual(rx.state, comp.Shipped(), 0) {
+					t.Fatalf("round %d: receiver diverged from shipped state", round)
+				}
+				errs = append(errs, maxErr(t, rx.state, target))
+			}
+			// Error feedback means steady-state error is bounded by the
+			// per-round step, not by accumulated drops. Top-k needs
+			// ~topKDenom rounds to drain the initial offset first (it ships
+			// 1/topKDenom of the entries per round), so only the tail of the
+			// run is in steady state.
+			for i, e := range errs[len(errs)-4:] {
+				if e > 0.2 {
+					t.Fatalf("round %d: tracking error %g grew unbounded",
+						len(errs)-4+i, e)
+				}
+			}
+		})
+	}
+}
+
+// TestByteReduction is the wire gate: on a classifier-shaped model where a
+// round of momentum SGD touched every weight, both compressed encodings
+// must ship ≥4× fewer bytes than the legacy dense codec.
+func TestByteReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	net := nn.NewMLP("clf", []int{32, 128, 26}, rng) // service classifier shape
+	old := net.TakeSnapshot()
+	target := net.TakeSnapshot()
+	for _, m := range target {
+		for i := range m.Data {
+			m.Data[i] += rng.NormFloat64() * 0.01 // SGD: every weight moves
+		}
+	}
+	d, err := Diff(old, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range []Encoding{EncodingTopK, EncodingInt8} {
+		comp, err := NewCompressor(enc, old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := comp.Compress(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red := float64(len(dense)) / float64(len(blob))
+		t.Logf("%s: dense %dB → %dB (%.1f×)", enc, len(dense), len(blob), red)
+		if red < 4 {
+			t.Fatalf("%s reduction %.1f×, want ≥4×", enc, red)
+		}
+	}
+}
+
+func TestCompressShapeAndNameChecks(t *testing.T) {
+	old, _ := twoSnapshots(16, 0)
+	comp, err := NewCompressor(EncodingInt8, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.Compress(nn.Snapshot{"ghost": tensor.New(2, 2)}); err == nil {
+		t.Fatal("unknown parameter must error")
+	}
+	bad := nn.Snapshot{}
+	for k := range old {
+		bad[k] = tensor.New(1, 1)
+	}
+	if _, err := comp.Compress(bad); err == nil {
+		t.Fatal("shape change must error")
+	}
+}
+
+func TestApplyAddGuards(t *testing.T) {
+	c := &Compressed{Enc: EncodingInt8,
+		Entries: map[string][]Update{"ghost": {{Index: 0, Value: 1}}}}
+	if _, err := c.ApplyAdd(nn.Snapshot{}); err == nil {
+		t.Fatal("missing base parameter must error")
+	}
+	c = &Compressed{Enc: EncodingInt8,
+		Entries: map[string][]Update{"w": {{Index: 99, Value: 1}}}}
+	if _, err := c.ApplyAdd(nn.Snapshot{"w": tensor.New(2, 2)}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+// deflateBlob wraps a raw payload the way Compress does: encoding header
+// byte + deflate stream. Used to hand-craft hostile inputs.
+func deflateBlob(t *testing.T, enc Encoding, raw []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	out.WriteByte(byte(enc))
+	zw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestDecodeCompressedHostileInputs(t *testing.T) {
+	le := binary.LittleEndian
+	u32 := func(v uint32) []byte { b := make([]byte, 4); le.PutUint32(b, v); return b }
+	f64 := func(v float64) []byte {
+		b := make([]byte, 8)
+		le.PutUint64(b, math.Float64bits(v))
+		return b
+	}
+	cat := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	param := func(name string, body []byte) []byte {
+		return cat(u32(uint32(len(name))), []byte(name), body)
+	}
+
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"empty", nil},
+		{"dense header", []byte{0}},
+		{"future encoding header", []byte{9, 1, 2, 3}},
+		{"not deflate", []byte{byte(EncodingInt8), 0xff, 0xff, 0xff}},
+		{"truncated stream", deflateBlob(t, EncodingInt8, u32(1))[:3]},
+		{"absurd param count", deflateBlob(t, EncodingInt8, u32(1<<24))},
+		{"absurd name length", deflateBlob(t, EncodingInt8,
+			cat(u32(1), u32(1<<20)))},
+		{"topk count exceeds payload", deflateBlob(t, EncodingTopK,
+			cat(u32(1), param("w", u32(1000))))},
+		{"topk absurd count", deflateBlob(t, EncodingTopK,
+			cat(u32(1), param("w", u32(maxCompressedElems+1))))},
+		{"int8 NaN scale", deflateBlob(t, EncodingInt8,
+			cat(u32(1), param("w", cat(u32(4), f64(math.NaN()), []byte{1, 2, 3, 4}))))},
+		{"int8 negative scale", deflateBlob(t, EncodingInt8,
+			cat(u32(1), param("w", cat(u32(4), f64(-1), []byte{1, 2, 3, 4}))))},
+		{"int8 count exceeds payload", deflateBlob(t, EncodingInt8,
+			cat(u32(1), param("w", cat(u32(1000), f64(0.5)))))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeCompressed(c.blob); err == nil {
+				t.Fatalf("hostile blob %q must not decode", c.name)
+			}
+		})
+	}
+}
+
+// TestInt8EmptyResidual: compressing an already-converged target must
+// produce a decodable blob with zero updates, not an error.
+func TestInt8EmptyResidual(t *testing.T) {
+	old, _ := twoSnapshots(17, 0)
+	comp, err := NewCompressor(EncodingInt8, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := comp.Compress(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := DecodeCompressed(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.NumUpdates() != 0 {
+		t.Fatalf("zero residual shipped %d updates", cd.NumUpdates())
+	}
+}

@@ -114,6 +114,8 @@ func Registry() map[string]Func {
 		"serve": Serve,
 		// Fleet observability: exact rollups, shipping cost, stragglers.
 		"obs": Obs,
+		// Int8 kernels, quantized-path accuracy, compressed delta bytes.
+		"quant": Quant,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

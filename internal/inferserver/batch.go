@@ -135,9 +135,10 @@ func (s *Server) InferBatch(reqs []BatchRequest) []BatchResult {
 		headRows = append(headRows, r)
 	}
 	if xm != nil {
-		// One batched pass through the frozen backbone; copy each row out of
-		// the layer scratch into our own matrix while the lock is held.
-		f := s.backbone.Forward(xm)
+		// One batched pass through the frozen backbone (the int8 replica when
+		// quantized); copy each row out of the layer scratch into our own
+		// matrix while the lock is held.
+		f := s.forwardBackboneLocked(xm)
 		for r, i := range miss {
 			emb.SetRow(pos[i], f.Row(r))
 		}

@@ -29,6 +29,10 @@ import (
 type Server struct {
 	cfg      core.ModelConfig
 	backbone *nn.Network
+	// quant is the calibrated int8 replica of the frozen backbone, installed
+	// by SetQuantize: uploads then embed through the int8 kernels while the
+	// f64 classifier (and the delta-apply path) stay untouched.
+	quant *nn.QuantNetwork
 
 	mu      sync.Mutex
 	clf     *nn.Network
@@ -99,6 +103,45 @@ func New(cfg core.ModelConfig, stores []*pipestore.Node, db *labeldb.DB) (*Serve
 	return s, nil
 }
 
+// SetQuantize switches the frozen backbone to its calibrated int8 replica
+// (core.ModelConfig.NewQuantBackbone). Quantized embeddings are
+// deterministic but not bitwise-equal to f64 ones, so PrecisionMode changes
+// with it — the serving gateway keys its content-hash cache on that mode,
+// keeping f64 and int8 artifacts strictly separate. Call before traffic.
+func (s *Server) SetQuantize() error {
+	qn, err := s.cfg.NewQuantBackbone()
+	if err != nil {
+		return fmt.Errorf("inferserver: %w", err)
+	}
+	s.mu.Lock()
+	s.quant = qn
+	s.mu.Unlock()
+	return nil
+}
+
+// PrecisionMode names the backbone precision labeling new uploads
+// (nn.PrecisionF64 or nn.PrecisionInt8). The serving gateway folds it into
+// its cache key derivation so mixed-precision fleets can never cross-serve
+// cached embeddings.
+func (s *Server) PrecisionMode() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quant != nil {
+		return nn.PrecisionInt8
+	}
+	return nn.PrecisionF64
+}
+
+// forwardBackboneLocked runs the active backbone replica (int8 when
+// SetQuantize installed one). Callers must hold s.mu; the result is
+// network-owned scratch, valid only until the next forward.
+func (s *Server) forwardBackboneLocked(x *tensor.Matrix) *tensor.Matrix {
+	if s.quant != nil {
+		return s.quant.Forward(x)
+	}
+	return s.backbone.Forward(x)
+}
+
 // DB exposes the label index.
 func (s *Server) DB() *labeldb.DB { return s.db }
 
@@ -162,7 +205,7 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	// Online inference on the preprocessed input.
 	x := tensor.FromSlice(1, s.cfg.InputDim, img.Feat)
 	s.mu.Lock()
-	logits := s.clf.Forward(s.backbone.Forward(x))
+	logits := s.clf.Forward(s.forwardBackboneLocked(x))
 	// Clone before the unlock: logits is the classifier's layer scratch and
 	// the next Forward (any goroutine) overwrites it in place.
 	probs := logits.Clone()

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+
+	"ndpipe/internal/tensor"
+)
+
+// Quantized inference for the frozen backbone. A QuantNetwork is a
+// forward-only int8 replica of a Dense/ReLU network: weights are quantized
+// once at build time (symmetric per output column), activations are
+// quantized on the fly with *calibrated* static per-layer parameters —
+// min/max observed while running a sample batch through the f64 network.
+// Static parameters matter twice over: they keep the codes a pure
+// elementwise function of the input (bitwise-reproducible across nodes,
+// runs and worker counts — the same contract the f64 kernels give), and
+// they let post-ReLU layers spend all 8 bits on the live half-axis.
+//
+// Training never sees any of this: the f64 network is untouched, and a
+// QuantNetwork has no backward pass at all.
+
+// Precision-mode names, used by the serving cache key and telemetry so f64
+// and int8 artifacts can never be mistaken for one another.
+const (
+	PrecisionF64  = "f64"
+	PrecisionInt8 = "int8"
+)
+
+// quantDense is one quantized Dense layer with its optional fused ReLU.
+type quantDense struct {
+	name  string
+	w     *tensor.QWeights
+	bias  []float64
+	scale float64 // calibrated input scale
+	zero  int32   // calibrated input zero point
+	relu  bool    // rectify after bias (fused following ReLU layer)
+
+	qin tensor.QMatrix // quantization scratch, reused per batch
+	out *tensor.Matrix // forward scratch
+}
+
+// QuantNetwork is an int8 forward-only replica of a Dense/ReLU network.
+// Like Network, it owns per-layer scratch: Forward returns a buffer valid
+// only until the next Forward call, and a single QuantNetwork must not run
+// Forward concurrently.
+type QuantNetwork struct {
+	layers []*quantDense
+	inDim  int
+	outDim int
+}
+
+// Quantize builds a quantized replica of n, calibrating per-layer
+// activation ranges by running calib (a representative sample batch)
+// through the f64 network. Only Dense and ReLU layers are supported — a
+// ReLU must directly follow a Dense, which fuses it; anything else (conv,
+// batch-norm) returns an error. n itself is not modified beyond its usual
+// forward scratch.
+func Quantize(n *Network, calib *tensor.Matrix) (*QuantNetwork, error) {
+	if len(n.Layers) == 0 {
+		return nil, fmt.Errorf("nn: cannot quantize an empty network")
+	}
+	if calib == nil || calib.Rows == 0 {
+		return nil, fmt.Errorf("nn: quantization needs a non-empty calibration batch")
+	}
+	qn := &QuantNetwork{}
+	x := calib
+	for i := 0; i < len(n.Layers); i++ {
+		d, ok := n.Layers[i].(*Dense)
+		if !ok {
+			return nil, fmt.Errorf("nn: cannot quantize layer %q (%T): only Dense/ReLU backbones are supported", n.Layers[i].Name(), n.Layers[i])
+		}
+		if x.Cols != d.In() {
+			return nil, fmt.Errorf("nn: calibration batch width %d != layer %q input %d", x.Cols, d.Name(), d.In())
+		}
+		lo, hi := 0.0, 0.0
+		for _, v := range x.Data {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		scale, zero := tensor.AffineParams(lo, hi)
+		ql := &quantDense{
+			name:  d.Name(),
+			w:     tensor.QuantizeWeights(d.w.W),
+			bias:  append([]float64(nil), d.b.W.Data...),
+			scale: scale,
+			zero:  zero,
+		}
+		x = d.Forward(x)
+		if i+1 < len(n.Layers) {
+			if r, ok := n.Layers[i+1].(*ReLU); ok {
+				ql.relu = true
+				x = r.Forward(x)
+				i++
+			} else if _, ok := n.Layers[i+1].(*Dense); !ok {
+				return nil, fmt.Errorf("nn: cannot quantize layer %q (%T): only Dense/ReLU backbones are supported", n.Layers[i+1].Name(), n.Layers[i+1])
+			}
+		}
+		qn.layers = append(qn.layers, ql)
+	}
+	qn.inDim = qn.layers[0].w.In
+	qn.outDim = qn.layers[len(qn.layers)-1].w.Out
+	return qn, nil
+}
+
+// In returns the network's input width.
+func (qn *QuantNetwork) In() int { return qn.inDim }
+
+// Out returns the network's output width.
+func (qn *QuantNetwork) Out() int { return qn.outDim }
+
+// Forward runs the quantized stack on a batch. Per layer: quantize the f64
+// input with the calibrated parameters, int8 matmul, dequantized f64 output
+// plus bias, exact f64 ReLU. The returned matrix is layer-owned scratch
+// (same contract as Network.Forward); steady state allocates nothing.
+func (qn *QuantNetwork) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range qn.layers {
+		tensor.QuantizeCalibratedInto(&l.qin, x, l.scale, l.zero)
+		l.out = tensor.Reuse(l.out, x.Rows, l.w.Out)
+		tensor.QMatMulInto(l.out, &l.qin, l.w)
+		l.out.AddRowVector(l.bias)
+		if l.relu {
+			for i, v := range l.out.Data {
+				if v < 0 {
+					l.out.Data[i] = 0
+				}
+			}
+		}
+		x = l.out
+	}
+	return x
+}
+
+// ForwardInto runs the stack on x and copies the output into dst, resized
+// via tensor.Reuse (nil allocates) — for callers that must hold the output
+// past the next Forward. Returns dst.
+func (qn *QuantNetwork) ForwardInto(dst, x *tensor.Matrix) *tensor.Matrix {
+	out := qn.Forward(x)
+	dst = tensor.Reuse(dst, out.Rows, out.Cols)
+	out.CopyInto(dst)
+	return dst
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndpipe/internal/tensor"
+)
+
+func quantFixture(t *testing.T, seed int64) (*Network, *QuantNetwork, *tensor.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := NewMLP("bb", []int{24, 64, 32}, rng)
+	net.FreezeAll()
+	calib := tensor.New(256, 24)
+	calib.RandNormal(rng, 0.5)
+	qn, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(32, 24)
+	x.RandNormal(rng, 0.5)
+	return net, qn, x
+}
+
+// TestQuantForwardTracksF64 bounds the quantized forward error against the
+// f64 reference: per-layer 8-bit codes on calibrated ranges keep the output
+// within a few percent of the activation magnitude — close enough that the
+// accuracy experiments downstream see top-1 deltas under a point.
+func TestQuantForwardTracksF64(t *testing.T) {
+	net, qn, x := quantFixture(t, 21)
+	want := net.Forward(x).Clone()
+	got := qn.Forward(x)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("quant output %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	var rms, maxErr float64
+	for i := range want.Data {
+		rms += want.Data[i] * want.Data[i]
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	rms = math.Sqrt(rms / float64(len(want.Data)))
+	if maxErr > 0.15*math.Max(rms, 1e-6) && maxErr > 0.05 {
+		t.Fatalf("quantized forward max error %g vs output RMS %g — quantization is off the rails", maxErr, rms)
+	}
+}
+
+// TestQuantForwardDeterministic: two independently built replicas (same
+// seed, same calibration) produce bitwise-identical embeddings at any
+// parallelism — the cross-store contract offline inference relies on.
+func TestQuantForwardDeterministic(t *testing.T) {
+	t.Cleanup(func() { tensor.SetParallelism(0) })
+	_, qa, x := quantFixture(t, 33)
+	_, qb, _ := quantFixture(t, 33)
+	tensor.SetParallelism(1)
+	want := qa.Forward(x).Clone()
+	for _, par := range []int{2, 4} {
+		tensor.SetParallelism(par)
+		got := qb.Forward(x)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("parallelism %d: element %d = %v, want %v (bit-identical)", par, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestQuantForwardZeroAllocSteadyState mirrors the f64 inference contract.
+func TestQuantForwardZeroAllocSteadyState(t *testing.T) {
+	_, qn, x := quantFixture(t, 44)
+	qn.Forward(x) // warm-up sizes scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		qn.Forward(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized Forward steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQuantizeRejectsUnsupportedLayers: conv/batch-norm backbones must be
+// refused up front, not mis-executed.
+func TestQuantizeRejectsUnsupportedLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv, err := NewConv2D("c", 1, 4, 6, 2, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{conv}}
+	calib := tensor.New(8, 24)
+	calib.RandNormal(rng, 1)
+	if _, err := Quantize(net, calib); err == nil {
+		t.Fatal("quantizing a conv backbone must error")
+	}
+	bn := &Network{Layers: []Layer{NewDense("d", 24, 16, rng), NewBatchNorm("bn", 16)}}
+	if _, err := Quantize(bn, calib); err == nil {
+		t.Fatal("quantizing a batch-norm backbone must error")
+	}
+	if _, err := Quantize(&Network{}, calib); err == nil {
+		t.Fatal("quantizing an empty network must error")
+	}
+	if _, err := Quantize(&Network{Layers: []Layer{NewDense("d", 24, 16, rng)}}, nil); err == nil {
+		t.Fatal("quantizing without a calibration batch must error")
+	}
+}
+
+// TestQuantizeFusesReLU: the fused path must clamp negatives exactly like
+// the f64 ReLU (exact zeros, not small residues).
+func TestQuantizeFusesReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewMLP("m", []int{8, 16, 4}, rng)
+	calib := tensor.New(64, 8)
+	calib.RandNormal(rng, 1)
+	qn, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qn.layers) != 2 || !qn.layers[0].relu || qn.layers[1].relu {
+		t.Fatalf("expected [dense+relu, dense], got %d layers (relu flags %v/%v)",
+			len(qn.layers), qn.layers[0].relu, qn.layers[len(qn.layers)-1].relu)
+	}
+	if qn.In() != 8 || qn.Out() != 4 {
+		t.Fatalf("dims %d→%d, want 8→4", qn.In(), qn.Out())
+	}
+}

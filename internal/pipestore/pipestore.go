@@ -38,6 +38,19 @@ type Node struct {
 	cfg core.ModelConfig
 
 	backbone *nn.Network
+	// quant is the calibrated int8 replica of the frozen backbone, installed
+	// by SetQuantize. Non-nil means every backbone forward (feature
+	// extraction and offline inference) runs through the int8 kernels.
+	quant *nn.QuantNetwork
+
+	// wantEnc is the delta wire encoding advertised in the Hello
+	// (SetDeltaEncoding; zero value = legacy dense). The Tuner may still send
+	// dense blobs — catch-ups always are — so every apply is routed by the
+	// message's own DeltaEncoding field, not by this preference.
+	wantEnc delta.Encoding
+	// flightCodes caches the "<id>/<encoding>" detail strings for delta-apply
+	// flight events, keeping the hot path allocation-free.
+	flightCodes [3]string
 
 	mu         sync.Mutex
 	clf        *nn.Network
@@ -129,7 +142,56 @@ func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStor
 		log:          telemetry.ComponentLogger("pipestore").With(slog.String("store", id)),
 	}
 	n.clfSnap = n.clf.TakeSnapshot()
+	for _, e := range []delta.Encoding{delta.EncodingDense, delta.EncodingTopK, delta.EncodingInt8} {
+		n.flightCodes[e] = id + "/" + e.String()
+	}
 	return n, nil
+}
+
+// SetQuantize switches the frozen backbone to its calibrated int8 replica
+// (core.ModelConfig.NewQuantBackbone): feature extraction and offline
+// inference run the int8 kernels, the f64 classifier and everything the
+// Tuner trains are untouched. Same-config nodes quantize identically, so
+// fleet embeddings stay bitwise-reproducible. Errors when the backbone
+// architecture is not quantizable (the CNN extractor). Call before traffic.
+func (n *Node) SetQuantize() error {
+	qn, err := n.cfg.NewQuantBackbone()
+	if err != nil {
+		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+	}
+	n.mu.Lock()
+	n.quant = qn
+	n.mu.Unlock()
+	return nil
+}
+
+// Quantized reports whether the int8 backbone is installed.
+func (n *Node) Quantized() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quant != nil
+}
+
+// SetDeltaEncoding sets the compressed delta codec this store advertises in
+// its Hello (delta.EncodingTopK or delta.EncodingInt8; the zero value keeps
+// the legacy dense wire format). Call before Serve.
+func (n *Node) SetDeltaEncoding(enc delta.Encoding) error {
+	if !enc.Valid() {
+		return fmt.Errorf("pipestore %s: invalid delta encoding %v", n.ID, enc)
+	}
+	n.wantEnc = enc
+	return nil
+}
+
+// forwardBackboneLocked runs the active backbone replica (int8 when
+// SetQuantize installed one, f64 otherwise) on a batch. Callers must hold
+// n.mu; the returned matrix is network-owned scratch, valid only until the
+// next forward.
+func (n *Node) forwardBackboneLocked(x *tensor.Matrix) *tensor.Matrix {
+	if n.quant != nil {
+		return n.quant.Forward(x)
+	}
+	return n.backbone.Forward(x)
 }
 
 // SetTracer replaces the node's span tracer (default: the process-wide
@@ -366,7 +428,7 @@ func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Me
 		ids[i] = it.img.ID
 	}
 	n.mu.Lock()
-	feats := n.backbone.Forward(x)
+	feats := n.forwardBackboneLocked(x)
 	rows, cols := feats.Rows, feats.Cols
 	data := append([]float64(nil), feats.Data...)
 	n.mu.Unlock()
@@ -385,29 +447,53 @@ func (n *Node) featureBatch(run int, items []decodedImage, final bool) (*wire.Me
 
 // ApplyDelta installs a Check-N-Run classifier delta broadcast by the Tuner.
 func (n *Node) ApplyDelta(blob []byte, version int) error {
-	return n.applyDelta(blob, version, false)
+	return n.applyDelta(blob, version, false, delta.EncodingDense)
 }
 
 // applyDelta installs a delta against the current snapshot — or, when
 // rebase is set, against the deterministic initial classifier (the Tuner
 // sends rebase catch-ups when this store's version predates its pruned
-// history floor). With a state dir open the new state is made durable
+// history floor). Dense blobs assign absolute weights; compressed blobs
+// (enc != EncodingDense) apply additively against the exact state the
+// Tuner's compressor tracks for this store, so they are never combined
+// with a rebase. With a state dir open the new state is made durable
 // before the method returns, so the ack that follows is a promise the
 // store keeps across restarts.
-func (n *Node) applyDelta(blob []byte, version int, rebase bool) error {
-	d, err := delta.Decode(blob)
-	if err != nil {
-		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+func (n *Node) applyDelta(blob []byte, version int, rebase bool, enc delta.Encoding) error {
+	if !enc.Valid() {
+		return fmt.Errorf("pipestore %s: unknown delta encoding %d", n.ID, enc)
+	}
+	if enc != delta.EncodingDense && rebase {
+		return fmt.Errorf("pipestore %s: compressed delta cannot be a rebase", n.ID)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	base := n.clfSnap
-	if rebase {
-		base = n.cfg.NewClassifier().TakeSnapshot()
-	}
-	snap, err := d.Apply(base)
-	if err != nil {
-		return fmt.Errorf("pipestore %s: %w", n.ID, err)
+	var snap nn.Snapshot
+	if enc == delta.EncodingDense {
+		d, err := delta.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("pipestore %s: %w", n.ID, err)
+		}
+		base := n.clfSnap
+		if rebase {
+			base = n.cfg.NewClassifier().TakeSnapshot()
+		}
+		snap, err = d.Apply(base)
+		if err != nil {
+			return fmt.Errorf("pipestore %s: %w", n.ID, err)
+		}
+	} else {
+		cd, err := delta.DecodeCompressed(blob)
+		if err != nil {
+			return fmt.Errorf("pipestore %s: %w", n.ID, err)
+		}
+		if cd.Enc != enc {
+			return fmt.Errorf("pipestore %s: blob is %v but envelope says %v", n.ID, cd.Enc, enc)
+		}
+		snap, err = cd.ApplyAdd(n.clfSnap)
+		if err != nil {
+			return fmt.Errorf("pipestore %s: %w", n.ID, err)
+		}
 	}
 	if err := n.clf.Restore(snap); err != nil {
 		return fmt.Errorf("pipestore %s: %w", n.ID, err)
@@ -424,7 +510,9 @@ func (n *Node) applyDelta(blob []byte, version int, rebase bool) error {
 	}
 	n.met.deltasApplied.Inc()
 	n.met.modelVersion.Set(float64(version))
-	n.reg.Flight().Record(telemetry.FlightDeltaApply, "pipestore", n.ID, int64(version), int64(len(blob)))
+	// The flight event names the wire encoding alongside the store, so a
+	// post-mortem dump shows which deltas arrived compressed and how big.
+	n.reg.Flight().Record(telemetry.FlightDeltaApply, "pipestore", n.flightCodes[enc], int64(version), int64(len(blob)))
 	return nil
 }
 
@@ -465,7 +553,7 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 		// ArgmaxRows must run before the unlock: logits is the classifier's
 		// layer scratch and the next Forward (any goroutine) overwrites it.
 		n.mu.Lock()
-		logits := clf.Forward(n.backbone.Forward(x))
+		logits := clf.Forward(n.forwardBackboneLocked(x))
 		preds := logits.ArgmaxRows()
 		n.mu.Unlock()
 		tensor.Put(x)
@@ -534,8 +622,10 @@ func (n *Node) Serve(conn net.Conn) error {
 	defer n.connected.Store(false)
 	c := wire.NewCodec(conn)
 	// The Hello advertises our persisted model version, so the Tuner ships
-	// only the catch-up for rounds we missed (nothing, if we're current).
-	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID, ModelVersion: n.ModelVersion()}); err != nil {
+	// only the catch-up for rounds we missed (nothing, if we're current) —
+	// and the compressed delta codec we can decode (zero = legacy dense).
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, StoreID: n.ID,
+		ModelVersion: n.ModelVersion(), DeltaEncoding: uint8(n.wantEnc)}); err != nil {
 		return err
 	}
 	cmds := make(chan *wire.Message)
@@ -606,7 +696,7 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 	case wire.MsgModelDelta:
 		span := n.tracer.StartSpanIn(tc, "pipestore.apply-delta")
 		span.SetAttr("store", n.ID)
-		err := n.applyDelta(msg.Blob, msg.ModelVersion, msg.Rebase)
+		err := n.applyDelta(msg.Blob, msg.ModelVersion, msg.Rebase, delta.Encoding(msg.DeltaEncoding))
 		span.End()
 		n.shipSpans(c, tc.Trace)
 		if err != nil {

@@ -1,0 +1,129 @@
+package pipestore
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/telemetry"
+)
+
+// TestQuantizedOfflineInferDeterministic: quantization is derived only from
+// the model config (calibration batch included), so two quantized stores
+// over the same photos produce bitwise-identical labels — replicas stay
+// interchangeable, exactly like the f64 fleet.
+func TestQuantizedOfflineInferDeterministic(t *testing.T) {
+	a, world := newStore(t, 200)
+	if err := a.SetQuantize(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Quantized() {
+		t.Fatal("Quantized() must report the int8 replica")
+	}
+	b, err := New("ps-test-b", core.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetQuantize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ingest(world.Images()); err != nil {
+		t.Fatal(err)
+	}
+	la, err := a.OfflineInfer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.OfflineInfer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la) != 200 || len(lb) != 200 {
+		t.Fatalf("labeled %d/%d photos, want 200", len(la), len(lb))
+	}
+	for id, l := range la {
+		if lb[id] != l {
+			t.Fatalf("photo %d labeled %d vs %d across identical quantized replicas", id, l, lb[id])
+		}
+	}
+	// Quantization perturbs embeddings but must not scramble them: most
+	// labels agree with the f64 replica even under an untrained head.
+	c, _ := newStore(t, 200)
+	lc, err := c.OfflineInfer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for id, l := range la {
+		if lc[id] == l {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(la)); frac < 0.8 {
+		t.Fatalf("only %.0f%% of int8 labels agree with f64", frac*100)
+	}
+}
+
+// TestApplyDeltaCompressedGuards pins the protocol rules a store enforces on
+// an incoming compressed delta: never combined with a rebase, envelope and
+// blob header must agree, and a good blob lands the store bitwise on the
+// compressor's shipped state (with the encoding surfaced in the flight
+// recorder).
+func TestApplyDeltaCompressedGuards(t *testing.T) {
+	n, _ := newStore(t, 10)
+	reg := telemetry.NewRegistry()
+	n.SetRegistry(reg)
+
+	comp, err := delta.NewCompressor(delta.EncodingInt8, n.ClassifierSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	// ClassifierSnapshot returns a copy; perturb it into a training target.
+	target := n.ClassifierSnapshot()
+	for _, m := range target {
+		for i := range m.Data {
+			m.Data[i] += rng.NormFloat64() * 0.01
+		}
+	}
+	blob, err := comp.Compress(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.applyDelta(blob, 1, true, delta.EncodingInt8); err == nil {
+		t.Fatal("compressed delta combined with rebase must be rejected")
+	}
+	if err := n.applyDelta(blob, 1, false, delta.EncodingTopK); err == nil ||
+		!strings.Contains(err.Error(), "envelope") {
+		t.Fatalf("blob/envelope encoding mismatch must be rejected, got %v", err)
+	}
+	if err := n.applyDelta(blob, 1, false, delta.Encoding(9)); err == nil {
+		t.Fatal("unknown encoding must be rejected")
+	}
+	if v := n.ModelVersion(); v != 0 {
+		t.Fatalf("rejected deltas must not advance the version (v%d)", v)
+	}
+
+	if err := n.applyDelta(blob, 1, false, delta.EncodingInt8); err != nil {
+		t.Fatal(err)
+	}
+	if n.ModelVersion() != 1 {
+		t.Fatalf("version %d after apply, want 1", n.ModelVersion())
+	}
+	if !delta.SnapshotsEqual(n.ClassifierSnapshot(), comp.Shipped(), 0) {
+		t.Fatal("store state must be bitwise the compressor's shipped snapshot")
+	}
+	found := false
+	for _, ev := range reg.Flight().Events() {
+		if ev.Kind == telemetry.FlightDeltaApply && ev.Code == "ps-test/int8" &&
+			ev.V1 == 1 && ev.V2 == int64(len(blob)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("delta-apply flight event must carry the wire encoding")
+	}
+}

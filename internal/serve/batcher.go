@@ -62,6 +62,13 @@ func (g *Gateway) fill(batch []*pending) []*pending {
 	return batch
 }
 
+// cacheKey derives the content-hash cache key for a feature vector: FNV-1a
+// over the content, seeded with the backend's precision mode so a key from
+// an f64 deployment can never match one from an int8 deployment.
+func (g *Gateway) cacheKey(feat []float64) uint64 {
+	return hashFeatSeeded(g.keySeed, feat)
+}
+
 // runBatch resolves cache hits, executes one batched inference call, feeds
 // fresh embeddings back into the cache, and answers every waiter with its
 // latency observed against the SLO.
@@ -78,7 +85,7 @@ func (g *Gateway) runBatch(batch []*pending) {
 		if g.cache == nil {
 			continue
 		}
-		keys[i] = hashFeat(p.req.Img.Feat)
+		keys[i] = g.cacheKey(p.req.Img.Feat)
 		if h, ok := g.cache.get(keys[i], p.req.Img.Feat); ok {
 			reqs[i].Emb = h.emb
 			// Offer the memoized classifier result too; the backend applies

@@ -108,18 +108,42 @@ func (c *featureCache) len() int {
 	return c.lru.Len()
 }
 
-// hashFeat is FNV-1a over the IEEE-754 bytes of the feature vector.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashSeed folds a string (the backend's precision mode) into FNV-1a state,
+// producing the seed cache keys are derived from. Different modes yield
+// disjoint key spaces, so an f64 gateway and an int8 gateway can never
+// derive the same key for the same content — a quantized embedding is
+// deterministic but not bitwise-equal to its f64 counterpart, and must
+// never be served in its place.
+func hashSeed(mode string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(mode); i++ {
+		h ^= uint64(mode[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hashFeat is hashFeatSeeded from the plain FNV offset — the unseeded
+// content hash (what an f64 backend with no declared mode would produce up
+// to the seed prefix). Kept for direct cache tests.
 func hashFeat(feat []float64) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	return hashFeatSeeded(fnvOffset, feat)
+}
+
+// hashFeatSeeded is FNV-1a over the IEEE-754 bytes of the feature vector,
+// continued from a precision-mode seed (hashSeed).
+func hashFeatSeeded(seed uint64, feat []float64) uint64 {
+	h := seed
 	for _, f := range feat {
 		b := math.Float64bits(f)
 		for s := 0; s < 64; s += 8 {
 			h ^= (b >> s) & 0xff
-			h *= prime
+			h *= fnvPrime
 		}
 	}
 	return h

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+
+	"ndpipe/internal/nn"
+)
+
+// modeBackend is a fakeBackend that declares a precision mode, like the real
+// inferserver does once quantized.
+type modeBackend struct {
+	fakeBackend
+	mode string
+}
+
+func (b *modeBackend) PrecisionMode() string { return b.mode }
+
+// TestCacheKeyIncludesPrecisionMode: an f64 gateway and an int8 gateway must
+// derive disjoint cache keys for the same content. A quantized embedding is
+// deterministic but not bitwise the f64 one, so a shared key space would let
+// a swapped backend serve the wrong precision's state.
+func TestCacheKeyIncludesPrecisionMode(t *testing.T) {
+	feat := []float64{1, 2, 3, 4}
+
+	newGW := func(b Backend) *Gateway {
+		t.Helper()
+		g, err := New(b, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	plain := newGW(&fakeBackend{featDim: 4})
+	defer plain.Close()
+	f64 := newGW(&modeBackend{fakeBackend: fakeBackend{featDim: 4}, mode: nn.PrecisionF64})
+	defer f64.Close()
+	int8 := newGW(&modeBackend{fakeBackend: fakeBackend{featDim: 4}, mode: nn.PrecisionInt8})
+	defer int8.Close()
+
+	if plain.cacheKey(feat) != f64.cacheKey(feat) {
+		t.Fatal("a backend without PrecisionMode must key like an explicit f64 one")
+	}
+	if f64.cacheKey(feat) == int8.cacheKey(feat) {
+		t.Fatal("f64 and int8 gateways derived the same cache key for the same content")
+	}
+	// The seed perturbs the hash, not the collision guard: two different
+	// feature vectors still get different keys under either seed.
+	other := []float64{1, 2, 3, 5}
+	if int8.cacheKey(feat) == int8.cacheKey(other) {
+		t.Fatal("distinct content must hash to distinct keys under a seeded hash")
+	}
+}

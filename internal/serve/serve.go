@@ -35,6 +35,7 @@ import (
 
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/inferserver"
+	"ndpipe/internal/nn"
 	"ndpipe/internal/telemetry"
 )
 
@@ -165,6 +166,15 @@ type Backend interface {
 	InferBatch([]inferserver.BatchRequest) []inferserver.BatchResult
 }
 
+// PrecisionModer is optionally implemented by backends whose backbone can
+// run at more than one numeric precision (inferserver's -quantize int8
+// replica). The gateway folds the mode into its cache key derivation:
+// embeddings computed at different precisions are deterministic but not
+// bitwise-interchangeable, so a mixed fleet must never cross-serve them.
+type PrecisionModer interface {
+	PrecisionMode() string
+}
+
 // Request is one upload entering the gateway.
 type Request struct {
 	Img dataset.Image
@@ -263,6 +273,7 @@ type Gateway struct {
 
 	cache   *featureCache // nil when disabled
 	tenants *admitter     // nil when unthrottled
+	keySeed uint64        // cache-key seed derived from the backend precision
 	now     func() time.Time
 
 	met    gatewayMetrics
@@ -289,6 +300,14 @@ func New(backend Backend, opts Options) (*Gateway, error) {
 		flight:  opts.Registry.Flight(),
 		log:     telemetry.ComponentLogger("serve"),
 	}
+	// Cache keys are seeded with the backend's precision mode so f64 and
+	// int8 deployments derive disjoint key spaces (backends that don't
+	// declare a mode hash as plain f64).
+	mode := nn.PrecisionF64
+	if pm, ok := backend.(PrecisionModer); ok {
+		mode = pm.PrecisionMode()
+	}
+	g.keySeed = hashSeed(mode)
 	if opts.CacheEntries > 0 {
 		g.cache = newFeatureCache(opts.CacheEntries)
 	}

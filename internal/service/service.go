@@ -19,6 +19,7 @@ import (
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
 	"ndpipe/internal/drift"
 	"ndpipe/internal/ftdmp"
 	"ndpipe/internal/inferserver"
@@ -62,6 +63,16 @@ type Policy struct {
 	// ServeOptions tunes the gateway when Serve is set; zero fields take
 	// serve.DefaultOptions.
 	ServeOptions serve.Options
+	// Quantize runs every frozen-backbone forward — online uploads, feature
+	// extraction, offline inference — through the calibrated int8 replica
+	// (core.ModelConfig.NewQuantBackbone). Training and the classifier stay
+	// f64; the serving cache keys embeddings by precision mode.
+	Quantize bool
+	// DeltaEncoding selects the Check-N-Run delta wire codec the stores
+	// negotiate with the Tuner: "dense" (default, exact legacy f64), "topk"
+	// (top-k sparse with error feedback), or "int8" (quantized residual with
+	// error feedback). See delta.ParseEncoding.
+	DeltaEncoding string
 }
 
 // DefaultPolicy retrains every 1,000 uploads with the paper's defaults.
@@ -161,9 +172,24 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 		met: newServiceMetrics(),
 		log: telemetry.ComponentLogger("service"),
 	}
+	enc, err := delta.ParseEncoding(policy.DeltaEncoding)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		ps, err := pipestore.New(fmt.Sprintf("ps-%d", i), cfg)
 		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if policy.Quantize {
+			if err := ps.SetQuantize(); err != nil {
+				ln.Close()
+				return nil, err
+			}
+		}
+		if err := ps.SetDeltaEncoding(enc); err != nil {
 			ln.Close()
 			return nil, err
 		}
@@ -191,6 +217,12 @@ func Start(cfg core.ModelConfig, n int, policy Policy) (*Service, error) {
 	if err != nil {
 		ln.Close()
 		return nil, err
+	}
+	if policy.Quantize {
+		if err := inf.SetQuantize(); err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	s.infer = inf
 	if policy.Serve {

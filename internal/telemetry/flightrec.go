@@ -36,8 +36,8 @@ const (
 	FlightEvict       = "evict"        // code=store, v1=epoch
 	FlightRetry       = "retry"        // code=store, v1=attempt
 	FlightStraggler   = "straggler"    // code=store, v1=epoch
-	FlightDeltaApply  = "delta-apply"  // v1=version, v2=bytes
-	FlightCatchUp     = "catch-up"     // code=store, v1=from, v2=to
+	FlightDeltaApply  = "delta-apply"  // code=store/encoding, v1=version, v2=bytes
+	FlightCatchUp     = "catch-up"     // code=store, v1=to-version, v2=bytes
 	FlightShed        = "shed"         // code=reason
 	FlightPersist     = "persist"      // code=what, v1=bytes
 	FlightRecover     = "recover"      // code=what, v1=version

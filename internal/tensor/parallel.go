@@ -31,11 +31,14 @@ const (
 	kindMatMul = iota
 	kindMatMulATB
 	kindMatMulABT
+	kindQMatMul
 )
 
 type kernelTask struct {
 	kind      int
 	out, a, b *Matrix
+	qa        *QMatrix  // kindQMatMul operand (a,b unused)
+	qb        *QWeights // kindQMatMul operand
 	sparse    bool
 	lo, hi    int
 	wg        *sync.WaitGroup
@@ -49,6 +52,8 @@ func (t *kernelTask) exec() {
 		matMulATBRange(t.out, t.a, t.b, t.lo, t.hi, t.sparse)
 	case kindMatMulABT:
 		matMulABTRange(t.out, t.a, t.b, t.lo, t.hi)
+	case kindQMatMul:
+		qMatMulGroups(t.out, t.qa, t.qb, t.lo, t.hi)
 	}
 }
 
@@ -74,6 +79,7 @@ var (
 	metMatMul    = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul"}`)
 	metMatMulATB = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul_atb"}`)
 	metMatMulABT = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="matmul_abt"}`)
+	metQMatMul   = telemetry.Default.Histogram(`tensor_kernel_seconds{kernel="int8_matmul"}`)
 )
 
 func init() {
@@ -129,7 +135,18 @@ var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 // single inline call when the range is too small or the pool is down to one
 // lane.
 func parallelKernel(kind int, out, a, b *Matrix, sparse bool, rows, minRows int) {
-	t := kernelTask{kind: kind, out: out, a: a, b: b, sparse: sparse}
+	dispatchChunks(kernelTask{kind: kind, out: out, a: a, b: b, sparse: sparse}, rows, minRows)
+}
+
+// parallelQuantKernel is the int8 analogue: the partition unit is the 3-row
+// group of the packed layout (a group's rows share packed words, so a chunk
+// boundary inside one would have two workers writing the same outputs).
+func parallelQuantKernel(out *Matrix, qa *QMatrix, qb *QWeights, groups, minGroups int) {
+	dispatchChunks(kernelTask{kind: kindQMatMul, out: out, qa: qa, qb: qb}, groups, minGroups)
+}
+
+// dispatchChunks partitions [0, rows) for task t across the pool.
+func dispatchChunks(t kernelTask, rows, minRows int) {
 	p := Parallelism()
 	if minRows < 1 {
 		minRows = 1

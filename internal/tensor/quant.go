@@ -1,0 +1,430 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Quantized int8 inference kernels. The f64 kernels in kernels.go bound the
+// FLOP rate of one core at roughly one multiply-add per cycle; 8-bit codes
+// buy the next multiplier by packing three rows of activation codes into one
+// 64-bit word and retiring three multiply-adds per integer multiply (a SWAR
+// kernel — SIMD within a register — which is as wide as portable Go gets).
+//
+// Scheme (the usual affine/symmetric split):
+//
+//   - activations are quantized asymmetrically per row: x ≈ s·(q − z) with
+//     q ∈ [0,255] and zero point z ∈ [0,255], so post-ReLU ranges
+//     ([0, max]) spend all 8 bits on the live half-axis;
+//   - weights are quantized symmetrically per output column: w ≈ s_b·q_w
+//     with q_w ∈ [−127,127], stored biased (q_w+128 ∈ [1,255]) and
+//     transposed so the inner loop streams one contiguous byte per step.
+//
+// The product unwinds exactly: with S = Σ_kk q·(q_w+128), R = Σ_kk q
+// (per activation row) and C = Σ_kk q_w (per weight column),
+//
+//	out[i,j] = s_i · s_bj · (S_ij − 128·R_i − z_i·C_j)
+//
+// — all-integer until the final scale, so the kernel is exact given the
+// codes and therefore bitwise-deterministic at every parallelism level for
+// free (integer addition is associative; the f64 kernels have to pin their
+// accumulation order to get the same guarantee).
+//
+// Lane discipline: each of the three 21-bit lanes accumulates products
+// ≤ 255·255 = 65025 < 2²¹, so a lane overflows its width only after
+// ⌊(2²¹−1)/65025⌋ = 32 steps — qDrain. The kernel drains lanes into int32
+// accumulators every 32 kk steps; 2³¹/65025 caps the shared dimension at
+// qMaxK rows.
+const (
+	qLaneBits = 21
+	qLaneMask = 1<<qLaneBits - 1
+	qDrain    = 32
+	qMaxK     = 1 << 15
+
+	// qMinGroupsPerChunk mirrors minRowsPerChunk for the 3-row groups the
+	// packed layout is partitioned by.
+	qMinGroupsPerChunk = 3
+)
+
+// QMatrix is a row-major matrix of asymmetric uint8 activation codes in the
+// lane-packed layout the int8 kernel consumes: rows are grouped in threes,
+// and word g·Cols+kk carries column kk of rows 3g, 3g+1, 3g+2 in bits 0–20,
+// 21–41 and 42–62. Ragged final groups pad with all-zero lanes (they
+// contribute nothing and their outputs are never written). Scale, Zero and
+// RowSum are per logical row.
+//
+// A QMatrix is scratch: Quantize*Into reshapes it in place via ReuseQ-style
+// growth, so a long-lived holder (e.g. a quantized layer) reaches the f64
+// path's zero-alloc steady state.
+type QMatrix struct {
+	Rows, Cols int
+	Scale      []float64 // per-row dequantization scale s
+	Zero       []int32   // per-row zero point z ∈ [0,255]
+	RowSum     []int32   // per-row Σ codes (kernel correction term R)
+	Packed     []uint64  // ceil(Rows/3)·Cols lane-packed codes
+}
+
+// qGroups returns the number of 3-row groups covering rows.
+func qGroups(rows int) int { return (rows + 2) / 3 }
+
+// resize reshapes q to rows×cols, reusing backing storage when it fits, and
+// zeroes the packed region (codes are OR-ed in lane by lane).
+func (q *QMatrix) resize(rows, cols int) {
+	q.Rows, q.Cols = rows, cols
+	q.Scale = ReuseSlice(q.Scale, rows)
+	q.Zero = reuseI32(q.Zero, rows)
+	q.RowSum = reuseI32(q.RowSum, rows)
+	words := qGroups(rows) * cols
+	if cap(q.Packed) >= words {
+		q.Packed = q.Packed[:words]
+	} else {
+		q.Packed = make([]uint64, words)
+		return
+	}
+	for i := range q.Packed {
+		q.Packed[i] = 0
+	}
+}
+
+func reuseI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// Code returns the uint8 code of element (i, kk) — test/debug accessor.
+func (q *QMatrix) Code(i, kk int) int32 {
+	w := q.Packed[(i/3)*q.Cols+kk]
+	return int32((w >> (uint(i%3) * qLaneBits)) & qLaneMask)
+}
+
+// setRow quantizes one f64 row with the given scale and zero point, packing
+// codes into the row's lane and accumulating the row-sum correction.
+func (q *QMatrix) setRow(i int, row []float64, s float64, z int32) {
+	q.Scale[i], q.Zero[i] = s, z
+	base := (i / 3) * q.Cols
+	lane := uint(i%3) * qLaneBits
+	inv := 1 / s
+	var sum int32
+	for kk, v := range row {
+		c := int32(math.Round(v*inv)) + z
+		if c < 0 {
+			c = 0
+		} else if c > 255 {
+			c = 255
+		}
+		sum += c
+		q.Packed[base+kk] |= uint64(c) << lane
+	}
+	q.RowSum[i] = sum
+}
+
+// AffineParams derives the asymmetric (scale, zero point) pair for the
+// value range [lo, hi]. The range is widened to include 0 so the zero point
+// is always representable (and exact: post-ReLU zeros quantize to exactly
+// z). Degenerate ranges (empty, NaN, ±Inf) fall back to scale 1, zero 0.
+// It is a pure function — calibration derived from it on identical inputs
+// is identical on every node, which is what keeps quantized inference
+// bitwise-reproducible fleet-wide.
+func AffineParams(lo, hi float64) (scale float64, zero int32) {
+	return affineParams(lo, hi)
+}
+
+func affineParams(lo, hi float64) (s float64, z int32) {
+	lo = math.Min(lo, 0)
+	hi = math.Max(hi, 0)
+	s = (hi - lo) / 255
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 1, 0
+	}
+	z = int32(math.Round(-lo / s))
+	if z < 0 {
+		z = 0
+	} else if z > 255 {
+		z = 255
+	}
+	return s, z
+}
+
+// QuantizeInto quantizes m into q with dynamic per-row asymmetric
+// parameters (each row's own min/max). Reconstruction error is bounded by
+// the row scale: |x − s·(q−z)| ≤ s per element (½ from value rounding, ½
+// from zero-point rounding). q is reshaped in place; steady state with a
+// stable shape performs no allocation.
+func QuantizeInto(q *QMatrix, m *Matrix) {
+	q.resize(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		lo, hi := 0.0, 0.0
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s, z := affineParams(lo, hi)
+		q.setRow(i, row, s, z)
+	}
+}
+
+// QuantizeCalibratedInto quantizes m into q with a single static
+// (scale, zero point) pair — the calibrated per-layer parameters a
+// quantized network derives from a sample batch at load time. Values
+// outside the calibrated range clamp to the nearest code. The static
+// parameters make the codes a pure elementwise function of the input, so
+// quantized inference stays bitwise-identical across nodes and runs.
+func QuantizeCalibratedInto(q *QMatrix, m *Matrix, scale float64, zero int32) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("tensor: calibrated scale %v must be positive and finite", scale))
+	}
+	if zero < 0 || zero > 255 {
+		panic(fmt.Sprintf("tensor: calibrated zero point %d outside [0,255]", zero))
+	}
+	q.resize(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		q.setRow(i, m.Row(i), scale, zero)
+	}
+}
+
+// DequantizeInto reconstructs q's values into the caller-owned dst
+// (q.Rows×q.Cols): dst[i,kk] = s_i·(code − z_i).
+func (q *QMatrix) DequantizeInto(dst *Matrix) {
+	if dst.Rows != q.Rows || dst.Cols != q.Cols {
+		panic(fmt.Sprintf("tensor: dequantize destination %dx%d, want %dx%d", dst.Rows, dst.Cols, q.Rows, q.Cols))
+	}
+	for i := 0; i < q.Rows; i++ {
+		base := (i / 3) * q.Cols
+		lane := uint(i%3) * qLaneBits
+		s, z := q.Scale[i], q.Zero[i]
+		row := dst.Data[i*q.Cols : (i+1)*q.Cols]
+		for kk := range row {
+			c := int32((q.Packed[base+kk] >> lane) & qLaneMask)
+			row[kk] = s * float64(c-z)
+		}
+	}
+}
+
+// QWeights is a symmetric per-output-column int8 quantization of a weight
+// matrix, laid out for the SWAR kernel: UT stores the codes transposed
+// (column j of the original is UT[j·In : (j+1)·In]) and biased by +128 so
+// they are unsigned bytes. Weights quantize once at model load and are
+// immutable afterwards.
+type QWeights struct {
+	In, Out int
+	Scale   []float64 // per-column dequantization scale s_b
+	ColSum  []int32   // per-column Σ signed codes (kernel correction term C)
+	UT      []uint8   // Out×In transposed biased codes (q_w + 128)
+}
+
+// QuantizeWeights quantizes w (In×Out, the x·W layout Dense uses) with a
+// symmetric per-output-column scale. Reconstruction error is at most half
+// the column scale per element.
+func QuantizeWeights(w *Matrix) *QWeights {
+	k, p := w.Rows, w.Cols
+	if k > qMaxK {
+		panic(fmt.Sprintf("tensor: QuantizeWeights input dim %d exceeds %d", k, qMaxK))
+	}
+	qw := &QWeights{
+		In:     k,
+		Out:    p,
+		Scale:  make([]float64, p),
+		ColSum: make([]int32, p),
+		UT:     make([]uint8, k*p),
+	}
+	for j := 0; j < p; j++ {
+		var maxAbs float64
+		for kk := 0; kk < k; kk++ {
+			if a := math.Abs(w.Data[kk*p+j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		s := maxAbs / 127
+		if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			s = 1
+		}
+		inv := 1 / s
+		var sum int32
+		ut := qw.UT[j*k : (j+1)*k]
+		for kk := 0; kk < k; kk++ {
+			c := int32(math.Round(w.Data[kk*p+j] * inv))
+			if c < -127 {
+				c = -127
+			} else if c > 127 {
+				c = 127
+			}
+			sum += c
+			ut[kk] = uint8(c + 128)
+		}
+		qw.Scale[j], qw.ColSum[j] = s, sum
+	}
+	return qw
+}
+
+// DequantizeInto reconstructs the f64 weight matrix into dst (In×Out).
+func (qw *QWeights) DequantizeInto(dst *Matrix) {
+	if dst.Rows != qw.In || dst.Cols != qw.Out {
+		panic(fmt.Sprintf("tensor: dequantize destination %dx%d, want %dx%d", dst.Rows, dst.Cols, qw.In, qw.Out))
+	}
+	for j := 0; j < qw.Out; j++ {
+		s := qw.Scale[j]
+		ut := qw.UT[j*qw.In : (j+1)*qw.In]
+		for kk, c := range ut {
+			dst.Data[kk*qw.Out+j] = s * float64(int32(c)-128)
+		}
+	}
+}
+
+// QMatMulInto computes the dequantized product of quantized activations and
+// quantized weights into the caller-owned f64 destination (a.Rows×b.Out).
+// The integer part is exact, so output bits never depend on the worker
+// count. Large products ride the same worker pool as the f64 kernels,
+// partitioned over 3-row groups.
+func QMatMulInto(out *Matrix, a *QMatrix, b *QWeights) {
+	if a.Cols != b.In {
+		panic(fmt.Sprintf("tensor: qmatmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.In, b.Out))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Out {
+		panic(fmt.Sprintf("tensor: qmatmul destination %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Out))
+	}
+	if a.Cols > qMaxK {
+		panic(fmt.Sprintf("tensor: qmatmul shared dim %d exceeds %d", a.Cols, qMaxK))
+	}
+	n, k, p := a.Rows, a.Cols, b.Out
+	if n == 0 || p == 0 {
+		return
+	}
+	groups := qGroups(n)
+	if n*k*p >= parallelFlops {
+		defer observeKernel(metQMatMul, time.Now())
+		parallelQuantKernel(out, a, b, groups, qMinGroupsPerChunk)
+		return
+	}
+	qMatMulGroups(out, a, b, 0, groups)
+}
+
+// qMatMulGroups computes the output rows of groups [gLo, gHi). Columns are
+// register-blocked in fours: four uint64 accumulators retire twelve
+// multiply-adds per loop step (3 packed rows × 4 columns), draining lanes
+// into int32 sums every qDrain steps. The qDrain-aligned body converts its
+// slices to fixed-size array pointers so the compiler drops every bounds
+// check from the hot loop.
+func qMatMulGroups(out *Matrix, a *QMatrix, b *QWeights, gLo, gHi int) {
+	k, p := a.Cols, b.Out
+	kAligned := k - k%qDrain
+	for g := gLo; g < gHi; g++ {
+		aw := a.Packed[g*k : (g+1)*k]
+		j := 0
+		for ; j+4 <= p; j += 4 {
+			ut0 := b.UT[j*k : (j+1)*k]
+			ut1 := b.UT[(j+1)*k : (j+2)*k]
+			ut2 := b.UT[(j+2)*k : (j+3)*k]
+			ut3 := b.UT[(j+3)*k : (j+4)*k]
+			var l0, l1, l2, l3 [3]int32
+			for kk := 0; kk < kAligned; kk += qDrain {
+				w := (*[qDrain]uint64)(aw[kk:])
+				u0 := (*[qDrain]uint8)(ut0[kk:])
+				u1 := (*[qDrain]uint8)(ut1[kk:])
+				u2 := (*[qDrain]uint8)(ut2[kk:])
+				u3 := (*[qDrain]uint8)(ut3[kk:])
+				var acc0, acc1, acc2, acc3 uint64
+				for t := 0; t < qDrain; t += 4 {
+					wv := w[t]
+					acc0 += wv * uint64(u0[t])
+					acc1 += wv * uint64(u1[t])
+					acc2 += wv * uint64(u2[t])
+					acc3 += wv * uint64(u3[t])
+					wv = w[t+1]
+					acc0 += wv * uint64(u0[t+1])
+					acc1 += wv * uint64(u1[t+1])
+					acc2 += wv * uint64(u2[t+1])
+					acc3 += wv * uint64(u3[t+1])
+					wv = w[t+2]
+					acc0 += wv * uint64(u0[t+2])
+					acc1 += wv * uint64(u1[t+2])
+					acc2 += wv * uint64(u2[t+2])
+					acc3 += wv * uint64(u3[t+2])
+					wv = w[t+3]
+					acc0 += wv * uint64(u0[t+3])
+					acc1 += wv * uint64(u1[t+3])
+					acc2 += wv * uint64(u2[t+3])
+					acc3 += wv * uint64(u3[t+3])
+				}
+				qDrainLanes(&l0, acc0)
+				qDrainLanes(&l1, acc1)
+				qDrainLanes(&l2, acc2)
+				qDrainLanes(&l3, acc3)
+			}
+			if kAligned < k {
+				var acc0, acc1, acc2, acc3 uint64
+				for kk := kAligned; kk < k; kk++ {
+					wv := aw[kk]
+					acc0 += wv * uint64(ut0[kk])
+					acc1 += wv * uint64(ut1[kk])
+					acc2 += wv * uint64(ut2[kk])
+					acc3 += wv * uint64(ut3[kk])
+				}
+				qDrainLanes(&l0, acc0)
+				qDrainLanes(&l1, acc1)
+				qDrainLanes(&l2, acc2)
+				qDrainLanes(&l3, acc3)
+			}
+			qWriteColumn(out, a, b, g, j, &l0)
+			qWriteColumn(out, a, b, g, j+1, &l1)
+			qWriteColumn(out, a, b, g, j+2, &l2)
+			qWriteColumn(out, a, b, g, j+3, &l3)
+		}
+		for ; j < p; j++ {
+			ut := b.UT[j*k : (j+1)*k]
+			var l [3]int32
+			for kk := 0; kk < kAligned; kk += qDrain {
+				w := (*[qDrain]uint64)(aw[kk:])
+				u := (*[qDrain]uint8)(ut[kk:])
+				var acc uint64
+				for t := 0; t < qDrain; t++ {
+					acc += w[t] * uint64(u[t])
+				}
+				qDrainLanes(&l, acc)
+			}
+			if kAligned < k {
+				var acc uint64
+				for kk := kAligned; kk < k; kk++ {
+					acc += aw[kk] * uint64(ut[kk])
+				}
+				qDrainLanes(&l, acc)
+			}
+			qWriteColumn(out, a, b, g, j, &l)
+		}
+	}
+}
+
+// qDrainLanes unpacks one accumulator's three 21-bit lanes into the running
+// per-row int32 sums.
+func qDrainLanes(l *[3]int32, acc uint64) {
+	l[0] += int32(acc & qLaneMask)
+	l[1] += int32((acc >> qLaneBits) & qLaneMask)
+	l[2] += int32(acc >> (2 * qLaneBits))
+}
+
+// qWriteColumn applies the affine correction and scale to one column of one
+// 3-row group and writes the f64 outputs (padding lanes are discarded). The
+// correction runs in int64: the lane sum alone can sit near the int32 edge,
+// so subtracting the correction terms in 32 bits could wrap.
+func qWriteColumn(out *Matrix, a *QMatrix, b *QWeights, g, j int, lanes *[3]int32) {
+	cs := int64(b.ColSum[j])
+	bs := b.Scale[j]
+	i0 := g * 3
+	rows := a.Rows - i0
+	if rows > 3 {
+		rows = 3
+	}
+	p := out.Cols
+	for r := 0; r < rows; r++ {
+		i := i0 + r
+		v := int64(lanes[r]) - 128*int64(a.RowSum[i]) - int64(a.Zero[i])*cs
+		out.Data[i*p+j] = a.Scale[i] * bs * float64(v)
+	}
+}

@@ -1,0 +1,265 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// qRef is the scalar int reference for the SWAR kernel: signed codes,
+// straight triple loop, same correction algebra. The kernel must match it
+// bit for bit (the integer part is exact in both).
+func qRef(a *QMatrix, b *QWeights) *Matrix {
+	out := New(a.Rows, b.Out)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Out; j++ {
+			var s int64
+			for kk := 0; kk < a.Cols; kk++ {
+				qa := int64(a.Code(i, kk) - a.Zero[i])
+				qw := int64(int32(b.UT[j*b.In+kk]) - 128)
+				s += qa * qw
+			}
+			out.Set(i, j, a.Scale[i]*b.Scale[j]*float64(s))
+		}
+	}
+	return out
+}
+
+func randMat(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// TestQuantizeRoundTripErrorBound is the round-trip property test: for any
+// input, per-row dynamic quantization reconstructs every element within the
+// row's scale (½ scale of value rounding + ½ scale of zero-point rounding).
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][2]int{{1, 7}, {2, 64}, {3, 33}, {5, 128}, {8, 24}, {17, 256}}
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := shapes[trial%len(shapes)][0], shapes[trial%len(shapes)][1]
+		m := randMat(rng, rows, cols, 0.1+rng.Float64()*10)
+		if trial%3 == 0 { // post-ReLU shape: half-axis ranges
+			for i := range m.Data {
+				if m.Data[i] < 0 {
+					m.Data[i] = 0
+				}
+			}
+		}
+		var q QMatrix
+		QuantizeInto(&q, m)
+		back := New(rows, cols)
+		q.DequantizeInto(back)
+		for i := 0; i < rows; i++ {
+			bound := q.Scale[i] * (1 + 1e-9)
+			for j := 0; j < cols; j++ {
+				if d := math.Abs(m.At(i, j) - back.At(i, j)); d > bound {
+					t.Fatalf("trial %d: row %d col %d error %g exceeds scale bound %g", trial, i, j, d, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeWeightsRoundTrip checks the symmetric per-column bound: half
+// a column scale per element.
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		k, p := 1+rng.Intn(200), 1+rng.Intn(60)
+		w := randMat(rng, k, p, 0.5)
+		qw := QuantizeWeights(w)
+		back := New(k, p)
+		qw.DequantizeInto(back)
+		for j := 0; j < p; j++ {
+			bound := qw.Scale[j]/2 + 1e-12
+			for kk := 0; kk < k; kk++ {
+				if d := math.Abs(w.At(kk, j) - back.At(kk, j)); d > bound {
+					t.Fatalf("trial %d: col %d row %d error %g exceeds half-scale %g", trial, j, kk, d, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeDegenerate covers constant rows, all-zero inputs and exact
+// zero representation (a quantized 0 must decode to exactly 0 — the sparse
+// post-ReLU structure depends on it).
+func TestQuantizeDegenerate(t *testing.T) {
+	m := New(3, 8)
+	m.Row(1)[3] = 2.5 // row 1 mixed, rows 0 and 2 all zero
+	m.Row(1)[5] = -1.25
+	var q QMatrix
+	QuantizeInto(&q, m)
+	back := New(3, 8)
+	q.DequantizeInto(back)
+	for j := 0; j < 8; j++ {
+		if back.At(0, j) != 0 || back.At(2, j) != 0 {
+			t.Fatalf("all-zero rows must reconstruct exactly, got %v / %v", back.At(0, j), back.At(2, j))
+		}
+	}
+	if got := back.At(1, 0); got != 0 {
+		t.Fatalf("zero element in mixed row reconstructs to %v, want exactly 0", got)
+	}
+}
+
+// TestQMatMulMatchesIntReference: the SWAR kernel computes the same exact
+// integer product as a naive signed triple loop, bit for bit, across odd
+// shapes (ragged 3-row groups, odd column counts, non-multiple-of-qDrain
+// depths) and both dynamic and calibrated activation quantization.
+func TestQMatMulMatchesIntReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shapes := []struct{ n, k, p int }{
+		{1, 8, 1}, {2, 31, 3}, {3, 32, 4}, {4, 33, 5}, {5, 64, 26},
+		{6, 95, 9}, {7, 96, 10}, {8, 97, 11}, {32, 128, 26}, {33, 256, 17},
+	}
+	for _, sh := range shapes {
+		x := randMat(rng, sh.n, sh.k, 1.5)
+		w := randMat(rng, sh.k, sh.p, 0.4)
+		var q QMatrix
+		QuantizeInto(&q, x)
+		qw := QuantizeWeights(w)
+		out := New(sh.n, sh.p)
+		QMatMulInto(out, &q, qw)
+		want := qRef(&q, qw)
+		for i := range out.Data {
+			if out.Data[i] != want.Data[i] {
+				t.Fatalf("shape %+v: element %d = %v, want %v (exact)", sh, i, out.Data[i], want.Data[i])
+			}
+		}
+
+		QuantizeCalibratedInto(&q, x, 0.02, 117)
+		QMatMulInto(out, &q, qw)
+		want = qRef(&q, qw)
+		for i := range out.Data {
+			if out.Data[i] != want.Data[i] {
+				t.Fatalf("shape %+v calibrated: element %d = %v, want %v", sh, i, out.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestQMatMulDeterministicAcrossParallelism is the int8 kernel's version of
+// the f64 determinism contract: identical bits at every worker count,
+// including products big enough to fan out to the pool.
+func TestQMatMulDeterministicAcrossParallelism(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(0) })
+	rng := rand.New(rand.NewSource(14))
+	for _, sh := range []struct{ n, k, p int }{{64, 64, 64}, {65, 128, 33}, {256, 256, 256}} {
+		x := randMat(rng, sh.n, sh.k, 1)
+		w := randMat(rng, sh.k, sh.p, 1)
+		var q QMatrix
+		QuantizeInto(&q, x)
+		qw := QuantizeWeights(w)
+		SetParallelism(1)
+		want := New(sh.n, sh.p)
+		QMatMulInto(want, &q, qw)
+		for _, par := range []int{2, 4, 8, 0} {
+			SetParallelism(par)
+			got := New(sh.n, sh.p)
+			QMatMulInto(got, &q, qw)
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("shape %+v parallelism %d: element %d differs", sh, par, i)
+				}
+			}
+		}
+	}
+}
+
+// TestQMatMulSaturatesLanes drives the accumulators at their ceiling —
+// all-255 codes against all-±127 weights at the depth cap's shape — to
+// prove the 21-bit lane discipline and the int64 correction never wrap.
+func TestQMatMulSaturatesLanes(t *testing.T) {
+	const k = 1024
+	x := New(4, k)
+	x.Fill(1000) // clamps to code 255 with calibrated scale 1, zero 0
+	w := New(k, 3)
+	for kk := 0; kk < k; kk++ {
+		w.Set(kk, 0, 127)
+		w.Set(kk, 1, -127)
+		w.Set(kk, 2, 127)
+	}
+	var q QMatrix
+	QuantizeCalibratedInto(&q, x, 1, 0)
+	qw := QuantizeWeights(w)
+	out := New(4, 3)
+	QMatMulInto(out, &q, qw)
+	want := qRef(&q, qw)
+	for i := range out.Data {
+		if out.Data[i] != want.Data[i] {
+			t.Fatalf("saturated element %d = %v, want %v", i, out.Data[i], want.Data[i])
+		}
+	}
+	if out.At(0, 0) != 255*127*k {
+		t.Fatalf("saturated product = %v, want %v", out.At(0, 0), 255*127*k)
+	}
+}
+
+// TestQuantZeroAllocSteadyState: quantize + int8 matmul with reused scratch
+// allocates nothing once shapes stabilize, like the f64 path — including
+// pool-dispatched products.
+func TestQuantZeroAllocSteadyState(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(0) })
+	SetParallelism(4)
+	rng := rand.New(rand.NewSource(15))
+	x := randMat(rng, 64, 64, 1)
+	qw := QuantizeWeights(randMat(rng, 64, 64, 1))
+	var q QMatrix
+	out := New(64, 64)
+	QuantizeCalibratedInto(&q, x, 0.05, 128) // warm-up sizes the scratch
+	QMatMulInto(out, &q, qw)
+	allocs := testing.AllocsPerRun(10, func() {
+		QuantizeCalibratedInto(&q, x, 0.05, 128)
+		QMatMulInto(out, &q, qw)
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQMatMulShapePanics pins the destination/shape contract.
+func TestQMatMulShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	var q QMatrix
+	QuantizeInto(&q, randMat(rng, 4, 8, 1))
+	qw := QuantizeWeights(randMat(rng, 8, 5, 1))
+	for name, fn := range map[string]func(){
+		"inner": func() {
+			bad := QuantizeWeights(randMat(rng, 9, 5, 1))
+			QMatMulInto(New(4, 5), &q, bad)
+		},
+		"dest": func() { QMatMulInto(New(4, 6), &q, qw) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkQMatMulGridLocal(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{64, 256, 1024} {
+		x := randMat(rng, n, n, 1)
+		w := randMat(rng, n, n, 1)
+		var q QMatrix
+		QuantizeInto(&q, x)
+		qw := QuantizeWeights(w)
+		out := New(n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				QMatMulInto(out, &q, qw)
+			}
+		})
+	}
+}

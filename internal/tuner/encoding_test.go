@@ -1,0 +1,315 @@
+// End-to-end tests of the compressed delta wire path: a mixed fleet where
+// stores negotiate different encodings in Hello, the per-store
+// error-feedback streams, and the rebase-on-rejoin consistency rule.
+package tuner
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/delta"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
+)
+
+// clusterUpEnc is clusterUp with a per-store delta encoding, so tests can
+// stand up a mixed dense/topk/int8 fleet.
+func clusterUpEnc(t *testing.T, encs []delta.Encoding, seed int64) (*Node, []*pipestore.Node, *dataset.World, func()) {
+	t.Helper()
+	n := len(encs)
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = 2000
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, n) }()
+
+	shards := world.Shard(n)
+	var stores []*pipestore.Node
+	for i := 0; i < n; i++ {
+		ps, err := pipestore.New(storeID(i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.SetDeltaEncoding(encs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(ps *pipestore.Node, conn net.Conn) {
+			_ = ps.Serve(conn)
+		}(ps, conn)
+		stores = append(stores, ps)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		tn.Close()
+		ln.Close()
+	}
+	return tn, stores, world, cleanup
+}
+
+// snapMaxErr returns the largest per-element |a-b| across two snapshots.
+func snapMaxErr(t *testing.T, a, b nn.Snapshot) float64 {
+	t.Helper()
+	var worst float64
+	for k, ma := range a {
+		mb, ok := b[k]
+		if !ok || len(ma.Data) != len(mb.Data) {
+			t.Fatalf("snapshot shape mismatch on %q", k)
+		}
+		for i := range ma.Data {
+			if d := math.Abs(ma.Data[i] - mb.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestMixedFleetCompressedDeltas drives fine-tune rounds through a fleet
+// where each store negotiated a different wire codec, and pins the central
+// invariants:
+//
+//   - a dense store's classifier is bitwise the archive snapshot;
+//   - a compressed store's classifier is bitwise what its compressor
+//     believes it shipped (error feedback is computed against the peer's
+//     true state);
+//   - compressed replicas stay within a loose tolerance of the exact model;
+//   - broadcast bytes are accounted per encoding, and the compressed
+//     encodings ship fewer bytes than dense.
+func TestMixedFleetCompressedDeltas(t *testing.T) {
+	encs := []delta.Encoding{delta.EncodingDense, delta.EncodingTopK, delta.EncodingInt8}
+	tn, stores, _, cleanup := clusterUpEnc(t, encs, 31)
+	defer cleanup()
+
+	before := map[delta.Encoding]int64{}
+	for _, e := range encs {
+		before[e] = deltaBytesByEnc(e).Value()
+	}
+
+	topkErr := []float64{}
+	const rounds = 3
+	for round := 1; round <= rounds; round++ {
+		if _, err := tn.FineTune(2, 128, trainOpts()); err != nil {
+			t.Fatal(err)
+		}
+		exact, err := tn.Archive().Snapshot(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ps := range stores {
+			if ps.ModelVersion() != round {
+				t.Fatalf("round %d: store %s at v%d", round, ps.ID, ps.ModelVersion())
+			}
+			got := ps.ClassifierSnapshot()
+			switch encs[i] {
+			case delta.EncodingDense:
+				if !delta.SnapshotsEqual(got, exact, 0) {
+					t.Fatalf("round %d: dense store %s diverged from the archive", round, ps.ID)
+				}
+			default:
+				tn.mu.Lock()
+				cs := tn.codecs[ps.ID]
+				tn.mu.Unlock()
+				if cs == nil || cs.version != round {
+					t.Fatalf("round %d: no current compressor for %s", round, ps.ID)
+				}
+				if !delta.SnapshotsEqual(got, cs.comp.Shipped(), 0) {
+					t.Fatalf("round %d: store %s state is not bitwise the compressor's shipped snapshot", round, ps.ID)
+				}
+				e := snapMaxErr(t, got, exact)
+				switch encs[i] {
+				case delta.EncodingInt8:
+					// Int8 ships the whole residual each round; its error is
+					// bounded by half the per-parameter quantization step.
+					if e > 0.05 {
+						t.Fatalf("round %d: int8 store %s is %g off the exact model", round, ps.ID, e)
+					}
+				case delta.EncodingTopK:
+					// Top-k ships 1/topKDenom of the entries per round, so it
+					// lags the exact model while the model is moving fast
+					// (round 1 leaves random init); convergence is checked
+					// across rounds below.
+					topkErr = append(topkErr, e)
+				}
+			}
+		}
+	}
+
+	// Error feedback: as training settles, the top-k stream drains its lag
+	// instead of accumulating drift.
+	if topkErr[rounds-1] >= topkErr[0] {
+		t.Fatalf("topk tracking error did not shrink across rounds: %v", topkErr)
+	}
+
+	shipped := map[delta.Encoding]int64{}
+	for _, e := range encs {
+		shipped[e] = deltaBytesByEnc(e).Value() - before[e]
+		if shipped[e] <= 0 {
+			t.Fatalf("ndpipe_delta_bytes_total{encoding=%v} did not advance", e)
+		}
+	}
+	for _, e := range []delta.Encoding{delta.EncodingTopK, delta.EncodingInt8} {
+		if shipped[e] >= shipped[delta.EncodingDense] {
+			t.Fatalf("%v shipped %dB, dense %dB — compression bought nothing",
+				e, shipped[e], shipped[delta.EncodingDense])
+		}
+	}
+}
+
+// TestCompressedLateJoinerRebases: a compressed-encoding store joining after
+// rounds have happened gets a dense rebase catch-up (an additive stream
+// cannot start from unknown state), then rides its own compressed stream.
+func TestCompressedLateJoinerRebases(t *testing.T) {
+	encs := []delta.Encoding{delta.EncodingDense, delta.EncodingInt8}
+	tn, _, world, cleanup := clusterUpEnc(t, encs, 32)
+	defer cleanup()
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	late, err := pipestore.New("late-store", core.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.SetDeltaEncoding(delta.EncodingInt8); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Ingest(world.Images()[:50]); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	accept := make(chan error, 1)
+	go func() {
+		conn, err := ln2.Accept()
+		if err != nil {
+			accept <- err
+			return
+		}
+		accept <- tn.AddStore(conn)
+	}()
+	conn, err := net.Dial("tcp", ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = late.Serve(conn) }()
+	if err := <-accept; err != nil {
+		t.Fatal(err)
+	}
+
+	if late.ModelVersion() != 1 {
+		t.Fatalf("late joiner at v%d, want 1", late.ModelVersion())
+	}
+	// The catch-up must have been a dense rebase, recorded with the
+	// negotiated encoding and surfaced to the flight recorder.
+	cu := tn.LastCatchUp()
+	if cu.StoreID != "late-store" || !cu.Rebase || cu.Bytes == 0 {
+		t.Fatalf("catch-up record %+v, want a non-empty rebase for late-store", cu)
+	}
+	if cu.Encoding != "int8" {
+		t.Fatalf("catch-up recorded encoding %q, want int8", cu.Encoding)
+	}
+	found := false
+	for _, ev := range telemetry.Default.Flight().Events() {
+		if ev.Kind == telemetry.FlightCatchUp && ev.Code == "late-store" &&
+			ev.V1 == 1 && ev.V2 == int64(cu.Bytes) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("catch-up flight event for late-store not recorded")
+	}
+	// The rebase landed the store on the exact snapshot.
+	exact, err := tn.Archive().Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.SnapshotsEqual(late.ClassifierSnapshot(), exact, 0) {
+		t.Fatal("rebase catch-up must land the store on the exact latest snapshot")
+	}
+
+	// Next round rides the compressed stream: version advances, and the
+	// store's state is bitwise the compressor's shipped snapshot.
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if late.ModelVersion() != 2 {
+		t.Fatalf("late joiner missed the compressed broadcast (v%d)", late.ModelVersion())
+	}
+	tn.mu.Lock()
+	cs := tn.codecs["late-store"]
+	tn.mu.Unlock()
+	if cs == nil || cs.version != 2 {
+		t.Fatalf("compressor for late-store not advanced: %+v", cs)
+	}
+	if !delta.SnapshotsEqual(late.ClassifierSnapshot(), cs.comp.Shipped(), 0) {
+		t.Fatal("late store state is not bitwise the compressor's shipped snapshot")
+	}
+}
+
+// TestCatchUpForStreamResume pins the one case where a compressed store's
+// stream resumes without a rebase: the store rejoins holding exactly the
+// version the compressor tracks.
+func TestCatchUpForStreamResume(t *testing.T) {
+	encs := []delta.Encoding{delta.EncodingInt8}
+	tn, _, _, cleanup := clusterUpEnc(t, encs, 33)
+	defer cleanup()
+	if _, err := tn.FineTune(1, 128, trainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	id := storeID(0)
+
+	// Same version on both sides: resume, nothing shipped.
+	blob, to, rebase, err := tn.catchUpFor(id, delta.EncodingInt8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob != nil || to != 1 || rebase {
+		t.Fatalf("resume shipped blob=%d to=%d rebase=%v, want nothing", len(blob), to, rebase)
+	}
+
+	// Version mismatch (store lost its state): dense rebase, fresh stream.
+	blob, to, rebase, err = tn.catchUpFor(id, delta.EncodingInt8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil || to != 1 || !rebase {
+		t.Fatalf("stale rejoin got blob=%d to=%d rebase=%v, want a rebase", len(blob), to, rebase)
+	}
+	// The fresh compressor is based at the exact latest snapshot.
+	tn.mu.Lock()
+	cs := tn.codecs[id]
+	tn.mu.Unlock()
+	exact, err := tn.Archive().Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.SnapshotsEqual(cs.comp.Shipped(), exact, 0) {
+		t.Fatal("rebased compressor must start from the exact latest snapshot")
+	}
+}

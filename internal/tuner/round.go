@@ -661,13 +661,22 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		if !rc.live[sc] {
 			continue
 		}
-		msg := &wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: version, Epoch: rc.epoch}
+		// Each store receives its negotiated wire form: the shared dense blob,
+		// or a per-store compressed stream with error feedback (delta.Encoding).
+		sblob, enc, err := t.encodeDeltaFor(sc, newSnap, version, blob)
+		if err != nil {
+			rc.fail(sc, fmt.Errorf("tuner: encoding delta for %s: %w", sc.id, err))
+			continue
+		}
+		msg := &wire.Message{Type: wire.MsgModelDelta, Blob: sblob, ModelVersion: version,
+			Epoch: rc.epoch, DeltaEncoding: uint8(enc)}
 		msg.SetTraceContext(tc)
 		if err := rc.sendWithRetry(sc, msg); err != nil {
 			rc.fail(sc, fmt.Errorf("tuner: distributing delta to %s: %w", sc.id, err))
 			continue
 		}
-		t.met.deltaBytes.Add(int64(len(blob)))
+		t.met.deltaBytes.Add(int64(len(sblob)))
+		deltaBytesByEnc(enc).Add(int64(len(sblob)))
 		pending[sc] = true
 	}
 

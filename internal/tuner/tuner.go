@@ -65,6 +65,14 @@ type Node struct {
 	state       *nodeState
 	lastCatchUp CatchUpInfo
 
+	// codecs holds the per-store delta compressors for stores that
+	// negotiated a compressed wire encoding in their Hello. Keyed by store ID
+	// and retained across evictions, so a store that rejoins at exactly the
+	// version its compressor tracks resumes the lossy stream without a
+	// rebase. The map is guarded by mu; each Compressor itself is only
+	// touched from the round/AddStore paths, never concurrently.
+	codecs map[string]*storeCodec
+
 	rngMu sync.Mutex
 	rng   backoffRNG
 
@@ -85,10 +93,25 @@ type inbound struct {
 	err error
 }
 
+// storeCodec is the tuner's view of one compressed-encoding store: the
+// error-feedback compressor (which tracks the exact snapshot the store has
+// reconstructed from everything shipped) and the model version that shipped
+// state corresponds to. A version mismatch on rejoin means the stream broke
+// mid-flight (e.g. a send failed after Compress advanced the state) and the
+// store must be rebased.
+type storeCodec struct {
+	comp    *delta.Compressor
+	enc     delta.Encoding
+	version int
+}
+
 type storeConn struct {
 	id    string
 	codec *wire.Codec
 	conn  net.Conn
+	// enc is the delta wire encoding negotiated in the store's Hello
+	// (EncodingDense for legacy peers).
+	enc delta.Encoding
 	// lastRun tracks the highest pipelined run this store has finished
 	// sending, so per-store extraction lag is visible while the Tuner
 	// trains (run r trains while stores extract r+1).
@@ -173,6 +196,7 @@ func New(cfg core.ModelConfig) (*Node, error) {
 		rounds:   DefaultRoundOptions(),
 		inbox:    make(chan inbound, 256),
 		done:     make(chan struct{}),
+		codecs:   make(map[string]*storeCodec),
 		fleet:    telemetry.NewFleetAggregator(telemetry.Default),
 		met:      newTunerMetrics(),
 		log:      telemetry.ComponentLogger("tuner"),
@@ -288,8 +312,16 @@ func (t *Node) AddStore(conn net.Conn) error {
 	if hello.Type != wire.MsgHello {
 		return fmt.Errorf("tuner: expected hello, got %v", hello.Type)
 	}
+	enc := delta.Encoding(hello.DeltaEncoding)
+	if !enc.Valid() {
+		// A codec from the future: serve the store dense rather than reject
+		// it — legacy interop in the other direction.
+		t.log.Warn("store advertised unknown delta encoding, falling back to dense",
+			slog.String("store", hello.StoreID), slog.Int("encoding", int(hello.DeltaEncoding)))
+		enc = delta.EncodingDense
+	}
 	sc := &storeConn{
-		id: hello.StoreID, codec: codec, conn: conn,
+		id: hello.StoreID, codec: codec, conn: conn, enc: enc,
 		lastRun: telemetry.Default.Gauge(telemetry.Labeled("tuner_store_last_run", "store", hello.StoreID)),
 	}
 	sc.lastRun.Set(-1)
@@ -299,13 +331,15 @@ func (t *Node) AddStore(conn net.Conn) error {
 	// version (0 for cold or pre-persistence stores), so a restarted store
 	// gets only the delta for the rounds it missed — or nothing, if its
 	// state is already current — instead of the full composite from v0.
-	blob, to, rebase, err := t.catchUpFrom(hello.ModelVersion)
+	blob, to, rebase, err := t.catchUpFor(sc.id, enc, hello.ModelVersion)
 	if err != nil {
 		return fmt.Errorf("tuner: catch-up for %s: %w", sc.id, err)
 	}
 	t.mu.Lock()
-	t.lastCatchUp = CatchUpInfo{StoreID: sc.id, From: hello.ModelVersion, To: to, Bytes: len(blob), Rebase: rebase}
+	t.lastCatchUp = CatchUpInfo{StoreID: sc.id, From: hello.ModelVersion, To: to,
+		Bytes: len(blob), Rebase: rebase, Encoding: enc.String()}
 	t.mu.Unlock()
+	telemetry.Default.Flight().Record(telemetry.FlightCatchUp, "tuner", sc.id, int64(to), int64(len(blob)))
 	if blob != nil {
 		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to, Rebase: rebase}); err != nil {
 			return fmt.Errorf("tuner: sending catch-up to %s: %w", sc.id, err)
@@ -491,6 +525,10 @@ type CatchUpInfo struct {
 	To      int
 	Bytes   int
 	Rebase  bool
+	// Encoding is the delta wire codec the store negotiated for subsequent
+	// broadcasts ("dense", "topk", "int8"). The catch-up blob itself is
+	// always dense — it must land the store on an exact snapshot.
+	Encoding string
 }
 
 // LastCatchUp returns the most recent AddStore catch-up record.
@@ -528,6 +566,90 @@ func (t *Node) catchUpFrom(from int) (blob []byte, to int, rebase bool, err erro
 		return nil, 0, false, err
 	}
 	return blob, latest, true, nil
+}
+
+// catchUpFor is the encoding-aware catch-up: legacy stores take the plain
+// catchUpFrom path; compressed-encoding stores get their error-feedback
+// compressor resumed or rebuilt. A compressed store's additive stream only
+// makes sense against the exact state its compressor tracks, so unless the
+// store rejoins at precisely that state (same version on both sides), it is
+// rebased: one dense delta to the exact latest snapshot, and a fresh
+// compressor based there.
+func (t *Node) catchUpFor(storeID string, enc delta.Encoding, from int) (blob []byte, to int, rebase bool, err error) {
+	if enc == delta.EncodingDense {
+		return t.catchUpFrom(from)
+	}
+	latest := t.archive.Latest()
+	t.mu.Lock()
+	cs := t.codecs[storeID]
+	t.mu.Unlock()
+	if cs != nil && cs.enc == enc && cs.version == latest && from == latest {
+		// The store holds exactly the (lossy) state the compressor tracks:
+		// resume the stream, nothing to ship.
+		return nil, latest, false, nil
+	}
+	var base nn.Snapshot
+	if cs == nil && from == 0 && latest == 0 {
+		// Fresh store before any round: its state is the deterministic
+		// initial classifier, exact by construction. Start the stream there.
+		base = t.cfg.NewClassifier().TakeSnapshot()
+	} else {
+		// Rebase: a dense assign-delta lands the store on the exact latest
+		// snapshot regardless of what lossy state it holds, and the new
+		// compressor starts from that known-exact base.
+		end, err := t.archive.Snapshot(latest)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		d, err := delta.Diff(t.cfg.NewClassifier().TakeSnapshot(), end, 0)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		blob, err = d.Encode()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		base = end
+		rebase = true
+	}
+	comp, err := delta.NewCompressor(enc, base)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	t.mu.Lock()
+	t.codecs[storeID] = &storeCodec{comp: comp, enc: enc, version: latest}
+	t.mu.Unlock()
+	return blob, latest, rebase, nil
+}
+
+// encodeDeltaFor picks a store's wire form of the freshly committed version:
+// the shared dense blob for legacy stores, or the store's compressed
+// error-feedback stream. Compress advances the tracked shipped state, so a
+// send that fails after this call leaves cs.version ahead of the store's
+// real version — exactly the mismatch catchUpFor detects on rejoin, which
+// forces a rebase instead of a corrupting additive apply.
+func (t *Node) encodeDeltaFor(sc *storeConn, target nn.Snapshot, version int, dense []byte) ([]byte, delta.Encoding, error) {
+	if sc.enc == delta.EncodingDense {
+		return dense, delta.EncodingDense, nil
+	}
+	t.mu.Lock()
+	cs := t.codecs[sc.id]
+	t.mu.Unlock()
+	if cs == nil || cs.enc != sc.enc {
+		return nil, 0, fmt.Errorf("tuner: store %s negotiated %v but has no tracked compressor", sc.id, sc.enc)
+	}
+	blob, err := cs.comp.Compress(target)
+	if err != nil {
+		return nil, 0, err
+	}
+	cs.version = version
+	return blob, sc.enc, nil
+}
+
+// deltaBytesByEnc is the per-encoding broadcast byte counter
+// (ndpipe_delta_bytes_total{encoding=...}).
+func deltaBytesByEnc(enc delta.Encoding) *telemetry.Counter {
+	return telemetry.Default.Counter(telemetry.Labeled("ndpipe_delta_bytes_total", "encoding", enc.String()))
 }
 
 // Close disconnects all stores and releases the state handles.

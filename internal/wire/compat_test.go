@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// oldMessage mirrors the pre-encoding Message shape: no DeltaEncoding
+// field. Gob matches fields by name, so encoding/decoding across the two
+// shapes is exactly what happens when a pre-encoding binary talks to a
+// current one.
+type oldMessage struct {
+	Type         MsgType
+	StoreID      string
+	Blob         []byte
+	ModelVersion int
+	Rebase       bool
+}
+
+// TestDeltaEncodingOldPeerFallback pins the interop contract for the
+// DeltaEncoding field: an old peer that never heard of encodings must (a)
+// decode a modern message without error, simply dropping the field, and (b)
+// have its own messages decode with DeltaEncoding == 0 — the legacy dense
+// codec — on a modern peer.
+func TestDeltaEncodingOldPeerFallback(t *testing.T) {
+	// Modern → old: the field is silently dropped, everything else lands.
+	var buf bytes.Buffer
+	modern := Message{
+		Type: MsgModelDelta, StoreID: "ps-0",
+		Blob: []byte{2, 1, 1}, ModelVersion: 7, DeltaEncoding: 2,
+	}
+	if err := gob.NewEncoder(&buf).Encode(&modern); err != nil {
+		t.Fatal(err)
+	}
+	var old oldMessage
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old peer must decode a modern message: %v", err)
+	}
+	if old.Type != MsgModelDelta || old.ModelVersion != 7 || !bytes.Equal(old.Blob, modern.Blob) {
+		t.Fatalf("old peer saw %+v, want the non-encoding fields intact", old)
+	}
+
+	// Old → modern: the absent field decodes to 0, the dense codec.
+	buf.Reset()
+	hello := oldMessage{Type: MsgHello, StoreID: "ps-1", ModelVersion: 3}
+	if err := gob.NewEncoder(&buf).Encode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("modern peer must decode an old message: %v", err)
+	}
+	if got.DeltaEncoding != 0 {
+		t.Fatalf("old peer's hello decoded with DeltaEncoding %d, want 0 (dense)",
+			got.DeltaEncoding)
+	}
+	if got.Type != MsgHello || got.ModelVersion != 3 {
+		t.Fatalf("decoded %+v, want hello fields intact", got)
+	}
+}
+
+// TestDeltaEncodingCodecRoundTrip: the field survives the framed codec in
+// both Hello (advertise) and ModelDelta (stamp) positions.
+func TestDeltaEncodingCodecRoundTrip(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	go func() {
+		_ = ca.Send(&Message{Type: MsgHello, DeltaEncoding: 1})
+		_ = ca.Send(&Message{Type: MsgModelDelta, DeltaEncoding: 2})
+		_ = ca.Send(&Message{Type: MsgModelDelta}) // legacy dense stamp
+	}()
+	for _, want := range []uint8{1, 2, 0} {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DeltaEncoding != want {
+			t.Fatalf("DeltaEncoding = %d, want %d", got.DeltaEncoding, want)
+		}
+	}
+}

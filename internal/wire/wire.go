@@ -110,6 +110,13 @@ type Message struct {
 	// when the store's persisted version predates the Tuner's pruned history
 	// floor. Decodes as false from pre-rebase peers (gob zero value).
 	Rebase bool
+	// DeltaEncoding negotiates the compressed delta codec (delta.Encoding as
+	// uint8). On MsgHello it is the best encoding the store can decode; on
+	// MsgModelDelta it names how Blob is encoded. The zero value is the
+	// legacy dense codec in both directions, so a pre-encoding peer — which
+	// never sets the field and decodes it as 0 — keeps sending and receiving
+	// exact dense f64 deltas unchanged.
+	DeltaEncoding uint8
 
 	// MsgError
 	Err string
