@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke quant-smoke fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke quant-smoke failover-smoke fmt-check ci
 
 all: build vet test
 
@@ -71,7 +71,17 @@ quant-smoke:
 	$(GO) test -race -benchtime 1x -benchmem -run '^$$' \
 		-bench 'BenchmarkQMatMulGridLocal/n=(64|256)' ./internal/tensor/
 
+# Failover chaos suite: a WAL-tailing hot standby under a live leader,
+# the leader killed mid-round / between journal and broadcast / during a
+# store catch-up, takeover-before-bootstrap refusal, and the dedicated
+# split-brain test (fenced stale leader cannot commit or advance a
+# store) — all under the race detector — plus the epoch-fence and
+# multi-address dial tests on the store side.
+failover-smoke:
+	$(GO) test -race -v ./internal/ha/
+	$(GO) test -race -run 'TestFence|TestDialRetry|TestDialBackoff' ./internal/pipestore/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke quant-smoke
+ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke quant-smoke failover-smoke

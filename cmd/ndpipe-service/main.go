@@ -84,6 +84,14 @@ func main() {
 		fatal(err)
 	}
 	defer svc.Close()
+	// Degraded is visible but not fatal on /healthz: uploads keep serving
+	// the last committed model while retraining fails.
+	telemetry.Default.Health().RegisterCheck("retrain", func() error {
+		if svc.Degraded() {
+			return fmt.Errorf("degraded: retrain failing, serving last committed model (v%d)", svc.ModelVersion())
+		}
+		return nil
+	})
 	// The telemetry server mounts after Start so /fleet can serve the live
 	// aggregator; service.Start registers the gateway readiness check itself.
 	if *telAddr != "" {
@@ -137,6 +145,10 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("replay done in %.1fs: %d photos stored, %d retrain cycles, model v%d\n",
 		elapsed.Seconds(), svc.DB().Len(), svc.RetrainRounds(), svc.ModelVersion())
+	if svc.Degraded() {
+		fmt.Printf("DEGRADED: retraining is failing; uploads served by the last committed model (v%d)\n",
+			svc.ModelVersion())
+	}
 	fmt.Printf("search results served: %d\n", searchHits)
 	if gw := svc.Gateway(); gw != nil {
 		st := gw.Stats()

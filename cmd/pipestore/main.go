@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
@@ -27,17 +28,18 @@ import (
 
 func main() {
 	var (
-		connect  = flag.String("connect", "localhost:9230", "tuner address")
-		id       = flag.String("id", "", "store ID (default ps-<shard>)")
-		shard    = flag.Int("shard", 0, "shard index held by this store")
-		of       = flag.Int("of", 1, "total number of shards")
-		seed     = flag.Int64("seed", 1, "photo-world seed (must match peers)")
-		images   = flag.Int("images", 6000, "world population size")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /spans and /traces on this address (empty=off)")
-		pprofOn  = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
-		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
-		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-		par      = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
+		connect    = flag.String("connect", "localhost:9230", "tuner address")
+		tunerAddrs = flag.String("tuner-addrs", "", "comma-separated tuner addresses tried in rotation (leader first, standbys after); overrides -connect")
+		id         = flag.String("id", "", "store ID (default ps-<shard>)")
+		shard      = flag.Int("shard", 0, "shard index held by this store")
+		of         = flag.Int("of", 1, "total number of shards")
+		seed       = flag.Int64("seed", 1, "photo-world seed (must match peers)")
+		images     = flag.Int("images", 6000, "world population size")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /spans and /traces on this address (empty=off)")
+		pprofOn    = flag.Bool("pprof", false, "also mount /debug/pprof on the telemetry server")
+		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		par        = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 
 		quantize = flag.Bool("quantize", false, "run the frozen backbone as a calibrated int8 replica (SWAR kernels)")
 		deltaEnc = flag.String("delta-encoding", "dense", "wire encoding to request for classifier deltas: dense|topk|int8")
@@ -151,19 +153,26 @@ func main() {
 			log.Warn("fault injection active", slog.String("spec", *faultSpec), slog.Int64("seed", inj.Seed()))
 		}
 	}
-	dial := func() (net.Conn, error) {
-		conn, err := net.Dial("tcp", *connect)
+	// -tuner-addrs enables leader failover: addresses are tried in rotation
+	// per attempt, so when the leader dies the store's redial lands on the
+	// standby (which holds it in its listen backlog until takeover).
+	addrs := []string{*connect}
+	if *tunerAddrs != "" {
+		addrs = strings.Split(*tunerAddrs, ",")
+	}
+	dialAddr := func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			return nil, err
 		}
-		log.Info("connected to tuner", slog.String("addr", *connect))
+		log.Info("connected to tuner", slog.String("addr", addr))
 		return inj.Conn(conn), nil
 	}
-	err = node.DialRetry(*connect, pipestore.DialOptions{
+	err = node.DialRetryMulti(addrs, pipestore.DialOptions{
 		Attempts: *dialRetries,
 		Backoff:  *dialBackoff,
 		Rejoin:   *rejoinFlag,
-		Dial:     dial,
+		DialAddr: dialAddr,
 	})
 	if err != nil {
 		fatal(err)

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"ndpipe/internal/faultinject"
 	"ndpipe/internal/flightdump"
 	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/ha"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 	"ndpipe/internal/tuner"
@@ -46,6 +49,11 @@ func main() {
 
 		stateDir    = flag.String("state-dir", "", "persist the WAL, model archive and labels here; on restart, recover the last committed round (empty=in-memory)")
 		compactKeep = flag.Int("compact-keep", 0, "after each round, compact the WAL keeping this many recent versions (0=never; needs -state-dir)")
+
+		role     = flag.String("role", "leader", "leader|standby: standbys tail a leader's WAL and take over when its lease expires")
+		haListen = flag.String("ha-listen", "", "accept hot-standby WAL-shipping connections on this address (needs -state-dir)")
+		haPeers  = flag.String("ha-peers", "", "standby: comma-separated leader WAL-shipping addresses to replicate from")
+		haLease  = flag.Duration("ha-lease", 0, "leadership lease: standbys take over after this much leader silence (0=default 2s)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -96,11 +104,7 @@ func main() {
 		defer flightdump.Recover(telemetry.Default, "tuner", *stateDir)
 		defer flightdump.InstallSignal(telemetry.Default, "tuner", *stateDir)()
 	}
-	if *stateDir != "" {
-		rec, err := tn.OpenState(*stateDir)
-		if err != nil {
-			fatal(err)
-		}
+	logRecovered := func(rec tuner.RecoveryReport) {
 		log.Info("state recovered",
 			slog.String("dir", *stateDir),
 			slog.Int("version", rec.Version),
@@ -109,9 +113,75 @@ func main() {
 			slog.Int64("torn_bytes", rec.TornBytes),
 			slog.Int("labels", rec.Labels),
 			slog.Duration("elapsed", rec.Elapsed))
+	}
+	switch *role {
+	case "leader":
+		if *stateDir != "" {
+			rec, err := tn.OpenState(*stateDir)
+			if err != nil {
+				fatal(err)
+			}
+			logRecovered(rec)
+			stateReady.Store(true)
+		} else if *compactKeep > 0 {
+			fatal(fmt.Errorf("-compact-keep needs -state-dir"))
+		}
+	case "standby":
+		// Hot standby: tail the leader's WAL into -state-dir until its lease
+		// expires, then recover from the replica and continue below as the
+		// new leader (strictly higher epoch — stores fence the old one).
+		if *stateDir == "" {
+			fatal(fmt.Errorf("-role standby needs -state-dir"))
+		}
+		if *haPeers == "" {
+			fatal(fmt.Errorf("-role standby needs -ha-peers"))
+		}
+		sb, err := ha.NewStandby(cfg, *stateDir, ha.Options{LeaseTimeout: *haLease})
+		if err != nil {
+			fatal(err)
+		}
+		sb.RegisterHealth(telemetry.Default.Health())
+		peers := strings.Split(*haPeers, ",")
+		log.Info("standby replicating", slog.Any("peers", peers))
+		if err := sb.Run(peers); !errors.Is(err, ha.ErrLeaseExpired) {
+			fatal(err)
+		}
+		tn2, rec, err := sb.TakeOver()
+		if err != nil {
+			fatal(err)
+		}
+		tn.Close()
+		tn = tn2
+		tn.AcceptTimeout = *acceptTTL
+		logRecovered(rec)
+		telemetry.Default.Health().SetRole(func() (string, int64) { return "leader", 0 })
+		telemetry.Default.Health().RegisterCheck("ha-role", func() error { return nil })
 		stateReady.Store(true)
-	} else if *compactKeep > 0 {
-		fatal(fmt.Errorf("-compact-keep needs -state-dir"))
+	default:
+		fatal(fmt.Errorf("unknown -role %q (leader|standby)", *role))
+	}
+	if *haListen != "" {
+		// This node leads with a standby endpoint: every committed round is
+		// fsynced locally AND acked by each attached standby before the
+		// fleet sees its delta.
+		if *stateDir == "" {
+			fatal(fmt.Errorf("-ha-listen needs -state-dir"))
+		}
+		if tn.LeaderEpoch() == 0 {
+			if _, err := tn.AssertLeadership(0); err != nil {
+				fatal(err)
+			}
+		}
+		ship := ha.NewShipper(tn, ha.Options{LeaseTimeout: *haLease})
+		defer ship.Close()
+		tn.SetReplicator(ship)
+		hln, err := net.Listen("tcp", *haListen)
+		if err != nil {
+			fatal(err)
+		}
+		defer hln.Close()
+		go func() { _ = ship.Serve(hln) }()
+		log.Info("WAL shipping to standbys", slog.String("addr", hln.Addr().String()))
 	}
 	tn.SetRoundOptions(tuner.RoundOptions{
 		Quorum:       *quorum,

@@ -110,6 +110,8 @@ func Registry() map[string]Func {
 		"faults": Faults,
 		// Crash consistency: WAL replay and warm vs cold store rejoin.
 		"recovery": Recovery,
+		// High availability: WAL-shipped standby overhead + leader failover.
+		"failover": Failover,
 		// Online serving: batched gateway vs sequential upload loop.
 		"serve": Serve,
 		// Fleet observability: exact rollups, shipping cost, stragglers.

@@ -40,7 +40,8 @@ func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "table2", "fig18",
 		"fig19", "fig20", "fig21",
 		"ablation-delta", "ablation-compression", "ablation-nrun",
-		"ablation-colocation", "faults", "recovery", "serve", "obs", "quant",
+		"ablation-colocation", "faults", "recovery", "failover", "serve",
+		"obs", "quant",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/ha"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/tuner"
+)
+
+// failoverOverheadGate is the S35 acceptance bar: WAL-shipping to a
+// synchronously-acking hot standby may not cost more than this fraction of
+// round wall time at full experiment size.
+const failoverOverheadGate = 10.0
+
+// timedReplicator measures the wall time a round spends inside Replicate —
+// the full synchronous shipping cost: framing, the wire round trip, and
+// the standby's fsync+apply before it acks.
+type timedReplicator struct {
+	inner tuner.Replicator
+	total atomic.Int64 // nanoseconds
+}
+
+func (r *timedReplicator) Replicate(rec []byte) error {
+	start := time.Now()
+	err := r.inner.Replicate(rec)
+	r.total.Add(int64(time.Since(start)))
+	return err
+}
+
+// Failover measures the tuner high-availability layer (S35): the per-round
+// cost of shipping the WAL to a hot standby that must fsync+ack before the
+// round commits, and the end-to-end recovery timeline when the leader is
+// killed — lease expiry, takeover (WAL replay + leadership assertion), and
+// the fleet reconverging on the new leader's strictly-higher epoch.
+func Failover(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "failover",
+		Title:  "Tuner HA: WAL-shipping overhead and leader-failure recovery (2 stores)",
+		Header: []string{"scenario", "rounds", "version", "epoch", "wall(ms)", "overhead(%)"},
+	}
+	images, rounds := 900, 5
+	if p.Quick {
+		images, rounds = 300, 2
+	}
+	const nStores = 2
+	lease := 250 * time.Millisecond
+
+	root, err := os.MkdirTemp("", "ndpipe-failover-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(p.Seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+	shards := world.Shard(nStores)
+
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer tn.Close()
+	if _, err := tn.OpenState(filepath.Join(root, "leader")); err != nil {
+		return nil, err
+	}
+	if _, err := tn.AssertLeadership(0); err != nil {
+		return nil, err
+	}
+	tn.SetRoundOptions(tuner.RoundOptions{
+		Quorum: nStores, StoreTimeout: 10 * time.Second, RoundTimeout: 2 * time.Minute, Seed: p.Seed,
+	})
+
+	listen := func() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+	storeLn, err := listen()
+	if err != nil {
+		return nil, err
+	}
+	defer storeLn.Close()
+	haLn, err := listen()
+	if err != nil {
+		return nil, err
+	}
+	defer haLn.Close()
+	// Pre-bound: store redials land in its backlog until the standby takes
+	// over and starts accepting — exactly the production failover topology.
+	sbLn, err := listen()
+	if err != nil {
+		return nil, err
+	}
+	defer sbLn.Close()
+
+	ship := ha.NewShipper(tn, ha.Options{LeaseTimeout: lease})
+	defer ship.Close()
+	tn.SetReplicator(ship)
+	go func() { _ = ship.Serve(haLn) }()
+
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(storeLn, nStores) }()
+	addrs := []string{storeLn.Addr().String(), sbLn.Addr().String()}
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("ha-%d", i), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			return nil, err
+		}
+		go func(ps *pipestore.Node, seed int64) {
+			_ = ps.DialRetryMulti(addrs, pipestore.DialOptions{
+				Attempts: 400, Backoff: 5 * time.Millisecond, BackoffCap: 50 * time.Millisecond,
+				Rejoin: true, Seed: seed,
+			})
+		}(ps, p.Seed+int64(i)+1)
+	}
+	if err := <-accepted; err != nil {
+		return nil, err
+	}
+
+	opt := ftdmp.DefaultTrainOptions()
+	if p.Quick {
+		opt.MaxEpochs = 5
+	}
+	medianWall := func(n int) (float64, time.Duration, int, error) {
+		walls := make([]float64, 0, n)
+		var total time.Duration
+		version := 0
+		for r := 0; r < n; r++ {
+			rep, err := tn.FineTune(2, 128, opt)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			walls = append(walls, float64(rep.WallTime.Microseconds())/1000)
+			total += rep.WallTime
+			version = rep.ModelVersion
+		}
+		sort.Float64s(walls)
+		return walls[len(walls)/2], total, version, nil
+	}
+
+	// Warm-up rounds: the first rounds pay one-off costs (tensor-pool
+	// growth, page faults) that would pollute the measured rows.
+	if _, _, _, err := medianWall(2); err != nil {
+		return nil, fmt.Errorf("failover warm-up rounds: %w", err)
+	}
+
+	// Baseline: no standby attached, Replicate is a no-op — the same code
+	// path production runs before (or after) a standby joins.
+	baseWall, _, baseV, err := medianWall(rounds)
+	if err != nil {
+		return nil, fmt.Errorf("failover baseline rounds: %w", err)
+	}
+	t.Add("round-unreplicated", rounds, baseV, tn.LeaderEpoch(), fmt.Sprintf("%.1f", baseWall), "-")
+
+	sb, err := ha.NewStandby(cfg, filepath.Join(root, "standby"), ha.Options{ID: "sb", LeaseTimeout: lease})
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Stop()
+	runErr := make(chan error, 1)
+	go func() { runErr <- sb.Run([]string{haLn.Addr().String()}) }()
+	attachDeadline := time.Now().Add(10 * time.Second)
+	for ship.Attached() == 0 {
+		if time.Now().After(attachDeadline) {
+			return nil, errors.New("failover: standby never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Shipped: every commit now waits for the standby's fsync+ack. The
+	// overhead is measured directly — time inside Replicate (frame the
+	// record, ship it, await the ack) as a share of round wall — rather
+	// than by differencing sequential round timings, which converging
+	// training costs would bias.
+	timed := &timedReplicator{inner: ship}
+	tn.SetReplicator(timed)
+	shipWall, shipTotal, shipV, err := medianWall(rounds)
+	if err != nil {
+		return nil, fmt.Errorf("failover shipped rounds: %w", err)
+	}
+	overhead := float64(timed.total.Load()) / float64(shipTotal) * 100
+	t.Add("round-wal-shipped", rounds, shipV, tn.LeaderEpoch(),
+		fmt.Sprintf("%.1f", shipWall), fmt.Sprintf("%.1f", overhead))
+
+	// Leader death: listeners down, shipping stops, every store session
+	// severed. The clock for the recovery rows starts here.
+	killAt := time.Now()
+	_ = storeLn.Close()
+	ship.Close()
+	tn.Close()
+	select {
+	case err := <-runErr:
+		if !errors.Is(err, ha.ErrLeaseExpired) {
+			return nil, fmt.Errorf("failover: standby run ended with %v, want lease expiry", err)
+		}
+	case <-time.After(30 * time.Second):
+		return nil, errors.New("failover: standby never detected the dead leader")
+	}
+	leaseMs := float64(time.Since(killAt).Microseconds()) / 1000
+	t.Add("lease-expiry", "-", sb.ModelVersion(), sb.LeaderEpoch(), fmt.Sprintf("%.1f", leaseMs), "-")
+
+	takeStart := time.Now()
+	tn2, rec, err := sb.TakeOver()
+	if err != nil {
+		return nil, fmt.Errorf("failover takeover: %w", err)
+	}
+	defer tn2.Close()
+	takeMs := float64(time.Since(takeStart).Microseconds()) / 1000
+	t.Add("takeover-wal-replay", "-", rec.Version, tn2.LeaderEpoch(), fmt.Sprintf("%.1f", takeMs), "-")
+	if rec.Version != shipV {
+		return nil, fmt.Errorf("failover: standby recovered v%d, leader had committed v%d", rec.Version, shipV)
+	}
+
+	tn2.SetRoundOptions(tuner.RoundOptions{
+		Quorum: nStores, StoreTimeout: 10 * time.Second, RoundTimeout: 2 * time.Minute, Seed: p.Seed,
+	})
+	go func() {
+		for {
+			conn, err := sbLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { _ = tn2.AddStore(conn) }(conn)
+		}
+	}()
+	reattachDeadline := time.Now().Add(30 * time.Second)
+	for tn2.NumStores() < nStores {
+		if time.Now().After(reattachDeadline) {
+			return nil, fmt.Errorf("failover: only %d/%d stores reattached", tn2.NumStores(), nStores)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep, err := tn2.FineTune(2, 128, opt)
+	if err != nil {
+		return nil, fmt.Errorf("failover post-takeover round: %w", err)
+	}
+	recoveryMs := float64(time.Since(killAt).Microseconds()) / 1000
+	t.Add("fleet-reconverged", 1, rep.ModelVersion, tn2.LeaderEpoch(), fmt.Sprintf("%.1f", recoveryMs), "-")
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("commit rule: fsync on leader + ack from every attached standby; lease %v, synchronous ship+ack is %.1f%% of round wall", lease, overhead),
+		fmt.Sprintf("recovery = kill → lease expiry → WAL-replay takeover (epoch %d > 1) → stores redial the standby address → first committed round", tn2.LeaderEpoch()))
+	if !p.Quick && overhead > failoverOverheadGate {
+		return nil, fmt.Errorf("failover: WAL-shipping overhead %.1f%% exceeds the %.0f%% gate", overhead, failoverOverheadGate)
+	}
+	return t, nil
+}

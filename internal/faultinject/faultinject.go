@@ -60,6 +60,21 @@ const (
 	// transmitting and reads block until the conn is closed. The peer sees
 	// pure silence, not a reset.
 	Blackhole
+	// BlackholeIn silences only the inbound half: reads block until the
+	// conn is closed while writes keep flowing. The wrapped side keeps
+	// talking into the void — the asymmetric partition that makes a peer
+	// look alive to us while we look dead to it.
+	BlackholeIn
+	// BlackholeOut silences only the outbound half: writes report success
+	// without transmitting while reads keep flowing. Heartbeats from the
+	// peer still arrive; our acks never leave.
+	BlackholeOut
+	// Partition stalls both directions for Delay (ms=N in the spec), then
+	// heals: operations block — interruptibly — until the healing time and
+	// then proceed with the stream intact, like a TCP conn riding out a
+	// transient network split on retransmissions. The peer sees silence
+	// for the window, so lease/heartbeat timeouts shorter than it fire.
+	Partition
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +88,12 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Blackhole:
 		return "blackhole"
+	case BlackholeIn:
+		return "blackhole-in"
+	case BlackholeOut:
+		return "blackhole-out"
+	case Partition:
+		return "partition"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -95,7 +116,7 @@ type Rule struct {
 
 func (r Rule) validate() error {
 	switch r.Kind {
-	case Drop, Delay, Corrupt, Blackhole:
+	case Drop, Delay, Corrupt, Blackhole, BlackholeIn, BlackholeOut, Partition:
 	default:
 		return fmt.Errorf("faultinject: rule has no kind")
 	}
@@ -112,6 +133,9 @@ func (r Rule) validate() error {
 	}
 	if r.Kind == Delay && r.Delay <= 0 && r.Jitter <= 0 {
 		return fmt.Errorf("faultinject: delay rule needs ms or jitter")
+	}
+	if r.Kind == Partition && r.Delay <= 0 {
+		return fmt.Errorf("faultinject: partition rule needs ms=N (healing time)")
 	}
 	return nil
 }
@@ -208,8 +232,14 @@ func Parse(spec string) (*Injector, error) {
 			r.Kind = Corrupt
 		case "blackhole":
 			r.Kind = Blackhole
+		case "blackhole-in":
+			r.Kind = BlackholeIn
+		case "blackhole-out":
+			r.Kind = BlackholeOut
+		case "partition":
+			r.Kind = Partition
 		default:
-			return nil, fmt.Errorf("faultinject: unknown fault %q (want drop|delay|corrupt|blackhole)", kindStr)
+			return nil, fmt.Errorf("faultinject: unknown fault %q (want drop|delay|corrupt|blackhole|blackhole-in|blackhole-out|partition)", kindStr)
 		}
 		for _, p := range strings.Split(params, ",") {
 			p = strings.TrimSpace(p)
@@ -304,10 +334,12 @@ type faultConn struct {
 	net.Conn
 	in *Injector
 
-	mu        sync.Mutex
-	states    []ruleState
-	dropped   bool
-	blackhole bool
+	mu      sync.Mutex
+	states  []ruleState
+	dropped bool
+	bhIn    bool      // inbound silenced (reads hang)
+	bhOut   bool      // outbound silenced (writes vanish)
+	healAt  time.Time // partition in effect until this instant
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -320,17 +352,22 @@ func (droppedError) Error() string   { return "faultinject: connection dropped" 
 func (droppedError) Timeout() bool   { return false }
 func (droppedError) Temporary() bool { return false }
 
+// verdict is one operation's fate under the schedule.
+type verdict struct {
+	drop    bool
+	silence bool // permanent for this direction (blackhole kinds)
+	corrupt bool
+	delay   time.Duration
+	healAt  time.Time // partition: stall until here, then proceed
+}
+
 // decide runs the schedule for one operation and returns the actions to
 // apply (at most one per rule). It owns all counter state.
-func (c *faultConn) decide(op Op) (drop, blackhole, corrupt bool, delay time.Duration) {
+func (c *faultConn) decide(op Op) (v verdict) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dropped {
-		drop = true
-		return
-	}
-	if c.blackhole {
-		blackhole = true
+		v.drop = true
 		return
 	}
 	for i := range c.states {
@@ -358,58 +395,79 @@ func (c *faultConn) decide(op Op) (drop, blackhole, corrupt bool, delay time.Dur
 		switch st.rule.Kind {
 		case Drop:
 			c.dropped = true
-			drop = true
+			v.drop = true
 		case Blackhole:
-			c.blackhole = true
-			blackhole = true
+			c.bhIn, c.bhOut = true, true
+		case BlackholeIn:
+			c.bhIn = true
+		case BlackholeOut:
+			c.bhOut = true
+		case Partition:
+			if heal := time.Now().Add(st.rule.Delay); heal.After(c.healAt) {
+				c.healAt = heal
+			}
 		case Corrupt:
-			corrupt = true
+			v.corrupt = true
 		case Delay:
 			d := st.rule.Delay
 			if st.rule.Jitter > 0 {
 				d += time.Duration(c.in.float64() * float64(st.rule.Jitter))
 			}
-			delay += d
+			v.delay += d
 		}
+	}
+	if (op == OpRead && c.bhIn) || (op == OpWrite && c.bhOut) {
+		v.silence = true
+	}
+	if !c.healAt.IsZero() && time.Now().Before(c.healAt) {
+		v.healAt = c.healAt
 	}
 	return
 }
 
 func (c *faultConn) Read(b []byte) (int, error) {
-	drop, blackhole, corrupt, delay := c.decide(OpRead)
-	if delay > 0 {
-		c.sleep(delay)
+	v := c.decide(OpRead)
+	if v.delay > 0 {
+		c.sleep(v.delay)
 	}
-	if drop {
+	if v.drop {
 		_ = c.Close()
 		return 0, droppedError{}
 	}
-	if blackhole {
+	if v.silence {
 		// Silence: hold the read until the conn is torn down.
 		<-c.closed
 		return 0, droppedError{}
 	}
+	if !v.healAt.IsZero() {
+		// Partitioned: stall until the split heals, then read normally —
+		// the stream survives intact, as TCP retransmission would leave it.
+		c.sleep(time.Until(v.healAt))
+	}
 	n, err := c.Conn.Read(b)
-	if corrupt && n > 0 {
+	if v.corrupt && n > 0 {
 		b[c.in.intn(n)] ^= 0xFF
 	}
 	return n, err
 }
 
 func (c *faultConn) Write(b []byte) (int, error) {
-	drop, blackhole, corrupt, delay := c.decide(OpWrite)
-	if delay > 0 {
-		c.sleep(delay)
+	v := c.decide(OpWrite)
+	if v.delay > 0 {
+		c.sleep(v.delay)
 	}
-	if drop {
+	if v.drop {
 		_ = c.Close()
 		return 0, droppedError{}
 	}
-	if blackhole {
+	if v.silence {
 		// The bytes vanish; the sender believes they left.
 		return len(b), nil
 	}
-	if corrupt && len(b) > 0 {
+	if !v.healAt.IsZero() {
+		c.sleep(time.Until(v.healAt))
+	}
+	if v.corrupt && len(b) > 0 {
 		cp := append([]byte(nil), b...)
 		cp[c.in.intn(len(cp))] ^= 0xFF
 		b = cp

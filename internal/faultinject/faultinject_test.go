@@ -286,3 +286,121 @@ func TestDroppedErrorIsNotTimeout(t *testing.T) {
 		t.Fatal("error text should name the drop")
 	}
 }
+
+func TestBlackholeInHangsReadsPassesWrites(t *testing.T) {
+	in, err := New(1, Rule{Kind: BlackholeIn, After: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	// Reads hang (first matching op fires the rule)...
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := faulty.Read(make([]byte, 1))
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("blackholed-in read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// ...while writes still reach the peer.
+	got := make([]byte, 3)
+	go func() { faulty.Write([]byte("out")) }()
+	if _, err := peer.Read(got); err != nil || string(got) != "out" {
+		t.Fatalf("write through blackhole-in = %q, %v; want to pass", got, err)
+	}
+	faulty.Close()
+	if err := <-readDone; err == nil {
+		t.Fatal("read after close must error")
+	}
+}
+
+func TestBlackholeOutSwallowsWritesPassesReads(t *testing.T) {
+	in, err := New(1, Rule{Kind: BlackholeOut, After: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	// Writes vanish: net.Pipe is unbuffered, so a transmitted write with no
+	// reader would block forever — instant success proves the swallow.
+	if n, err := faulty.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("blackholed-out write = (%d, %v), want (6, nil)", n, err)
+	}
+	// Reads still flow: the peer looks alive while our acks go nowhere.
+	go func() { peer.Write([]byte("in")) }()
+	got := make([]byte, 2)
+	if _, err := faulty.Read(got); err != nil || string(got) != "in" {
+		t.Fatalf("read through blackhole-out = %q, %v; want to pass", got, err)
+	}
+}
+
+func TestPartitionStallsThenHeals(t *testing.T) {
+	in, err := New(1, Rule{Kind: Partition, Op: OpWrite, After: 2, Delay: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	go io_discard(peer)
+	if _, err := faulty.Write([]byte("a")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+	// The second write triggers the split and rides it out: it must stall
+	// for roughly the partition window, then deliver intact.
+	start := time.Now()
+	if _, err := faulty.Write([]byte("b")); err != nil {
+		t.Fatalf("partitioned write: %v", err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("partitioned write completed in %v, want ~80ms stall", d)
+	}
+	// Healed: subsequent ops run at full speed again.
+	start = time.Now()
+	if _, err := faulty.Write([]byte("c")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("post-heal write took %v, partition did not heal", d)
+	}
+}
+
+func TestPartitionStallsBothDirections(t *testing.T) {
+	// An Op-less partition rule covers reads and writes alike.
+	in, err := New(1, Rule{Kind: Partition, After: 1, Delay: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, peer := pipePair(t, in)
+	go func() { peer.Write([]byte("x")) }()
+	start := time.Now()
+	if _, err := faulty.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("partitioned read: %v", err)
+	}
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Fatalf("partitioned read completed in %v, want ~60ms stall", d)
+	}
+}
+
+func TestParseDirectionalAndPartitionSpecs(t *testing.T) {
+	in, err := Parse("blackhole-in:after=3; blackhole-out:after=4,write; partition:after=5,ms=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: BlackholeIn, After: 3},
+		{Kind: BlackholeOut, Op: OpWrite, After: 4},
+		{Kind: Partition, After: 5, Delay: 250 * time.Millisecond},
+	}
+	if len(in.rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(in.rules), len(want))
+	}
+	for i, w := range want {
+		if in.rules[i] != w {
+			t.Fatalf("rule %d = %+v, want %+v", i, in.rules[i], w)
+		}
+	}
+	// Partition without a healing time is rejected.
+	if _, err := Parse("partition:after=1"); err == nil {
+		t.Fatal("partition with no ms= must be rejected")
+	}
+}

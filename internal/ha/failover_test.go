@@ -1,0 +1,597 @@
+// Failover chaos suite (S35). Each test stands up a real fleet — leader
+// tuner with WAL shipping, hot standby tailing it, PipeStores dialing
+// through DialRetryMulti with the standby's address as the failover
+// candidate — and kills the leader at a nasty moment. The invariants,
+// asserted every time:
+//
+//   - no acknowledged round is lost: every FineTune that returned nil is
+//     present in the standby's recovered state,
+//   - the new leader's epoch is strictly above the old one's,
+//   - every store's model version is monotone across the failover,
+//   - the fleet reconverges on the new leader and commits fresh rounds.
+//
+// Run `make failover-smoke` for this suite alone under -race.
+package ha
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/faultinject"
+	"ndpipe/internal/ftdmp"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tuner"
+	"ndpipe/internal/wire"
+)
+
+const testLease = 500 * time.Millisecond
+
+func haTrainOpts() ftdmp.TrainOptions {
+	o := ftdmp.DefaultTrainOptions()
+	o.MaxEpochs = 2
+	return o
+}
+
+func haRoundOptions() tuner.RoundOptions {
+	return tuner.RoundOptions{
+		Quorum:       2,
+		StoreTimeout: 5 * time.Second,
+		RoundTimeout: 60 * time.Second,
+		MaxRetries:   1,
+		Backoff:      time.Millisecond,
+		BackoffCap:   10 * time.Millisecond,
+		Seed:         7,
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// haStore is one fleet member driven by the production DialRetryMulti
+// loop; the tracker keeps a handle on its current conn so tests can sever
+// it at chosen moments.
+type haStore struct {
+	ps   *pipestore.Node
+	done chan error
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *haStore) dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+func (s *haStore) closeConn() {
+	s.mu.Lock()
+	c := s.conn
+	s.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+type haCluster struct {
+	t       *testing.T
+	cfg     core.ModelConfig
+	world   *dataset.World
+	tn      *tuner.Node
+	ship    *Shipper
+	storeLn net.Listener // leader's store listener
+	haLn    net.Listener // WAL-shipping listener
+	sbLn    net.Listener // pre-bound listener stores fail over to
+	standby *Standby
+	runErr  chan error
+	stores  []*haStore
+}
+
+// haClusterUp boots leader + shipper + standby + stores and waits until
+// the standby is attached and bootstrapped. dialOpts, when non-nil,
+// customizes a store's reconnect behavior (the DialAddr is always
+// overridden with the tracker's dial).
+func haClusterUp(t *testing.T, nStores, images int, seed int64, dialOpts func(i int) pipestore.DialOptions) *haCluster {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := tuner.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.OpenState(filepath.Join(t.TempDir(), "leader")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.AssertLeadership(0); err != nil {
+		t.Fatal(err)
+	}
+	tn.SetRoundOptions(haRoundOptions())
+
+	listen := func() net.Listener {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		return ln
+	}
+	c := &haCluster{
+		t: t, cfg: cfg, world: world, tn: tn,
+		storeLn: listen(), haLn: listen(), sbLn: listen(),
+		runErr: make(chan error, 1),
+	}
+	t.Cleanup(tn.Close)
+
+	c.ship = NewShipper(tn, Options{LeaseTimeout: testLease})
+	tn.SetReplicator(c.ship)
+	t.Cleanup(c.ship.Close)
+	go func() { _ = c.ship.Serve(c.haLn) }()
+
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(c.storeLn, nStores) }()
+
+	addrs := []string{c.storeLn.Addr().String(), c.sbLn.Addr().String()}
+	shards := world.Shard(nStores)
+	for i := 0; i < nStores; i++ {
+		ps, err := pipestore.New(fmt.Sprintf("ha-ps-%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Ingest(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+		st := &haStore{ps: ps, done: make(chan error, 1)}
+		o := pipestore.DialOptions{
+			Attempts: 200, Backoff: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+			Rejoin: true, Seed: int64(i) + 1,
+		}
+		if dialOpts != nil {
+			o = dialOpts(i)
+		}
+		o.DialAddr = st.dial
+		go func(st *haStore, o pipestore.DialOptions) {
+			st.done <- st.ps.DialRetryMulti(addrs, o)
+		}(st, o)
+		c.stores = append(c.stores, st)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	// The leader keeps re-admitting stores whose sessions end (the rejoin
+	// path); the loop dies with the listener.
+	go func() {
+		for {
+			conn, err := c.storeLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { _ = tn.AddStore(conn) }(conn)
+		}
+	}()
+
+	sb, err := NewStandby(cfg, filepath.Join(t.TempDir(), "standby"),
+		Options{ID: "sb-1", LeaseTimeout: testLease})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.standby = sb
+	t.Cleanup(sb.Stop)
+	go func() { c.runErr <- sb.Run([]string{c.haLn.Addr().String()}) }()
+	waitFor(t, 10*time.Second, "standby attach", func() bool { return c.ship.Attached() == 1 })
+	return c
+}
+
+// killLeader simulates leader death. Store sessions are severed before
+// shipping stops: once the conns are dead an in-flight round can no longer
+// collect acks, so any round that does get acknowledged finished its
+// Replicate while the standby was still attached — the no-loss guarantee
+// the tests assert. (Closing the shipper first would open a window where
+// a live round replicates to zero standbys and commits leader-only.)
+func (c *haCluster) killLeader() {
+	for _, st := range c.stores {
+		st.closeConn()
+	}
+	_ = c.storeLn.Close()
+	c.ship.Close()
+	c.tn.Close()
+}
+
+func (c *haCluster) storeVersions() []int {
+	out := make([]int, len(c.stores))
+	for i, st := range c.stores {
+		out[i] = st.ps.ModelVersion()
+	}
+	return out
+}
+
+// awaitTakeover waits for the lease to expire, promotes the standby, and
+// serves store reattachments on the pre-bound failover listener until at
+// least minStores are registered on the new leader.
+func (c *haCluster) awaitTakeover(minStores int) (*tuner.Node, tuner.RecoveryReport) {
+	c.t.Helper()
+	select {
+	case err := <-c.runErr:
+		if !errors.Is(err, ErrLeaseExpired) {
+			c.t.Fatalf("standby Run = %v, want ErrLeaseExpired", err)
+		}
+	case <-time.After(30 * time.Second):
+		c.t.Fatal("standby never detected lease expiry")
+	}
+	tn2, rep, err := c.standby.TakeOver()
+	if err != nil {
+		c.t.Fatalf("takeover: %v", err)
+	}
+	c.t.Cleanup(tn2.Close)
+	tn2.SetRoundOptions(haRoundOptions())
+	go func() {
+		for {
+			conn, err := c.sbLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { _ = tn2.AddStore(conn) }(conn)
+		}
+	}()
+	waitFor(c.t, 20*time.Second, "fleet reattach to new leader",
+		func() bool { return tn2.NumStores() >= minStores })
+	return tn2, rep
+}
+
+// assertConverged drives the post-failover invariants: the new leader
+// commits a fresh round, every store lands on its version, and no store's
+// version moved backwards relative to the pre-kill snapshot.
+func (c *haCluster) assertConverged(tn2 *tuner.Node, rec tuner.RecoveryReport, pre []int) {
+	c.t.Helper()
+	rep, err := tn2.FineTune(2, 64, haTrainOpts())
+	if err != nil {
+		c.t.Fatalf("post-failover round: %v", err)
+	}
+	if rep.ModelVersion != rec.Version+1 {
+		c.t.Fatalf("post-failover round committed v%d, want v%d", rep.ModelVersion, rec.Version+1)
+	}
+	waitFor(c.t, 20*time.Second, "stores converging on the new leader", func() bool {
+		for _, st := range c.stores {
+			if st.ps.ModelVersion() != rep.ModelVersion {
+				return false
+			}
+		}
+		return true
+	})
+	for i, st := range c.stores {
+		if v := st.ps.ModelVersion(); v < pre[i] {
+			c.t.Fatalf("store %d went backwards across failover: v%d → v%d", i, pre[i], v)
+		}
+	}
+}
+
+// TestStandbyTailsLeaderAndServesReadyz: with the leader healthy, the
+// standby tails every committed round at zero lag, and its /readyz
+// truthfully reports the standby role with a 503 (it cannot serve rounds).
+func TestStandbyTailsLeaderAndServesReadyz(t *testing.T) {
+	c := haClusterUp(t, 2, 300, 59, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := c.tn.FineTune(2, 64, haTrainOpts()); err != nil {
+			t.Fatalf("round %d: %v", i+1, err)
+		}
+	}
+	waitFor(t, 10*time.Second, "standby catching up", func() bool {
+		return c.standby.ModelVersion() == 3 && c.standby.Lag() == 0
+	})
+	if e := c.standby.LeaderEpoch(); e != 1 {
+		t.Fatalf("standby observed leader epoch %d, want 1", e)
+	}
+
+	reg := telemetry.NewRegistry()
+	c.standby.RegisterHealth(reg.Health())
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby /readyz = %d, want 503", resp.StatusCode)
+	}
+	var rep struct {
+		Role      string `json:"role"`
+		LagFrames *int64 `json:"lag_frames"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "standby" {
+		t.Fatalf("/readyz role = %q, want standby", rep.Role)
+	}
+	if rep.LagFrames == nil || *rep.LagFrames != 0 {
+		t.Fatalf("/readyz lag_frames = %v, want 0", rep.LagFrames)
+	}
+}
+
+// TestFailoverLeaderKilledMidRound kills the leader in the middle of a
+// fine-tune round (mid-gather): the in-flight round may abort, but nothing
+// acknowledged is lost and the fleet reconverges under a higher epoch.
+func TestFailoverLeaderKilledMidRound(t *testing.T) {
+	c := haClusterUp(t, 3, 300, 61, nil)
+	rep1, err := c.tn.FineTune(2, 64, haTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := rep1.ModelVersion
+	pre := c.storeVersions()
+
+	roundDone := make(chan error, 1)
+	go func() {
+		_, err := c.tn.FineTune(2, 64, haTrainOpts())
+		roundDone <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // the round is gathering features now
+	killed := time.Now()
+	c.killLeader()
+	if err := <-roundDone; err == nil {
+		// The round beat the kill: it was acknowledged, so it must survive.
+		acked++
+	}
+
+	tn2, rec := c.awaitTakeover(3)
+	if rec.Version < acked {
+		t.Fatalf("acknowledged round lost: standby recovered v%d, callers saw v%d acked", rec.Version, acked)
+	}
+	if tn2.LeaderEpoch() <= 1 {
+		t.Fatalf("takeover epoch %d not strictly above the old leader's (1)", tn2.LeaderEpoch())
+	}
+	c.assertConverged(tn2, rec, pre)
+	t.Logf("failover: leader kill → fleet reconverged in %v (recovered v%d, epoch %d)",
+		time.Since(killed), rec.Version, tn2.LeaderEpoch())
+}
+
+// replicateKiller wraps the shipper: once armed, the first successful
+// Replicate fires a signal — the test uses it to kill the leader in the
+// post-journal, pre-broadcast window, the narrowest durability gap.
+type replicateKiller struct {
+	inner tuner.Replicator
+	armed atomic.Bool
+	fired chan struct{}
+	once  sync.Once
+}
+
+func (k *replicateKiller) Replicate(rec []byte) error {
+	err := k.inner.Replicate(rec)
+	if err == nil && k.armed.Load() {
+		k.once.Do(func() { close(k.fired) })
+	}
+	return err
+}
+
+// TestFailoverPostJournalPreBroadcast kills the leader after a round's WAL
+// record is journaled and shipped but before any store receives the delta.
+// The round was never acknowledged — but the shipped record must survive
+// into the standby's recovered state, and the fleet converges beyond it.
+func TestFailoverPostJournalPreBroadcast(t *testing.T) {
+	c := haClusterUp(t, 3, 300, 63, nil)
+	if _, err := c.tn.FineTune(2, 64, haTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.storeVersions()
+
+	killer := &replicateKiller{inner: c.ship, fired: make(chan struct{})}
+	c.tn.SetReplicator(killer)
+	go func() {
+		<-killer.fired
+		_ = c.storeLn.Close()
+		for _, st := range c.stores {
+			st.closeConn()
+		}
+	}()
+	killer.armed.Store(true)
+	roundDone := make(chan error, 1)
+	go func() {
+		_, err := c.tn.FineTune(2, 64, haTrainOpts())
+		roundDone <- err
+	}()
+	roundErr := <-roundDone
+	c.killLeader()
+
+	tn2, rec := c.awaitTakeover(3)
+	// Round 2's record reached the standby before any store saw its delta:
+	// whatever happened to the broadcast, the recovered state carries v2.
+	if rec.Version < 2 {
+		t.Fatalf("journaled+shipped round lost: standby recovered v%d (round err: %v)", rec.Version, roundErr)
+	}
+	if tn2.LeaderEpoch() <= 1 {
+		t.Fatalf("takeover epoch %d not strictly above the old leader's", tn2.LeaderEpoch())
+	}
+	c.assertConverged(tn2, rec, pre)
+}
+
+// TestFailoverDuringStoreCatchUp: a store is down when the leader dies and
+// its rejoin + catch-up straddles the failover — the catch-up completes
+// against the new leader, and the whole fleet still converges.
+func TestFailoverDuringStoreCatchUp(t *testing.T) {
+	const victim = 2
+	c := haClusterUp(t, 3, 300, 67, func(i int) pipestore.DialOptions {
+		o := pipestore.DialOptions{
+			Attempts: 200, Backoff: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+			Rejoin: true, Seed: int64(i) + 1,
+		}
+		if i == victim {
+			// The victim redials slowly, so its rejoin lands after takeover.
+			o.Backoff = 800 * time.Millisecond
+			o.BackoffCap = 800 * time.Millisecond
+		}
+		return o
+	})
+	if _, err := c.tn.FineTune(2, 64, haTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.storeVersions()
+
+	c.stores[victim].closeConn()
+	c.killLeader()
+
+	tn2, rec := c.awaitTakeover(2)
+	if rec.Version < 1 {
+		t.Fatalf("acknowledged round lost: standby recovered v%d", rec.Version)
+	}
+	c.assertConverged(tn2, rec, pre)
+	// The victim may have been evicted if it attached mid-round; its slow
+	// redial ladder means full fleet membership can trail convergence.
+	waitFor(t, 15*time.Second, "victim rejoining the new leader",
+		func() bool { return tn2.NumStores() == 3 })
+}
+
+// TestSplitBrainFencedOldLeaderCannotAdvance is the dedicated split-brain
+// proof: once any store has seen the new leader's epoch, the old leader's
+// traffic — live rounds, and delayed/replayed deltas delivered through a
+// faultinject channel — can never advance that store's model version.
+func TestSplitBrainFencedOldLeaderCannotAdvance(t *testing.T) {
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(73)
+	wcfg.InitialImages = 200
+	world := dataset.NewWorld(wcfg)
+
+	tn1, err := tuner.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tn1.Close)
+	if _, err := tn1.OpenState(filepath.Join(t.TempDir(), "old-leader")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn1.AssertLeadership(0); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+	opts := haRoundOptions()
+	opts.Quorum = 1
+	opts.StoreTimeout = 2 * time.Second
+	opts.RoundTimeout = 10 * time.Second
+	tn1.SetRoundOptions(opts)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn1.AcceptStores(ln, 1) }()
+	ps, err := pipestore.New("sb-ps", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Ingest(world.Images()); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ps.Serve(conn) }()
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn1.FineTune(1, 64, haTrainOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if ps.ModelVersion() != 1 {
+		t.Fatalf("setup: store at v%d, want 1", ps.ModelVersion())
+	}
+
+	// The new leader (epoch 2) contacts the store: the fence goes up.
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() { _ = ps.Serve(b) }()
+	newLeader := wire.NewCodec(a)
+	if hello, err := newLeader.Recv(); err != nil || hello.Type != wire.MsgHello {
+		t.Fatalf("hello from store: %v %v", hello, err)
+	}
+	if err := newLeader.Send(&wire.Message{Type: wire.MsgPing, LeaderEpoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if pong, err := newLeader.Recv(); err != nil || pong.Type != wire.MsgPong {
+		t.Fatalf("epoch-2 ping: %v %v", pong, err)
+	}
+
+	// Old leader, live: a full round attempt. Every message it sends is
+	// stamped with epoch 1 and must be fenced — the round fails and the
+	// store's version does not move.
+	if _, err := tn1.FineTune(1, 64, haTrainOpts()); err == nil {
+		t.Fatal("fenced old leader must not be able to run a round")
+	}
+	if v := ps.ModelVersion(); v != 1 {
+		t.Fatalf("fenced old leader advanced the store to v%d", v)
+	}
+
+	// Old leader, replayed: a delta from its reign delivered late over a
+	// faultinject-delayed channel. The blob is garbage — if the fence ever
+	// let it through, applyDelta would fail loudly and the version check
+	// below would catch a real apply just the same.
+	inj, err := faultinject.New(5, faultinject.Rule{
+		Kind: faultinject.Delay, Op: faultinject.OpWrite, After: 1, Prob: 1,
+		Delay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := net.Pipe()
+	t.Cleanup(func() { x.Close(); y.Close() })
+	go func() { _ = ps.Serve(y) }()
+	replay := wire.NewCodec(inj.Conn(x))
+	if hello, err := replay.Recv(); err != nil || hello.Type != wire.MsgHello {
+		t.Fatalf("hello on replay channel: %v %v", hello, err)
+	}
+	if err := replay.Send(&wire.Message{Type: wire.MsgModelDelta, LeaderEpoch: 1,
+		ModelVersion: 2, Blob: []byte("stale-delta-from-the-old-reign")}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := replay.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.MsgError {
+		t.Fatalf("replayed delta got %v, want fenced MsgError", reply.Type)
+	}
+	if v := ps.ModelVersion(); v != 1 {
+		t.Fatalf("replayed delta advanced the store to v%d", v)
+	}
+}
+
+// TestTakeoverRequiresBootstrap: a standby that never completed a
+// bootstrap has nothing to lead with and must refuse promotion.
+func TestTakeoverRequiresBootstrap(t *testing.T) {
+	s, err := NewStandby(core.DefaultModelConfig(), t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.TakeOver(); err == nil {
+		t.Fatal("takeover before bootstrap must fail")
+	}
+}

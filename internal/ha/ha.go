@@ -1,0 +1,76 @@
+// Package ha makes the tuner's failure a blip instead of an outage (S35).
+//
+// The leader runs a Shipper: every WAL record the tuner journals is also
+// shipped — CRC32C-checked end-to-end with the durable log's own
+// polynomial — to a hot Standby over MsgWALAppend/MsgWALAck, and the
+// commit rule becomes "durable on the leader AND acked by the standby when
+// one is attached". The standby materializes the stream into its own state
+// directory in the leader's exact on-disk format, so takeover is just the
+// PR-5 recovery path (tuner.OpenState) run against shipped bytes.
+//
+// Leadership is lease-based: the shipper heartbeats over the replication
+// channel; a standby that hears nothing for LeaseTimeout declares the
+// lease expired, asserts a strictly higher leader epoch (durably, via
+// tuner.AssertLeadership), replays its WAL tail, and opens its own store
+// listener. Leader epochs are stamped on every outbound tuner message;
+// stores fence anything older than the highest epoch they have seen, so a
+// deposed leader's delayed or replayed traffic can never advance state.
+package ha
+
+import (
+	"time"
+
+	"ndpipe/internal/telemetry"
+)
+
+// Options tunes the replication channel and the leadership lease.
+type Options struct {
+	// ID names the standby in flight events and hellos (default "standby").
+	ID string
+	// LeaseTimeout is how long a standby tolerates silence before taking
+	// over; the leader heartbeats at a quarter of it. Default 2s.
+	LeaseTimeout time.Duration
+	// AckTimeout bounds how long the leader waits for a standby's ack
+	// before failing the commit and detaching it. Default 5s.
+	AckTimeout time.Duration
+	// DialTimeout bounds one standby→leader dial attempt. Default
+	// LeaseTimeout/4.
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ID == "" {
+		o.ID = "standby"
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 2 * time.Second
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 5 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = o.LeaseTimeout / 4
+	}
+	return o
+}
+
+// HA instruments, shared by both roles in a process (exported on /metrics
+// and, through the local section, on /fleet).
+var (
+	roleGauge = telemetry.Default.Gauge("ndpipe_ha_role")
+	lagGauge  = telemetry.Default.Gauge("ndpipe_ha_wal_lag")
+	standbys  = telemetry.Default.Gauge("ndpipe_ha_standbys")
+	shipped   = telemetry.Default.Counter("ndpipe_ha_wal_shipped_total")
+	shipFails = telemetry.Default.Counter("ndpipe_ha_ship_failures_total")
+	takeovers = telemetry.Default.Counter("ndpipe_ha_takeovers_total")
+)
+
+// SetRoleMetric publishes the process's HA role (1 = leader, 0 = standby)
+// as ndpipe_ha_role.
+func SetRoleMetric(leader bool) {
+	if leader {
+		roleGauge.Set(1)
+	} else {
+		roleGauge.Set(0)
+	}
+}

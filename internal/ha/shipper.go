@@ -1,0 +1,324 @@
+package ha
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tuner"
+	"ndpipe/internal/wire"
+)
+
+// Shipper is the leader half of WAL replication. Install it on the tuner
+// with tn.SetReplicator(s) and serve standby attachments with Serve: each
+// journaled record then reaches every attached standby — and is
+// acknowledged — before the tuner's commit proceeds to broadcast.
+type Shipper struct {
+	tn *tuner.Node
+	o  Options
+
+	mu       sync.Mutex
+	sessions map[string]*shipSession
+	closed   bool
+
+	done chan struct{}
+	once sync.Once
+	log  *slog.Logger
+}
+
+// shipSession is one attached standby: a writer goroutine owns the codec's
+// send side (bootstrap, records, heartbeats); a reader goroutine routes
+// acks back to it.
+type shipSession struct {
+	id    string
+	conn  net.Conn
+	codec *wire.Codec
+	reqs  chan shipReq
+	acks  chan uint64
+	done  chan struct{}
+	once  sync.Once
+	seq   uint64 // last shipped sequence number (writer goroutine only)
+}
+
+type shipReq struct {
+	payload []byte
+	resp    chan error
+}
+
+func (s *shipSession) close() {
+	s.once.Do(func() {
+		close(s.done)
+		_ = s.conn.Close()
+	})
+}
+
+// NewShipper creates a shipper for tn. Wire it up before rounds start:
+//
+//	s := ha.NewShipper(tn, ha.Options{})
+//	tn.SetReplicator(s)
+//	go s.Serve(haListener)
+func NewShipper(tn *tuner.Node, o Options) *Shipper {
+	return &Shipper{
+		tn:       tn,
+		o:        o.withDefaults(),
+		sessions: make(map[string]*shipSession),
+		done:     make(chan struct{}),
+		log:      telemetry.ComponentLogger("ha-shipper"),
+	}
+}
+
+// Attached reports how many standbys are currently replicating.
+func (s *Shipper) Attached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Serve accepts standby attachments on ln until Close (or a listener
+// error). Each connection is handshaken, bootstrapped with a full seed of
+// the tuner's durable state, then fed the live record stream.
+func (s *Shipper) Serve(ln net.Listener) error {
+	go func() {
+		<-s.done
+		_ = ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return fmt.Errorf("ha: accepting standby: %w", err)
+			}
+		}
+		go s.attach(conn)
+	}
+}
+
+// attach performs the standby handshake and runs the session to
+// completion. Registration happens before the seed snapshot is taken, so
+// every record journaled after the snapshot also reaches the session's
+// queue; the standby dedups the overlap by version.
+func (s *Shipper) attach(conn net.Conn) {
+	codec := wire.NewCodec(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(s.o.AckTimeout))
+	hello, err := codec.Recv()
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil || hello.Type != wire.MsgStandbyHello {
+		s.log.Warn("standby handshake failed", slog.Any("err", err))
+		_ = conn.Close()
+		return
+	}
+	sess := &shipSession{
+		id:    hello.StoreID,
+		conn:  conn,
+		codec: codec,
+		reqs:  make(chan shipReq, 8),
+		acks:  make(chan uint64, 8),
+		done:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if old := s.sessions[sess.id]; old != nil {
+		old.close()
+	}
+	s.sessions[sess.id] = sess
+	n := len(s.sessions)
+	s.mu.Unlock()
+	standbys.Set(float64(n))
+
+	go s.readAcks(sess)
+	s.runSession(sess)
+}
+
+// readAcks routes the standby's acks to the writer and absorbs pongs.
+func (s *Shipper) readAcks(sess *shipSession) {
+	for {
+		msg, err := sess.codec.Recv()
+		if err != nil {
+			sess.close()
+			return
+		}
+		switch msg.Type {
+		case wire.MsgWALAck:
+			select {
+			case sess.acks <- msg.WALSeq:
+			case <-sess.done:
+				return
+			}
+		case wire.MsgPong:
+			// Liveness only.
+		default:
+			s.log.Warn("unexpected message on replication channel",
+				slog.String("standby", sess.id), slog.String("type", msg.Type.String()))
+		}
+	}
+}
+
+// runSession bootstraps the standby and then feeds it the live stream,
+// heartbeating during idle stretches so the standby's lease stays fresh.
+func (s *Shipper) runSession(sess *shipSession) {
+	defer s.detach(sess, nil)
+	seed, err := s.tn.ReplicaSeed()
+	if err != nil {
+		s.log.Warn("replica seed failed", slog.String("standby", sess.id), slog.Any("err", err))
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&seed); err != nil {
+		s.log.Warn("replica seed encode failed", slog.Any("err", err))
+		return
+	}
+	sess.seq = 1
+	boot := &wire.Message{Type: wire.MsgWALAppend, Boot: true, WALSeq: sess.seq,
+		Blob: buf.Bytes(), WALCRC: durable.Checksum(buf.Bytes()),
+		ModelVersion: seed.BaseVersion + len(seed.Records), LeaderEpoch: seed.LeaderEpoch}
+	if err := sess.codec.Send(boot); err != nil {
+		return
+	}
+	if err := s.awaitAck(sess, sess.seq); err != nil {
+		s.log.Warn("standby bootstrap not acked", slog.String("standby", sess.id), slog.Any("err", err))
+		return
+	}
+	telemetry.Default.Flight().Record(telemetry.FlightStandbyAttach, "ha", sess.id,
+		int64(seed.BaseVersion+len(seed.Records)), int64(len(seed.Records)))
+	s.log.Info("standby attached", slog.String("standby", sess.id),
+		slog.Int("seeded_version", seed.BaseVersion+len(seed.Records)))
+
+	heartbeat := time.NewTicker(s.o.LeaseTimeout / 4)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case req := <-sess.reqs:
+			sess.seq++
+			msg := &wire.Message{Type: wire.MsgWALAppend, WALSeq: sess.seq,
+				Blob: req.payload, WALCRC: durable.Checksum(req.payload),
+				LeaderEpoch: s.tn.LeaderEpoch()}
+			err := sess.codec.Send(msg)
+			if err == nil {
+				err = s.awaitAck(sess, sess.seq)
+			}
+			if err == nil {
+				shipped.Inc()
+				telemetry.Default.Flight().Record(telemetry.FlightWALShip, "ha", sess.id,
+					int64(sess.seq), int64(len(req.payload)))
+			}
+			req.resp <- err
+			if err != nil {
+				return
+			}
+		case <-heartbeat.C:
+			ping := &wire.Message{Type: wire.MsgPing, LeaderEpoch: s.tn.LeaderEpoch()}
+			if err := sess.codec.Send(ping); err != nil {
+				return
+			}
+		case <-sess.done:
+			return
+		}
+	}
+}
+
+// awaitAck waits for the ack covering seq (acks arrive in order; anything
+// lower is a stale duplicate and is skipped).
+func (s *Shipper) awaitAck(sess *shipSession, seq uint64) error {
+	timeout := time.NewTimer(s.o.AckTimeout)
+	defer timeout.Stop()
+	for {
+		select {
+		case got := <-sess.acks:
+			if got >= seq {
+				return nil
+			}
+		case <-timeout.C:
+			return fmt.Errorf("ha: standby %s ack %d timed out after %v", sess.id, seq, s.o.AckTimeout)
+		case <-sess.done:
+			return fmt.Errorf("ha: standby %s detached before ack %d", sess.id, seq)
+		}
+	}
+}
+
+// detach closes and unregisters a session.
+func (s *Shipper) detach(sess *shipSession, reason error) {
+	sess.close()
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+	}
+	n := len(s.sessions)
+	s.mu.Unlock()
+	standbys.Set(float64(n))
+	telemetry.Default.Flight().Record(telemetry.FlightStandbyDetach, "ha", sess.id, int64(sess.seq), 0)
+	if reason != nil {
+		s.log.Warn("standby detached", slog.String("standby", sess.id), slog.Any("reason", reason))
+	} else {
+		s.log.Info("standby detached", slog.String("standby", sess.id))
+	}
+}
+
+// Replicate implements tuner.Replicator: the record must land on — and be
+// acked by — every attached standby before the commit may proceed. A
+// standby that fails or times out is detached and the commit aborts (the
+// round was never acknowledged, so nothing is lost); subsequent rounds run
+// leader-only until a standby re-attaches.
+func (s *Shipper) Replicate(record []byte) error {
+	s.mu.Lock()
+	sessions := make([]*shipSession, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, sess := range sessions {
+		req := shipReq{payload: record, resp: make(chan error, 1)}
+		var err error
+		select {
+		case sess.reqs <- req:
+			select {
+			case err = <-req.resp:
+			case <-time.After(s.o.AckTimeout):
+				err = fmt.Errorf("ha: standby %s replicate timed out", sess.id)
+			case <-sess.done:
+				err = fmt.Errorf("ha: standby %s detached mid-replicate", sess.id)
+			}
+		case <-time.After(s.o.AckTimeout):
+			err = fmt.Errorf("ha: standby %s replication queue wedged", sess.id)
+		case <-sess.done:
+			err = fmt.Errorf("ha: standby %s detached mid-replicate", sess.id)
+		}
+		if err != nil {
+			shipFails.Inc()
+			s.detach(sess, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Close detaches every standby and stops the accept loop.
+func (s *Shipper) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*shipSession, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		s.detach(sess, errors.New("shipper closed"))
+	}
+}

@@ -1,0 +1,369 @@
+package ha
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/durable"
+	"ndpipe/internal/modelstore"
+	"ndpipe/internal/nn"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/tuner"
+	"ndpipe/internal/wire"
+)
+
+// ErrLeaseExpired is Run's verdict that the leader is gone: no replication
+// traffic (records or heartbeats) and no reachable leader for a full
+// LeaseTimeout. The caller should TakeOver.
+var ErrLeaseExpired = errors.New("ha: leadership lease expired")
+
+// ErrStopped is returned by Run after Stop.
+var ErrStopped = errors.New("ha: standby stopped")
+
+// Standby is the hot-standby tuner: it tails the leader's WAL into its own
+// state directory (identical on-disk format) and an in-memory replica, and
+// watches the leadership lease. After Run returns ErrLeaseExpired, TakeOver
+// turns the accumulated state into a live tuner with a strictly higher
+// leader epoch.
+type Standby struct {
+	cfg core.ModelConfig
+	dir string
+	o   Options
+
+	// Dial overrides the leader dial (tests inject faulty transports).
+	Dial func(addr string) (net.Conn, error)
+
+	mu           sync.Mutex
+	archive      *modelstore.Store // in-memory replica (validates the stream)
+	wal          *durable.Log      // local copy of the shipped log
+	version      int
+	roundEpoch   int
+	leaderEpoch  uint64 // highest leadership term heard on the stream
+	appliedSeq   uint64
+	heardSeq     uint64
+	bootstrapped bool
+	lastHeard    time.Time
+
+	stop chan struct{}
+	once sync.Once
+	log  *slog.Logger
+}
+
+// NewStandby creates a standby replicating into dir.
+func NewStandby(cfg core.ModelConfig, dir string, o Options) (*Standby, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Standby{
+		cfg:  cfg,
+		dir:  dir,
+		o:    o.withDefaults(),
+		stop: make(chan struct{}),
+		log:  telemetry.ComponentLogger("ha-standby"),
+	}, nil
+}
+
+// ModelVersion returns the replica's latest applied version.
+func (s *Standby) ModelVersion() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// LeaderEpoch returns the highest leadership term heard on the stream.
+func (s *Standby) LeaderEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaderEpoch
+}
+
+// Lag reports shipped-but-unapplied WAL frames (the /readyz lag_frames
+// figure; ~0 in steady state because applies are synchronous).
+func (s *Standby) Lag() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.heardSeq - s.appliedSeq)
+}
+
+// RegisterHealth wires the standby into a health set: /readyz answers 503
+// with role "standby" and the current lag until takeover.
+func (s *Standby) RegisterHealth(h *telemetry.Health) {
+	h.SetRole(func() (string, int64) { return "standby", s.Lag() })
+	h.RegisterCheck("ha-role", func() error {
+		return fmt.Errorf("standby: replicating, lag %d frames", s.Lag())
+	})
+}
+
+// Stop ends Run (idempotent).
+func (s *Standby) Stop() {
+	s.once.Do(func() { close(s.stop) })
+}
+
+// Run replicates from the first reachable leader address until the lease
+// expires (ErrLeaseExpired — take over), or Stop (ErrStopped). Addresses
+// are tried in order, so list the current leader first and failover
+// candidates after.
+func (s *Standby) Run(addrs []string) error {
+	if len(addrs) == 0 {
+		return errors.New("ha: no leader addresses")
+	}
+	SetRoleMetric(false)
+	dial := s.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, s.o.DialTimeout)
+		}
+	}
+	s.mu.Lock()
+	s.lastHeard = time.Now()
+	s.mu.Unlock()
+	for i := 0; ; i++ {
+		select {
+		case <-s.stop:
+			return ErrStopped
+		default:
+		}
+		conn, err := dial(addrs[i%len(addrs)])
+		if err == nil {
+			err = s.session(conn)
+			if errors.Is(err, ErrStopped) {
+				return ErrStopped
+			}
+			if err != nil {
+				s.log.Debug("replication session ended", slog.Any("err", err))
+			}
+		}
+		if s.leaseExpired() {
+			s.log.Warn("leadership lease expired",
+				slog.Int("version", s.ModelVersion()), slog.Uint64("leader_epoch", s.LeaderEpoch()))
+			return ErrLeaseExpired
+		}
+		select {
+		case <-s.stop:
+			return ErrStopped
+		case <-time.After(s.o.LeaseTimeout / 8):
+		}
+	}
+}
+
+// leaseExpired: the lease only starts mattering once the standby has state
+// to take over with — before the first bootstrap it keeps dialing forever.
+func (s *Standby) leaseExpired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bootstrapped && time.Since(s.lastHeard) > s.o.LeaseTimeout
+}
+
+func (s *Standby) touch() {
+	s.mu.Lock()
+	s.lastHeard = time.Now()
+	s.mu.Unlock()
+}
+
+// session runs one replication connection: hello, bootstrap, live tail.
+// Every Recv is bounded by the lease — a leader that stops sending records
+// AND heartbeats ends the session, and Run then checks the lease.
+func (s *Standby) session(conn net.Conn) error {
+	defer conn.Close()
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		select {
+		case <-s.stop:
+			_ = conn.Close()
+		case <-stopDone:
+		}
+	}()
+	codec := wire.NewCodec(conn)
+	s.mu.Lock()
+	version, applied := s.version, s.appliedSeq
+	s.mu.Unlock()
+	hello := &wire.Message{Type: wire.MsgStandbyHello, StoreID: s.o.ID,
+		ModelVersion: version, WALSeq: applied}
+	if err := codec.Send(hello); err != nil {
+		return err
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.o.LeaseTimeout))
+		msg, err := codec.Recv()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return ErrStopped
+			default:
+			}
+			return err
+		}
+		s.touch()
+		s.observeLeader(msg.LeaderEpoch)
+		switch msg.Type {
+		case wire.MsgPing:
+			if err := codec.Send(&wire.Message{Type: wire.MsgPong, StoreID: s.o.ID}); err != nil {
+				return err
+			}
+		case wire.MsgWALAppend:
+			if durable.Checksum(msg.Blob) != msg.WALCRC {
+				return fmt.Errorf("ha: wal frame %d failed CRC32C", msg.WALSeq)
+			}
+			s.mu.Lock()
+			s.heardSeq = msg.WALSeq
+			s.mu.Unlock()
+			if msg.Boot {
+				err = s.applyBootstrap(msg.Blob, msg.WALSeq)
+			} else {
+				err = s.applyRecord(msg.Blob, msg.WALSeq)
+			}
+			if err != nil {
+				// No ack: the leader's commit must not count this replica.
+				return err
+			}
+			lagGauge.Set(0)
+			if err := codec.Send(&wire.Message{Type: wire.MsgWALAck, StoreID: s.o.ID,
+				WALSeq: msg.WALSeq}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ha: unexpected %v on replication channel", msg.Type)
+		}
+	}
+}
+
+func (s *Standby) observeLeader(epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	s.mu.Lock()
+	if epoch > s.leaderEpoch {
+		s.leaderEpoch = epoch
+	}
+	s.mu.Unlock()
+}
+
+// applyBootstrap installs a full seed: state dir rewritten to the leader's
+// root + records, and the in-memory replica rebuilt by replaying every
+// record through the validating delta chain.
+func (s *Standby) applyBootstrap(blob []byte, seq uint64) error {
+	var seed tuner.Seed
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&seed); err != nil {
+		return fmt.Errorf("ha: undecodable bootstrap: %w", err)
+	}
+	rootSnap, err := nn.DecodeSnapshot(bytes.NewReader(seed.Model))
+	if err != nil {
+		return fmt.Errorf("ha: bootstrap model: %w", err)
+	}
+	archive := modelstore.NewAt(seed.BaseVersion, rootSnap)
+	for _, rec := range seed.Records {
+		info, err := tuner.DecodeWALRecord(rec)
+		if err != nil {
+			return err
+		}
+		if !info.IsRound() {
+			continue
+		}
+		if _, err := archive.AppendBlob(info.Delta); err != nil {
+			return fmt.Errorf("ha: bootstrap chain: %w", err)
+		}
+	}
+	wal, err := tuner.InstallSeed(s.dir, seed)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
+	s.wal = wal
+	s.archive = archive
+	s.version = archive.Latest()
+	s.roundEpoch = seed.RoundEpoch
+	if seed.LeaderEpoch > s.leaderEpoch {
+		s.leaderEpoch = seed.LeaderEpoch
+	}
+	s.appliedSeq = seq
+	s.bootstrapped = true
+	version := s.version
+	s.mu.Unlock()
+	s.log.Info("bootstrapped from leader",
+		slog.Int("version", version), slog.Int("records", len(seed.Records)))
+	return nil
+}
+
+// applyRecord persists one live record (fsynced, byte-identical to the
+// leader's log) and folds it into the in-memory replica. Round records
+// already covered by the bootstrap overlap are deduplicated by version.
+func (s *Standby) applyRecord(payload []byte, seq uint64) error {
+	info, err := tuner.DecodeWALRecord(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.bootstrapped {
+		return errors.New("ha: record before bootstrap")
+	}
+	if err := s.wal.Append(payload); err != nil {
+		return fmt.Errorf("ha: persisting shipped record: %w", err)
+	}
+	if info.IsRound() && info.Version > s.archive.Latest() {
+		v, err := s.archive.AppendBlob(info.Delta)
+		if err != nil {
+			return fmt.Errorf("ha: applying shipped round: %w", err)
+		}
+		if v != info.Version {
+			return fmt.Errorf("ha: shipped round says version %d, chain is at %d", info.Version, v)
+		}
+		s.version = v
+	}
+	if info.Epoch > s.roundEpoch {
+		s.roundEpoch = info.Epoch
+	}
+	if info.Leader > s.leaderEpoch {
+		s.leaderEpoch = info.Leader
+	}
+	s.appliedSeq = seq
+	return nil
+}
+
+// TakeOver promotes the replica: it stops replication, recovers a fresh
+// tuner from the standby's state directory (the same OpenState path a
+// restarted leader uses), and durably asserts a leadership term strictly
+// above everything heard on the stream. The returned tuner is ready for
+// AcceptStores/AddStore; the caller owns opening the listener.
+func (s *Standby) TakeOver() (*tuner.Node, tuner.RecoveryReport, error) {
+	s.Stop()
+	s.mu.Lock()
+	if !s.bootstrapped {
+		s.mu.Unlock()
+		return nil, tuner.RecoveryReport{}, errors.New("ha: takeover before first bootstrap")
+	}
+	if s.wal != nil {
+		_ = s.wal.Close()
+		s.wal = nil
+	}
+	heard := s.leaderEpoch
+	s.mu.Unlock()
+
+	tn, err := tuner.New(s.cfg)
+	if err != nil {
+		return nil, tuner.RecoveryReport{}, err
+	}
+	rep, err := tn.OpenState(s.dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("ha: replaying replica state: %w", err)
+	}
+	if _, err := tn.AssertLeadership(heard); err != nil {
+		return nil, rep, err
+	}
+	takeovers.Inc()
+	SetRoleMetric(true)
+	s.log.Info("took over leadership",
+		slog.Int("version", rep.Version), slog.Uint64("leader_epoch", tn.LeaderEpoch()))
+	return tn, rep, nil
+}

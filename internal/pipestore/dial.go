@@ -15,9 +15,17 @@ type DialOptions struct {
 	// Attempts is the number of connection attempts per session (default 5).
 	Attempts int
 	// Backoff is the base delay between attempts, doubled per attempt up to
-	// BackoffCap with uniform jitter in [0.5×, 1.5×).
+	// BackoffCap with uniform jitter in [0.5×, 1.5×). The ladder position
+	// persists across sessions — every failed dial and every short-lived
+	// session escalates it, so a crash-looping tuner is not hammered at the
+	// base rate — and resets once a session has stayed healthy for
+	// HealthyAfter, so a store that flaps hours apart starts back at the
+	// base delay instead of paying the accumulated maximum.
 	Backoff    time.Duration // default 100ms
 	BackoffCap time.Duration // default 5s
+	// HealthyAfter is the session duration after which the backoff ladder
+	// resets (default 30s; negative disables the reset).
+	HealthyAfter time.Duration
 	// Rejoin keeps the store in service across sessions: after Serve
 	// returns — the Tuner evicted us, restarted, or crashed — dial again,
 	// re-register via the Hello/catch-up path, and carry on. Without it a
@@ -27,13 +35,18 @@ type DialOptions struct {
 	// (0 = unlimited); tests use it to bound the loop.
 	MaxSessions int
 	// Dial is the connection factory (default: net.Dial "tcp" to the
-	// address given to DialRetry). Tests inject faultinject wrappers here.
+	// address being tried). Tests inject faultinject wrappers here. It
+	// takes precedence over DialAddr when both are set.
 	Dial func() (net.Conn, error)
+	// DialAddr is the address-aware connection factory used for
+	// multi-address failover (DialRetryMulti); it receives the address of
+	// the current attempt.
+	DialAddr func(addr string) (net.Conn, error)
 	// Seed fixes the backoff jitter (0 = entropy).
 	Seed int64
 }
 
-func (o DialOptions) withDefaults(addr string) DialOptions {
+func (o DialOptions) withDefaults() DialOptions {
 	if o.Attempts <= 0 {
 		o.Attempts = 5
 	}
@@ -43,8 +56,14 @@ func (o DialOptions) withDefaults(addr string) DialOptions {
 	if o.BackoffCap < o.Backoff {
 		o.BackoffCap = 5 * time.Second
 	}
-	if o.Dial == nil {
-		o.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	if o.HealthyAfter == 0 {
+		o.HealthyAfter = 30 * time.Second
+	}
+	if o.DialAddr == nil {
+		o.DialAddr = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.Dial != nil {
+		o.DialAddr = func(string) (net.Conn, error) { return o.Dial() }
 	}
 	return o
 }
@@ -61,7 +80,21 @@ func (o DialOptions) withDefaults(addr string) DialOptions {
 // MaxSessions'th session (with it); otherwise it returns the first
 // session or dial error that ends the loop.
 func (n *Node) DialRetry(addr string, o DialOptions) error {
-	o = o.withDefaults(addr)
+	return n.DialRetryMulti([]string{addr}, o)
+}
+
+// DialRetryMulti is DialRetry with tuner failover: addresses are tried in
+// order within each dial pass (list the current leader first, standby
+// candidates after), advancing to the next candidate on every failed
+// attempt. Combined with Rejoin, a store survives a leader failover
+// end-to-end: the dead leader's address fails fast, the standby's address
+// connects, and the versioned Hello brings the store current on the new
+// leader with a minimal catch-up.
+func (n *Node) DialRetryMulti(addrs []string, o DialOptions) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("pipestore %s: no tuner addresses", n.ID)
+	}
+	o = o.withDefaults()
 	seed := o.Seed
 	if seed == 0 {
 		seed = rand.Int63()
@@ -71,13 +104,24 @@ func (n *Node) DialRetry(addr string, o DialOptions) error {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	sessions := 0
+	ladder := 0 // consecutive failed attempts since the last healthy session
 	for {
-		conn, err := dialBackoff(n, o, rng)
+		conn, err := dialBackoff(n, addrs, o, rng, &ladder)
 		if err != nil {
 			return err
 		}
 		sessions++
+		start := time.Now()
 		err = n.Serve(conn)
+		if o.HealthyAfter >= 0 && time.Since(start) >= o.HealthyAfter {
+			// The connection stayed healthy long enough: this flap is fresh,
+			// not part of an ongoing outage. Start the ladder over.
+			ladder = 0
+		} else {
+			// A short-lived session is as bad as a failed dial: escalate, so
+			// a crash-looping tuner is not hammered at the base rate.
+			ladder++
+		}
 		if err != nil {
 			n.log.Warn("session ended", slog.Int("session", sessions), slog.Any("err", err))
 		} else {
@@ -92,13 +136,15 @@ func (n *Node) DialRetry(addr string, o DialOptions) error {
 	}
 }
 
-// dialBackoff makes one session's worth of connection attempts.
-func dialBackoff(n *Node, o DialOptions, rng *rand.Rand) (net.Conn, error) {
+// dialBackoff makes one session's worth of connection attempts, rotating
+// through the candidate addresses. The ladder position is shared across
+// sessions (see DialOptions.Backoff); each failed attempt escalates it.
+func dialBackoff(n *Node, addrs []string, o DialOptions, rng *rand.Rand, ladder *int) (net.Conn, error) {
 	var err error
 	for a := 0; a < o.Attempts; a++ {
-		if a > 0 {
+		if *ladder > 0 {
 			d := o.Backoff
-			for i := 1; i < a; i++ {
+			for i := 1; i < *ladder; i++ {
 				d *= 2
 				if d >= o.BackoffCap {
 					d = o.BackoffCap
@@ -107,11 +153,14 @@ func dialBackoff(n *Node, o DialOptions, rng *rand.Rand) (net.Conn, error) {
 			}
 			time.Sleep(d/2 + time.Duration(rng.Float64()*float64(d)))
 		}
+		addr := addrs[a%len(addrs)]
 		var conn net.Conn
-		if conn, err = o.Dial(); err == nil {
+		if conn, err = o.DialAddr(addr); err == nil {
 			return conn, nil
 		}
-		n.log.Debug("dial failed", slog.Int("attempt", a+1), slog.Any("err", err))
+		*ladder++
+		n.log.Debug("dial failed", slog.String("addr", addr),
+			slog.Int("attempt", a+1), slog.Int("ladder", *ladder), slog.Any("err", err))
 	}
 	return nil, fmt.Errorf("pipestore %s: dial failed after %d attempts: %w", n.ID, o.Attempts, err)
 }

@@ -1,0 +1,163 @@
+package pipestore
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpipe/internal/wire"
+)
+
+// serveFence runs Serve on a fresh connection pair and returns the
+// fake-tuner side codec (after absorbing the store's Hello).
+func serveFence(t *testing.T, n *Node) (*wire.Codec, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	go func() { _ = n.Serve(b) }()
+	c := wire.NewCodec(a)
+	hello, err := c.Recv()
+	if err != nil || hello.Type != wire.MsgHello {
+		t.Fatalf("hello: %v %v", hello, err)
+	}
+	return c, func() { a.Close(); b.Close() }
+}
+
+// TestFenceRejectsStaleLeader: once a store has seen leader epoch E, any
+// message stamped with a lower non-zero epoch is refused with an error and
+// never executed — here a MsgModelDelta whose blob is garbage, which would
+// fail loudly if it ever reached applyDelta. The fence persists across
+// sessions: the stale leader reconnecting stays fenced.
+func TestFenceRejectsStaleLeader(t *testing.T) {
+	n, _ := newStore(t, 5)
+
+	// Session 1: the new leader (epoch 2) raises the fence with a ping.
+	c1, done1 := serveFence(t, n)
+	if err := c1.Send(&wire.Message{Type: wire.MsgPing, Epoch: 1, LeaderEpoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if pong, err := c1.Recv(); err != nil || pong.Type != wire.MsgPong {
+		t.Fatalf("pong: %v %v", pong, err)
+	}
+	done1()
+
+	// Session 2: the deposed leader (epoch 1) replays a delta.
+	c2, done2 := serveFence(t, n)
+	defer done2()
+	before := n.ModelVersion()
+	if err := c2.Send(&wire.Message{Type: wire.MsgModelDelta, LeaderEpoch: 1,
+		Blob: []byte("stale-garbage"), ModelVersion: before + 1}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.MsgError || !strings.Contains(reply.Err, "fenced") {
+		t.Fatalf("stale delta got %v (%q), want fenced MsgError", reply.Type, reply.Err)
+	}
+	if got := n.ModelVersion(); got != before {
+		t.Fatalf("stale leader advanced the model: v%d → v%d", before, got)
+	}
+
+	// Stale pings are refused too: the deposed leader must not read this
+	// store as a live follower.
+	if err := c2.Send(&wire.Message{Type: wire.MsgPing, LeaderEpoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = c2.Recv(); err != nil || reply.Type != wire.MsgError {
+		t.Fatalf("stale ping got %v (err %v), want fenced MsgError", reply, err)
+	}
+
+	// Unfenced legacy traffic (epoch 0) still passes.
+	if err := c2.Send(&wire.Message{Type: wire.MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = c2.Recv(); err != nil || reply.Type != wire.MsgPong {
+		t.Fatalf("legacy ping got %v (err %v), want pong", reply, err)
+	}
+}
+
+// TestDialBackoffLadderPersistsAndResets pins the reconnect-backoff
+// contract: the ladder escalates across short-lived sessions (a
+// crash-looping tuner is not hammered at the base rate) and resets after a
+// session that stayed healthy for HealthyAfter (a store that flaps hours
+// apart does not pay the accumulated maximum).
+func TestDialBackoffLadderPersistsAndResets(t *testing.T) {
+	n, _ := newStore(t, 5)
+
+	// Sessions 1, 2 and 4 die instantly; session 3 outlives HealthyAfter.
+	// The dial gaps should read: immediate, ~base, ~2×base (ladder
+	// persisting and escalating across the short sessions), then — after
+	// the healthy session resets the ladder — immediate again.
+	var dialTimes []time.Time
+	var sessions atomic.Int32
+	dial := func(string) (net.Conn, error) {
+		dialTimes = append(dialTimes, time.Now())
+		a, b := net.Pipe()
+		go func(slow bool) {
+			c := wire.NewCodec(a)
+			_, _ = c.Recv() // hello
+			if slow {
+				time.Sleep(60 * time.Millisecond) // outlives HealthyAfter
+			}
+			a.Close()
+		}(sessions.Add(1) == 3)
+		return b, nil
+	}
+	err := n.DialRetryMulti([]string{"x"}, DialOptions{
+		Attempts: 3, Backoff: 40 * time.Millisecond, BackoffCap: time.Second,
+		HealthyAfter: 50 * time.Millisecond, Rejoin: true, MaxSessions: 4, Seed: 11,
+		DialAddr: dial,
+	})
+	if err != nil {
+		t.Fatalf("DialRetryMulti: %v", err)
+	}
+	if len(dialTimes) != 4 {
+		t.Fatalf("dialed %d times, want 4", len(dialTimes))
+	}
+	gap12 := dialTimes[1].Sub(dialTimes[0])
+	gap23 := dialTimes[2].Sub(dialTimes[1])
+	gap34 := dialTimes[3].Sub(dialTimes[2])
+	if gap12 < 15*time.Millisecond {
+		t.Fatalf("second dial came after %v: ladder did not persist across sessions", gap12)
+	}
+	if gap23 < 35*time.Millisecond {
+		t.Fatalf("third dial came after %v: ladder did not escalate", gap23)
+	}
+	// Session 3 itself takes ~60ms; a reset ladder adds no backoff on top.
+	// Without the reset this gap would carry a ≥80ms third-rung backoff.
+	if extra := gap34 - 60*time.Millisecond; extra > 35*time.Millisecond {
+		t.Fatalf("dial after healthy session waited %v beyond the session: ladder did not reset", extra)
+	}
+}
+
+// TestDialRetryMultiFailsOver: with the primary address dead, the dialer
+// rotates to the standby address within the same dial pass.
+func TestDialRetryMultiFailsOver(t *testing.T) {
+	n, _ := newStore(t, 5)
+	var tried []string
+	err := n.DialRetryMulti([]string{"dead:1", "alive:2"}, DialOptions{
+		Attempts: 4, Backoff: time.Millisecond, Seed: 5,
+		DialAddr: func(addr string) (net.Conn, error) {
+			tried = append(tried, addr)
+			if addr == "dead:1" {
+				return nil, net.ErrClosed
+			}
+			a, b := net.Pipe()
+			go func() {
+				c := wire.NewCodec(a)
+				_, _ = c.Recv()
+				a.Close()
+			}()
+			return b, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialRetryMulti: %v", err)
+	}
+	if len(tried) != 2 || tried[0] != "dead:1" || tried[1] != "alive:2" {
+		t.Fatalf("tried %v, want [dead:1 alive:2]", tried)
+	}
+}

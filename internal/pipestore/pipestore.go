@@ -79,6 +79,13 @@ type Node struct {
 	metricsSeq   atomic.Uint64
 	metricsEvery time.Duration
 	lastShip     atomic.Int64 // unix-nano of the last shipment (0 = never)
+
+	// fence is the highest leadership epoch this store has seen (S35).
+	// Messages stamped with a lower non-zero epoch come from a deposed
+	// leader and are rejected without execution — across sessions, so a
+	// stale leader reconnecting after a failover stays fenced. Zero-stamped
+	// messages (pre-HA or single-tuner peers) always pass.
+	fence atomic.Uint64
 }
 
 // DefaultMetricsInterval is how often a store ships its registry snapshot to
@@ -92,6 +99,7 @@ type nodeMetrics struct {
 	ingested       *telemetry.Counter
 	featureBatches *telemetry.Counter
 	deltasApplied  *telemetry.Counter
+	fencedMsgs     *telemetry.Counter
 	modelVersion   *telemetry.Gauge
 	extractRun     *telemetry.Histogram
 	offlineInfer   *telemetry.Histogram
@@ -105,6 +113,7 @@ func newNodeMetrics(reg *telemetry.Registry, id string) nodeMetrics {
 		ingested:       reg.Counter(lbl("pipestore_images_ingested_total")),
 		featureBatches: reg.Counter(lbl("pipestore_feature_batches_total")),
 		deltasApplied:  reg.Counter(lbl("pipestore_deltas_applied_total")),
+		fencedMsgs:     reg.Counter(lbl("pipestore_fenced_msgs_total")),
 		modelVersion:   reg.Gauge(lbl("pipestore_model_version")),
 		extractRun:     reg.Histogram(lbl("pipestore_extract_run_seconds")),
 		offlineInfer:   reg.Histogram(lbl("pipestore_offline_infer_seconds")),
@@ -640,6 +649,14 @@ func (n *Node) Serve(conn net.Conn) error {
 				readErr <- err
 				return
 			}
+			if !n.admitLeader(msg) {
+				// A deposed leader's delayed or replayed command: refuse it
+				// before it can reach execution — not even a pong, so the
+				// stale leader cannot mistake this store for a follower.
+				_ = c.Send(&wire.Message{Type: wire.MsgError, StoreID: n.ID, Epoch: msg.Epoch,
+					Err: fmt.Sprintf("fenced: leader epoch %d below %d", msg.LeaderEpoch, n.fence.Load())})
+				continue
+			}
 			if msg.Type == wire.MsgPing {
 				_ = c.Send(&wire.Message{Type: wire.MsgPong, StoreID: n.ID, Epoch: msg.Epoch})
 				continue
@@ -666,6 +683,39 @@ func (n *Node) Serve(conn net.Conn) error {
 		return nil
 	}
 	return err
+}
+
+// admitLeader is the leader-epoch fence: it admits unfenced (epoch-0)
+// messages, admits and remembers anything at or above the highest epoch
+// seen so far, and rejects the rest — a deposed leader's traffic, however
+// delayed or replayed, can never advance this store's state.
+func (n *Node) admitLeader(msg *wire.Message) bool {
+	le := msg.LeaderEpoch
+	if le == 0 {
+		return true
+	}
+	for {
+		cur := n.fence.Load()
+		if le < cur {
+			n.met.fencedMsgs.Inc()
+			telemetry.Default.Flight().Record(telemetry.FlightFenced, "pipestore", n.ID,
+				int64(le), int64(cur))
+			n.log.Warn("fenced stale leader message",
+				slog.String("type", msg.Type.String()),
+				slog.Uint64("leader_epoch", le), slog.Uint64("fence", cur))
+			return false
+		}
+		if le == cur {
+			return true
+		}
+		if n.fence.CompareAndSwap(cur, le) {
+			if cur != 0 {
+				n.log.Info("new leader observed",
+					slog.Uint64("leader_epoch", le), slog.Uint64("previous", cur))
+			}
+			return true
+		}
+	}
 }
 
 // serveOne executes a single Tuner command. Every reply echoes the

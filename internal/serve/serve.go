@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndpipe/internal/dataset"
@@ -226,6 +227,7 @@ type gatewayMetrics struct {
 	queueDepth *telemetry.Gauge
 	sloTarget  *telemetry.Gauge
 	sloBurn    *telemetry.Gauge
+	degraded   *telemetry.Gauge
 	latency    *telemetry.Histogram
 	batchSize  *telemetry.Histogram
 }
@@ -250,6 +252,7 @@ func newGatewayMetrics(reg *telemetry.Registry) gatewayMetrics {
 		queueDepth: reg.Gauge("serve_queue_depth"),
 		sloTarget:  reg.Gauge("serve_slo_target_seconds"),
 		sloBurn:    reg.Gauge("serve_slo_burn_ratio"),
+		degraded:   reg.Gauge("serve_degraded"),
 		latency:    reg.Histogram("serve_upload_seconds"),
 		batchSize: reg.HistogramBuckets("serve_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
@@ -270,6 +273,12 @@ type Gateway struct {
 	// lock no sender is in flight and the queue channel can be closed.
 	admitMu sync.RWMutex
 	closed  bool
+
+	// degraded marks the gateway as serving from the last committed model:
+	// uploads still flow, but the continuous-training loop behind it is
+	// down (tuner unreachable, failover in progress). Purely advisory —
+	// admission is unaffected.
+	degraded atomic.Bool
 
 	cache   *featureCache // nil when disabled
 	tenants *admitter     // nil when unthrottled
@@ -370,6 +379,28 @@ func (g *Gateway) Upload(req Request) (inferserver.UploadResult, error) {
 func (g *Gateway) UploadImage(img dataset.Image) (inferserver.UploadResult, error) {
 	return g.Upload(Request{Img: img})
 }
+
+// SetDegraded flips degraded mode: the gateway keeps serving from the
+// last committed model while the training loop behind it is unavailable.
+// Transitions set the serve_degraded gauge and land in the flight
+// recorder with the reason; repeated calls with the same state are no-ops.
+func (g *Gateway) SetDegraded(on bool, reason string) {
+	if g.degraded.Swap(on) == on {
+		return
+	}
+	if on {
+		g.met.degraded.Set(1)
+		g.flight.Record(telemetry.FlightDegraded, "serve", reason, 0, 0)
+		g.log.Warn("gateway degraded: serving last committed model", slog.String("reason", reason))
+	} else {
+		g.met.degraded.Set(0)
+		g.flight.Record(telemetry.FlightDegraded, "serve", "recovered:"+reason, 0, 0)
+		g.log.Info("gateway recovered from degraded mode", slog.String("reason", reason))
+	}
+}
+
+// Degraded reports whether the gateway is in degraded mode.
+func (g *Gateway) Degraded() bool { return g.degraded.Load() }
 
 // Accepting reports whether the gateway is still admitting uploads — the
 // /readyz "gateway" health check.

@@ -384,3 +384,28 @@ func TestOptionsValidation(t *testing.T) {
 		t.Fatal("unknown policy must error")
 	}
 }
+
+// TestSetDegradedTransitions pins the degraded-mode contract: the gauge
+// tracks the state, repeated sets are no-ops, and recovery clears it.
+func TestSetDegradedTransitions(t *testing.T) {
+	fb := &fakeBackend{featDim: 4}
+	opts := testOptions()
+	g, err := New(fb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Degraded() {
+		t.Fatal("fresh gateway must not be degraded")
+	}
+	gauge := opts.Registry.Gauge("serve_degraded")
+	g.SetDegraded(true, "tuner unreachable")
+	g.SetDegraded(true, "tuner unreachable") // idempotent
+	if !g.Degraded() || gauge.Value() != 1 {
+		t.Fatalf("degraded = %v gauge = %v, want true/1", g.Degraded(), gauge.Value())
+	}
+	g.SetDegraded(false, "tuner back")
+	if g.Degraded() || gauge.Value() != 0 {
+		t.Fatalf("degraded = %v gauge = %v, want false/0", g.Degraded(), gauge.Value())
+	}
+}

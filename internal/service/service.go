@@ -101,6 +101,7 @@ type Service struct {
 	retrainRounds int
 	detector      *drift.Detector // nil unless the policy enables it
 	driftFires    int
+	degraded      bool // last retrain cycle failed; serving the old model
 
 	met serviceMetrics
 	log *slog.Logger
@@ -110,6 +111,7 @@ type Service struct {
 // once in Start.
 type serviceMetrics struct {
 	retrains      *telemetry.Counter
+	retrainFails  *telemetry.Counter // cycles that failed (service kept serving)
 	driftChecks   *telemetry.Counter // drift-trigger decisions taken
 	driftFires    *telemetry.Counter // ... of which fired a retrain
 	uploadSeconds *telemetry.Histogram
@@ -121,6 +123,7 @@ func newServiceMetrics() serviceMetrics {
 	reg := telemetry.Default
 	return serviceMetrics{
 		retrains:      reg.Counter("service_retrain_total"),
+		retrainFails:  reg.Counter("service_retrain_failures_total"),
 		driftChecks:   reg.Counter("service_drift_checks_total"),
 		driftFires:    reg.Counter("service_drift_fires_total"),
 		uploadSeconds: reg.Histogram("service_upload_seconds"),
@@ -331,10 +334,38 @@ func (s *Service) Upload(img dataset.Image) (inferserver.UploadResult, error) {
 	s.mu.Unlock()
 	if due {
 		if _, err := s.Retrain(); err != nil {
-			return res, fmt.Errorf("service: automatic retrain: %w", err)
+			// The upload itself succeeded — the photo is stored and labeled
+			// by the last committed model. A retrain failure (tuner down,
+			// failover in progress) degrades freshness, not availability:
+			// surface it and keep serving.
+			s.log.Error("automatic retrain failed; serving last committed model",
+				slog.Int("model_version", s.ModelVersion()), slog.Any("err", err))
 		}
 	}
 	return res, nil
+}
+
+// Degraded reports whether the last retrain cycle failed — the service is
+// up and serving, but from a model older than the policy wants.
+func (s *Service) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// setDegraded tracks retrain-loop health across the service and, when the
+// serving gateway is present, mirrors it there (serve_degraded gauge plus
+// a flight-recorder event).
+func (s *Service) setDegraded(on bool, reason string) {
+	s.mu.Lock()
+	changed := s.degraded != on
+	s.degraded = on
+	s.mu.Unlock()
+	if s.gw != nil {
+		s.gw.SetDegraded(on, reason)
+	} else if changed && on {
+		telemetry.Default.Flight().Record(telemetry.FlightDegraded, "service", reason, 0, 0)
+	}
 }
 
 // UploadBatch ingests many photos through the online path.
@@ -364,6 +395,8 @@ func (s *Service) Retrain() (tuner.Report, error) {
 	rep, err := s.tn.FineTuneTraced(tc, s.policy.Nrun, s.policy.Batch, s.policy.Train)
 	if err != nil {
 		logger.Error("retrain failed during fine-tune", slog.Any("err", err))
+		s.met.retrainFails.Inc()
+		s.setDegraded(true, "fine-tune failed")
 		return rep, err
 	}
 	if rep.Degraded {
@@ -380,13 +413,18 @@ func (s *Service) Retrain() (tuner.Report, error) {
 	ad.End()
 	if err != nil {
 		logger.Error("retrain failed applying delta to inference server", slog.Any("err", err))
+		s.met.retrainFails.Inc()
+		s.setDegraded(true, "delta apply failed")
 		return rep, err
 	}
 	_, err = s.tn.OfflineInferenceTraced(tc, s.policy.Batch)
 	if err != nil {
 		logger.Error("retrain failed during offline inference", slog.Any("err", err))
+		s.met.retrainFails.Inc()
+		s.setDegraded(true, "offline inference failed")
 		return rep, err
 	}
+	s.setDegraded(false, "retrain committed")
 	s.mu.Lock()
 	s.retrainRounds++
 	rounds := s.retrainRounds

@@ -201,3 +201,35 @@ func TestServePolicyRoutesThroughGateway(t *testing.T) {
 		t.Fatalf("no coalescing: %d batches for %d uploads", st.Batches, n)
 	}
 }
+
+// TestUploadSurvivesRetrainFailure: when the training backend dies, uploads
+// keep landing — labeled by the last committed model — and the service
+// reports itself degraded instead of bouncing the client's request.
+func TestUploadSurvivesRetrainFailure(t *testing.T) {
+	p := quickPolicy(2)
+	p.Serve = true
+	p.ServeOptions = serve.Options{MaxBatch: 4, MaxWait: time.Millisecond}
+	s, world := startService(t, 2, p)
+	imgs := world.Images()
+
+	// Kill the tuner's store sessions: the next policy-due retrain fails.
+	s.tn.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Upload(imgs[i]); err != nil {
+			t.Fatalf("upload %d failed: %v (must survive a dead training loop)", i, err)
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("service must report degraded after a failed retrain cycle")
+	}
+	if !s.Gateway().Degraded() {
+		t.Fatal("gateway must mirror degraded mode")
+	}
+	// Serving continues: more uploads, search still answers.
+	if _, err := s.Upload(imgs[2]); err != nil {
+		t.Fatalf("upload while degraded: %v", err)
+	}
+	if s.DB().Len() != 3 {
+		t.Fatalf("db has %d entries, want 3", s.DB().Len())
+	}
+}

@@ -43,6 +43,14 @@ const (
 	FlightRecover     = "recover"      // code=what, v1=version
 	FlightExtractRun  = "extract-run"  // v1=run, v2=images
 	FlightDump        = "dump"         // the recorder itself being dumped
+
+	// HA / failover taxonomy (S35).
+	FlightTakeover      = "takeover"       // v1=leader epoch, v2=model version
+	FlightFenced        = "fenced"         // code=sender, v1=stale epoch, v2=fence
+	FlightStandbyAttach = "standby-attach" // code=standby, v1=seeded version
+	FlightStandbyDetach = "standby-detach" // code=standby, v1=last acked seq
+	FlightWALShip       = "wal-ship"       // v1=seq, v2=bytes
+	FlightDegraded      = "degraded"       // code=component, v1=1 enter / 0 exit
 )
 
 // FlightRecorder is a bounded, allocation-free ring of structured events —

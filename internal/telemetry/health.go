@@ -19,6 +19,7 @@ type Health struct {
 	order  []string
 	checks map[string]func() error
 	start  time.Time
+	role   func() (string, int64) // optional HA role/lag provider
 }
 
 // NewHealth creates an empty health set.
@@ -44,11 +45,38 @@ type CheckResult struct {
 	Err  string `json:"err,omitempty"`
 }
 
-// HealthReport is the JSON body of /healthz and /readyz.
+// HealthReport is the JSON body of /healthz and /readyz. Role and
+// LagFrames appear only on HA-aware daemons (SetRole): a standby answers
+// /readyz with 503 and {"role":"standby","lag_frames":N} so orchestrators
+// and load balancers route around it until it takes over.
 type HealthReport struct {
 	Status        string        `json:"status"` // "ok" | "unready"
 	UptimeSeconds float64       `json:"uptime_seconds"`
+	Role          string        `json:"role,omitempty"` // "leader" | "standby"
+	LagFrames     *int64        `json:"lag_frames,omitempty"`
 	Checks        []CheckResult `json:"checks,omitempty"`
+}
+
+// SetRole installs the HA role provider: fn returns the daemon's current
+// role ("leader" or "standby") and, for a standby, how many shipped WAL
+// frames it has heard of but not yet applied. Both land in the /healthz
+// and /readyz bodies.
+func (h *Health) SetRole(fn func() (role string, lagFrames int64)) {
+	h.mu.Lock()
+	h.role = fn
+	h.mu.Unlock()
+}
+
+// roleInfo snapshots the role provider's view (nil lag when no provider).
+func (h *Health) roleInfo() (string, *int64) {
+	h.mu.Lock()
+	fn := h.role
+	h.mu.Unlock()
+	if fn == nil {
+		return "", nil
+	}
+	role, lag := fn()
+	return role, &lag
 }
 
 // Run executes every check and reports the results (sorted by name) and
@@ -83,8 +111,10 @@ func (h *Health) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	h.mu.Lock()
 	up := time.Since(h.start).Seconds()
 	h.mu.Unlock()
+	role, lag := h.roleInfo()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(HealthReport{Status: "ok", UptimeSeconds: up, Checks: checks})
+	_ = json.NewEncoder(w).Encode(HealthReport{Status: "ok", UptimeSeconds: up,
+		Role: role, LagFrames: lag, Checks: checks})
 }
 
 // serveReadyz implements /readyz: 200 only when every registered check
@@ -100,7 +130,9 @@ func (h *Health) serveReadyz(w http.ResponseWriter, _ *http.Request) {
 		status = "unready"
 		code = http.StatusServiceUnavailable
 	}
+	role, lag := h.roleInfo()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(HealthReport{Status: status, UptimeSeconds: up, Checks: checks})
+	_ = json.NewEncoder(w).Encode(HealthReport{Status: status, UptimeSeconds: up,
+		Role: role, LagFrames: lag, Checks: checks})
 }

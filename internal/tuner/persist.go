@@ -40,13 +40,17 @@ import (
 const (
 	walRound  = 1 // a committed fine-tuning round (carries the delta blob)
 	walLabels = 2 // a committed offline-inference pass (labels.snap ref)
+	walLeader = 3 // a leadership assertion (Leader is the new epoch)
 )
 
 // walRecord is one WAL entry, gob-encoded inside a durable.Log frame.
+// Leader is the leadership epoch in force when the record was written
+// (zero on pre-HA logs, which gob-decodes compatibly).
 type walRecord struct {
 	Kind    int
 	Version int
 	Epoch   int
+	Leader  uint64
 	Delta   []byte // walRound only: the round's encoded delta blob
 }
 
@@ -54,6 +58,7 @@ type walRecord struct {
 type baseSnap struct {
 	Version int
 	Epoch   int
+	Leader  uint64 // leadership epoch at the root (0 on pre-HA snapshots)
 	Model   []byte // nn.EncodeSnapshot of the classifier at Version
 }
 
@@ -70,12 +75,13 @@ func (s *nodeState) labelsPath() string { return filepath.Join(s.dir, "labels.sn
 
 // RecoveryReport describes what OpenState reconstructed.
 type RecoveryReport struct {
-	Version   int           // recovered model version
-	Epoch     int           // recovered round epoch
-	Records   int           // WAL records replayed
-	TornBytes int64         // bytes truncated from the WAL's torn tail
-	Labels    int           // label entries restored
-	Elapsed   time.Duration // wall time of the whole recovery
+	Version     int           // recovered model version
+	Epoch       int           // recovered round epoch
+	LeaderEpoch uint64        // highest leadership epoch found in the log
+	Records     int           // WAL records replayed
+	TornBytes   int64         // bytes truncated from the WAL's torn tail
+	Labels      int           // label entries restored
+	Elapsed     time.Duration // wall time of the whole recovery
 }
 
 // OpenState attaches the tuner to a state directory, replaying any existing
@@ -125,6 +131,7 @@ func (t *Node) OpenStateFaults(dir string, faults *durable.Faults) (RecoveryRepo
 	}
 	archive := modelstore.NewAt(base.Version, rootSnap)
 	epoch := base.Epoch
+	leader := base.Leader
 
 	// Replay the WAL on top of the root. Records at or below the archive's
 	// latest version are replays of pre-compaction history — skip them.
@@ -135,6 +142,9 @@ func (t *Node) OpenStateFaults(dir string, faults *durable.Faults) (RecoveryRepo
 		}
 		if rec.Epoch > epoch {
 			epoch = rec.Epoch
+		}
+		if rec.Leader > leader {
+			leader = rec.Leader
 		}
 		if rec.Kind != walRound || rec.Version <= archive.Latest() {
 			return nil
@@ -180,12 +190,14 @@ func (t *Node) OpenStateFaults(dir string, faults *durable.Faults) (RecoveryRepo
 	t.archive = archive
 	t.version = latest
 	t.epoch = epoch
+	t.leaderEpoch.Store(leader)
 	t.state = st
 	st.wal = wal
 	t.mu.Unlock()
 
 	rep.Version = latest
 	rep.Epoch = epoch
+	rep.LeaderEpoch = leader
 	rep.Elapsed = time.Since(start)
 	t.met.modelVersion.Set(float64(latest))
 	recoverSeconds("tuner").Observe(rep.Elapsed.Seconds())
@@ -230,16 +242,29 @@ func (t *Node) Epoch() int {
 // archive entry stays in memory but no store ever sees the version, so a
 // restart (which recovers the previous version) cannot strand the fleet
 // ahead of the tuner.
+//
+// With a replicator attached (HA), the record must additionally be acked
+// by the hot standby before the round may proceed to broadcast — the
+// commit rule is "durable on the leader AND on the standby when one is
+// attached". A replication failure aborts the round exactly like a local
+// journaling failure: no store ever sees the version, so neither side of
+// a failover can be stranded behind an acknowledged commit.
 func (t *Node) journalRoundLocked(version, epoch int, blob []byte) error {
 	if t.state == nil {
 		return nil
 	}
-	rec, err := encodeWAL(walRecord{Kind: walRound, Version: version, Epoch: epoch, Delta: blob})
+	rec, err := encodeWAL(walRecord{Kind: walRound, Version: version, Epoch: epoch,
+		Leader: t.leaderEpoch.Load(), Delta: blob})
 	if err != nil {
 		return err
 	}
 	if err := t.state.wal.Append(rec); err != nil {
 		return fmt.Errorf("tuner: journaling round %d: %w", version, err)
+	}
+	if t.repl != nil {
+		if err := t.repl.Replicate(rec); err != nil {
+			return fmt.Errorf("tuner: replicating round %d: %w", version, err)
+		}
 	}
 	return nil
 }
@@ -261,17 +286,23 @@ func (t *Node) persistLabels(version, epoch int) error {
 	if err := st.faults.WriteFileChecksummed(st.labelsPath(), buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("tuner: persisting labels: %w", err)
 	}
-	rec, err := encodeWAL(walRecord{Kind: walLabels, Version: version, Epoch: epoch})
-	if err != nil {
-		return err
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state == nil {
 		return nil
 	}
+	rec, err := encodeWAL(walRecord{Kind: walLabels, Version: version, Epoch: epoch,
+		Leader: t.leaderEpoch.Load()})
+	if err != nil {
+		return err
+	}
 	if err := t.state.wal.Append(rec); err != nil {
 		return fmt.Errorf("tuner: journaling label pass: %w", err)
+	}
+	if t.repl != nil {
+		if err := t.repl.Replicate(rec); err != nil {
+			return fmt.Errorf("tuner: replicating label pass: %w", err)
+		}
 	}
 	return nil
 }
@@ -290,7 +321,8 @@ func (t *Node) CompactState(keepFrom int) error {
 	if err != nil {
 		return err
 	}
-	if err := writeBase(t.state, baseSnap{Version: keepFrom, Epoch: t.epoch, Model: mustEncode(snap)}); err != nil {
+	if err := writeBase(t.state, baseSnap{Version: keepFrom, Epoch: t.epoch,
+		Leader: t.leaderEpoch.Load(), Model: mustEncode(snap)}); err != nil {
 		return err
 	}
 	if err := t.archive.Prune(keepFrom); err != nil {
@@ -299,7 +331,8 @@ func (t *Node) CompactState(keepFrom int) error {
 	blobs := t.archive.Blobs()
 	payloads := make([][]byte, 0, len(blobs))
 	for i, b := range blobs {
-		rec, err := encodeWAL(walRecord{Kind: walRound, Version: keepFrom + i + 1, Epoch: t.epoch, Delta: b})
+		rec, err := encodeWAL(walRecord{Kind: walRound, Version: keepFrom + i + 1, Epoch: t.epoch,
+			Leader: t.leaderEpoch.Load(), Delta: b})
 		if err != nil {
 			return err
 		}

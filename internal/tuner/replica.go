@@ -1,0 +1,104 @@
+// Replica support (S35). A hot-standby tuner tails the leader's WAL over
+// the wire and materializes it into a state directory with the exact
+// base.snap/tuner.wal layout persist.go writes — so takeover is nothing
+// but the already-proven OpenState recovery path run against shipped
+// bytes. The helpers here are the only doorway into the private on-disk
+// formats: the leader packages a bootstrap Seed, the standby installs it
+// and appends live records verbatim.
+package tuner
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"ndpipe/internal/durable"
+)
+
+// Seed is the bootstrap a leader ships to a freshly attached standby: the
+// delta chain's root plus every WAL record needed to reach the current
+// version. Records are pre-encoded walRecord payloads — the standby writes
+// them to its own log byte-for-byte, so leader and standby logs stay
+// replay-identical.
+type Seed struct {
+	BaseVersion int
+	RoundEpoch  int
+	LeaderEpoch uint64
+	Model       []byte   // nn.EncodeSnapshot of the classifier at BaseVersion
+	Records     [][]byte // encoded walRecords for BaseVersion+1..latest
+}
+
+// ReplicaSeed snapshots the tuner's durable state as a bootstrap Seed.
+func (t *Node) ReplicaSeed() (Seed, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	baseV := t.archive.Oldest()
+	baseSnap, err := t.archive.Snapshot(baseV)
+	if err != nil {
+		return Seed{}, fmt.Errorf("tuner: replica seed base: %w", err)
+	}
+	s := Seed{
+		BaseVersion: baseV,
+		RoundEpoch:  t.epoch,
+		LeaderEpoch: t.leaderEpoch.Load(),
+		Model:       mustEncode(baseSnap),
+	}
+	for i, b := range t.archive.Blobs() {
+		rec, err := encodeWAL(walRecord{Kind: walRound, Version: baseV + i + 1, Epoch: t.epoch,
+			Leader: s.LeaderEpoch, Delta: b})
+		if err != nil {
+			return Seed{}, err
+		}
+		s.Records = append(s.Records, rec)
+	}
+	return s, nil
+}
+
+// WALInfo is the decoded view of one shipped WAL record — what a standby
+// needs to maintain its in-memory replica (the raw payload is persisted
+// verbatim; this is only for bookkeeping).
+type WALInfo struct {
+	Kind    int // walRound / walLabels / walLeader
+	Version int
+	Epoch   int
+	Leader  uint64
+	Delta   []byte // round records only
+}
+
+// IsRound reports whether the record carries a committed round's delta.
+func (w WALInfo) IsRound() bool { return w.Kind == walRound }
+
+// DecodeWALRecord parses an encoded walRecord payload.
+func DecodeWALRecord(p []byte) (WALInfo, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); err != nil {
+		return WALInfo{}, fmt.Errorf("tuner: undecodable wal record: %w", err)
+	}
+	return WALInfo(rec), nil
+}
+
+// InstallSeed materializes a bootstrap Seed into dir — base.snap first
+// (atomic replace), then the WAL rewritten with the seed's records — and
+// returns the open log positioned for live appends. The write order
+// mirrors CompactState: a crash between the two steps leaves a consistent
+// (if stale) state that OpenState recovers.
+func InstallSeed(dir string, s Seed) (*durable.Log, error) {
+	st := &nodeState{dir: dir}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tuner: replica dir: %w", err)
+	}
+	if err := writeBase(st, baseSnap{Version: s.BaseVersion, Epoch: s.RoundEpoch,
+		Leader: s.LeaderEpoch, Model: s.Model}); err != nil {
+		return nil, err
+	}
+	wal, _, err := durable.Open(st.walPath(), nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: opening replica wal: %w", err)
+	}
+	if err := wal.Rewrite(s.Records); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("tuner: seeding replica wal: %w", err)
+	}
+	return wal, nil
+}

@@ -146,8 +146,11 @@ func (t *Node) backoff(o RoundOptions, attempt int) time.Duration {
 }
 
 // sendWithDeadline writes one message with a per-store write deadline, so
-// a stalled peer cannot wedge the round inside a blocking send.
+// a stalled peer cannot wedge the round inside a blocking send. Every
+// message is stamped with the tuner's leadership term on the way out —
+// this is the fencing signal stores use to reject a deposed leader.
 func (t *Node) sendWithDeadline(sc *storeConn, msg *wire.Message, d time.Duration) error {
+	msg.LeaderEpoch = t.leaderEpoch.Load()
 	if d > 0 {
 		_ = sc.conn.SetWriteDeadline(time.Now().Add(d))
 		defer sc.conn.SetWriteDeadline(time.Time{})
@@ -623,6 +626,17 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 	// Check-N-Run distribution: archive the new version and broadcast its
 	// delta blob.
 	t.mu.Lock()
+	// A node closed mid-round (leader deposed, process shutting down) must
+	// not commit: Close has already released the state handles and the
+	// fleet, so the journal, replication, and broadcast below would all
+	// degenerate to no-ops and the caller would see a version that exists
+	// nowhere durable.
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return Report{}, fmt.Errorf("tuner: node closed; round %d cannot commit", rc.epoch)
+	default:
+	}
 	newSnap := clf.TakeSnapshot()
 	blob, err := t.archive.Append(newSnap)
 	if err != nil {

@@ -65,6 +65,18 @@ type Node struct {
 	state       *nodeState
 	lastCatchUp CatchUpInfo
 
+	// leaderEpoch is this tuner's leadership term, stamped on every
+	// outbound message so stores can fence a deposed leader. Zero until
+	// leadership is asserted (single-tuner deployments never assert and run
+	// unfenced, exactly as before HA). Durable: recovered from the WAL by
+	// OpenState, advanced only through AssertLeadership.
+	leaderEpoch atomic.Uint64
+
+	// repl, when set, ships every journaled WAL record to the hot standby
+	// before the round proceeds (see journalRoundLocked's commit rule).
+	// Guarded by mu.
+	repl Replicator
+
 	// codecs holds the per-store delta compressors for stores that
 	// negotiated a compressed wire encoding in their Hello. Keyed by store ID
 	// and retained across evictions, so a store that rejoins at exactly the
@@ -206,6 +218,58 @@ func New(cfg core.ModelConfig) (*Node, error) {
 	return t, nil
 }
 
+// Replicator ships one durable WAL record to a hot standby and returns
+// once the standby has acknowledged it as locally durable (or immediately
+// when no standby is attached). It is called with the tuner's mutex held
+// and must not call back into the tuner.
+type Replicator interface {
+	Replicate(record []byte) error
+}
+
+// SetReplicator attaches (or detaches, with nil) the WAL-shipping hook.
+// Install it before rounds start.
+func (t *Node) SetReplicator(r Replicator) {
+	t.mu.Lock()
+	t.repl = r
+	t.mu.Unlock()
+}
+
+// LeaderEpoch returns the tuner's current leadership term (0 = unfenced).
+func (t *Node) LeaderEpoch() uint64 { return t.leaderEpoch.Load() }
+
+// AssertLeadership durably adopts a leadership term strictly above both the
+// tuner's own recovered term and `above` (the highest term observed
+// elsewhere — e.g. by a standby on its replication stream). The assertion
+// is journaled before it takes effect, so a restarted leader can never
+// come back with a term it already ceded. Returns the new term.
+func (t *Node) AssertLeadership(above uint64) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.leaderEpoch.Load()
+	if above > e {
+		e = above
+	}
+	e++
+	if t.state != nil {
+		rec, err := encodeWAL(walRecord{Kind: walLeader, Version: t.version, Epoch: t.epoch, Leader: e})
+		if err != nil {
+			return 0, err
+		}
+		if err := t.state.wal.Append(rec); err != nil {
+			return 0, fmt.Errorf("tuner: journaling leadership epoch %d: %w", e, err)
+		}
+		if t.repl != nil {
+			if err := t.repl.Replicate(rec); err != nil {
+				return 0, fmt.Errorf("tuner: replicating leadership epoch %d: %w", e, err)
+			}
+		}
+	}
+	t.leaderEpoch.Store(e)
+	telemetry.Default.Flight().Record(telemetry.FlightTakeover, "tuner", "", int64(e), int64(t.version))
+	t.log.Info("leadership asserted", slog.Uint64("leader_epoch", e), slog.Int("version", t.version))
+	return e, nil
+}
+
 // Archive exposes the model-version store (read-only use).
 func (t *Node) Archive() *modelstore.Store { return t.archive }
 
@@ -341,7 +405,8 @@ func (t *Node) AddStore(conn net.Conn) error {
 	t.mu.Unlock()
 	telemetry.Default.Flight().Record(telemetry.FlightCatchUp, "tuner", sc.id, int64(to), int64(len(blob)))
 	if blob != nil {
-		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to, Rebase: rebase}); err != nil {
+		if err := codec.Send(&wire.Message{Type: wire.MsgModelDelta, Blob: blob, ModelVersion: to,
+			Rebase: rebase, LeaderEpoch: t.leaderEpoch.Load()}); err != nil {
 			return fmt.Errorf("tuner: sending catch-up to %s: %w", sc.id, err)
 		}
 		ack, err := codec.Recv()

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ndpipe/internal/telemetry"
+)
+
+// Oversize-frame guard. A gob stream is a sequence of messages, each
+// preceded by an unsigned byte count in gob's uint encoding; the decoder
+// allocates a buffer of the claimed size BEFORE reading the payload, so a
+// hostile peer can claim a multi-gigabyte message in a five-byte header and
+// OOM the process without ever sending the bytes. The guard sits between
+// the connection and the decoder, parses the same length prefixes the
+// decoder will, and fails the stream with a typed error the moment a claim
+// exceeds the limit — the decoder never sees the hostile length, so the
+// allocation never happens.
+
+// DefaultMaxMessage is the decoded-message size limit applied by NewCodec.
+// It matches the durable log's maxRecord bound: nothing in the protocol
+// legitimately ships a larger single message.
+const DefaultMaxMessage = 1 << 28 // 256 MiB
+
+// ErrTooLarge is the typed error a Codec returns when the peer claims a
+// message larger than the configured limit. The stream is poisoned once it
+// is returned: framing can no longer be trusted.
+var ErrTooLarge = errors.New("wire: message exceeds size limit")
+
+var oversizeFrames = telemetry.Default.Counter("wire_oversize_frames_total")
+
+// guardReader is the pass-through reader. It tracks gob's message framing
+// across arbitrary Read boundaries: when `remaining` payload bytes are
+// outstanding they stream through untouched; otherwise the next bytes form
+// a length prefix (first byte < 0x80 is the length itself; otherwise
+// 256-b big-endian length bytes follow, at most 8).
+type guardReader struct {
+	r   io.Reader
+	max uint64
+	err error // sticky failure; returned on every Read after detection
+
+	remaining uint64 // payload bytes left in the current message
+	hdrNeed   int    // length bytes still expected (0 = at a fresh prefix)
+	hdrVal    uint64 // accumulated big-endian length
+}
+
+func (g *guardReader) Read(p []byte) (int, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	n, err := g.r.Read(p)
+	if scanErr := g.scan(p[:n]); scanErr != nil {
+		g.err = scanErr
+		oversizeFrames.Inc()
+		// Nothing read past the hostile header may reach the decoder.
+		return 0, scanErr
+	}
+	return n, err
+}
+
+// scan advances the framing state machine over one chunk of stream bytes.
+func (g *guardReader) scan(b []byte) error {
+	for i := 0; i < len(b); {
+		if g.remaining > 0 {
+			skip := uint64(len(b) - i)
+			if skip > g.remaining {
+				skip = g.remaining
+			}
+			g.remaining -= skip
+			i += int(skip)
+			continue
+		}
+		c := b[i]
+		i++
+		if g.hdrNeed == 0 {
+			if c < 0x80 { // single-byte length
+				g.remaining = uint64(c)
+				continue
+			}
+			g.hdrNeed = 256 - int(c)
+			if g.hdrNeed > 8 {
+				return fmt.Errorf("%w: malformed %d-byte length prefix", ErrTooLarge, g.hdrNeed)
+			}
+			g.hdrVal = 0
+			continue
+		}
+		g.hdrVal = g.hdrVal<<8 | uint64(c)
+		g.hdrNeed--
+		if g.hdrNeed == 0 {
+			if g.hdrVal > g.max {
+				return fmt.Errorf("%w: peer claims %d bytes, limit %d", ErrTooLarge, g.hdrVal, g.max)
+			}
+			g.remaining = g.hdrVal
+		}
+	}
+	return nil
+}

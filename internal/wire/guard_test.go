@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestOversizeFrameRejected is the hostile-header regression: a peer whose
+// gob length prefix claims a multi-gigabyte message must get a typed
+// ErrTooLarge — before the decoder allocates anything — and the counter
+// must record the event.
+func TestOversizeFrameRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	codec := NewCodec(b)
+
+	before := oversizeFrames.Value()
+	go func() {
+		// 0xFC = four big-endian length bytes follow; 0xFFFFFFFF claims a
+		// ~4 GiB message. No payload is ever sent.
+		_, _ = a.Write([]byte{0xFC, 0xFF, 0xFF, 0xFF, 0xFF})
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := codec.Recv()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("Recv() = %v, want ErrTooLarge", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not fail: decoder is waiting for the claimed 4 GiB")
+	}
+	if got := oversizeFrames.Value(); got != before+1 {
+		t.Fatalf("wire_oversize_frames_total = %d, want %d", got, before+1)
+	}
+
+	// The stream is poisoned: every subsequent Recv returns the same verdict.
+	if _, err := codec.Recv(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("second Recv() = %v, want sticky ErrTooLarge", err)
+	}
+}
+
+// TestOversizeMalformedPrefix: a length-of-length byte claiming more than 8
+// length bytes is not a size the protocol can ever produce — reject it as
+// hostile framing rather than letting gob misparse.
+func TestOversizeMalformedPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	codec := NewCodec(b)
+	go func() { _, _ = a.Write([]byte{0x80}) }() // claims 128 length bytes
+	errc := make(chan error, 1)
+	go func() {
+		_, err := codec.Recv()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("Recv() = %v, want ErrTooLarge", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung on malformed prefix")
+	}
+}
+
+// TestGuardPassesLegitimateTraffic: the guard must be invisible to real
+// streams, including messages large enough that headers and payloads span
+// many Read calls, and with a tight (but sufficient) limit configured.
+func TestGuardPassesLegitimateTraffic(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewCodecMax(a, 1<<22), NewCodecMax(b, 1<<22)
+
+	want := &Message{Type: MsgFeatures, StoreID: "ps-9", Rows: 512, Cols: 64,
+		X: make([]float64, 512*64)}
+	for i := range want.X {
+		want.X[i] = float64(i)
+	}
+	go func() {
+		for i := 0; i < 3; i++ {
+			_ = ca.Send(want)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got.Rows != want.Rows || len(got.X) != len(want.X) || got.X[100] != want.X[100] {
+			t.Fatalf("message %d mangled by the guard", i)
+		}
+	}
+}
+
+// TestGuardRejectsLegitimatelyOversized: an honest peer that simply exceeds
+// the configured limit is also refused — the limit is about the receiver's
+// memory, not the sender's intent.
+func TestGuardRejectsLegitimatelyOversized(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewCodec(a), NewCodecMax(b, 1024)
+	go func() { _ = ca.Send(&Message{Type: MsgFeatures, X: make([]float64, 4096)}) }()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cb.Recv()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("Recv() = %v, want ErrTooLarge", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung instead of rejecting oversized message")
+	}
+}
+
+// TestLeaderEpochOldPeerFallback pins the interop contract for the HA
+// fields: an old peer's messages decode with LeaderEpoch 0 ("unfenced"),
+// and a modern fenced message is readable by an old peer with the rest of
+// its fields intact (gob drops unknown fields by name).
+func TestLeaderEpochOldPeerFallback(t *testing.T) {
+	ca, cb, done := pipeCodec()
+	defer done()
+	go func() {
+		_ = ca.Send(&Message{Type: MsgModelDelta, LeaderEpoch: 7, WALSeq: 3})
+		_ = ca.Send(&Message{Type: MsgModelDelta}) // legacy, unstamped
+	}()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LeaderEpoch != 7 || got.WALSeq != 3 {
+		t.Fatalf("HA fields did not round-trip: %+v", got)
+	}
+	got, err = cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LeaderEpoch != 0 {
+		t.Fatalf("unstamped message decoded with LeaderEpoch %d, want 0", got.LeaderEpoch)
+	}
+}

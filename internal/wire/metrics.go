@@ -12,27 +12,27 @@ import (
 // wrappers) only touches pre-registered atomic counters — no lookups, no
 // allocation.
 var (
-	sentMsgs  [MsgMetrics + 1]*telemetry.Counter
-	recvMsgs  [MsgMetrics + 1]*telemetry.Counter
+	sentMsgs  [lastMsgType + 1]*telemetry.Counter
+	recvMsgs  [lastMsgType + 1]*telemetry.Counter
 	sentBytes = telemetry.Default.Counter("wire_sent_bytes_total")
 	recvBytes = telemetry.Default.Counter("wire_recv_bytes_total")
 )
 
 func init() {
-	for t := MsgHello; t <= MsgMetrics; t++ {
+	for t := MsgHello; t <= lastMsgType; t++ {
 		sentMsgs[t] = telemetry.Default.Counter(telemetry.Labeled("wire_send_total", "type", t.String()))
 		recvMsgs[t] = telemetry.Default.Counter(telemetry.Labeled("wire_recv_total", "type", t.String()))
 	}
 }
 
 func countSent(t MsgType) {
-	if t >= MsgHello && t <= MsgMetrics {
+	if t >= MsgHello && t <= lastMsgType {
 		sentMsgs[t].Inc()
 	}
 }
 
 func countRecv(t MsgType) {
-	if t >= MsgHello && t <= MsgMetrics {
+	if t >= MsgHello && t <= lastMsgType {
 		recvMsgs[t].Inc()
 	}
 }

@@ -31,7 +31,14 @@ const (
 	MsgPing                            // tuner → store: liveness probe (silent-death detection)
 	MsgPong                            // store → tuner: liveness reply, echoing the ping's epoch
 	MsgMetrics                         // store → tuner: registry snapshot for the fleet aggregator
+	MsgWALAppend                       // leader → standby: one durable WAL record (or bootstrap seed)
+	MsgWALAck                          // standby → leader: record applied and locally durable
+	MsgStandbyHello                    // standby → leader: replication-channel registration
 )
+
+// lastMsgType is the highest defined MsgType; the per-type metric arrays
+// are sized off it.
+const lastMsgType = MsgStandbyHello
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -60,6 +67,12 @@ func (t MsgType) String() string {
 		return "pong"
 	case MsgMetrics:
 		return "metrics"
+	case MsgWALAppend:
+		return "wal-append"
+	case MsgWALAck:
+		return "wal-ack"
+	case MsgStandbyHello:
+		return "standby-hello"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -83,6 +96,14 @@ type Message struct {
 	// "untagged" (a pre-epoch peer), which the Tuner accepts for
 	// compatibility.
 	Epoch int
+
+	// LeaderEpoch extends the round-level Epoch to leader-level fencing: a
+	// tuner stamps its durable leadership term on every outbound message,
+	// and stores reject any message carrying a term lower than the highest
+	// they have seen — a deposed leader's delayed or replayed traffic can
+	// never advance state. Zero means "unfenced" (a pre-HA peer), which is
+	// accepted for compatibility.
+	LeaderEpoch uint64
 
 	// MsgTrainRequest
 	Runs      int // pipeline depth Nrun
@@ -133,6 +154,19 @@ type Message struct {
 	// nil/0 and ignores them.
 	Metrics    []telemetry.MetricPoint
 	MetricsSeq uint64
+
+	// MsgWALAppend / MsgWALAck / MsgStandbyHello: the HA replication
+	// channel. WALSeq is the shipment sequence number (the bootstrap seed is
+	// 1, live records count up from there); an ack echoes the sequence it
+	// covers. WALCRC is the CRC32C of Blob using the same polynomial as the
+	// durable log's frame checksum, so a record is integrity-checked
+	// end-to-end: leader disk → wire → standby disk. Boot marks Blob as a
+	// full bootstrap seed rather than a single WAL record. On
+	// MsgStandbyHello, ModelVersion carries the standby's last applied
+	// version (informational). All decode to zero from pre-HA peers.
+	WALSeq uint64
+	WALCRC uint32
+	Boot   bool
 }
 
 // TraceContext returns the message's trace context in telemetry form.
@@ -150,17 +184,30 @@ func (m *Message) SetTraceContext(tc telemetry.SpanContext) {
 // Codec frames Messages over a stream with gob. It is safe for one
 // concurrent reader and one concurrent writer.
 type Codec struct {
-	wmu sync.Mutex
-	enc *gob.Encoder
-	dec *gob.Decoder
+	wmu   sync.Mutex
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	guard *guardReader
 }
 
 // NewCodec wraps a bidirectional stream (typically a net.Conn). The stream
 // is transparently instrumented: per-MsgType message counts and total bytes
-// in each direction land in the telemetry default registry.
+// in each direction land in the telemetry default registry. Inbound frames
+// claiming more than DefaultMaxMessage decoded bytes fail the stream with
+// ErrTooLarge before any allocation happens.
 func NewCodec(rw io.ReadWriter) *Codec {
+	return NewCodecMax(rw, DefaultMaxMessage)
+}
+
+// NewCodecMax is NewCodec with an explicit decoded-message size limit
+// (max <= 0 selects DefaultMaxMessage).
+func NewCodecMax(rw io.ReadWriter, max int64) *Codec {
+	if max <= 0 {
+		max = DefaultMaxMessage
+	}
 	cs := countingStream{rw: rw}
-	return &Codec{enc: gob.NewEncoder(cs), dec: gob.NewDecoder(cs)}
+	g := &guardReader{r: cs, max: uint64(max)}
+	return &Codec{enc: gob.NewEncoder(cs), dec: gob.NewDecoder(g), guard: g}
 }
 
 // Send writes one message.
@@ -181,6 +228,11 @@ func (c *Codec) Send(m *Message) error {
 func (c *Codec) Recv() (*Message, error) {
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
+		// Surface the guard's typed verdict even if gob rewrapped the read
+		// error on its way up.
+		if c.guard != nil && c.guard.err != nil {
+			return nil, c.guard.err
+		}
 		return nil, err
 	}
 	if m.Type == 0 {
