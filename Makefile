@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke quant-smoke failover-smoke fmt-check ci
+.PHONY: all build test vet race bench bench-smoke chaos crash serve-smoke obs-smoke quant-smoke failover-smoke durability-smoke fmt-check ci
 
 all: build vet test
 
@@ -81,7 +81,19 @@ failover-smoke:
 	$(GO) test -race -v ./internal/ha/
 	$(GO) test -race -run 'TestFence|TestDialRetry|TestDialBackoff' ./internal/pipestore/
 
+# Durability chaos suite: replicated placement math, at-rest corruption
+# (CRC frames, quarantine, seeded bitflip/truncate injection), the
+# zero-ImagesLost degraded round at R=2, over-the-wire scrub/repair of an
+# injected bit-flip, quarantine-never-served, and the store-loss rebuild —
+# all under the race detector.
+durability-smoke:
+	$(GO) test -race ./internal/placement/ ./internal/photostore/
+	$(GO) test -race -run 'TestObject|TestParseFaults' ./internal/durable/
+	$(GO) test -race -run 'TestScrub|TestIngestReplica' ./internal/pipestore/
+	$(GO) test -race -run 'Replicat' ./internal/inferserver/
+	$(GO) test -race -v -run 'TestDurability|TestScrubRepairs|TestQuarantinedObject|TestRebuildRestores' ./internal/tuner/
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke quant-smoke failover-smoke
+ci: build vet fmt-check race bench chaos crash serve-smoke obs-smoke quant-smoke failover-smoke durability-smoke

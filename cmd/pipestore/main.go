@@ -18,10 +18,12 @@ import (
 	"ndpipe/internal/core"
 	"ndpipe/internal/dataset"
 	"ndpipe/internal/delta"
+	"ndpipe/internal/durable"
 	"ndpipe/internal/faultinject"
 	"ndpipe/internal/flightdump"
 	"ndpipe/internal/photostore"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/placement"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 )
@@ -49,6 +51,11 @@ func main() {
 		rejoinFlag  = flag.Bool("rejoin", false, "redial and re-register after the session ends (survives tuner restarts and evictions)")
 		faultSpec   = flag.String("fault-spec", "", "inject deterministic faults on the tuner conn, e.g. 'seed=7;drop:write,after=40' (empty=off)")
 		stateDir    = flag.String("state-dir", "", "persist model state and photos here; on restart, re-register at the persisted version (empty=in-memory)")
+
+		replication   = flag.Int("replication", 0, "materialize this shard by consistent-hash placement over ps-0..ps-<of-1> with this replication factor (0=classic modulo sharding)")
+		scrubInterval = flag.Duration("scrub-interval", 0, "background integrity scrub period; each tick verifies -scrub-batch objects (0=off)")
+		scrubBatch    = flag.Int("scrub-batch", 256, "objects verified per scrub tick")
+		objFaultSpec  = flag.String("object-fault-spec", "", "inject seeded at-rest corruption into stored objects, e.g. 'seed=7;bitflip:object,after=40' (needs -state-dir; empty=off)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*par)
@@ -79,7 +86,40 @@ func main() {
 	wcfg := dataset.DefaultConfig(*seed)
 	wcfg.InitialImages = *images
 	world := dataset.NewWorld(wcfg)
-	shardImgs := world.Shard(*of)[*shard]
+	var shardImgs []dataset.Image
+	if *replication > 0 {
+		// Ring-based materialization: this store holds every photo whose R
+		// ring replicas include it, so the same placement function the tuner
+		// uses for routing and repair decides what lives here. Members are
+		// the fleet's canonical IDs ps-0..ps-<of-1>.
+		members := make([]string, *of)
+		for i := range members {
+			members[i] = fmt.Sprintf("ps-%d", i)
+		}
+		ring, rerr := placement.New(members, *replication)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		mine := false
+		for _, m := range members {
+			if m == *id {
+				mine = true
+			}
+		}
+		if !mine {
+			fatal(fmt.Errorf("-replication needs a canonical store ID (ps-0..ps-%d), got %q", *of-1, *id))
+		}
+		for _, img := range world.Images() {
+			for _, rep := range ring.Replicas(img.ID) {
+				if rep == *id {
+					shardImgs = append(shardImgs, img)
+					break
+				}
+			}
+		}
+	} else {
+		shardImgs = world.Shard(*of)[*shard]
+	}
 
 	var node *pipestore.Node
 	var err error
@@ -88,6 +128,17 @@ func main() {
 		photos, perr := photostore.OpenDir(filepath.Join(*stateDir, "photos"))
 		if perr != nil {
 			fatal(perr)
+		}
+		if *objFaultSpec != "" {
+			fts, ferr := durable.ParseFaults(*objFaultSpec)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			if fts != nil {
+				photos.SetFaults(fts)
+				log.Warn("at-rest corruption injection active",
+					slog.String("spec", *objFaultSpec), slog.Int64("seed", fts.Seed()))
+			}
 		}
 		node, err = pipestore.NewWithStorage(*id, core.DefaultModelConfig(), photos)
 		if err != nil {
@@ -103,10 +154,20 @@ func main() {
 			slog.Bool("cold", rec.Cold),
 			slog.Duration("elapsed", rec.Elapsed))
 	} else {
+		if *objFaultSpec != "" {
+			fatal(fmt.Errorf("-object-fault-spec needs -state-dir"))
+		}
 		node, err = pipestore.New(*id, core.DefaultModelConfig())
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *scrubInterval > 0 {
+		stopScrub := node.StartScrub(*scrubInterval, *scrubBatch)
+		defer stopScrub()
+		log.Info("background scrub active",
+			slog.Duration("interval", *scrubInterval),
+			slog.Int("batch", *scrubBatch))
 	}
 	if *quantize {
 		if err := node.SetQuantize(); err != nil {

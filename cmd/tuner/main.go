@@ -40,6 +40,8 @@ func main() {
 		acceptTTL = flag.Duration("accept-timeout", 0, "per-store registration deadline (0=wait forever)")
 		par       = flag.Int("parallelism", 0, "compute-kernel worker count (0=GOMAXPROCS)")
 
+		replication = flag.Int("replication", 0, "photo replication factor: rounds route each photo to a live ring replica, and failed stores are rebuilt from survivors after a degraded commit (0=off)")
+
 		quorum     = flag.Int("quorum", 0, "minimum surviving stores for a round to commit (0=default 1)")
 		storeTTL   = flag.Duration("store-timeout", 0, "per-store silence/send deadline (0=default 30s)")
 		roundTTL   = flag.Duration("round-timeout", 0, "per-phase round deadline (0=default 5m)")
@@ -183,6 +185,12 @@ func main() {
 		go func() { _ = ship.Serve(hln) }()
 		log.Info("WAL shipping to standbys", slog.String("addr", hln.Addr().String()))
 	}
+	if *replication > 0 {
+		if err := tn.EnableReplication(*replication); err != nil {
+			fatal(err)
+		}
+		log.Info("photo replication active", slog.Int("factor", *replication))
+	}
 	tn.SetRoundOptions(tuner.RoundOptions{
 		Quorum:       *quorum,
 		StoreTimeout: *storeTTL,
@@ -235,6 +243,19 @@ func main() {
 	if rep.Degraded {
 		fmt.Printf("DEGRADED round: %d/%d stores survived (failed: %v), %d gathered images discarded\n",
 			rep.Participants-len(rep.FailedStores), rep.Participants, rep.FailedStores, rep.ImagesLost)
+		if *replication > 0 {
+			// Re-replicate the dead stores' objects from survivors so the
+			// fleet is back at full replication before the next round.
+			for _, dead := range rep.FailedStores {
+				rb, err := tn.Rebuild(dead)
+				if err != nil {
+					log.Warn("rebuild failed", slog.String("store", dead), slog.Any("err", err))
+					continue
+				}
+				fmt.Printf("REBUILD %s: %d objects (%.1f MB) re-replicated in %.2fs\n",
+					dead, rb.Objects, float64(rb.Bytes)/1e6, rb.Wall.Seconds())
+			}
+		}
 	}
 
 	start = time.Now()

@@ -110,6 +110,12 @@ const (
 	// CrashWrite persists a prefix of the write and returns ErrCrashed:
 	// the process dies mid-write, leaving a torn frame on disk.
 	CrashWrite
+	// Bitflip flips one seeded bit of an object file at rest — silent media
+	// rot, the corruption scrub exists to catch. Fired by Faults.Object.
+	Bitflip
+	// Truncate cuts an object file to a seeded strict prefix at rest — the
+	// damage a lost tail extent leaves behind. Fired by Faults.Object.
+	Truncate
 )
 
 // String implements fmt.Stringer.
@@ -127,6 +133,10 @@ func (k FaultKind) String() string {
 		return "crash:after-rename"
 	case CrashWrite:
 		return "crash:write"
+	case Bitflip:
+		return "bitflip"
+	case Truncate:
+		return "truncate"
 	}
 	return fmt.Sprintf("faultkind(%d)", uint8(k))
 }
@@ -138,6 +148,7 @@ const (
 	opWrite opClass = iota + 1
 	opSync
 	opRename
+	opObject // completed object-file writes (Faults.Object hook)
 )
 
 func (k FaultKind) class() opClass {
@@ -146,6 +157,8 @@ func (k FaultKind) class() opClass {
 		return opWrite
 	case SyncErr:
 		return opSync
+	case Bitflip, Truncate:
+		return opObject
 	default:
 		return opRename
 	}
@@ -165,7 +178,7 @@ type FaultRule struct {
 
 func (r FaultRule) validate() error {
 	switch r.Kind {
-	case ShortWrite, WriteErr, SyncErr, CrashBeforeRename, CrashAfterRename, CrashWrite:
+	case ShortWrite, WriteErr, SyncErr, CrashBeforeRename, CrashAfterRename, CrashWrite, Bitflip, Truncate:
 	default:
 		return fmt.Errorf("durable: fault rule has no kind")
 	}
@@ -269,10 +282,14 @@ func ParseFaults(spec string) (*Faults, error) {
 			r.Kind = WriteErr
 		case "syncerr":
 			r.Kind = SyncErr
+		case "bitflip":
+			r.Kind = Bitflip
+		case "truncate":
+			r.Kind = Truncate
 		case "crash":
 			isCrash = true
 		default:
-			return nil, fmt.Errorf("durable: unknown fault %q (want shortwrite|writeerr|syncerr|crash)", kindStr)
+			return nil, fmt.Errorf("durable: unknown fault %q (want shortwrite|writeerr|syncerr|bitflip|truncate|crash)", kindStr)
 		}
 		for _, p := range strings.Split(params, ",") {
 			p = strings.TrimSpace(p)
@@ -362,6 +379,46 @@ func (f *Faults) decide(class opClass) (FaultKind, bool) {
 		return st.rule.Kind, true
 	}
 	return 0, false
+}
+
+// Object runs path — a completed object file at rest — through the fault
+// schedule, modelling silent media rot: Bitflip flips one seeded bit in
+// place, Truncate cuts the file to a seeded strict prefix. Object stores
+// call it after each successful object write. The corruption itself is
+// deliberately silent (real bit rot raises no error; only scrub catches
+// it); a non-nil return means the injector itself failed to apply the
+// fault, which is a test-harness bug, not an injected condition.
+func (f *Faults) Object(path string) error {
+	kind, fired := f.decide(opObject)
+	if !fired {
+		return nil
+	}
+	f.mu.Lock()
+	roll := f.rng.Int63()
+	f.mu.Unlock()
+	switch kind {
+	case Bitflip:
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(b) == 0 {
+			return nil
+		}
+		bit := roll % int64(len(b)*8)
+		b[bit/8] ^= 1 << (bit % 8)
+		return os.WriteFile(path, b, 0o644)
+	case Truncate:
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		if fi.Size() == 0 {
+			return nil
+		}
+		return os.Truncate(path, roll%fi.Size())
+	}
+	return nil
 }
 
 // fileWrite writes b to file through the fault schedule: a ShortWrite or

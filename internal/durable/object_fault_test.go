@@ -1,0 +1,146 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeObj(t *testing.T, dir, name string, n int) (string, []byte) {
+	t.Helper()
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p, b
+}
+
+func TestObjectBitflipFlipsExactlyOneBit(t *testing.T) {
+	f, err := ParseFaults("seed=11;bitflip:after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1, want1 := writeObj(t, dir, "a", 256)
+	p2, want2 := writeObj(t, dir, "b", 256)
+	if err := f.Object(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Object(p2); err != nil {
+		t.Fatal(err)
+	}
+	got1, _ := os.ReadFile(p1)
+	if !bytes.Equal(got1, want1) {
+		t.Fatal("after=2 rule fired on the first object")
+	}
+	got2, _ := os.ReadFile(p2)
+	if len(got2) != len(want2) {
+		t.Fatalf("bitflip changed the size: %d -> %d", len(want2), len(got2))
+	}
+	diff := 0
+	for i := range got2 {
+		for b := 0; b < 8; b++ {
+			if (got2[i]^want2[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bitflip flipped %d bits, want exactly 1", diff)
+	}
+	// after=N with no prob is one-shot: a third object survives.
+	p3, want3 := writeObj(t, dir, "c", 64)
+	if err := f.Object(p3); err != nil {
+		t.Fatal(err)
+	}
+	if got3, _ := os.ReadFile(p3); !bytes.Equal(got3, want3) {
+		t.Fatal("one-shot bitflip fired again")
+	}
+}
+
+func TestObjectBitflipDeterministicAcrossSeeds(t *testing.T) {
+	flip := func(seed string) []byte {
+		f, err := ParseFaults("seed=" + seed + ";bitflip:after=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := writeObj(t, t.TempDir(), "a", 512)
+		if err := f.Object(p); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := os.ReadFile(p)
+		return b
+	}
+	if !bytes.Equal(flip("5"), flip("5")) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(flip("5"), flip("6")) {
+		t.Fatal("different seeds flipped the same bit (suspicious)")
+	}
+}
+
+func TestObjectTruncateCutsStrictPrefix(t *testing.T) {
+	f, err := ParseFaults("seed=3;truncate:after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, want := writeObj(t, t.TempDir(), "a", 300)
+	if err := f.Object(p); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if len(got) >= len(want) {
+		t.Fatalf("truncate left %d bytes of %d", len(got), len(want))
+	}
+	if !bytes.Equal(got, want[:len(got)]) {
+		t.Fatal("truncate result is not a prefix of the original")
+	}
+}
+
+func TestObjectProbOnceFiresAtMostOnce(t *testing.T) {
+	f, err := ParseFaults("seed=9;truncate:prob=1.0,once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fired := 0
+	for i := 0; i < 5; i++ {
+		p, want := writeObj(t, dir, string(rune('a'+i)), 100)
+		if err := f.Object(p); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := os.ReadFile(p); !bytes.Equal(got, want) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("prob=1,once fired %d times, want 1", fired)
+	}
+}
+
+func TestObjectNilFaultsIsNoop(t *testing.T) {
+	var f *Faults
+	p, want := writeObj(t, t.TempDir(), "a", 10)
+	if err := f.Object(p); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(p); !bytes.Equal(got, want) {
+		t.Fatal("nil Faults corrupted the file")
+	}
+}
+
+func TestParseFaultsRejectsBadObjectClauses(t *testing.T) {
+	for _, spec := range []string{"bitflip", "truncate:", "bitflip:wat=1"} {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := ParseFaults("bitflip:after=3;truncate:prob=0.5"); err != nil {
+		t.Errorf("valid combined spec rejected: %v", err)
+	}
+}

@@ -118,6 +118,8 @@ func Registry() map[string]Func {
 		"obs": Obs,
 		// Int8 kernels, quantized-path accuracy, compressed delta bytes.
 		"quant": Quant,
+		// Photo durability: replicated placement, scrub/repair, rebuild.
+		"durability": Durability,
 		// Beyond-the-paper ablations of bundled design choices.
 		"ablation-delta":       AblationDelta,
 		"ablation-compression": AblationCompression,

@@ -41,7 +41,7 @@ func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
 		"fig19", "fig20", "fig21",
 		"ablation-delta", "ablation-compression", "ablation-nrun",
 		"ablation-colocation", "faults", "recovery", "failover", "serve",
-		"obs", "quant",
+		"obs", "quant", "durability",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -75,7 +75,7 @@ func Faults(p Params) (*Table, error) {
 			}
 			if i == sc.kill {
 				inj, err := faultinject.New(p.Seed,
-					faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17})
+					faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 20})
 				if err != nil {
 					return nil, err
 				}

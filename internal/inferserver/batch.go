@@ -164,9 +164,25 @@ func (s *Server) InferBatch(reqs []BatchRequest) []BatchResult {
 		}
 		probs = s.clf.ForwardInto(tensor.Get(len(headRows), s.cfg.Classes), hx)
 	}
-	for r := range valid {
-		targets[r] = s.next % len(s.stores)
-		s.next++
+	// Replica-only copies per store under ring placement: these rows get a
+	// second (third, ...) copy but their result/index work stays with the
+	// primary replica's group.
+	var replicaGroups map[int][]int
+	if s.ring != nil {
+		replicaGroups = make(map[int][]int)
+		for r, i := range valid {
+			reps := s.ring.Replicas(reqs[i].Img.ID)
+			targets[r] = s.idx[reps[0]]
+			for _, id := range reps[1:] {
+				si := s.idx[id]
+				replicaGroups[si] = append(replicaGroups[si], r)
+			}
+		}
+	} else {
+		for r := range valid {
+			targets[r] = s.next % len(s.stores)
+			s.next++
+		}
 	}
 	s.uploads += n
 	s.mu.Unlock()
@@ -243,6 +259,25 @@ func (s *Server) InferBatch(reqs []BatchRequest) []BatchResult {
 						ModelVersion: version, StoreID: target.ID,
 					},
 					Emb: e,
+				}
+			}
+		}(si, rows)
+	}
+	// Secondary replica writes run alongside the primary groups. A failed
+	// replica write never fails the photo — the primary copy landed (or will
+	// report its own error); the object is merely under-replicated until the
+	// next repair pass.
+	for si, rows := range replicaGroups {
+		wg.Add(1)
+		go func(si int, rows []int) {
+			defer wg.Done()
+			batch := make([]dataset.Image, len(rows))
+			for k, r := range rows {
+				batch[k] = reqs[valid[r]].Img
+			}
+			if err := s.stores[si].Ingest(batch); err != nil {
+				for range rows {
+					s.met.errReplica.Inc()
 				}
 			}
 		}(si, rows)

@@ -21,6 +21,7 @@ import (
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/nn"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/placement"
 	"ndpipe/internal/telemetry"
 	"ndpipe/internal/tensor"
 )
@@ -40,6 +41,8 @@ type Server struct {
 	version int
 	stores  []*pipestore.Node // upload routing targets (in-process handles)
 	next    int               // round-robin cursor
+	ring    *placement.Ring   // non-nil once EnableReplication is called
+	idx     map[string]int    // store ID -> index in stores
 	db      *labeldb.DB
 
 	uploads int
@@ -60,6 +63,9 @@ type serverMetrics struct {
 	// invisible in /metrics (only their latency is observed).
 	errDim    *telemetry.Counter
 	errIngest *telemetry.Counter
+	// Replica-write failures: the upload still succeeded (another copy
+	// landed) but the object is under-replicated until the next repair pass.
+	errReplica *telemetry.Counter
 }
 
 func newServerMetrics() serverMetrics {
@@ -73,8 +79,9 @@ func newServerMetrics() serverMetrics {
 		// Confidence lives in [0,1]: linear buckets, not latency buckets.
 		confidence: reg.HistogramBuckets("inferserver_upload_confidence",
 			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
-		errDim:    reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "dim")),
-		errIngest: reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "ingest")),
+		errDim:     reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "dim")),
+		errIngest:  reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "ingest")),
+		errReplica: reg.Counter(telemetry.Labeled("inferserver_upload_errors_total", "reason", "replica")),
 	}
 }
 
@@ -140,6 +147,40 @@ func (s *Server) forwardBackboneLocked(x *tensor.Matrix) *tensor.Matrix {
 		return s.quant.Forward(x)
 	}
 	return s.backbone.Forward(x)
+}
+
+// EnableReplication switches upload routing from round-robin to
+// consistent-hash placement with replication factor r: each photo is written
+// to all r ring replicas of its ID, so losing any single PipeStore leaves
+// every photo readable on a surviving replica. The label index records the
+// primary (first) replica as the photo's Location. Call before traffic; the
+// ring is built over the stores the server was constructed with.
+func (s *Server) EnableReplication(r int) error {
+	ids := make([]string, len(s.stores))
+	idx := make(map[string]int, len(s.stores))
+	for i, ps := range s.stores {
+		ids[i] = ps.ID
+		idx[ps.ID] = i
+	}
+	ring, err := placement.New(ids, r)
+	if err != nil {
+		return fmt.Errorf("inferserver: %w", err)
+	}
+	s.mu.Lock()
+	s.ring = ring
+	s.idx = idx
+	s.mu.Unlock()
+	return nil
+}
+
+// Replication reports the replication factor (0 when routing round-robin).
+func (s *Server) Replication() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Replication()
 }
 
 // DB exposes the label index.
@@ -210,8 +251,15 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	// the next Forward (any goroutine) overwrites it in place.
 	probs := logits.Clone()
 	version := s.version
-	target := s.stores[s.next%len(s.stores)]
-	s.next++
+	var targets []*pipestore.Node
+	if s.ring != nil {
+		for _, id := range s.ring.Replicas(img.ID) {
+			targets = append(targets, s.stores[s.idx[id]])
+		}
+	} else {
+		targets = []*pipestore.Node{s.stores[s.next%len(s.stores)]}
+		s.next++
+	}
 	s.uploads++
 	s.mu.Unlock()
 	probs.SoftmaxRows()
@@ -219,10 +267,25 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	confidence := probs.At(0, label)
 
 	// Store near the data: raw photo plus the preprocessed binary
-	// (+Offload), which the PipeStore compresses (+Comp).
-	if err := target.Ingest([]dataset.Image{img}); err != nil {
+	// (+Offload), which the PipeStore compresses (+Comp). Under replication
+	// the write fans to every ring replica; the upload succeeds as long as
+	// at least one copy lands (a failed replica write leaves the photo
+	// under-replicated until the next scrub/repair pass, not lost).
+	var target *pipestore.Node
+	var lastErr error
+	for _, tgt := range targets {
+		if err := tgt.Ingest([]dataset.Image{img}); err != nil {
+			s.met.errReplica.Inc()
+			lastErr = err
+			continue
+		}
+		if target == nil {
+			target = tgt
+		}
+	}
+	if target == nil {
 		s.met.errIngest.Inc()
-		return UploadResult{}, err
+		return UploadResult{}, lastErr
 	}
 	// Index for search.
 	s.db.Upsert(labeldb.Entry{

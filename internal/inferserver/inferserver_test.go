@@ -9,6 +9,7 @@ import (
 	"ndpipe/internal/delta"
 	"ndpipe/internal/labeldb"
 	"ndpipe/internal/pipestore"
+	"ndpipe/internal/placement"
 	"ndpipe/internal/telemetry"
 )
 
@@ -315,5 +316,78 @@ func TestGarbageDeltaRejected(t *testing.T) {
 	}
 	if srv.ModelVersion() != 0 {
 		t.Fatal("failed delta must not bump version")
+	}
+}
+
+// With replication enabled, every upload must land on all R ring replicas —
+// both raw bytes and the preprocessed binary — and the label index must point
+// at the primary replica.
+func TestUploadReplicatesToAllReplicas(t *testing.T) {
+	srv, stores, world := rig(t, 3)
+	if err := srv.EnableReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Replication() != 2 {
+		t.Fatalf("Replication() = %d, want 2", srv.Replication())
+	}
+	byID := map[string]*pipestore.Node{}
+	for _, ps := range stores {
+		byID[ps.ID] = ps
+	}
+	ring, err := placement.New([]string{stores[0].ID, stores[1].ID, stores[2].ID}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range world.Images()[:40] {
+		res, err := srv.Upload(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := ring.Replicas(img.ID)
+		if res.StoreID != reps[0] {
+			t.Fatalf("image %d: Location = %s, want primary %s", img.ID, res.StoreID, reps[0])
+		}
+		for _, id := range reps {
+			ps := byID[id]
+			if _, err := ps.Storage().GetRaw(img.ID); err != nil {
+				t.Fatalf("image %d: raw missing on replica %s: %v", img.ID, id, err)
+			}
+			if _, err := ps.Storage().GetPreprocCompressed(img.ID); err != nil {
+				t.Fatalf("image %d: preproc missing on replica %s: %v", img.ID, id, err)
+			}
+		}
+	}
+}
+
+// The batched path must produce the same placement as sequential uploads:
+// every photo on all R replicas, result.StoreID = primary.
+func TestInferBatchReplicates(t *testing.T) {
+	srv, stores, world := rig(t, 3)
+	if err := srv.EnableReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	imgs := world.Images()[:60]
+	results, errs := srv.UploadBatch(imgs)
+	ring, err := placement.New([]string{stores[0].ID, stores[1].ID, stores[2].ID}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*pipestore.Node{}
+	for _, ps := range stores {
+		byID[ps.ID] = ps
+	}
+	for i, img := range imgs {
+		if errs[i] != nil {
+			t.Fatalf("image %d: %v", img.ID, errs[i])
+		}
+		reps := ring.Replicas(img.ID)
+		if results[i].StoreID != reps[0] {
+			t.Fatalf("image %d: StoreID = %s, want primary %s", img.ID, results[i].StoreID, reps[0])
+		}
+		for _, id := range reps {
+			if _, err := byID[id].Storage().GetRaw(img.ID); err != nil {
+				t.Fatalf("image %d: raw missing on replica %s: %v", img.ID, id, err)
+			}
+		}
 	}
 }

@@ -1,0 +1,85 @@
+package photostore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
+)
+
+// ErrCorrupt marks an object whose frame or CRC32C failed verification.
+// Callers see it only once per object: detection quarantines the object,
+// after which reads report a plain miss until a repair re-puts it.
+var ErrCorrupt = errors.New("photostore: checksum mismatch")
+
+// Integrity and error-path instruments, shared by the in-memory and disk
+// stores (process-wide; a multi-store test process sums across stores).
+var (
+	readErrors     = telemetry.Default.Counter("photostore_read_errors_total")
+	deleteErrors   = telemetry.Default.Counter("photostore_delete_errors_total")
+	corruptObjects = telemetry.Default.Counter("photostore_corrupt_objects_total")
+	quarantined    = telemetry.Default.Gauge("photostore_quarantined_objects")
+)
+
+// On-disk object framing. Every object part carries its CRC32C at rest so
+// silent media rot is caught at read time and by the scrubber, never
+// served:
+//
+//	raw/<id>:   "NDR1" | crc32c(payload) LE | payload
+//	pre/<id>.z: uncompressed-len u64 LE | crc32c(deflate) LE | deflate stream
+//
+// The CRC covers exactly the bytes the header frames, so a flip anywhere
+// in the file — header included — fails verification (a damaged CRC field
+// reads as a corrupt object, which errs on the safe side).
+const (
+	rawMagic      = "NDR1"
+	rawHeaderSize = 8  // magic + crc
+	preHeaderSize = 12 // length + crc
+)
+
+// frameRaw wraps a raw payload for disk.
+func frameRaw(payload []byte) []byte {
+	b := make([]byte, rawHeaderSize+len(payload))
+	copy(b, rawMagic)
+	binary.LittleEndian.PutUint32(b[4:], durable.Checksum(payload))
+	copy(b[rawHeaderSize:], payload)
+	return b
+}
+
+// parseRawFrame verifies a raw object file and returns its payload
+// (aliasing b).
+func parseRawFrame(b []byte) ([]byte, error) {
+	if len(b) < rawHeaderSize || string(b[:4]) != rawMagic {
+		return nil, fmt.Errorf("bad raw frame (%d bytes): %w", len(b), ErrCorrupt)
+	}
+	payload := b[rawHeaderSize:]
+	if got, want := durable.Checksum(payload), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, fmt.Errorf("raw crc %08x != stored %08x: %w", got, want, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// framePreHeader writes the preproc header for a deflate payload of dlen
+// bytes inflating to plen bytes. The CRC must be computed over the deflate
+// stream by the caller (it is produced incrementally).
+func framePreHeader(plen int, crc uint32) [preHeaderSize]byte {
+	var h [preHeaderSize]byte
+	binary.LittleEndian.PutUint64(h[:], uint64(plen))
+	binary.LittleEndian.PutUint32(h[8:], crc)
+	return h
+}
+
+// parsePreFrame verifies a preproc object file and returns the uncompressed
+// length and the deflate payload (aliasing b).
+func parsePreFrame(b []byte) (int, []byte, error) {
+	if len(b) < preHeaderSize {
+		return 0, nil, fmt.Errorf("bad preproc frame (%d bytes): %w", len(b), ErrCorrupt)
+	}
+	payload := b[preHeaderSize:]
+	if got, want := durable.Checksum(payload), binary.LittleEndian.Uint32(b[8:]); got != want {
+		return 0, nil, fmt.Errorf("preproc crc %08x != stored %08x: %w", got, want, ErrCorrupt)
+	}
+	return int(binary.LittleEndian.Uint64(b)), payload, nil
+}

@@ -1,0 +1,236 @@
+package photostore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
+)
+
+func counter(name string) int64 { return telemetry.Default.Counter(name).Value() }
+
+func putBoth(t *testing.T, s ObjectStore, id uint64, n int) ([]byte, []byte) {
+	t.Helper()
+	raw := make([]byte, n)
+	pre := make([]byte, n/2)
+	for i := range raw {
+		raw[i] = byte(id + uint64(i)*3)
+	}
+	for i := range pre {
+		pre[i] = byte(id + uint64(i)*5)
+	}
+	s.Put(id, raw)
+	if err := s.PutPreproc(id, pre); err != nil {
+		t.Fatal(err)
+	}
+	return raw, pre
+}
+
+func openDisk(t *testing.T) (*DiskStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dir
+}
+
+// flipBit corrupts one payload bit of the file at path in place.
+func flipBit(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[off] ^= 0x10
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A bit-flip at rest must never be served: the read fails with ErrCorrupt,
+// the object is quarantined (moved to quar/, out of the live tree), and
+// subsequent reads miss.
+func TestDiskBitflipNeverServed(t *testing.T) {
+	d, dir := openDisk(t)
+	raw, _ := putBoth(t, d, 42, 256)
+	flipBit(t, d.rawPath(42), rawHeaderSize+17)
+
+	before := counter("photostore_corrupt_objects_total")
+	got, err := d.GetRaw(42)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("GetRaw on flipped object: err=%v, want ErrCorrupt", err)
+	}
+	if got != nil {
+		t.Fatal("corrupt payload returned to caller")
+	}
+	if counter("photostore_corrupt_objects_total") != before+1 {
+		t.Fatal("corruption not counted")
+	}
+	if q := d.Quarantined(); len(q) != 1 || q[0] != 42 {
+		t.Fatalf("Quarantined() = %v, want [42]", q)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("quarantined object still indexed (Len=%d)", d.Len())
+	}
+	// The corrupt bytes are preserved as evidence, outside the live tree.
+	if _, err := os.Stat(filepath.Join(dir, "quar", "42.raw")); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	// Second read: plain miss, not the old corrupt bytes.
+	if _, err := d.GetRaw(42); errors.Is(err, ErrCorrupt) || err == nil {
+		t.Fatalf("post-quarantine read: err=%v, want plain miss", err)
+	}
+	// Repair: re-put, verify, clear — then the object serves again.
+	d.Put(42, raw)
+	if _, err := d.Verify(42); err != nil {
+		t.Fatalf("Verify after repair: %v", err)
+	}
+	d.ClearQuarantine(42)
+	if q := d.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantine not cleared: %v", q)
+	}
+	back, err := d.GetRaw(42)
+	if err != nil || !bytes.Equal(back, raw) {
+		t.Fatalf("repaired object wrong: err=%v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quar", "42.raw")); !os.IsNotExist(err) {
+		t.Fatal("evidence copy not discarded after repair")
+	}
+}
+
+func TestDiskVerifyCatchesPreprocFlipAndTruncation(t *testing.T) {
+	d, _ := openDisk(t)
+	putBoth(t, d, 7, 4096)
+	putBoth(t, d, 8, 4096)
+	if _, err := d.Verify(7); err != nil {
+		t.Fatalf("healthy Verify: %v", err)
+	}
+	flipBit(t, d.prePath(7), preHeaderSize+100)
+	if _, err := d.Verify(7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify on flipped preproc: %v", err)
+	}
+	if err := os.Truncate(d.rawPath(8), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Verify(8); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify on truncated raw: %v", err)
+	}
+	if q := d.Quarantined(); len(q) != 2 {
+		t.Fatalf("Quarantined() = %v, want both", q)
+	}
+}
+
+// Quarantine state must survive a restart: the moved-aside files re-mark
+// their IDs so repair still knows what it owes.
+func TestQuarantineSurvivesReopen(t *testing.T) {
+	d, dir := openDisk(t)
+	putBoth(t, d, 5, 128)
+	flipBit(t, d.rawPath(5), rawHeaderSize)
+	if _, err := d.GetRaw(5); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("flip not detected")
+	}
+	d2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d2.Quarantined(); len(q) != 1 || q[0] != 5 {
+		t.Fatalf("reopened Quarantined() = %v, want [5]", q)
+	}
+}
+
+// The seeded durable fault hook corrupts objects at rest deterministically;
+// scrubbing with Verify finds exactly the damaged one.
+func TestSetFaultsInjectsAtRestCorruption(t *testing.T) {
+	d, _ := openDisk(t)
+	f, err := durable.ParseFaults("seed=4;bitflip:after=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(f)
+	for id := uint64(1); id <= 4; id++ {
+		putBoth(t, d, id, 512) // 2 object writes each: fault fires on the 3rd write
+	}
+	corrupt := 0
+	for id := uint64(1); id <= 4; id++ {
+		if _, err := d.Verify(id); errors.Is(err, ErrCorrupt) {
+			corrupt++
+		}
+	}
+	if corrupt != 1 {
+		t.Fatalf("found %d corrupt objects, want exactly 1", corrupt)
+	}
+}
+
+// Delete swallows errors at the interface, so a failed removal must be
+// counted — a survivor file resurrects the object at the next reindex.
+func TestDeleteSurfacesErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBoth(t, d, 9, 64)
+	// Deleting a missing object stays silent.
+	before := counter("photostore_delete_errors_total")
+	d.Delete(12345)
+	if got := counter("photostore_delete_errors_total"); got != before {
+		t.Fatal("delete of absent object counted as an error")
+	}
+	breakRawDir(t, dir) // raw/ becomes a file: Remove(raw/9) fails with ENOTDIR
+	before = counter("photostore_delete_errors_total")
+	d.Delete(9)
+	if got := counter("photostore_delete_errors_total"); got != before+1 {
+		t.Fatalf("photostore_delete_errors_total went %d -> %d, want +1", before, got)
+	}
+}
+
+// The in-memory store honors the same contract: mutating a slice after
+// handing it to Put is detected at read time and quarantined.
+func TestMemoryStoreDetectsMutatedSlice(t *testing.T) {
+	s := New()
+	raw := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	s.Put(3, raw)
+	raw[2] ^= 0xFF // caller violates the ownership contract
+	if _, err := s.GetRaw(3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mutated slice served: %v", err)
+	}
+	if q := s.Quarantined(); len(q) != 1 || q[0] != 3 {
+		t.Fatalf("Quarantined() = %v, want [3]", q)
+	}
+	s.Put(3, []byte{9, 9})
+	if _, err := s.Verify(3); err != nil {
+		t.Fatalf("Verify after repair: %v", err)
+	}
+	s.ClearQuarantine(3)
+	if len(s.Quarantined()) != 0 {
+		t.Fatal("quarantine not cleared")
+	}
+}
+
+func TestVerifyHealthyReportsBytes(t *testing.T) {
+	for _, s := range []ObjectStore{New(), mustDisk(t)} {
+		putBoth(t, s, 1, 1000)
+		n, err := s.Verify(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1000 {
+			t.Fatalf("Verify read %d bytes, want >= raw size", n)
+		}
+	}
+}
+
+func mustDisk(t *testing.T) *DiskStore {
+	t.Helper()
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -8,26 +8,37 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
+
+	"ndpipe/internal/durable"
+	"ndpipe/internal/telemetry"
 )
 
-// Store is a thread-safe in-memory object store.
+// Store is a thread-safe in-memory object store. It carries the same
+// integrity contract as DiskStore: each part's CRC32C is captured at Put
+// time and re-checked on every read, so even in-memory corruption (a
+// caller mutating a slice it handed over) is caught and quarantined, not
+// served.
 type Store struct {
 	mu      sync.RWMutex
 	objects map[uint64]*object
+	quar    map[uint64]bool
 }
 
 type object struct {
 	raw     []byte
 	preproc []byte // deflate-compressed; nil when not offloaded
 	rawLen  int
-	preLen  int // uncompressed preprocessed length
+	preLen  int    // uncompressed preprocessed length
+	rawCRC  uint32 // CRC32C of raw
+	preCRC  uint32 // CRC32C of the compressed preproc bytes
 }
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{objects: make(map[uint64]*object)}
+	return &Store{objects: make(map[uint64]*object), quar: make(map[uint64]bool)}
 }
 
 // Put stores a photo's raw bytes. The store takes ownership of the slice —
@@ -43,6 +54,7 @@ func (s *Store) Put(id uint64, raw []byte) {
 	}
 	o.raw = raw
 	o.rawLen = len(raw)
+	o.rawCRC = durable.Checksum(raw)
 }
 
 // PutPreproc attaches the preprocessed binary for id, compressing it with
@@ -72,29 +84,33 @@ func (s *Store) PutPreproc(id uint64, preproc []byte) error {
 	}
 	o.preproc = enc
 	o.preLen = len(preproc)
+	o.preCRC = durable.Checksum(enc)
 	return nil
 }
 
-// GetRaw returns a copy of the photo's raw bytes.
+// GetRaw returns a copy of the photo's raw bytes, verified against the
+// CRC captured at Put time.
 func (s *Store) GetRaw(id uint64) ([]byte, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	o := s.objects[id]
+	s.mu.RUnlock()
 	if o == nil || o.raw == nil {
 		return nil, fmt.Errorf("photostore: no raw object %d", id)
+	}
+	if durable.Checksum(o.raw) != o.rawCRC {
+		s.quarantine(id, "raw")
+		return nil, fmt.Errorf("photostore: raw object %d: %w", id, ErrCorrupt)
 	}
 	return append([]byte(nil), o.raw...), nil
 }
 
 // GetPreproc returns the decompressed preprocessed binary for id.
 func (s *Store) GetPreproc(id uint64) ([]byte, error) {
-	s.mu.RLock()
-	o := s.objects[id]
-	s.mu.RUnlock()
-	if o == nil || o.preproc == nil {
-		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
+	blob, err := s.GetPreprocCompressed(id)
+	if err != nil {
+		return nil, err
 	}
-	zr := acquireFlateReader(bytes.NewReader(o.preproc))
+	zr := acquireFlateReader(bytes.NewReader(blob))
 	out, err := io.ReadAll(zr)
 	if err != nil {
 		return nil, fmt.Errorf("photostore: inflate %d: %w", id, err)
@@ -107,22 +123,97 @@ func (s *Store) GetPreproc(id uint64) ([]byte, error) {
 }
 
 // GetPreprocCompressed returns the stored (compressed) preprocessed bytes —
-// what actually leaves the disk on the NPE read stage.
+// what actually leaves the disk on the NPE read stage — CRC-verified.
 func (s *Store) GetPreprocCompressed(id uint64) ([]byte, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	o := s.objects[id]
+	s.mu.RUnlock()
 	if o == nil || o.preproc == nil {
 		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
+	}
+	if durable.Checksum(o.preproc) != o.preCRC {
+		s.quarantine(id, "pre")
+		return nil, fmt.Errorf("photostore: preprocessed object %d: %w", id, ErrCorrupt)
 	}
 	return append([]byte(nil), o.preproc...), nil
 }
 
-// Delete removes the object entirely.
+// Delete removes the object entirely, quarantine state included.
 func (s *Store) Delete(id uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.objects, id)
+	if s.quar[id] {
+		delete(s.quar, id)
+		quarantined.Add(-1)
+	}
+}
+
+// quarantine drops a corrupt object from serving and marks it for repair.
+func (s *Store) quarantine(id uint64, part string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quar[id] {
+		return
+	}
+	delete(s.objects, id)
+	s.quar[id] = true
+	corruptObjects.Inc()
+	quarantined.Add(1)
+	telemetry.ComponentLogger("photostore").Warn("object quarantined",
+		slog.Uint64("id", id), slog.String("part", part))
+}
+
+// Verify implements ObjectStore.
+func (s *Store) Verify(id uint64) (int64, error) {
+	s.mu.RLock()
+	o := s.objects[id]
+	isQuar := s.quar[id]
+	s.mu.RUnlock()
+	if o == nil {
+		if isQuar {
+			return 0, fmt.Errorf("photostore: object %d quarantined: %w", id, ErrCorrupt)
+		}
+		return 0, fmt.Errorf("photostore: no object %d", id)
+	}
+	var n int64
+	if o.raw != nil {
+		if durable.Checksum(o.raw) != o.rawCRC {
+			s.quarantine(id, "raw")
+			return n, fmt.Errorf("photostore: raw object %d: %w", id, ErrCorrupt)
+		}
+		n += int64(len(o.raw))
+	}
+	if o.preproc != nil {
+		if durable.Checksum(o.preproc) != o.preCRC {
+			s.quarantine(id, "pre")
+			return n, fmt.Errorf("photostore: preprocessed object %d: %w", id, ErrCorrupt)
+		}
+		n += int64(len(o.preproc))
+	}
+	return n, nil
+}
+
+// Quarantined implements ObjectStore.
+func (s *Store) Quarantined() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint64, 0, len(s.quar))
+	for id := range s.quar {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ClearQuarantine implements ObjectStore.
+func (s *Store) ClearQuarantine(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quar[id] {
+		delete(s.quar, id)
+		quarantined.Add(-1)
+	}
 }
 
 // Len returns the number of stored objects.

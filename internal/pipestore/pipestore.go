@@ -57,7 +57,15 @@ type Node struct {
 	clfSnap    nn.Snapshot // base snapshot deltas apply to
 	clfVersion int
 	images     []dataset.Image
+	imageIdx   map[uint64]int // image ID → index in images (replica dedup)
 	store      photostore.ObjectStore
+
+	// Durability plumbing (see scrub.go): replicaSrc answers read-repair
+	// fetches when the node runs in-process next to its replicas (over the
+	// wire the tuner brokers repair instead); scrubCursor remembers where
+	// the bounded-rate background scrub left off.
+	replicaSrc  ReplicaSource
+	scrubCursor uint64
 
 	// Crash consistency (see persist.go): with a state dir open, every
 	// applied delta atomically persists the new snapshot + version before
@@ -105,6 +113,16 @@ type nodeMetrics struct {
 	offlineInfer   *telemetry.Histogram
 	stagesFT       *npe.StageMetrics
 	stagesInfer    *npe.StageMetrics
+
+	// Durability instruments (scrub, read-repair, replication).
+	scrubObjects   *telemetry.Counter
+	scrubCorrupt   *telemetry.Counter
+	scrubBytes     *telemetry.Counter
+	repairs        *telemetry.Counter
+	repairFails    *telemetry.Counter
+	extractSkips   *telemetry.Counter
+	replicaIngests *telemetry.Counter
+	replicaRejects *telemetry.Counter
 }
 
 func newNodeMetrics(reg *telemetry.Registry, id string) nodeMetrics {
@@ -119,6 +137,14 @@ func newNodeMetrics(reg *telemetry.Registry, id string) nodeMetrics {
 		offlineInfer:   reg.Histogram(lbl("pipestore_offline_infer_seconds")),
 		stagesFT:       npe.NewStageMetrics(reg, "finetune"),
 		stagesInfer:    npe.NewStageMetrics(reg, "offline-inference"),
+		scrubObjects:   reg.Counter(lbl("pipestore_scrub_objects_total")),
+		scrubCorrupt:   reg.Counter(lbl("pipestore_scrub_corrupt_total")),
+		scrubBytes:     reg.Counter(lbl("pipestore_scrub_bytes_total")),
+		repairs:        reg.Counter(lbl("pipestore_repairs_total")),
+		repairFails:    reg.Counter(lbl("pipestore_repair_failures_total")),
+		extractSkips:   reg.Counter(lbl("pipestore_extract_skips_total")),
+		replicaIngests: reg.Counter(lbl("pipestore_replica_ingests_total")),
+		replicaRejects: reg.Counter(lbl("pipestore_replica_rejects_total")),
 	}
 }
 
@@ -144,6 +170,7 @@ func NewWithStorage(id string, cfg core.ModelConfig, store photostore.ObjectStor
 		backbone:     cfg.NewBackbone(),
 		clf:          cfg.NewClassifier(),
 		store:        store,
+		imageIdx:     make(map[uint64]int),
 		met:          newNodeMetrics(telemetry.Default, id),
 		reg:          telemetry.Default,
 		metricsEvery: DefaultMetricsInterval,
@@ -269,7 +296,17 @@ func (n *Node) Ingest(imgs []dataset.Image) error {
 		}
 	}
 	n.mu.Lock()
-	n.images = append(n.images, imgs...)
+	for _, img := range imgs {
+		// Replicated ingest can deliver the same photo twice (a retry, or a
+		// repair re-put): the newest copy replaces the old entry instead of
+		// double-counting it in extraction rounds.
+		if idx, ok := n.imageIdx[img.ID]; ok {
+			n.images[idx] = img
+			continue
+		}
+		n.imageIdx[img.ID] = len(n.images)
+		n.images = append(n.images, img)
+	}
 	n.mu.Unlock()
 	n.met.ingested.Add(int64(len(imgs)))
 	return nil
@@ -335,30 +372,45 @@ func (n *Node) ExtractRunsTraced(tc telemetry.SpanContext, nrun, batch int, emit
 	if batch < 1 {
 		batch = 128
 	}
-	span := n.tracer.StartSpanIn(tc, "pipestore.extract")
-	span.SetAttr("store", n.ID)
-	defer span.End()
 	n.mu.Lock()
 	shard := append([]dataset.Image(nil), n.images...)
 	n.mu.Unlock()
 	if len(shard) == 0 {
 		return fmt.Errorf("pipestore %s: no images to extract", n.ID)
 	}
-	per := len(shard) / nrun
-	for r := 0; r < nrun; r++ {
-		lo := r * per
+	return n.extractShardTraced(tc, shard, 0, nrun, batch, emit, false)
+}
+
+// extractShardTraced partitions shard across runs [fromRun, nrun) and
+// extracts each. fromRun > 0 is the re-extraction path: the tuner re-sent
+// the round's request after an eviction, and this store covers the dead
+// peer's photos only for the runs not yet trained. Every run closes with a
+// Final batch even when its slice is empty — the tuner's gather counts
+// finals, and a silent run would stall the round.
+func (n *Node) extractShardTraced(tc telemetry.SpanContext, shard []dataset.Image, fromRun, nrun, batch int, emit func(*wire.Message) error, skipMissing bool) error {
+	parts := nrun - fromRun
+	if parts < 1 {
+		return nil
+	}
+	span := n.tracer.StartSpanIn(tc, "pipestore.extract")
+	span.SetAttr("store", n.ID)
+	defer span.End()
+	per := len(shard) / parts
+	for r := fromRun; r < nrun; r++ {
+		k := r - fromRun
+		lo := k * per
 		hi := lo + per
 		if r == nrun-1 {
 			hi = len(shard)
 		}
-		if err := n.extractRun(span.Context(), r, shard[lo:hi], batch, emit); err != nil {
+		if err := n.extractRun(span.Context(), r, shard[lo:hi], batch, emit, skipMissing); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Image, batch int, emit func(*wire.Message) error) error {
+func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Image, batch int, emit func(*wire.Message) error, skipMissing bool) error {
 	runSpan := n.tracer.StartSpanIn(tc, "pipestore.extract-run")
 	runSpan.SetAttr("store", n.ID)
 	runSpan.SetAttr("run", fmt.Sprint(run))
@@ -371,6 +423,7 @@ func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Ima
 	var pending []decodedImage
 	nBatches := (len(shard) + batch - 1) / batch
 	sent := 0
+	finalSent := false
 	flush := func(final bool) error {
 		if len(pending) == 0 {
 			return nil
@@ -382,43 +435,73 @@ func (n *Node) extractRun(tc telemetry.SpanContext, run int, shard []dataset.Ima
 		msg.SetTraceContext(runCtx)
 		pending = pending[:0]
 		sent++
+		if final {
+			finalSent = true
+		}
 		n.met.featureBatches.Inc()
 		return emit(msg)
 	}
-	err := npe.Run3StageTraced(shard,
-		func(img dataset.Image) (loadedImage, error) {
-			blob, err := n.store.GetPreprocCompressed(img.ID)
-			if err != nil {
-				return loadedImage{}, err
-			}
-			return loadedImage{img: img, blob: blob}, nil
-		},
-		func(li loadedImage) (decodedImage, error) {
-			raw, err := inflate(li.blob)
-			if err != nil {
-				return decodedImage{}, err
-			}
-			feat, err := core.DecodeFloats(raw)
-			if err != nil {
-				return decodedImage{}, err
-			}
-			return decodedImage{img: li.img, feat: feat}, nil
-		},
-		func(di decodedImage) error {
-			pending = append(pending, di)
-			if len(pending) >= batch {
-				return flush(sent == nBatches-1)
-			}
-			return nil
-		},
-		4,
-		n.met.stagesFT,
-		&npe.StageTrace{Tracer: n.tracer, Parent: runCtx},
-	)
-	if err != nil {
-		return err
+	if len(shard) > 0 {
+		err := npe.Run3StageTraced(shard,
+			func(img dataset.Image) (loadedImage, error) {
+				blob, err := n.store.GetPreprocCompressed(img.ID)
+				if err != nil {
+					if skipMissing {
+						// Quarantined or missing object: serve the healthy
+						// rest of the shard and let repair catch this one up,
+						// instead of failing the whole round.
+						n.met.extractSkips.Inc()
+						return loadedImage{img: img}, nil
+					}
+					return loadedImage{}, err
+				}
+				return loadedImage{img: img, blob: blob}, nil
+			},
+			func(li loadedImage) (decodedImage, error) {
+				if li.blob == nil {
+					return decodedImage{img: li.img}, nil // skipped upstream
+				}
+				raw, err := inflate(li.blob)
+				if err != nil {
+					return decodedImage{}, err
+				}
+				feat, err := core.DecodeFloats(raw)
+				if err != nil {
+					return decodedImage{}, err
+				}
+				return decodedImage{img: li.img, feat: feat}, nil
+			},
+			func(di decodedImage) error {
+				if di.feat == nil {
+					return nil // skipped upstream
+				}
+				pending = append(pending, di)
+				if len(pending) >= batch {
+					return flush(sent == nBatches-1)
+				}
+				return nil
+			},
+			4,
+			n.met.stagesFT,
+			&npe.StageTrace{Tracer: n.tracer, Parent: runCtx},
+		)
+		if err != nil {
+			return err
+		}
+		if err := flush(true); err != nil {
+			return err
+		}
 	}
-	return flush(true)
+	if !finalSent {
+		// Empty slice (or every batch skipped): the run still owes the tuner
+		// its Final marker, as a zero-row batch.
+		msg := &wire.Message{Type: wire.MsgFeatures, StoreID: n.ID, Run: run,
+			Cols: n.cfg.FeatureDim, Final: true}
+		msg.SetTraceContext(runCtx)
+		n.met.featureBatches.Inc()
+		return emit(msg)
+	}
+	return nil
 }
 
 // featureBatch runs the frozen backbone over a decoded batch and wraps the
@@ -535,6 +618,15 @@ func (n *Node) OfflineInfer(batch int) (map[uint64]int, error) {
 // OfflineInferTraced is OfflineInfer inside a distributed trace, parented
 // at the Tuner's MsgInferRequest span when tc is set.
 func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint64]int, error) {
+	n.mu.Lock()
+	shard := append([]dataset.Image(nil), n.images...)
+	n.mu.Unlock()
+	return n.offlineInferShard(tc, shard, batch)
+}
+
+// offlineInferShard relabels one image shard — the whole local holding on
+// the legacy path, or just the owned subset under ring routing.
+func (n *Node) offlineInferShard(tc telemetry.SpanContext, shard []dataset.Image, batch int) (map[uint64]int, error) {
 	span := n.tracer.StartSpanIn(tc, "pipestore.offline-infer")
 	span.SetAttr("store", n.ID)
 	stageCtx := span.Context()
@@ -546,7 +638,6 @@ func (n *Node) OfflineInferTraced(tc telemetry.SpanContext, batch int) (map[uint
 		batch = 128
 	}
 	n.mu.Lock()
-	shard := append([]dataset.Image(nil), n.images...)
 	clf := n.clf
 	n.mu.Unlock()
 	out := make(map[uint64]int, len(shard))
@@ -731,12 +822,18 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 	}
 	switch msg.Type {
 	case wire.MsgTrainRequest:
-		logger.Debug("train request", slog.Int("runs", msg.Runs), slog.Int("batch", msg.BatchSize))
+		logger.Debug("train request", slog.Int("runs", msg.Runs), slog.Int("batch", msg.BatchSize),
+			slog.Int("ring", len(msg.RingStores)), slog.Int("from_run", msg.FromRun))
 		emit := func(m *wire.Message) error {
 			m.Epoch = epoch
 			return c.Send(m)
 		}
-		err := n.ExtractRunsTraced(tc, msg.Runs, msg.BatchSize, emit)
+		var err error
+		if len(msg.RingStores) > 0 {
+			err = n.extractOwned(tc, msg, emit)
+		} else {
+			err = n.ExtractRunsTraced(tc, msg.Runs, msg.BatchSize, emit)
+		}
 		n.shipSpans(c, tc.Trace)
 		if err != nil {
 			logger.Error("feature extraction failed", slog.Any("err", err))
@@ -760,7 +857,13 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 		}
 	case wire.MsgInferRequest:
 		logger.Debug("offline-inference request", slog.Int("batch", msg.BatchSize))
-		labels, err := n.OfflineInferTraced(tc, msg.BatchSize)
+		var labels map[uint64]int
+		var err error
+		if len(msg.RingStores) > 0 {
+			labels, err = n.offlineInferOwned(tc, msg)
+		} else {
+			labels, err = n.OfflineInferTraced(tc, msg.BatchSize)
+		}
 		n.shipSpans(c, tc.Trace)
 		if err != nil {
 			logger.Error("offline inference failed", slog.Any("err", err))
@@ -771,6 +874,53 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 			Type: wire.MsgLabels, StoreID: n.ID,
 			LabelsOut: labels, ModelVersion: n.ModelVersion(), Epoch: epoch,
 		}); err != nil {
+			return err
+		}
+	case wire.MsgObjectPut:
+		// Replicated/repaired objects relayed by the tuner. A rejection (CRC
+		// mismatch, undecodable payload) fails the batch report but never the
+		// connection: the healthy objects are already stored.
+		accepted, ierr := n.IngestReplica(msg.Objects)
+		logger.Debug("object put", slog.Int("objects", len(msg.Objects)), slog.Int("accepted", accepted))
+		if ierr != nil {
+			_ = c.Send(&wire.Message{Type: wire.MsgError, StoreID: n.ID,
+				Err: ierr.Error(), Rows: accepted, Epoch: epoch})
+			return nil
+		}
+		if err := c.Send(&wire.Message{Type: wire.MsgAck, StoreID: n.ID, Rows: accepted, Epoch: epoch}); err != nil {
+			return err
+		}
+	case wire.MsgObjectFetch:
+		logger.Debug("object fetch", slog.Int("ids", len(msg.IDs)))
+		if err := n.sendObjects(c, n.fetchObjects(msg.IDs), epoch); err != nil {
+			return err
+		}
+	case wire.MsgScrubQuery:
+		// A non-zero BatchSize asks for a synchronous scrub pass before
+		// reporting — how the tuner drives scrubbing without relying on the
+		// store's own background cadence. Negative = scrub the whole holding;
+		// zero = just report the current quarantine.
+		if msg.BatchSize != 0 {
+			n.ScrubOnce(msg.BatchSize)
+		}
+		if err := c.Send(&wire.Message{Type: wire.MsgScrubReport, StoreID: n.ID,
+			Quarantined: n.store.Quarantined(), Epoch: epoch}); err != nil {
+			return err
+		}
+	case wire.MsgRebuildRequest:
+		objs, rerr := n.rebuildSet(msg)
+		if rerr != nil {
+			logger.Error("rebuild set failed", slog.Any("err", rerr))
+			sendErr(rerr)
+			return nil
+		}
+		var bytes int64
+		for _, o := range objs {
+			bytes += int64(len(o.Raw) + len(o.Pre))
+		}
+		n.reg.Flight().Record(telemetry.FlightRebuild, "pipestore", n.ID, int64(len(objs)), bytes)
+		logger.Debug("rebuild push", slog.Int("objects", len(objs)), slog.Int64("bytes", bytes))
+		if err := n.sendObjects(c, objs, epoch); err != nil {
 			return err
 		}
 	default:

@@ -1,0 +1,159 @@
+package placement
+
+import (
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "ps-" + string(rune('0'+i))
+	}
+	return out
+}
+
+func TestReplicasDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := New([]string{"ps-2", "ps-0", "ps-1"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"ps-0", "ps-1", "ps-2", "ps-1"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 5000; id++ {
+		ra, rb := a.Replicas(id), b.Replicas(id)
+		if len(ra) != 2 || len(rb) != 2 {
+			t.Fatalf("id %d: want 2 replicas, got %v / %v", id, ra, rb)
+		}
+		if ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("id %d: rings disagree: %v vs %v", id, ra, rb)
+		}
+		if ra[0] == ra[1] {
+			t.Fatalf("id %d: duplicate replica %v", id, ra)
+		}
+	}
+}
+
+func TestReplicationClamped(t *testing.T) {
+	g, err := New([]string{"a", "b"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Replication() != 2 {
+		t.Fatalf("replication = %d, want clamp to 2", g.Replication())
+	}
+	if _, err := New(nil, 2); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 1); err == nil {
+		t.Fatal("empty member ID accepted")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	g, err := New(members(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	load := map[string]int{}
+	for id := uint64(0); id < n; id++ {
+		for _, m := range g.Replicas(id) {
+			load[m]++
+		}
+	}
+	mean := float64(2*n) / 5
+	for m, c := range load {
+		if f := float64(c) / mean; f < 0.7 || f > 1.3 {
+			t.Errorf("member %s holds %.2fx the mean load (%d)", m, f, c)
+		}
+	}
+}
+
+// Removing a member must only reassign photos that member carried: the
+// rebuild pass relies on every other photo keeping its replica set.
+func TestMinimalMovementOnRemoval(t *testing.T) {
+	all := members(5)
+	before, err := New(all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = "ps-2"
+	after, err := New(Without(all, dead), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, carried := 0, 0
+	for id := uint64(0); id < 20000; id++ {
+		b, a := before.Replicas(id), after.Replicas(id)
+		had := false
+		for _, m := range b {
+			if m == dead {
+				had = true
+			}
+		}
+		if had {
+			carried++
+			continue
+		}
+		if b[0] != a[0] || b[1] != a[1] {
+			moved++
+			t.Fatalf("id %d moved %v -> %v without involving %s", id, b, a, dead)
+		}
+	}
+	if carried == 0 {
+		t.Fatal("dead member carried nothing — test is vacuous")
+	}
+}
+
+// The owner of a photo is its first live replica; killing a store hands
+// exactly its owned photos to their surviving replicas.
+func TestOwnerFallsToSurvivingReplica(t *testing.T) {
+	g, err := New(members(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allLive := LiveSet(members(3))
+	const dead = "ps-1"
+	degraded := LiveSet(Without(members(3), dead))
+	reassigned := 0
+	for id := uint64(0); id < 5000; id++ {
+		was, ok := g.Owner(id, allLive)
+		if !ok {
+			t.Fatalf("id %d: no owner with all live", id)
+		}
+		now, ok := g.Owner(id, degraded)
+		if !ok {
+			t.Fatalf("id %d: no owner after one death at R=2", id)
+		}
+		if was != dead {
+			if now != was {
+				t.Fatalf("id %d: owner moved %s -> %s though %s was not the owner", id, was, now, dead)
+			}
+			continue
+		}
+		reassigned++
+		reps := g.Replicas(id)
+		if now != reps[0] && now != reps[1] {
+			t.Fatalf("id %d: new owner %s is not a replica %v", id, now, reps)
+		}
+		if now == dead {
+			t.Fatalf("id %d: dead store still owns", id)
+		}
+	}
+	if reassigned == 0 {
+		t.Fatal("dead store owned nothing — test is vacuous")
+	}
+}
+
+func TestOwnerNoneWhenAllReplicasDead(t *testing.T) {
+	g, err := New(members(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nobody := func(string) bool { return false }
+	if _, ok := g.Owner(7, nobody); ok {
+		t.Fatal("owner found with nobody live")
+	}
+}

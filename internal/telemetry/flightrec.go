@@ -51,6 +51,13 @@ const (
 	FlightStandbyDetach = "standby-detach" // code=standby, v1=last acked seq
 	FlightWALShip       = "wal-ship"       // v1=seq, v2=bytes
 	FlightDegraded      = "degraded"       // code=component, v1=1 enter / 0 exit
+
+	// Photo durability taxonomy (S36).
+	FlightScrub      = "scrub"      // code=store, v1=objects checked, v2=corrupt found
+	FlightQuarantine = "quarantine" // code=store, v1=object id
+	FlightRepair     = "repair"     // code=store, v1=object id, v2=1 ok / 0 failed
+	FlightReroute    = "reroute"    // code=dead store, v1=epoch, v2=from-run
+	FlightRebuild    = "rebuild"    // code=dead store, v1=objects copied, v2=bytes
 )
 
 // FlightRecorder is a bounded, allocation-free ring of structured events —

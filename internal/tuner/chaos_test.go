@@ -128,7 +128,7 @@ func chaosRoundOptions() RoundOptions {
 // conn drops after a fixed number of write ops — mid feature stream). With
 // Quorum 2 the round must commit degraded on the survivors.
 func TestQuorumRoundSurvivesStoreDeath(t *testing.T) {
-	inj, err := faultinject.New(7, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17})
+	inj, err := faultinject.New(7, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestQuorumHardErrorBelowQuorum(t *testing.T) {
 		if i == 0 {
 			return c
 		}
-		inj, err := faultinject.New(int64(10+i), faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17 + i})
+		inj, err := faultinject.New(int64(10+i), faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 20 + i})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +220,7 @@ func TestQuorumHardErrorBelowQuorum(t *testing.T) {
 // An evicted store rejoins through AddStore, is caught up by a composite
 // delta, and participates fully in the next round.
 func TestEvictedStoreRejoins(t *testing.T) {
-	inj, err := faultinject.New(3, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 17})
+	inj, err := faultinject.New(3, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func TestChaosSoakSeededKillRestart(t *testing.T) {
 			// snapshot types) and the first command piggy-backs one metrics
 			// shipment, so lower thresholds can kill the hello/catch-up
 			// handshake itself instead of mid-round traffic.
-			After: 32 + int(rng.Int63n(40)),
+			After: 35 + int(rng.Int63n(40)),
 		})
 		if err != nil {
 			t.Fatal(err)

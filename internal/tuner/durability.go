@@ -1,0 +1,462 @@
+// Photo durability on the tuner side (S36): the replicated-placement
+// switch, the tuner-brokered scrub/repair pass, and the rebuild pass that
+// re-replicates a dead member's objects across the survivors. Stores never
+// talk to each other — every object that moves between stores is relayed
+// through the tuner (MsgObjects in, MsgObjectPut out), which keeps the
+// store protocol a single tuner-facing connection.
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"ndpipe/internal/placement"
+	"ndpipe/internal/telemetry"
+	"ndpipe/internal/wire"
+)
+
+// rebuildChunk bounds objects per relayed MsgObjectPut (mirrors the store
+// side's chunking of MsgObjects).
+const rebuildChunk = 64
+
+// EnableReplication turns on replicated placement with factor r: ingest
+// fans each photo to its r ring replicas, train/infer requests carry the
+// ring so stores extract only what they own, and a store lost mid-round
+// reroutes to survivors instead of losing images. Call before rounds start;
+// every ingest front end must be configured with the same factor.
+func (t *Node) EnableReplication(r int) error {
+	if r < 1 {
+		return fmt.Errorf("tuner: replication factor %d, want >= 1", r)
+	}
+	t.mu.Lock()
+	t.replication = r
+	t.mu.Unlock()
+	t.log.Info("replication enabled", slog.Int("factor", r))
+	return nil
+}
+
+// Replication returns the placement factor (0 = replication off).
+func (t *Node) Replication() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.replication
+}
+
+// RingMembers returns the durable ring membership (sorted copy).
+func (t *Node) RingMembers() []string {
+	t.mu.Lock()
+	out := append([]string(nil), t.ringMembers...)
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// durabilityPass snapshots the state a scrub/rebuild pass runs over: the
+// pass gets its own epoch so every reply is staleness-tagged exactly like
+// round traffic.
+type durabilityPass struct {
+	epoch   int
+	o       RoundOptions
+	r       int
+	members []string
+	live    []*storeConn
+}
+
+func (t *Node) beginDurabilityPass() (durabilityPass, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.replication <= 0 {
+		return durabilityPass{}, fmt.Errorf("tuner: replication not enabled")
+	}
+	t.epoch++
+	return durabilityPass{
+		epoch:   t.epoch,
+		o:       t.rounds,
+		r:       t.replication,
+		members: append([]string(nil), t.ringMembers...),
+		live:    append([]*storeConn(nil), t.stores...),
+	}, nil
+}
+
+// drainInbox consumes store events until done() or the timeout. Terminal
+// read errors evict the store (same as a round would) and are reported to
+// onFail; stale-epoch messages are counted and dropped; everything else
+// goes to accept.
+func (t *Node) drainInbox(span *telemetry.Span, epoch int, timeout time.Duration,
+	done func() bool, accept func(*storeConn, *wire.Message), onFail func(*storeConn, error)) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for !done() {
+		select {
+		case ev := <-t.inbox:
+			if ev.err != nil {
+				t.evict(ev.sc, ev.err, span)
+				if onFail != nil {
+					onFail(ev.sc, ev.err)
+				}
+				continue
+			}
+			if ev.msg.Epoch != 0 && ev.msg.Epoch != epoch {
+				t.met.staleMsgs.Inc()
+				continue
+			}
+			accept(ev.sc, ev.msg)
+		case <-timer.C:
+			return fmt.Errorf("tuner: durability pass timed out after %v", timeout)
+		case <-t.done:
+			return fmt.Errorf("tuner: node closed mid-pass")
+		}
+	}
+	return nil
+}
+
+// storeByID finds a live store connection.
+func (t *Node) storeByID(id string) *storeConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sc := range t.stores {
+		if sc.id == id {
+			return sc
+		}
+	}
+	return nil
+}
+
+// fetchObjects asks one store for healthy copies of the given IDs and
+// collects its chunked reply. Missing/quarantined objects are simply absent
+// from the result.
+func (t *Node) fetchObjects(span *telemetry.Span, sc *storeConn, ids []uint64, epoch int, o RoundOptions) ([]wire.ObjectData, error) {
+	req := &wire.Message{Type: wire.MsgObjectFetch, IDs: ids, Epoch: epoch}
+	if err := t.sendWithDeadline(sc, req, o.StoreTimeout); err != nil {
+		t.evict(sc, err, span)
+		return nil, err
+	}
+	var out []wire.ObjectData
+	fin := false
+	var failErr error
+	err := t.drainInbox(span, epoch, o.RoundTimeout,
+		func() bool { return fin },
+		func(s *storeConn, msg *wire.Message) {
+			if s != sc {
+				t.met.staleMsgs.Inc()
+				return
+			}
+			switch msg.Type {
+			case wire.MsgObjects:
+				out = append(out, msg.Objects...)
+				if msg.Final {
+					fin = true
+				}
+			case wire.MsgError:
+				failErr = errors.New(msg.Err)
+				fin = true
+			default:
+				t.met.staleMsgs.Inc()
+			}
+		},
+		func(s *storeConn, err error) {
+			if s == sc {
+				failErr = err
+				fin = true
+			}
+		})
+	if err != nil {
+		return out, err
+	}
+	return out, failErr
+}
+
+// pushObjects relays objects to a store in bounded MsgObjectPut chunks,
+// awaiting the per-chunk ack (which carries how many the store accepted
+// after re-verifying both checksums). Returns the accepted total.
+func (t *Node) pushObjects(span *telemetry.Span, sc *storeConn, objs []wire.ObjectData, epoch int, o RoundOptions) (int, error) {
+	total := 0
+	for len(objs) > 0 {
+		chunk := objs
+		if len(chunk) > rebuildChunk {
+			chunk = objs[:rebuildChunk]
+		}
+		objs = objs[len(chunk):]
+		msg := &wire.Message{Type: wire.MsgObjectPut, Objects: chunk, Epoch: epoch}
+		if err := t.sendWithDeadline(sc, msg, o.StoreTimeout); err != nil {
+			t.evict(sc, err, span)
+			return total, err
+		}
+		got := false
+		var ackErr error
+		err := t.drainInbox(span, epoch, o.RoundTimeout,
+			func() bool { return got },
+			func(s *storeConn, m *wire.Message) {
+				if s != sc {
+					t.met.staleMsgs.Inc()
+					return
+				}
+				switch m.Type {
+				case wire.MsgAck:
+					total += m.Rows
+					got = true
+				case wire.MsgError:
+					total += m.Rows
+					ackErr = errors.New(m.Err)
+					got = true
+				default:
+					t.met.staleMsgs.Inc()
+				}
+			},
+			func(s *storeConn, err error) {
+				if s == sc {
+					ackErr = err
+					got = true
+				}
+			})
+		if err != nil {
+			return total, err
+		}
+		if ackErr != nil {
+			return total, ackErr
+		}
+	}
+	return total, nil
+}
+
+// ScrubStats summarizes one tuner-driven scrub/repair pass.
+type ScrubStats struct {
+	Stores      int                 // stores queried
+	Quarantined map[string][]uint64 // store → quarantined IDs it reported
+	Repaired    int                 // objects re-pushed and re-verified
+	Failed      int                 // quarantined objects no replica could heal
+	Wall        time.Duration
+}
+
+// ScrubRepair drives one fleet-wide scrub/repair pass: every live store
+// scrubs up to scrubBatch objects synchronously (≤0 = its whole holding)
+// and reports its quarantine list; for each quarantined object the tuner
+// fetches a healthy copy from another live ring replica and relays it back
+// to the damaged store, whose re-put re-verifies end to end and lifts the
+// quarantine. An object is Failed only when no live replica holds an intact
+// copy.
+func (t *Node) ScrubRepair(scrubBatch int) (ScrubStats, error) {
+	start := time.Now()
+	p, err := t.beginDurabilityPass()
+	if err != nil {
+		return ScrubStats{}, err
+	}
+	span := telemetry.Default.Spans().StartTrace("tuner.scrub-repair")
+	defer span.End()
+	stats := ScrubStats{Quarantined: make(map[string][]uint64)}
+	if scrubBatch <= 0 {
+		scrubBatch = -1 // on the wire, negative = scrub the whole holding
+	}
+	pending := make(map[*storeConn]bool, len(p.live))
+	for _, sc := range p.live {
+		req := &wire.Message{Type: wire.MsgScrubQuery, BatchSize: scrubBatch, Epoch: p.epoch}
+		if err := t.sendWithDeadline(sc, req, p.o.StoreTimeout); err != nil {
+			t.evict(sc, err, span)
+			continue
+		}
+		pending[sc] = true
+		stats.Stores++
+	}
+	err = t.drainInbox(span, p.epoch, p.o.RoundTimeout,
+		func() bool { return len(pending) == 0 },
+		func(sc *storeConn, msg *wire.Message) {
+			if msg.Type != wire.MsgScrubReport || !pending[sc] {
+				t.met.staleMsgs.Inc()
+				return
+			}
+			if len(msg.Quarantined) > 0 {
+				stats.Quarantined[sc.id] = msg.Quarantined
+			}
+			delete(pending, sc)
+		},
+		func(sc *storeConn, err error) { delete(pending, sc) })
+	if err != nil {
+		return stats, err
+	}
+	ring, err := placement.New(p.members, p.r)
+	if err != nil {
+		return stats, err
+	}
+	damaged := make([]string, 0, len(stats.Quarantined))
+	for id := range stats.Quarantined {
+		damaged = append(damaged, id)
+	}
+	sort.Strings(damaged)
+	for _, storeID := range damaged {
+		target := t.storeByID(storeID)
+		ids := stats.Quarantined[storeID]
+		if target == nil {
+			stats.Failed += len(ids)
+			continue
+		}
+		need := make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			need[id] = true
+		}
+		var healthy []wire.ObjectData
+		for _, src := range p.live {
+			if src == target || src.evicted.Load() || len(need) == 0 {
+				continue
+			}
+			// Only ask src for the objects it actually replicates.
+			var ask []uint64
+			for id := range need {
+				for _, m := range ring.Replicas(id) {
+					if m == src.id {
+						ask = append(ask, id)
+						break
+					}
+				}
+			}
+			if len(ask) == 0 {
+				continue
+			}
+			sort.Slice(ask, func(i, j int) bool { return ask[i] < ask[j] })
+			objs, ferr := t.fetchObjects(span, src, ask, p.epoch, p.o)
+			if ferr != nil {
+				t.log.Warn("repair fetch failed", slog.String("source", src.id), slog.Any("err", ferr))
+			}
+			for _, od := range objs {
+				if need[od.ID] {
+					delete(need, od.ID)
+					healthy = append(healthy, od)
+				}
+			}
+		}
+		n, perr := t.pushObjects(span, target, healthy, p.epoch, p.o)
+		stats.Repaired += n
+		stats.Failed += len(ids) - n
+		if perr != nil {
+			t.log.Warn("repair push failed", slog.String("store", storeID), slog.Any("err", perr))
+		}
+		telemetry.Default.Flight().Record(telemetry.FlightRepair, "tuner", target.id, int64(n), int64(len(ids)-n))
+	}
+	stats.Wall = time.Since(start)
+	if stats.Repaired > 0 || stats.Failed > 0 {
+		t.log.Info("scrub/repair pass complete",
+			slog.Int("repaired", stats.Repaired), slog.Int("failed", stats.Failed),
+			slog.Duration("wall", stats.Wall))
+	}
+	return stats, nil
+}
+
+// RebuildReport summarizes re-replicating one dead member's objects.
+type RebuildReport struct {
+	Dead    string
+	Objects int            // objects copied to new replicas (accepted acks)
+	Bytes   int64          // payload bytes relayed
+	Targets map[string]int // objects gained per destination store
+	Wall    time.Duration
+}
+
+// Rebuild re-replicates everything the dead store held: each survivor
+// computes (from the ring) the objects it is the designated pusher for,
+// streams them to the tuner, and the tuner relays each object to the
+// destination that gains it on the survivor ring. When the pass completes,
+// dead is retired from the ring membership — consistent hashing guarantees
+// only its photos moved — and subsequent rounds route on the smaller ring
+// at full replication. Call after a round reports the store failed (or
+// after any eviction).
+func (t *Node) Rebuild(dead string) (RebuildReport, error) {
+	start := time.Now()
+	p, err := t.beginDurabilityPass()
+	if err != nil {
+		return RebuildReport{}, err
+	}
+	member := false
+	for _, m := range p.members {
+		if m == dead {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return RebuildReport{}, fmt.Errorf("tuner: %s is not a ring member", dead)
+	}
+	for _, sc := range p.live {
+		if sc.id == dead {
+			return RebuildReport{}, fmt.Errorf("tuner: %s is still live; evict it before rebuilding", dead)
+		}
+	}
+	span := telemetry.Default.Spans().StartTrace("tuner.rebuild")
+	span.SetAttr("dead", dead)
+	defer span.End()
+	liveIDs := make([]string, 0, len(p.live))
+	for _, sc := range p.live {
+		liveIDs = append(liveIDs, sc.id)
+	}
+	rep := RebuildReport{Dead: dead, Targets: make(map[string]int)}
+	pending := make(map[*storeConn]bool, len(p.live))
+	for _, sc := range p.live {
+		req := &wire.Message{Type: wire.MsgRebuildRequest, StoreID: dead,
+			RingStores: p.members, LiveStores: liveIDs, Replication: p.r, Epoch: p.epoch}
+		if err := t.sendWithDeadline(sc, req, p.o.StoreTimeout); err != nil {
+			t.evict(sc, err, span)
+			continue
+		}
+		pending[sc] = true
+	}
+	byDest := make(map[string][]wire.ObjectData)
+	err = t.drainInbox(span, p.epoch, p.o.RoundTimeout,
+		func() bool { return len(pending) == 0 },
+		func(sc *storeConn, msg *wire.Message) {
+			if !pending[sc] {
+				t.met.staleMsgs.Inc()
+				return
+			}
+			switch msg.Type {
+			case wire.MsgObjects:
+				for _, od := range msg.Objects {
+					byDest[od.Dest] = append(byDest[od.Dest], od)
+				}
+				if msg.Final {
+					delete(pending, sc)
+				}
+			case wire.MsgError:
+				t.log.Warn("rebuild push refused", slog.String("store", sc.id), slog.String("err", msg.Err))
+				delete(pending, sc)
+			default:
+				t.met.staleMsgs.Inc()
+			}
+		},
+		func(sc *storeConn, err error) { delete(pending, sc) })
+	if err != nil {
+		return rep, err
+	}
+	dests := make([]string, 0, len(byDest))
+	for d := range byDest {
+		dests = append(dests, d)
+	}
+	sort.Strings(dests)
+	for _, dest := range dests {
+		objs := byDest[dest]
+		sc := t.storeByID(dest)
+		if sc == nil {
+			t.log.Warn("rebuild destination not live", slog.String("store", dest), slog.Int("objects", len(objs)))
+			continue
+		}
+		n, perr := t.pushObjects(span, sc, objs, p.epoch, p.o)
+		rep.Objects += n
+		rep.Targets[dest] += n
+		for _, od := range objs {
+			rep.Bytes += int64(len(od.Raw) + len(od.Pre))
+		}
+		if perr != nil {
+			return rep, fmt.Errorf("tuner: rebuilding onto %s: %w", dest, perr)
+		}
+	}
+	// Retire the dead member: placement's minimal-movement property means
+	// only its photos changed replica sets, and those copies now exist.
+	t.mu.Lock()
+	t.ringMembers = placement.Without(t.ringMembers, dead)
+	t.mu.Unlock()
+	rep.Wall = time.Since(start)
+	telemetry.Default.Flight().Record(telemetry.FlightRebuild, "tuner", dead, int64(rep.Objects), rep.Bytes)
+	t.log.Info("rebuild complete", slog.String("dead", dead),
+		slog.Int("objects", rep.Objects), slog.Int64("bytes", rep.Bytes),
+		slog.Duration("wall", rep.Wall))
+	return rep, nil
+}

@@ -1,0 +1,420 @@
+// Durability chaos suite (S36): deterministic fault schedules against the
+// replicated photo layer. A store killed mid-round at R=2 must yield a
+// degraded commit with ImagesLost == 0 and the same committed version as a
+// healthy run; an injected at-rest bit-flip must be detected by scrub and
+// repaired from a replica without the corrupt bytes ever being served; a
+// rebuild pass must restore full replication after an eviction.
+package tuner
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndpipe/internal/core"
+	"ndpipe/internal/dataset"
+	"ndpipe/internal/faultinject"
+	"ndpipe/internal/photostore"
+	"ndpipe/internal/pipestore"
+	"ndpipe/internal/placement"
+)
+
+// ringClusterUp builds a replicated fleet: every photo is ingested into all
+// r of its ring replicas, and the tuner routes rounds by ownership. With
+// disk=true each store runs on a DiskStore under a temp dir (so tests can
+// flip bits in object files); otherwise photos live in memory.
+func ringClusterUp(t *testing.T, nStores, r, images int, seed int64, disk bool,
+	wrap func(i int, c net.Conn) net.Conn) (*Node, []*chaosStore, *dataset.World, net.Listener, *placement.Ring) {
+	t.Helper()
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.EnableReplication(r); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, nStores) }()
+
+	members := make([]string, nStores)
+	for i := range members {
+		members[i] = fmt.Sprintf("cs-%d", i)
+	}
+	ring, err := placement.New(members, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stores []*chaosStore
+	for i := 0; i < nStores; i++ {
+		var ps *pipestore.Node
+		if disk {
+			photos, perr := photostore.OpenDir(filepath.Join(t.TempDir(), "photos"))
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			ps, err = pipestore.NewWithStorage(members[i], cfg, photos)
+		} else {
+			ps, err = pipestore.New(members[i], cfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var owned []dataset.Image
+		for _, img := range world.Images() {
+			for _, rep := range ring.Replicas(img.ID) {
+				if rep == ps.ID {
+					owned = append(owned, img)
+					break
+				}
+			}
+		}
+		if err := ps.Ingest(owned); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrap != nil {
+			conn = wrap(i, conn)
+		}
+		cs := &chaosStore{ps: ps, conn: conn, done: make(chan error, 1)}
+		go func() { cs.done <- cs.ps.Serve(cs.conn) }()
+		stores = append(stores, cs)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	return tn, stores, world, ln, ring
+}
+
+// The acceptance bar of the tentpole: at R=2, a store killed mid-round
+// (deterministic write-drop mid feature stream) commits degraded with
+// ImagesLost == 0 — every photo the dead store was serving is re-extracted
+// from a surviving replica — trains every photo exactly once, and lands on
+// the same committed version as an identical healthy run.
+func TestDurabilityRoundSurvivesStoreDeathZeroLoss(t *testing.T) {
+	const nImages = 600
+	inj, err := faultinject.New(7, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 2
+	wrap := func(i int, c net.Conn) net.Conn {
+		if i == victim {
+			return inj.Conn(c)
+		}
+		return c
+	}
+	tn, stores, world, _, _ := ringClusterUp(t, 3, 2, nImages, 41, false, wrap)
+	tn.SetRoundOptions(chaosRoundOptions())
+
+	rep, err := tn.FineTune(2, 64, soakOpts())
+	if err != nil {
+		t.Fatalf("round must survive one death at R=2: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("report must be marked degraded")
+	}
+	if len(rep.FailedStores) != 1 || rep.FailedStores[0] != stores[victim].ps.ID {
+		t.Fatalf("FailedStores = %v, want [%s]", rep.FailedStores, stores[victim].ps.ID)
+	}
+	if rep.ImagesLost != 0 {
+		t.Fatalf("ImagesLost = %d, want 0: every photo has a live replica at R=2", rep.ImagesLost)
+	}
+	if rep.Images != len(world.Images()) {
+		t.Fatalf("trained %d images, want every one of %d exactly once", rep.Images, len(world.Images()))
+	}
+
+	// Healthy twin: same world, same options, nobody dies.
+	tn2, _, _, _, _ := ringClusterUp(t, 3, 2, nImages, 41, false, nil)
+	tn2.SetRoundOptions(chaosRoundOptions())
+	rep2, err := tn2.FineTune(2, 64, soakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Images != rep.Images {
+		t.Fatalf("degraded run trained %d images, healthy run %d", rep.Images, rep2.Images)
+	}
+	if tn.ModelVersion() != tn2.ModelVersion() {
+		t.Fatalf("committed version %d after degraded run, healthy run committed %d",
+			tn.ModelVersion(), tn2.ModelVersion())
+	}
+}
+
+// flipObjectByte corrupts one payload byte of an at-rest raw object file.
+func flipObjectByte(t *testing.T, ps *pipestore.Node, dir string, id uint64) {
+	t.Helper()
+	path := filepath.Join(dir, "raw", fmt.Sprintf("%d", id))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 9 {
+		t.Fatalf("raw object %d too short to corrupt: %d bytes", id, len(b))
+	}
+	b[len(b)-1] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = ps // the node stays live; its next CRC-verified read detects the flip
+}
+
+// diskRingClusterUp variant that exposes each store's photo directory.
+func diskRingClusterUp(t *testing.T, nStores, r, images int, seed int64) (*Node, []*chaosStore, *dataset.World, *placement.Ring, []string) {
+	t.Helper()
+	dirs := make([]string, nStores)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("photos-%d", i))
+	}
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(seed)
+	wcfg.InitialImages = images
+	world := dataset.NewWorld(wcfg)
+
+	tn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.EnableReplication(r); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); tn.Close() })
+	accepted := make(chan error, 1)
+	go func() { accepted <- tn.AcceptStores(ln, nStores) }()
+
+	members := make([]string, nStores)
+	for i := range members {
+		members[i] = fmt.Sprintf("cs-%d", i)
+	}
+	ring, err := placement.New(members, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stores []*chaosStore
+	for i := 0; i < nStores; i++ {
+		photos, perr := photostore.OpenDir(dirs[i])
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		ps, err := pipestore.NewWithStorage(members[i], cfg, photos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var owned []dataset.Image
+		for _, img := range world.Images() {
+			for _, rep := range ring.Replicas(img.ID) {
+				if rep == ps.ID {
+					owned = append(owned, img)
+					break
+				}
+			}
+		}
+		if err := ps.Ingest(owned); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &chaosStore{ps: ps, conn: conn, done: make(chan error, 1)}
+		go func() { cs.done <- cs.ps.Serve(cs.conn) }()
+		stores = append(stores, cs)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	return tn, stores, world, ring, dirs
+}
+
+// An at-rest bit-flip is detected by the fleet-wide scrub pass, quarantined,
+// and repaired end to end over the wire — tuner fetches a healthy copy from
+// the other ring replica and relays it back — after which the object reads
+// back byte-identical to the original.
+func TestScrubRepairsInjectedBitflipOverWire(t *testing.T) {
+	tn, stores, world, ring, dirs := diskRingClusterUp(t, 3, 2, 120, 43)
+
+	// Corrupt one photo's raw object on its first replica.
+	var victimImg dataset.Image
+	victimStore := -1
+	for _, img := range world.Images() {
+		reps := ring.Replicas(img.ID)
+		for i, cs := range stores {
+			if cs.ps.ID == reps[0] {
+				victimImg = img
+				victimStore = i
+			}
+		}
+		if victimStore >= 0 {
+			break
+		}
+	}
+	flipObjectByte(t, stores[victimStore].ps, dirs[victimStore], victimImg.ID)
+
+	stats, err := tn.ScrubRepair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stores != 3 {
+		t.Fatalf("scrubbed %d stores, want 3", stats.Stores)
+	}
+	q := stats.Quarantined[stores[victimStore].ps.ID]
+	if len(q) != 1 || q[0] != victimImg.ID {
+		t.Fatalf("store %s quarantined %v, want [%d]", stores[victimStore].ps.ID, q, victimImg.ID)
+	}
+	if stats.Repaired != 1 || stats.Failed != 0 {
+		t.Fatalf("repaired=%d failed=%d, want 1/0", stats.Repaired, stats.Failed)
+	}
+	raw, err := stores[victimStore].ps.Storage().GetRaw(victimImg.ID)
+	if err != nil {
+		t.Fatalf("repaired object unreadable: %v", err)
+	}
+	// The healthy second replica holds the reference copy.
+	var healthy []byte
+	for i, cs := range stores {
+		if i == victimStore {
+			continue
+		}
+		if b, err := cs.ps.Storage().GetRaw(victimImg.ID); err == nil {
+			healthy = b
+			break
+		}
+	}
+	if healthy == nil {
+		t.Fatal("no healthy replica holds the reference copy")
+	}
+	if string(raw) != string(healthy) {
+		t.Fatal("repaired object differs from the healthy replica's copy")
+	}
+	if len(stores[victimStore].ps.Storage().Quarantined()) != 0 {
+		t.Fatal("quarantine must be lifted after repair")
+	}
+}
+
+// A corrupt object is never served: reads return an error (not the flipped
+// bytes), the round routes around it — the survivor replica extracts it —
+// and after repair the fleet is whole again.
+func TestQuarantinedObjectNeverServed(t *testing.T) {
+	tn, stores, world, ring, dirs := diskRingClusterUp(t, 3, 2, 150, 47)
+	tn.SetRoundOptions(chaosRoundOptions())
+
+	img := world.Images()[0]
+	reps := ring.Replicas(img.ID)
+	primary := -1
+	for i, cs := range stores {
+		if cs.ps.ID == reps[0] {
+			primary = i
+		}
+	}
+	flipObjectByte(t, stores[primary].ps, dirs[primary], img.ID)
+
+	// The corrupt copy must never come back from a read.
+	if raw, err := stores[primary].ps.Storage().GetRaw(img.ID); err == nil {
+		t.Fatalf("corrupt raw object served: %d bytes", len(raw))
+	}
+	if len(stores[primary].ps.Storage().Quarantined()) != 1 {
+		t.Fatal("detected corruption must quarantine the object")
+	}
+	// Quarantined means quarantined: the read keeps failing, it never heals
+	// silently or serves stale bytes.
+	if _, err := stores[primary].ps.Storage().GetRaw(img.ID); err == nil {
+		t.Fatal("quarantined object served on re-read")
+	}
+
+	// A round still trains every OTHER photo exactly once. The corrupt
+	// photo's owner skips it (its local copy is quarantined, never decoded);
+	// nothing trains on garbage.
+	rep, err := tn.FineTune(2, 32, soakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("no store died, round must not be degraded: %+v", rep)
+	}
+	if want := len(world.Images()) - 1; rep.Images != want {
+		t.Fatalf("trained %d images, want %d (all but the quarantined one)", rep.Images, want)
+	}
+
+	// Scrub/repair heals the flip from the surviving replica; the next
+	// round is whole.
+	stats, err := tn.ScrubRepair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Repaired != 1 {
+		t.Fatalf("repaired = %d, want 1", stats.Repaired)
+	}
+	rep2, err := tn.FineTune(2, 32, soakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Images != len(world.Images()) {
+		t.Fatalf("post-repair round trained %d images, want %d", rep2.Images, len(world.Images()))
+	}
+}
+
+// After a store dies and the round commits degraded, Rebuild re-replicates
+// its objects from the survivors: with 3 members at R=2 collapsing to 2, every
+// photo must end up on both survivors, and the dead member leaves the ring.
+func TestRebuildRestoresReplicationAfterStoreLoss(t *testing.T) {
+	const nImages = 300
+	inj, err := faultinject.New(11, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 1
+	wrap := func(i int, c net.Conn) net.Conn {
+		if i == victim {
+			return inj.Conn(c)
+		}
+		return c
+	}
+	tn, stores, world, _, _ := ringClusterUp(t, 3, 2, nImages, 53, false, wrap)
+	tn.SetRoundOptions(chaosRoundOptions())
+
+	rep, err := tn.FineTune(2, 64, soakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.ImagesLost != 0 {
+		t.Fatalf("want degraded zero-loss commit, got degraded=%v lost=%d", rep.Degraded, rep.ImagesLost)
+	}
+	dead := stores[victim].ps.ID
+
+	rb, err := tn.Rebuild(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Objects == 0 {
+		t.Fatal("rebuild moved no objects")
+	}
+	for _, m := range tn.RingMembers() {
+		if m == dead {
+			t.Fatalf("dead member %s still in the ring after rebuild", dead)
+		}
+	}
+	// Survivor ring at R=2 over 2 members: every photo on both.
+	for _, img := range world.Images() {
+		for _, i := range []int{0, 2} {
+			if _, err := stores[i].ps.Storage().GetRaw(img.ID); err != nil {
+				t.Fatalf("photo %d missing on survivor %s after rebuild: %v", img.ID, stores[i].ps.ID, err)
+			}
+		}
+	}
+}

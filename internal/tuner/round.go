@@ -158,11 +158,15 @@ func (t *Node) sendWithDeadline(sc *storeConn, msg *wire.Message, d time.Duratio
 	return sc.codec.Send(msg)
 }
 
-// storeRunBuf accumulates one store's feature batches for one run.
+// storeRunBuf accumulates one store's feature batches for one run. finals
+// counts Final markers received: under ring routing a re-sent (degraded)
+// request makes every survivor owe a second Final per not-yet-trained run,
+// so completion is a count, not a flag.
 type storeRunBuf struct {
 	rows   []float64
 	labels []int
-	final  bool
+	ids    []uint64
+	finals int
 }
 
 // roundCtx is the per-round state machine over the participating stores.
@@ -184,6 +188,25 @@ type roundCtx struct {
 	ftBufs     []map[string]*storeRunBuf
 	nextRun    int
 	imagesLost int
+
+	// Ring-routing state (replication enabled; see durability.go). ring is
+	// the full membership stamped on every request — dead members stay in it
+	// so ownership math is stable — and curLive is the live set carried by
+	// the most recent train request; when rc.live shrinks below it, the
+	// round re-sends the request so survivors pick up the dead store's
+	// photos (reextract). extraFinals[r] counts re-sent requests covering
+	// run r: each one makes every live store owe one more Final for r.
+	ring        []string
+	replication int
+	curLive     []string
+	extraFinals []int
+	// Exactly-once training under re-extraction: seen holds every image ID
+	// already trained this round (re-extracted duplicates of already-trained
+	// rows are dropped), orphans holds IDs buffered from a failed store and
+	// discarded — drained as survivors re-deliver them. What remains at
+	// commit is genuinely lost.
+	seen    map[uint64]bool
+	orphans map[uint64]bool
 
 	// Straggler accounting: per-store phase latencies measured against the
 	// shared phase start, so one slow store stands out of the fleet median.
@@ -217,8 +240,21 @@ func (t *Node) beginRound(span *telemetry.Span, logger *slog.Logger) (*roundCtx,
 		live:         make(map[*storeConn]bool),
 		failed:       make(map[string]error),
 		stats:        make(map[string]*StoreRoundStats),
+		replication:  t.replication,
+	}
+	if rc.replication > 0 {
+		// Legacy rounds (replication off) must not carry a ring: stores would
+		// take the ownership path over data that was never ring-placed.
+		rc.ring = append([]string(nil), t.ringMembers...)
 	}
 	t.mu.Unlock()
+	if rc.ringMode() {
+		for _, sc := range rc.participants {
+			rc.curLive = append(rc.curLive, sc.id)
+		}
+		rc.seen = make(map[uint64]bool)
+		rc.orphans = make(map[uint64]bool)
+	}
 	span.SetAttr("epoch", fmt.Sprint(rc.epoch))
 	telemetry.Default.Flight().Record(telemetry.FlightRoundStart, "tuner", "",
 		int64(rc.epoch), int64(len(rc.participants)))
@@ -263,13 +299,26 @@ func (rc *roundCtx) adopt(sc *storeConn) {
 	rc.live[sc] = true
 }
 
+// ringMode reports whether this round runs under replicated placement.
+func (rc *roundCtx) ringMode() bool { return rc.replication > 0 && len(rc.ring) > 0 }
+
 // discardPending drops a failed store's contributions to runs that have
 // not been trained yet: a half-gathered run must not train on a partial
-// shard without accounting for it.
+// shard without accounting for it. Under ring routing the discarded rows
+// are not written off — their IDs become orphans, reclaimed as survivors
+// re-deliver them, and only what is never reclaimed counts as lost.
 func (rc *roundCtx) discardPending(storeID string) {
 	for r := rc.nextRun; r < len(rc.ftBufs); r++ {
 		if b := rc.ftBufs[r][storeID]; b != nil {
-			rc.imagesLost += len(b.labels)
+			if rc.ringMode() {
+				for _, id := range b.ids {
+					if !rc.seen[id] {
+						rc.orphans[id] = true
+					}
+				}
+			} else {
+				rc.imagesLost += len(b.labels)
+			}
 			delete(rc.ftBufs[r], storeID)
 		}
 	}
@@ -380,6 +429,12 @@ func (rc *roundCtx) finishAccounting(rep *Report) {
 	rep.Participants = len(rc.participants)
 	rep.FailedStores = rc.failedSorted()
 	rep.Degraded = len(rc.failed) > 0
+	if rc.ringMode() {
+		// Under replication, lost = buffered-then-discarded rows never
+		// re-delivered by a survivor. With R ≥ 2 and any live replica per
+		// photo, reroute drains the orphan set and this is zero.
+		rc.imagesLost = len(rc.orphans)
+	}
 	rep.ImagesLost = rc.imagesLost
 	if rep.Degraded {
 		rc.t.met.degradedRounds.Inc()
@@ -442,15 +497,64 @@ func (rc *roundCtx) flagStragglers(rep *Report) {
 	}
 }
 
-// runComplete reports whether every live store has finished sending run r.
+// runComplete reports whether every live store has finished sending run r:
+// one Final per request covering the run — the original, plus one per
+// re-sent (degraded) request under ring routing.
 func (rc *roundCtx) runComplete(r int) bool {
+	want := 1
+	if rc.extraFinals != nil {
+		want += rc.extraFinals[r]
+	}
 	for sc := range rc.live {
 		b := rc.ftBufs[r][sc.id]
-		if b == nil || !b.final {
+		if b == nil || b.finals < want {
 			return false
 		}
 	}
 	return true
+}
+
+// liveIDs returns the current live set in participant order.
+func (rc *roundCtx) liveIDs() []string {
+	ids := make([]string, 0, len(rc.live))
+	for _, sc := range rc.participants {
+		if rc.live[sc] {
+			ids = append(ids, sc.id)
+		}
+	}
+	return ids
+}
+
+// reextract is the zero-loss reroute: a store died during the gather, so
+// the round re-sends its train request to every survivor with the shrunken
+// live set. Each survivor extracts the photos it owns now but did not own
+// under PrevLive — exactly the dead store's photos, rerouted to their next
+// live replica — partitioned over the runs not yet trained. Every re-sent
+// request makes every live store owe one more Final for those runs.
+func (rc *roundCtx) reextract(tc telemetry.SpanContext, nrun, batch int) {
+	newLive := rc.liveIDs()
+	prev := rc.curLive
+	from := rc.nextRun
+	rc.curLive = newLive
+	for r := from; r < nrun; r++ {
+		rc.extraFinals[r]++
+	}
+	telemetry.Default.Flight().Record(telemetry.FlightReroute, "tuner", "", int64(rc.epoch), int64(from))
+	rc.span.Event(fmt.Sprintf("reroute from run %d to %d survivors", from, len(newLive)))
+	rc.logger.Warn("re-extracting dead store's photos on survivors",
+		slog.Int("epoch", rc.epoch), slog.Int("from_run", from), slog.Int("survivors", len(newLive)))
+	for _, sc := range rc.participants {
+		if !rc.live[sc] {
+			continue
+		}
+		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch, Epoch: rc.epoch,
+			RingStores: rc.ring, LiveStores: newLive, PrevLive: prev,
+			Replication: rc.replication, FromRun: from}
+		req.SetTraceContext(tc)
+		if err := rc.sendWithRetry(sc, req); err != nil {
+			rc.fail(sc, fmt.Errorf("tuner: re-sending train request to %s: %w", sc.id, err))
+		}
+	}
 }
 
 // FineTune runs one pipelined FT-DMP round over all registered stores and
@@ -496,8 +600,12 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		return Report{}, err
 	}
 	rc.gatherStart = time.Now()
+	if rc.ringMode() {
+		rc.extraFinals = make([]int, nrun)
+	}
 	for _, sc := range rc.participants {
-		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch, Epoch: rc.epoch}
+		req := &wire.Message{Type: wire.MsgTrainRequest, Runs: nrun, BatchSize: batch, Epoch: rc.epoch,
+			RingStores: rc.ring, LiveStores: rc.curLive, Replication: rc.replication}
 		req.SetTraceContext(tc)
 		if err := rc.sendWithRetry(sc, req); err != nil {
 			rc.fail(sc, fmt.Errorf("tuner: requesting training from %s: %w", sc.id, err))
@@ -541,8 +649,11 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		}
 		b.rows = append(b.rows, msg.X...)
 		b.labels = append(b.labels, msg.Labels...)
+		if rc.ringMode() {
+			b.ids = append(b.ids, msg.IDs...)
+		}
 		if msg.Final {
-			b.final = true
+			b.finals++
 		}
 		rep.FeatureBytes += int64(len(msg.X)) * 8
 		t.met.featureBytes.Add(int64(len(msg.X)) * 8)
@@ -568,6 +679,13 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 			if len(rc.live) < rc.o.Quorum {
 				return Report{}, rc.quorumError(fmt.Sprintf("gathering run %d", r))
 			}
+			if rc.ringMode() && len(rc.live) < len(rc.curLive) {
+				// A store died since the last request: reroute its photos to
+				// the survivors before judging run completion — they now owe
+				// an extra Final per remaining run.
+				rc.reextract(tc, nrun, batch)
+				continue
+			}
 			if rc.runComplete(r) {
 				break
 			}
@@ -575,9 +693,13 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 			case ev := <-t.inbox:
 				rc.handle(ev, acceptFeatures)
 			case <-hb.C:
+				want := 1
+				if rc.extraFinals != nil {
+					want += rc.extraFinals[r]
+				}
 				rc.checkLiveness(func(sc *storeConn) bool {
 					b := rc.ftBufs[r][sc.id]
-					return b == nil || !b.final
+					return b == nil || b.finals < want
 				})
 			case <-gatherTimer.C:
 				return Report{}, fmt.Errorf("tuner: round %d timed out gathering run %d after %v",
@@ -586,12 +708,29 @@ func (t *Node) FineTuneTraced(parent telemetry.SpanContext, nrun, batch int, opt
 		}
 		// Tuner-stage: train on the gathered run, concatenating survivors in
 		// registration order (deterministic for a fixed failure schedule).
+		// Under ring routing, rows whose ID already trained this round are
+		// dropped (a re-extraction can re-deliver rows the dead store got
+		// through before dying), and every trained ID leaves the orphan set.
 		var rows []float64
 		var labels []int
 		for _, sc := range rc.participants {
-			if b := rc.ftBufs[r][sc.id]; b != nil && b.final {
+			b := rc.ftBufs[r][sc.id]
+			if b == nil || b.finals == 0 {
+				continue
+			}
+			if !rc.ringMode() {
 				rows = append(rows, b.rows...)
 				labels = append(labels, b.labels...)
+				continue
+			}
+			for i, id := range b.ids {
+				if rc.seen[id] {
+					continue
+				}
+				rc.seen[id] = true
+				delete(rc.orphans, id)
+				rows = append(rows, b.rows[i*cols:(i+1)*cols]...)
+				labels = append(labels, b.labels[i])
 			}
 		}
 		n := len(labels)
@@ -789,7 +928,8 @@ func (t *Node) OfflineInferenceTraced(parent telemetry.SpanContext, batch int) (
 		return labeldb.RefreshStats{}, err
 	}
 	for _, sc := range rc.participants {
-		req := &wire.Message{Type: wire.MsgInferRequest, BatchSize: batch, Epoch: rc.epoch}
+		req := &wire.Message{Type: wire.MsgInferRequest, BatchSize: batch, Epoch: rc.epoch,
+			RingStores: rc.ring, LiveStores: rc.curLive, Replication: rc.replication}
 		req.SetTraceContext(tc)
 		if err := rc.sendWithRetry(sc, req); err != nil {
 			rc.fail(sc, fmt.Errorf("tuner: requesting inference from %s: %w", sc.id, err))

@@ -77,6 +77,16 @@ type Node struct {
 	// Guarded by mu.
 	repl Replicator
 
+	// Photo durability (S36), guarded by mu. replication is the placement
+	// factor R (0 = replication off, legacy full-shard rounds); ringMembers
+	// is the durable ring membership — every store that ever registered,
+	// dead or alive, until Rebuild explicitly retires one. Membership must
+	// outlive liveness: ownership is "first LIVE replica on the ring", so a
+	// dead member has to stay on the ring for its photos to keep resolving
+	// to the survivors that actually hold them.
+	replication int
+	ringMembers []string
+
 	// codecs holds the per-store delta compressors for stores that
 	// negotiated a compressed wire encoding in their Hello. Keyed by store ID
 	// and retained across evictions, so a store that rejoins at exactly the
@@ -430,6 +440,18 @@ func (t *Node) AddStore(conn net.Conn) error {
 	t.stores = append(t.stores, sc)
 	nstores := len(t.stores)
 	t.met.stores.Set(float64(nstores))
+	// Ring membership accumulates registrations and survives evictions; a
+	// rejoining store is already a member.
+	member := false
+	for _, m := range t.ringMembers {
+		if m == sc.id {
+			member = true
+			break
+		}
+	}
+	if !member {
+		t.ringMembers = append(t.ringMembers, sc.id)
+	}
 	t.mu.Unlock()
 	t.log.Info("store registered", slog.String("store", sc.id), slog.Int("fleet", nstores))
 	go t.readLoop(sc)

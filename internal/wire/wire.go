@@ -19,26 +19,32 @@ type MsgType uint8
 
 // Protocol message types.
 const (
-	MsgHello        MsgType = iota + 1 // store → tuner: registration
-	MsgTrainRequest                    // tuner → store: start FT-DMP feature extraction
-	MsgFeatures                        // store → tuner: one feature batch
-	MsgModelDelta                      // tuner → store: Check-N-Run delta broadcast
-	MsgInferRequest                    // tuner → store: run offline inference
-	MsgLabels                          // store → tuner: offline-inference results
-	MsgAck                             // either direction: acknowledgement
-	MsgError                           // either direction: failure report
-	MsgSpans                           // store → tuner: finished trace spans for stitching
-	MsgPing                            // tuner → store: liveness probe (silent-death detection)
-	MsgPong                            // store → tuner: liveness reply, echoing the ping's epoch
-	MsgMetrics                         // store → tuner: registry snapshot for the fleet aggregator
-	MsgWALAppend                       // leader → standby: one durable WAL record (or bootstrap seed)
-	MsgWALAck                          // standby → leader: record applied and locally durable
-	MsgStandbyHello                    // standby → leader: replication-channel registration
+	MsgHello          MsgType = iota + 1 // store → tuner: registration
+	MsgTrainRequest                      // tuner → store: start FT-DMP feature extraction
+	MsgFeatures                          // store → tuner: one feature batch
+	MsgModelDelta                        // tuner → store: Check-N-Run delta broadcast
+	MsgInferRequest                      // tuner → store: run offline inference
+	MsgLabels                            // store → tuner: offline-inference results
+	MsgAck                               // either direction: acknowledgement
+	MsgError                             // either direction: failure report
+	MsgSpans                             // store → tuner: finished trace spans for stitching
+	MsgPing                              // tuner → store: liveness probe (silent-death detection)
+	MsgPong                              // store → tuner: liveness reply, echoing the ping's epoch
+	MsgMetrics                           // store → tuner: registry snapshot for the fleet aggregator
+	MsgWALAppend                         // leader → standby: one durable WAL record (or bootstrap seed)
+	MsgWALAck                            // standby → leader: record applied and locally durable
+	MsgStandbyHello                      // standby → leader: replication-channel registration
+	MsgObjectPut                         // tuner → store: store replicated/repaired photo objects
+	MsgObjectFetch                       // tuner → store: fetch photo objects by ID
+	MsgObjects                           // store → tuner: photo object payloads (chunked, Final-terminated)
+	MsgScrubQuery                        // tuner → store: report quarantined objects
+	MsgScrubReport                       // store → tuner: quarantined IDs awaiting repair
+	MsgRebuildRequest                    // tuner → store: re-replicate a dead member's objects
 )
 
 // lastMsgType is the highest defined MsgType; the per-type metric arrays
 // are sized off it.
-const lastMsgType = MsgStandbyHello
+const lastMsgType = MsgRebuildRequest
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -73,6 +79,18 @@ func (t MsgType) String() string {
 		return "wal-ack"
 	case MsgStandbyHello:
 		return "standby-hello"
+	case MsgObjectPut:
+		return "object-put"
+	case MsgObjectFetch:
+		return "object-fetch"
+	case MsgObjects:
+		return "objects"
+	case MsgScrubQuery:
+		return "scrub-query"
+	case MsgScrubReport:
+		return "scrub-report"
+	case MsgRebuildRequest:
+		return "rebuild-request"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -108,6 +126,34 @@ type Message struct {
 	// MsgTrainRequest
 	Runs      int // pipeline depth Nrun
 	BatchSize int
+
+	// Placement routing, on MsgTrainRequest / MsgInferRequest /
+	// MsgRebuildRequest when the tuner runs with replication enabled. The
+	// tuner ships the whole ring (membership + factor) instead of a
+	// per-photo assignment: every store derives identical placement locally
+	// (internal/placement is deterministic over the sorted member list), so
+	// the routing map costs O(fleet) bytes per request, not O(photos).
+	// A store extracts exactly the photos it owns — owner(photo) = first
+	// LIVE replica on the ring — so a re-sent request with a shrunken
+	// LiveStores list reroutes a dead store's photos to survivors mid-round.
+	// PrevLive (set only on re-sent requests) is the live set the previous
+	// request carried: a store re-extracts only photos it owns NOW but did
+	// not own THEN, starting at run FromRun (earlier runs already trained).
+	// All fields gob-decode to nil/0 from a pre-replication tuner, which
+	// selects the legacy full-shard extraction path.
+	RingStores  []string
+	LiveStores  []string
+	PrevLive    []string
+	Replication int
+	FromRun     int
+
+	// MsgObjectPut / MsgObjects: replicated photo payloads, CRC32C-checked
+	// end to end (producer computes, receiver verifies before storing).
+	Objects []ObjectData
+
+	// MsgScrubReport: objects the store's scrubber quarantined, awaiting
+	// read-repair from a healthy replica.
+	Quarantined []uint64
 
 	// MsgFeatures
 	Run    int // which pipelined run this batch belongs to
@@ -167,6 +213,23 @@ type Message struct {
 	WALSeq uint64
 	WALCRC uint32
 	Boot   bool
+}
+
+// ObjectData is one photo object on the wire: the raw bytes and the
+// uncompressed preprocessed encoding, each with its CRC32C. The receiver
+// verifies both checksums before storing — a flip anywhere between the
+// producer's disk and the receiver's memory is rejected, never persisted.
+// Dest names the store the object is bound for when a third party (the
+// tuner, during rebuild) relays it; empty means "for the receiver".
+type ObjectData struct {
+	ID     uint64
+	Label  int
+	Day    int
+	Raw    []byte
+	Pre    []byte // uncompressed preprocessed binary (core float encoding)
+	RawCRC uint32
+	PreCRC uint32
+	Dest   string
 }
 
 // TraceContext returns the message's trace context in telemetry form.
