@@ -257,6 +257,18 @@ func main() {
 			}
 		}
 	}
+	if *replication > 0 {
+		// Refill replicas that were never written (failed upload fan-out,
+		// partial rebuilds) — absent copies have no bytes for checksum
+		// scrubbing to catch, so only an inventory-vs-ring diff finds them.
+		ae, err := tn.AntiEntropy()
+		if err != nil {
+			log.Warn("anti-entropy failed", slog.Any("err", err))
+		} else if ae.Refills > 0 || ae.Failed > 0 {
+			fmt.Printf("ANTI-ENTROPY: %d replicas refilled, %d gaps unfilled (%d objects over %d stores, %.2fs)\n",
+				ae.Refills, ae.Failed, ae.Objects, ae.Stores, ae.Wall.Seconds())
+		}
+	}
 
 	start = time.Now()
 	st, err := tn.OfflineInference(*batch)

@@ -266,7 +266,9 @@ func (s *Server) InferBatch(reqs []BatchRequest) []BatchResult {
 	// Secondary replica writes run alongside the primary groups. A failed
 	// replica write never fails the photo — the primary copy landed (or will
 	// report its own error); the object is merely under-replicated until the
-	// next repair pass.
+	// tuner's next anti-entropy pass (tuner.AntiEntropy) refills the missing
+	// copy from inventory-vs-ring diffing (checksum scrubbing cannot see an
+	// absent replica).
 	for si, rows := range replicaGroups {
 		wg.Add(1)
 		go func(si int, rows []int) {

@@ -64,7 +64,10 @@ type serverMetrics struct {
 	errDim    *telemetry.Counter
 	errIngest *telemetry.Counter
 	// Replica-write failures: the upload still succeeded (another copy
-	// landed) but the object is under-replicated until the next repair pass.
+	// landed) but the object is under-replicated until the tuner's next
+	// anti-entropy pass (tuner.AntiEntropy) refills the missing replica —
+	// checksum scrubbing alone cannot see it, there are no bytes to verify.
+	// A growing counter with no anti-entropy scheduled is a durability gap.
 	errReplica *telemetry.Counter
 }
 
@@ -269,8 +272,10 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 	// Store near the data: raw photo plus the preprocessed binary
 	// (+Offload), which the PipeStore compresses (+Comp). Under replication
 	// the write fans to every ring replica; the upload succeeds as long as
-	// at least one copy lands (a failed replica write leaves the photo
-	// under-replicated until the next scrub/repair pass, not lost).
+	// at least one copy lands. A failed replica write leaves the photo
+	// under-replicated — not lost — until the tuner's next anti-entropy
+	// pass (tuner.AntiEntropy) diffs inventories against the ring and
+	// refills the missing copy; checksum scrubbing cannot see it.
 	var target *pipestore.Node
 	var lastErr error
 	for _, tgt := range targets {
@@ -287,12 +292,17 @@ func (s *Server) Upload(img dataset.Image) (UploadResult, error) {
 		s.met.errIngest.Inc()
 		return UploadResult{}, lastErr
 	}
-	// Index for search.
+	// Index for search. Location is the primary — ring walk order under
+	// replication (targets[0] is Replicas(id)[0]), the round-robin pick
+	// otherwise — even when the primary write failed and the bytes only
+	// landed on a secondary: placement is deterministic, so keeping the
+	// index ring-derived means every reader computes the same location,
+	// and anti-entropy restores the primary copy behind it.
 	s.db.Upsert(labeldb.Entry{
 		ImageID:      img.ID,
 		Label:        label,
 		ModelVersion: version,
-		Location:     target.ID,
+		Location:     targets[0].ID,
 	})
 	s.met.uploads.Inc()
 	s.met.confidence.Observe(confidence)

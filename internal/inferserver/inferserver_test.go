@@ -359,6 +359,82 @@ func TestUploadReplicatesToAllReplicas(t *testing.T) {
 	}
 }
 
+// When the primary replica's write fails but a secondary lands, the upload
+// succeeds and the label index still records the ring primary as Location:
+// placement is deterministic, so the index stays ring-derived and the
+// tuner's anti-entropy pass refills the primary copy behind it. StoreID in
+// the result reports the replica that actually took the bytes.
+func TestUploadLocationStaysRingPrimaryOnPrimaryWriteFailure(t *testing.T) {
+	cfg := core.DefaultModelConfig()
+	wcfg := dataset.DefaultConfig(43)
+	wcfg.InitialImages = 60
+	world := dataset.NewWorld(wcfg)
+	ids := []string{"a", "b", "c"}
+	ring, err := placement.New(ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a photo whose ring primary is store "a", then build "a" with a
+	// mismatched InputDim so its Ingest rejects every write while the other
+	// replicas accept normally.
+	var img dataset.Image
+	found := false
+	for _, im := range world.Images() {
+		if ring.Replicas(im.ID)[0] == "a" {
+			img, found = im, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no image with primary replica on store a")
+	}
+	badCfg := cfg
+	badCfg.InputDim = cfg.InputDim + 1
+	var stores []*pipestore.Node
+	byID := map[string]*pipestore.Node{}
+	for _, id := range ids {
+		c := cfg
+		if id == "a" {
+			c = badCfg
+		}
+		ps, err := pipestore.New(id, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, ps)
+		byID[id] = ps
+	}
+	srv, err := New(cfg, stores, labeldb.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Upload(img)
+	if err != nil {
+		t.Fatalf("upload must survive a failed primary write: %v", err)
+	}
+	reps := ring.Replicas(img.ID)
+	if res.StoreID != reps[1] {
+		t.Fatalf("StoreID = %s, want surviving secondary %s", res.StoreID, reps[1])
+	}
+	e, err := srv.DB().Get(img.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Location != reps[0] {
+		t.Fatalf("Location = %s, want ring primary %s even though its write failed", e.Location, reps[0])
+	}
+	// The bytes really are on the secondary, and absent from the primary.
+	if _, err := byID[reps[1]].Storage().GetRaw(img.ID); err != nil {
+		t.Fatalf("raw missing on secondary %s: %v", reps[1], err)
+	}
+	if _, err := byID[reps[0]].Storage().GetRaw(img.ID); err == nil {
+		t.Fatalf("primary %s unexpectedly holds the photo", reps[0])
+	}
+}
+
 // The batched path must produce the same placement as sequential uploads:
 // every photo on all R replicas, result.StoreID = primary.
 func TestInferBatchReplicates(t *testing.T) {

@@ -91,17 +91,28 @@ func (s *Store) PutPreproc(id uint64, preproc []byte) error {
 // GetRaw returns a copy of the photo's raw bytes, verified against the
 // CRC captured at Put time.
 func (s *Store) GetRaw(id uint64) ([]byte, error) {
+	// Copy the bytes and CRC while still holding the read lock: Put mutates
+	// the *object in place under the write lock, so a checksum taken over
+	// the shared slice after the unlock could see mid-update state and
+	// quarantine (delete) a healthy object.
 	s.mu.RLock()
 	o := s.objects[id]
+	ok := o != nil && o.raw != nil
+	var raw []byte
+	var crc uint32
+	if ok {
+		raw = append(make([]byte, 0, len(o.raw)), o.raw...)
+		crc = o.rawCRC
+	}
 	s.mu.RUnlock()
-	if o == nil || o.raw == nil {
+	if !ok {
 		return nil, fmt.Errorf("photostore: no raw object %d", id)
 	}
-	if durable.Checksum(o.raw) != o.rawCRC {
+	if durable.Checksum(raw) != crc {
 		s.quarantine(id, "raw")
 		return nil, fmt.Errorf("photostore: raw object %d: %w", id, ErrCorrupt)
 	}
-	return append([]byte(nil), o.raw...), nil
+	return raw, nil
 }
 
 // GetPreproc returns the decompressed preprocessed binary for id.
@@ -125,17 +136,26 @@ func (s *Store) GetPreproc(id uint64) ([]byte, error) {
 // GetPreprocCompressed returns the stored (compressed) preprocessed bytes —
 // what actually leaves the disk on the NPE read stage — CRC-verified.
 func (s *Store) GetPreprocCompressed(id uint64) ([]byte, error) {
+	// Same locking discipline as GetRaw: snapshot bytes + CRC under the
+	// read lock, verify the private copy after it.
 	s.mu.RLock()
 	o := s.objects[id]
+	ok := o != nil && o.preproc != nil
+	var pre []byte
+	var crc uint32
+	if ok {
+		pre = append(make([]byte, 0, len(o.preproc)), o.preproc...)
+		crc = o.preCRC
+	}
 	s.mu.RUnlock()
-	if o == nil || o.preproc == nil {
+	if !ok {
 		return nil, fmt.Errorf("photostore: no preprocessed object %d", id)
 	}
-	if durable.Checksum(o.preproc) != o.preCRC {
+	if durable.Checksum(pre) != crc {
 		s.quarantine(id, "pre")
 		return nil, fmt.Errorf("photostore: preprocessed object %d: %w", id, ErrCorrupt)
 	}
-	return append([]byte(nil), o.preproc...), nil
+	return pre, nil
 }
 
 // Delete removes the object entirely, quarantine state included.
@@ -164,11 +184,34 @@ func (s *Store) quarantine(id uint64, part string) {
 		slog.Uint64("id", id), slog.String("part", part))
 }
 
-// Verify implements ObjectStore.
+// Verify implements ObjectStore. The checksums are computed while the read
+// lock is held — Put/PutPreproc replace the object's fields in place under
+// the write lock, and a checksum racing such a re-put (e.g. background
+// scrub against an ingest) would falsely quarantine a healthy object.
+// quarantine itself takes the write lock, so it runs after the unlock, on a
+// verdict reached over consistent state.
 func (s *Store) Verify(id uint64) (int64, error) {
 	s.mu.RLock()
 	o := s.objects[id]
 	isQuar := s.quar[id]
+	var n int64
+	bad := ""
+	if o != nil {
+		if o.raw != nil {
+			if durable.Checksum(o.raw) != o.rawCRC {
+				bad = "raw"
+			} else {
+				n += int64(len(o.raw))
+			}
+		}
+		if bad == "" && o.preproc != nil {
+			if durable.Checksum(o.preproc) != o.preCRC {
+				bad = "pre"
+			} else {
+				n += int64(len(o.preproc))
+			}
+		}
+	}
 	s.mu.RUnlock()
 	if o == nil {
 		if isQuar {
@@ -176,20 +219,13 @@ func (s *Store) Verify(id uint64) (int64, error) {
 		}
 		return 0, fmt.Errorf("photostore: no object %d", id)
 	}
-	var n int64
-	if o.raw != nil {
-		if durable.Checksum(o.raw) != o.rawCRC {
-			s.quarantine(id, "raw")
-			return n, fmt.Errorf("photostore: raw object %d: %w", id, ErrCorrupt)
-		}
-		n += int64(len(o.raw))
-	}
-	if o.preproc != nil {
-		if durable.Checksum(o.preproc) != o.preCRC {
-			s.quarantine(id, "pre")
-			return n, fmt.Errorf("photostore: preprocessed object %d: %w", id, ErrCorrupt)
-		}
-		n += int64(len(o.preproc))
+	switch bad {
+	case "raw":
+		s.quarantine(id, bad)
+		return n, fmt.Errorf("photostore: raw object %d: %w", id, ErrCorrupt)
+	case "pre":
+		s.quarantine(id, bad)
+		return n, fmt.Errorf("photostore: preprocessed object %d: %w", id, ErrCorrupt)
 	}
 	return n, nil
 }

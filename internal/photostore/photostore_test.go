@@ -2,8 +2,10 @@ package photostore
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ndpipe/internal/dataset"
 )
@@ -154,5 +156,78 @@ func TestPutOverwrite(t *testing.T) {
 	}
 	if s.Len() != 1 {
 		t.Fatal("overwrite must not duplicate")
+	}
+}
+
+// Concurrent re-puts racing reads and verifies on the same ID must be
+// race-clean and must never quarantine a healthy object: the repair path
+// re-puts objects while the background scrub verifies them, so a checksum
+// computed over mid-update state would delete good data. Run under -race.
+func TestConcurrentPutGetVerifyNoFalseQuarantine(t *testing.T) {
+	s := New()
+	const id = 9
+	blobA := dataset.Blob(id, dataset.DefaultJPEGSpec())
+	blobB := dataset.Blob(id+1, dataset.DefaultJPEGSpec())
+	pre := bytes.Repeat([]byte{5, 6, 7, 8}, 512)
+	s.Put(id, append([]byte(nil), blobA...))
+	if err := s.PutPreproc(id, pre); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: alternate healthy contents
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			blob := blobA
+			if i%2 == 1 {
+				blob = blobB
+			}
+			s.Put(id, append([]byte(nil), blob...))
+			_ = s.PutPreproc(id, pre)
+		}
+	}()
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := s.GetRaw(id); err != nil {
+				t.Errorf("GetRaw during re-put: %v", err)
+				return
+			}
+			if _, err := s.GetPreprocCompressed(id); err != nil {
+				t.Errorf("GetPreprocCompressed during re-put: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // scrubber
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := s.Verify(id); err != nil {
+				t.Errorf("Verify during re-put: %v", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	if n := len(s.Quarantined()); n != 0 {
+		t.Fatalf("healthy object quarantined under concurrent re-puts: %d", n)
 	}
 }

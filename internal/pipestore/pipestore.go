@@ -63,9 +63,14 @@ type Node struct {
 	// Durability plumbing (see scrub.go): replicaSrc answers read-repair
 	// fetches when the node runs in-process next to its replicas (over the
 	// wire the tuner brokers repair instead); scrubCursor remembers where
-	// the bounded-rate background scrub left off.
+	// the bounded-rate background scrub left off. scrubMu serializes this
+	// node's scrub passes (the background loop and any synchronous
+	// MsgScrubQuery-driven pass): the cursor is single-writer by
+	// construction. Per node, so one store's slow repair never blocks
+	// another's scrubbing in an in-process fleet.
 	replicaSrc  ReplicaSource
 	scrubCursor uint64
+	scrubMu     sync.Mutex
 
 	// Crash consistency (see persist.go): with a state dir open, every
 	// applied delta atomically persists the new snapshot + version before
@@ -903,8 +908,16 @@ func (n *Node) serveOne(c *wire.Codec, msg *wire.Message) error {
 		if msg.BatchSize != 0 {
 			n.ScrubOnce(msg.BatchSize)
 		}
-		if err := c.Send(&wire.Message{Type: wire.MsgScrubReport, StoreID: n.ID,
-			Quarantined: n.store.Quarantined(), Epoch: epoch}); err != nil {
+		rep := &wire.Message{Type: wire.MsgScrubReport, StoreID: n.ID,
+			Quarantined: n.store.Quarantined(), Epoch: epoch}
+		if msg.Inventory {
+			// Anti-entropy inventory: every object with servable bytes here.
+			// Quarantined objects are deliberately absent — reported missing,
+			// the tuner refills them from a healthy replica just like a
+			// replica that was never written.
+			rep.IDs = n.store.IDs()
+		}
+		if err := c.Send(rep); err != nil {
 			return err
 		}
 	case wire.MsgRebuildRequest:

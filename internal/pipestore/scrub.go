@@ -163,10 +163,6 @@ func (n *Node) IngestReplica(objs []wire.ObjectData) (int, error) {
 	return accepted, firstErr
 }
 
-// scrubMu serializes scrub passes (the background loop and any synchronous
-// MsgScrubQuery-driven pass): the cursor is single-writer by construction.
-var scrubMu sync.Mutex
-
 // ScrubOnce verifies up to limit objects (≤0 = all), resuming where the
 // previous pass left off and wrapping, so a bounded per-tick rate still
 // covers the whole store over successive ticks. Corrupt objects are
@@ -174,8 +170,8 @@ var scrubMu sync.Mutex
 // with a repair sweep over everything quarantined. Returns objects checked
 // and corruptions found this pass.
 func (n *Node) ScrubOnce(limit int) (checked, corrupt int) {
-	scrubMu.Lock()
-	defer scrubMu.Unlock()
+	n.scrubMu.Lock()
+	defer n.scrubMu.Unlock()
 	ids := n.store.IDs()
 	if len(ids) > 0 {
 		if limit <= 0 || limit > len(ids) {

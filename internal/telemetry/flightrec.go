@@ -53,11 +53,12 @@ const (
 	FlightDegraded      = "degraded"       // code=component, v1=1 enter / 0 exit
 
 	// Photo durability taxonomy (S36).
-	FlightScrub      = "scrub"      // code=store, v1=objects checked, v2=corrupt found
-	FlightQuarantine = "quarantine" // code=store, v1=object id
-	FlightRepair     = "repair"     // code=store, v1=object id, v2=1 ok / 0 failed
-	FlightReroute    = "reroute"    // code=dead store, v1=epoch, v2=from-run
-	FlightRebuild    = "rebuild"    // code=dead store, v1=objects copied, v2=bytes
+	FlightScrub       = "scrub"        // code=store, v1=objects checked, v2=corrupt found
+	FlightQuarantine  = "quarantine"   // code=store, v1=object id
+	FlightRepair      = "repair"       // code=store, v1=object id, v2=1 ok / 0 failed
+	FlightReroute     = "reroute"      // code=dead store, v1=epoch, v2=from-run
+	FlightRebuild     = "rebuild"      // code=dead store, v1=objects copied, v2=bytes
+	FlightAntiEntropy = "anti-entropy" // code=store, v1=replicas refilled, v2=gaps unfilled
 )
 
 // FlightRecorder is a bounded, allocation-free ring of structured events —

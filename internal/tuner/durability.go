@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strings"
 	"time"
 
 	"ndpipe/internal/placement"
@@ -292,46 +293,9 @@ func (t *Node) ScrubRepair(scrubBatch int) (ScrubStats, error) {
 			stats.Failed += len(ids)
 			continue
 		}
-		need := make(map[uint64]bool, len(ids))
-		for _, id := range ids {
-			need[id] = true
-		}
-		var healthy []wire.ObjectData
-		for _, src := range p.live {
-			if src == target || src.evicted.Load() || len(need) == 0 {
-				continue
-			}
-			// Only ask src for the objects it actually replicates.
-			var ask []uint64
-			for id := range need {
-				for _, m := range ring.Replicas(id) {
-					if m == src.id {
-						ask = append(ask, id)
-						break
-					}
-				}
-			}
-			if len(ask) == 0 {
-				continue
-			}
-			sort.Slice(ask, func(i, j int) bool { return ask[i] < ask[j] })
-			objs, ferr := t.fetchObjects(span, src, ask, p.epoch, p.o)
-			if ferr != nil {
-				t.log.Warn("repair fetch failed", slog.String("source", src.id), slog.Any("err", ferr))
-			}
-			for _, od := range objs {
-				if need[od.ID] {
-					delete(need, od.ID)
-					healthy = append(healthy, od)
-				}
-			}
-		}
-		n, perr := t.pushObjects(span, target, healthy, p.epoch, p.o)
+		n := t.refill(span, p, ring, target, ids)
 		stats.Repaired += n
 		stats.Failed += len(ids) - n
-		if perr != nil {
-			t.log.Warn("repair push failed", slog.String("store", storeID), slog.Any("err", perr))
-		}
 		telemetry.Default.Flight().Record(telemetry.FlightRepair, "tuner", target.id, int64(n), int64(len(ids)-n))
 	}
 	stats.Wall = time.Since(start)
@@ -339,6 +303,164 @@ func (t *Node) ScrubRepair(scrubBatch int) (ScrubStats, error) {
 		t.log.Info("scrub/repair pass complete",
 			slog.Int("repaired", stats.Repaired), slog.Int("failed", stats.Failed),
 			slog.Duration("wall", stats.Wall))
+	}
+	return stats, nil
+}
+
+// refill fetches healthy copies of ids from the live ring replicas that
+// hold them (excluding target itself) and relays them to target, whose
+// re-put re-verifies both checksums end to end. Returns how many objects
+// target accepted. Shared by ScrubRepair (refilling quarantined objects)
+// and AntiEntropy (refilling absent ones).
+func (t *Node) refill(span *telemetry.Span, p durabilityPass, ring *placement.Ring, target *storeConn, ids []uint64) int {
+	need := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		need[id] = true
+	}
+	var healthy []wire.ObjectData
+	for _, src := range p.live {
+		if src == target || src.evicted.Load() || len(need) == 0 {
+			continue
+		}
+		// Only ask src for the objects it actually replicates.
+		var ask []uint64
+		for id := range need {
+			for _, m := range ring.Replicas(id) {
+				if m == src.id {
+					ask = append(ask, id)
+					break
+				}
+			}
+		}
+		if len(ask) == 0 {
+			continue
+		}
+		sort.Slice(ask, func(i, j int) bool { return ask[i] < ask[j] })
+		objs, ferr := t.fetchObjects(span, src, ask, p.epoch, p.o)
+		if ferr != nil {
+			t.log.Warn("repair fetch failed", slog.String("source", src.id), slog.Any("err", ferr))
+		}
+		for _, od := range objs {
+			if need[od.ID] {
+				delete(need, od.ID)
+				healthy = append(healthy, od)
+			}
+		}
+	}
+	n, perr := t.pushObjects(span, target, healthy, p.epoch, p.o)
+	if perr != nil {
+		t.log.Warn("repair push failed", slog.String("store", target.id), slog.Any("err", perr))
+	}
+	return n
+}
+
+// AntiEntropyStats summarizes one missing-replica anti-entropy pass.
+type AntiEntropyStats struct {
+	Stores  int                 // stores inventoried
+	Objects int                 // distinct objects seen fleet-wide
+	Missing map[string][]uint64 // store → objects the ring assigns it but it lacks
+	Refills int                 // missing replicas refilled (pushed and re-verified)
+	Failed  int                 // gaps no live replica could fill
+	Wall    time.Duration
+}
+
+// AntiEntropy drives one fleet-wide missing-replica check: every live
+// store reports the object IDs it holds, the tuner diffs each store's
+// holdings against ring placement, and every replica the ring assigns to a
+// live store that the store does not hold is refilled from a live replica
+// with a healthy copy. ScrubRepair heals *corrupt* copies, which announce
+// themselves through checksums; this pass heals *absent* ones — a replica
+// write that failed at ingest, or an object dropped by an interrupted
+// rebuild — which no checksum can flag because there are no bytes to
+// check. Ring members that are not live are skipped (they are healed here
+// when they rejoin, or retired by Rebuild). An object counts as Failed
+// only when no live replica holds an intact copy.
+func (t *Node) AntiEntropy() (AntiEntropyStats, error) {
+	start := time.Now()
+	p, err := t.beginDurabilityPass()
+	if err != nil {
+		return AntiEntropyStats{}, err
+	}
+	span := telemetry.Default.Spans().StartTrace("tuner.anti-entropy")
+	defer span.End()
+	stats := AntiEntropyStats{Missing: make(map[string][]uint64)}
+	held := make(map[string]map[uint64]bool, len(p.live))
+	pending := make(map[*storeConn]bool, len(p.live))
+	for _, sc := range p.live {
+		req := &wire.Message{Type: wire.MsgScrubQuery, Inventory: true, Epoch: p.epoch}
+		if err := t.sendWithDeadline(sc, req, p.o.StoreTimeout); err != nil {
+			t.evict(sc, err, span)
+			continue
+		}
+		pending[sc] = true
+		stats.Stores++
+	}
+	err = t.drainInbox(span, p.epoch, p.o.RoundTimeout,
+		func() bool { return len(pending) == 0 },
+		func(sc *storeConn, msg *wire.Message) {
+			if msg.Type != wire.MsgScrubReport || !pending[sc] {
+				t.met.staleMsgs.Inc()
+				return
+			}
+			set := make(map[uint64]bool, len(msg.IDs))
+			for _, id := range msg.IDs {
+				set[id] = true
+			}
+			held[sc.id] = set
+			delete(pending, sc)
+		},
+		func(sc *storeConn, err error) { delete(pending, sc) })
+	if err != nil {
+		return stats, err
+	}
+	ring, err := placement.New(p.members, p.r)
+	if err != nil {
+		return stats, err
+	}
+	// The object universe is the union of every inventory: an object exists
+	// if any live store holds it, and then every live ring replica owes a
+	// copy.
+	universe := make(map[uint64]bool)
+	for _, set := range held {
+		for id := range set {
+			universe[id] = true
+		}
+	}
+	stats.Objects = len(universe)
+	for id := range universe {
+		for _, m := range ring.Replicas(id) {
+			set, inventoried := held[m]
+			if !inventoried {
+				continue // not live this pass: healed on rejoin, or rebuilt
+			}
+			if !set[id] {
+				stats.Missing[m] = append(stats.Missing[m], id)
+			}
+		}
+	}
+	targets := make([]string, 0, len(stats.Missing))
+	for id := range stats.Missing {
+		targets = append(targets, id)
+	}
+	sort.Strings(targets)
+	for _, storeID := range targets {
+		ids := stats.Missing[storeID]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		target := t.storeByID(storeID)
+		if target == nil {
+			stats.Failed += len(ids)
+			continue
+		}
+		n := t.refill(span, p, ring, target, ids)
+		stats.Refills += n
+		stats.Failed += len(ids) - n
+		telemetry.Default.Flight().Record(telemetry.FlightAntiEntropy, "tuner", target.id, int64(n), int64(len(ids)-n))
+	}
+	stats.Wall = time.Since(start)
+	if stats.Refills > 0 || stats.Failed > 0 {
+		t.log.Info("anti-entropy pass complete",
+			slog.Int("objects", stats.Objects), slog.Int("refilled", stats.Refills),
+			slog.Int("failed", stats.Failed), slog.Duration("wall", stats.Wall))
 	}
 	return stats, nil
 }
@@ -355,11 +477,15 @@ type RebuildReport struct {
 // Rebuild re-replicates everything the dead store held: each survivor
 // computes (from the ring) the objects it is the designated pusher for,
 // streams them to the tuner, and the tuner relays each object to the
-// destination that gains it on the survivor ring. When the pass completes,
-// dead is retired from the ring membership — consistent hashing guarantees
-// only its photos moved — and subsequent rounds route on the smaller ring
-// at full replication. Call after a round reports the store failed (or
-// after any eviction).
+// destination that gains it on the survivor ring. Only when every push was
+// delivered is dead retired from the ring membership — consistent hashing
+// guarantees only its photos moved, and those copies now exist. If any
+// pusher or destination dropped out mid-pass, the ring is left unchanged
+// and an error names the gaps: retiring it anyway would erase the only
+// record that those photos run under-replicated, with no later pass able
+// to discover the missing (non-quarantined) replicas. Retry once the fleet
+// stabilizes. Call after a round reports the store failed (or after any
+// eviction).
 func (t *Node) Rebuild(dead string) (RebuildReport, error) {
 	start := time.Now()
 	p, err := t.beginDurabilityPass()
@@ -389,12 +515,18 @@ func (t *Node) Rebuild(dead string) (RebuildReport, error) {
 		liveIDs = append(liveIDs, sc.id)
 	}
 	rep := RebuildReport{Dead: dead, Targets: make(map[string]int)}
+	// Every way a rebuilt object can silently go missing — a pusher that
+	// never got the request, refused it, or died mid-stream; a destination
+	// that is gone; a push only partially accepted — lands in gaps. Any gap
+	// vetoes the ring retirement below.
+	var gaps []string
 	pending := make(map[*storeConn]bool, len(p.live))
 	for _, sc := range p.live {
 		req := &wire.Message{Type: wire.MsgRebuildRequest, StoreID: dead,
 			RingStores: p.members, LiveStores: liveIDs, Replication: p.r, Epoch: p.epoch}
 		if err := t.sendWithDeadline(sc, req, p.o.StoreTimeout); err != nil {
 			t.evict(sc, err, span)
+			gaps = append(gaps, fmt.Sprintf("pusher %s unreachable: %v", sc.id, err))
 			continue
 		}
 		pending[sc] = true
@@ -417,12 +549,18 @@ func (t *Node) Rebuild(dead string) (RebuildReport, error) {
 				}
 			case wire.MsgError:
 				t.log.Warn("rebuild push refused", slog.String("store", sc.id), slog.String("err", msg.Err))
+				gaps = append(gaps, fmt.Sprintf("pusher %s refused: %s", sc.id, msg.Err))
 				delete(pending, sc)
 			default:
 				t.met.staleMsgs.Inc()
 			}
 		},
-		func(sc *storeConn, err error) { delete(pending, sc) })
+		func(sc *storeConn, err error) {
+			if pending[sc] {
+				gaps = append(gaps, fmt.Sprintf("pusher %s lost mid-stream: %v", sc.id, err))
+			}
+			delete(pending, sc)
+		})
 	if err != nil {
 		return rep, err
 	}
@@ -436,6 +574,7 @@ func (t *Node) Rebuild(dead string) (RebuildReport, error) {
 		sc := t.storeByID(dest)
 		if sc == nil {
 			t.log.Warn("rebuild destination not live", slog.String("store", dest), slog.Int("objects", len(objs)))
+			gaps = append(gaps, fmt.Sprintf("destination %s not live (%d objects undelivered)", dest, len(objs)))
 			continue
 		}
 		n, perr := t.pushObjects(span, sc, objs, p.epoch, p.o)
@@ -447,6 +586,14 @@ func (t *Node) Rebuild(dead string) (RebuildReport, error) {
 		if perr != nil {
 			return rep, fmt.Errorf("tuner: rebuilding onto %s: %w", dest, perr)
 		}
+		if n < len(objs) {
+			gaps = append(gaps, fmt.Sprintf("destination %s accepted %d of %d objects", dest, n, len(objs)))
+		}
+	}
+	if len(gaps) > 0 {
+		rep.Wall = time.Since(start)
+		return rep, fmt.Errorf("tuner: rebuild of %s incomplete, ring membership unchanged (retry after the fleet stabilizes): %s",
+			dead, strings.Join(gaps, "; "))
 	}
 	// Retire the dead member: placement's minimal-movement property means
 	// only its photos changed replica sets, and those copies now exist.

@@ -418,3 +418,138 @@ func TestRebuildRestoresReplicationAfterStoreLoss(t *testing.T) {
 		}
 	}
 }
+
+// A rebuild that cannot prove every object was delivered — here a second
+// store drops before the pass, so some of the dead member's photos have no
+// reachable pusher or destination — must NOT retire the dead member from
+// the ring: the membership entry is the only record that those photos run
+// under-replicated. The pass errors, the ring is unchanged, and a retry
+// after the fleet stabilizes can still find the gap.
+func TestRebuildIncompleteKeepsRingMembership(t *testing.T) {
+	const nImages = 200
+	inj, err := faultinject.New(13, faultinject.Rule{Kind: faultinject.Drop, Op: faultinject.OpWrite, After: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 1
+	wrap := func(i int, c net.Conn) net.Conn {
+		if i == victim {
+			return inj.Conn(c)
+		}
+		return c
+	}
+	tn, stores, _, _, _ := ringClusterUp(t, 4, 2, nImages, 59, false, wrap)
+	tn.SetRoundOptions(chaosRoundOptions())
+
+	rep, err := tn.FineTune(2, 64, soakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("victim must have been evicted mid-round")
+	}
+	dead := stores[victim].ps.ID
+
+	// Take a second store down right before the rebuild.
+	stores[2].conn.Close()
+
+	before := tn.RingMembers()
+	if _, err := tn.Rebuild(dead); err == nil {
+		t.Fatal("rebuild with undeliverable objects must error, not retire the ring member")
+	}
+	after := tn.RingMembers()
+	if len(after) != len(before) {
+		t.Fatalf("ring membership changed on incomplete rebuild: %v -> %v", before, after)
+	}
+	found := false
+	for _, m := range after {
+		if m == dead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead member %s retired despite incomplete rebuild; ring: %v", dead, after)
+	}
+}
+
+// A replica that is MISSING — a replica write that failed at ingest, or an
+// object dropped by an interrupted rebuild — is invisible to checksum
+// scrubbing: there are no bytes for a CRC to flag. The anti-entropy pass
+// finds the gap by diffing store inventories against ring placement and
+// refills it from a live replica with a healthy copy.
+func TestAntiEntropyRefillsMissingReplica(t *testing.T) {
+	tn, stores, world, _, ring := ringClusterUp(t, 3, 2, 120, 61, false, nil)
+	tn.SetRoundOptions(chaosRoundOptions())
+
+	// Simulate a failed replica write: drop one photo from its secondary.
+	img := world.Images()[0]
+	reps := ring.Replicas(img.ID)
+	secondary := -1
+	for i, cs := range stores {
+		if cs.ps.ID == reps[1] {
+			secondary = i
+		}
+	}
+	stores[secondary].ps.Storage().Delete(img.ID)
+	if _, err := stores[secondary].ps.Storage().GetRaw(img.ID); err == nil {
+		t.Fatal("precondition: the secondary replica must be missing")
+	}
+
+	// Checksum scrub/repair cannot see an absent replica.
+	srStats, err := tn.ScrubRepair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srStats.Repaired != 0 || srStats.Failed != 0 {
+		t.Fatalf("scrub/repair acted on a missing replica: %+v", srStats)
+	}
+	if _, err := stores[secondary].ps.Storage().GetRaw(img.ID); err == nil {
+		t.Fatal("scrub/repair must not have refilled the missing replica")
+	}
+
+	// Anti-entropy finds and refills exactly that gap.
+	st, err := tn.AntiEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stores != 3 {
+		t.Fatalf("inventoried %d stores, want 3", st.Stores)
+	}
+	if st.Objects != len(world.Images()) {
+		t.Fatalf("object universe %d, want %d", st.Objects, len(world.Images()))
+	}
+	if miss := st.Missing[reps[1]]; len(miss) != 1 || miss[0] != img.ID {
+		t.Fatalf("missing[%s] = %v, want [%d]", reps[1], miss, img.ID)
+	}
+	if st.Refills != 1 || st.Failed != 0 {
+		t.Fatalf("refills=%d failed=%d, want 1/0", st.Refills, st.Failed)
+	}
+	raw, err := stores[secondary].ps.Storage().GetRaw(img.ID)
+	if err != nil {
+		t.Fatalf("refilled replica unreadable: %v", err)
+	}
+	healthy, err := stores[0].ps.Storage().GetRaw(img.ID)
+	if err != nil {
+		// stores[0] may not be a replica; find one that is.
+		for _, cs := range stores {
+			if cs.ps.ID == reps[0] {
+				healthy, err = cs.ps.Storage().GetRaw(img.ID)
+			}
+		}
+		if err != nil {
+			t.Fatalf("no healthy replica readable: %v", err)
+		}
+	}
+	if string(raw) != string(healthy) {
+		t.Fatal("refilled replica differs from the healthy copy")
+	}
+
+	// Idempotent: a whole fleet finds nothing to do.
+	st2, err := tn.AntiEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Missing) != 0 || st2.Refills != 0 || st2.Failed != 0 {
+		t.Fatalf("second pass must be a no-op: %+v", st2)
+	}
+}

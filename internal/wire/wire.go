@@ -155,6 +155,15 @@ type Message struct {
 	// read-repair from a healthy replica.
 	Quarantined []uint64
 
+	// MsgScrubQuery: Inventory asks the store to include its full held-object
+	// ID list (quarantined objects excluded — they have no servable bytes)
+	// in the IDs field of its MsgScrubReport. The tuner's anti-entropy pass
+	// diffs that inventory against ring placement to find replicas that are
+	// MISSING rather than corrupt — a replica write that failed at ingest
+	// leaves no bytes for any checksum to flag. Decodes false from
+	// pre-anti-entropy peers, which keep reporting quarantine-only.
+	Inventory bool
+
 	// MsgFeatures
 	Run    int // which pipelined run this batch belongs to
 	Rows   int
